@@ -1,0 +1,127 @@
+"""E6 — Corollary 3 / Claim 20: the (f+eps) guarantee, measured.
+
+Sweeps eps on fixed instance families and reports three quantities per
+point:
+
+* the *certified* ratio ``w(C) / sum(delta)`` (exact, internal —
+  provably an upper bound on the true ratio by weak duality);
+* the *true* ratio against the LP optimum;
+* the guarantee ``f + eps``.
+
+Also compares against greedy and the sequential local-ratio
+f-approximation on the same instances.
+
+Shape criteria asserted:
+* certified ratio <= f + eps on every run (the theorem, exactly);
+* true ratio <= certified ratio <= f + eps (the certificate chain);
+* the rounds grow as eps shrinks no faster than ~log(1/eps)
+  (Theorem 9's additive log(1/eps) term).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import publish
+
+from repro.analysis.tables import render_table
+from repro.baselines.greedy import greedy_set_cover
+from repro.baselines.registry import this_work
+from repro.baselines.sequential import local_ratio_cover
+from repro.hypergraph.generators import uniform_hypergraph, uniform_weights
+from repro.lp.reference import fractional_optimum
+
+N = 200
+M = 520
+RANK = 3
+MAX_WEIGHT = 60
+EPSILONS = (
+    Fraction(1),
+    Fraction(1, 2),
+    Fraction(1, 4),
+    Fraction(1, 8),
+    Fraction(1, 16),
+    Fraction(1, 32),
+    Fraction(1, 64),
+)
+SEEDS = (0, 1, 2)
+
+
+def run_experiment() -> dict:
+    instances = []
+    for seed in SEEDS:
+        weights = uniform_weights(N, MAX_WEIGHT, seed=seed + 7)
+        hypergraph = uniform_hypergraph(
+            N, M, RANK, seed=seed, weights=weights
+        )
+        instances.append((hypergraph, fractional_optimum(hypergraph)))
+
+    rows = []
+    checks = []
+    for epsilon in EPSILONS:
+        certified, true_ratio, rounds = [], [], []
+        for hypergraph, lp_opt in instances:
+            run = this_work(hypergraph, epsilon)
+            certified.append(float(run.certified_ratio()))
+            true_ratio.append(run.weight / lp_opt)
+            rounds.append(run.rounds)
+        guarantee = RANK + float(epsilon)
+        rows.append(
+            [
+                str(epsilon),
+                guarantee,
+                max(certified),
+                max(true_ratio),
+                sum(rounds) / len(rounds),
+            ]
+        )
+        checks.append(
+            (float(epsilon), guarantee, max(certified), max(true_ratio),
+             sum(rounds) / len(rounds))
+        )
+
+    reference_rows = []
+    for hypergraph, lp_opt in instances:
+        greedy = greedy_set_cover(hypergraph)
+        local = local_ratio_cover(hypergraph)
+        reference_rows.append(
+            [greedy.weight / lp_opt, local.weight / lp_opt]
+        )
+    return {"rows": rows, "checks": checks, "references": reference_rows}
+
+
+def test_approx_ratio(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = render_table(
+        [
+            "eps",
+            "guarantee f+eps",
+            "certified ratio (max)",
+            "true ratio vs LP (max)",
+            "rounds (mean)",
+        ],
+        data["rows"],
+        title=(
+            f"E6 — approximation ratio vs eps (rank={RANK}, n={N}, m={M}, "
+            f"W={MAX_WEIGHT}, {len(SEEDS)} seeds)"
+        ),
+    )
+    refs = data["references"]
+    extras = "\nsequential references (ratio vs LP per seed): " + ", ".join(
+        f"greedy={g:.3f}/local-ratio={l:.3f}" for g, l in refs
+    )
+    publish("approx_ratio", table + extras)
+
+    for epsilon, guarantee, certified, true_ratio, _ in data["checks"]:
+        assert certified <= guarantee + 1e-9
+        assert true_ratio <= certified + 1e-9
+    # Rounds grow mildly (additive log(1/eps) term), not explosively.
+    first_rounds = data["checks"][0][4]
+    last_rounds = data["checks"][-1][4]
+    assert last_rounds <= first_rounds + 20 * 6  # log2(64) = 6 levels
+
+
+def test_benchmark_tight_epsilon(benchmark):
+    weights = uniform_weights(N, MAX_WEIGHT, seed=7)
+    hypergraph = uniform_hypergraph(N, M, RANK, seed=0, weights=weights)
+    benchmark(lambda: this_work(hypergraph, Fraction(1, 64)))

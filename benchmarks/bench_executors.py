@@ -1,0 +1,99 @@
+"""E9 — executor and instrumentation overheads (methodology check).
+
+Times the same solve three ways:
+
+* lockstep executor (the sweep workhorse);
+* lockstep with invariant checking (Claims 1-2 verified every
+  iteration — the cost of running in self-verifying mode);
+* the full CONGEST message-passing engine.
+
+All three produce bit-identical results (asserted); the timing ratios
+justify using lockstep for the scaling experiments.  Also reports the
+engine's message statistics for one run, substantiating the CONGEST
+message-width claim on a mid-size instance.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import publish
+
+from repro.analysis.tables import render_table
+from repro.core.params import AlgorithmConfig
+from repro.core.solver import solve_mwhvc
+from repro.hypergraph.generators import uniform_hypergraph, uniform_weights
+
+N = 220
+M = 650
+RANK = 3
+EPSILON = Fraction(1, 3)
+
+
+def build_instance():
+    weights = uniform_weights(N, 40, seed=5)
+    return uniform_hypergraph(N, M, RANK, seed=4, weights=weights)
+
+
+def test_equivalence_and_message_stats(benchmark):
+    hypergraph = build_instance()
+    config = AlgorithmConfig(epsilon=EPSILON)
+
+    def run_all():
+        lock = solve_mwhvc(hypergraph, config=config)
+        checked = solve_mwhvc(
+            hypergraph,
+            config=AlgorithmConfig(epsilon=EPSILON, check_invariants=True),
+        )
+        engine = solve_mwhvc(hypergraph, config=config, executor="congest")
+        return lock, checked, engine
+
+    lock, checked, engine = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    assert lock.cover == checked.cover == engine.cover
+    assert lock.rounds == engine.rounds
+    assert lock.dual == engine.dual
+
+    metrics = engine.metrics
+    table = render_table(
+        ["quantity", "value"],
+        [
+            ["rounds", metrics.rounds],
+            ["iterations", engine.iterations],
+            ["messages", metrics.messages],
+            ["total bits", metrics.total_bits],
+            ["max message bits", metrics.max_message_bits],
+            ["mean message bits", round(metrics.mean_message_bits, 2)],
+            ["bandwidth cap (bits)", metrics.bandwidth_cap_bits],
+            ["bandwidth violations", metrics.bandwidth_violations],
+            ["dropped messages", metrics.dropped_messages],
+        ],
+        title=(
+            f"E9 — CONGEST engine statistics (n={N}, m={M}, rank={RANK}, "
+            f"eps={EPSILON})"
+        ),
+    )
+    publish("executor_message_stats", table)
+    assert metrics.bandwidth_violations == 0
+    assert metrics.max_message_bits <= metrics.bandwidth_cap_bits
+
+
+def test_benchmark_lockstep(benchmark):
+    hypergraph = build_instance()
+    config = AlgorithmConfig(epsilon=EPSILON)
+    benchmark(lambda: solve_mwhvc(hypergraph, config=config))
+
+
+def test_benchmark_lockstep_checked(benchmark):
+    hypergraph = build_instance()
+    config = AlgorithmConfig(epsilon=EPSILON, check_invariants=True)
+    benchmark(lambda: solve_mwhvc(hypergraph, config=config))
+
+
+def test_benchmark_congest_engine(benchmark):
+    hypergraph = build_instance()
+    config = AlgorithmConfig(epsilon=EPSILON)
+    benchmark(
+        lambda: solve_mwhvc(hypergraph, config=config, executor="congest")
+    )

@@ -1,0 +1,133 @@
+"""E2 — Table 2 reproduction: weighted Hypergraph Vertex Cover (general f).
+
+Reruns the implementable Table 2 rows on rank-f random hypergraphs for
+f in {3, 4, 5}: this work in both (f+eps) and exact-f modes, the KVY
+primal-dual, and the weight-dependent dual-doubling family, with true
+ratios against the LP optimum.  Non-implemented rows appear as bound
+formulas.
+
+Shape criteria asserted:
+* all covers valid, all ratios within the respective guarantees;
+* the guarantee degrades gracefully with f (ratio <= f + eps for every f);
+* this work's measured rounds stay within a constant factor of the
+  Theorem 9 bound across f.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import publish
+
+from repro.analysis.bounds import TABLE2_BOUNDS, theorem9_round_bound
+from repro.analysis.tables import render_table
+from repro.baselines.dual_doubling import dual_doubling_cover
+from repro.baselines.kvy import kvy_cover
+from repro.baselines.local_ratio_distributed import (
+    distributed_local_ratio_cover,
+)
+from repro.baselines.registry import this_work, this_work_f_approx
+from repro.hypergraph.generators import uniform_hypergraph, uniform_weights
+from repro.lp.reference import fractional_optimum
+
+N = 300
+M = 900
+MAX_WEIGHT = 50
+EPSILON = Fraction(1, 4)
+RANKS = (3, 4, 5)
+
+
+def run_experiment() -> dict:
+    rows = []
+    checks = []
+    for rank in RANKS:
+        weights = uniform_weights(N, MAX_WEIGHT, seed=rank)
+        hypergraph = uniform_hypergraph(
+            N, M, rank, seed=rank * 7, weights=weights
+        )
+        lp_opt = fractional_optimum(hypergraph)
+        runs = {
+            "this work (f+eps)": this_work(hypergraph, EPSILON),
+            "this work (f-approx)": this_work_f_approx(hypergraph),
+            "khuller-vishkin-young [15] (f+eps)": kvy_cover(
+                hypergraph, EPSILON
+            ),
+            "kmw [18]-style dual doubling (2f)": dual_doubling_cover(
+                hypergraph
+            ),
+            "distributed local-ratio (f, randomized)": (
+                distributed_local_ratio_cover(hypergraph, seed=rank)
+            ),
+        }
+        for name, run in runs.items():
+            ratio = run.weight / lp_opt
+            rows.append([f"f={rank}", name, "measured", run.rounds, ratio])
+            checks.append(
+                (rank, name, ratio, run.rounds, hypergraph.max_degree)
+            )
+        for name, bound in TABLE2_BOUNDS.items():
+            if "this work" in name:
+                continue
+            rows.append(
+                [
+                    f"f={rank}",
+                    name + " — bound",
+                    "formula",
+                    round(
+                        bound(
+                            N,
+                            hypergraph.max_degree,
+                            MAX_WEIGHT,
+                            rank,
+                            float(EPSILON),
+                        ),
+                        1,
+                    ),
+                    "",
+                ]
+            )
+    return {"rows": rows, "checks": checks}
+
+
+def test_table2(benchmark):
+    from repro.analysis.paper_tables import TABLE2_ROWS, rows_as_table
+
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = render_table(
+        ["rank", "algorithm (Table 2 row)", "kind", "rounds", "ratio vs LP"],
+        data["rows"],
+        title=(
+            f"Table 2 reproduction — MWHVC on rank-f hypergraphs "
+            f"(n={N}, m={M}, W={MAX_WEIGHT}, eps={EPSILON})"
+        ),
+    )
+    alignment = (
+        "\n\npaper rows and their reproduction coverage:\n"
+        + rows_as_table(TABLE2_ROWS)
+    )
+    publish("table2_hypergraph_cover", table + alignment)
+
+    for rank, name, ratio, rounds, max_degree in data["checks"]:
+        if name == "this work (f+eps)":
+            assert ratio <= rank + float(EPSILON) + 1e-9
+            # gamma=1 removes the 1/gamma constant from the expression,
+            # leaving the bound's shape for a constant-factor band.
+            bound = theorem9_round_bound(
+                max_degree, rank, EPSILON, gamma=1.0
+            )
+            assert rounds <= 10 * bound
+        elif name == "this work (f-approx)":
+            assert ratio <= rank + 1e-9
+        elif "khuller" in name:
+            assert ratio <= rank + float(EPSILON) + 1e-9
+        elif "doubling" in name:
+            assert ratio <= 2 * rank + 1e-9
+        elif "local-ratio" in name:
+            assert ratio <= rank + 1e-9
+
+
+def test_benchmark_single_solve_f4(benchmark):
+    """Timing anchor: one (f+eps) solve at f = 4."""
+    weights = uniform_weights(N, MAX_WEIGHT, seed=4)
+    hypergraph = uniform_hypergraph(N, M, 4, seed=28, weights=weights)
+    benchmark(lambda: this_work(hypergraph, EPSILON))

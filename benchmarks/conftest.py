@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark/experiment suite.
+
+Every experiment module runs its measurement inside a pytest-benchmark
+``pedantic`` call (one timed execution), prints its reproduction table,
+persists it under ``benchmarks/results/`` for EXPERIMENTS.md, and
+asserts the experiment's shape criteria.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a report table and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 78}\n{name}\n{'=' * 78}"
+    print(banner)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Round-by-round trace of Algorithm MWHVC on the CONGEST engine.
+
+Runs the paper's protocol on a tiny instance with tracing enabled and
+prints who said what in every round — the fastest way to understand the
+spec schedule's four phases (JOIN/LEVELS -> COVERED/HALVED -> FLAG ->
+RAISED) and the compact packing of Appendix B.
+
+Run:  python examples/congest_trace.py
+"""
+
+from fractions import Fraction
+
+from repro import AlgorithmConfig, Hypergraph
+from repro.congest.tracing import TraceRecorder
+from repro.core.runner import run_congest
+
+
+def trace_run(schedule: str) -> None:
+    hypergraph = Hypergraph(
+        4,
+        [(0, 1), (1, 2, 3), (0, 3)],
+        weights=[2, 5, 1, 4],
+    )
+    trace = TraceRecorder()
+    config = AlgorithmConfig(
+        epsilon=Fraction(1, 2), schedule=schedule, check_invariants=True
+    )
+    result = run_congest(hypergraph, config, trace=trace)
+    print(f"--- schedule = {schedule} ---")
+    print(
+        f"cover {sorted(result.cover)} (weight {result.weight}) in "
+        f"{result.iterations} iterations / {result.rounds} rounds\n"
+    )
+    print("message kinds per round (kind x count):")
+    print(trace.format_summary(max_rounds=40))
+    print()
+    # Vertex node ids are 0..3; hyperedge e gets node id 4 + e.
+    link_log = trace.messages_between(1, 4 + 1)
+    print("everything vertex 1 told hyperedge 1:")
+    for event in link_log:
+        print(
+            f"  round {event.round_number:>3}: {event.kind:<14} "
+            f"({event.bits} bits)"
+        )
+    print()
+
+
+def main() -> None:
+    trace_run("spec")
+    trace_run("compact")
+    print(
+        "note how compact packs LEVELS+FLAG into one uplink message and\n"
+        "HALVED+RAISED into one downlink message: 2 rounds/iteration\n"
+        "instead of 4, exactly the Appendix B encoding."
+    )
+
+
+if __name__ == "__main__":
+    main()

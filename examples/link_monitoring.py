@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Network link monitoring = weighted Vertex Cover (f = 2, Table 1).
+
+Scenario: every link of a data-center network must be observable by a
+monitoring agent installed on at least one of its endpoints.  Agent
+cost differs per host (CPU headroom).  Minimum-cost placement is
+weighted Vertex Cover — the f = 2 case where this paper matches the
+best known randomized O(log n) result deterministically.
+
+The example also demonstrates weight-independence (the paper's
+headline): scaling the cost spread by 10^4 leaves the round count
+untouched, while the weight-dependent dual-doubling baseline slows
+down.
+
+Run:  python examples/link_monitoring.py
+"""
+
+from fractions import Fraction
+
+from repro import solve_mwvc
+from repro.baselines.dual_doubling import dual_doubling_cover
+from repro.hypergraph.generators import (
+    geometric_weights,
+    random_graph,
+)
+
+
+def main() -> None:
+    num_hosts, num_links = 200, 600
+    topology = random_graph(num_hosts, num_links, seed=11)
+
+    print(f"network: {num_hosts} hosts, {num_links} links")
+    header = (
+        f"{'cost spread W':>14} | {'this-work rounds':>17} | "
+        f"{'doubling rounds':>16} | {'this-work cost':>14}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for spread in (1, 100, 10_000, 1_000_000):
+        weights = geometric_weights(num_hosts, spread, seed=13)
+        graph = topology.reweighted(weights)
+        ours = solve_mwvc(graph, Fraction(1, 2))
+        doubling = dual_doubling_cover(graph)
+        print(
+            f"{spread:>14} | {ours.rounds:>17} | "
+            f"{doubling.rounds:>16} | {ours.weight:>14}"
+        )
+        assert graph.is_cover(ours.cover)
+
+    print(
+        "\nthis-work rounds are flat in W (the paper's main claim); the"
+        "\ndual-doubling family pays ~log W extra iterations."
+    )
+
+    # Detailed look at one placement.
+    weights = geometric_weights(num_hosts, 10_000, seed=13)
+    graph = topology.reweighted(weights)
+    result = solve_mwvc(graph, Fraction(1, 4), executor="congest")
+    print(
+        f"\nplacement at W=10^4, eps=1/4: {len(result.cover)} monitors, "
+        f"cost {result.weight}, certified within "
+        f"{float(result.certified_ratio):.3f}x of optimal"
+    )
+    print(
+        f"engine: {result.metrics.messages} messages, "
+        f"max width {result.metrics.max_message_bits} bits "
+        f"(budget {result.metrics.bandwidth_cap_bits})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Capacity provisioning as a covering ILP (Section 5 / Theorem 19).
+
+Scenario: zones of a service need guaranteed capacity; each server
+class contributes a different amount per zone it reaches, and any
+number of servers per class may be purchased (integer variables, not
+binary).  "Buy cheapest capacity meeting every zone's demand" is a
+covering integer linear program:
+
+    minimize    sum_j  price_j * x_j
+    subject to  sum_j  capacity[i][j] * x_j  >=  demand_i   (every zone)
+                x_j integer >= 0
+
+The example runs the full Theorem 19 pipeline — binary expansion
+(Claim 18), monotone-CNF hyperedges (Lemma 14), Algorithm MWHVC in
+Appendix C mode — twice: once directly on the reduced hypergraph, and
+once on the genuine N(ILP) bipartite simulation with fragmented
+broadcasts, confirming both produce the identical purchase plan.
+
+Run:  python examples/resource_provisioning_ilp.py
+"""
+
+from fractions import Fraction
+
+from repro.ilp import CoveringILP, exact_ilp_optimum, solve_covering_ilp
+
+
+def build_ilp() -> CoveringILP:
+    # 4 server classes x 5 zones.  capacity[i][j] = units class j
+    # contributes to zone i (0 = class j cannot serve zone i).
+    capacity = [
+        [4, 2, 0, 1],
+        [0, 3, 2, 0],
+        [1, 0, 4, 2],
+        [2, 1, 0, 3],
+        [0, 2, 1, 4],
+    ]
+    demand = [8, 6, 9, 7, 10]
+    price = [5, 3, 4, 6]
+    return CoveringILP.from_dense(capacity, demand, price)
+
+
+def main() -> None:
+    ilp = build_ilp()
+    print(
+        f"ILP: {ilp.num_variables} server classes, "
+        f"{ilp.num_constraints} zones, f(A) = {ilp.row_rank}, "
+        f"Delta(A) = {ilp.column_degree}, M = {ilp.box_bound}"
+    )
+
+    epsilon = Fraction(1, 2)
+    direct = solve_covering_ilp(ilp, epsilon, method="direct")
+    print("\ndirect method (MWHVC on the reduced hypergraph):")
+    print(f"  purchase plan x = {direct.assignment}")
+    print(f"  cost            = {direct.objective}")
+    print(f"  hypergraph      : {direct.reduction.hypergraph}")
+    print(
+        f"  certified factor <= {float(direct.certified_guarantee):.3f} "
+        "(rank of reduced hypergraph + eps)"
+    )
+    print(f"  rounds (hypergraph network): {direct.rounds}")
+
+    distributed = solve_covering_ilp(ilp, epsilon, method="distributed")
+    print("\ndistributed method (N(ILP) simulation, Claim 15):")
+    print(f"  purchase plan x = {distributed.assignment}")
+    print(
+        f"  rounds on the bipartite ILP network: {distributed.rounds} "
+        "(incl. setup + fragmented mask broadcasts)"
+    )
+    metrics = distributed.cover_result.metrics
+    print(
+        f"  engine: {metrics.messages} messages, "
+        f"{metrics.fragmented_messages} fragmented"
+    )
+    assert direct.assignment == distributed.assignment
+
+    optimum, best = exact_ilp_optimum(ilp)
+    print(f"\nexact optimum (branch reference): cost {optimum}, x = {best}")
+    print(
+        f"approximation achieved: {direct.objective / optimum:.3f}x "
+        f"(certified bound {float(direct.certified_guarantee):.3f}x)"
+    )
+    assert ilp.is_feasible(direct.assignment)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables
+legacy (`--no-use-pep517`) editable installs on machines where PEP 660
+builds are unavailable (e.g. offline boxes missing `wheel`).
+"""
+
+from setuptools import setup
+
+setup()

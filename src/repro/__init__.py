@@ -1,0 +1,63 @@
+"""repro — reproduction of "Optimal Distributed Covering Algorithms".
+
+Ben-Basat, Even, Kawarabayashi, Schwartzman (DISC 2019): a
+deterministic distributed ``(f + eps)``-approximation for Minimum
+Weight Hypergraph Vertex Cover / weighted Set Cover in the CONGEST
+model, in ``O(log Δ / log log Δ)`` rounds for constant ``f`` and
+``eps`` — plus every substrate needed to run, verify and benchmark it:
+a CONGEST simulator, an LP-duality layer, covering-ILP reductions, and
+baseline algorithms.
+
+Quickstart::
+
+    from repro import Hypergraph, solve_mwhvc
+
+    hg = Hypergraph(4, [(0, 1, 2), (1, 3), (2, 3)], weights=[3, 2, 2, 4])
+    result = solve_mwhvc(hg, epsilon="1/2")
+    print(result.cover, result.summary())
+"""
+
+from repro._version import __version__
+from repro.core import (
+    AlgorithmConfig,
+    CoverResult,
+    solve_mwhvc,
+    solve_mwhvc_f_approx,
+    solve_mwvc,
+    solve_set_cover,
+)
+from repro.exceptions import (
+    AlgorithmError,
+    BandwidthExceededError,
+    CertificateError,
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    InvariantViolationError,
+    ProtocolViolationError,
+    ReproError,
+    RoundLimitExceededError,
+    SimulationError,
+)
+from repro.hypergraph import Hypergraph, SetCoverInstance
+
+__all__ = [
+    "__version__",
+    "AlgorithmConfig",
+    "CoverResult",
+    "solve_mwhvc",
+    "solve_mwhvc_f_approx",
+    "solve_mwvc",
+    "solve_set_cover",
+    "Hypergraph",
+    "SetCoverInstance",
+    "ReproError",
+    "InvalidInstanceError",
+    "InfeasibleInstanceError",
+    "SimulationError",
+    "BandwidthExceededError",
+    "ProtocolViolationError",
+    "RoundLimitExceededError",
+    "AlgorithmError",
+    "InvariantViolationError",
+    "CertificateError",
+]

@@ -1,0 +1,57 @@
+"""Analysis harness: bound formulas, scaling fits, sweeps, table rendering."""
+
+from repro.analysis.bounds import (
+    TABLE1_BOUNDS,
+    TABLE2_BOUNDS,
+    corollary10_round_bound,
+    kmw_lower_bound,
+    lemma6_raise_bound,
+    lemma7_stuck_bound,
+    log2,
+    log_star,
+    theorem8_iteration_bound,
+    theorem9_round_bound,
+)
+from repro.analysis.fitting import MODELS, ScalingFit, compare_models, fit_scaling
+from repro.analysis.paper_tables import (
+    TABLE1_ROWS,
+    TABLE2_ROWS,
+    PaperRow,
+    rows_as_table,
+)
+from repro.analysis.report import (
+    EXPERIMENT_ORDER,
+    available_results,
+    combined_report,
+)
+from repro.analysis.sweep import SweepPoint, aggregate_rounds, run_sweep
+from repro.analysis.tables import format_value, render_table
+
+__all__ = [
+    "TABLE1_BOUNDS",
+    "TABLE2_BOUNDS",
+    "corollary10_round_bound",
+    "kmw_lower_bound",
+    "lemma6_raise_bound",
+    "lemma7_stuck_bound",
+    "log2",
+    "log_star",
+    "theorem8_iteration_bound",
+    "theorem9_round_bound",
+    "MODELS",
+    "ScalingFit",
+    "compare_models",
+    "fit_scaling",
+    "EXPERIMENT_ORDER",
+    "available_results",
+    "combined_report",
+    "TABLE1_ROWS",
+    "TABLE2_ROWS",
+    "PaperRow",
+    "rows_as_table",
+    "SweepPoint",
+    "aggregate_rounds",
+    "run_sweep",
+    "format_value",
+    "render_table",
+]

@@ -1,0 +1,188 @@
+"""Closed-form round bounds for every algorithm in Tables 1 and 2.
+
+Rows of the paper's comparison tables that we did not reimplement are
+still *present* in the reproduction: their published bound formulas are
+evaluated here (up to the unknown constant factor) and printed next to
+measured rounds.  The paper's own bounds (Theorems 8–9, Corollaries
+10–12, Lemmas 6–7) are evaluated exactly as stated so benchmarks can
+check measured counters against them.
+
+All logarithms are base 2, matching the implementation's levels and
+bids.  Functions return floats; callers compare shapes, not constants.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.core.params import level_cap
+
+__all__ = [
+    "log2",
+    "log_star",
+    "theorem8_iteration_bound",
+    "theorem9_round_bound",
+    "corollary10_round_bound",
+    "kmw_lower_bound",
+    "lemma6_raise_bound",
+    "lemma7_stuck_bound",
+    "TABLE1_BOUNDS",
+    "TABLE2_BOUNDS",
+]
+
+
+def log2(value: float) -> float:
+    """Base-2 log, clamped below at 1 so bound products stay meaningful."""
+    return max(1.0, math.log2(max(value, 2.0)))
+
+
+def log_star(value: float) -> float:
+    """Iterated logarithm ``log* x`` (base 2)."""
+    count = 0
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return float(count)
+
+
+def _z(rank: int, epsilon: Fraction) -> int:
+    return level_cap(max(1, rank), Fraction(epsilon))
+
+
+def theorem8_iteration_bound(
+    max_degree: int, rank: int, epsilon: Fraction, alpha: float
+) -> float:
+    """Theorem 8: iterations <= log_alpha(Δ · 2^(f z)) + f · z · alpha."""
+    rank = max(1, rank)
+    z = _z(rank, epsilon)
+    alpha = max(2.0, float(alpha))
+    raise_term = math.log(
+        max(2.0, max_degree * 2.0 ** (rank * z)), alpha
+    )
+    stuck_term = rank * z * alpha
+    return raise_term + stuck_term
+
+
+def theorem9_round_bound(
+    max_degree: int, rank: int, epsilon: Fraction, gamma: float = 0.001
+) -> float:
+    """Theorem 9's round expression (without the hidden constant)::
+
+        f log(f/eps) + log Δ / (gamma log log Δ)
+        + min(log Δ, f log(f/eps) (log Δ)^gamma)
+    """
+    rank = max(1, rank)
+    f_term = rank * log2(rank / float(epsilon))
+    ld = log2(max_degree)
+    lld = log2(ld)
+    return (
+        f_term
+        + ld / (gamma * lld)
+        + min(ld, f_term * ld**gamma)
+    )
+
+
+def corollary10_round_bound(rank: int, num_vertices: int) -> float:
+    """Corollary 10: the f-approximation runs in O(f log n) rounds."""
+    return max(1, rank) * log2(num_vertices)
+
+
+def kmw_lower_bound(max_degree: int) -> float:
+    """The KMW lower bound Ω(log Δ / log log Δ) every algorithm obeys."""
+    ld = log2(max_degree)
+    return ld / log2(ld)
+
+
+def lemma6_raise_bound(
+    max_degree: int, rank: int, epsilon: Fraction, alpha: float
+) -> float:
+    """Lemma 6: e-raise iterations per edge <= log_alpha(Δ · 2^(f z))."""
+    rank = max(1, rank)
+    z = _z(rank, epsilon)
+    return math.log(
+        max(2.0, max_degree * 2.0 ** (rank * z)), max(2.0, float(alpha))
+    )
+
+
+def lemma7_stuck_bound(alpha: float, *, single_increment: bool = False) -> float:
+    """Lemma 7 / Lemma 22: v-stuck iterations per (vertex, level)."""
+    bound = max(2.0, float(alpha))
+    return 2 * bound if single_increment else bound
+
+
+# ----------------------------------------------------------------------
+# Table 1 (weighted vertex cover, f = 2) bound formulas.
+# Signature: (n, max_degree, W, eps) -> float.  Names follow the rows.
+# ----------------------------------------------------------------------
+
+TABLE1_BOUNDS = {
+    "polishchuk-suomela [21] (3-approx, unweighted)": (
+        lambda n, d, W, eps: float(d)
+    ),
+    "astrand et al. [1] (2-approx, unweighted)": (
+        lambda n, d, W, eps: float(d) ** 2
+    ),
+    "panconesi-rizzi [20]": lambda n, d, W, eps: d + log_star(n),
+    "astrand-suomela [2]": lambda n, d, W, eps: d + log_star(W),
+    "khuller-vishkin-young [15] (2-approx)": (
+        lambda n, d, W, eps: log2(n) ** 2
+    ),
+    "ben-basat et al. [5]": (
+        lambda n, d, W, eps: log2(n) * log2(d) / log2(log2(d)) ** 2
+    ),
+    "grandoni-konemann-panconesi [12] / koufogiannakis-young [16]": (
+        lambda n, d, W, eps: log2(n)
+    ),
+    "this work (2-approx)": lambda n, d, W, eps: 2 * log2(n),
+    "hochbaum/kmw [13,18] (2+eps)": (
+        lambda n, d, W, eps: (1.0 / eps) ** 4 * log2(W * d)
+    ),
+    "khuller-vishkin-young [15] (2+eps)": (
+        lambda n, d, W, eps: log2(1.0 / eps) * log2(n)
+    ),
+    "bar-yehuda et al. [4] (2+eps)": (
+        lambda n, d, W, eps: (1.0 / eps) * log2(d) / log2(log2(d))
+    ),
+    "ben-basat et al. [5] (2+eps)": (
+        lambda n, d, W, eps: log2(d) / log2(log2(d))
+        + log2(1.0 / eps) * log2(d) / log2(log2(d)) ** 2
+    ),
+    "this work (2+eps)": (
+        lambda n, d, W, eps: log2(d) / log2(log2(d))
+        + log2(1.0 / eps) * log2(d) ** 0.001
+    ),
+}
+
+# ----------------------------------------------------------------------
+# Table 2 (hypergraph vertex cover) bound formulas.
+# Signature: (n, max_degree, W, f, eps) -> float.
+# ----------------------------------------------------------------------
+
+TABLE2_BOUNDS = {
+    "astrand-suomela [2] (f-approx)": (
+        lambda n, d, W, f, eps: f**2 * d**2 + f * d * log_star(W)
+    ),
+    "khuller-vishkin-young [15] (f-approx)": (
+        lambda n, d, W, f, eps: f * log2(n) ** 2
+    ),
+    "this work (f-approx)": lambda n, d, W, f, eps: f * log2(n),
+    "even-ghaffari-medina [9] (f+eps, unweighted)": (
+        lambda n, d, W, f, eps: (f / eps)
+        * log2(f * d)
+        / log2(log2(f * d))
+    ),
+    "khuller-vishkin-young [15] (f+eps)": (
+        lambda n, d, W, f, eps: f * log2(f / eps) * log2(n)
+    ),
+    "kuhn-moscibroda-wattenhofer [18] (f+eps)": (
+        lambda n, d, W, f, eps: (1.0 / eps) ** 4
+        * f**4
+        * log2(f)
+        * log2(W * d)
+    ),
+    "this work (f+eps)": (
+        lambda n, d, W, f, eps: f * log2(f / eps) * log2(d) ** 0.001
+        + log2(d) / log2(log2(d))
+    ),
+}

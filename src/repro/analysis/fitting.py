@@ -1,0 +1,84 @@
+"""Scaling-law fits for the round-complexity experiments.
+
+Experiment E3 asks: do measured rounds grow like
+``log Δ / log log Δ`` (the paper's optimal bound) rather than plain
+``log Δ``?  We answer by least-squares fitting ``rounds ~ a·g(Δ) + b``
+for each candidate ``g`` and comparing residuals — the canonical way to
+check an asymptotic *shape* against finite measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScalingFit", "fit_scaling", "MODELS", "compare_models"]
+
+
+def _log_delta(value: float) -> float:
+    return math.log2(max(value, 2.0))
+
+
+#: Candidate growth models g(Δ) for rounds-vs-degree data.
+MODELS: dict[str, Callable[[float], float]] = {
+    "log_delta": lambda d: _log_delta(d),
+    "log_delta_over_loglog": lambda d: _log_delta(d)
+    / max(1.0, math.log2(max(2.0, _log_delta(d)))),
+    "sqrt_delta": lambda d: math.sqrt(max(d, 1.0)),
+    "linear_delta": lambda d: float(d),
+    "log_n": lambda n: _log_delta(n),
+    "log_n_squared": lambda n: _log_delta(n) ** 2,
+    "constant": lambda d: 1.0,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingFit:
+    """Result of fitting ``y ~ a·g(x) + b``."""
+
+    model: str
+    slope: float
+    intercept: float
+    residual_rms: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Fitted value at ``x``."""
+        return self.slope * MODELS[self.model](x) + self.intercept
+
+
+def fit_scaling(
+    xs: Sequence[float], ys: Sequence[float], model: str
+) -> ScalingFit:
+    """Least-squares fit of one model; raises KeyError on unknown names."""
+    transform = MODELS[model]
+    gx = np.asarray([transform(x) for x in xs], dtype=float)
+    y = np.asarray(ys, dtype=float)
+    design = np.column_stack([gx, np.ones_like(gx)])
+    coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+    slope, intercept = float(coefficients[0]), float(coefficients[1])
+    predictions = design @ coefficients
+    residuals = y - predictions
+    rms = float(np.sqrt(np.mean(residuals**2)))
+    total = float(np.sum((y - y.mean()) ** 2))
+    explained = float(np.sum((predictions - y.mean()) ** 2))
+    r_squared = explained / total if total > 0 else 1.0
+    return ScalingFit(
+        model=model,
+        slope=slope,
+        intercept=intercept,
+        residual_rms=rms,
+        r_squared=r_squared,
+    )
+
+
+def compare_models(
+    xs: Sequence[float], ys: Sequence[float], models: Sequence[str]
+) -> list[ScalingFit]:
+    """Fit several models; best (lowest residual RMS) first."""
+    fits = [fit_scaling(xs, ys, model) for model in models]
+    fits.sort(key=lambda fit: fit.residual_rms)
+    return fits

@@ -1,0 +1,64 @@
+"""Combined experiment report assembly.
+
+``pytest benchmarks/ --benchmark-only`` regenerates one table per
+experiment under ``benchmarks/results/``; this module stitches them
+into a single document (the measured backbone of EXPERIMENTS.md) so a
+reproduction run can be summarized with one call::
+
+    from repro.analysis.report import combined_report
+    print(combined_report("benchmarks/results"))
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["EXPERIMENT_ORDER", "combined_report", "available_results"]
+
+#: Canonical experiment order (matching DESIGN.md's per-experiment index).
+EXPERIMENT_ORDER = (
+    "table1_vertex_cover",
+    "table2_hypergraph_cover",
+    "rounds_vs_delta",
+    "weight_independence",
+    "fapprox_scaling",
+    "approx_ratio",
+    "ilp_covering",
+    "ilp_box_sweep",
+    "ablation_alpha",
+    "ablation_schedule",
+    "executor_message_stats",
+)
+
+
+def available_results(results_dir: str | Path) -> list[str]:
+    """Experiment names with a result table present, canonical order first."""
+    directory = Path(results_dir)
+    present = {path.stem for path in directory.glob("*.txt")}
+    ordered = [name for name in EXPERIMENT_ORDER if name in present]
+    extras = sorted(present - set(EXPERIMENT_ORDER))
+    return ordered + extras
+
+
+def combined_report(results_dir: str | Path) -> str:
+    """Concatenate all experiment tables into one annotated document."""
+    directory = Path(results_dir)
+    sections: list[str] = [
+        "MEASURED EXPERIMENT TABLES",
+        f"(source: {directory})",
+        "",
+    ]
+    names = available_results(directory)
+    if not names:
+        return (
+            "no experiment results found — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    for name in names:
+        body = (directory / f"{name}.txt").read_text(encoding="utf-8")
+        sections.append("=" * 78)
+        sections.append(name)
+        sections.append("=" * 78)
+        sections.append(body.rstrip())
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,89 @@
+"""Parameter-sweep helpers shared by the benchmark modules.
+
+A sweep runs a set of algorithms over a family of instances and
+collects flat result rows (dicts) ready for table rendering or fitting.
+Each instance is produced by a factory from a parameter value, so the
+benchmark modules read as declarative experiment descriptions.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.baselines.base import BaselineRun
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["SweepPoint", "run_sweep", "aggregate_rounds"]
+
+InstanceFactory = Callable[[object, int], Hypergraph]
+Algorithm = Callable[[Hypergraph], BaselineRun]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter, seed, algorithm) measurement."""
+
+    parameter: object
+    seed: int
+    algorithm: str
+    rounds: int
+    iterations: int
+    weight: int
+    ratio_vs_dual: float | None
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat row for table rendering."""
+        return {
+            "parameter": self.parameter,
+            "seed": self.seed,
+            "algorithm": self.algorithm,
+            "rounds": self.rounds,
+            "iterations": self.iterations,
+            "weight": self.weight,
+            "ratio_vs_dual": self.ratio_vs_dual,
+        }
+
+
+def run_sweep(
+    parameters: Sequence[object],
+    instance_factory: InstanceFactory,
+    algorithms: Mapping[str, Algorithm],
+    *,
+    seeds: Sequence[int] = (0,),
+) -> list[SweepPoint]:
+    """Run every algorithm on every (parameter, seed) instance."""
+    points: list[SweepPoint] = []
+    for parameter in parameters:
+        for seed in seeds:
+            hypergraph = instance_factory(parameter, seed)
+            for name, algorithm in algorithms.items():
+                run = algorithm(hypergraph)
+                ratio = run.certified_ratio()
+                points.append(
+                    SweepPoint(
+                        parameter=parameter,
+                        seed=seed,
+                        algorithm=name,
+                        rounds=run.rounds,
+                        iterations=run.iterations,
+                        weight=run.weight,
+                        ratio_vs_dual=float(ratio) if ratio else None,
+                    )
+                )
+    return points
+
+
+def aggregate_rounds(
+    points: Sequence[SweepPoint],
+) -> dict[tuple[object, str], float]:
+    """Mean rounds per (parameter, algorithm) across seeds."""
+    buckets: dict[tuple[object, str], list[int]] = {}
+    for point in points:
+        buckets.setdefault((point.parameter, point.algorithm), []).append(
+            point.rounds
+        )
+    return {
+        key: statistics.mean(values) for key, values in buckets.items()
+    }

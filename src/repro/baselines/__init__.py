@@ -1,0 +1,42 @@
+"""Baseline covering algorithms for the Table 1 / Table 2 comparisons."""
+
+from repro.baselines.base import BaselineRun
+from repro.baselines.dual_doubling import (
+    DOUBLING_ROUNDS_PER_ITERATION,
+    dual_doubling_cover,
+)
+from repro.baselines.greedy import greedy_set_cover
+from repro.baselines.kvy import KVY_ROUNDS_PER_ITERATION, kvy_cover
+from repro.baselines.local_ratio_distributed import (
+    LOCAL_RATIO_ROUNDS_PER_ITERATION,
+    distributed_local_ratio_cover,
+)
+from repro.baselines.matching import (
+    MATCHING_ROUNDS_PER_ITERATION,
+    matching_cover,
+)
+from repro.baselines.registry import (
+    BASELINES,
+    BaselineRunner,
+    this_work,
+    this_work_f_approx,
+)
+from repro.baselines.sequential import local_ratio_cover
+
+__all__ = [
+    "BaselineRun",
+    "dual_doubling_cover",
+    "DOUBLING_ROUNDS_PER_ITERATION",
+    "greedy_set_cover",
+    "kvy_cover",
+    "KVY_ROUNDS_PER_ITERATION",
+    "distributed_local_ratio_cover",
+    "LOCAL_RATIO_ROUNDS_PER_ITERATION",
+    "matching_cover",
+    "MATCHING_ROUNDS_PER_ITERATION",
+    "BASELINES",
+    "BaselineRunner",
+    "this_work",
+    "this_work_f_approx",
+    "local_ratio_cover",
+]

@@ -1,0 +1,76 @@
+"""Common result type and round-accounting conventions for baselines.
+
+Baselines are implemented as synchronous phase loops rather than as
+full CONGEST node programs: each iteration of a baseline maps to a
+documented constant number of communication rounds on the paper's
+bipartite network, and ``rounds`` reports that product.  This keeps the
+currency comparable with the main algorithm's engine-measured rounds
+(which also equal rounds-per-iteration times iterations, plus the
+two-round initialization) while keeping the baseline implementations
+small enough to audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.exceptions import CertificateError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.validation import require_cover
+
+__all__ = ["BaselineRun"]
+
+
+@dataclass(frozen=True)
+class BaselineRun:
+    """Outcome of one baseline execution.
+
+    ``rounds`` follows the convention documented by each baseline
+    (iterations times its rounds-per-iteration constant).  ``extra``
+    carries algorithm-specific diagnostics (e.g. the dual packing of
+    primal-dual baselines).
+    """
+
+    algorithm: str
+    cover: frozenset[int]
+    weight: int
+    iterations: int
+    rounds: int
+    guarantee: str
+    extra: dict = field(default_factory=dict)
+
+    @staticmethod
+    def build(
+        algorithm: str,
+        hypergraph: Hypergraph,
+        cover: set[int],
+        iterations: int,
+        rounds: int,
+        guarantee: str,
+        extra: dict | None = None,
+    ) -> "BaselineRun":
+        """Validate the cover and package the run."""
+        chosen = require_cover(hypergraph, cover)
+        return BaselineRun(
+            algorithm=algorithm,
+            cover=frozenset(chosen),
+            weight=hypergraph.cover_weight(chosen),
+            iterations=iterations,
+            rounds=rounds,
+            guarantee=guarantee,
+            extra=dict(extra or {}),
+        )
+
+    def certified_ratio(self) -> Fraction | None:
+        """``weight / dual_total`` when the run carries a dual packing."""
+        dual_total = self.extra.get("dual_total")
+        if not dual_total:
+            return None
+        ratio = Fraction(self.weight) / Fraction(dual_total)
+        if ratio < 1:
+            raise CertificateError(
+                f"{self.algorithm}: dual total {dual_total} exceeds the "
+                f"cover weight {self.weight}; packing must be infeasible"
+            )
+        return ratio

@@ -1,0 +1,96 @@
+"""Weight-dependent dual-doubling baseline (the "[13]/[18]" family).
+
+The textbook distributed covering scheme whose round complexity carries
+a ``log W`` factor — the dependence the paper's algorithm eliminates:
+
+* initialize every dual uniformly at ``delta(e) = w_min / (2 Δ)``
+  (safe: each vertex's load starts at most
+  ``deg(v) · w_min/(2Δ) <= w(v)/2``; the global ``w_min`` and ``Δ``
+  are classic global knowledge for this family);
+* each iteration, vertices whose load reached ``w(v)/2`` join the
+  cover; every surviving edge then *doubles* its dual.  Doubling is
+  always safe: every non-joined vertex has load below ``w(v)/2``, so
+  even doubling all its edges keeps the packing feasible.
+
+The cover consists of ``1/2``-tight vertices of a feasible packing,
+hence a ``2f``-approximation, and an edge doubles until some member's
+load reaches ``w(v)/2`` — at most ``log2(W·Δ) + O(1)`` times, the
+``O(log(W·Δ))`` round shape of Hochbaum-style duals that
+Kuhn–Moscibroda–Wattenhofer refine to ``(f+eps)`` in
+``O(eps^-4 f^4 log f log(M Δ))``.  We use the simple 2f variant as the
+measurable stand-in for that family: experiment E4 only needs its
+``log W`` growth, which the uniform initialization exhibits exactly
+(a per-edge argmin initialization would hide it — that refinement is
+precisely what this paper's bid mechanism formalizes).
+
+Round accounting: 2 rounds of initialization plus 2 rounds per
+iteration (join announcements up, covered notifications down; the
+doubling itself needs no communication).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.baselines.base import BaselineRun
+from repro.exceptions import RoundLimitExceededError
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["dual_doubling_cover", "DOUBLING_ROUNDS_PER_ITERATION"]
+
+DOUBLING_ROUNDS_PER_ITERATION = 2
+
+
+def dual_doubling_cover(
+    hypergraph: Hypergraph, *, max_iterations: int = 1_000_000
+) -> BaselineRun:
+    """Run the dual-doubling ``2f``-approximation."""
+    load = [Fraction(0)] * hypergraph.num_vertices
+    delta: dict[int, Fraction] = {}
+    if hypergraph.num_edges:
+        initial = Fraction(
+            min(hypergraph.weights), 2 * max(1, hypergraph.max_degree)
+        )
+        for edge_id, edge in enumerate(hypergraph.edges):
+            delta[edge_id] = initial
+            for member in edge:
+                load[member] += initial
+
+    cover: set[int] = set()
+    live_edges: set[int] = set(range(hypergraph.num_edges))
+    iterations = 0
+    while live_edges:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RoundLimitExceededError(
+                f"dual doubling did not terminate in {max_iterations} iterations"
+            )
+        joiners = {
+            vertex
+            for vertex in range(hypergraph.num_vertices)
+            if vertex not in cover
+            and 2 * load[vertex] >= hypergraph.weight(vertex)
+        }
+        cover.update(joiners)
+        newly_covered = {
+            edge_id
+            for edge_id in live_edges
+            if any(member in joiners for member in hypergraph.edge(edge_id))
+        }
+        live_edges -= newly_covered
+        for edge_id in live_edges:
+            increment = delta[edge_id]
+            delta[edge_id] += increment
+            for member in hypergraph.edge(edge_id):
+                load[member] += increment
+
+    dual_total = sum(delta.values(), Fraction(0))
+    return BaselineRun.build(
+        algorithm="dual-doubling",
+        hypergraph=hypergraph,
+        cover=cover,
+        iterations=iterations,
+        rounds=2 + DOUBLING_ROUNDS_PER_ITERATION * iterations,
+        guarantee="2f",
+        extra={"dual": delta, "dual_total": dual_total},
+    )

@@ -1,0 +1,150 @@
+"""``repro-cover``: command-line front end for the covering solvers.
+
+Subcommands
+-----------
+solve
+    Solve an MWHVC instance from a ``.hg`` file (see
+    :mod:`repro.hypergraph.io` for the format) and print the cover.
+generate
+    Write a random instance to a ``.hg`` file.
+stats
+    Print instance statistics (n, m, f, Δ, W, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.params import AlgorithmConfig
+from repro.core.solver import solve_mwhvc, solve_mwhvc_f_approx
+from repro.exceptions import ReproError
+from repro.hypergraph import generators, io
+from repro.hypergraph.stats import instance_stats
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cover",
+        description=(
+            "Distributed (f+eps)-approximate weighted hypergraph vertex "
+            "cover (DISC 2019 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="solve an instance file")
+    solve.add_argument("path", help="instance file (.hg format)")
+    solve.add_argument(
+        "--epsilon", default="1", help="approximation slack in (0,1], e.g. 1/2"
+    )
+    solve.add_argument(
+        "--f-approx",
+        action="store_true",
+        help="use Corollary 10's exact f-approximation epsilon",
+    )
+    solve.add_argument(
+        "--executor",
+        choices=("lockstep", "congest"),
+        default="lockstep",
+        help="lockstep (fast) or congest (message-passing engine)",
+    )
+    solve.add_argument(
+        "--schedule", choices=("spec", "compact"), default="spec"
+    )
+    solve.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="verify Claims 1, 2, 4 every iteration",
+    )
+    solve.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full result as JSON instead of a summary",
+    )
+
+    generate = commands.add_parser(
+        "generate", help="write a random instance file"
+    )
+    generate.add_argument("path", help="output file")
+    generate.add_argument("--vertices", type=int, default=100)
+    generate.add_argument("--edges", type=int, default=200)
+    generate.add_argument("--rank", type=int, default=3)
+    generate.add_argument("--max-weight", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=0)
+
+    stats = commands.add_parser("stats", help="print instance statistics")
+    stats.add_argument("path", help="instance file (.hg format)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success, 2 usage/instance errors (bad file, malformed
+    instance, invalid parameters).
+    """
+    arguments = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(arguments)
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(arguments: argparse.Namespace) -> int:
+    if arguments.command == "solve":
+        hypergraph = io.load(arguments.path)
+        config = AlgorithmConfig(
+            epsilon=arguments.epsilon,
+            schedule=arguments.schedule,
+            check_invariants=arguments.check_invariants,
+        )
+        if arguments.f_approx:
+            result = solve_mwhvc_f_approx(
+                hypergraph, config=config, executor=arguments.executor
+            )
+        else:
+            result = solve_mwhvc(
+                hypergraph, config=config, executor=arguments.executor
+            )
+        if arguments.json:
+            print(result.to_json(include_dual=True))
+        else:
+            print(result.summary())
+            print("cover:", " ".join(map(str, sorted(result.cover))))
+        return 0
+    if arguments.command == "generate":
+        weights = generators.uniform_weights(
+            arguments.vertices, arguments.max_weight, seed=arguments.seed + 1
+        )
+        hypergraph = generators.mixed_rank_hypergraph(
+            arguments.vertices,
+            arguments.edges,
+            arguments.rank,
+            seed=arguments.seed,
+            weights=weights,
+        )
+        io.save(
+            hypergraph,
+            arguments.path,
+            comment=(
+                f"random instance: n={arguments.vertices} "
+                f"m={arguments.edges} rank<={arguments.rank} "
+                f"seed={arguments.seed}"
+            ),
+        )
+        print(f"wrote {hypergraph!r} to {arguments.path}")
+        return 0
+    if arguments.command == "stats":
+        hypergraph = io.load(arguments.path)
+        for key, value in instance_stats(hypergraph).as_dict().items():
+            print(f"{key:>18}: {value}")
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""CONGEST-model simulator: synchronous rounds, O(log n)-bit messages."""
+
+from repro.congest.bipartite import CoveringNetworkMap, build_covering_network
+from repro.congest.engine import SynchronousEngine, default_bandwidth_cap
+from repro.congest.message import KIND_TAG_BITS, Message, int_bits
+from repro.congest.metrics import RunMetrics
+from repro.congest.network import Network
+from repro.congest.node import Node, Outbox
+from repro.congest.tracing import TraceEvent, TraceRecorder
+
+__all__ = [
+    "CoveringNetworkMap",
+    "build_covering_network",
+    "SynchronousEngine",
+    "default_bandwidth_cap",
+    "KIND_TAG_BITS",
+    "Message",
+    "int_bits",
+    "RunMetrics",
+    "Network",
+    "Node",
+    "Outbox",
+    "TraceEvent",
+    "TraceRecorder",
+]

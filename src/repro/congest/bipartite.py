@@ -1,0 +1,87 @@
+"""The covering communication network of the paper (Section 2).
+
+For a hypergraph ``G = (V, E)`` the communication network is the
+bipartite graph ``N(E ∪ V, {{e, v} | v ∈ e})``: vertex nodes ("servers")
+on one side, hyperedge nodes ("clients") on the other, with a link
+exactly when the vertex belongs to the hyperedge.  Vertex ``v`` gets
+network id ``v``; hyperedge ``e`` gets network id ``n + e``.
+
+This module builds the topology and provides the id translation, used
+by both the MWHVC node programs and the trace tooling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.congest.network import Network
+from repro.congest.node import Node
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["CoveringNetworkMap", "build_covering_network"]
+
+
+class CoveringNetworkMap:
+    """Id translation between hypergraph entities and network nodes."""
+
+    __slots__ = ("num_vertices", "num_edges")
+
+    def __init__(self, hypergraph: Hypergraph) -> None:
+        self.num_vertices = hypergraph.num_vertices
+        self.num_edges = hypergraph.num_edges
+
+    def vertex_node(self, vertex: int) -> int:
+        """Network id of hypergraph vertex ``vertex``."""
+        return vertex
+
+    def edge_node(self, edge_id: int) -> int:
+        """Network id of hyperedge ``edge_id``."""
+        return self.num_vertices + edge_id
+
+    def is_vertex_node(self, node_id: int) -> bool:
+        """Whether a network id belongs to the vertex side."""
+        return node_id < self.num_vertices
+
+    def to_vertex(self, node_id: int) -> int:
+        """Hypergraph vertex id of a vertex-side network id."""
+        if not self.is_vertex_node(node_id):
+            raise ValueError(f"network node {node_id} is not a vertex node")
+        return node_id
+
+    def to_edge(self, node_id: int) -> int:
+        """Hyperedge id of an edge-side network id."""
+        if self.is_vertex_node(node_id):
+            raise ValueError(f"network node {node_id} is not an edge node")
+        return node_id - self.num_vertices
+
+
+def build_covering_network(
+    hypergraph: Hypergraph,
+    vertex_factory: Callable[[int, tuple[int, ...]], Node],
+    edge_factory: Callable[[int, tuple[int, ...]], Node],
+) -> tuple[Network, CoveringNetworkMap]:
+    """Build and fully attach the covering network for ``hypergraph``.
+
+    ``vertex_factory(vertex, neighbor_node_ids)`` and
+    ``edge_factory(edge_id, neighbor_node_ids)`` create the node
+    programs; neighbor ids are already translated to network ids.
+    """
+    mapping = CoveringNetworkMap(hypergraph)
+    adjacency: dict[int, tuple[int, ...]] = {}
+    for vertex in range(hypergraph.num_vertices):
+        adjacency[mapping.vertex_node(vertex)] = tuple(
+            mapping.edge_node(edge_id)
+            for edge_id in hypergraph.incident_edges(vertex)
+        )
+    for edge_id, edge in enumerate(hypergraph.edges):
+        adjacency[mapping.edge_node(edge_id)] = tuple(
+            mapping.vertex_node(vertex) for vertex in edge
+        )
+    network = Network(adjacency)
+    for vertex in range(hypergraph.num_vertices):
+        node_id = mapping.vertex_node(vertex)
+        network.attach(vertex_factory(vertex, network.neighbors(node_id)))
+    for edge_id in range(hypergraph.num_edges):
+        node_id = mapping.edge_node(edge_id)
+        network.attach(edge_factory(edge_id, network.neighbors(node_id)))
+    return network, mapping

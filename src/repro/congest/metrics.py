@@ -1,0 +1,56 @@
+"""Run metrics collected by the synchronous engine.
+
+Round counts are the paper's complexity measure; message/bit counts and
+the maximum message width are what substantiate the CONGEST claim
+(every message fits in ``O(log n)`` bits).  The engine fills one
+:class:`RunMetrics` per execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass(slots=True)
+class RunMetrics:
+    """Counters for one simulation run."""
+
+    rounds: int = 0
+    messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    dropped_messages: int = 0
+    fragmented_messages: int = 0
+    fragment_rounds: int = 0
+    bandwidth_cap_bits: int = 0
+    bandwidth_violations: int = 0
+    messages_per_round: list[int] = field(default_factory=list)
+
+    def record_message(self, bits: int) -> None:
+        """Account one delivered message of ``bits`` bits."""
+        self.messages += 1
+        self.total_bits += bits
+        if bits > self.max_message_bits:
+            self.max_message_bits = bits
+
+    @property
+    def mean_message_bits(self) -> float:
+        """Average message width in bits (0.0 when no messages)."""
+        return self.total_bits / self.messages if self.messages else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reports."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "mean_message_bits": self.mean_message_bits,
+            "dropped_messages": self.dropped_messages,
+            "fragmented_messages": self.fragmented_messages,
+            "fragment_rounds": self.fragment_rounds,
+            "bandwidth_cap_bits": self.bandwidth_cap_bits,
+            "bandwidth_violations": self.bandwidth_violations,
+        }

@@ -1,0 +1,109 @@
+"""Static network topology: nodes and links.
+
+The topology is fixed for the lifetime of a simulation (the CONGEST
+model has no churn).  The network validates that registered nodes agree
+with the declared adjacency, so protocol bugs surface as construction
+errors instead of silent misroutes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.congest.node import Node
+from repro.exceptions import ProtocolViolationError
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A set of :class:`~repro.congest.node.Node` objects plus adjacency.
+
+    Parameters
+    ----------
+    adjacency:
+        Mapping from node id to an iterable of neighbor ids.  Links are
+        validated to be symmetric (CONGEST links are bidirectional).
+    """
+
+    __slots__ = ("_adjacency", "_nodes")
+
+    def __init__(self, adjacency: Mapping[int, Iterable[int]]) -> None:
+        frozen = {
+            node_id: tuple(neighbors) for node_id, neighbors in adjacency.items()
+        }
+        for node_id, neighbors in frozen.items():
+            seen: set[int] = set()
+            for neighbor in neighbors:
+                if neighbor == node_id:
+                    raise ProtocolViolationError(
+                        f"node {node_id} lists itself as a neighbor"
+                    )
+                if neighbor not in frozen:
+                    raise ProtocolViolationError(
+                        f"node {node_id} lists unknown neighbor {neighbor}"
+                    )
+                if neighbor in seen:
+                    raise ProtocolViolationError(
+                        f"node {node_id} lists neighbor {neighbor} twice"
+                    )
+                seen.add(neighbor)
+        for node_id, neighbors in frozen.items():
+            for neighbor in neighbors:
+                if node_id not in frozen[neighbor]:
+                    raise ProtocolViolationError(
+                        f"asymmetric link: {node_id}->{neighbor} has no reverse"
+                    )
+        self._adjacency = frozen
+        self._nodes: dict[int, Node] = {}
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """All node ids in ascending order."""
+        return tuple(sorted(self._adjacency))
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes."""
+        return len(self._adjacency)
+
+    @property
+    def num_links(self) -> int:
+        """Total number of (bidirectional) links."""
+        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+
+    def neighbors(self, node_id: int) -> tuple[int, ...]:
+        """Neighbor ids of ``node_id``."""
+        return self._adjacency[node_id]
+
+    def attach(self, node: Node) -> None:
+        """Register a node program at its id; adjacency must match."""
+        if node.node_id not in self._adjacency:
+            raise ProtocolViolationError(
+                f"node id {node.node_id} is not part of this network"
+            )
+        if node.node_id in self._nodes:
+            raise ProtocolViolationError(
+                f"node id {node.node_id} already has an attached program"
+            )
+        declared = tuple(sorted(node.neighbors))
+        expected = tuple(sorted(self._adjacency[node.node_id]))
+        if declared != expected:
+            raise ProtocolViolationError(
+                f"node {node.node_id} declares neighbors {declared} but the "
+                f"network has {expected}"
+            )
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> Node:
+        """The attached node program at ``node_id``."""
+        return self._nodes[node_id]
+
+    @property
+    def fully_attached(self) -> bool:
+        """Whether every network position has a node program."""
+        return len(self._nodes) == len(self._adjacency)
+
+    def attached_nodes(self) -> list[Node]:
+        """All attached programs in ascending id order."""
+        return [self._nodes[node_id] for node_id in sorted(self._nodes)]

@@ -1,0 +1,72 @@
+"""Node abstraction for synchronous message-passing protocols.
+
+A :class:`Node` owns local state and reacts to one synchronous round at
+a time: the engine calls :meth:`Node.on_round` with the messages that
+arrived this round, and the node returns the messages to send (delivered
+at the start of the next round).  Nodes terminate *locally* by calling
+:meth:`Node.halt` — exactly the termination discipline of the paper,
+where each vertex/edge stops on its own once its outcome is decided.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Mapping
+
+from repro.congest.message import Message
+
+__all__ = ["Node", "Outbox"]
+
+Outbox = dict[int, Message]
+
+
+class Node(ABC):
+    """Base class for protocol participants.
+
+    Subclasses implement :meth:`on_round`.  The engine guarantees:
+
+    * ``on_round`` is called once per round, in ascending node-id order
+      (the order is unobservable to a correct protocol — nodes only
+      interact through messages — but makes simulations deterministic);
+    * after :meth:`halt` the node is never called again and any message
+      later addressed to it is counted as dropped.
+    """
+
+    __slots__ = ("node_id", "neighbors", "_halted")
+
+    def __init__(self, node_id: int, neighbors: Iterable[int]) -> None:
+        self.node_id = int(node_id)
+        self.neighbors = tuple(neighbors)
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        """Whether this node has locally terminated."""
+        return self._halted
+
+    def halt(self) -> None:
+        """Locally terminate; the engine will not schedule this node again."""
+        self._halted = True
+
+    @abstractmethod
+    def on_round(self, round_number: int, inbox: Mapping[int, Message]) -> Outbox:
+        """Process one synchronous round.
+
+        Parameters
+        ----------
+        round_number:
+            1-based round counter (round 1 has an empty inbox).
+        inbox:
+            Messages delivered this round, keyed by sender node id.
+
+        Returns
+        -------
+        Outbox
+            Messages to deliver next round, keyed by destination node
+            id.  Destinations must be neighbors.
+        """
+
+    def broadcast(self, message: Message, targets: Iterable[int] | None = None) -> Outbox:
+        """Convenience: the same message to ``targets`` (default: all neighbors)."""
+        recipients = self.neighbors if targets is None else tuple(targets)
+        return {destination: message for destination in recipients}

@@ -1,0 +1,70 @@
+"""Structured event tracing for simulations.
+
+Tracing is optional (it costs memory proportional to message count) and
+is primarily used by tests asserting protocol schedules and by the
+``examples/congest_trace.py`` walkthrough.  Events are plain tuples in a
+list — cheap to record, easy to filter.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One delivered message, as observed by the engine."""
+
+    round_number: int
+    sender: int
+    receiver: int
+    kind: str
+    bits: int
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects during a run."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self, round_number: int, sender: int, receiver: int, kind: str, bits: int
+    ) -> None:
+        """Append one event."""
+        self.events.append(
+            TraceEvent(round_number, sender, receiver, kind, bits)
+        )
+
+    def kinds_by_round(self) -> dict[int, Counter]:
+        """Histogram of message kinds per round (for schedule assertions)."""
+        histogram: dict[int, Counter] = {}
+        for event in self.events:
+            histogram.setdefault(event.round_number, Counter())[event.kind] += 1
+        return histogram
+
+    def messages_between(self, sender: int, receiver: int) -> list[TraceEvent]:
+        """All events on one directed link, in delivery order."""
+        return [
+            event
+            for event in self.events
+            if event.sender == sender and event.receiver == receiver
+        ]
+
+    def format_summary(self, max_rounds: int = 20) -> str:
+        """Human-readable per-round summary (used by the trace example)."""
+        lines = []
+        for round_number, kinds in sorted(self.kinds_by_round().items()):
+            if round_number > max_rounds:
+                lines.append("  ...")
+                break
+            rendered = ", ".join(
+                f"{kind} x{count}" for kind, count in sorted(kinds.items())
+            )
+            lines.append(f"  round {round_number:>4}: {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Core algorithm: the paper's distributed (f+eps)-approximate MWHVC."""
+
+from repro.core.edge_logic import EdgeCore
+from repro.core.lockstep import run_lockstep
+from repro.core.observer import (
+    ConvergenceRecorder,
+    IterationObserver,
+    IterationSnapshot,
+)
+from repro.core.params import (
+    AlgorithmConfig,
+    beta_from,
+    level_cap,
+    resolve_alpha,
+    theorem9_alpha,
+)
+from repro.core.regimes import (
+    corollary11_applies,
+    corollary12_applies,
+    optimality_note,
+)
+from repro.core.result import AlgorithmStats, CoverResult
+from repro.core.runner import assemble_result, build_cores, run_congest
+from repro.core.solver import (
+    f_approx_epsilon,
+    solve_mwhvc,
+    solve_mwhvc_f_approx,
+    solve_mwvc,
+    solve_set_cover,
+)
+from repro.core.vertex_logic import VertexCore
+
+__all__ = [
+    "EdgeCore",
+    "VertexCore",
+    "ConvergenceRecorder",
+    "IterationObserver",
+    "IterationSnapshot",
+    "corollary11_applies",
+    "corollary12_applies",
+    "optimality_note",
+    "run_lockstep",
+    "run_congest",
+    "build_cores",
+    "assemble_result",
+    "AlgorithmConfig",
+    "beta_from",
+    "level_cap",
+    "resolve_alpha",
+    "theorem9_alpha",
+    "AlgorithmStats",
+    "CoverResult",
+    "f_approx_epsilon",
+    "solve_mwhvc",
+    "solve_mwhvc_f_approx",
+    "solve_mwvc",
+    "solve_set_cover",
+]

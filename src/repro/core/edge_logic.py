@@ -1,0 +1,150 @@
+"""The per-hyperedge automaton of Algorithm MWHVC (Section 3.2, edge side).
+
+:class:`EdgeCore` owns the authoritative bid and dual variable of one
+hyperedge and implements the edge steps of an iteration:
+
+* iteration 0 — choose the minimum-normalized-weight member and set
+  ``bid0 = w(v*)/(2 |E(v*)|)`` (ties broken by vertex id, so every
+  driver is deterministic);
+* step 3d (edge half) — apply the members' total halving count;
+* step 3f — multiply the bid by alpha iff *all* members said "raise",
+  then grow ``delta`` by the bid (or ``bid/2`` in Appendix C mode).
+
+Statistics needed by the Lemma 6/7 ablation (raise counts, halving
+counts) are recorded here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from fractions import Fraction
+
+from repro.exceptions import AlgorithmError
+
+__all__ = ["EdgeCore"]
+
+
+class EdgeCore:
+    """State and transitions of one MWHVC hyperedge."""
+
+    __slots__ = (
+        "edge_id",
+        "members",
+        "single_increment",
+        "alpha",
+        "bid",
+        "delta",
+        "covered",
+        "raise_count",
+        "halving_count",
+        "argmin_vertex",
+    )
+
+    def __init__(
+        self,
+        edge_id: int,
+        members: Iterable[int],
+        *,
+        single_increment: bool = False,
+    ) -> None:
+        self.edge_id = edge_id
+        self.members = tuple(members)
+        if not self.members:
+            raise AlgorithmError(f"edge {edge_id} has no members")
+        self.single_increment = single_increment
+        self.alpha = Fraction(2)
+        self.bid = Fraction(0)
+        self.delta = Fraction(0)
+        self.covered = False
+        self.raise_count = 0
+        self.halving_count = 0
+        self.argmin_vertex: int | None = None
+
+    # ------------------------------------------------------------------
+    # Iteration 0
+    # ------------------------------------------------------------------
+
+    def initialize(
+        self,
+        weights: Mapping[int, int],
+        degrees: Mapping[int, int],
+        alpha: Fraction,
+    ) -> tuple[int, int, int]:
+        """Set ``bid0`` from the members' weights and degrees.
+
+        Returns ``(v*, w(v*), |E(v*)|)`` — the argmin pair the edge
+        reports back to its members so each vertex computes ``bid0``
+        locally (Appendix B item 1).
+        """
+        if self.bid != 0:
+            raise AlgorithmError(f"edge {self.edge_id} initialized twice")
+        best_vertex = min(
+            self.members,
+            key=lambda vertex: (
+                Fraction(weights[vertex], degrees[vertex]),
+                vertex,
+            ),
+        )
+        best_weight = weights[best_vertex]
+        best_degree = degrees[best_vertex]
+        self.alpha = Fraction(alpha)
+        if self.alpha < 2:
+            raise AlgorithmError(
+                f"edge {self.edge_id}: alpha must be >= 2, got {self.alpha}"
+            )
+        self.bid = Fraction(best_weight, 2 * best_degree)
+        self.delta = self.bid
+        self.argmin_vertex = best_vertex
+        return best_vertex, best_weight, best_degree
+
+    # ------------------------------------------------------------------
+    # Step 3d (edge half)
+    # ------------------------------------------------------------------
+
+    def apply_halvings(self, total_halvings: int) -> None:
+        """Halve the bid once per member level increment this iteration."""
+        if total_halvings < 0:
+            raise AlgorithmError(
+                f"edge {self.edge_id}: negative halving count {total_halvings}"
+            )
+        if total_halvings:
+            self.bid *= Fraction(1, 1 << total_halvings)
+            self.halving_count += total_halvings
+
+    # ------------------------------------------------------------------
+    # Step 3f
+    # ------------------------------------------------------------------
+
+    def decide_raise(self, flags: Iterable[bool]) -> bool:
+        """All members said raise?  (Line 3f's condition.)"""
+        collected = list(flags)
+        if len(collected) != len(self.members):
+            raise AlgorithmError(
+                f"edge {self.edge_id}: expected {len(self.members)} "
+                f"raise/stuck flags, got {len(collected)}"
+            )
+        return all(collected)
+
+    def apply_raise(self, raised: bool) -> None:
+        """Multiply by alpha if raised; always grow the dual by the bid.
+
+        Appendix C (single-increment) mode grows the dual by ``bid/2``.
+        """
+        if self.covered:
+            raise AlgorithmError(
+                f"edge {self.edge_id}: raise applied after coverage"
+            )
+        if raised:
+            self.bid *= self.alpha
+            self.raise_count += 1
+        self.delta += self.bid / 2 if self.single_increment else self.bid
+
+    # ------------------------------------------------------------------
+    # Coverage
+    # ------------------------------------------------------------------
+
+    def mark_covered(self) -> None:
+        """Freeze the dual at its last value; the edge terminates."""
+        if self.covered:
+            raise AlgorithmError(f"edge {self.edge_id} covered twice")
+        self.covered = True

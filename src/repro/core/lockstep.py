@@ -1,0 +1,254 @@
+"""Fast lockstep executor for Algorithm MWHVC.
+
+Runs the same vertex/edge cores as the CONGEST driver, calling their
+transition methods in exactly the order the node programs would, but
+without message objects or an engine loop — an order of magnitude
+faster for parameter sweeps.  Round counts are reproduced *exactly*
+(the test suite asserts engine/lockstep equality of covers, duals,
+iterations and rounds on randomized instances) using the halting-round
+arithmetic of the two schedules:
+
+========================  =============  ================
+event (iteration i)        spec schedule  compact schedule
+========================  =============  ================
+phase A (vertex acts)      4i - 1         2i + 1
+edge covered / phase B     4i             2i + 2
+childless vertex halts     4i + 1         2i + 3
+========================  =============  ================
+
+plus rounds 1–2 for the iteration-0 weight/degree exchange.  The total
+round count is the maximum halting round over all nodes, matching the
+engine's "run until every node has locally terminated" convention.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.observer import IterationObserver, IterationSnapshot
+from repro.core.params import AlgorithmConfig, theorem9_alpha
+from repro.core.result import CoverResult
+from repro.core.runner import assemble_result, build_cores
+from repro.exceptions import RoundLimitExceededError
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["run_lockstep"]
+
+
+def run_lockstep(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig | None = None,
+    *,
+    verify: bool = True,
+    observer: IterationObserver | None = None,
+) -> CoverResult:
+    """Execute Algorithm MWHVC without the message-passing engine.
+
+    ``observer`` (if given) receives one
+    :class:`~repro.core.observer.IterationSnapshot` per iteration —
+    convergence diagnostics at O(n + m) extra cost per iteration.
+    """
+    config = config or AlgorithmConfig()
+    vertex_cores, edge_cores, global_alpha = build_cores(hypergraph, config)
+    num_vertices = hypergraph.num_vertices
+    num_edges = hypergraph.num_edges
+    rank = hypergraph.rank
+
+    if num_edges == 0:
+        rounds = 1 if num_vertices > 0 else 0
+        return assemble_result(
+            hypergraph, config, vertex_cores, edge_cores,
+            iterations=0, rounds=rounds, metrics=None, verify=verify,
+        )
+
+    # ------------------------------------------------------------------
+    # Iteration 0 (rounds 1-2): weight/degree exchange, initial bids.
+    # ------------------------------------------------------------------
+    for edge_id, edge_core in enumerate(edge_cores):
+        members = hypergraph.edge(edge_id)
+        weights = {vertex: hypergraph.weight(vertex) for vertex in members}
+        degrees = {vertex: hypergraph.degree(vertex) for vertex in members}
+        if global_alpha is not None:
+            alpha = global_alpha
+        else:
+            alpha = theorem9_alpha(
+                max(degrees.values()), rank, config.epsilon, config.gamma
+            )
+        _, min_weight, min_degree = edge_core.initialize(
+            weights, degrees, alpha
+        )
+        for vertex in members:
+            vertex_cores[vertex].record_initial_bid(
+                edge_id, min_weight, min_degree, alpha
+            )
+
+    live_edges: set[int] = set(range(num_edges))
+    live_vertices: set[int] = {
+        vertex for vertex in range(num_vertices)
+        if not vertex_cores[vertex].terminated
+    }
+    spec = config.schedule == "spec"
+    iteration = 0
+    max_halt_round = 2
+    cover_size = 0
+    cover_weight = 0
+
+    while live_edges:
+        iteration += 1
+        if iteration > config.max_iterations:
+            raise RoundLimitExceededError(
+                f"no termination after {config.max_iterations} iterations; "
+                f"{len(live_edges)} edges uncovered"
+            )
+        phase_a_round = 4 * iteration - 1 if spec else 2 * iteration + 1
+
+        # Phase A: tightness test, then level increments (compact mode
+        # also fixes the raise/stuck flag here, on own-halved bids).
+        joiners: list[int] = []
+        increments: dict[int, int] = {}
+        compact_flags: dict[int, bool] = {}
+        for vertex in sorted(live_vertices):
+            core = vertex_cores[vertex]
+            if core.is_tight():
+                core.join_cover()
+                joiners.append(vertex)
+            else:
+                increments[vertex] = core.level_increments()
+                if not spec:
+                    compact_flags[vertex] = core.wants_raise()
+
+        newly_covered: set[int] = set()
+        for vertex in joiners:
+            for edge_id in vertex_cores[vertex].edges:
+                if edge_id in live_edges:
+                    newly_covered.add(edge_id)
+        for edge_id in newly_covered:
+            edge_cores[edge_id].mark_covered()
+            max_halt_round = max(max_halt_round, phase_a_round + 1)
+        if joiners:
+            max_halt_round = max(max_halt_round, phase_a_round)
+            live_vertices.difference_update(joiners)
+        live_edges.difference_update(newly_covered)
+        joiner_set = set(joiners)
+
+        raised_count = 0
+        if spec:
+            # Phase B/C: vertices learn coverage *before* flags.
+            terminated_vertices = _apply_vertex_coverage(
+                hypergraph, vertex_cores, newly_covered, joiner_set
+            )
+            if terminated_vertices:
+                max_halt_round = max(max_halt_round, phase_a_round + 2)
+                live_vertices.difference_update(terminated_vertices)
+            # Halvings for surviving edges, then flags on exact bids.
+            for edge_id in live_edges:
+                edge_core = edge_cores[edge_id]
+                total = sum(
+                    increments[vertex] for vertex in edge_core.members
+                )
+                edge_core.apply_halvings(total)
+                for vertex in edge_core.members:
+                    vertex_cores[vertex].apply_extra_halvings(
+                        edge_id, total - increments[vertex]
+                    )
+            flags = {
+                vertex: vertex_cores[vertex].wants_raise()
+                for vertex in sorted(live_vertices)
+            }
+            # Phase D: raise decisions and dual growth.
+            for edge_id in live_edges:
+                edge_core = edge_cores[edge_id]
+                raised = edge_core.decide_raise(
+                    [flags[vertex] for vertex in edge_core.members]
+                )
+                raised_count += raised
+                edge_core.apply_raise(raised)
+                for vertex in edge_core.members:
+                    vertex_cores[vertex].apply_raise(edge_id, raised)
+        else:
+            # Compact: flags were fixed in phase A; edges apply
+            # halvings + raise in one step, vertices catch up, and only
+            # then process coverage (they learn it a round later).
+            for edge_id in live_edges:
+                edge_core = edge_cores[edge_id]
+                total = sum(
+                    increments[vertex] for vertex in edge_core.members
+                )
+                edge_core.apply_halvings(total)
+                raised = edge_core.decide_raise(
+                    [compact_flags[vertex] for vertex in edge_core.members]
+                )
+                raised_count += raised
+                edge_core.apply_raise(raised)
+                for vertex in edge_core.members:
+                    vertex_core = vertex_cores[vertex]
+                    vertex_core.apply_extra_halvings(
+                        edge_id, total - increments[vertex]
+                    )
+                    vertex_core.apply_raise(edge_id, raised)
+            terminated_vertices = _apply_vertex_coverage(
+                hypergraph, vertex_cores, newly_covered, joiner_set
+            )
+            if terminated_vertices:
+                max_halt_round = max(max_halt_round, phase_a_round + 2)
+                live_vertices.difference_update(terminated_vertices)
+
+        if config.check_invariants:
+            for vertex in live_vertices:
+                vertex_cores[vertex].verify_post_iteration()
+
+        if observer is not None:
+            cover_size += len(joiners)
+            cover_weight += sum(
+                hypergraph.weight(vertex) for vertex in joiners
+            )
+            observer.on_iteration(
+                IterationSnapshot(
+                    iteration=iteration,
+                    live_edges=len(live_edges),
+                    live_vertices=len(live_vertices),
+                    cover_size=cover_size,
+                    cover_weight=cover_weight,
+                    dual_total=sum(
+                        (core.delta for core in edge_cores), Fraction(0)
+                    ),
+                    max_level=max(
+                        (core.level for core in vertex_cores), default=0
+                    ),
+                    joins_this_iteration=len(joiners),
+                    edges_covered_this_iteration=len(newly_covered),
+                    raised_edges_this_iteration=raised_count,
+                )
+            )
+
+    return assemble_result(
+        hypergraph,
+        config,
+        vertex_cores,
+        edge_cores,
+        iterations=iteration,
+        rounds=max_halt_round,
+        metrics=None,
+        verify=verify,
+    )
+
+
+def _apply_vertex_coverage(
+    hypergraph: Hypergraph,
+    vertex_cores: list,
+    newly_covered: set[int],
+    joiner_set: set[int],
+) -> list[int]:
+    """Tell non-joining members their edges are covered; return the
+    vertices that became childless (terminated without joining)."""
+    terminated: list[int] = []
+    for edge_id in sorted(newly_covered):
+        for vertex in hypergraph.edge(edge_id):
+            if vertex in joiner_set:
+                continue
+            core = vertex_cores[vertex]
+            was_terminated = core.terminated
+            core.edge_covered(edge_id)
+            if core.terminated and not was_terminated:
+                terminated.append(vertex)
+    return terminated

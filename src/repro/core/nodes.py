@@ -1,0 +1,377 @@
+"""CONGEST node programs for Algorithm MWHVC.
+
+These classes adapt :class:`~repro.core.vertex_logic.VertexCore` and
+:class:`~repro.core.edge_logic.EdgeCore` to the message-passing engine.
+Per iteration, the **spec** schedule uses four message exchanges::
+
+    vertex -> edge : JOIN            (beta-tight, Line 3a)  or
+                     LEVELS(k)       (level increments, Line 3d)
+    edge -> vertex : COVERED         (some member joined)   or
+                     HALVED(H)       (total halvings, Line 3d-ii)
+    vertex -> edge : FLAG(raise?)    (Line 3e, on fully halved bids)
+    edge -> vertex : RAISED(bit)     (Line 3f; both sides grow delta)
+
+and the **compact** schedule (Appendix B) packs them into two::
+
+    vertex -> edge : JOIN or LEVELS_FLAG(k, raise?)
+    edge -> vertex : COVERED or HALVED_RAISED(H, raised)
+
+Iteration 0 (the weight/degree exchange) always costs two extra rounds.
+Every message is a constant number of small integers; level-increment
+counts are at most ``z`` and halving totals at most ``f*z``, so message
+widths are ``O(log log Δ + log(f/eps))`` bits — comfortably inside the
+CONGEST budget, which the engine verifies.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from repro.congest.message import Message
+from repro.congest.node import Node, Outbox
+from repro.core.edge_logic import EdgeCore
+from repro.core.params import AlgorithmConfig, theorem9_alpha
+from repro.core.vertex_logic import VertexCore
+from repro.exceptions import ProtocolViolationError
+
+__all__ = ["VertexProgram", "EdgeProgram"]
+
+# Message kinds (wire cost of a kind is the constant tag defined in
+# repro.congest.message).
+KIND_INIT = "init"
+KIND_REPLY = "reply"
+KIND_JOIN = "join"
+KIND_COVERED = "covered"
+KIND_LEVELS = "levels"
+KIND_HALVED = "halved"
+KIND_FLAG = "flag"
+KIND_RAISED = "raised"
+KIND_LEVELS_FLAG = "levels_flag"
+KIND_HALVED_RAISED = "halved_raised"
+
+
+class VertexProgram(Node):
+    """Vertex-side node program (a "server" in the paper's network)."""
+
+    __slots__ = (
+        "core",
+        "config",
+        "rank",
+        "global_alpha",
+        "weight_int",
+        "_offset",
+        "_stage",
+        "_own_increments",
+        "iterations_begun",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: tuple[int, ...],
+        core: VertexCore,
+        *,
+        config: AlgorithmConfig,
+        rank: int,
+        weight: int,
+        global_alpha: Fraction | None,
+        vertex_count: int,
+    ) -> None:
+        super().__init__(node_id, neighbors)
+        self.core = core
+        self.config = config
+        self.rank = rank
+        self.global_alpha = global_alpha
+        self.weight_int = weight
+        self._offset = vertex_count
+        self._stage = "start"
+        self._own_increments = 0
+        self.iterations_begun = 0
+
+    # -- id translation -------------------------------------------------
+
+    def _edge_id(self, node_id: int) -> int:
+        return node_id - self._offset
+
+    def _edge_node(self, edge_id: int) -> int:
+        return edge_id + self._offset
+
+    # -- round handler ---------------------------------------------------
+
+    def on_round(self, round_number: int, inbox: Mapping[int, Message]) -> Outbox:
+        if self._stage == "start":
+            return self._start()
+        if not inbox:
+            # Awaiting the synchronous responses of the other side; they
+            # all arrive in the same round, so an empty inbox means the
+            # counterpart phase is still executing.
+            return {}
+        if self._stage == "await_reply":
+            return self._handle_replies(inbox)
+        if self._stage == "await_halved":
+            return self._handle_halved(inbox)
+        if self._stage == "await_raised":
+            return self._handle_raised(inbox)
+        if self._stage == "await_compact":
+            return self._handle_compact(inbox)
+        raise ProtocolViolationError(
+            f"vertex {self.core.vertex}: unknown stage {self._stage!r}"
+        )
+
+    def _start(self) -> Outbox:
+        if not self.core.edges:
+            self.halt()
+            return {}
+        self._stage = "await_reply"
+        message = Message(
+            KIND_INIT, (self.weight_int, len(self.core.edges))
+        )
+        return self.broadcast(message)
+
+    def _handle_replies(self, inbox: Mapping[int, Message]) -> Outbox:
+        for sender, message in inbox.items():
+            if message.kind != KIND_REPLY:
+                raise ProtocolViolationError(
+                    f"vertex {self.core.vertex}: expected reply, got "
+                    f"{message.kind!r}"
+                )
+            min_weight, min_degree, local_max_degree = message.fields
+            alpha = self._alpha_for(local_max_degree)
+            self.core.record_initial_bid(
+                self._edge_id(sender), min_weight, min_degree, alpha
+            )
+        if len(self.core.delta) != len(self.core.edges):
+            raise ProtocolViolationError(
+                f"vertex {self.core.vertex}: missing initial bids"
+            )
+        return self._phase_a()
+
+    def _alpha_for(self, local_max_degree: int) -> Fraction:
+        if self.global_alpha is not None:
+            return self.global_alpha
+        return theorem9_alpha(
+            local_max_degree, self.rank, self.config.epsilon, self.config.gamma
+        )
+
+    # -- iteration phases --------------------------------------------------
+
+    def _phase_a(self) -> Outbox:
+        """Tightness test, then level increments (and compact flag)."""
+        self.iterations_begun += 1
+        if self.core.is_tight():
+            to_notify = self.core.join_cover()
+            self.halt()
+            return {
+                self._edge_node(edge_id): Message(KIND_JOIN)
+                for edge_id in to_notify
+            }
+        increments = self.core.level_increments()
+        self._own_increments = increments
+        if self.config.schedule == "spec":
+            self._stage = "await_halved"
+            message = Message(KIND_LEVELS, (increments,))
+        else:
+            flag = self.core.wants_raise()
+            self._stage = "await_compact"
+            message = Message(KIND_LEVELS_FLAG, (increments, flag))
+        return {
+            self._edge_node(edge_id): message
+            for edge_id in sorted(self.core.uncovered)
+        }
+
+    def _handle_halved(self, inbox: Mapping[int, Message]) -> Outbox:
+        for sender, message in inbox.items():
+            edge_id = self._edge_id(sender)
+            if message.kind == KIND_COVERED:
+                self.core.edge_covered(edge_id)
+            elif message.kind == KIND_HALVED:
+                (total_halvings,) = message.fields
+                self.core.apply_extra_halvings(
+                    edge_id, total_halvings - self._own_increments
+                )
+            else:
+                raise ProtocolViolationError(
+                    f"vertex {self.core.vertex}: unexpected {message.kind!r} "
+                    "in halved phase"
+                )
+        if self.core.terminated:
+            self.halt()
+            return {}
+        flag = self.core.wants_raise()
+        self._stage = "await_raised"
+        message = Message(KIND_FLAG, (flag,))
+        return {
+            self._edge_node(edge_id): message
+            for edge_id in sorted(self.core.uncovered)
+        }
+
+    def _handle_raised(self, inbox: Mapping[int, Message]) -> Outbox:
+        for sender, message in inbox.items():
+            if message.kind != KIND_RAISED:
+                raise ProtocolViolationError(
+                    f"vertex {self.core.vertex}: unexpected {message.kind!r} "
+                    "in raised phase"
+                )
+            (raised,) = message.fields
+            self.core.apply_raise(self._edge_id(sender), bool(raised))
+        if self.config.check_invariants:
+            self.core.verify_post_iteration()
+        return self._phase_a()
+
+    def _handle_compact(self, inbox: Mapping[int, Message]) -> Outbox:
+        for sender, message in inbox.items():
+            edge_id = self._edge_id(sender)
+            if message.kind == KIND_COVERED:
+                self.core.edge_covered(edge_id)
+            elif message.kind == KIND_HALVED_RAISED:
+                total_halvings, raised = message.fields
+                self.core.apply_extra_halvings(
+                    edge_id, total_halvings - self._own_increments
+                )
+                self.core.apply_raise(edge_id, bool(raised))
+            else:
+                raise ProtocolViolationError(
+                    f"vertex {self.core.vertex}: unexpected {message.kind!r} "
+                    "in compact phase"
+                )
+        if self.core.terminated:
+            self.halt()
+            return {}
+        if self.config.check_invariants:
+            self.core.verify_post_iteration()
+        return self._phase_a()
+
+
+class EdgeProgram(Node):
+    """Hyperedge-side node program (a "client" in the paper's network)."""
+
+    __slots__ = ("core", "config", "rank", "global_alpha", "_stage")
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: tuple[int, ...],
+        core: EdgeCore,
+        *,
+        config: AlgorithmConfig,
+        rank: int,
+        global_alpha: Fraction | None,
+    ) -> None:
+        super().__init__(node_id, neighbors)
+        self.core = core
+        self.config = config
+        self.rank = rank
+        self.global_alpha = global_alpha
+        self._stage = "await_init"
+
+    def on_round(self, round_number: int, inbox: Mapping[int, Message]) -> Outbox:
+        if not inbox:
+            # Vertices and edges alternate rounds; nothing to do while
+            # the vertex side is executing its phase.
+            return {}
+        if self._stage == "await_init":
+            return self._handle_init(inbox)
+        if self._stage == "await_a":
+            return self._handle_phase_a(inbox)
+        if self._stage == "await_flags":
+            return self._handle_flags(inbox)
+        raise ProtocolViolationError(
+            f"edge {self.core.edge_id}: unknown stage {self._stage!r}"
+        )
+
+    def _handle_init(self, inbox: Mapping[int, Message]) -> Outbox:
+        weights: dict[int, int] = {}
+        degrees: dict[int, int] = {}
+        for sender, message in inbox.items():
+            if message.kind != KIND_INIT:
+                raise ProtocolViolationError(
+                    f"edge {self.core.edge_id}: expected init, got "
+                    f"{message.kind!r}"
+                )
+            weight, degree = message.fields
+            weights[sender] = weight
+            degrees[sender] = degree
+        if set(weights) != set(self.core.members):
+            raise ProtocolViolationError(
+                f"edge {self.core.edge_id}: init messages missing members"
+            )
+        local_max_degree = max(degrees.values())
+        if self.global_alpha is not None:
+            alpha = self.global_alpha
+        else:
+            alpha = theorem9_alpha(
+                local_max_degree, self.rank, self.config.epsilon,
+                self.config.gamma,
+            )
+        __, min_weight, min_degree = self.core.initialize(
+            weights, degrees, alpha
+        )
+        self._stage = "await_a"
+        return self.broadcast(
+            Message(KIND_REPLY, (min_weight, min_degree, local_max_degree))
+        )
+
+    def _handle_phase_a(self, inbox: Mapping[int, Message]) -> Outbox:
+        joiners = [
+            sender
+            for sender, message in inbox.items()
+            if message.kind == KIND_JOIN
+        ]
+        if joiners:
+            self.core.mark_covered()
+            self.halt()
+            message = Message(KIND_COVERED)
+            return {
+                member: message
+                for member in self.neighbors
+                if member not in joiners
+            }
+        if len(inbox) != len(self.core.members):
+            raise ProtocolViolationError(
+                f"edge {self.core.edge_id}: expected messages from all "
+                f"{len(self.core.members)} members, got {len(inbox)}"
+            )
+        if self.config.schedule == "spec":
+            total_halvings = 0
+            for message in inbox.values():
+                if message.kind != KIND_LEVELS:
+                    raise ProtocolViolationError(
+                        f"edge {self.core.edge_id}: expected levels, got "
+                        f"{message.kind!r}"
+                    )
+                total_halvings += message.fields[0]
+            self.core.apply_halvings(total_halvings)
+            self._stage = "await_flags"
+            return self.broadcast(Message(KIND_HALVED, (total_halvings,)))
+        total_halvings = 0
+        flags: list[bool] = []
+        for message in inbox.values():
+            if message.kind != KIND_LEVELS_FLAG:
+                raise ProtocolViolationError(
+                    f"edge {self.core.edge_id}: expected levels_flag, got "
+                    f"{message.kind!r}"
+                )
+            increments, flag = message.fields
+            total_halvings += increments
+            flags.append(bool(flag))
+        self.core.apply_halvings(total_halvings)
+        raised = self.core.decide_raise(flags)
+        self.core.apply_raise(raised)
+        return self.broadcast(
+            Message(KIND_HALVED_RAISED, (total_halvings, raised))
+        )
+
+    def _handle_flags(self, inbox: Mapping[int, Message]) -> Outbox:
+        flags: list[bool] = []
+        for message in inbox.values():
+            if message.kind != KIND_FLAG:
+                raise ProtocolViolationError(
+                    f"edge {self.core.edge_id}: expected flag, got "
+                    f"{message.kind!r}"
+                )
+            flags.append(bool(message.fields[0]))
+        raised = self.core.decide_raise(flags)
+        self.core.apply_raise(raised)
+        self._stage = "await_a"
+        return self.broadcast(Message(KIND_RAISED, (raised,)))

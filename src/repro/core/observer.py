@@ -1,0 +1,109 @@
+"""Per-iteration observation of an MWHVC execution.
+
+Research use of the library often needs *how* the algorithm converges,
+not just the final cover: how fast duals grow, when vertices level up,
+how the frontier of uncovered edges shrinks.  The lockstep executor
+accepts an :class:`IterationObserver`; :class:`ConvergenceRecorder` is
+the batteries-included implementation collecting one
+:class:`IterationSnapshot` per iteration (cheap aggregates only — no
+copies of per-edge state).
+
+Example::
+
+    recorder = ConvergenceRecorder()
+    result = run_lockstep(hg, config, observer=recorder)
+    for snap in recorder.snapshots:
+        print(snap.iteration, snap.live_edges, float(snap.dual_total))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Protocol
+
+__all__ = ["IterationSnapshot", "IterationObserver", "ConvergenceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class IterationSnapshot:
+    """Aggregates of the global state at the end of one iteration."""
+
+    iteration: int
+    live_edges: int
+    live_vertices: int
+    cover_size: int
+    cover_weight: int
+    dual_total: Fraction
+    max_level: int
+    joins_this_iteration: int
+    edges_covered_this_iteration: int
+    raised_edges_this_iteration: int
+
+
+class IterationObserver(Protocol):
+    """Callback protocol invoked by the lockstep executor."""
+
+    def on_iteration(self, snapshot: IterationSnapshot) -> None:
+        """Receive the end-of-iteration snapshot."""
+
+
+class ConvergenceRecorder:
+    """Records every snapshot; offers simple convergence summaries."""
+
+    __slots__ = ("snapshots",)
+
+    def __init__(self) -> None:
+        self.snapshots: list[IterationSnapshot] = []
+
+    def on_iteration(self, snapshot: IterationSnapshot) -> None:
+        """Store the snapshot (IterationObserver implementation)."""
+        self.snapshots.append(snapshot)
+
+    @property
+    def iterations(self) -> int:
+        """Number of observed iterations."""
+        return len(self.snapshots)
+
+    def coverage_curve(self) -> list[tuple[int, float]]:
+        """``(iteration, fraction of edges covered)`` per iteration."""
+        if not self.snapshots:
+            return []
+        initial = (
+            self.snapshots[0].live_edges
+            + self.snapshots[0].edges_covered_this_iteration
+        )
+        total = max(initial, 1)
+        covered = 0
+        curve = []
+        for snapshot in self.snapshots:
+            covered += snapshot.edges_covered_this_iteration
+            curve.append((snapshot.iteration, covered / total))
+        return curve
+
+    def dual_curve(self) -> list[tuple[int, float]]:
+        """``(iteration, dual value)`` — monotone by construction."""
+        return [
+            (snapshot.iteration, float(snapshot.dual_total))
+            for snapshot in self.snapshots
+        ]
+
+    def half_coverage_iteration(self) -> int | None:
+        """First iteration at which half of all edges were covered."""
+        for iteration, fraction in self.coverage_curve():
+            if fraction >= 0.5:
+                return iteration
+        return None
+
+    def sparkline(self, width: int = 60) -> str:
+        """ASCII coverage curve (one char per sampled iteration)."""
+        curve = self.coverage_curve()
+        if not curve:
+            return ""
+        blocks = " .:-=+*#%@"
+        step = max(1, len(curve) // width)
+        sampled = curve[::step]
+        return "".join(
+            blocks[min(len(blocks) - 1, int(fraction * (len(blocks) - 1)))]
+            for _, fraction in sampled
+        )

@@ -1,0 +1,84 @@
+"""Parameter-regime helpers for Corollaries 11 and 12.
+
+The paper's round bound is *optimal* (matches the KMW lower bound
+``Ω(log Δ / log log Δ)``) only for certain (f, eps, Δ) combinations:
+
+* **Corollary 11** — ``f = O((log Δ)^0.99)`` and
+  ``eps = (log Δ)^-O(1)``;
+* **Corollary 12** — ``f = O(1)`` and ``eps = 2^-O((log Δ)^0.99)``
+  (an almost-exponential widening over the previous best
+  ``eps = (log Δ)^-O(1)`` range of [5]).
+
+Asymptotic statements need explicit constants to be checkable on a
+concrete instance; this module fixes them at the natural reading
+(hidden constants = 1, "O(1)" exponent c checked up to ``c = 3``) and
+documents that choice.  Benchmarks use these helpers to annotate
+whether each measured configuration sits inside the proven-optimal
+regime.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+__all__ = [
+    "corollary11_applies",
+    "corollary12_applies",
+    "optimality_note",
+]
+
+
+def _log_delta(max_degree: int) -> float:
+    return max(1.0, math.log2(max(2, max_degree)))
+
+
+def corollary11_applies(
+    rank: int,
+    epsilon: Fraction,
+    max_degree: int,
+    *,
+    polylog_exponent: float = 3.0,
+) -> bool:
+    """Whether (f, eps, Δ) sits in Corollary 11's optimal regime.
+
+    Reads the corollary with hidden constants 1:
+    ``f <= (log Δ)^0.99`` and ``eps >= (log Δ)^-polylog_exponent``.
+    """
+    log_delta = _log_delta(max_degree)
+    if rank > log_delta**0.99:
+        return False
+    return float(epsilon) >= log_delta ** (-polylog_exponent)
+
+
+def corollary12_applies(
+    rank: int,
+    epsilon: Fraction,
+    max_degree: int,
+    *,
+    constant_rank: int = 4,
+) -> bool:
+    """Whether (f, eps, Δ) sits in Corollary 12's optimal regime.
+
+    ``f = O(1)`` is read as ``f <= constant_rank`` and the epsilon range
+    as ``eps >= 2^-(log Δ)^0.99`` (hidden constant 1 in the exponent).
+    """
+    if rank > constant_rank:
+        return False
+    log_delta = _log_delta(max_degree)
+    return float(epsilon) >= 2.0 ** (-(log_delta**0.99))
+
+
+def optimality_note(
+    rank: int, epsilon: Fraction, max_degree: int
+) -> str:
+    """One-line classification used by benchmark reports."""
+    c11 = corollary11_applies(rank, epsilon, max_degree)
+    c12 = corollary12_applies(rank, epsilon, max_degree)
+    if c11 and c12:
+        return "optimal regime (Corollaries 11 and 12)"
+    if c11:
+        return "optimal regime (Corollary 11)"
+    if c12:
+        return "optimal regime (Corollary 12)"
+    return "outside the proven-optimal regime (bound still holds)"

@@ -1,0 +1,179 @@
+"""Result objects returned by the MWHVC solvers.
+
+A :class:`CoverResult` bundles the cover itself with everything the
+paper's analysis talks about: round/iteration counts, the dual packing
+(whose total is the weak-duality lower bound), the exact approximation
+certificate, per-run statistics matching Lemmas 6–7, and — for CONGEST
+executions — the engine's message metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.congest.metrics import RunMetrics
+from repro.lp.duality import ApproximationCertificate
+
+__all__ = ["AlgorithmStats", "CoverResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class AlgorithmStats:
+    """Counters mirroring the quantities bounded in Section 4.2.
+
+    * ``total_raise_events`` / ``max_raises_per_edge`` — e-raise
+      iterations (Lemma 6 bounds the per-edge count by
+      ``log_alpha(Δ · 2^(f z))``);
+    * ``total_stuck_events`` / ``max_stuck_per_vertex_level`` — v-stuck
+      iterations (Lemma 7 bounds the per-(vertex, level) count by
+      ``alpha``, or ``2 alpha`` in Appendix C mode);
+    * ``total_halvings`` — bid halvings across all edges (at most
+      ``f·z`` each by Claim 4);
+    * ``max_level`` — highest level reached (Claim 4: ``< z``).
+    """
+
+    total_raise_events: int
+    max_raises_per_edge: int
+    total_stuck_events: int
+    max_stuck_per_vertex_level: int
+    total_halvings: int
+    max_level: int
+    level_cap: int
+
+    @staticmethod
+    def empty(level_cap: int = 1) -> "AlgorithmStats":
+        """Stats of a run that had nothing to do."""
+        return AlgorithmStats(
+            total_raise_events=0,
+            max_raises_per_edge=0,
+            total_stuck_events=0,
+            max_stuck_per_vertex_level=0,
+            total_halvings=0,
+            max_level=0,
+            level_cap=level_cap,
+        )
+
+
+@dataclass(frozen=True)
+class CoverResult:
+    """Outcome of one MWHVC execution.
+
+    Attributes
+    ----------
+    cover:
+        The computed vertex cover ``C``.
+    weight:
+        ``w(C)`` (integer — vertex weights are integers).
+    rank / epsilon / guarantee:
+        Instance rank ``f``, the slack ``eps``, and the certified bound
+        ``f + eps``.
+    iterations / rounds:
+        Algorithm iterations and CONGEST communication rounds (rounds
+        follow the engine's convention: number of synchronous steps
+        until every node has locally terminated).
+    dual:
+        Final dual packing ``delta(e)`` per edge id (frozen values for
+        covered edges).
+    dual_total:
+        ``sum_e delta(e)`` — an exact lower bound on the fractional
+        optimum by weak duality.
+    certificate:
+        The verified Claim 20 chain, or ``None`` when verification was
+        disabled.
+    levels:
+        Final level of every vertex.
+    stats:
+        Raise/stuck/halving counters (see :class:`AlgorithmStats`).
+    metrics:
+        CONGEST engine metrics, or ``None`` for lockstep runs.
+    alpha_min / alpha_max:
+        Range of alphas used across edges (they differ only under the
+        local policy).
+    """
+
+    cover: frozenset[int]
+    weight: int
+    rank: int
+    epsilon: Fraction
+    iterations: int
+    rounds: int
+    dual: dict[int, Fraction]
+    dual_total: Fraction
+    certificate: ApproximationCertificate | None
+    levels: tuple[int, ...]
+    stats: AlgorithmStats
+    metrics: RunMetrics | None
+    alpha_min: Fraction
+    alpha_max: Fraction
+
+    @property
+    def guarantee(self) -> Fraction:
+        """The proven approximation factor ``f + eps``."""
+        return Fraction(self.rank) + self.epsilon
+
+    @property
+    def certified_ratio(self) -> Fraction | None:
+        """``w(C) / dual_total`` — exact upper bound on the true ratio."""
+        if self.dual_total == 0:
+            return None
+        return Fraction(self.weight) / self.dual_total
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        ratio = self.certified_ratio
+        ratio_text = f"{float(ratio):.4f}" if ratio is not None else "n/a"
+        return (
+            f"cover weight {self.weight} (certified ratio <= {ratio_text}, "
+            f"guarantee {float(self.guarantee):.4f}) in "
+            f"{self.iterations} iterations / {self.rounds} rounds"
+        )
+
+    def as_dict(self, *, include_dual: bool = False) -> dict:
+        """JSON-safe dictionary view (Fractions rendered as strings).
+
+        Used by experiment pipelines that persist runs; ``include_dual``
+        adds the per-edge packing (potentially large).
+        """
+        data = {
+            "cover": sorted(self.cover),
+            "weight": self.weight,
+            "rank": self.rank,
+            "epsilon": str(self.epsilon),
+            "guarantee": str(self.guarantee),
+            "iterations": self.iterations,
+            "rounds": self.rounds,
+            "dual_total": str(self.dual_total),
+            "certified_ratio": (
+                str(self.certified_ratio)
+                if self.certified_ratio is not None
+                else None
+            ),
+            "levels": list(self.levels),
+            "alpha_min": str(self.alpha_min),
+            "alpha_max": str(self.alpha_max),
+            "stats": {
+                "total_raise_events": self.stats.total_raise_events,
+                "max_raises_per_edge": self.stats.max_raises_per_edge,
+                "total_stuck_events": self.stats.total_stuck_events,
+                "max_stuck_per_vertex_level": (
+                    self.stats.max_stuck_per_vertex_level
+                ),
+                "total_halvings": self.stats.total_halvings,
+                "max_level": self.stats.max_level,
+                "level_cap": self.stats.level_cap,
+            },
+        }
+        if self.metrics is not None:
+            data["congest_metrics"] = self.metrics.as_dict()
+        if include_dual:
+            data["dual"] = {
+                str(edge): str(value) for edge, value in self.dual.items()
+            }
+        return data
+
+    def to_json(self, *, include_dual: bool = False) -> str:
+        """Serialize :meth:`as_dict` to a JSON string."""
+        import json
+
+        return json.dumps(self.as_dict(include_dual=include_dual))

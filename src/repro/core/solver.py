@@ -1,0 +1,168 @@
+"""Public solver API for the covering algorithms.
+
+* :func:`solve_mwhvc` — the paper's main algorithm: a deterministic
+  distributed ``(f + eps)``-approximation for Minimum Weight Hypergraph
+  Vertex Cover (Theorem 9).
+* :func:`solve_mwhvc_f_approx` — Corollary 10: an exact
+  ``f``-approximation obtained by setting ``eps = 1/(n·w_max + 1)``.
+* :func:`solve_mwvc` — the graph case (``f = 2``), Table 1's setting.
+* :func:`solve_set_cover` — weighted Set Cover via the Section 2
+  equivalence (set ids are vertex ids, element ids are hyperedge ids).
+
+All functions return a :class:`~repro.core.result.CoverResult` whose
+certificate (when ``verify=True``, the default) is checked exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+from typing import Literal
+
+from repro.core.lockstep import run_lockstep
+from repro.core.params import AlgorithmConfig
+from repro.core.result import CoverResult
+from repro.core.runner import run_congest
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.setcover import SetCoverInstance
+
+__all__ = [
+    "solve_mwhvc",
+    "solve_mwhvc_f_approx",
+    "solve_mwvc",
+    "solve_set_cover",
+    "f_approx_epsilon",
+]
+
+Executor = Literal["lockstep", "congest"]
+
+
+def _execute(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig,
+    executor: Executor,
+    verify: bool,
+    **executor_options,
+) -> CoverResult:
+    if executor == "lockstep":
+        observer = executor_options.pop("observer", None)
+        if executor_options:
+            raise InvalidInstanceError(
+                f"options {sorted(executor_options)} apply only to "
+                "executor='congest'"
+            )
+        return run_lockstep(
+            hypergraph, config, verify=verify, observer=observer
+        )
+    if executor == "congest":
+        if "observer" in executor_options:
+            raise InvalidInstanceError(
+                "observer is supported by the lockstep executor only "
+                "(the engine's metrics/tracing cover the congest path)"
+            )
+        return run_congest(
+            hypergraph, config, verify=verify, **executor_options
+        )
+    raise InvalidInstanceError(
+        f"executor must be 'lockstep' or 'congest', got {executor!r}"
+    )
+
+
+def solve_mwhvc(
+    hypergraph: Hypergraph,
+    epsilon: Rational | int | float | str = 1,
+    *,
+    config: AlgorithmConfig | None = None,
+    executor: Executor = "lockstep",
+    verify: bool = True,
+    **congest_options,
+) -> CoverResult:
+    """Compute an ``(f + eps)``-approximate minimum weight vertex cover.
+
+    Parameters
+    ----------
+    hypergraph:
+        The instance; its rank is the ``f`` of the guarantee.
+    epsilon:
+        Approximation slack in ``(0, 1]``.  Ignored when an explicit
+        ``config`` is passed (the config's epsilon wins).
+    config:
+        Full algorithm configuration; defaults to the paper's headline
+        settings (spec schedule, multi increments, Theorem 9 alpha).
+    executor:
+        ``"lockstep"`` (fast, identical results) or ``"congest"``
+        (message-passing engine with round/bit metrics).
+    verify:
+        Check the Claim 20 certificate on the result (exact; on by
+        default).
+    congest_options:
+        Passed to :func:`repro.core.runner.run_congest` (e.g.
+        ``strict_bandwidth=True``, ``trace=...``).
+    """
+    if config is None:
+        config = AlgorithmConfig(epsilon=Fraction(epsilon))
+    return _execute(hypergraph, config, executor, verify, **congest_options)
+
+
+def f_approx_epsilon(hypergraph: Hypergraph) -> Fraction:
+    """The epsilon that turns ``(f + eps)`` into an exact ``f``-approximation.
+
+    Corollary 10 uses ``eps = 1/(nW)``.  We take
+    ``eps = 1/(n·w_max + 1)``: then ``eps * OPT_frac < 1`` (the
+    fractional optimum is below ``n·w_max + 1``), so
+    ``w(C) < f·OPT + 1`` and integrality of weights gives
+    ``w(C) <= f·OPT``.
+    """
+    if hypergraph.num_vertices == 0:
+        return Fraction(1)
+    return Fraction(
+        1, hypergraph.num_vertices * max(hypergraph.weights) + 1
+    )
+
+
+def solve_mwhvc_f_approx(
+    hypergraph: Hypergraph,
+    *,
+    config: AlgorithmConfig | None = None,
+    executor: Executor = "lockstep",
+    verify: bool = True,
+    **congest_options,
+) -> CoverResult:
+    """Corollary 10: a deterministic ``f``-approximation in ``O(f log n)`` rounds."""
+    epsilon = f_approx_epsilon(hypergraph)
+    if config is None:
+        config = AlgorithmConfig(epsilon=epsilon)
+    else:
+        config = config.with_epsilon(epsilon)
+    return _execute(hypergraph, config, executor, verify, **congest_options)
+
+
+def solve_mwvc(
+    graph: Hypergraph,
+    epsilon: Rational | int | float | str = 1,
+    **options,
+) -> CoverResult:
+    """Weighted Vertex Cover on a graph (every edge has <= 2 vertices).
+
+    A thin wrapper over :func:`solve_mwhvc` that validates the rank, so
+    callers reproducing Table 1 cannot accidentally feed hypergraphs.
+    """
+    if graph.rank > 2:
+        raise InvalidInstanceError(
+            f"solve_mwvc expects a graph (rank <= 2), got rank {graph.rank}"
+        )
+    return solve_mwhvc(graph, epsilon, **options)
+
+
+def solve_set_cover(
+    instance: SetCoverInstance,
+    epsilon: Rational | int | float | str = 1,
+    **options,
+) -> CoverResult:
+    """Weighted Set Cover via the Section 2 equivalence.
+
+    The result's ``cover`` contains *set ids*; the guarantee is
+    ``f + eps`` where ``f`` is the maximum element frequency.
+    """
+    return solve_mwhvc(instance.to_hypergraph(), epsilon, **options)

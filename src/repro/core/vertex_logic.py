@@ -1,0 +1,318 @@
+"""The per-vertex automaton of Algorithm MWHVC (Section 3.2, vertex side).
+
+:class:`VertexCore` is a *pure* state machine: it owns the vertex's
+level, its local copies of the dual variables ``delta(e)`` and bids
+``bid(e)``, and implements exactly the vertex steps of one iteration:
+
+* step 3a — the ``beta``-tightness test (:meth:`is_tight`);
+* step 3d — level increments and own-bid halving
+  (:meth:`level_increments`);
+* step 3e — the raise/stuck decision (:meth:`wants_raise`);
+* step 3f (vertex half) — applying the edge's halving total and raise
+  bit to the local copies and growing ``delta`` (:meth:`apply_raise`).
+
+Three different drivers call these methods in schedule order (CONGEST
+node programs, the lockstep executor, and the ILP simulation), so the
+core never touches messages or networks.  All arithmetic is exact
+(:class:`fractions.Fraction`).
+
+Invariant checking (Claims 1, 2, 4 and Corollary 21) lives here because
+every one of those statements is vertex-local; enabling
+``check_invariants`` turns each iteration into a self-verifying step.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+from fractions import Fraction
+
+from repro.core.numeric import half_power
+from repro.exceptions import AlgorithmError, InvariantViolationError
+
+__all__ = ["VertexCore"]
+
+
+class VertexCore:
+    """State and transitions of one MWHVC vertex.
+
+    Parameters
+    ----------
+    vertex:
+        The vertex id (used only in error messages).
+    weight:
+        Positive integer weight ``w(v)``.
+    incident_edges:
+        Ids of hyperedges containing this vertex (``E(v)``).
+    beta:
+        The tightness threshold parameter ``eps/(f + eps)``.
+    z:
+        Level cap from Claim 4; reaching it is an invariant violation.
+    single_increment:
+        Appendix C mode: duals grow by ``bid/2`` and at most one level
+        increment per iteration is expected (Corollary 21).
+    check_invariants:
+        Verify Claims 1, 2, 4 (and Corollary 21) at the end of every
+        iteration.
+    """
+
+    __slots__ = (
+        "vertex",
+        "weight",
+        "edges",
+        "beta",
+        "z",
+        "single_increment",
+        "check_invariants",
+        "level",
+        "delta",
+        "bid",
+        "alpha",
+        "uncovered",
+        "in_cover",
+        "terminated",
+        "total_delta",
+        "stuck_by_level",
+        "total_stuck_events",
+        "total_level_increments",
+    )
+
+    def __init__(
+        self,
+        vertex: int,
+        weight: int,
+        incident_edges: Iterable[int],
+        *,
+        beta: Fraction,
+        z: int,
+        single_increment: bool = False,
+        check_invariants: bool = False,
+    ) -> None:
+        self.vertex = vertex
+        self.weight = Fraction(weight)
+        self.edges = tuple(incident_edges)
+        self.beta = Fraction(beta)
+        self.z = z
+        self.single_increment = single_increment
+        self.check_invariants = check_invariants
+
+        self.level = 0
+        self.delta: dict[int, Fraction] = {}
+        self.bid: dict[int, Fraction] = {}
+        self.alpha: dict[int, Fraction] = {}
+        self.uncovered: set[int] = set(self.edges)
+        self.in_cover = False
+        self.terminated = not self.edges
+        self.total_delta = Fraction(0)
+
+        self.stuck_by_level: Counter[int] = Counter()
+        self.total_stuck_events = 0
+        self.total_level_increments = 0
+
+    # ------------------------------------------------------------------
+    # Iteration 0
+    # ------------------------------------------------------------------
+
+    def record_initial_bid(
+        self, edge_id: int, min_weight: int, min_degree: int, alpha: Fraction
+    ) -> None:
+        """Store ``bid0(e) = w(v_e) / (2 |E(v_e)|)`` computed from the
+        argmin pair the edge reported (Appendix B item 1), plus the
+        alpha this edge will use."""
+        if edge_id in self.delta:
+            raise AlgorithmError(
+                f"vertex {self.vertex}: duplicate initial bid for edge {edge_id}"
+            )
+        bid0 = Fraction(min_weight, 2 * min_degree)
+        self.delta[edge_id] = bid0
+        self.bid[edge_id] = bid0
+        self.alpha[edge_id] = Fraction(alpha)
+        self.total_delta += bid0
+
+    # ------------------------------------------------------------------
+    # Step 3a — beta-tightness
+    # ------------------------------------------------------------------
+
+    def is_tight(self) -> bool:
+        """Whether ``sum_{e in E(v)} delta(e) >= (1 - beta) w(v)``."""
+        return self.total_delta >= (1 - self.beta) * self.weight
+
+    def join_cover(self) -> tuple[int, ...]:
+        """Enter the cover; returns the uncovered edges to notify."""
+        self.in_cover = True
+        self.terminated = True
+        return tuple(sorted(self.uncovered))
+
+    # ------------------------------------------------------------------
+    # Step 3d — level increments and own halvings
+    # ------------------------------------------------------------------
+
+    def level_increments(self) -> int:
+        """Raise the level while ``sum delta > w (1 - 0.5^(l+1))``.
+
+        Halves this vertex's local bid copies once per increment and
+        returns the number of increments (the ``k_v`` this vertex
+        reports to its edges).  Claim 4 (level < z) is enforced
+        unconditionally — it is cheap and a violation means a bug.
+        """
+        increments = 0
+        while self.total_delta > self.weight * (1 - half_power(self.level + 1)):
+            self.level += 1
+            increments += 1
+            if self.level >= self.z:
+                raise InvariantViolationError(
+                    f"vertex {self.vertex} reached level {self.level} >= "
+                    f"z = {self.z} (Claim 4 violated)"
+                )
+        if increments:
+            self.total_level_increments += increments
+            scale = Fraction(1, 1 << increments)
+            for edge_id in self.uncovered:
+                self.bid[edge_id] *= scale
+        if (
+            self.check_invariants
+            and self.single_increment
+            and increments > 1
+        ):
+            raise InvariantViolationError(
+                f"vertex {self.vertex} leveled up {increments} times in one "
+                "iteration in single-increment mode (Corollary 21 violated)"
+            )
+        if self.check_invariants:
+            self._check_eq1()
+        return increments
+
+    def _check_eq1(self) -> None:
+        """Claim 2 / Eq. (1): ``w(1 - 0.5^l) <= sum delta <= w(1 - 0.5^(l+1))``."""
+        lower = self.weight * (1 - half_power(self.level))
+        upper = self.weight * (1 - half_power(self.level + 1))
+        if not lower <= self.total_delta <= upper:
+            raise InvariantViolationError(
+                f"vertex {self.vertex}: Eq. (1) violated at level "
+                f"{self.level}: {lower} <= {self.total_delta} <= {upper} "
+                "does not hold"
+            )
+
+    # ------------------------------------------------------------------
+    # Step 3e — raise or stuck
+    # ------------------------------------------------------------------
+
+    def wants_raise(self) -> bool:
+        """The Line 3e test, generalized to per-edge alphas.
+
+        The paper's condition (global alpha) is
+        ``sum_{e in E'(v)} bid(e) <= (1/alpha) 0.5^(l+1) w(v)``; with
+        per-edge alphas we test
+        ``sum_{e in E'(v)} alpha(e) bid(e) <= 0.5^(l+1) w(v)``, which is
+        identical when all alphas agree and is exactly what Claim 1's
+        case (A) needs in general: if every edge then multiplies its bid
+        by its own alpha, the new bids still sum below the budget.
+        """
+        budget = half_power(self.level + 1) * self.weight
+        weighted = sum(
+            (self.alpha[edge_id] * self.bid[edge_id] for edge_id in self.uncovered),
+            Fraction(0),
+        )
+        raise_flag = weighted <= budget
+        if not raise_flag:
+            self.stuck_by_level[self.level] += 1
+            self.total_stuck_events += 1
+        return raise_flag
+
+    # ------------------------------------------------------------------
+    # Step 3f (vertex half) — halvings by others, raise bit, dual growth
+    # ------------------------------------------------------------------
+
+    def apply_extra_halvings(self, edge_id: int, extra: int) -> None:
+        """Apply the halvings other vertices requested on ``edge_id``.
+
+        ``extra`` is the edge's total minus this vertex's own count
+        (already applied in :meth:`level_increments`).
+        """
+        if extra < 0:
+            raise AlgorithmError(
+                f"vertex {self.vertex}: negative extra halvings {extra} "
+                f"for edge {edge_id}"
+            )
+        if extra:
+            self.bid[edge_id] *= Fraction(1, 1 << extra)
+
+    def apply_raise(self, edge_id: int, raised: bool) -> None:
+        """Multiply the bid by alpha if raised, then grow ``delta(e)``.
+
+        The dual increment is unconditional (step 3f adds the current
+        bid every iteration); only the multiplication is gated on the
+        raise bit.  Appendix C mode adds ``bid/2`` instead of ``bid``.
+        """
+        if edge_id not in self.uncovered:
+            raise AlgorithmError(
+                f"vertex {self.vertex}: raise applied to covered/unknown "
+                f"edge {edge_id}"
+            )
+        if raised:
+            self.bid[edge_id] *= self.alpha[edge_id]
+        increment = self.bid[edge_id]
+        if self.single_increment:
+            increment = increment / 2
+        self.delta[edge_id] += increment
+        self.total_delta += increment
+
+    # ------------------------------------------------------------------
+    # Coverage bookkeeping
+    # ------------------------------------------------------------------
+
+    def edge_covered(self, edge_id: int) -> None:
+        """Edge ``edge_id`` is covered: freeze its dual, drop its bid.
+
+        The frozen ``delta(e)`` keeps counting toward the tightness sum
+        (the paper defines ``delta_i(e)`` as the last assigned value).
+        Terminates the vertex when no uncovered edges remain.
+        """
+        if edge_id not in self.uncovered:
+            raise AlgorithmError(
+                f"vertex {self.vertex}: edge {edge_id} covered twice"
+            )
+        self.uncovered.discard(edge_id)
+        self.bid.pop(edge_id, None)
+        if not self.uncovered and not self.in_cover:
+            self.terminated = True
+
+    # ------------------------------------------------------------------
+    # Invariants (Claims 1 and 2)
+    # ------------------------------------------------------------------
+
+    def verify_post_iteration(self) -> None:
+        """End-of-iteration checks; called by drivers in checked mode.
+
+        * Claim 1: ``sum_{e in E'(v)} bid(e) <= 0.5^(l+1) w(v)``;
+        * dual feasibility half of Claim 2:
+          ``sum_{e in E(v)} delta(e) <= w(v)``;
+        * Claim 4 is enforced eagerly in :meth:`level_increments`.
+        """
+        bid_sum = sum(
+            (self.bid[edge_id] for edge_id in self.uncovered), Fraction(0)
+        )
+        budget = half_power(self.level + 1) * self.weight
+        if bid_sum > budget:
+            raise InvariantViolationError(
+                f"vertex {self.vertex}: Claim 1 violated: sum of bids "
+                f"{bid_sum} > {budget} at level {self.level}"
+            )
+        if self.total_delta > self.weight:
+            raise InvariantViolationError(
+                f"vertex {self.vertex}: dual packing violated: "
+                f"{self.total_delta} > w = {self.weight}"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def slack(self) -> Fraction:
+        """``w(v) - sum_{e in E(v)} delta(e)``."""
+        return self.weight - self.total_delta
+
+    def frozen_delta(self) -> Mapping[int, Fraction]:
+        """This vertex's view of the duals of its incident edges."""
+        return dict(self.delta)

@@ -1,0 +1,64 @@
+"""Shared exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also catching unrelated
+built-in exceptions.  Sub-hierarchies mirror the package layout:
+instance-construction problems, simulator protocol violations, and
+algorithm invariant failures are distinguishable by type.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An input instance (hypergraph, set system, LP/ILP) is malformed.
+
+    Examples: empty hyperedge, non-positive vertex weight, a constraint
+    row with no non-zero coefficients, an infeasible zero-one covering
+    program.
+    """
+
+
+class InfeasibleInstanceError(InvalidInstanceError):
+    """The instance admits no feasible solution at all.
+
+    For covering problems this means some constraint can never be
+    satisfied (e.g. an empty hyperedge, or an ILP row whose maximal
+    assignment still violates the bound).
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The CONGEST simulation itself failed (not the algorithm)."""
+
+
+class BandwidthExceededError(SimulationError):
+    """A message exceeded the CONGEST per-link bandwidth budget."""
+
+
+class ProtocolViolationError(SimulationError):
+    """A node violated the messaging protocol (e.g. sent to a non-neighbor)."""
+
+
+class RoundLimitExceededError(SimulationError):
+    """The simulation did not terminate within the configured round limit."""
+
+
+class AlgorithmError(ReproError, RuntimeError):
+    """An algorithm reached a state its specification forbids."""
+
+
+class InvariantViolationError(AlgorithmError):
+    """A paper invariant (Claims 1, 2, 4; Corollary 21) was violated.
+
+    Raised only when invariant checking is enabled; indicates a bug in
+    the implementation, never expected on valid inputs.
+    """
+
+
+class CertificateError(AlgorithmError):
+    """A produced solution failed its own correctness certificate."""

@@ -1,0 +1,25 @@
+"""Hypergraph substrate: instances, generators, set cover, statistics, I/O."""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.setcover import SetCoverInstance, random_set_cover
+from repro.hypergraph.stats import InstanceStats, instance_stats
+from repro.hypergraph.validation import (
+    check_paper_assumptions,
+    require_cover,
+    require_vertex_subset,
+)
+from repro.hypergraph import generators, io, transforms
+
+__all__ = [
+    "transforms",
+    "Hypergraph",
+    "SetCoverInstance",
+    "random_set_cover",
+    "InstanceStats",
+    "instance_stats",
+    "check_paper_assumptions",
+    "require_cover",
+    "require_vertex_subset",
+    "generators",
+    "io",
+]

@@ -1,0 +1,429 @@
+"""Deterministic random and structured hypergraph generators.
+
+The benchmark harness sweeps the paper's instance parameters
+independently, which requires families where each knob is controlled:
+
+* ``uniform_hypergraph`` — m random rank-``f`` edges (density knob);
+* ``regular_hypergraph`` — configuration-model instances where *every*
+  vertex has degree exactly ``d`` (so ``Δ = d`` is exact — used by the
+  rounds-vs-``Δ`` experiment E3);
+* ``bounded_degree_hypergraph`` — greedy random edges under a degree cap;
+* graph (rank-2) families for the Table 1 experiments;
+* structured instances (paths, cycles, stars, sunflowers, complete
+  graphs) with known optimal covers for exact tests.
+
+All generators take an integer ``seed`` and are reproducible across
+runs and platforms (they rely only on :mod:`random`'s portable core).
+Weights are generated separately (:func:`uniform_weights`,
+:func:`geometric_weights`) so weight spread ``W`` sweeps independently
+of topology — the key requirement of experiment E4.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "uniform_hypergraph",
+    "mixed_rank_hypergraph",
+    "regular_hypergraph",
+    "bounded_degree_hypergraph",
+    "gnp_graph",
+    "random_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_hypergraph",
+    "sunflower_hypergraph",
+    "uniform_weights",
+    "geometric_weights",
+    "degree_proportional_weights",
+]
+
+
+def _sample_edge(rng: random.Random, num_vertices: int, size: int) -> tuple[int, ...]:
+    """One random hyperedge: ``size`` distinct vertices."""
+    return tuple(rng.sample(range(num_vertices), size))
+
+
+def uniform_hypergraph(
+    num_vertices: int,
+    num_edges: int,
+    rank: int,
+    *,
+    seed: int,
+    weights: Sequence[int] | None = None,
+    allow_duplicate_edges: bool = True,
+) -> Hypergraph:
+    """Random ``rank``-uniform hypergraph: every edge has exactly ``rank`` vertices.
+
+    Parameters
+    ----------
+    allow_duplicate_edges:
+        When ``False``, resamples collisions (requires the number of
+        distinct possible edges to exceed ``num_edges``).
+    """
+    if rank < 1:
+        raise InvalidInstanceError(f"rank must be >= 1, got {rank}")
+    if rank > num_vertices:
+        raise InvalidInstanceError(
+            f"rank {rank} exceeds number of vertices {num_vertices}"
+        )
+    rng = random.Random(seed)
+    edges: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    attempts = 0
+    while len(edges) < num_edges:
+        edge = tuple(sorted(_sample_edge(rng, num_vertices, rank)))
+        attempts += 1
+        if not allow_duplicate_edges:
+            if edge in seen:
+                if attempts > 100 * num_edges + 1000:
+                    raise InvalidInstanceError(
+                        "could not sample enough distinct edges; "
+                        "instance too dense for allow_duplicate_edges=False"
+                    )
+                continue
+            seen.add(edge)
+        edges.append(edge)
+    return Hypergraph(num_vertices, edges, weights)
+
+
+def mixed_rank_hypergraph(
+    num_vertices: int,
+    num_edges: int,
+    max_rank: int,
+    *,
+    seed: int,
+    min_rank: int = 1,
+    weights: Sequence[int] | None = None,
+) -> Hypergraph:
+    """Random hypergraph with edge sizes uniform in ``[min_rank, max_rank]``.
+
+    Exercises the non-uniform case: the paper only assumes hyperedge
+    size is *at most* ``f``, and several proofs (e.g. Lemma 6's halving
+    count) depend on per-edge sizes, so tests must not assume
+    uniformity.
+    """
+    if not 1 <= min_rank <= max_rank <= num_vertices:
+        raise InvalidInstanceError(
+            f"need 1 <= min_rank <= max_rank <= n, got "
+            f"min_rank={min_rank}, max_rank={max_rank}, n={num_vertices}"
+        )
+    rng = random.Random(seed)
+    edges = []
+    for _ in range(num_edges):
+        size = rng.randint(min_rank, max_rank)
+        edges.append(_sample_edge(rng, num_vertices, size))
+    return Hypergraph(num_vertices, edges, weights)
+
+
+def regular_hypergraph(
+    num_vertices: int,
+    rank: int,
+    degree: int,
+    *,
+    seed: int,
+    weights: Sequence[int] | None = None,
+    max_retries: int = 200,
+) -> Hypergraph:
+    """Configuration-model hypergraph: ``rank``-uniform, every vertex degree ``degree``.
+
+    Requires ``num_vertices * degree`` divisible by ``rank``.  Stubs are
+    matched uniformly at random; edges with repeated vertices are
+    repaired by random stub swaps (retrying the whole matching when
+    repair stalls), so the result is simple (no vertex repeated inside
+    an edge) with exact ``Δ = degree`` — the property experiment E3
+    needs to sweep ``Δ`` precisely.
+    """
+    if rank < 1 or degree < 1:
+        raise InvalidInstanceError("rank and degree must be >= 1")
+    if rank > num_vertices:
+        raise InvalidInstanceError(
+            f"rank {rank} exceeds number of vertices {num_vertices}"
+        )
+    total_stubs = num_vertices * degree
+    if total_stubs % rank != 0:
+        raise InvalidInstanceError(
+            f"num_vertices*degree = {total_stubs} not divisible by rank {rank}"
+        )
+    num_edges = total_stubs // rank
+    rng = random.Random(seed)
+
+    for _ in range(max_retries):
+        stubs = [vertex for vertex in range(num_vertices) for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges = [
+            stubs[index * rank : (index + 1) * rank] for index in range(num_edges)
+        ]
+        if _repair_duplicate_vertices(rng, edges):
+            return Hypergraph(
+                num_vertices, [tuple(edge) for edge in edges], weights
+            )
+    raise InvalidInstanceError(
+        f"failed to build a simple {rank}-uniform {degree}-regular hypergraph "
+        f"on {num_vertices} vertices after {max_retries} attempts "
+        "(parameters may be too tight, e.g. rank close to n)"
+    )
+
+
+def _repair_duplicate_vertices(
+    rng: random.Random, edges: list[list[int]], max_passes: int = 50
+) -> bool:
+    """Swap stubs between edges until no edge repeats a vertex.
+
+    Returns ``True`` on success.  Each pass visits every defective edge
+    and swaps one offending stub with a random stub of another edge;
+    a swap is kept only if it does not create a new defect in either
+    edge, which makes progress monotone in the number of defects.
+    """
+    def defects(edge: list[int]) -> int:
+        return len(edge) - len(set(edge))
+
+    for _ in range(max_passes):
+        defective = [index for index, edge in enumerate(edges) if defects(edge)]
+        if not defective:
+            return True
+        for edge_index in defective:
+            edge = edges[edge_index]
+            if not defects(edge):
+                continue
+            seen: set[int] = set()
+            dup_position = 0
+            for position, vertex in enumerate(edge):
+                if vertex in seen:
+                    dup_position = position
+                    break
+                seen.add(vertex)
+            for _attempt in range(40):
+                other_index = rng.randrange(len(edges))
+                if other_index == edge_index:
+                    continue
+                other = edges[other_index]
+                other_position = rng.randrange(len(other))
+                vertex_a = edge[dup_position]
+                vertex_b = other[other_position]
+                if vertex_b in edge or vertex_a in other:
+                    continue
+                edge[dup_position] = vertex_b
+                other[other_position] = vertex_a
+                break
+    return all(defects(edge) == 0 for edge in edges)
+
+
+def bounded_degree_hypergraph(
+    num_vertices: int,
+    num_edges: int,
+    rank: int,
+    max_degree: int,
+    *,
+    seed: int,
+    weights: Sequence[int] | None = None,
+) -> Hypergraph:
+    """Random rank-``rank`` edges subject to a hard per-vertex degree cap.
+
+    Edges are sampled from vertices with remaining capacity; generation
+    fails if capacity runs out (``num_edges * rank`` must be at most
+    ``num_vertices * max_degree``).
+    """
+    if num_edges * rank > num_vertices * max_degree:
+        raise InvalidInstanceError(
+            f"capacity exceeded: {num_edges} edges of rank {rank} need "
+            f"{num_edges * rank} slots but only "
+            f"{num_vertices * max_degree} available"
+        )
+    rng = random.Random(seed)
+    remaining = [max_degree] * num_vertices
+    edges: list[tuple[int, ...]] = []
+    for edge_id in range(num_edges):
+        available = [vertex for vertex in range(num_vertices) if remaining[vertex] > 0]
+        if len(available) < rank:
+            raise InvalidInstanceError(
+                f"ran out of degree capacity after {edge_id} edges; "
+                "lower num_edges or raise max_degree"
+            )
+        edge = tuple(rng.sample(available, rank))
+        for vertex in edge:
+            remaining[vertex] -= 1
+        edges.append(edge)
+    return Hypergraph(num_vertices, edges, weights)
+
+
+# ----------------------------------------------------------------------
+# Graph (rank-2) families for the Table 1 experiments
+# ----------------------------------------------------------------------
+
+
+def gnp_graph(
+    num_vertices: int,
+    probability: float,
+    *,
+    seed: int,
+    weights: Sequence[int] | None = None,
+) -> Hypergraph:
+    """Erdős–Rényi ``G(n, p)`` as a rank-2 hypergraph (isolated vertices kept)."""
+    if not 0.0 <= probability <= 1.0:
+        raise InvalidInstanceError(f"probability must be in [0,1], got {probability}")
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(num_vertices)
+        for v in range(u + 1, num_vertices)
+        if rng.random() < probability
+    ]
+    return Hypergraph(num_vertices, edges, weights)
+
+
+def random_graph(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    seed: int,
+    weights: Sequence[int] | None = None,
+) -> Hypergraph:
+    """``num_edges`` distinct uniform random edges on ``num_vertices`` vertices."""
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise InvalidInstanceError(
+            f"requested {num_edges} distinct edges but only {max_edges} exist"
+        )
+    rng = random.Random(seed)
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        chosen.add((min(u, v), max(u, v)))
+    return Hypergraph(num_vertices, sorted(chosen), weights)
+
+
+def path_graph(
+    num_vertices: int, weights: Sequence[int] | None = None
+) -> Hypergraph:
+    """Path ``0-1-...-(n-1)``; optimal covers are known exactly for tests."""
+    edges = [(v, v + 1) for v in range(num_vertices - 1)]
+    return Hypergraph(num_vertices, edges, weights)
+
+
+def cycle_graph(
+    num_vertices: int, weights: Sequence[int] | None = None
+) -> Hypergraph:
+    """Cycle on ``num_vertices >= 3`` vertices."""
+    if num_vertices < 3:
+        raise InvalidInstanceError("a cycle needs at least 3 vertices")
+    edges = [(v, (v + 1) % num_vertices) for v in range(num_vertices)]
+    return Hypergraph(num_vertices, edges, weights)
+
+
+def complete_graph(
+    num_vertices: int, weights: Sequence[int] | None = None
+) -> Hypergraph:
+    """Complete graph ``K_n`` (optimal unweighted cover is ``n - 1``)."""
+    edges = [
+        (u, v) for u in range(num_vertices) for v in range(u + 1, num_vertices)
+    ]
+    return Hypergraph(num_vertices, edges, weights)
+
+
+def star_hypergraph(
+    num_leaves: int,
+    rank: int,
+    *,
+    weights: Sequence[int] | None = None,
+) -> Hypergraph:
+    """A hub vertex 0 in every edge; each edge adds ``rank - 1`` fresh leaves.
+
+    ``Δ = num_leaves`` exactly at the hub; the optimal cover is ``{0}``
+    whenever the hub is the cheapest option — a sharp test for both the
+    algorithm and for the ``Δ``-sweeps.
+    """
+    if rank < 2:
+        raise InvalidInstanceError("star edges need rank >= 2")
+    edges = []
+    next_vertex = 1
+    for _ in range(num_leaves):
+        edge = (0,) + tuple(range(next_vertex, next_vertex + rank - 1))
+        next_vertex += rank - 1
+        edges.append(edge)
+    return Hypergraph(next_vertex, edges, weights)
+
+
+def sunflower_hypergraph(
+    num_petals: int,
+    core_size: int,
+    petal_size: int,
+    *,
+    weights: Sequence[int] | None = None,
+) -> Hypergraph:
+    """Sunflower: every edge = common core + a private petal.
+
+    Any single core vertex covers everything; the structure creates
+    maximal coordination pressure among the core vertices, a classic
+    stress case for bid-raising schemes.
+    """
+    if core_size < 1 or petal_size < 0 or num_petals < 1:
+        raise InvalidInstanceError("need core_size>=1, petal_size>=0, petals>=1")
+    core = tuple(range(core_size))
+    edges = []
+    next_vertex = core_size
+    for _ in range(num_petals):
+        petal = tuple(range(next_vertex, next_vertex + petal_size))
+        next_vertex += petal_size
+        edges.append(core + petal)
+    return Hypergraph(next_vertex, edges, weights)
+
+
+# ----------------------------------------------------------------------
+# Weight generators
+# ----------------------------------------------------------------------
+
+
+def uniform_weights(num_vertices: int, max_weight: int, *, seed: int) -> list[int]:
+    """Integer weights uniform in ``[1, max_weight]``."""
+    if max_weight < 1:
+        raise InvalidInstanceError(f"max_weight must be >= 1, got {max_weight}")
+    rng = random.Random(seed)
+    return [rng.randint(1, max_weight) for _ in range(num_vertices)]
+
+
+def geometric_weights(
+    num_vertices: int, max_weight: int, *, seed: int
+) -> list[int]:
+    """Weights log-uniform in ``[1, max_weight]`` (heavy spread for E4).
+
+    Log-uniform sampling makes every order of magnitude equally likely,
+    which is the regime where weight-dependent algorithms pay their
+    ``log W`` factor in full.
+    """
+    if max_weight < 1:
+        raise InvalidInstanceError(f"max_weight must be >= 1, got {max_weight}")
+    rng = random.Random(seed)
+    import math
+
+    log_max = math.log(max_weight) if max_weight > 1 else 0.0
+    return [
+        max(1, min(max_weight, round(math.exp(rng.uniform(0.0, log_max)))))
+        for _ in range(num_vertices)
+    ]
+
+
+def degree_proportional_weights(
+    hypergraph: Hypergraph, scale: int = 1
+) -> list[int]:
+    """Weight each vertex ``scale * (degree + 1)``.
+
+    Normalized weights ``w(v)/|E(v)|`` are then nearly equal, which
+    maximizes bid ties — a useful adversarial weighting for the
+    primal–dual schema.
+    """
+    if scale < 1:
+        raise InvalidInstanceError(f"scale must be >= 1, got {scale}")
+    return [
+        scale * (hypergraph.degree(vertex) + 1)
+        for vertex in range(hypergraph.num_vertices)
+    ]

@@ -1,0 +1,259 @@
+"""Weighted hypergraph data structure for covering problems.
+
+A hypergraph ``G = (V, E)`` with positive integer vertex weights is the
+central combinatorial object of the paper: Minimum Weight Hypergraph
+Vertex Cover (MWHVC) asks for a minimum-weight vertex subset meeting
+every hyperedge.  The *rank* ``f`` is the maximum hyperedge size and the
+*degree* ``Δ`` is the maximum number of hyperedges containing a single
+vertex; both parameterize every bound in the paper.
+
+Vertices and hyperedges are identified by dense integer ids
+(``0..n-1`` and ``0..m-1``), which keeps the CONGEST simulator and the
+algorithm state machines allocation-friendly and deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """An immutable vertex-weighted hypergraph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``; vertices are ``0..n-1``.
+    edges:
+        Iterable of hyperedges, each a non-empty iterable of distinct
+        vertex ids.  Edges are stored as sorted tuples in input order.
+    weights:
+        Optional sequence of ``n`` positive integer vertex weights.
+        Defaults to all ones (the unweighted / cardinality problem).
+
+    Raises
+    ------
+    InvalidInstanceError
+        On malformed input: negative ids, out-of-range ids, duplicate
+        vertices inside an edge, non-positive or non-integer weights.
+    InfeasibleInstanceError
+        If some hyperedge is empty (it can never be covered).
+
+    Examples
+    --------
+    >>> hg = Hypergraph(4, [(0, 1), (1, 2, 3)], weights=[3, 1, 2, 2])
+    >>> hg.rank, hg.max_degree
+    (3, 2)
+    >>> hg.is_cover({1})
+    True
+    """
+
+    __slots__ = (
+        "_num_vertices",
+        "_edges",
+        "_weights",
+        "_incidence",
+        "_rank",
+        "_max_degree",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[Iterable[int]],
+        weights: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not isinstance(num_vertices, int) or num_vertices < 0:
+            raise InvalidInstanceError(
+                f"num_vertices must be a non-negative int, got {num_vertices!r}"
+            )
+        self._num_vertices = num_vertices
+
+        normalized_edges: list[tuple[int, ...]] = []
+        incidence: list[list[int]] = [[] for _ in range(num_vertices)]
+        for edge_id, raw_edge in enumerate(edges):
+            members = tuple(sorted(raw_edge))
+            if not members:
+                raise InfeasibleInstanceError(
+                    f"hyperedge {edge_id} is empty and can never be covered"
+                )
+            if len(set(members)) != len(members):
+                raise InvalidInstanceError(
+                    f"hyperedge {edge_id} contains duplicate vertices: {raw_edge!r}"
+                )
+            for vertex in members:
+                if not isinstance(vertex, int) or isinstance(vertex, bool):
+                    raise InvalidInstanceError(
+                        f"hyperedge {edge_id} has non-int vertex {vertex!r}"
+                    )
+                if not 0 <= vertex < num_vertices:
+                    raise InvalidInstanceError(
+                        f"hyperedge {edge_id} references vertex {vertex} "
+                        f"outside 0..{num_vertices - 1}"
+                    )
+                incidence[vertex].append(edge_id)
+            normalized_edges.append(members)
+        self._edges = tuple(normalized_edges)
+        self._incidence = tuple(tuple(edge_ids) for edge_ids in incidence)
+
+        if weights is None:
+            weight_tuple = (1,) * num_vertices
+        else:
+            weight_list = list(weights)
+            if len(weight_list) != num_vertices:
+                raise InvalidInstanceError(
+                    f"expected {num_vertices} weights, got {len(weight_list)}"
+                )
+            for vertex, weight in enumerate(weight_list):
+                if isinstance(weight, bool) or not isinstance(weight, int):
+                    raise InvalidInstanceError(
+                        f"weight of vertex {vertex} must be int, got {weight!r}"
+                    )
+                if weight <= 0:
+                    raise InvalidInstanceError(
+                        f"weight of vertex {vertex} must be positive, got {weight}"
+                    )
+            weight_tuple = tuple(weight_list)
+        self._weights = weight_tuple
+
+        self._rank = max((len(edge) for edge in self._edges), default=0)
+        self._max_degree = max(
+            (len(edge_ids) for edge_ids in self._incidence), default=0
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of hyperedges ``m``."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> tuple[tuple[int, ...], ...]:
+        """All hyperedges as sorted vertex tuples, indexed by edge id."""
+        return self._edges
+
+    @property
+    def weights(self) -> tuple[int, ...]:
+        """Vertex weights indexed by vertex id."""
+        return self._weights
+
+    @property
+    def rank(self) -> int:
+        """The rank ``f``: maximum hyperedge size (0 if no edges)."""
+        return self._rank
+
+    @property
+    def max_degree(self) -> int:
+        """The maximum degree ``Δ``: most hyperedges on one vertex."""
+        return self._max_degree
+
+    @property
+    def max_weight_ratio(self) -> int:
+        """``W`` as used in the paper: max weight / min weight, rounded up.
+
+        Returns 1 for the empty hypergraph.
+        """
+        if not self._weights:
+            return 1
+        largest = max(self._weights)
+        smallest = min(self._weights)
+        return -(-largest // smallest)
+
+    def edge(self, edge_id: int) -> tuple[int, ...]:
+        """Vertices of hyperedge ``edge_id``."""
+        return self._edges[edge_id]
+
+    def weight(self, vertex: int) -> int:
+        """Weight of ``vertex``."""
+        return self._weights[vertex]
+
+    def incident_edges(self, vertex: int) -> tuple[int, ...]:
+        """Ids of hyperedges containing ``vertex`` (``E(v)``)."""
+        return self._incidence[vertex]
+
+    def degree(self, vertex: int) -> int:
+        """``|E(v)|``: the number of hyperedges containing ``vertex``."""
+        return len(self._incidence[vertex])
+
+    def local_max_degree(self, edge_id: int) -> int:
+        """``Δ(e) = max_{u in e} |E(u)|`` (Theorem 9's local variant)."""
+        return max(self.degree(vertex) for vertex in self._edges[edge_id])
+
+    # ------------------------------------------------------------------
+    # Cover queries
+    # ------------------------------------------------------------------
+
+    def is_cover(self, vertices: Iterable[int]) -> bool:
+        """Whether ``vertices`` intersects every hyperedge."""
+        chosen = set(vertices)
+        return all(chosen.intersection(edge) for edge in self._edges)
+
+    def uncovered_edges(self, vertices: Iterable[int]) -> list[int]:
+        """Ids of hyperedges disjoint from ``vertices``."""
+        chosen = set(vertices)
+        return [
+            edge_id
+            for edge_id, edge in enumerate(self._edges)
+            if not chosen.intersection(edge)
+        ]
+
+    def cover_weight(self, vertices: Iterable[int]) -> int:
+        """Total weight of a vertex set (vertices counted once each)."""
+        return sum(self._weights[vertex] for vertex in set(vertices))
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return (
+            self._num_vertices == other._num_vertices
+            and self._edges == other._edges
+            and self._weights == other._weights
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_vertices, self._edges, self._weights))
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(n={self._num_vertices}, m={self.num_edges}, "
+            f"f={self._rank}, max_degree={self._max_degree})"
+        )
+
+    def reweighted(self, weights: Sequence[int]) -> "Hypergraph":
+        """A copy of this hypergraph with different vertex weights."""
+        return Hypergraph(self._num_vertices, self._edges, weights)
+
+    def without_isolated_vertices(self) -> tuple["Hypergraph", list[int]]:
+        """Drop degree-0 vertices.
+
+        Returns the compacted hypergraph and a mapping from new vertex
+        ids to original ids.  Useful before expensive exact solves.
+        """
+        kept = [
+            vertex
+            for vertex in range(self._num_vertices)
+            if self._incidence[vertex]
+        ]
+        new_id = {old: new for new, old in enumerate(kept)}
+        edges = [
+            tuple(new_id[vertex] for vertex in edge) for edge in self._edges
+        ]
+        weights = [self._weights[vertex] for vertex in kept]
+        return Hypergraph(len(kept), edges, weights), kept

@@ -1,0 +1,96 @@
+"""Text serialization for hypergraphs (a DIMACS-like line format).
+
+Format (whitespace separated, ``c``-prefixed comment lines ignored)::
+
+    p mwhvc <num_vertices> <num_edges>
+    w <w0> <w1> ... <w_{n-1}>          # optional; defaults to all ones
+    e <v> <v> ...                      # one line per hyperedge
+
+The format is deliberately minimal and line-oriented so instances can be
+versioned, diffed, and produced by other tools.  ``loads``/``dumps`` are
+exact inverses (modulo comments), which the round-trip tests enforce.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["dumps", "loads", "save", "load"]
+
+
+def dumps(hypergraph: Hypergraph, *, comment: str | None = None) -> str:
+    """Serialize ``hypergraph`` to the text format."""
+    lines: list[str] = []
+    if comment:
+        for comment_line in comment.splitlines():
+            lines.append(f"c {comment_line}")
+    lines.append(
+        f"p mwhvc {hypergraph.num_vertices} {hypergraph.num_edges}"
+    )
+    if any(weight != 1 for weight in hypergraph.weights):
+        lines.append("w " + " ".join(str(weight) for weight in hypergraph.weights))
+    for edge in hypergraph.edges:
+        lines.append("e " + " ".join(str(vertex) for vertex in edge))
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Hypergraph:
+    """Parse the text format back into a :class:`Hypergraph`."""
+    num_vertices: int | None = None
+    declared_edges: int | None = None
+    weights: list[int] | None = None
+    edges: list[tuple[int, ...]] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        fields = line.split()
+        tag = fields[0]
+        if tag == "p":
+            if num_vertices is not None:
+                raise InvalidInstanceError(
+                    f"line {line_number}: duplicate problem line"
+                )
+            if len(fields) != 4 or fields[1] != "mwhvc":
+                raise InvalidInstanceError(
+                    f"line {line_number}: expected 'p mwhvc <n> <m>', got {line!r}"
+                )
+            num_vertices = int(fields[2])
+            declared_edges = int(fields[3])
+        elif tag == "w":
+            if num_vertices is None:
+                raise InvalidInstanceError(
+                    f"line {line_number}: weights before problem line"
+                )
+            weights = [int(field) for field in fields[1:]]
+        elif tag == "e":
+            if num_vertices is None:
+                raise InvalidInstanceError(
+                    f"line {line_number}: edge before problem line"
+                )
+            edges.append(tuple(int(field) for field in fields[1:]))
+        else:
+            raise InvalidInstanceError(
+                f"line {line_number}: unknown line tag {tag!r}"
+            )
+    if num_vertices is None:
+        raise InvalidInstanceError("missing problem line 'p mwhvc <n> <m>'")
+    if declared_edges is not None and declared_edges != len(edges):
+        raise InvalidInstanceError(
+            f"problem line declares {declared_edges} edges but "
+            f"{len(edges)} were given"
+        )
+    return Hypergraph(num_vertices, edges, weights)
+
+
+def save(hypergraph: Hypergraph, path: str | Path, *, comment: str | None = None) -> None:
+    """Write ``hypergraph`` to ``path`` in the text format."""
+    Path(path).write_text(dumps(hypergraph, comment=comment), encoding="utf-8")
+
+
+def load(path: str | Path) -> Hypergraph:
+    """Read a hypergraph from ``path``."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,167 @@
+"""Weighted Set Cover instances and the reduction to/from MWHVC.
+
+Section 2 of the paper: a set system ``(X, U)`` with set weights maps to
+a hypergraph with one *vertex* per set and one *hyperedge* per element
+(the hyperedge contains exactly the sets covering that element).  The
+hypergraph's rank ``f`` equals the maximum element frequency, and the
+degree ``Δ`` equals the maximum set size.
+
+This module keeps set-cover vocabulary (elements, sets) as a first-class
+citizen so the examples read naturally, and provides exact round-trip
+conversions used by the property tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+import random
+
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["SetCoverInstance", "random_set_cover"]
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A weighted set-cover instance over elements ``0..num_elements-1``.
+
+    Attributes
+    ----------
+    num_elements:
+        Size of the universe ``|X|``.
+    sets:
+        Tuple of sets, each a sorted tuple of element ids.
+    weights:
+        Positive integer weight per set.
+    """
+
+    num_elements: int
+    sets: tuple[tuple[int, ...], ...]
+    weights: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        normalized = tuple(tuple(sorted(set(chosen))) for chosen in self.sets)
+        object.__setattr__(self, "sets", normalized)
+        if not self.weights:
+            object.__setattr__(self, "weights", (1,) * len(self.sets))
+        if len(self.weights) != len(self.sets):
+            raise InvalidInstanceError(
+                f"{len(self.sets)} sets but {len(self.weights)} weights"
+            )
+        for index, weight in enumerate(self.weights):
+            if isinstance(weight, bool) or not isinstance(weight, int) or weight <= 0:
+                raise InvalidInstanceError(
+                    f"weight of set {index} must be a positive int, got {weight!r}"
+                )
+        covered: set[int] = set()
+        for index, chosen in enumerate(self.sets):
+            for element in chosen:
+                if not 0 <= element < self.num_elements:
+                    raise InvalidInstanceError(
+                        f"set {index} references element {element} outside "
+                        f"0..{self.num_elements - 1}"
+                    )
+            covered.update(chosen)
+        missing = set(range(self.num_elements)) - covered
+        if missing:
+            raise InfeasibleInstanceError(
+                f"elements {sorted(missing)[:5]}... belong to no set; "
+                "no cover exists"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets ``|U|``."""
+        return len(self.sets)
+
+    @property
+    def max_frequency(self) -> int:
+        """``f``: the most sets any single element appears in."""
+        frequency = [0] * self.num_elements
+        for chosen in self.sets:
+            for element in chosen:
+                frequency[element] += 1
+        return max(frequency, default=0)
+
+    @property
+    def max_set_size(self) -> int:
+        """``Δ`` of the equivalent hypergraph: the largest set."""
+        return max((len(chosen) for chosen in self.sets), default=0)
+
+    def is_cover(self, chosen_sets: Iterable[int]) -> bool:
+        """Whether the chosen set ids cover every element."""
+        covered: set[int] = set()
+        for set_id in chosen_sets:
+            covered.update(self.sets[set_id])
+        return len(covered) == self.num_elements
+
+    def cover_weight(self, chosen_sets: Iterable[int]) -> int:
+        """Total weight of the chosen sets."""
+        return sum(self.weights[set_id] for set_id in set(chosen_sets))
+
+    # ------------------------------------------------------------------
+    # Reductions (Section 2 of the paper)
+    # ------------------------------------------------------------------
+
+    def to_hypergraph(self) -> Hypergraph:
+        """The equivalent MWHVC instance.
+
+        Vertex ``i`` is set ``i``; hyperedge ``x`` is element ``x`` and
+        contains the sets covering ``x``.  A hypergraph vertex cover is
+        exactly a set cover of the same weight, so solutions transfer
+        with no translation of ids.
+        """
+        element_edges: list[list[int]] = [[] for _ in range(self.num_elements)]
+        for set_id, chosen in enumerate(self.sets):
+            for element in chosen:
+                element_edges[element].append(set_id)
+        return Hypergraph(self.num_sets, element_edges, self.weights)
+
+    @staticmethod
+    def from_hypergraph(hypergraph: Hypergraph) -> "SetCoverInstance":
+        """Inverse reduction: vertices become sets, hyperedges become elements."""
+        sets: list[list[int]] = [
+            list(hypergraph.incident_edges(vertex))
+            for vertex in range(hypergraph.num_vertices)
+        ]
+        return SetCoverInstance(
+            num_elements=hypergraph.num_edges,
+            sets=tuple(tuple(chosen) for chosen in sets),
+            weights=hypergraph.weights,
+        )
+
+
+def random_set_cover(
+    num_elements: int,
+    num_sets: int,
+    *,
+    seed: int,
+    max_frequency: int = 3,
+    max_weight: int = 10,
+) -> SetCoverInstance:
+    """Random feasible set-cover instance with element frequency <= ``max_frequency``.
+
+    Every element is placed in between 1 and ``max_frequency`` distinct
+    sets chosen uniformly, which guarantees feasibility and bounds the
+    rank ``f`` of the equivalent hypergraph by construction.
+    """
+    if num_sets < 1:
+        raise InvalidInstanceError("need at least one set")
+    if max_frequency < 1:
+        raise InvalidInstanceError("max_frequency must be >= 1")
+    rng = random.Random(seed)
+    members: list[set[int]] = [set() for _ in range(num_sets)]
+    for element in range(num_elements):
+        frequency = rng.randint(1, min(max_frequency, num_sets))
+        for set_id in rng.sample(range(num_sets), frequency):
+            members[set_id].add(element)
+    weights = [rng.randint(1, max_weight) for _ in range(num_sets)]
+    return SetCoverInstance(
+        num_elements=num_elements,
+        sets=tuple(tuple(sorted(chosen)) for chosen in members),
+        weights=tuple(weights),
+    )

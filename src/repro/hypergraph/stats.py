@@ -1,0 +1,91 @@
+"""Instance statistics used by the benchmark reports.
+
+The paper's bounds are stated in terms of a handful of instance
+parameters (``n``, ``m``, ``f``, ``Δ``, ``W``); this module computes
+them together with distributional summaries that make benchmark tables
+self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["InstanceStats", "instance_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceStats:
+    """Summary statistics of a hypergraph instance.
+
+    Attributes mirror the paper's notation where one exists:
+    ``rank`` is ``f``, ``max_degree`` is ``Δ``, ``weight_ratio`` is
+    ``W`` (max weight over min weight).
+    """
+
+    num_vertices: int
+    num_edges: int
+    rank: int
+    min_edge_size: int
+    mean_edge_size: float
+    max_degree: int
+    min_degree: int
+    mean_degree: float
+    median_degree: float
+    isolated_vertices: int
+    min_weight: int
+    max_weight: int
+    weight_ratio: float
+    total_weight: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for table rendering and JSON dumps."""
+        return {
+            "n": self.num_vertices,
+            "m": self.num_edges,
+            "f": self.rank,
+            "min_edge_size": self.min_edge_size,
+            "mean_edge_size": self.mean_edge_size,
+            "max_degree": self.max_degree,
+            "min_degree": self.min_degree,
+            "mean_degree": self.mean_degree,
+            "median_degree": self.median_degree,
+            "isolated_vertices": self.isolated_vertices,
+            "min_weight": self.min_weight,
+            "max_weight": self.max_weight,
+            "W": self.weight_ratio,
+            "total_weight": self.total_weight,
+        }
+
+
+def instance_stats(hypergraph: Hypergraph) -> InstanceStats:
+    """Compute :class:`InstanceStats` for ``hypergraph``.
+
+    Degenerate cases (no vertices / no edges) produce zeros rather than
+    raising, so sweep harnesses can log them uniformly.
+    """
+    degrees = [
+        hypergraph.degree(vertex) for vertex in range(hypergraph.num_vertices)
+    ]
+    edge_sizes = [len(edge) for edge in hypergraph.edges]
+    weights = hypergraph.weights
+    min_weight = min(weights) if weights else 0
+    max_weight = max(weights) if weights else 0
+    return InstanceStats(
+        num_vertices=hypergraph.num_vertices,
+        num_edges=hypergraph.num_edges,
+        rank=hypergraph.rank,
+        min_edge_size=min(edge_sizes) if edge_sizes else 0,
+        mean_edge_size=mean(edge_sizes) if edge_sizes else 0.0,
+        max_degree=hypergraph.max_degree,
+        min_degree=min(degrees) if degrees else 0,
+        mean_degree=mean(degrees) if degrees else 0.0,
+        median_degree=median(degrees) if degrees else 0.0,
+        isolated_vertices=sum(1 for degree in degrees if degree == 0),
+        min_weight=min_weight,
+        max_weight=max_weight,
+        weight_ratio=(max_weight / min_weight) if min_weight else 0.0,
+        total_weight=sum(weights),
+    )

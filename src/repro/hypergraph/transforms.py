@@ -1,0 +1,123 @@
+"""Instance transformations for experiment construction.
+
+These operations build larger or modified instances from existing ones
+while tracking how covers map back — used by the benchmark harness to
+scale families and by tests to derive instances with known optima:
+
+* :func:`disjoint_union` — optima add up; rounds are governed by the
+  hardest component (locality in action);
+* :func:`induced_subhypergraph` — restrict to a vertex subset, keeping
+  edges fully inside it;
+* :func:`subdivide_edges` — split every hyperedge into two halves
+  sharing a fresh "bridge" vertex (rank and structure control);
+* :func:`scale_weights` — multiply all weights (the algorithm must be
+  invariant to this; tests assert it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "disjoint_union",
+    "induced_subhypergraph",
+    "subdivide_edges",
+    "scale_weights",
+]
+
+
+def disjoint_union(parts: Sequence[Hypergraph]) -> tuple[Hypergraph, list[int]]:
+    """Disjoint union of instances.
+
+    Returns the union and the vertex-id offset of each part (part
+    ``k``'s vertex ``v`` becomes ``offsets[k] + v``).  The minimum
+    cover of the union is the sum of the parts' minima, and a
+    distributed algorithm's round count is the max over parts — a
+    useful sanity family for locality tests.
+    """
+    if not parts:
+        return Hypergraph(0, []), []
+    offsets: list[int] = []
+    edges: list[tuple[int, ...]] = []
+    weights: list[int] = []
+    total = 0
+    for part in parts:
+        offsets.append(total)
+        for edge in part.edges:
+            edges.append(tuple(vertex + total for vertex in edge))
+        weights.extend(part.weights)
+        total += part.num_vertices
+    return Hypergraph(total, edges, weights), offsets
+
+
+def induced_subhypergraph(
+    hypergraph: Hypergraph, vertices: Iterable[int]
+) -> tuple[Hypergraph, list[int]]:
+    """Restrict to ``vertices``; keep only edges fully inside the set.
+
+    Returns the sub-instance and the mapping from new ids to original
+    ids (sorted).  Edges that lose any member are dropped entirely —
+    the subhypergraph's covers are exactly the covers of the kept
+    edges.
+    """
+    kept = sorted(set(vertices))
+    for vertex in kept:
+        if not 0 <= vertex < hypergraph.num_vertices:
+            raise InvalidInstanceError(
+                f"vertex {vertex} outside 0..{hypergraph.num_vertices - 1}"
+            )
+    new_id = {old: new for new, old in enumerate(kept)}
+    edges = [
+        tuple(new_id[vertex] for vertex in edge)
+        for edge in hypergraph.edges
+        if all(vertex in new_id for vertex in edge)
+    ]
+    weights = [hypergraph.weight(vertex) for vertex in kept]
+    return Hypergraph(len(kept), edges, weights), kept
+
+
+def subdivide_edges(
+    hypergraph: Hypergraph, *, bridge_weight: int = 1
+) -> Hypergraph:
+    """Split every edge of size >= 2 into two halves joined by a fresh
+    bridge vertex.
+
+    Edge ``{v1..vk}`` becomes ``{v1..v_ceil(k/2), b}`` and
+    ``{b, v_(ceil(k/2)+1)..vk}`` with a new vertex ``b`` of weight
+    ``bridge_weight``.  Covering both halves either uses an original
+    member of each half or the single bridge — the hypergraph analogue
+    of graph edge subdivision.  Size-1 edges are kept as is.
+    """
+    if bridge_weight < 1:
+        raise InvalidInstanceError("bridge_weight must be >= 1")
+    edges: list[tuple[int, ...]] = []
+    weights = list(hypergraph.weights)
+    next_vertex = hypergraph.num_vertices
+    for edge in hypergraph.edges:
+        if len(edge) < 2:
+            edges.append(edge)
+            continue
+        half = (len(edge) + 1) // 2
+        bridge = next_vertex
+        next_vertex += 1
+        weights.append(bridge_weight)
+        edges.append(tuple(edge[:half]) + (bridge,))
+        edges.append((bridge,) + tuple(edge[half:]))
+    return Hypergraph(next_vertex, edges, weights)
+
+
+def scale_weights(hypergraph: Hypergraph, factor: int) -> Hypergraph:
+    """Multiply every vertex weight by a positive integer factor.
+
+    The algorithm's behaviour is invariant under uniform weight
+    scaling (bids, duals and thresholds all scale linearly); tests
+    assert covers and round counts are unchanged.
+    """
+    if factor < 1:
+        raise InvalidInstanceError(f"factor must be >= 1, got {factor}")
+    return hypergraph.reweighted(
+        [weight * factor for weight in hypergraph.weights]
+    )

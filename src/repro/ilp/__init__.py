@@ -1,0 +1,27 @@
+"""Covering-ILP layer: programs, reductions (Lemma 14 / Claim 18), solvers."""
+
+from repro.ilp.binary_expansion import BinaryExpansion, expand_to_zero_one
+from repro.ilp.distributed import run_ilp_simulation
+from repro.ilp.program import CoveringILP, exact_ilp_optimum
+from repro.ilp.reduction import (
+    ZeroOneReduction,
+    reduce_zero_one,
+    row_hyperedges,
+)
+from repro.ilp.solver import ILPResult, solve_covering_ilp, solve_zero_one
+from repro.ilp.zero_one import ZeroOneProgram
+
+__all__ = [
+    "BinaryExpansion",
+    "expand_to_zero_one",
+    "run_ilp_simulation",
+    "CoveringILP",
+    "exact_ilp_optimum",
+    "ZeroOneReduction",
+    "reduce_zero_one",
+    "row_hyperedges",
+    "ILPResult",
+    "solve_covering_ilp",
+    "solve_zero_one",
+    "ZeroOneProgram",
+]

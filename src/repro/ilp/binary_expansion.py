@@ -1,0 +1,120 @@
+"""Claim 18: reducing general covering ILPs to zero-one programs.
+
+Proposition 17 bounds some optimal solution inside the box
+``[0, M]^n`` with ``M = M(A, b)``; each variable ``x_j`` is then
+replaced by ``B`` binary variables encoding its binary representation::
+
+    x_j = sum_{l < B} 2^l x_{j,l}
+
+with column ``j`` of ``A`` duplicated and scaled by ``2^l``, and the
+weight likewise.  We use ``B = floor(log2(ceil(M))) + 1`` bits so that
+``2^B - 1 >= ceil(M)`` (the paper writes ``ceil(log2 M + 1)``, an
+equivalent bound); the resulting rank satisfies Claim 18's
+``f(A') <= f(A) * ceil(log2 M + 1)`` and ``Delta(A') = Delta(A)``.
+
+``bits="per-variable"`` tightens the construction by giving each
+variable only the bits its own box
+``M_j = max_i ceil(b_i/A_ij)`` requires — the guarantees are identical
+and the expanded program is smaller; tests verify both modes agree on
+optima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.exceptions import InvalidInstanceError
+from repro.ilp.program import CoveringILP
+from repro.ilp.zero_one import ZeroOneProgram
+
+__all__ = ["BinaryExpansion", "expand_to_zero_one"]
+
+BitsMode = Literal["global", "per-variable"]
+
+
+def _bits_for(box: int) -> int:
+    """Smallest ``B`` with ``2^B - 1 >= box`` (at least 1)."""
+    bits = 1
+    while (1 << bits) - 1 < box:
+        bits += 1
+    return bits
+
+
+@dataclass(frozen=True)
+class BinaryExpansion:
+    """The zero-one program of Claim 18 plus the variable mapping.
+
+    ``bit_variables[j]`` lists, in ascending significance, the zero-one
+    variable ids that encode ILP variable ``j``.
+    """
+
+    ilp: CoveringILP
+    program: ZeroOneProgram
+    bit_variables: tuple[tuple[int, ...], ...]
+    bits_mode: BitsMode
+
+    def assignment_from_binary(
+        self, binary_assignment: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        """Decode a zero-one assignment back to ILP variable values."""
+        values = []
+        for bits in self.bit_variables:
+            value = 0
+            for significance, bit_variable in enumerate(bits):
+                if binary_assignment[bit_variable]:
+                    value += 1 << significance
+            values.append(value)
+        return tuple(values)
+
+    @property
+    def max_bits(self) -> int:
+        """The largest per-variable bit count ``B``."""
+        return max((len(bits) for bits in self.bit_variables), default=0)
+
+
+def expand_to_zero_one(
+    ilp: CoveringILP, *, bits: BitsMode = "global"
+) -> BinaryExpansion:
+    """Apply Claim 18 to a covering ILP."""
+    if bits not in ("global", "per-variable"):
+        raise InvalidInstanceError(
+            f"bits must be 'global' or 'per-variable', got {bits!r}"
+        )
+    global_box = -(-ilp.box_bound.numerator // ilp.box_bound.denominator)
+    bit_variables: list[tuple[int, ...]] = []
+    weights: list[int] = []
+    next_variable = 0
+    for variable in range(ilp.num_variables):
+        box = (
+            global_box if bits == "global" else ilp.variable_box(variable)
+        )
+        count = _bits_for(box)
+        ids = tuple(range(next_variable, next_variable + count))
+        next_variable += count
+        bit_variables.append(ids)
+        for significance in range(count):
+            weights.append((1 << significance) * ilp.weights[variable])
+    rows: list[dict[int, int]] = []
+    for row in ilp.rows:
+        expanded: dict[int, int] = {}
+        for variable, coefficient in row.items():
+            for significance, bit_variable in enumerate(
+                bit_variables[variable]
+            ):
+                expanded[bit_variable] = (1 << significance) * coefficient
+        rows.append(expanded)
+    program = ZeroOneProgram(
+        CoveringILP(
+            num_variables=next_variable,
+            rows=tuple(rows),
+            bounds=ilp.bounds,
+            weights=tuple(weights),
+        )
+    )
+    return BinaryExpansion(
+        ilp=ilp,
+        program=program,
+        bit_variables=tuple(bit_variables),
+        bits_mode=bits,
+    )

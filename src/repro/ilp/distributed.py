@@ -1,0 +1,659 @@
+"""The N(ILP) distributed simulation of Section 5.2 (Claim 15).
+
+Network: one *variable node* per original ILP variable (simulating all
+its binary bits after Claim 18 — for plain zero-one programs each node
+simulates a single variable), one *constraint node* per row, linked
+when the variable appears in the row.
+
+The MWHVC instance of Lemma 14 never materializes as network nodes.
+Instead:
+
+* every variable node runs a :class:`~repro.core.vertex_logic.VertexCore`
+  for each of its zero-one variables, and a **replica**
+  :class:`~repro.core.edge_logic.EdgeCore` for every hyperedge of every
+  incident row;
+* per MWHVC iteration, variable nodes send three bitmasks per incident
+  live row (cumulative joins, level increments, raise/stuck — one bit
+  per own variable, which is why Appendix C's single-increment mode is
+  mandatory), and each constraint node echoes the combined row-wide
+  masks back;
+* every replica applies the identical deterministic update, so replicas
+  never diverge (asserted by tests).
+
+The engine runs with fragmentation enabled: a row-wide mask triple
+costs ``Θ(f·B)`` bits and is automatically spread over
+``ceil(f·B/Θ(log n))`` rounds — the ``(1 + f/log n)`` factor of
+Claim 15, measured rather than asserted.
+
+Setup mirrors the paper's preamble (§5.1): two fragmented exchanges
+distribute row data (bounds, coefficients, weights) and two more
+distribute the vertex degrees of the simulated hypergraph, after which
+every node derives its hyperedges locally with the shared deterministic
+enumeration of :func:`repro.ilp.reduction.row_hyperedges`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from fractions import Fraction
+
+from repro.congest.engine import SynchronousEngine
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.congest.node import Node, Outbox
+from repro.core.edge_logic import EdgeCore
+from repro.core.params import AlgorithmConfig, resolve_alpha
+from repro.core.result import CoverResult
+from repro.core.runner import assemble_result
+from repro.core.vertex_logic import VertexCore
+from repro.exceptions import ProtocolViolationError, SimulationError
+from repro.ilp.reduction import ZeroOneReduction, row_hyperedges
+
+__all__ = ["run_ilp_simulation"]
+
+EdgeKey = tuple[int, tuple[int, ...]]  # (row id, member variable ids)
+
+
+def _mask_from(values: Mapping[int, bool], order: Sequence[int]) -> int:
+    mask = 0
+    for position, variable in enumerate(order):
+        if values.get(variable):
+            mask |= 1 << position
+    return mask
+
+
+def _mask_to(mask: int, order: Sequence[int]) -> dict[int, bool]:
+    return {
+        variable: bool(mask >> position & 1)
+        for position, variable in enumerate(order)
+    }
+
+
+class _RowState:
+    """A variable node's view of one incident constraint row."""
+
+    __slots__ = (
+        "row_id",
+        "bound",
+        "coefficients",
+        "weights",
+        "degrees",
+        "support",
+        "own_vars",
+        "edges",
+        "live_edges",
+        "done",
+    )
+
+    def __init__(self, row_id: int) -> None:
+        self.row_id = row_id
+        self.bound = 0
+        self.coefficients: dict[int, int] = {}
+        self.weights: dict[int, int] = {}
+        self.degrees: dict[int, int] = {}
+        self.support: tuple[int, ...] = ()
+        self.own_vars: tuple[int, ...] = ()
+        self.edges: list[EdgeKey] = []
+        self.live_edges: set[EdgeKey] = set()
+        self.done = False
+
+
+class VariableGroupNode(Node):
+    """Simulates the MWHVC vertices (bits) of one ILP variable."""
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: tuple[int, ...],
+        *,
+        variables: tuple[int, ...],
+        weights: dict[int, int],
+        columns: dict[int, dict[int, int]],  # var -> {row: coeff}
+        config: AlgorithmConfig,
+        rank: int,
+        max_degree: int,
+        beta: Fraction,
+        z: int,
+        prune: bool,
+        constraint_offset: int,
+    ) -> None:
+        super().__init__(node_id, neighbors)
+        self.variables = variables
+        self.var_weights = weights
+        self.columns = columns
+        self.config = config
+        self.rank = rank
+        self.max_degree = max_degree
+        self.beta = beta
+        self.z = z
+        self.prune = prune
+        self.offset = constraint_offset
+
+        self.rows: dict[int, _RowState] = {}
+        for variable in variables:
+            for row_id in columns[variable]:
+                state = self.rows.setdefault(row_id, _RowState(row_id))
+                state.own_vars = tuple(
+                    sorted(set(state.own_vars) | {variable})
+                )
+        self.cores: dict[int, VertexCore] = {}
+        self.replicas: dict[EdgeKey, EdgeCore] = {}
+        self.joined: set[int] = set()
+        self.iterations_begun = 0
+        self._stage = "start"
+        self._buffer: dict[int, Message] = {}
+        self._own_increments: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _expected_senders(self) -> set[int]:
+        return {
+            self.offset + row_id
+            for row_id, state in self.rows.items()
+            if not state.done
+        }
+
+    def on_round(self, round_number: int, inbox: Mapping[int, Message]) -> Outbox:
+        self._buffer.update(inbox)
+        if self._stage == "start":
+            return self._send_setup1()
+        expected = self._expected_senders()
+        if not expected.issubset(self._buffer.keys()):
+            return {}
+        batch = {
+            sender: self._buffer.pop(sender) for sender in expected
+        }
+        if self._stage == "await_rowdata":
+            return self._handle_rowdata(batch)
+        if self._stage == "await_degrees":
+            return self._handle_degrees(batch)
+        if self._stage == "await_rowmasks":
+            return self._handle_rowmasks(batch)
+        raise ProtocolViolationError(
+            f"variable node {self.node_id}: unknown stage {self._stage!r}"
+        )
+
+    # -- setup ----------------------------------------------------------
+
+    def _send_setup1(self) -> Outbox:
+        if not self.rows:
+            # Isolated variables: no constraints, nothing to cover.
+            for variable in self.variables:
+                self.cores[variable] = VertexCore(
+                    variable,
+                    self.var_weights[variable],
+                    (),
+                    beta=self.beta,
+                    z=self.z,
+                    single_increment=True,
+                )
+            self.halt()
+            return {}
+        self._stage = "await_rowdata"
+        outbox: Outbox = {}
+        for row_id, state in self.rows.items():
+            fields: list[int] = []
+            for variable in state.own_vars:
+                fields.extend(
+                    (
+                        variable,
+                        self.columns[variable][row_id],
+                        self.var_weights[variable],
+                    )
+                )
+            outbox[self.offset + row_id] = Message("setup1", tuple(fields))
+        return outbox
+
+    def _handle_rowdata(self, batch: Mapping[int, Message]) -> Outbox:
+        for sender, message in batch.items():
+            row_id = sender - self.offset
+            state = self.rows[row_id]
+            fields = message.fields
+            state.bound = fields[0]
+            for index in range(1, len(fields), 3):
+                variable, coefficient, weight = fields[index : index + 3]
+                state.coefficients[variable] = coefficient
+                state.weights[variable] = weight
+            state.support = tuple(sorted(state.coefficients))
+        # All incident row data known: enumerate hyperedges and compute
+        # the degrees of the own variables.
+        degree: dict[int, int] = {variable: 0 for variable in self.variables}
+        for state in self.rows.values():
+            for members in row_hyperedges(
+                state.coefficients, state.bound, prune=self.prune
+            ):
+                key: EdgeKey = (state.row_id, members)
+                state.edges.append(key)
+                state.live_edges.add(key)
+                for variable in members:
+                    if variable in degree:
+                        degree[variable] += 1
+        self._own_degrees = degree
+        self._stage = "await_degrees"
+        outbox: Outbox = {}
+        for row_id, state in self.rows.items():
+            fields: list[int] = []
+            for variable in state.own_vars:
+                fields.extend((variable, degree[variable]))
+            outbox[self.offset + row_id] = Message("setup2", tuple(fields))
+        return outbox
+
+    def _handle_degrees(self, batch: Mapping[int, Message]) -> Outbox:
+        for sender, message in batch.items():
+            row_id = sender - self.offset
+            state = self.rows[row_id]
+            fields = message.fields
+            for index in range(0, len(fields), 2):
+                variable, degree = fields[index], fields[index + 1]
+                state.degrees[variable] = degree
+        # Initialize vertex cores for own variables.
+        for variable in self.variables:
+            incident_edges = [
+                key
+                for state in self.rows.values()
+                for key in state.edges
+                if variable in key[1]
+            ]
+            core = VertexCore(
+                variable,
+                self.var_weights[variable],
+                incident_edges,
+                beta=self.beta,
+                z=self.z,
+                single_increment=True,
+                check_invariants=self.config.check_invariants,
+            )
+            self.cores[variable] = core
+        # Initialize replica edge cores for every hyperedge of every
+        # incident row (identical on all replicas by determinism).
+        for state in self.rows.values():
+            for key in state.edges:
+                members = key[1]
+                weights = {var: state.weights[var] for var in members}
+                degrees = {var: state.degrees[var] for var in members}
+                local_max_degree = max(degrees.values())
+                alpha = resolve_alpha(
+                    self.config, self.rank, self.max_degree, local_max_degree
+                )
+                replica = EdgeCore(key, members, single_increment=True)
+                _, min_weight, min_degree = replica.initialize(
+                    weights, degrees, alpha
+                )
+                self.replicas[key] = replica
+                for variable in members:
+                    if variable in self.cores:
+                        self.cores[variable].record_initial_bid(
+                            key, min_weight, min_degree, alpha
+                        )
+        return self._begin_iteration()
+
+    # -- iterations -------------------------------------------------------
+
+    def _begin_iteration(self) -> Outbox:
+        self.iterations_begun += 1
+        increments: dict[int, int] = {}
+        flags: dict[int, bool] = {}
+        for variable in self.variables:
+            core = self.cores[variable]
+            if core.terminated:
+                continue
+            if core.is_tight():
+                core.join_cover()
+                self.joined.add(variable)
+            else:
+                increments[variable] = core.level_increments()
+                flags[variable] = core.wants_raise()
+        self._own_increments = increments
+        self._stage = "await_rowmasks"
+        outbox: Outbox = {}
+        for row_id, state in self.rows.items():
+            if state.done:
+                continue
+            order = state.own_vars
+            joined_mask = _mask_from(
+                {var: var in self.joined for var in order}, order
+            )
+            inc_mask = _mask_from(
+                {var: bool(increments.get(var)) for var in order}, order
+            )
+            flag_mask = _mask_from(
+                {var: flags.get(var, False) for var in order}, order
+            )
+            outbox[self.offset + row_id] = Message(
+                "masks", (joined_mask, inc_mask, flag_mask)
+            )
+        return outbox
+
+    def _handle_rowmasks(self, batch: Mapping[int, Message]) -> Outbox:
+        for sender, message in batch.items():
+            row_id = sender - self.offset
+            state = self.rows[row_id]
+            joined_mask, inc_mask, flag_mask, done_flag = message.fields
+            order = state.support
+            joined = _mask_to(joined_mask, order)
+            increments = _mask_to(inc_mask, order)
+            flags = _mask_to(flag_mask, order)
+            newly_covered: list[EdgeKey] = []
+            for key in sorted(state.live_edges):
+                members = key[1]
+                if any(joined[variable] for variable in members):
+                    newly_covered.append(key)
+                    continue
+                total = sum(
+                    1 for variable in members if increments[variable]
+                )
+                raised = all(flags[variable] for variable in members)
+                replica = self.replicas[key]
+                replica.apply_halvings(total)
+                replica.apply_raise(raised)
+                for variable in members:
+                    core = self.cores.get(variable)
+                    if core is None:
+                        continue
+                    core.apply_extra_halvings(
+                        key, total - self._own_increments.get(variable, 0)
+                    )
+                    core.apply_raise(key, raised)
+            for key in newly_covered:
+                state.live_edges.discard(key)
+                self.replicas[key].mark_covered()
+                for variable in key[1]:
+                    core = self.cores.get(variable)
+                    if core is not None and variable not in self.joined:
+                        core.edge_covered(key)
+            if bool(done_flag) != (not state.live_edges):
+                raise SimulationError(
+                    f"row {row_id}: constraint node says done={done_flag} "
+                    f"but replica has {len(state.live_edges)} live edges"
+                )
+            state.done = not state.live_edges
+        if self.config.check_invariants:
+            for variable in self.variables:
+                core = self.cores[variable]
+                if not core.terminated:
+                    core.verify_post_iteration()
+        if all(state.done for state in self.rows.values()):
+            self.halt()
+            return {}
+        return self._begin_iteration()
+
+
+class ConstraintNode(Node):
+    """Relays (and aggregates) the per-row mask broadcasts."""
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: tuple[int, ...],
+        *,
+        row_id: int,
+        bound: int,
+        prune: bool,
+        group_vars: dict[int, tuple[int, ...]],  # neighbor node -> its vars
+    ) -> None:
+        super().__init__(node_id, neighbors)
+        self.row_id = row_id
+        self.bound = bound
+        self.prune = prune
+        self.group_vars = group_vars
+        self.coefficients: dict[int, int] = {}
+        self.weights: dict[int, int] = {}
+        self.support: tuple[int, ...] = ()
+        self.edges: list[tuple[int, ...]] = []
+        self.live_edges: list[tuple[int, ...]] = []
+        self.joined: set[int] = set()
+        self._stage = "await_setup1"
+        self._buffer: dict[int, Message] = {}
+
+    def on_round(self, round_number: int, inbox: Mapping[int, Message]) -> Outbox:
+        self._buffer.update(inbox)
+        if not set(self.neighbors).issubset(self._buffer.keys()):
+            return {}
+        batch = {sender: self._buffer.pop(sender) for sender in self.neighbors}
+        if self._stage == "await_setup1":
+            return self._handle_setup1(batch)
+        if self._stage == "await_setup2":
+            return self._handle_setup2(batch)
+        if self._stage == "await_masks":
+            return self._handle_masks(batch)
+        raise ProtocolViolationError(
+            f"constraint node {self.row_id}: unknown stage {self._stage!r}"
+        )
+
+    def _handle_setup1(self, batch: Mapping[int, Message]) -> Outbox:
+        for message in batch.values():
+            fields = message.fields
+            for index in range(0, len(fields), 3):
+                variable, coefficient, weight = fields[index : index + 3]
+                self.coefficients[variable] = coefficient
+                self.weights[variable] = weight
+        self.support = tuple(sorted(self.coefficients))
+        self.edges = row_hyperedges(
+            self.coefficients, self.bound, prune=self.prune
+        )
+        self.live_edges = list(self.edges)
+        fields: list[int] = [self.bound]
+        for variable in self.support:
+            fields.extend(
+                (variable, self.coefficients[variable], self.weights[variable])
+            )
+        self._stage = "await_setup2"
+        return self.broadcast(Message("rowdata", tuple(fields)))
+
+    def _handle_setup2(self, batch: Mapping[int, Message]) -> Outbox:
+        degrees: dict[int, int] = {}
+        for message in batch.values():
+            fields = message.fields
+            for index in range(0, len(fields), 2):
+                degrees[fields[index]] = fields[index + 1]
+        fields: list[int] = []
+        for variable in self.support:
+            fields.extend((variable, degrees[variable]))
+        self._stage = "await_masks"
+        return self.broadcast(Message("degrees", tuple(fields)))
+
+    def _handle_masks(self, batch: Mapping[int, Message]) -> Outbox:
+        joined: dict[int, bool] = {}
+        increments: dict[int, bool] = {}
+        flags: dict[int, bool] = {}
+        for sender, message in batch.items():
+            order = self.group_vars[sender]
+            joined_mask, inc_mask, flag_mask = message.fields
+            joined.update(_mask_to(joined_mask, order))
+            increments.update(_mask_to(inc_mask, order))
+            flags.update(_mask_to(flag_mask, order))
+        self.joined.update(
+            variable for variable, flag in joined.items() if flag
+        )
+        self.live_edges = [
+            members
+            for members in self.live_edges
+            if not any(variable in self.joined for variable in members)
+        ]
+        done = not self.live_edges
+        outbox = self.broadcast(
+            Message(
+                "rowmasks",
+                (
+                    _mask_from(joined, self.support),
+                    _mask_from(increments, self.support),
+                    _mask_from(flags, self.support),
+                    done,
+                ),
+            )
+        )
+        if done:
+            self.halt()
+        return outbox
+
+
+def run_ilp_simulation(
+    reduction: ZeroOneReduction,
+    *,
+    config: AlgorithmConfig,
+    groups: Sequence[Sequence[int]] | None = None,
+    verify: bool = True,
+    max_rounds: int | None = None,
+) -> CoverResult:
+    """Execute MWHVC for ``reduction`` on the N(ILP) network.
+
+    ``groups`` partitions the zero-one variables into network nodes
+    (default: one node per variable; binary expansions pass their
+    ``bit_variables``).  Returns a :class:`CoverResult` against the
+    reduction's hypergraph whose ``rounds`` are genuine engine rounds on
+    the bipartite ILP network, fragmentation included.
+    """
+    if config.increment_mode != "single":
+        raise SimulationError(
+            "the N(ILP) simulation requires increment_mode='single' "
+            "(footnote 6 / Appendix C)"
+        )
+    if config.schedule != "compact":
+        raise SimulationError(
+            "the N(ILP) simulation's two-exchange iterations implement "
+            "the compact schedule; pass a config with schedule='compact'"
+        )
+    if reduction.deduped:
+        raise SimulationError(
+            "the N(ILP) simulation needs dedupe=False reductions "
+            "(cross-row deduplication is not locally computable)"
+        )
+    program = reduction.program
+    num_vars = program.num_variables
+    if groups is None:
+        groups = [[variable] for variable in range(num_vars)]
+    group_of = {}
+    membership_count = 0
+    for group_id, members in enumerate(groups):
+        for variable in members:
+            group_of[variable] = group_id
+            membership_count += 1
+    if (
+        membership_count != num_vars
+        or sorted(group_of) != list(range(num_vars))
+    ):
+        raise SimulationError(
+            "groups must partition all variables (each variable in "
+            "exactly one group)"
+        )
+
+    num_groups = len(groups)
+    num_rows = program.ilp.num_constraints
+    hypergraph = reduction.hypergraph
+    rank = hypergraph.rank
+    beta = config.beta(rank)
+    z = config.z(rank)
+
+    # Adjacency: group g <-> row i when some variable of g is in row i.
+    row_groups: list[set[int]] = [set() for _ in range(num_rows)]
+    for row_id, row in enumerate(program.ilp.rows):
+        for variable in row:
+            row_groups[row_id].add(group_of[variable])
+    adjacency: dict[int, tuple[int, ...]] = {}
+    for group_id in range(num_groups):
+        adjacency[group_id] = tuple(
+            sorted(
+                num_groups + row_id
+                for row_id in range(num_rows)
+                if group_id in row_groups[row_id]
+            )
+        )
+    for row_id in range(num_rows):
+        adjacency[num_groups + row_id] = tuple(sorted(row_groups[row_id]))
+    network = Network(adjacency)
+
+    columns: list[dict[int, int]] = [dict() for _ in range(num_vars)]
+    for row_id, row in enumerate(program.ilp.rows):
+        for variable, coefficient in row.items():
+            columns[variable][row_id] = coefficient
+
+    group_nodes: list[VariableGroupNode] = []
+    for group_id, members in enumerate(groups):
+        node = VariableGroupNode(
+            group_id,
+            network.neighbors(group_id),
+            variables=tuple(sorted(members)),
+            weights={
+                variable: program.ilp.weights[variable]
+                for variable in members
+            },
+            columns={variable: columns[variable] for variable in members},
+            config=config,
+            rank=rank,
+            max_degree=hypergraph.max_degree,
+            beta=beta,
+            z=z,
+            prune=reduction.pruned,
+            constraint_offset=num_groups,
+        )
+        network.attach(node)
+        group_nodes.append(node)
+    for row_id in range(num_rows):
+        node_id = num_groups + row_id
+        group_vars = {
+            group_id: tuple(
+                sorted(
+                    variable
+                    for variable in groups[group_id]
+                    if row_id in columns[variable]
+                )
+            )
+            for group_id in row_groups[row_id]
+        }
+        network.attach(
+            ConstraintNode(
+                node_id,
+                network.neighbors(node_id),
+                row_id=row_id,
+                bound=program.ilp.bounds[row_id],
+                prune=reduction.pruned,
+                group_vars=group_vars,
+            )
+        )
+
+    engine = SynchronousEngine(network, allow_fragmentation=True)
+    if max_rounds is None:
+        max_rounds = 16 * (config.max_iterations + 64)
+    metrics = engine.run(max_rounds=max_rounds)
+
+    # ------------------------------------------------------------------
+    # Collect designated replicas and map edge keys to hypergraph ids.
+    # ------------------------------------------------------------------
+    key_to_id: dict[EdgeKey, int] = {}
+    for edge_id, sources in enumerate(reduction.edge_sources):
+        row_id, failing_set = sources[0]
+        members = hypergraph.edge(edge_id)
+        key_to_id[(row_id, tuple(members))] = edge_id
+
+    vertex_cores: list[VertexCore] = []
+    for variable in range(num_vars):
+        vertex_cores.append(group_nodes[group_of[variable]].cores[variable])
+    edge_cores: list[EdgeCore | None] = [None] * hypergraph.num_edges
+    for node in group_nodes:
+        for key, replica in node.replicas.items():
+            edge_id = key_to_id.get(key)
+            if edge_id is None:
+                raise SimulationError(
+                    f"replica edge {key} does not appear in the reduction"
+                )
+            if edge_cores[edge_id] is None:
+                replica.edge_id = edge_id
+                edge_cores[edge_id] = replica
+    missing = [index for index, core in enumerate(edge_cores) if core is None]
+    if missing:
+        raise SimulationError(
+            f"no replica found for hyperedges {missing[:5]}"
+        )
+    iterations = max(
+        (node.iterations_begun for node in group_nodes), default=0
+    )
+    return assemble_result(
+        hypergraph,
+        config,
+        vertex_cores,
+        edge_cores,  # type: ignore[arg-type]
+        iterations=iterations,
+        rounds=metrics.rounds,
+        metrics=metrics,
+        verify=verify,
+    )

@@ -1,0 +1,253 @@
+"""Covering integer linear programs (Section 5 of the paper).
+
+``ILP(A, b, w)``: minimize ``w^T x`` subject to ``A x >= b``, ``x`` a
+vector of naturals, with all data non-negative (Definition 13).  The
+representation is sparse and integral: each constraint is a mapping
+``variable -> positive coefficient`` plus a positive bound ``b_i``.
+
+The quantities the paper's bounds are stated in:
+
+* ``f(A)`` — maximum number of variables in one constraint;
+* ``Delta(A)`` — maximum number of constraints one variable appears in;
+* ``M(A, b) = max_{i,j : A_ij != 0} b_i / A_ij`` (Definition 16), the
+  box bound of Proposition 17: some optimal solution has all
+  ``x_j <= ceil(M)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+
+__all__ = ["CoveringILP", "exact_ilp_optimum"]
+
+
+@dataclass(frozen=True)
+class CoveringILP:
+    """A sparse covering ILP with integral non-negative data.
+
+    Attributes
+    ----------
+    num_variables:
+        Number of variables ``n``; variables are ``0..n-1``.
+    rows:
+        One mapping per constraint: ``{variable: coefficient}`` with
+        strictly positive integer coefficients (zeros are simply
+        omitted from the mapping).
+    bounds:
+        Right-hand sides ``b_i`` (positive integers).
+    weights:
+        Objective coefficients ``w_j`` (positive integers, as required
+        by the MWHVC reduction target).
+    """
+
+    num_variables: int
+    rows: tuple[dict[int, int], ...]
+    bounds: tuple[int, ...]
+    weights: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.num_variables < 0:
+            raise InvalidInstanceError("num_variables must be >= 0")
+        object.__setattr__(
+            self, "rows", tuple(dict(row) for row in self.rows)
+        )
+        object.__setattr__(self, "bounds", tuple(self.bounds))
+        object.__setattr__(self, "weights", tuple(self.weights))
+        if len(self.rows) != len(self.bounds):
+            raise InvalidInstanceError(
+                f"{len(self.rows)} rows but {len(self.bounds)} bounds"
+            )
+        if len(self.weights) != self.num_variables:
+            raise InvalidInstanceError(
+                f"{len(self.weights)} weights for {self.num_variables} variables"
+            )
+        for index, weight in enumerate(self.weights):
+            if isinstance(weight, bool) or not isinstance(weight, int) or weight <= 0:
+                raise InvalidInstanceError(
+                    f"weight of variable {index} must be a positive int, "
+                    f"got {weight!r}"
+                )
+        for row_index, (row, bound) in enumerate(zip(self.rows, self.bounds)):
+            if isinstance(bound, bool) or not isinstance(bound, int) or bound <= 0:
+                raise InvalidInstanceError(
+                    f"bound of constraint {row_index} must be a positive "
+                    f"int, got {bound!r} (non-positive bounds are vacuous)"
+                )
+            if not row:
+                raise InfeasibleInstanceError(
+                    f"constraint {row_index} has no variables but bound "
+                    f"{bound} > 0; the ILP is infeasible"
+                )
+            for variable, coefficient in row.items():
+                if not 0 <= variable < self.num_variables:
+                    raise InvalidInstanceError(
+                        f"constraint {row_index} references variable "
+                        f"{variable} outside 0..{self.num_variables - 1}"
+                    )
+                if (
+                    isinstance(coefficient, bool)
+                    or not isinstance(coefficient, int)
+                    or coefficient <= 0
+                ):
+                    raise InvalidInstanceError(
+                        f"coefficient A[{row_index},{variable}] must be a "
+                        f"positive int, got {coefficient!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Paper parameters
+    # ------------------------------------------------------------------
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of constraints ``m``."""
+        return len(self.rows)
+
+    @property
+    def row_rank(self) -> int:
+        """``f(A)``: most variables in a single constraint."""
+        return max((len(row) for row in self.rows), default=0)
+
+    @property
+    def column_degree(self) -> int:
+        """``Delta(A)``: most constraints a single variable appears in."""
+        counts = [0] * self.num_variables
+        for row in self.rows:
+            for variable in row:
+                counts[variable] += 1
+        return max(counts, default=0)
+
+    @property
+    def box_bound(self) -> Fraction:
+        """``M(A, b)`` of Definition 16 (1 for the trivial program)."""
+        best = Fraction(1)
+        for row, bound in zip(self.rows, self.bounds):
+            for coefficient in row.values():
+                best = max(best, Fraction(bound, coefficient))
+        return best
+
+    def variable_box(self, variable: int) -> int:
+        """Per-variable integral box: ``max_i ceil(b_i / A_ij)``.
+
+        Setting ``x_j`` to this value satisfies every constraint that
+        contains ``j`` on its own; larger values are never needed.
+        """
+        best = 1
+        for row, bound in zip(self.rows, self.bounds):
+            coefficient = row.get(variable)
+            if coefficient:
+                best = max(best, -(-bound // coefficient))
+        return best
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def is_feasible(self, assignment: Sequence[int]) -> bool:
+        """Whether ``A x >= b`` with ``x >= 0`` integral."""
+        if len(assignment) != self.num_variables:
+            return False
+        if any(value < 0 for value in assignment):
+            return False
+        return all(
+            sum(
+                coefficient * assignment[variable]
+                for variable, coefficient in row.items()
+            )
+            >= bound
+            for row, bound in zip(self.rows, self.bounds)
+        )
+
+    def violated_constraints(self, assignment: Sequence[int]) -> list[int]:
+        """Indices of constraints the assignment fails (for diagnostics)."""
+        return [
+            index
+            for index, (row, bound) in enumerate(zip(self.rows, self.bounds))
+            if sum(
+                coefficient * assignment[variable]
+                for variable, coefficient in row.items()
+            )
+            < bound
+        ]
+
+    def objective(self, assignment: Sequence[int]) -> int:
+        """``w^T x``."""
+        if len(assignment) != self.num_variables:
+            raise InvalidInstanceError(
+                f"assignment has {len(assignment)} entries for "
+                f"{self.num_variables} variables"
+            )
+        return sum(
+            weight * value for weight, value in zip(self.weights, assignment)
+        )
+
+    @staticmethod
+    def from_dense(
+        matrix: Sequence[Sequence[int]],
+        bounds: Sequence[int],
+        weights: Sequence[int],
+    ) -> "CoveringILP":
+        """Build from a dense matrix (zeros dropped)."""
+        rows = tuple(
+            {
+                variable: coefficient
+                for variable, coefficient in enumerate(row)
+                if coefficient
+            }
+            for row in matrix
+        )
+        width = max((len(row) for row in matrix), default=len(weights))
+        if any(len(row) != len(weights) for row in matrix):
+            raise InvalidInstanceError(
+                f"dense rows must all have {len(weights)} entries "
+                f"(weights define the variable count); widest row has {width}"
+            )
+        return CoveringILP(
+            num_variables=len(weights),
+            rows=rows,
+            bounds=tuple(bounds),
+            weights=tuple(weights),
+        )
+
+
+def exact_ilp_optimum(
+    ilp: CoveringILP, *, max_assignments: int = 2_000_000
+) -> tuple[int, tuple[int, ...]]:
+    """Exact optimum by bounded enumeration (test instrument only).
+
+    Enumerates the per-variable boxes of Proposition 17; refuses
+    instances whose search space exceeds ``max_assignments``.
+    """
+    boxes = [
+        ilp.variable_box(variable) for variable in range(ilp.num_variables)
+    ]
+    space = 1
+    for box in boxes:
+        space *= box + 1
+        if space > max_assignments:
+            raise InvalidInstanceError(
+                f"search space exceeds {max_assignments} assignments; "
+                "use the approximate solver"
+            )
+    best_value: int | None = None
+    best_assignment: tuple[int, ...] = ()
+    for assignment in itertools.product(
+        *(range(box + 1) for box in boxes)
+    ):
+        if not ilp.is_feasible(assignment):
+            continue
+        value = ilp.objective(assignment)
+        if best_value is None or value < best_value:
+            best_value = value
+            best_assignment = assignment
+    if best_value is None:
+        raise InfeasibleInstanceError(
+            "no feasible assignment inside the Proposition 17 box; "
+            "the ILP is infeasible"
+        )
+    return best_value, best_assignment

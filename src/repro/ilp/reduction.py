@@ -1,0 +1,152 @@
+"""Lemma 14: reducing zero-one covering programs to MWHVC.
+
+For each constraint ``A_i . x >= b_i`` with support ``sigma_i``, the
+binary assignments that *fail* the constraint are exactly the indicator
+vectors of the sets in ``S_i = {S subset sigma_i : A_i . I_S < b_i}``.
+For every such ``S`` the reduction adds the hyperedge
+``e_{i,S} = sigma_i \\ S``: a vertex cover must intersect it, i.e. pick
+some variable outside every failing set — which is precisely the
+monotone-CNF reformulation of the constraint obtained by De Morgan from
+the failing-DNF (the proof of Lemma 14).
+
+Because the family ``S_i`` is downward closed (coefficients are
+non-negative), only *maximal* failing sets matter: ``S subset S'``
+implies ``e_{i,S} superset e_{i,S'}``, so covering the edge of the
+maximal set covers all of them.  ``prune=True`` (default) emits only
+those minimal hyperedges; ``prune=False`` emits the full family exactly
+as the lemma states it.  Both choices yield the same covers; pruning
+only shrinks the instance (tests verify the equivalence).
+
+The enumeration is exponential in the row support size (at most
+``2^f(A)`` subsets per row) — exactly the ``2^{f(A)}`` degree blowup
+the paper's bounds carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.ilp.zero_one import ZeroOneProgram
+
+__all__ = ["ZeroOneReduction", "reduce_zero_one", "row_hyperedges"]
+
+#: Guard against accidentally exploding instances (2^20 subsets/row).
+_MAX_ROW_SUPPORT = 20
+
+
+def row_hyperedges(
+    row: dict[int, int], bound: int, *, prune: bool = True
+) -> list[tuple[int, ...]]:
+    """Hyperedges of one constraint, in a deterministic order.
+
+    Returns sorted vertex tuples ``sigma_i \\ S`` for each (maximal,
+    when pruning) failing subset ``S``.  Deterministic across callers —
+    the distributed simulation relies on every replica enumerating the
+    identical list.
+    """
+    support = sorted(row)
+    k = len(support)
+    if k > _MAX_ROW_SUPPORT:
+        raise InvalidInstanceError(
+            f"constraint support {k} exceeds the 2^{_MAX_ROW_SUPPORT} "
+            "subset-enumeration guard"
+        )
+    coefficients = [row[variable] for variable in support]
+    total = sum(coefficients)
+    edges: list[tuple[int, ...]] = []
+    for mask in range(1 << k):
+        value = 0
+        probe = mask
+        while probe:
+            lowest = probe & -probe
+            value += coefficients[lowest.bit_length() - 1]
+            probe ^= lowest
+        if value >= bound:
+            continue  # S satisfies the constraint; not a failing set.
+        if prune:
+            # Maximal failing set: adding any missing variable must
+            # satisfy the constraint.
+            is_maximal = all(
+                mask & (1 << position)
+                or value + coefficients[position] >= bound
+                for position in range(k)
+            )
+            if not is_maximal:
+                continue
+        complement = tuple(
+            support[position]
+            for position in range(k)
+            if not mask & (1 << position)
+        )
+        # Feasibility of the zero-one program guarantees the full
+        # support satisfies the row, so failing sets are proper subsets
+        # and the complement is never empty.
+        edges.append(complement)
+    edges.sort()
+    return edges
+
+
+@dataclass(frozen=True)
+class ZeroOneReduction:
+    """The MWHVC instance of Lemma 14 plus provenance metadata.
+
+    ``edge_sources[k]`` lists the ``(row, failing_set)`` pairs that map
+    to hyperedge ``k``.  By default there is exactly one source per
+    hyperedge (the lemma adds one edge per pair, and distinct rows that
+    happen to produce identical vertex sets keep separate edges — this
+    is also what the distributed simulation computes, since cross-row
+    deduplication would require non-local coordination).  With
+    ``dedupe=True`` identical edges are merged and a source list per
+    edge is kept.  Vertex ids coincide with variable ids, so covers
+    translate to assignments with no index mapping.
+    """
+
+    program: ZeroOneProgram
+    hypergraph: Hypergraph
+    edge_sources: tuple[tuple[tuple[int, tuple[int, ...]], ...], ...]
+    pruned: bool
+    deduped: bool = False
+
+    def assignment_from_cover(self, cover: frozenset[int]) -> tuple[int, ...]:
+        """The binary assignment selecting exactly the cover's variables."""
+        return tuple(
+            1 if variable in cover else 0
+            for variable in range(self.program.num_variables)
+        )
+
+
+def reduce_zero_one(
+    program: ZeroOneProgram, *, prune: bool = True, dedupe: bool = False
+) -> ZeroOneReduction:
+    """Apply Lemma 14 to a feasible zero-one covering program."""
+    edge_index: dict[tuple[int, ...], int] = {}
+    edges: list[tuple[int, ...]] = []
+    sources: list[list[tuple[int, tuple[int, ...]]]] = []
+    for row_id, (row, bound) in enumerate(
+        zip(program.ilp.rows, program.ilp.bounds)
+    ):
+        support = sorted(row)
+        for edge in row_hyperedges(row, bound, prune=prune):
+            failing_set = tuple(
+                variable for variable in support if variable not in set(edge)
+            )
+            position = edge_index.get(edge) if dedupe else None
+            if position is None:
+                position = len(edges)
+                if dedupe:
+                    edge_index[edge] = position
+                edges.append(edge)
+                sources.append([])
+            sources[position].append((row_id, failing_set))
+    hypergraph = Hypergraph(
+        program.num_variables, edges, program.ilp.weights
+    )
+    return ZeroOneReduction(
+        program=program,
+        hypergraph=hypergraph,
+        edge_sources=tuple(tuple(source) for source in sources),
+        pruned=prune,
+        deduped=dedupe,
+    )

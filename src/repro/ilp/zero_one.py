@@ -1,0 +1,75 @@
+"""Zero-one covering programs (Section 5.2).
+
+``ZO(A, b, w)``: a covering ILP whose variables are binary.  Feasibility
+is decidable upfront (the all-ones vector must satisfy every row), and
+Lemma 14 reduces any feasible zero-one program to an MWHVC instance —
+implemented in :mod:`repro.ilp.reduction`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import InfeasibleInstanceError
+from repro.ilp.program import CoveringILP
+
+__all__ = ["ZeroOneProgram"]
+
+
+@dataclass(frozen=True)
+class ZeroOneProgram:
+    """A covering ILP restricted to ``x in {0,1}^n``.
+
+    Wraps a :class:`~repro.ilp.program.CoveringILP` (same data layout)
+    and additionally validates feasibility: for every row ``i``,
+    ``sum_{j in row} A_ij >= b_i`` must hold, otherwise no binary
+    assignment can satisfy it.
+    """
+
+    ilp: CoveringILP
+
+    def __post_init__(self) -> None:
+        for index, (row, bound) in enumerate(
+            zip(self.ilp.rows, self.ilp.bounds)
+        ):
+            total = sum(row.values())
+            if total < bound:
+                raise InfeasibleInstanceError(
+                    f"constraint {index} cannot be satisfied by binary "
+                    f"variables: sum of coefficients {total} < bound {bound}"
+                )
+
+    @property
+    def num_variables(self) -> int:
+        """Number of binary variables."""
+        return self.ilp.num_variables
+
+    @property
+    def row_rank(self) -> int:
+        """``f(A)``."""
+        return self.ilp.row_rank
+
+    @property
+    def column_degree(self) -> int:
+        """``Delta(A)``."""
+        return self.ilp.column_degree
+
+    def is_feasible(self, assignment: Sequence[int]) -> bool:
+        """Feasibility including the binary restriction."""
+        return all(value in (0, 1) for value in assignment) and (
+            self.ilp.is_feasible(assignment)
+        )
+
+    def objective(self, assignment: Sequence[int]) -> int:
+        """``w^T x``."""
+        return self.ilp.objective(assignment)
+
+    @staticmethod
+    def from_dense(
+        matrix: Sequence[Sequence[int]],
+        bounds: Sequence[int],
+        weights: Sequence[int],
+    ) -> "ZeroOneProgram":
+        """Build from a dense matrix (zeros dropped)."""
+        return ZeroOneProgram(CoveringILP.from_dense(matrix, bounds, weights))

@@ -1,0 +1,71 @@
+"""Shared fixtures and instance helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.generators import (
+    mixed_rank_hypergraph,
+    path_graph,
+    star_hypergraph,
+    uniform_hypergraph,
+    uniform_weights,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def triangle() -> Hypergraph:
+    """K3 with unit weights: fractional OPT 1.5, integral OPT 2."""
+    return Hypergraph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def weighted_path() -> Hypergraph:
+    """Path 0-1-2-3 with weights making {1, 2} uniquely optimal."""
+    return path_graph(4, weights=[10, 1, 1, 10])
+
+
+@pytest.fixture
+def small_hypergraph() -> Hypergraph:
+    """A rank-3 instance used across algorithm tests."""
+    return Hypergraph(
+        5,
+        [(0, 1, 2), (1, 3), (2, 3, 4), (0, 4)],
+        weights=[3, 2, 2, 4, 1],
+    )
+
+
+@pytest.fixture
+def hub_star() -> Hypergraph:
+    """Star where picking the hub is optimal."""
+    return star_hypergraph(6, 3, weights=None)
+
+
+def random_instances(count: int = 8, *, max_rank: int = 4) -> list[Hypergraph]:
+    """A deterministic battery of small random weighted instances."""
+    instances = []
+    for seed in range(count):
+        n = 8 + seed * 3
+        m = 12 + seed * 4
+        weights = uniform_weights(n, 25, seed=seed + 500)
+        instances.append(
+            mixed_rank_hypergraph(
+                n, m, max_rank, seed=seed, weights=weights
+            )
+        )
+    return instances
+
+
+def uniform_instances(count: int = 4, rank: int = 3) -> list[Hypergraph]:
+    """Rank-uniform instances for rank-sensitive tests."""
+    return [
+        uniform_hypergraph(
+            10 + 4 * seed,
+            18 + 5 * seed,
+            rank,
+            seed=seed,
+            weights=uniform_weights(10 + 4 * seed, 12, seed=seed + 900),
+        )
+        for seed in range(count)
+    ]

@@ -1,0 +1,179 @@
+"""Tests for the analysis harness: bounds, fits, sweeps, tables."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.bounds import (
+    TABLE1_BOUNDS,
+    TABLE2_BOUNDS,
+    corollary10_round_bound,
+    kmw_lower_bound,
+    lemma6_raise_bound,
+    lemma7_stuck_bound,
+    log_star,
+    theorem8_iteration_bound,
+    theorem9_round_bound,
+)
+from repro.analysis.fitting import MODELS, compare_models, fit_scaling
+from repro.analysis.sweep import aggregate_rounds, run_sweep
+from repro.analysis.tables import format_value, render_table
+from repro.baselines.registry import this_work
+from repro.hypergraph.generators import uniform_hypergraph, uniform_weights
+
+
+class TestBounds:
+    def test_log_star_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(16) == 3
+        assert log_star(2**16) == 4
+
+    def test_theorem8_monotone_in_degree(self):
+        eps = Fraction(1, 2)
+        values = [
+            theorem8_iteration_bound(d, 3, eps, 2.0)
+            for d in (4, 16, 256, 65536)
+        ]
+        assert values == sorted(values)
+
+    def test_theorem9_sublinear_in_log_delta(self):
+        eps = Fraction(1, 2)
+        # The bound grows slower than log(delta): ratio shrinks.
+        small = theorem9_round_bound(2**8, 2, eps) / 8
+        large = theorem9_round_bound(2**40, 2, eps) / 40
+        assert large < small
+
+    def test_corollary10(self):
+        assert corollary10_round_bound(3, 1024) == 30
+
+    def test_kmw_lower_bound_positive_and_growing(self):
+        values = [kmw_lower_bound(d) for d in (8, 64, 4096, 2**20)]
+        assert all(value > 0 for value in values)
+        assert values == sorted(values)
+
+    def test_lemma6_decreases_with_alpha(self):
+        eps = Fraction(1, 2)
+        loose = lemma6_raise_bound(1024, 3, eps, 2.0)
+        tight = lemma6_raise_bound(1024, 3, eps, 8.0)
+        assert tight < loose
+
+    def test_lemma7_single_mode_doubles(self):
+        assert lemma7_stuck_bound(3.0) == 3.0
+        assert lemma7_stuck_bound(3.0, single_increment=True) == 6.0
+
+    def test_table_bounds_evaluate(self):
+        for name, bound in TABLE1_BOUNDS.items():
+            value = bound(1000, 64, 100, 0.5)
+            assert value > 0, name
+            assert math.isfinite(value), name
+        for name, bound in TABLE2_BOUNDS.items():
+            value = bound(1000, 64, 100, 3, 0.5)
+            assert value > 0, name
+            assert math.isfinite(value), name
+
+
+class TestFitting:
+    def test_recovers_linear_log(self):
+        xs = [2**k for k in range(3, 12)]
+        ys = [5.0 * math.log2(x) + 2.0 for x in xs]
+        fit = fit_scaling(xs, ys, "log_delta")
+        assert fit.slope == pytest.approx(5.0, rel=1e-6)
+        assert fit.intercept == pytest.approx(2.0, rel=1e-4)
+        assert fit.residual_rms < 1e-9
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_scaling([4, 16, 256], [2, 4, 8], "log_delta")
+        assert fit.predict(16) == pytest.approx(
+            fit.slope * 4 + fit.intercept
+        )
+
+    def test_compare_models_orders_by_residual(self):
+        xs = [2**k for k in range(3, 14)]
+        model = MODELS["log_delta_over_loglog"]
+        ys = [3.0 * model(x) + 1.0 for x in xs]
+        fits = compare_models(
+            xs, ys, ["log_delta", "log_delta_over_loglog", "sqrt_delta"]
+        )
+        assert fits[0].model == "log_delta_over_loglog"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            fit_scaling([1, 2], [1, 2], "exp_exp")
+
+
+class TestSweep:
+    def test_run_sweep_collects_points(self):
+        def factory(parameter, seed):
+            return uniform_hypergraph(
+                12,
+                parameter,
+                3,
+                seed=seed,
+                weights=uniform_weights(12, 10, seed=seed),
+            )
+
+        points = run_sweep(
+            [10, 20],
+            factory,
+            {"this-work": lambda hg: this_work(hg, Fraction(1, 2))},
+            seeds=(0, 1),
+        )
+        assert len(points) == 4
+        assert all(point.rounds > 0 for point in points)
+        assert {point.parameter for point in points} == {10, 20}
+        assert points[0].as_dict()["algorithm"] == "this-work"
+
+    def test_aggregate_rounds_means(self):
+        def factory(parameter, seed):
+            return uniform_hypergraph(
+                10,
+                15,
+                3,
+                seed=seed,
+                weights=uniform_weights(10, 10, seed=seed),
+            )
+
+        points = run_sweep(
+            [1],
+            factory,
+            {"this-work": lambda hg: this_work(hg)},
+            seeds=(0, 1, 2),
+        )
+        means = aggregate_rounds(points)
+        assert (1, "this-work") in means
+        rounds = [point.rounds for point in points]
+        assert means[(1, "this-work")] == pytest.approx(
+            sum(rounds) / len(rounds)
+        )
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(3) == "3"
+        assert format_value(3.14159) == "3.142"
+        assert format_value(0.0001234) == "0.000123"
+        assert format_value(1234567.0) == "1.23e+06"
+        assert format_value("text") == "text"
+
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["name", "rounds"],
+            [["alpha", 12], ["a-much-longer-name", 3]],
+            title="Demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1]
+        # All data lines share the same separator positions.
+        assert lines[2].count("-+-") == 1
+        assert len(lines[3]) == len(lines[4])
+
+    def test_render_empty_table(self):
+        table = render_table(["a", "b"], [])
+        assert "a" in table

@@ -1,0 +1,276 @@
+"""Tests for the baseline algorithms and their guarantees."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.base import BaselineRun
+from repro.baselines.dual_doubling import dual_doubling_cover
+from repro.baselines.greedy import greedy_set_cover
+from repro.baselines.kvy import kvy_cover
+from repro.baselines.matching import matching_cover
+from repro.baselines.registry import BASELINES, this_work, this_work_f_approx
+from repro.baselines.sequential import local_ratio_cover
+from repro.exceptions import CertificateError, InvalidInstanceError
+from repro.hypergraph.generators import (
+    cycle_graph,
+    path_graph,
+    random_graph,
+    star_hypergraph,
+    uniform_weights,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.lp.covering_lp import dual_feasible
+from repro.lp.reference import exact_optimum
+from tests.conftest import random_instances
+
+
+class TestGreedy:
+    def test_produces_valid_cover(self):
+        for hg in random_instances(5):
+            run = greedy_set_cover(hg)
+            assert hg.is_cover(run.cover)
+            assert run.weight == hg.cover_weight(run.cover)
+
+    def test_greedy_optimal_on_star(self):
+        run = greedy_set_cover(star_hypergraph(6, 3))
+        assert run.cover == {0}
+        assert run.iterations == 1
+
+    def test_greedy_respects_weights(self):
+        hg = Hypergraph(2, [(0, 1)], weights=[100, 1])
+        assert greedy_set_cover(hg).cover == {1}
+
+    def test_greedy_deterministic(self):
+        hg = random_instances(1)[0]
+        assert greedy_set_cover(hg).cover == greedy_set_cover(hg).cover
+
+    def test_greedy_edgeless(self):
+        run = greedy_set_cover(Hypergraph(4, []))
+        assert run.cover == frozenset()
+        assert run.rounds == 0
+
+
+class TestLocalRatio:
+    def test_f_approximation(self):
+        for hg in random_instances(6):
+            run = local_ratio_cover(hg)
+            assert hg.is_cover(run.cover)
+            opt = exact_optimum(hg).weight
+            assert run.weight <= hg.rank * opt
+
+    def test_dual_is_feasible(self):
+        for hg in random_instances(4):
+            run = local_ratio_cover(hg)
+            assert dual_feasible(hg, run.extra["dual"])
+
+    def test_certified_ratio(self):
+        hg = random_instances(1)[0]
+        run = local_ratio_cover(hg)
+        ratio = run.certified_ratio()
+        assert ratio is not None and 1 <= ratio <= hg.rank
+
+
+class TestKVY:
+    def test_guarantee_holds(self):
+        epsilon = Fraction(1, 2)
+        for hg in random_instances(6):
+            run = kvy_cover(hg, epsilon)
+            assert hg.is_cover(run.cover)
+            opt = exact_optimum(hg).weight
+            assert run.weight <= (hg.rank + epsilon) * opt
+
+    def test_dual_feasible(self):
+        for hg in random_instances(4):
+            run = kvy_cover(hg, Fraction(1, 3))
+            assert dual_feasible(hg, run.extra["dual"])
+
+    def test_rounds_are_4_per_iteration(self):
+        hg = random_instances(1)[0]
+        run = kvy_cover(hg)
+        assert run.rounds == 4 * run.iterations
+
+    def test_small_epsilon_tightens_quality(self):
+        hg = path_graph(8, weights=uniform_weights(8, 50, seed=10))
+        opt = exact_optimum(hg).weight
+        tight = kvy_cover(hg, Fraction(1, 100))
+        assert tight.weight <= 2 * opt + opt * Fraction(1, 100)
+
+    def test_more_iterations_for_smaller_epsilon(self):
+        # The log(1/eps) factor: shrinking eps cannot speed KVY up.
+        hg = random_instances(3)[2]
+        loose = kvy_cover(hg, Fraction(1))
+        tight = kvy_cover(hg, Fraction(1, 64))
+        assert tight.iterations >= loose.iterations
+
+    def test_epsilon_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            kvy_cover(path_graph(3), 0)
+
+
+class TestDualDoubling:
+    def test_2f_guarantee(self):
+        for hg in random_instances(6):
+            run = dual_doubling_cover(hg)
+            assert hg.is_cover(run.cover)
+            opt = exact_optimum(hg).weight
+            assert run.weight <= 2 * hg.rank * opt
+
+    def test_dual_feasible(self):
+        for hg in random_instances(4):
+            run = dual_doubling_cover(hg)
+            assert dual_feasible(hg, run.extra["dual"])
+
+    def test_rounds_grow_with_weight_spread(self):
+        base = path_graph(20)
+        narrow = dual_doubling_cover(base)
+        wide = dual_doubling_cover(
+            path_graph(20, weights=[1 if v % 2 else 10**6 for v in range(20)])
+        )
+        assert wide.iterations > narrow.iterations
+
+    def test_edgeless(self):
+        run = dual_doubling_cover(Hypergraph(3, []))
+        assert run.cover == frozenset()
+
+
+class TestMatching:
+    def test_2_approximation_unweighted(self):
+        for seed in range(4):
+            graph = random_graph(20, 35, seed=seed)
+            run = matching_cover(graph, seed=seed)
+            assert graph.is_cover(run.cover)
+            opt = exact_optimum(graph).weight
+            assert run.weight <= 2 * opt
+
+    def test_cover_is_matching_endpoints(self):
+        graph = cycle_graph(10)
+        run = matching_cover(graph, seed=3)
+        assert run.weight == 2 * run.extra["matching_size"]
+
+    def test_singleton_edges_forced(self):
+        graph = Hypergraph(3, [(0,), (1, 2)])
+        run = matching_cover(graph, seed=0)
+        assert 0 in run.cover
+
+    def test_rejects_hypergraphs(self):
+        with pytest.raises(InvalidInstanceError):
+            matching_cover(star_hypergraph(3, 3))
+
+    def test_rejects_weighted(self):
+        with pytest.raises(InvalidInstanceError):
+            matching_cover(path_graph(4, weights=[2, 1, 1, 2]))
+
+    def test_seeded_determinism(self):
+        graph = random_graph(15, 25, seed=2)
+        assert matching_cover(graph, seed=5).cover == matching_cover(
+            graph, seed=5
+        ).cover
+
+
+class TestDistributedLocalRatio:
+    def test_f_approximation(self):
+        from repro.baselines.local_ratio_distributed import (
+            distributed_local_ratio_cover,
+        )
+
+        for hg in random_instances(6):
+            run = distributed_local_ratio_cover(hg, seed=1)
+            assert hg.is_cover(run.cover)
+            opt = exact_optimum(hg).weight
+            assert run.weight <= hg.rank * opt
+
+    def test_dual_feasible_and_certified(self):
+        from repro.baselines.local_ratio_distributed import (
+            distributed_local_ratio_cover,
+        )
+
+        for hg in random_instances(4):
+            run = distributed_local_ratio_cover(hg, seed=2)
+            assert dual_feasible(hg, run.extra["dual"])
+            ratio = run.certified_ratio()
+            assert ratio is not None and ratio <= hg.rank
+
+    def test_activation_count_bounded_by_edges(self):
+        from repro.baselines.local_ratio_distributed import (
+            distributed_local_ratio_cover,
+        )
+
+        hg = random_instances(1)[0]
+        run = distributed_local_ratio_cover(hg, seed=3)
+        # Every activation kills its edge, so activations <= m.
+        assert run.extra["activations"] <= hg.num_edges
+
+    def test_seeded_determinism(self):
+        from repro.baselines.local_ratio_distributed import (
+            distributed_local_ratio_cover,
+        )
+
+        hg = random_instances(2)[1]
+        first = distributed_local_ratio_cover(hg, seed=9)
+        second = distributed_local_ratio_cover(hg, seed=9)
+        assert first.cover == second.cover
+        assert first.rounds == second.rounds
+
+    def test_rounds_accounting(self):
+        from repro.baselines.local_ratio_distributed import (
+            LOCAL_RATIO_ROUNDS_PER_ITERATION,
+            distributed_local_ratio_cover,
+        )
+
+        hg = random_instances(3)[2]
+        run = distributed_local_ratio_cover(hg, seed=4)
+        assert run.rounds == (
+            LOCAL_RATIO_ROUNDS_PER_ITERATION * run.iterations
+        )
+
+
+class TestRegistry:
+    def test_registry_contains_all(self):
+        assert set(BASELINES) == {
+            "this-work",
+            "this-work-f-approx",
+            "kvy",
+            "dual-doubling",
+            "local-ratio-distributed",
+            "maximal-matching",
+            "local-ratio",
+            "greedy",
+        }
+
+    def test_this_work_adapter(self):
+        hg = random_instances(1)[0]
+        run = this_work(hg, Fraction(1, 2))
+        assert isinstance(run, BaselineRun)
+        assert hg.is_cover(run.cover)
+        assert run.extra["dual_total"] > 0
+        assert run.certified_ratio() <= hg.rank + Fraction(1, 2)
+
+    def test_this_work_f_approx_adapter(self):
+        hg = random_instances(2)[1]
+        run = this_work_f_approx(hg)
+        opt = exact_optimum(hg).weight
+        assert run.weight <= hg.rank * opt
+        assert run.guarantee == "f"
+
+
+class TestBaselineRun:
+    def test_build_validates_cover(self):
+        hg = path_graph(4)
+        with pytest.raises(CertificateError):
+            BaselineRun.build("x", hg, {0}, 1, 1, "none")
+
+    def test_certified_ratio_absent_without_dual(self):
+        hg = path_graph(3)
+        run = BaselineRun.build("x", hg, {1}, 1, 1, "none")
+        assert run.certified_ratio() is None
+
+    def test_certified_ratio_detects_bogus_dual(self):
+        hg = path_graph(3)
+        run = BaselineRun.build(
+            "x", hg, {1}, 1, 1, "none", extra={"dual_total": 100}
+        )
+        with pytest.raises(CertificateError):
+            run.certified_ratio()

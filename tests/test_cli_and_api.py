@@ -1,0 +1,150 @@
+"""Tests for the CLI, the public API surface, and result objects."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.core.result import AlgorithmStats
+from repro.core.solver import solve_mwhvc
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestCLI:
+    def test_generate_then_stats(self, tmp_path, capsys):
+        path = tmp_path / "instance.hg"
+        assert main(
+            [
+                "generate",
+                str(path),
+                "--vertices",
+                "20",
+                "--edges",
+                "30",
+                "--rank",
+                "3",
+                "--seed",
+                "2",
+            ]
+        ) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "n: 20" in output.replace(" ", " ")
+
+    def test_solve(self, tmp_path, capsys):
+        path = tmp_path / "instance.hg"
+        main(["generate", str(path), "--vertices", "12", "--edges", "18"])
+        capsys.readouterr()
+        assert main(["solve", str(path), "--epsilon", "1/2"]) == 0
+        output = capsys.readouterr().out
+        assert "cover weight" in output
+        assert "cover:" in output
+
+    def test_solve_f_approx_congest(self, tmp_path, capsys):
+        path = tmp_path / "instance.hg"
+        main(["generate", str(path), "--vertices", "10", "--edges", "12"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "solve",
+                    str(path),
+                    "--f-approx",
+                    "--executor",
+                    "congest",
+                    "--check-invariants",
+                ]
+            )
+            == 0
+        )
+        assert "cover weight" in capsys.readouterr().out
+
+    def test_solve_compact_schedule(self, tmp_path, capsys):
+        path = tmp_path / "instance.hg"
+        main(["generate", str(path), "--vertices", "8", "--edges", "10"])
+        capsys.readouterr()
+        assert main(["solve", str(path), "--schedule", "compact"]) == 0
+
+    def test_missing_file_clean_error(self, tmp_path, capsys):
+        assert main(["solve", str(tmp_path / "nope.hg")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_instance_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.hg"
+        path.write_text("p mwhvc 2 1\ne 0 7\n")
+        assert main(["stats", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_epsilon_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "instance.hg"
+        main(["generate", str(path), "--vertices", "5", "--edges", "5"])
+        capsys.readouterr()
+        assert main(["solve", str(path), "--epsilon", "7"]) == 2
+        assert "epsilon" in capsys.readouterr().err
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        assert hasattr(repro, "Hypergraph")
+        assert hasattr(repro, "solve_mwhvc")
+        assert hasattr(repro, "solve_set_cover")
+        assert hasattr(repro, "AlgorithmConfig")
+        assert repro.__version__
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.InvalidInstanceError, repro.ReproError)
+        assert issubclass(repro.InvalidInstanceError, ValueError)
+        assert issubclass(
+            repro.InfeasibleInstanceError, repro.InvalidInstanceError
+        )
+        assert issubclass(repro.BandwidthExceededError, repro.SimulationError)
+        assert issubclass(repro.SimulationError, RuntimeError)
+        assert issubclass(
+            repro.InvariantViolationError, repro.AlgorithmError
+        )
+        assert issubclass(repro.CertificateError, repro.AlgorithmError)
+
+    def test_quickstart_docstring_example(self):
+        hg = repro.Hypergraph(
+            4, [(0, 1, 2), (1, 3), (2, 3)], weights=[3, 2, 2, 4]
+        )
+        result = repro.solve_mwhvc(hg, epsilon="1/2")
+        assert hg.is_cover(result.cover)
+
+
+class TestResultObjects:
+    def test_guarantee_property(self):
+        hg = Hypergraph(3, [(0, 1, 2)])
+        result = solve_mwhvc(hg, Fraction(1, 4))
+        assert result.guarantee == Fraction(13, 4)
+
+    def test_certified_ratio_none_for_empty(self):
+        result = solve_mwhvc(Hypergraph(2, []))
+        assert result.certified_ratio is None
+        assert "n/a" in result.summary()
+
+    def test_stats_empty(self):
+        stats = AlgorithmStats.empty(level_cap=5)
+        assert stats.total_raise_events == 0
+        assert stats.level_cap == 5
+
+    def test_result_is_frozen(self):
+        result = solve_mwhvc(Hypergraph(1, [(0,)]))
+        with pytest.raises(AttributeError):
+            result.weight = 0
+
+    def test_congest_result_has_metrics(self):
+        result = solve_mwhvc(
+            Hypergraph(2, [(0, 1)]), executor="congest"
+        )
+        assert result.metrics is not None
+        assert result.metrics.rounds == result.rounds
+
+    def test_lockstep_result_has_no_metrics(self):
+        result = solve_mwhvc(Hypergraph(2, [(0, 1)]))
+        assert result.metrics is None

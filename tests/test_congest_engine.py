@@ -1,0 +1,246 @@
+"""Tests for the synchronous engine: delivery, termination, bandwidth,
+fragmentation, tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.engine import SynchronousEngine, default_bandwidth_cap
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.congest.node import Node
+from repro.congest.tracing import TraceRecorder
+from repro.exceptions import (
+    BandwidthExceededError,
+    ProtocolViolationError,
+    RoundLimitExceededError,
+    SimulationError,
+)
+
+
+class PingPong(Node):
+    """Sends `count` pings to its single neighbor, then halts."""
+
+    def __init__(self, node_id, neighbors, count):
+        super().__init__(node_id, neighbors)
+        self.remaining = count
+        self.received = 0
+
+    def on_round(self, round_number, inbox):
+        self.received += len(inbox)
+        if self.remaining == 0:
+            self.halt()
+            return {}
+        self.remaining -= 1
+        return {self.neighbors[0]: Message("ping", (self.remaining,))}
+
+
+class BigTalker(Node):
+    """Sends one message with a configurable payload then waits for echo."""
+
+    def __init__(self, node_id, neighbors, payload):
+        super().__init__(node_id, neighbors)
+        self.payload = payload
+        self.got_reply_at: int | None = None
+
+    def on_round(self, round_number, inbox):
+        if round_number == 1:
+            return {self.neighbors[0]: Message("data", tuple(self.payload))}
+        if inbox:
+            self.got_reply_at = round_number
+            self.halt()
+        return {}
+
+
+class Echo(Node):
+    """Echoes anything received, once, then halts."""
+
+    def __init__(self, node_id, neighbors):
+        super().__init__(node_id, neighbors)
+        self.received_at: int | None = None
+
+    def on_round(self, round_number, inbox):
+        if inbox:
+            self.received_at = round_number
+            self.halt()
+            return {sender: Message("ack") for sender in inbox}
+        return {}
+
+
+class Stubborn(Node):
+    """Never halts, never sends."""
+
+    def on_round(self, round_number, inbox):
+        return {}
+
+
+class Misroute(Node):
+    """Sends to a node that is not a neighbor."""
+
+    def on_round(self, round_number, inbox):
+        return {99: Message("oops")}
+
+
+def _pair(cls_a, cls_b, *args_a, **kwargs):
+    network = Network({0: [1], 1: [0]})
+    a = cls_a(0, (1,), *args_a)
+    b = cls_b(1, (0,))
+    network.attach(a)
+    network.attach(b)
+    return network, a, b
+
+
+class TestBasicExecution:
+    def test_empty_network_zero_rounds(self):
+        engine = SynchronousEngine(Network({}))
+        assert engine.run().rounds == 0
+
+    def test_all_halt_first_round(self):
+        network = Network({0: [1], 1: [0]})
+        network.attach(PingPong(0, (1,), 0))
+        network.attach(PingPong(1, (0,), 0))
+        metrics = SynchronousEngine(network).run()
+        assert metrics.rounds == 1
+        assert metrics.messages == 0
+
+    def test_ping_pong_counts(self):
+        network = Network({0: [1], 1: [0]})
+        network.attach(PingPong(0, (1,), 3))
+        network.attach(PingPong(1, (0,), 0))
+        metrics = SynchronousEngine(network).run()
+        assert metrics.messages == 3
+
+    def test_unattached_network_rejected(self):
+        network = Network({0: [1], 1: [0]})
+        network.attach(PingPong(0, (1,), 0))
+        with pytest.raises(SimulationError):
+            SynchronousEngine(network)
+
+    def test_round_limit(self):
+        network = Network({0: [1], 1: [0]})
+        network.attach(Stubborn(0, (1,)))
+        network.attach(Stubborn(1, (0,)))
+        with pytest.raises(RoundLimitExceededError):
+            SynchronousEngine(network).run(max_rounds=10)
+
+    def test_misroute_rejected(self):
+        network = Network({0: [1], 1: [0]})
+        network.attach(Misroute(0, (1,)))
+        network.attach(Stubborn(1, (0,)))
+        with pytest.raises(ProtocolViolationError):
+            SynchronousEngine(network).run(max_rounds=5)
+
+    def test_messages_to_halted_node_dropped(self):
+        network = Network({0: [1], 1: [0]})
+        network.attach(PingPong(0, (1,), 2))  # halts after 2 sends
+        network.attach(PingPong(1, (0,), 0))  # halts round 1
+        metrics = SynchronousEngine(network).run()
+        assert metrics.dropped_messages >= 1
+
+
+class TestBandwidth:
+    def test_default_cap_scales_with_log(self):
+        assert default_bandwidth_cap(2) == 8
+        assert default_bandwidth_cap(1024) == 8 * 10
+
+    def test_violation_recorded_when_lenient(self):
+        network, talker, echo = _pair(BigTalker, Echo, [10**40])
+        engine = SynchronousEngine(network, bandwidth_cap_bits=16)
+        metrics = engine.run()
+        assert metrics.bandwidth_violations == 1
+
+    def test_strict_mode_raises(self):
+        network, talker, echo = _pair(BigTalker, Echo, [10**40])
+        engine = SynchronousEngine(
+            network, bandwidth_cap_bits=16, strict_bandwidth=True
+        )
+        with pytest.raises(BandwidthExceededError):
+            engine.run()
+
+    def test_max_message_bits_tracked(self):
+        network, talker, echo = _pair(BigTalker, Echo, [255])
+        metrics = SynchronousEngine(network).run()
+        assert metrics.max_message_bits >= Message("data", (255,)).bits
+
+
+class TestFragmentation:
+    def test_fragmented_delivery_is_delayed(self):
+        # Small message for reference timing.
+        network, talker, echo = _pair(BigTalker, Echo, [1])
+        SynchronousEngine(network).run()
+        reference = echo.received_at
+        assert reference == 2  # sent round 1, received round 2
+
+        # Large message: should arrive strictly later under a tiny cap.
+        network, talker, echo = _pair(BigTalker, Echo, [10**30])
+        engine = SynchronousEngine(
+            network, bandwidth_cap_bits=16, allow_fragmentation=True
+        )
+        metrics = engine.run()
+        assert echo.received_at is not None
+        assert echo.received_at > reference
+        assert metrics.fragmented_messages == 1
+        assert metrics.fragment_rounds == echo.received_at - reference
+
+    def test_fragment_count_matches_size(self):
+        payload = [10**30]
+        bits = Message("data", tuple(payload)).bits
+        cap = 16
+        expected_fragments = -(-bits // cap)
+        network, talker, echo = _pair(BigTalker, Echo, payload)
+        engine = SynchronousEngine(
+            network, bandwidth_cap_bits=cap, allow_fragmentation=True
+        )
+        engine.run()
+        # Sent round 1, occupies fragments rounds, received at 1+fragments.
+        assert echo.received_at == 1 + expected_fragments
+
+    def test_busy_link_protocol_violation(self):
+        class DoubleSender(Node):
+            def on_round(self, round_number, inbox):
+                if round_number <= 2:
+                    return {
+                        self.neighbors[0]: Message("data", (10**30,))
+                    }
+                self.halt()
+                return {}
+
+        network = Network({0: [1], 1: [0]})
+        network.attach(DoubleSender(0, (1,)))
+        network.attach(Echo(1, (0,)))
+        engine = SynchronousEngine(
+            network, bandwidth_cap_bits=8, allow_fragmentation=True
+        )
+        with pytest.raises(ProtocolViolationError, match="busy"):
+            engine.run()
+
+
+class TestTracing:
+    def test_events_recorded(self):
+        network = Network({0: [1], 1: [0]})
+        network.attach(PingPong(0, (1,), 2))
+        network.attach(PingPong(1, (0,), 0))
+        trace = TraceRecorder()
+        SynchronousEngine(network, trace=trace).run()
+        kinds = {event.kind for event in trace.events}
+        assert kinds == {"ping"}
+        assert len(trace.events) == 2
+
+    def test_messages_between(self):
+        network = Network({0: [1], 1: [0]})
+        network.attach(PingPong(0, (1,), 2))
+        network.attach(PingPong(1, (0,), 0))
+        trace = TraceRecorder()
+        SynchronousEngine(network, trace=trace).run()
+        assert len(trace.messages_between(0, 1)) == 2
+        assert trace.messages_between(1, 0) == []
+
+    def test_kinds_by_round_and_summary(self):
+        network = Network({0: [1], 1: [0]})
+        network.attach(PingPong(0, (1,), 1))
+        network.attach(PingPong(1, (0,), 0))
+        trace = TraceRecorder()
+        SynchronousEngine(network, trace=trace).run()
+        histogram = trace.kinds_by_round()
+        assert sum(counter["ping"] for counter in histogram.values()) == 1
+        assert "ping" in trace.format_summary()

@@ -1,0 +1,61 @@
+"""Tests for message bit accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.message import KIND_TAG_BITS, Message, int_bits
+
+
+class TestIntBits:
+    def test_zero_costs_one_bit(self):
+        assert int_bits(0) == 1
+
+    def test_small_values(self):
+        # Elias-gamma: 2*floor(log2 v) + 1 bits... via bit_length.
+        assert int_bits(1) == 3
+        assert int_bits(2) == 5
+        assert int_bits(3) == 5
+        assert int_bits(4) == 7
+
+    def test_negative_adds_sign_bit(self):
+        assert int_bits(-5) == int_bits(5) + 1
+
+    def test_logarithmic_growth(self):
+        # A poly(n)-sized value fits in O(log n) bits.
+        assert int_bits(10**6) <= 2 * 21 + 1
+
+    def test_monotone_in_magnitude(self):
+        previous = 0
+        for value in [0, 1, 3, 9, 100, 10_000, 10**9]:
+            cost = int_bits(value)
+            assert cost >= previous
+            previous = cost
+
+
+class TestMessage:
+    def test_bits_sum_fields(self):
+        message = Message("test", (3, True, 0))
+        expected = KIND_TAG_BITS + int_bits(3) + 1 + int_bits(0)
+        assert message.bits == expected
+
+    def test_empty_message_costs_tag_only(self):
+        assert Message("ping").bits == KIND_TAG_BITS
+
+    def test_non_primitive_field_rejected(self):
+        with pytest.raises(TypeError):
+            Message("bad", ("text",))
+
+    def test_list_field_rejected(self):
+        with pytest.raises(TypeError):
+            Message("bad", ([1, 2],))
+
+    def test_repr_contains_kind_and_bits(self):
+        message = Message("levels", (2,))
+        assert "levels" in repr(message)
+        assert f"{message.bits}b" in repr(message)
+
+    def test_frozen(self):
+        message = Message("x", (1,))
+        with pytest.raises(AttributeError):
+            message.kind = "y"

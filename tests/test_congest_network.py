@@ -1,0 +1,103 @@
+"""Tests for network topology validation and node attachment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.congest.node import Node
+from repro.exceptions import ProtocolViolationError
+
+
+class Silent(Node):
+    """A node that immediately halts."""
+
+    def on_round(self, round_number, inbox):
+        self.halt()
+        return {}
+
+
+class TestNetworkValidation:
+    def test_basic_topology(self):
+        network = Network({0: [1], 1: [0, 2], 2: [1]})
+        assert network.num_nodes == 3
+        assert network.num_links == 2
+        assert network.neighbors(1) == (0, 2)
+        assert network.node_ids == (0, 1, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ProtocolViolationError):
+            Network({0: [0]})
+
+    def test_unknown_neighbor_rejected(self):
+        with pytest.raises(ProtocolViolationError):
+            Network({0: [1]})
+
+    def test_duplicate_neighbor_rejected(self):
+        with pytest.raises(ProtocolViolationError):
+            Network({0: [1, 1], 1: [0]})
+
+    def test_asymmetric_link_rejected(self):
+        with pytest.raises(ProtocolViolationError):
+            Network({0: [1], 1: []})
+
+    def test_empty_network(self):
+        network = Network({})
+        assert network.num_nodes == 0
+        assert network.fully_attached
+
+
+class TestAttachment:
+    def test_attach_and_lookup(self):
+        network = Network({0: [1], 1: [0]})
+        node = Silent(0, [1])
+        network.attach(node)
+        assert network.node(0) is node
+        assert not network.fully_attached
+        network.attach(Silent(1, [0]))
+        assert network.fully_attached
+
+    def test_attach_unknown_id_rejected(self):
+        network = Network({0: [1], 1: [0]})
+        with pytest.raises(ProtocolViolationError):
+            network.attach(Silent(5, []))
+
+    def test_attach_twice_rejected(self):
+        network = Network({0: [1], 1: [0]})
+        network.attach(Silent(0, [1]))
+        with pytest.raises(ProtocolViolationError):
+            network.attach(Silent(0, [1]))
+
+    def test_attach_wrong_neighbors_rejected(self):
+        network = Network({0: [1], 1: [0]})
+        with pytest.raises(ProtocolViolationError):
+            network.attach(Silent(0, []))
+
+    def test_attached_nodes_sorted(self):
+        network = Network({0: [1], 1: [0]})
+        second = Silent(1, [0])
+        first = Silent(0, [1])
+        network.attach(second)
+        network.attach(first)
+        assert network.attached_nodes() == [first, second]
+
+
+class TestNodeHelpers:
+    def test_broadcast_defaults_to_all_neighbors(self):
+        node = Silent(0, [1, 2, 3])
+        message = Message("hello")
+        outbox = node.broadcast(message)
+        assert set(outbox) == {1, 2, 3}
+        assert all(m is message for m in outbox.values())
+
+    def test_broadcast_subset(self):
+        node = Silent(0, [1, 2, 3])
+        outbox = node.broadcast(Message("hello"), targets=[2])
+        assert set(outbox) == {2}
+
+    def test_halt_flag(self):
+        node = Silent(0, [])
+        assert not node.halted
+        node.halt()
+        assert node.halted

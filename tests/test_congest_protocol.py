@@ -1,0 +1,132 @@
+"""Protocol-level tests: message schedules, widths, and CONGEST compliance."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.congest.tracing import TraceRecorder
+from repro.core.params import AlgorithmConfig
+from repro.core.runner import run_congest
+from repro.hypergraph.generators import (
+    mixed_rank_hypergraph,
+    uniform_weights,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def instance():
+    return mixed_rank_hypergraph(
+        12, 18, 3, seed=21, weights=uniform_weights(12, 50, seed=22)
+    )
+
+
+class TestMessageSchedule:
+    def test_spec_schedule_kinds(self, instance):
+        trace = TraceRecorder()
+        run_congest(
+            instance,
+            AlgorithmConfig(epsilon=Fraction(1, 2), schedule="spec"),
+            trace=trace,
+        )
+        kinds = {event.kind for event in trace.events}
+        assert {"init", "reply", "levels", "halved", "flag", "raised"} <= kinds
+        assert "levels_flag" not in kinds
+        assert "halved_raised" not in kinds
+
+    def test_compact_schedule_kinds(self, instance):
+        trace = TraceRecorder()
+        run_congest(
+            instance,
+            AlgorithmConfig(epsilon=Fraction(1, 2), schedule="compact"),
+            trace=trace,
+        )
+        kinds = {event.kind for event in trace.events}
+        assert {"init", "reply", "levels_flag", "halved_raised"} <= kinds
+        assert "flag" not in kinds
+        assert "raised" not in kinds
+
+    def test_round_one_is_init_only(self, instance):
+        trace = TraceRecorder()
+        run_congest(instance, AlgorithmConfig(), trace=trace)
+        by_round = trace.kinds_by_round()
+        # Trace records the delivery round: round 2 receives the inits.
+        assert set(by_round[2]) == {"init"}
+        assert set(by_round[3]) == {"reply"}
+
+    def test_compact_uses_half_the_rounds(self, instance):
+        spec = run_congest(
+            instance, AlgorithmConfig(epsilon=Fraction(1, 2), schedule="spec")
+        )
+        compact = run_congest(
+            instance,
+            AlgorithmConfig(epsilon=Fraction(1, 2), schedule="compact"),
+        )
+        # Same iterations, 2 vs 4 rounds each (plus constant overhead).
+        assert spec.iterations == compact.iterations
+        assert compact.rounds < spec.rounds
+        assert compact.rounds >= 2 * compact.iterations
+        assert spec.rounds >= 4 * spec.iterations
+
+
+class TestCongestCompliance:
+    def test_messages_fit_in_log_n_bits(self, instance):
+        result = run_congest(
+            instance,
+            AlgorithmConfig(epsilon=Fraction(1, 3)),
+            strict_bandwidth=True,
+        )
+        assert result.metrics.bandwidth_violations == 0
+        assert result.metrics.max_message_bits <= result.metrics.bandwidth_cap_bits
+
+    def test_polynomial_weights_fit(self):
+        # Weights up to n^3 still satisfy the O(log n) budget with the
+        # default constant.
+        n = 30
+        hypergraph = mixed_rank_hypergraph(
+            n,
+            45,
+            3,
+            seed=5,
+            weights=uniform_weights(n, n**3, seed=6),
+        )
+        result = run_congest(
+            hypergraph, AlgorithmConfig(), strict_bandwidth=True
+        )
+        assert result.metrics.bandwidth_violations == 0
+
+    def test_message_and_bit_accounting(self, instance):
+        result = run_congest(instance, AlgorithmConfig())
+        metrics = result.metrics
+        assert metrics.messages > 0
+        assert metrics.total_bits > 0
+        assert 0 < metrics.mean_message_bits <= metrics.max_message_bits
+        assert len(metrics.messages_per_round) == metrics.rounds
+
+    def test_no_message_after_termination(self, instance):
+        result = run_congest(instance, AlgorithmConfig())
+        # The engine's final round may deliver the last covered
+        # notifications; dropped messages mean someone kept talking to a
+        # halted node — the MWHVC protocol never does.
+        assert result.metrics.dropped_messages == 0
+
+
+class TestRoundCounts:
+    def test_rounds_follow_schedule_arithmetic(self, instance):
+        for schedule, per_iteration in (("spec", 4), ("compact", 2)):
+            result = run_congest(
+                instance,
+                AlgorithmConfig(epsilon=Fraction(1, 2), schedule=schedule),
+            )
+            low = per_iteration * result.iterations
+            high = per_iteration * result.iterations + 3
+            assert low <= result.rounds <= high
+
+    def test_single_edge_round_count(self):
+        # One vertex, one edge: joins at the first phase A (round 3),
+        # edge covered at round 4.
+        result = run_congest(Hypergraph(1, [(0,)]), AlgorithmConfig())
+        assert result.rounds == 4
+        assert result.iterations == 1

@@ -1,0 +1,149 @@
+"""The lockstep executor and the CONGEST engine must agree exactly.
+
+These tests are the backbone of the fast-sweep methodology: every
+benchmark that uses lockstep rounds is valid only because these
+assertions hold across schedules, increment modes, alpha policies and
+instance families.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import AlgorithmConfig
+from repro.core.solver import solve_mwhvc
+from repro.hypergraph.generators import (
+    cycle_graph,
+    mixed_rank_hypergraph,
+    path_graph,
+    regular_hypergraph,
+    star_hypergraph,
+    sunflower_hypergraph,
+    uniform_weights,
+)
+
+CONFIG_MATRIX = [
+    pytest.param(schedule, mode, policy, id=f"{schedule}-{mode}-{policy}")
+    for schedule in ("spec", "compact")
+    for mode in ("multi", "single")
+    for policy in ("theorem9", "local")
+]
+
+
+def assert_equal_runs(hypergraph, config):
+    lock = solve_mwhvc(hypergraph, config=config, executor="lockstep")
+    cong = solve_mwhvc(hypergraph, config=config, executor="congest")
+    assert lock.cover == cong.cover
+    assert lock.weight == cong.weight
+    assert lock.iterations == cong.iterations
+    assert lock.rounds == cong.rounds
+    assert lock.dual == cong.dual
+    assert lock.levels == cong.levels
+    assert lock.stats == cong.stats
+
+
+@pytest.mark.parametrize("schedule,mode,policy", CONFIG_MATRIX)
+def test_equality_random_instances(schedule, mode, policy):
+    config = AlgorithmConfig(
+        epsilon=Fraction(1, 3),
+        schedule=schedule,
+        increment_mode=mode,
+        alpha_policy=policy,
+        check_invariants=True,
+    )
+    for seed in range(6):
+        hypergraph = mixed_rank_hypergraph(
+            10 + seed * 2,
+            16 + seed * 3,
+            4,
+            seed=seed,
+            weights=uniform_weights(10 + seed * 2, 40, seed=seed + 77),
+        )
+        assert_equal_runs(hypergraph, config)
+
+
+@pytest.mark.parametrize("schedule", ["spec", "compact"])
+def test_equality_structured_instances(schedule):
+    config = AlgorithmConfig(epsilon=Fraction(1, 2), schedule=schedule)
+    for hypergraph in (
+        path_graph(9, weights=[3, 1, 4, 1, 5, 9, 2, 6, 5]),
+        cycle_graph(8),
+        star_hypergraph(7, 3),
+        sunflower_hypergraph(5, 2, 2),
+        regular_hypergraph(12, 3, 4, seed=2),
+    ):
+        assert_equal_runs(hypergraph, config)
+
+
+@pytest.mark.parametrize("epsilon", ["1", "1/2", "1/9", "1/33"])
+def test_equality_epsilon_sweep(epsilon):
+    config = AlgorithmConfig(epsilon=Fraction(epsilon))
+    hypergraph = mixed_rank_hypergraph(
+        14, 22, 3, seed=11, weights=uniform_weights(14, 100, seed=12)
+    )
+    assert_equal_runs(hypergraph, config)
+
+
+def test_equality_trivial_cases():
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    config = AlgorithmConfig()
+    for hypergraph in (
+        Hypergraph(0, []),
+        Hypergraph(4, []),
+        Hypergraph(1, [(0,)]),
+        Hypergraph(3, [(0, 1, 2)]),
+        Hypergraph(5, [(0, 1), (2, 3)], weights=[2, 2, 3, 3, 9]),
+    ):
+        assert_equal_runs(hypergraph, config)
+
+
+def test_equality_with_fixed_alpha_values():
+    hypergraph = mixed_rank_hypergraph(
+        12, 20, 3, seed=5, weights=uniform_weights(12, 15, seed=6)
+    )
+    for alpha in (2, 3, Fraction(7, 2), 8):
+        config = AlgorithmConfig(
+            epsilon=Fraction(1, 2),
+            alpha_policy="fixed",
+            fixed_alpha=Fraction(alpha),
+        )
+        assert_equal_runs(hypergraph, config)
+
+
+@pytest.mark.parametrize("schedule", ["spec", "compact"])
+def test_equality_at_larger_scale(schedule):
+    """Equality is not a small-instance artifact: n in the hundreds."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 4), schedule=schedule)
+    hypergraph = regular_hypergraph(
+        120,
+        3,
+        10,
+        seed=31,
+        weights=uniform_weights(120, 500, seed=32),
+    )
+    assert_equal_runs(hypergraph, config)
+
+
+def test_equality_with_extreme_weights():
+    """Huge weight spreads stress the exact arithmetic identically."""
+    weights = [10**9 if v % 7 == 0 else 1 + v % 13 for v in range(40)]
+    hypergraph = mixed_rank_hypergraph(
+        40, 70, 3, seed=17, weights=weights
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 5))
+    assert_equal_runs(hypergraph, config)
+
+
+def test_lockstep_is_deterministic():
+    hypergraph = mixed_rank_hypergraph(
+        15, 25, 4, seed=8, weights=uniform_weights(15, 30, seed=9)
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 4))
+    first = solve_mwhvc(hypergraph, config=config)
+    second = solve_mwhvc(hypergraph, config=config)
+    assert first.cover == second.cover
+    assert first.dual == second.dual
+    assert first.rounds == second.rounds

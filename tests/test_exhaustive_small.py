@@ -1,0 +1,86 @@
+"""Exhaustive verification on every tiny instance.
+
+Enumerates *all* hypergraphs up to a small size (all nonempty edge
+subsets over 3 vertices, several weight patterns) and verifies, for
+each one and for each schedule/mode: cover validity, exact certificate,
+engine/lockstep equality, and the (f+eps) factor against brute-force
+optimum.  Randomized suites can miss a pathological shape; this one
+cannot, within its size bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import AlgorithmConfig
+from repro.core.solver import solve_mwhvc
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.lp.reference import exact_optimum
+
+VERTICES = 3
+#: All non-empty subsets of {0,1,2} as candidate edges.
+ALL_EDGES = [
+    tuple(sorted(subset))
+    for size in (1, 2, 3)
+    for subset in itertools.combinations(range(VERTICES), size)
+]
+WEIGHT_PATTERNS = [(1, 1, 1), (1, 2, 3), (5, 1, 5)]
+
+
+def all_tiny_instances():
+    """Every hypergraph over 3 vertices with 1..3 distinct edges."""
+    for count in (1, 2, 3):
+        for edges in itertools.combinations(ALL_EDGES, count):
+            for weights in WEIGHT_PATTERNS:
+                yield Hypergraph(VERTICES, edges, list(weights))
+
+
+TINY_INSTANCES = list(all_tiny_instances())
+
+
+def test_enumeration_size():
+    # 7 single edges + C(7,2) pairs + C(7,3) triples, times 3 weightings.
+    assert len(TINY_INSTANCES) == (7 + 21 + 35) * 3
+
+
+@pytest.mark.parametrize("epsilon", [Fraction(1), Fraction(1, 3)])
+def test_every_tiny_instance_within_guarantee(epsilon):
+    for hypergraph in TINY_INSTANCES:
+        result = solve_mwhvc(hypergraph, epsilon)
+        assert hypergraph.is_cover(result.cover)
+        optimum = exact_optimum(hypergraph).weight
+        assert result.weight <= (hypergraph.rank + epsilon) * optimum, (
+            hypergraph.edges,
+            hypergraph.weights,
+        )
+        assert result.certificate is not None
+
+
+@pytest.mark.parametrize("schedule", ["spec", "compact"])
+@pytest.mark.parametrize("mode", ["multi", "single"])
+def test_every_tiny_instance_executor_equality(schedule, mode):
+    config = AlgorithmConfig(
+        epsilon=Fraction(1, 2),
+        schedule=schedule,
+        increment_mode=mode,
+        check_invariants=True,
+    )
+    for hypergraph in TINY_INSTANCES[::3]:  # every weighting once
+        lock = solve_mwhvc(hypergraph, config=config)
+        cong = solve_mwhvc(hypergraph, config=config, executor="congest")
+        assert lock.cover == cong.cover, (
+            hypergraph.edges,
+            hypergraph.weights,
+        )
+        assert lock.rounds == cong.rounds
+        assert lock.dual == cong.dual
+
+
+def test_every_tiny_instance_dual_lower_bounds_optimum():
+    for hypergraph in TINY_INSTANCES:
+        result = solve_mwhvc(hypergraph, Fraction(1, 2))
+        optimum = exact_optimum(hypergraph).weight
+        assert result.dual_total <= optimum

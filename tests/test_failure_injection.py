@@ -1,0 +1,227 @@
+"""Failure-injection tests: the protocol detects malformed behaviour.
+
+The MWHVC node programs validate every message they receive; these
+tests wire adversarial nodes into otherwise-correct networks and assert
+the engine surfaces :class:`ProtocolViolationError` (or the relevant
+bandwidth/limit error) instead of silently corrupting state — the
+defensive posture a distributed-systems library needs even in a
+synchronous reliable model.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.congest.bipartite import CoveringNetworkMap, build_covering_network
+from repro.congest.engine import SynchronousEngine
+from repro.congest.message import Message
+from repro.congest.node import Node
+from repro.core.edge_logic import EdgeCore
+from repro.core.nodes import EdgeProgram, VertexProgram
+from repro.core.params import AlgorithmConfig
+from repro.core.runner import build_cores
+from repro.exceptions import ProtocolViolationError, RoundLimitExceededError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def build_instance() -> Hypergraph:
+    return Hypergraph(
+        4, [(0, 1), (1, 2, 3), (0, 3)], weights=[2, 5, 1, 4]
+    )
+
+
+class GarbageSender(Node):
+    """Replaces a vertex: floods neighbors with an unknown message kind."""
+
+    def on_round(self, round_number, inbox):
+        if round_number > 3:
+            self.halt()
+            return {}
+        return self.broadcast(Message("garbage", (round_number,)))
+
+
+class SilentVertex(Node):
+    """Replaces a vertex: never sends anything, never halts."""
+
+    def on_round(self, round_number, inbox):
+        return {}
+
+
+class SilentAfterInit(Node):
+    """Replaces a vertex: plays iteration 0 correctly, then stalls."""
+
+    def on_round(self, round_number, inbox):
+        if round_number == 1:
+            return self.broadcast(
+                Message("init", (5, len(self.neighbors)))
+            )
+        return {}
+
+
+def run_with_bad_vertex(bad_factory, max_rounds=200, bad_vertices=(1,)):
+    hypergraph = build_instance()
+    config = AlgorithmConfig(epsilon=Fraction(1, 2))
+    vertex_cores, edge_cores, global_alpha = build_cores(hypergraph, config)
+
+    def vertex_factory(vertex, neighbors):
+        if vertex in bad_vertices:
+            return bad_factory(vertex, neighbors)
+        return VertexProgram(
+            vertex,
+            neighbors,
+            vertex_cores[vertex],
+            config=config,
+            rank=hypergraph.rank,
+            weight=hypergraph.weight(vertex),
+            global_alpha=global_alpha,
+            vertex_count=hypergraph.num_vertices,
+        )
+
+    def edge_factory(edge_id, neighbors):
+        return EdgeProgram(
+            hypergraph.num_vertices + edge_id,
+            neighbors,
+            edge_cores[edge_id],
+            config=config,
+            rank=hypergraph.rank,
+            global_alpha=global_alpha,
+        )
+
+    network, _ = build_covering_network(
+        hypergraph, vertex_factory, edge_factory
+    )
+    return SynchronousEngine(network).run(max_rounds=max_rounds)
+
+
+class TestAdversarialNodes:
+    def test_garbage_kind_detected_by_edge(self):
+        with pytest.raises(ProtocolViolationError):
+            run_with_bad_vertex(GarbageSender)
+
+    def test_silent_vertex_detected_as_missing_member(self):
+        # Edges expect an init from every member in the same round; a
+        # completely silent vertex is caught immediately.
+        with pytest.raises(ProtocolViolationError, match="missing"):
+            run_with_bad_vertex(SilentVertex, max_rounds=60)
+
+    def test_one_stalling_vertex_detected_as_partial_phase(self):
+        # Playing iteration 0 then going silent leaves its edges with a
+        # partial phase-A inbox — detected, not silently tolerated.
+        with pytest.raises(ProtocolViolationError, match="expected"):
+            run_with_bad_vertex(SilentAfterInit, max_rounds=60)
+
+    def test_all_vertices_stalling_hits_round_limit(self):
+        # When an entire phase stalls (no messages at all), nothing is
+        # detectable locally; the engine's round limit is the backstop
+        # and no node ever produces a bogus cover.
+        with pytest.raises(RoundLimitExceededError):
+            run_with_bad_vertex(
+                SilentAfterInit, max_rounds=60, bad_vertices=(0, 1, 2, 3)
+            )
+
+    def test_edge_program_rejects_wrong_phase_kind(self):
+        core = EdgeCore(0, (0, 1))
+        program = EdgeProgram(
+            2,
+            (0, 1),
+            core,
+            config=AlgorithmConfig(),
+            rank=2,
+            global_alpha=Fraction(2),
+        )
+        with pytest.raises(ProtocolViolationError):
+            program.on_round(
+                2,
+                {0: Message("flag", (True,)), 1: Message("flag", (True,))},
+            )
+
+    def test_edge_program_rejects_missing_member(self):
+        core = EdgeCore(0, (0, 1))
+        program = EdgeProgram(
+            2,
+            (0, 1),
+            core,
+            config=AlgorithmConfig(),
+            rank=2,
+            global_alpha=Fraction(2),
+        )
+        with pytest.raises(ProtocolViolationError, match="missing"):
+            program.on_round(2, {0: Message("init", (3, 1))})
+
+    def test_vertex_program_rejects_unknown_reply(self):
+        hypergraph = Hypergraph(1, [(0,)])
+        config = AlgorithmConfig()
+        cores, _, alpha = build_cores(hypergraph, config)
+        program = VertexProgram(
+            0,
+            (1,),
+            cores[0],
+            config=config,
+            rank=1,
+            weight=1,
+            global_alpha=alpha,
+            vertex_count=1,
+        )
+        program.on_round(1, {})  # sends init
+        with pytest.raises(ProtocolViolationError):
+            program.on_round(3, {1: Message("covered")})
+
+
+class TestCoveringNetworkMap:
+    def test_id_translation(self):
+        hypergraph = build_instance()
+        mapping = CoveringNetworkMap(hypergraph)
+        assert mapping.vertex_node(2) == 2
+        assert mapping.edge_node(0) == 4
+        assert mapping.is_vertex_node(3)
+        assert not mapping.is_vertex_node(4)
+        assert mapping.to_vertex(1) == 1
+        assert mapping.to_edge(5) == 1
+
+    def test_translation_errors(self):
+        mapping = CoveringNetworkMap(build_instance())
+        with pytest.raises(ValueError):
+            mapping.to_vertex(6)
+        with pytest.raises(ValueError):
+            mapping.to_edge(2)
+
+    def test_built_network_shape(self):
+        hypergraph = build_instance()
+        config = AlgorithmConfig()
+        vertex_cores, edge_cores, alpha = build_cores(hypergraph, config)
+
+        def vertex_factory(vertex, neighbors):
+            return VertexProgram(
+                vertex,
+                neighbors,
+                vertex_cores[vertex],
+                config=config,
+                rank=hypergraph.rank,
+                weight=hypergraph.weight(vertex),
+                global_alpha=alpha,
+                vertex_count=hypergraph.num_vertices,
+            )
+
+        def edge_factory(edge_id, neighbors):
+            return EdgeProgram(
+                hypergraph.num_vertices + edge_id,
+                neighbors,
+                edge_cores[edge_id],
+                config=config,
+                rank=hypergraph.rank,
+                global_alpha=alpha,
+            )
+
+        network, mapping = build_covering_network(
+            hypergraph, vertex_factory, edge_factory
+        )
+        assert network.num_nodes == (
+            hypergraph.num_vertices + hypergraph.num_edges
+        )
+        assert network.num_links == sum(
+            len(edge) for edge in hypergraph.edges
+        )
+        # Edge node 1 (hyperedge (1,2,3)) links exactly its members.
+        assert network.neighbors(mapping.edge_node(1)) == (1, 2, 3)

@@ -1,0 +1,195 @@
+"""Tests for the hypergraph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph import generators as gen
+
+
+class TestUniformHypergraph:
+    def test_sizes(self):
+        hg = gen.uniform_hypergraph(20, 30, 3, seed=0)
+        assert hg.num_vertices == 20
+        assert hg.num_edges == 30
+        assert all(len(edge) == 3 for edge in hg.edges)
+
+    def test_deterministic(self):
+        a = gen.uniform_hypergraph(15, 25, 3, seed=7)
+        b = gen.uniform_hypergraph(15, 25, 3, seed=7)
+        assert a == b
+
+    def test_seed_changes_instance(self):
+        a = gen.uniform_hypergraph(15, 25, 3, seed=7)
+        b = gen.uniform_hypergraph(15, 25, 3, seed=8)
+        assert a != b
+
+    def test_distinct_edges_mode(self):
+        hg = gen.uniform_hypergraph(
+            10, 20, 2, seed=1, allow_duplicate_edges=False
+        )
+        assert len(set(hg.edges)) == 20
+
+    def test_distinct_edges_too_dense_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.uniform_hypergraph(
+                4, 100, 2, seed=1, allow_duplicate_edges=False
+            )
+
+    def test_rank_zero_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.uniform_hypergraph(5, 5, 0, seed=0)
+
+    def test_rank_above_n_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.uniform_hypergraph(3, 5, 4, seed=0)
+
+
+class TestMixedRankHypergraph:
+    def test_rank_bounds(self):
+        hg = gen.mixed_rank_hypergraph(20, 40, 4, seed=2, min_rank=2)
+        assert all(2 <= len(edge) <= 4 for edge in hg.edges)
+
+    def test_invalid_rank_range(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.mixed_rank_hypergraph(10, 5, 2, seed=0, min_rank=3)
+
+
+class TestRegularHypergraph:
+    @pytest.mark.parametrize(
+        "n,rank,degree", [(12, 3, 4), (20, 2, 3), (30, 5, 5), (16, 4, 4)]
+    )
+    def test_exact_degrees(self, n, rank, degree):
+        hg = gen.regular_hypergraph(n, rank, degree, seed=3)
+        assert all(hg.degree(v) == degree for v in range(n))
+        assert all(len(edge) == rank for edge in hg.edges)
+        assert hg.num_edges == n * degree // rank
+
+    def test_simple_edges(self):
+        hg = gen.regular_hypergraph(18, 3, 6, seed=4)
+        for edge in hg.edges:
+            assert len(set(edge)) == len(edge)
+
+    def test_divisibility_required(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.regular_hypergraph(10, 3, 4, seed=0)  # 40 % 3 != 0
+
+    def test_deterministic(self):
+        assert gen.regular_hypergraph(12, 3, 4, seed=5) == gen.regular_hypergraph(
+            12, 3, 4, seed=5
+        )
+
+
+class TestBoundedDegreeHypergraph:
+    def test_degree_cap_respected(self):
+        hg = gen.bounded_degree_hypergraph(20, 25, 3, 5, seed=0)
+        assert all(hg.degree(v) <= 5 for v in range(20))
+        assert hg.num_edges == 25
+
+    def test_capacity_check(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.bounded_degree_hypergraph(5, 100, 3, 2, seed=0)
+
+
+class TestGraphFamilies:
+    def test_gnp_probability_bounds(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.gnp_graph(10, 1.5, seed=0)
+
+    def test_gnp_extremes(self):
+        assert gen.gnp_graph(8, 0.0, seed=0).num_edges == 0
+        assert gen.gnp_graph(8, 1.0, seed=0).num_edges == 28
+
+    def test_random_graph_distinct_edges(self):
+        g = gen.random_graph(10, 20, seed=1)
+        assert g.num_edges == 20
+        assert len(set(g.edges)) == 20
+
+    def test_random_graph_too_many_edges(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.random_graph(4, 10, seed=0)
+
+    def test_path_graph(self):
+        g = gen.path_graph(5)
+        assert g.num_edges == 4
+        assert g.rank == 2
+        assert g.max_degree == 2
+
+    def test_cycle_graph(self):
+        g = gen.cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in range(6))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.cycle_graph(2)
+
+    def test_complete_graph(self):
+        g = gen.complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in range(5))
+
+
+class TestStructuredHypergraphs:
+    def test_star_hub_degree(self):
+        hg = gen.star_hypergraph(7, 3)
+        assert hg.degree(0) == 7
+        assert hg.max_degree == 7
+        assert all(len(edge) == 3 for edge in hg.edges)
+        assert hg.is_cover({0})
+
+    def test_star_rank_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.star_hypergraph(3, 1)
+
+    def test_sunflower_structure(self):
+        hg = gen.sunflower_hypergraph(4, 2, 3)
+        assert hg.num_edges == 4
+        assert all(set(edge) >= {0, 1} for edge in hg.edges)
+        assert hg.is_cover({0})
+        assert hg.num_vertices == 2 + 4 * 3
+
+    def test_sunflower_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.sunflower_hypergraph(0, 1, 1)
+
+
+class TestWeightGenerators:
+    def test_uniform_weights_range(self):
+        weights = gen.uniform_weights(100, 9, seed=0)
+        assert len(weights) == 100
+        assert all(1 <= w <= 9 for w in weights)
+
+    def test_uniform_weights_deterministic(self):
+        assert gen.uniform_weights(50, 10, seed=3) == gen.uniform_weights(
+            50, 10, seed=3
+        )
+
+    def test_uniform_weights_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.uniform_weights(5, 0, seed=0)
+
+    def test_geometric_weights_range(self):
+        weights = gen.geometric_weights(200, 10_000, seed=1)
+        assert all(1 <= w <= 10_000 for w in weights)
+
+    def test_geometric_weights_spread(self):
+        weights = gen.geometric_weights(500, 1_000_000, seed=2)
+        # Log-uniform sampling should populate both ends.
+        assert min(weights) < 100
+        assert max(weights) > 10_000
+
+    def test_geometric_weights_unit_max(self):
+        assert gen.geometric_weights(10, 1, seed=0) == [1] * 10
+
+    def test_degree_proportional_weights(self):
+        hg = gen.star_hypergraph(5, 2)
+        weights = gen.degree_proportional_weights(hg, scale=2)
+        assert weights[0] == 2 * (5 + 1)
+        assert all(w == 2 * 2 for w in weights[1:])
+
+    def test_degree_proportional_scale_validation(self):
+        hg = gen.path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            gen.degree_proportional_weights(hg, scale=0)

@@ -1,0 +1,138 @@
+"""White-box tests of the N(ILP) simulation internals."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import AlgorithmConfig
+from repro.ilp.distributed import _mask_from, _mask_to, run_ilp_simulation
+from repro.ilp.program import CoveringILP
+from repro.ilp.reduction import reduce_zero_one
+from repro.ilp.solver import solve_covering_ilp, solve_zero_one
+from repro.ilp.zero_one import ZeroOneProgram
+from tests.test_ilp_reductions import random_zero_one
+
+
+class TestMaskHelpers:
+    def test_round_trip(self):
+        order = (3, 7, 11, 20)
+        values = {3: True, 7: False, 11: True, 20: False}
+        mask = _mask_from(values, order)
+        assert mask == 0b0101
+        assert _mask_to(mask, order) == values
+
+    def test_missing_keys_are_false(self):
+        assert _mask_from({}, (1, 2)) == 0
+
+    def test_empty_order(self):
+        assert _mask_from({1: True}, ()) == 0
+        assert _mask_to(0, ()) == {}
+
+    def test_large_order(self):
+        order = tuple(range(40))
+        values = {i: i % 3 == 0 for i in order}
+        assert _mask_to(_mask_from(values, order), order) == values
+
+
+class TestSimulationConfig:
+    def test_groups_must_partition(self):
+        program = random_zero_one(0, variables=4, rows=3)
+        reduction = reduce_zero_one(program)
+        config = AlgorithmConfig(
+            increment_mode="single", schedule="compact"
+        )
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match="partition"):
+            run_ilp_simulation(
+                reduction, config=config, groups=[(0, 1), (1, 2, 3)]
+            )
+        with pytest.raises(SimulationError, match="partition"):
+            run_ilp_simulation(reduction, config=config, groups=[(0, 1)])
+
+    def test_custom_grouping_matches_singletons(self):
+        """Grouping variables onto fewer nodes changes rounds (fewer,
+        wider messages) but not the computed cover."""
+        program = random_zero_one(5, variables=4, rows=3)
+        reduction_a = reduce_zero_one(program)
+        reduction_b = reduce_zero_one(program)
+        config = AlgorithmConfig(
+            epsilon=Fraction(1, 2),
+            increment_mode="single",
+            schedule="compact",
+        )
+        singleton = run_ilp_simulation(reduction_a, config=config)
+        grouped = run_ilp_simulation(
+            reduction_b, config=config, groups=[(0, 1), (2, 3)]
+        )
+        assert singleton.cover == grouped.cover
+        assert singleton.dual == grouped.dual
+        assert singleton.iterations == grouped.iterations
+
+    def test_metrics_show_fragmentation_for_wide_rows(self):
+        # A row with many variables forces wide rowdata broadcasts.
+        matrix = [[1] * 8]
+        program = ZeroOneProgram.from_dense(
+            matrix, bounds=[3], weights=[2] * 8
+        )
+        result = solve_zero_one(program, method="distributed")
+        metrics = result.cover_result.metrics
+        assert metrics is not None
+        assert metrics.fragmented_messages > 0
+
+
+class TestEndToEndShapes:
+    def test_m_equal_one_is_already_binary(self):
+        # M = 1: binary expansion is the identity (1 bit per variable).
+        ilp = CoveringILP.from_dense(
+            [[1, 1, 0], [0, 1, 1]], bounds=[1, 1], weights=[2, 3, 4]
+        )
+        result = solve_covering_ilp(ilp, Fraction(1, 2))
+        assert result.expansion.max_bits == 1
+        assert all(value in (0, 1) for value in result.assignment)
+
+    def test_single_variable_ilp(self):
+        ilp = CoveringILP.from_dense([[3]], bounds=[10], weights=[2])
+        for method in ("direct", "distributed"):
+            result = solve_covering_ilp(ilp, method=method)
+            assert result.assignment[0] >= 4  # ceil(10/3)
+            assert ilp.is_feasible(result.assignment)
+
+    def test_variable_outside_all_rows(self):
+        # Variable 2 appears in no constraint: stays 0, node halts early.
+        ilp = CoveringILP(
+            num_variables=3,
+            rows=({0: 1}, {1: 2}),
+            bounds=(1, 2),
+            weights=(1, 1, 5),
+        )
+        for method in ("direct", "distributed"):
+            result = solve_covering_ilp(ilp, method=method)
+            assert result.assignment[2] == 0
+            assert ilp.is_feasible(result.assignment)
+
+    def test_distributed_zero_one_without_expansion(self):
+        program = random_zero_one(7, variables=5, rows=4)
+        result = solve_zero_one(program, method="distributed")
+        assert program.is_feasible(result.assignment)
+        metrics = result.cover_result.metrics
+        # Setup (2 exchanges) + iterations (2 exchanges each).
+        assert metrics.rounds >= 4 + 2 * result.iterations
+
+    def test_larger_ilp_simulation(self):
+        """A bigger Theorem 19 pipeline run: more rows, larger box."""
+        from repro.ilp.program import exact_ilp_optimum
+        from tests.test_ilp_solver import random_ilp
+
+        ilp = random_ilp(11, variables=5, rows=6)
+        direct = solve_covering_ilp(ilp, Fraction(1, 2), method="direct")
+        distributed = solve_covering_ilp(
+            ilp, Fraction(1, 2), method="distributed"
+        )
+        assert direct.assignment == distributed.assignment
+        optimum, _ = exact_ilp_optimum(ilp)
+        assert direct.objective <= float(
+            direct.certified_guarantee
+        ) * optimum

@@ -1,0 +1,156 @@
+"""Tests for covering ILP / zero-one program data structures."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+from repro.ilp.program import CoveringILP, exact_ilp_optimum
+from repro.ilp.zero_one import ZeroOneProgram
+
+
+def simple_ilp() -> CoveringILP:
+    return CoveringILP.from_dense(
+        [[3, 1, 0], [0, 2, 2], [1, 0, 4]],
+        bounds=[6, 5, 7],
+        weights=[2, 3, 5],
+    )
+
+
+class TestCoveringILP:
+    def test_from_dense_drops_zeros(self):
+        ilp = simple_ilp()
+        assert ilp.rows[0] == {0: 3, 1: 1}
+        assert ilp.num_constraints == 3
+
+    def test_row_rank_and_column_degree(self):
+        ilp = simple_ilp()
+        assert ilp.row_rank == 2
+        assert ilp.column_degree == 2
+
+    def test_box_bound(self):
+        ilp = simple_ilp()
+        # max over b_i/A_ij: 6/1 (row 0, var 1), 7/1 (row 2, var 0)...
+        assert ilp.box_bound == Fraction(7, 1)
+
+    def test_variable_box(self):
+        ilp = simple_ilp()
+        # Variable 0: ceil(6/3)=2 (row 0), ceil(7/1)=7 (row 2) -> 7.
+        assert ilp.variable_box(0) == 7
+        assert ilp.variable_box(2) == 3  # ceil(5/2)=3, ceil(7/4)=2
+
+    def test_feasibility(self):
+        ilp = simple_ilp()
+        assert ilp.is_feasible((2, 1, 2))
+        assert not ilp.is_feasible((0, 0, 0))
+        assert not ilp.is_feasible((2, 1))
+        assert not ilp.is_feasible((-1, 10, 10))
+
+    def test_violated_constraints(self):
+        ilp = simple_ilp()
+        # Row 1 needs 2*x1 + 2*x2 >= 5: 4 < 5 fails; rows 0 and 2 hold.
+        assert ilp.violated_constraints((2, 0, 2)) == [1]
+        assert ilp.violated_constraints((0, 0, 0)) == [0, 1, 2]
+
+    def test_objective(self):
+        ilp = simple_ilp()
+        assert ilp.objective((2, 1, 2)) == 4 + 3 + 10
+
+    def test_objective_length_check(self):
+        with pytest.raises(InvalidInstanceError):
+            simple_ilp().objective((1,))
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(InfeasibleInstanceError):
+            CoveringILP(
+                num_variables=2, rows=({},), bounds=(1,), weights=(1, 1)
+            )
+
+    def test_non_positive_bound_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CoveringILP(
+                num_variables=1, rows=({0: 1},), bounds=(0,), weights=(1,)
+            )
+
+    def test_non_positive_coefficient_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CoveringILP(
+                num_variables=1, rows=({0: -2},), bounds=(1,), weights=(1,)
+            )
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CoveringILP(
+                num_variables=1, rows=({0: 1},), bounds=(1,), weights=(0,)
+            )
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CoveringILP(
+                num_variables=1, rows=({3: 1},), bounds=(1,), weights=(1,)
+            )
+
+    def test_row_bound_count_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            CoveringILP(
+                num_variables=1, rows=({0: 1},), bounds=(1, 2), weights=(1,)
+            )
+
+    def test_dense_row_width_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            CoveringILP.from_dense([[1, 2]], bounds=[1], weights=[1])
+
+
+class TestExactILPOptimum:
+    def test_known_optimum(self):
+        value, assignment = exact_ilp_optimum(simple_ilp())
+        assert value == 17
+        assert simple_ilp().is_feasible(assignment)
+
+    def test_single_variable(self):
+        ilp = CoveringILP.from_dense([[2]], bounds=[5], weights=[3])
+        value, assignment = exact_ilp_optimum(ilp)
+        assert assignment == (3,)  # ceil(5/2)
+        assert value == 9
+
+    def test_search_space_guard(self):
+        ilp = CoveringILP.from_dense(
+            [[1] * 12], bounds=[100], weights=[1] * 12
+        )
+        with pytest.raises(InvalidInstanceError):
+            exact_ilp_optimum(ilp, max_assignments=1000)
+
+
+class TestZeroOneProgram:
+    def test_feasible_program_accepted(self):
+        program = ZeroOneProgram.from_dense(
+            [[1, 1, 1]], bounds=[2], weights=[1, 1, 1]
+        )
+        assert program.num_variables == 3
+        assert program.row_rank == 3
+
+    def test_infeasible_program_rejected(self):
+        with pytest.raises(InfeasibleInstanceError):
+            ZeroOneProgram.from_dense([[1, 1]], bounds=[3], weights=[1, 1])
+
+    def test_binary_feasibility(self):
+        program = ZeroOneProgram.from_dense(
+            [[2, 1]], bounds=[2], weights=[1, 1]
+        )
+        assert program.is_feasible((1, 0))
+        assert not program.is_feasible((0, 1))
+        assert not program.is_feasible((2, 0))  # not binary
+
+    def test_objective_delegates(self):
+        program = ZeroOneProgram.from_dense(
+            [[1, 1]], bounds=[1], weights=[4, 9]
+        )
+        assert program.objective((1, 1)) == 13
+
+    def test_column_degree(self):
+        program = ZeroOneProgram.from_dense(
+            [[1, 1, 0], [1, 0, 1]], bounds=[1, 1], weights=[1, 1, 1]
+        )
+        assert program.column_degree == 2

@@ -1,0 +1,233 @@
+"""Tests for Lemma 14 (zero-one -> MWHVC) and Claim 18 (binary expansion)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.ilp.binary_expansion import expand_to_zero_one
+from repro.ilp.program import CoveringILP, exact_ilp_optimum
+from repro.ilp.reduction import reduce_zero_one, row_hyperedges
+from repro.ilp.zero_one import ZeroOneProgram
+
+
+def random_zero_one(seed: int, variables: int = 5, rows: int = 4) -> ZeroOneProgram:
+    rng = random.Random(seed)
+    matrix = []
+    bounds = []
+    for _ in range(rows):
+        support = rng.sample(range(variables), rng.randint(1, 3))
+        row = [0] * variables
+        for variable in support:
+            row[variable] = rng.randint(1, 4)
+        total = sum(row)
+        matrix.append(row)
+        bounds.append(rng.randint(1, total))
+    weights = [rng.randint(1, 9) for _ in range(variables)]
+    return ZeroOneProgram.from_dense(matrix, bounds, weights)
+
+
+class TestRowHyperedges:
+    def test_simple_or_constraint(self):
+        # x0 + x1 >= 1: only failing set is {}, edge = {0, 1}.
+        assert row_hyperedges({0: 1, 1: 1}, 1) == [(0, 1)]
+
+    def test_and_constraint(self):
+        # x0 + x1 >= 2: maximal failing sets {0}, {1} -> edges {1}, {0}.
+        assert row_hyperedges({0: 1, 1: 1}, 2) == [(0,), (1,)]
+
+    def test_weighted_constraint(self):
+        # 2x0 + x1 >= 2: failing sets: {}, {1} (value 1). Maximal: {1}.
+        # Edge = {0}.
+        assert row_hyperedges({0: 2, 1: 1}, 2) == [(0,)]
+
+    def test_prune_false_emits_all(self):
+        full = row_hyperedges({0: 1, 1: 1}, 2, prune=False)
+        # Failing sets {}, {0}, {1} -> edges (0,1), (1,), (0,).
+        assert sorted(full) == [(0,), (0, 1), (1,)]
+
+    def test_cover_equivalence_exhaustive(self):
+        """A set stabs the pruned edges iff its indicator is feasible."""
+        rng = random.Random(0)
+        for _ in range(30):
+            k = rng.randint(1, 4)
+            row = {j: rng.randint(1, 5) for j in range(k)}
+            bound = rng.randint(1, sum(row.values()))
+            edges = row_hyperedges(row, bound)
+            full = row_hyperedges(row, bound, prune=False)
+            for bits in itertools.product((0, 1), repeat=k):
+                chosen = {j for j in range(k) if bits[j]}
+                feasible = (
+                    sum(row[j] for j in chosen) >= bound
+                )
+                stabs_pruned = all(
+                    chosen.intersection(edge) for edge in edges
+                )
+                stabs_full = all(
+                    chosen.intersection(edge) for edge in full
+                )
+                assert stabs_pruned == feasible
+                assert stabs_full == feasible
+
+    def test_support_guard(self):
+        big_row = {j: 1 for j in range(25)}
+        with pytest.raises(InvalidInstanceError):
+            row_hyperedges(big_row, 1)
+
+
+class TestLemma14:
+    def test_rank_bounded_by_row_rank(self):
+        for seed in range(8):
+            program = random_zero_one(seed)
+            reduction = reduce_zero_one(program)
+            assert reduction.hypergraph.rank <= program.row_rank
+
+    def test_degree_bound(self):
+        # Delta' < 2^f(A) * Delta(A) (Lemma 14).
+        for seed in range(8):
+            program = random_zero_one(seed)
+            reduction = reduce_zero_one(program, prune=False)
+            bound = (2 ** program.row_rank) * program.column_degree
+            assert reduction.hypergraph.max_degree < bound
+
+    def test_covers_are_exactly_feasible_assignments(self):
+        for seed in range(6):
+            program = random_zero_one(seed, variables=4, rows=3)
+            reduction = reduce_zero_one(program)
+            hg = reduction.hypergraph
+            for bits in itertools.product((0, 1), repeat=4):
+                chosen = {j for j in range(4) if bits[j]}
+                assert hg.is_cover(chosen) == program.is_feasible(bits)
+
+    def test_weights_preserved(self):
+        program = random_zero_one(3)
+        reduction = reduce_zero_one(program)
+        assert reduction.hypergraph.weights == program.ilp.weights
+
+    def test_prune_and_full_same_covers(self):
+        for seed in range(5):
+            program = random_zero_one(seed, variables=4, rows=3)
+            pruned = reduce_zero_one(program, prune=True).hypergraph
+            full = reduce_zero_one(program, prune=False).hypergraph
+            for bits in itertools.product((0, 1), repeat=4):
+                chosen = {j for j in range(4) if bits[j]}
+                assert pruned.is_cover(chosen) == full.is_cover(chosen)
+
+    def test_dedupe_merges_sources(self):
+        # Two identical constraints produce identical edges.
+        program = ZeroOneProgram.from_dense(
+            [[1, 1], [1, 1]], bounds=[1, 1], weights=[1, 1]
+        )
+        plain = reduce_zero_one(program)
+        deduped = reduce_zero_one(program, dedupe=True)
+        assert plain.hypergraph.num_edges == 2
+        assert deduped.hypergraph.num_edges == 1
+        assert len(deduped.edge_sources[0]) == 2
+
+    def test_assignment_from_cover(self):
+        program = random_zero_one(1)
+        reduction = reduce_zero_one(program)
+        assignment = reduction.assignment_from_cover(frozenset({0, 2}))
+        assert assignment == (1, 0, 1, 0, 0)
+
+
+class TestClaim18:
+    def test_bits_cover_the_box(self):
+        ilp = CoveringILP.from_dense([[1]], bounds=[9], weights=[1])
+        expansion = expand_to_zero_one(ilp)
+        # M = 9 -> need 4 bits (2^4 - 1 = 15 >= 9).
+        assert len(expansion.bit_variables[0]) == 4
+
+    def test_paper_bound_on_rank(self):
+        # f(A') <= f(A) * ceil(log2 M + 1).
+        ilp = CoveringILP.from_dense(
+            [[2, 3, 0], [1, 0, 1]], bounds=[12, 7], weights=[1, 1, 1]
+        )
+        expansion = expand_to_zero_one(ilp)
+        import math
+
+        M = float(ilp.box_bound)
+        bound = ilp.row_rank * math.ceil(math.log2(M) + 1)
+        assert expansion.program.row_rank <= bound
+
+    def test_column_degree_preserved(self):
+        ilp = CoveringILP.from_dense(
+            [[2, 3, 0], [1, 0, 1], [4, 1, 1]],
+            bounds=[5, 4, 6],
+            weights=[1, 1, 1],
+        )
+        expansion = expand_to_zero_one(ilp)
+        assert expansion.program.column_degree == ilp.column_degree
+
+    def test_weights_scaled_by_significance(self):
+        ilp = CoveringILP.from_dense([[1]], bounds=[5], weights=[7])
+        expansion = expand_to_zero_one(ilp)
+        bit_weights = [
+            expansion.program.ilp.weights[bit]
+            for bit in expansion.bit_variables[0]
+        ]
+        assert bit_weights == [7, 14, 28]
+
+    def test_decoding(self):
+        ilp = CoveringILP.from_dense([[1, 1]], bounds=[4], weights=[1, 1])
+        expansion = expand_to_zero_one(ilp)
+        binary = [0] * expansion.program.num_variables
+        bits = expansion.bit_variables[0]
+        binary[bits[0]] = 1  # 1
+        binary[bits[2]] = 1  # 4
+        decoded = expansion.assignment_from_binary(tuple(binary))
+        assert decoded[0] == 5
+        assert decoded[1] == 0
+
+    def test_per_variable_mode_is_smaller(self):
+        ilp = CoveringILP.from_dense(
+            [[1, 0], [0, 10]], bounds=[100, 10], weights=[1, 1]
+        )
+        global_mode = expand_to_zero_one(ilp, bits="global")
+        per_variable = expand_to_zero_one(ilp, bits="per-variable")
+        assert (
+            per_variable.program.num_variables
+            < global_mode.program.num_variables
+        )
+        # Variable 1's box is ceil(10/10) = 1 -> a single bit.
+        assert len(per_variable.bit_variables[1]) == 1
+
+    def test_bits_mode_validation(self):
+        ilp = CoveringILP.from_dense([[1]], bounds=[2], weights=[1])
+        with pytest.raises(InvalidInstanceError):
+            expand_to_zero_one(ilp, bits="octal")
+
+    @pytest.mark.parametrize("bits", ["global", "per-variable"])
+    def test_expansion_preserves_optimum(self, bits):
+        """Brute-force zero-one optimum == boxed ILP optimum (Prop 17)."""
+        rng = random.Random(7)
+        for _ in range(6):
+            n = rng.randint(1, 2)
+            m = rng.randint(1, 3)
+            matrix = []
+            bounds = []
+            for _ in range(m):
+                row = [0] * n
+                for j in rng.sample(range(n), rng.randint(1, n)):
+                    row[j] = rng.randint(1, 3)
+                if all(value == 0 for value in row):
+                    row[0] = 1
+                matrix.append(row)
+                bounds.append(rng.randint(1, 6))
+            weights = [rng.randint(1, 5) for _ in range(n)]
+            ilp = CoveringILP.from_dense(matrix, bounds, weights)
+            expansion = expand_to_zero_one(ilp, bits=bits)
+            ilp_opt, _ = exact_ilp_optimum(ilp)
+            program = expansion.program
+            zo_opt = None
+            for assignment in itertools.product(
+                (0, 1), repeat=program.num_variables
+            ):
+                if program.is_feasible(assignment):
+                    value = program.objective(assignment)
+                    if zo_opt is None or value < zo_opt:
+                        zo_opt = value
+            assert zo_opt == ilp_opt

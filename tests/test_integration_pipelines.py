@@ -1,0 +1,186 @@
+"""End-to-end integration tests across module boundaries.
+
+Each test exercises a full user journey: build instance -> solve ->
+verify guarantee against independent references -> serialize / report.
+These are the tests that catch interface drift between subsystems.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+from repro import (
+    AlgorithmConfig,
+    Hypergraph,
+    solve_mwhvc,
+    solve_mwhvc_f_approx,
+    solve_set_cover,
+)
+from repro.baselines.registry import BASELINES
+from repro.cli import main
+from repro.core import ConvergenceRecorder
+from repro.hypergraph import io
+from repro.hypergraph.generators import (
+    mixed_rank_hypergraph,
+    uniform_weights,
+)
+from repro.hypergraph.setcover import SetCoverInstance, random_set_cover
+from repro.ilp.program import CoveringILP, exact_ilp_optimum
+from repro.ilp.solver import solve_covering_ilp
+from repro.lp.reference import exact_optimum, fractional_optimum
+
+
+class TestSetCoverJourney:
+    def test_build_solve_verify_serialize(self):
+        instance = random_set_cover(
+            40, 14, seed=11, max_frequency=3, max_weight=20
+        )
+        result = solve_set_cover(instance, Fraction(1, 3))
+        # The cover is a set cover in set-id space.
+        assert instance.is_cover(result.cover)
+        # Quality vs the LP bound of the equivalent hypergraph.
+        hypergraph = instance.to_hypergraph()
+        lp_bound = fractional_optimum(hypergraph)
+        assert result.weight <= (hypergraph.rank + Fraction(1, 3)) * (
+            lp_bound + 1e-9
+        )
+        # Serialization round-trips through JSON.
+        data = json.loads(result.to_json())
+        assert data["weight"] == result.weight
+
+    def test_file_round_trip_then_solve(self, tmp_path):
+        hypergraph = mixed_rank_hypergraph(
+            25, 40, 3, seed=2, weights=uniform_weights(25, 15, seed=3)
+        )
+        path = tmp_path / "inst.hg"
+        io.save(hypergraph, path)
+        reloaded = io.load(path)
+        direct = solve_mwhvc(hypergraph, Fraction(1, 2))
+        via_file = solve_mwhvc(reloaded, Fraction(1, 2))
+        assert direct.cover == via_file.cover
+        assert direct.rounds == via_file.rounds
+
+    def test_cli_json_pipeline(self, tmp_path, capsys):
+        path = tmp_path / "inst.hg"
+        main(["generate", str(path), "--vertices", "15", "--edges", "20"])
+        capsys.readouterr()
+        assert main(["solve", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        hypergraph = io.load(path)
+        assert hypergraph.is_cover(set(payload["cover"]))
+        assert len(payload["dual"]) == hypergraph.num_edges
+
+
+class TestAllAlgorithmsAgreeOnValidity:
+    def test_every_registered_algorithm(self):
+        hypergraph = mixed_rank_hypergraph(
+            18, 28, 3, seed=9, weights=uniform_weights(18, 12, seed=10)
+        )
+        optimum = exact_optimum(hypergraph).weight
+        for name, runner in BASELINES.items():
+            if name == "maximal-matching":
+                continue  # unweighted-only
+            run = runner(hypergraph)
+            assert hypergraph.is_cover(run.cover), name
+            assert run.weight >= optimum, name
+            ratio = run.certified_ratio()
+            if ratio is not None:
+                assert run.weight <= float(ratio) * optimum * (
+                    1 + 1e-9
+                ), name
+
+    def test_quality_ordering_of_guarantees(self):
+        """Tighter guarantees produce weakly better worst-case bounds;
+        all measured weights sit inside their own guarantee."""
+        hypergraph = mixed_rank_hypergraph(
+            20, 35, 4, seed=12, weights=uniform_weights(20, 25, seed=13)
+        )
+        optimum = exact_optimum(hypergraph).weight
+        exact_f = solve_mwhvc_f_approx(hypergraph)
+        loose = solve_mwhvc(hypergraph, Fraction(1))
+        assert exact_f.weight <= hypergraph.rank * optimum
+        assert loose.weight <= (hypergraph.rank + 1) * optimum
+
+
+class TestILPJourney:
+    def test_ilp_to_report(self):
+        ilp = CoveringILP.from_dense(
+            [[2, 0, 1], [1, 3, 0], [0, 1, 2]],
+            bounds=[4, 6, 5],
+            weights=[3, 4, 2],
+        )
+        result = solve_covering_ilp(ilp, Fraction(1, 2))
+        optimum, _ = exact_ilp_optimum(ilp)
+        assert ilp.is_feasible(result.assignment)
+        assert result.objective <= float(
+            result.certified_guarantee
+        ) * optimum
+        # The inner MWHVC result is fully inspectable.
+        inner = result.cover_result
+        assert inner.certificate is not None
+        assert inner.dual_total > 0
+
+    def test_per_variable_vs_global_bits_same_feasibility(self):
+        ilp = CoveringILP.from_dense(
+            [[1, 0], [0, 5], [2, 1]],
+            bounds=[9, 10, 6],
+            weights=[2, 7],
+        )
+        for bits in ("global", "per-variable"):
+            result = solve_covering_ilp(ilp, Fraction(1, 2), bits=bits)
+            assert ilp.is_feasible(result.assignment)
+
+
+class TestObserverIntegration:
+    def test_observer_with_congest_equivalence(self):
+        """Observer-instrumented lockstep still matches the engine."""
+        hypergraph = mixed_rank_hypergraph(
+            16, 24, 3, seed=21, weights=uniform_weights(16, 9, seed=22)
+        )
+        config = AlgorithmConfig(epsilon=Fraction(1, 2))
+        recorder = ConvergenceRecorder()
+        lock = solve_mwhvc(
+            hypergraph, config=config, observer=recorder
+        )
+        cong = solve_mwhvc(hypergraph, config=config, executor="congest")
+        assert lock.cover == cong.cover
+        assert lock.rounds == cong.rounds
+        assert recorder.iterations == lock.iterations
+
+    def test_snapshots_are_consistent_with_result(self):
+        hypergraph = Hypergraph(
+            6,
+            [(0, 1, 2), (2, 3), (3, 4, 5), (0, 5)],
+            weights=[2, 3, 1, 4, 2, 3],
+        )
+        recorder = ConvergenceRecorder()
+        result = solve_mwhvc(
+            hypergraph, Fraction(1, 4), observer=recorder
+        )
+        running_weight = 0
+        for snapshot in recorder.snapshots:
+            running_weight = snapshot.cover_weight
+            assert snapshot.dual_total <= result.dual_total
+        assert running_weight == result.weight
+
+
+class TestSetCoverEquivalence:
+    def test_hypergraph_and_setcover_views_agree(self):
+        instance = random_set_cover(30, 10, seed=5, max_frequency=3)
+        hypergraph = instance.to_hypergraph()
+        via_sets = solve_set_cover(instance, Fraction(1, 2))
+        via_hypergraph = solve_mwhvc(hypergraph, Fraction(1, 2))
+        assert via_sets.cover == via_hypergraph.cover
+        assert via_sets.rounds == via_hypergraph.rounds
+
+    def test_frequency_one_instances_pick_cheapest(self):
+        # f = 1: every element in exactly one set; all sets containing
+        # elements are forced.
+        instance = SetCoverInstance(
+            num_elements=4,
+            sets=((0, 1), (2,), (3,), ()),
+            weights=(5, 2, 3, 1),
+        )
+        result = solve_set_cover(instance, Fraction(1, 2))
+        assert result.cover == {0, 1, 2}

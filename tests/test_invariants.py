@@ -1,0 +1,138 @@
+"""Paper-invariant tests: Claims 1, 2, 4, Corollary 21, Lemmas 6-7.
+
+Runs the algorithm in checked mode (every iteration self-verifies
+Claims 1 and 2 and Eq. (1)) across an instance matrix, then checks the
+Section 4.2 counting lemmas against the run statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.bounds import lemma6_raise_bound, lemma7_stuck_bound
+from repro.core.params import AlgorithmConfig
+from repro.core.solver import solve_mwhvc
+from repro.hypergraph.generators import (
+    mixed_rank_hypergraph,
+    regular_hypergraph,
+    star_hypergraph,
+    sunflower_hypergraph,
+    uniform_weights,
+)
+
+
+def checked_config(**kwargs) -> AlgorithmConfig:
+    return AlgorithmConfig(check_invariants=True, **kwargs)
+
+
+def instance_matrix():
+    instances = []
+    for seed in range(4):
+        instances.append(
+            mixed_rank_hypergraph(
+                12 + seed * 4,
+                20 + seed * 6,
+                4,
+                seed=seed,
+                weights=uniform_weights(12 + seed * 4, 60, seed=seed + 40),
+            )
+        )
+    instances.append(regular_hypergraph(20, 4, 5, seed=1))
+    instances.append(star_hypergraph(10, 3))
+    instances.append(sunflower_hypergraph(8, 3, 1))
+    return instances
+
+
+@pytest.mark.parametrize("schedule", ["spec", "compact"])
+@pytest.mark.parametrize("mode", ["multi", "single"])
+def test_checked_runs_complete(schedule, mode):
+    """Claims 1, 2, 4 (+ Cor 21 in single mode) hold on every iteration."""
+    config = checked_config(
+        epsilon=Fraction(1, 4), schedule=schedule, increment_mode=mode
+    )
+    for hypergraph in instance_matrix():
+        result = solve_mwhvc(hypergraph, config=config)
+        assert hypergraph.is_cover(result.cover)
+
+
+def test_claim4_level_cap():
+    for hypergraph in instance_matrix():
+        for epsilon in (Fraction(1), Fraction(1, 8), Fraction(1, 64)):
+            config = checked_config(epsilon=epsilon)
+            result = solve_mwhvc(hypergraph, config=config)
+            assert result.stats.max_level < result.stats.level_cap
+
+
+def test_dual_feasibility_exact():
+    """The final packing satisfies every vertex constraint exactly."""
+    from repro.lp.covering_lp import dual_feasible
+
+    for hypergraph in instance_matrix():
+        result = solve_mwhvc(hypergraph, Fraction(1, 3))
+        assert dual_feasible(hypergraph, result.dual)
+
+
+def test_lemma6_raise_bound_holds():
+    """Per-edge raise count <= log_alpha(Δ 2^{fz}) with the alpha used."""
+    for hypergraph in instance_matrix():
+        config = checked_config(epsilon=Fraction(1, 2))
+        result = solve_mwhvc(hypergraph, config=config)
+        alpha = float(result.alpha_min)
+        bound = lemma6_raise_bound(
+            hypergraph.max_degree, hypergraph.rank, Fraction(1, 2), alpha
+        )
+        assert result.stats.max_raises_per_edge <= math.ceil(bound) + 1
+
+
+@pytest.mark.parametrize("mode", ["multi", "single"])
+def test_lemma7_stuck_bound_holds(mode):
+    """Per-(vertex, level) stuck count <= alpha (2 alpha in Appendix C)."""
+    for hypergraph in instance_matrix():
+        config = checked_config(epsilon=Fraction(1, 2), increment_mode=mode)
+        result = solve_mwhvc(hypergraph, config=config)
+        bound = lemma7_stuck_bound(
+            float(result.alpha_max), single_increment=(mode == "single")
+        )
+        assert result.stats.max_stuck_per_vertex_level <= math.ceil(bound)
+
+
+def test_theorem8_iteration_bound_holds():
+    """Measured iterations <= the Theorem 8 expression (with its constants).
+
+    Theorem 8 bounds iterations by log_alpha(Δ 2^{fz}) + f z alpha,
+    summed per edge; the global iteration count is at most that.
+    """
+    from repro.analysis.bounds import theorem8_iteration_bound
+
+    for hypergraph in instance_matrix():
+        for mode in ("multi", "single"):
+            config = checked_config(
+                epsilon=Fraction(1, 2), increment_mode=mode
+            )
+            result = solve_mwhvc(hypergraph, config=config)
+            bound = theorem8_iteration_bound(
+                hypergraph.max_degree,
+                hypergraph.rank,
+                Fraction(1, 2),
+                float(result.alpha_max),
+            )
+            slack = 2 if mode == "single" else 1  # Lemma 22's 2-alpha
+            assert result.iterations <= slack * bound + 2
+
+
+def test_invariant_checking_catches_corruption(small_hypergraph):
+    """Checked mode is not a no-op: corrupting state raises."""
+    from repro.core.runner import build_cores
+    from repro.exceptions import InvariantViolationError
+
+    config = checked_config()
+    vertex_cores, edge_cores, _ = build_cores(small_hypergraph, config)
+    core = vertex_cores[0]
+    for edge_id in core.edges:
+        core.record_initial_bid(edge_id, 1, 2, Fraction(2))
+    core.total_delta = Fraction(10**6)
+    with pytest.raises(InvariantViolationError):
+        core.verify_post_iteration()

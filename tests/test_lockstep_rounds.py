@@ -1,0 +1,142 @@
+"""Round-arithmetic zoo: the lockstep halting-round formulas vs the engine.
+
+The lockstep executor computes round counts from the event table in its
+module docstring instead of simulating messages; these tests pin each
+line of that table against the engine on purpose-built instances,
+including the boundary cases (final iteration with / without surviving
+non-joining members, degree-0 vertices, singleton edges, duplicate
+edges).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import AlgorithmConfig
+from repro.core.solver import solve_mwhvc
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def both(hypergraph, **config_kwargs):
+    config = AlgorithmConfig(**config_kwargs)
+    lock = solve_mwhvc(hypergraph, config=config, executor="lockstep")
+    cong = solve_mwhvc(hypergraph, config=config, executor="congest")
+    assert lock.rounds == cong.rounds, (
+        f"lockstep={lock.rounds} engine={cong.rounds}"
+    )
+    assert lock.iterations == cong.iterations
+    assert lock.cover == cong.cover
+    return lock
+
+
+class TestSpecRoundFormulas:
+    def test_all_joiners_final_iteration(self):
+        """Single vertex, single edge: join at round 3, edge covered at
+        round 4, nobody left to notify -> rounds = 4i = 4."""
+        result = both(Hypergraph(1, [(0,)], weights=[1]))
+        assert result.iterations == 1
+        assert result.rounds == 4
+
+    def test_surviving_member_final_iteration(self):
+        """Edge {0,1} with a heavy non-joiner: the survivor processes
+        COVERED one round later -> rounds = 4i + 1."""
+        result = both(Hypergraph(2, [(0, 1)], weights=[1, 1000]))
+        assert result.rounds == 4 * result.iterations + 1
+
+    def test_degree_zero_vertices_do_not_change_rounds(self):
+        base = both(Hypergraph(2, [(0, 1)], weights=[1, 1000]))
+        padded = both(
+            Hypergraph(5, [(0, 1)], weights=[1, 1000, 7, 7, 7])
+        )
+        assert padded.rounds == base.rounds
+
+    def test_edgeless_is_one_round(self):
+        assert both(Hypergraph(3, [])).rounds == 1
+
+    def test_empty_is_zero_rounds(self):
+        assert both(Hypergraph(0, [])).rounds == 0
+
+    def test_duplicate_edges(self):
+        """Identical hyperedges are distinct protocol participants."""
+        result = both(
+            Hypergraph(3, [(0, 1), (0, 1), (1, 2)], weights=[2, 3, 2])
+        )
+        assert result.rounds >= 4
+        assert len(result.dual) == 3
+
+    def test_singleton_edge_forces_vertex(self):
+        result = both(Hypergraph(2, [(0,), (0, 1)], weights=[5, 1]))
+        assert 0 in result.cover
+
+
+class TestCompactRoundFormulas:
+    def test_all_joiners_final_iteration(self):
+        """Compact: join at 2i+1, edge covered at 2i+2 -> rounds 4."""
+        result = both(
+            Hypergraph(1, [(0,)], weights=[1]), schedule="compact"
+        )
+        assert result.iterations == 1
+        assert result.rounds == 4
+
+    def test_surviving_member_final_iteration(self):
+        result = both(
+            Hypergraph(2, [(0, 1)], weights=[1, 1000]),
+            schedule="compact",
+        )
+        assert result.rounds == 2 * result.iterations + 3
+
+    def test_multi_iteration_instance(self):
+        weights = [3, 1, 4, 1, 5, 9, 2, 6]
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]
+        result = both(
+            Hypergraph(8, edges, weights=weights),
+            schedule="compact",
+            epsilon=Fraction(1, 3),
+        )
+        assert result.rounds in (
+            2 * result.iterations + 2,
+            2 * result.iterations + 3,
+        )
+
+
+class TestMixedTerminationPatterns:
+    @pytest.mark.parametrize("schedule", ["spec", "compact"])
+    def test_staggered_coverage(self, schedule):
+        """Edges covered across several different iterations."""
+        hypergraph = Hypergraph(
+            6,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)],
+            weights=[1, 100, 1, 100, 1, 100],
+        )
+        result = both(
+            hypergraph, schedule=schedule, epsilon=Fraction(1, 5)
+        )
+        assert hypergraph.is_cover(result.cover)
+
+    @pytest.mark.parametrize("schedule", ["spec", "compact"])
+    @pytest.mark.parametrize("mode", ["multi", "single"])
+    def test_rank_mix_with_singletons(self, schedule, mode):
+        hypergraph = Hypergraph(
+            5,
+            [(0,), (0, 1, 2, 3), (2, 4), (1, 3, 4)],
+            weights=[4, 2, 3, 5, 1],
+        )
+        result = both(
+            hypergraph, schedule=schedule, increment_mode=mode
+        )
+        assert hypergraph.is_cover(result.cover)
+
+    def test_heavier_instance_agreement(self):
+        """A denser sanity instance crossing many iteration patterns."""
+        edges = []
+        for i in range(12):
+            edges.append((i, (i + 1) % 12))
+            edges.append((i, (i + 3) % 12, (i + 7) % 12))
+        weights = [((i * 7) % 13) + 1 for i in range(12)]
+        result = both(
+            Hypergraph(12, edges, weights=weights),
+            epsilon=Fraction(1, 7),
+        )
+        assert result.certificate is not None

@@ -1,0 +1,194 @@
+"""Tests for the LP/duality substrate: primal/dual values, feasibility,
+certificates, and reference optima."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import CertificateError, InvalidInstanceError
+from repro.hypergraph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_hypergraph,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.lp.covering_lp import (
+    dual_feasible,
+    dual_slack,
+    dual_value,
+    primal_feasible,
+    primal_value,
+    vertex_load,
+)
+from repro.lp.duality import (
+    ApproximationCertificate,
+    beta_for,
+    beta_tight_vertices,
+)
+from repro.lp.reference import exact_optimum, fractional_optimum
+
+
+@pytest.fixture
+def square():
+    """4-cycle with weights [1, 2, 3, 4]."""
+    return Hypergraph(
+        4, [(0, 1), (1, 2), (2, 3), (0, 3)], weights=[1, 2, 3, 4]
+    )
+
+
+class TestPrimal:
+    def test_primal_value(self, square):
+        value = primal_value(square, [1, 0, 1, 0])
+        assert value == Fraction(4)
+
+    def test_primal_value_fractional(self, square):
+        value = primal_value(square, [Fraction(1, 2)] * 4)
+        assert value == Fraction(5)
+
+    def test_primal_value_length_check(self, square):
+        with pytest.raises(InvalidInstanceError):
+            primal_value(square, [1, 0])
+
+    def test_primal_feasible(self, square):
+        assert primal_feasible(square, [1, 0, 1, 0])
+        assert primal_feasible(square, [Fraction(1, 2)] * 4)
+        assert not primal_feasible(square, [1, 0, 0, 0])
+        assert not primal_feasible(square, [2, -1, 1, 1])
+        assert not primal_feasible(square, [1, 1])
+
+
+class TestDual:
+    def test_dual_value(self):
+        assert dual_value({0: Fraction(1, 2), 1: 1}) == Fraction(3, 2)
+
+    def test_vertex_load_and_slack(self, square):
+        delta = {0: Fraction(1, 2), 1: Fraction(1, 3)}
+        assert vertex_load(square, delta, 1) == Fraction(5, 6)
+        assert dual_slack(square, delta, 1) == 2 - Fraction(5, 6)
+
+    def test_partial_packings_accepted(self, square):
+        assert vertex_load(square, {}, 0) == 0
+
+    def test_dual_feasible(self, square):
+        assert dual_feasible(square, {0: Fraction(1, 2), 2: 1})
+        # Vertex 0 has weight 1; edges 0 and 3 meet there.
+        assert not dual_feasible(square, {0: 1, 3: Fraction(1, 10)})
+
+    def test_dual_negative_infeasible(self, square):
+        assert not dual_feasible(square, {0: Fraction(-1, 2)})
+
+    def test_dual_unknown_edge_rejected(self, square):
+        with pytest.raises(InvalidInstanceError):
+            dual_feasible(square, {17: 1})
+
+
+class TestBetaTight:
+    def test_beta_for(self):
+        assert beta_for(2, Fraction(1)) == Fraction(1, 3)
+        assert beta_for(3, Fraction(1, 2)) == Fraction(1, 7)
+
+    def test_beta_tight_vertices(self, square):
+        # Load vertex 0 (weight 1) fully.
+        delta = {0: Fraction(1, 2), 3: Fraction(1, 2)}
+        tight = beta_tight_vertices(square, delta, Fraction(1, 3))
+        assert 0 in tight
+        assert 2 not in tight
+
+
+class TestCertificate:
+    def test_verify_accepts_valid(self, square):
+        delta = {0: 1, 1: 1, 2: 2}
+        certificate = ApproximationCertificate.verify(
+            square, {0, 1, 2, 3}, delta, 2, Fraction(1)
+        )
+        assert certificate.cover_weight == 10
+        assert certificate.dual_total == 4
+        assert certificate.certified_ratio == Fraction(10, 4)
+
+    def test_verify_rejects_non_cover(self, square):
+        with pytest.raises(CertificateError):
+            ApproximationCertificate.verify(
+                square, {0}, {0: 1}, 2, Fraction(1)
+            )
+
+    def test_verify_rejects_infeasible_dual(self, square):
+        with pytest.raises(CertificateError, match="infeasible"):
+            ApproximationCertificate.verify(
+                square, {0, 2}, {0: 5, 1: 5}, 2, Fraction(1)
+            )
+
+    def test_verify_rejects_bad_ratio(self, square):
+        # Tiny feasible dual cannot certify a heavy cover.
+        with pytest.raises(CertificateError, match="exceeds"):
+            ApproximationCertificate.verify(
+                square,
+                {0, 1, 2, 3},
+                {0: Fraction(1, 100)},
+                2,
+                Fraction(1),
+            )
+
+    def test_empty_instance_certificate(self):
+        empty = Hypergraph(2, [])
+        certificate = ApproximationCertificate.verify(
+            empty, set(), {}, 1, Fraction(1)
+        )
+        assert certificate.certified_ratio is None
+
+
+class TestReferenceOptima:
+    def test_exact_path(self):
+        # Path on 4 vertices: optimal unweighted cover has 2 vertices.
+        solution = exact_optimum(path_graph(4))
+        assert solution.weight == 2
+
+    def test_exact_weighted_path(self):
+        hg = path_graph(4, weights=[10, 1, 1, 10])
+        solution = exact_optimum(hg)
+        assert solution.weight == 2
+        assert solution.cover == {1, 2}
+
+    def test_exact_cycle(self):
+        # Odd cycle C5 needs ceil(5/2) = 3 vertices.
+        assert exact_optimum(cycle_graph(5)).weight == 3
+
+    def test_exact_complete_graph(self):
+        assert exact_optimum(complete_graph(5)).weight == 4
+
+    def test_exact_star_hypergraph(self):
+        hg = star_hypergraph(5, 3)
+        assert exact_optimum(hg).weight == 1
+
+    def test_exact_edgeless(self):
+        solution = exact_optimum(Hypergraph(3, []))
+        assert solution.weight == 0
+        assert solution.cover == frozenset()
+
+    def test_exact_size_guard(self):
+        with pytest.raises(InvalidInstanceError):
+            exact_optimum(path_graph(100), max_vertices=40)
+
+    def test_fractional_triangle_gap(self):
+        # The triangle's fractional optimum is 1.5 < 2 integral.
+        value = fractional_optimum(
+            Hypergraph(3, [(0, 1), (1, 2), (0, 2)])
+        )
+        assert value == pytest.approx(1.5, abs=1e-6)
+
+    def test_fractional_lower_bounds_integral(self):
+        for n in (4, 5, 6, 7):
+            hg = cycle_graph(n)
+            assert fractional_optimum(hg) <= exact_optimum(hg).weight + 1e-9
+
+    def test_fractional_edgeless(self):
+        assert fractional_optimum(Hypergraph(3, [])) == 0.0
+
+    def test_weak_duality_on_algorithm_dual(self, square):
+        from repro.core.solver import solve_mwhvc
+
+        result = solve_mwhvc(square, Fraction(1, 2))
+        lp_value = fractional_optimum(square)
+        assert float(result.dual_total) <= lp_value + 1e-6

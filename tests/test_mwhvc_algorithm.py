@@ -1,0 +1,229 @@
+"""Algorithm-level tests of solve_mwhvc on instances with known structure."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.solver import (
+    f_approx_epsilon,
+    solve_mwhvc,
+    solve_mwhvc_f_approx,
+    solve_mwvc,
+    solve_set_cover,
+)
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_hypergraph,
+    sunflower_hypergraph,
+    uniform_weights,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.setcover import random_set_cover
+from repro.lp.reference import exact_optimum
+from tests.conftest import random_instances
+
+
+class TestTrivialInstances:
+    def test_empty_instance(self):
+        result = solve_mwhvc(Hypergraph(0, []))
+        assert result.cover == frozenset()
+        assert result.rounds == 0
+        assert result.iterations == 0
+
+    def test_edgeless_instance(self):
+        result = solve_mwhvc(Hypergraph(5, [], weights=[1] * 5))
+        assert result.cover == frozenset()
+        assert result.weight == 0
+        assert result.rounds == 1
+
+    def test_single_vertex_single_edge(self):
+        result = solve_mwhvc(Hypergraph(1, [(0,)], weights=[7]))
+        assert result.cover == {0}
+        assert result.weight == 7
+
+    def test_single_edge_picks_cheap_vertex(self):
+        result = solve_mwhvc(
+            Hypergraph(2, [(0, 1)], weights=[1, 1000]), Fraction(1, 10)
+        )
+        assert result.cover == {0}
+
+    def test_rank_one_instance(self):
+        # Every singleton edge forces its vertex.
+        hg = Hypergraph(3, [(0,), (2,)], weights=[5, 1, 9])
+        result = solve_mwhvc(hg)
+        assert result.cover == {0, 2}
+
+
+class TestKnownOptima:
+    def test_weighted_path_exact(self, weighted_path):
+        result = solve_mwhvc(weighted_path, Fraction(1, 10))
+        assert result.cover == {1, 2}
+        assert result.weight == 2
+
+    def test_star_picks_hub(self):
+        hg = star_hypergraph(8, 3)
+        result = solve_mwhvc(hg, Fraction(1, 4))
+        # Hub covers everything; guarantee allows (3+eps)*1, and the
+        # algorithm does find the hub on this symmetric instance.
+        assert 0 in result.cover
+        assert result.weight <= (3 + Fraction(1, 4)) * 1
+
+    def test_sunflower_guarantee(self):
+        hg = sunflower_hypergraph(6, 2, 2)
+        result = solve_mwhvc(hg, Fraction(1, 2))
+        opt = exact_optimum(hg).weight
+        assert result.weight <= (hg.rank + Fraction(1, 2)) * opt
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 8])
+    def test_cycles_within_guarantee(self, n):
+        hg = cycle_graph(n)
+        result = solve_mwhvc(hg, Fraction(1))
+        opt = exact_optimum(hg).weight
+        assert result.weight <= 3 * opt
+
+    def test_complete_graph(self):
+        hg = complete_graph(6)
+        result = solve_mwhvc(hg, Fraction(1, 2))
+        assert hg.is_cover(result.cover)
+        assert result.weight <= Fraction(5, 2) * 5  # (2+eps) * OPT
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("epsilon", ["1", "1/2", "1/5", "1/17"])
+    def test_certificate_on_random_instances(self, epsilon):
+        epsilon = Fraction(epsilon)
+        for hg in random_instances(5):
+            result = solve_mwhvc(hg, epsilon)
+            assert result.certificate is not None
+            ratio = result.certified_ratio
+            assert ratio is None or ratio <= hg.rank + epsilon
+
+    def test_ratio_against_exact_optimum(self):
+        for hg in random_instances(6):
+            result = solve_mwhvc(hg, Fraction(1, 3))
+            opt = exact_optimum(hg).weight
+            assert result.weight <= (hg.rank + Fraction(1, 3)) * opt
+
+    def test_smaller_epsilon_not_worse_guarantee(self):
+        for hg in random_instances(3):
+            loose = solve_mwhvc(hg, Fraction(1))
+            tight = solve_mwhvc(hg, Fraction(1, 20))
+            assert tight.guarantee < loose.guarantee
+            # Both certified.
+            assert tight.certificate is not None
+
+    def test_dual_is_lower_bound(self):
+        for hg in random_instances(4):
+            result = solve_mwhvc(hg, Fraction(1, 2))
+            opt = exact_optimum(hg).weight
+            assert result.dual_total <= opt
+
+
+class TestFApproximation:
+    def test_epsilon_choice(self):
+        hg = Hypergraph(3, [(0, 1, 2)], weights=[5, 3, 9])
+        epsilon = f_approx_epsilon(hg)
+        assert epsilon == Fraction(1, 3 * 9 + 1)
+
+    def test_f_approx_guarantee_is_exact(self):
+        for hg in random_instances(6):
+            result = solve_mwhvc_f_approx(hg)
+            opt = exact_optimum(hg).weight
+            assert result.weight <= hg.rank * opt
+
+    def test_f_approx_on_graphs_is_2_approx(self):
+        hg = path_graph(7, weights=uniform_weights(7, 20, seed=3))
+        result = solve_mwhvc_f_approx(hg)
+        opt = exact_optimum(hg).weight
+        assert result.weight <= 2 * opt
+
+
+class TestWrappers:
+    def test_solve_mwvc_rejects_hypergraphs(self):
+        hg = Hypergraph(3, [(0, 1, 2)])
+        with pytest.raises(InvalidInstanceError):
+            solve_mwvc(hg)
+
+    def test_solve_mwvc_on_graph(self, triangle):
+        result = solve_mwvc(triangle, Fraction(1, 2))
+        assert triangle.is_cover(result.cover)
+
+    def test_solve_set_cover(self):
+        instance = random_set_cover(25, 10, seed=4, max_frequency=3)
+        result = solve_set_cover(instance, Fraction(1, 2))
+        assert instance.is_cover(result.cover)
+        assert result.weight == instance.cover_weight(result.cover)
+
+    def test_lockstep_rejects_congest_options(self):
+        hg = path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            solve_mwhvc(hg, executor="lockstep", strict_bandwidth=True)
+
+    def test_unknown_executor(self):
+        hg = path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            solve_mwhvc(hg, executor="quantum")
+
+
+class TestAdversarialTies:
+    """degree-proportional weights make every normalized weight nearly
+    equal — maximal pressure on the argmin tie-breaking."""
+
+    def test_tied_normalized_weights_deterministic(self):
+        from repro.hypergraph.generators import (
+            degree_proportional_weights,
+            uniform_hypergraph,
+        )
+
+        topology = uniform_hypergraph(30, 60, 3, seed=44)
+        hg = topology.reweighted(degree_proportional_weights(topology))
+        first = solve_mwhvc(hg, Fraction(1, 3))
+        second = solve_mwhvc(hg, Fraction(1, 3))
+        assert first.cover == second.cover
+        assert first.dual == second.dual
+
+    def test_tied_weights_executor_equality_and_guarantee(self):
+        from repro.hypergraph.generators import (
+            degree_proportional_weights,
+            uniform_hypergraph,
+        )
+
+        topology = uniform_hypergraph(24, 48, 3, seed=45)
+        hg = topology.reweighted(degree_proportional_weights(topology))
+        lock = solve_mwhvc(hg, Fraction(1, 3))
+        cong = solve_mwhvc(hg, Fraction(1, 3), executor="congest")
+        assert lock.cover == cong.cover
+        assert lock.rounds == cong.rounds
+        opt = exact_optimum(hg, max_vertices=24).weight
+        assert lock.weight <= (hg.rank + Fraction(1, 3)) * opt
+
+
+class TestResultShape:
+    def test_result_fields(self, small_hypergraph):
+        result = solve_mwhvc(small_hypergraph, Fraction(1, 2))
+        assert result.rank == small_hypergraph.rank
+        assert result.guarantee == small_hypergraph.rank + Fraction(1, 2)
+        assert len(result.levels) == small_hypergraph.num_vertices
+        assert set(result.dual) == set(range(small_hypergraph.num_edges))
+        assert result.dual_total == sum(result.dual.values())
+        assert result.stats.level_cap >= 1
+        assert result.alpha_min <= result.alpha_max
+        assert "cover weight" in result.summary()
+
+    def test_levels_below_cap(self):
+        for hg in random_instances(4):
+            result = solve_mwhvc(hg, Fraction(1, 7))
+            assert result.stats.max_level < result.stats.level_cap
+
+    def test_weight_matches_cover(self, small_hypergraph):
+        result = solve_mwhvc(small_hypergraph)
+        assert result.weight == small_hypergraph.cover_weight(result.cover)
+
+    def test_epsilon_recorded(self, small_hypergraph):
+        result = solve_mwhvc(small_hypergraph, "1/8")
+        assert result.epsilon == Fraction(1, 8)

@@ -1,0 +1,69 @@
+"""Tests for the machine-readable paper tables and their coverage claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.paper_tables import TABLE1_ROWS, TABLE2_ROWS, rows_as_table
+from repro.baselines.registry import BASELINES
+
+
+class TestTableTranscription:
+    def test_table1_row_count(self):
+        # The paper's Table 1 lists 17 rows; we transcribe 15 (the two
+        # duplicate "this work 2 and 2+eps regime" sub-rows of [4]/[5]
+        # with per-c families are folded into the bound rows).
+        assert len(TABLE1_ROWS) == 15
+
+    def test_table2_row_count(self):
+        assert len(TABLE2_ROWS) == 9
+
+    def test_every_this_work_row_is_measured(self):
+        for row in TABLE1_ROWS + TABLE2_ROWS:
+            if row.source == "This work":
+                assert row.coverage == "measured", row
+
+    def test_no_row_left_uncovered(self):
+        # Every row is measured, stood-in, bounded, or explicitly n/a.
+        for row in TABLE1_ROWS + TABLE2_ROWS:
+            assert row.coverage in ("measured", "stand-in", "bound", "n/a")
+
+    def test_measured_and_standin_rows_reference_real_modules(self):
+        import importlib
+
+        for row in TABLE1_ROWS + TABLE2_ROWS:
+            if row.coverage not in ("measured", "stand-in"):
+                continue
+            # First dotted token names a repro submodule path.
+            target = row.covered_by.split()[0]
+            module_path = "repro." + ".".join(target.split(".")[:-1])
+            attribute = target.split(".")[-1]
+            module = importlib.import_module(module_path)
+            assert hasattr(module, attribute), row
+
+    def test_standins_exist_in_registry(self):
+        names = {
+            "baselines.dual_doubling": "dual-doubling",
+            "baselines.kvy": "kvy",
+            "baselines.matching": "maximal-matching",
+            "baselines.local_ratio_distributed": "local-ratio-distributed",
+        }
+        for module_name, registry_name in names.items():
+            assert registry_name in BASELINES
+
+    def test_weighted_flags(self):
+        # The paper marks [9] unweighted; our transcription must agree.
+        egm_rows = [
+            row for row in TABLE2_ROWS if row.source == "[9]"
+        ]
+        assert egm_rows and all(not row.weighted for row in egm_rows)
+
+    def test_rendering(self):
+        text = rows_as_table(TABLE1_ROWS)
+        assert "This work" in text
+        assert "coverage" in text
+        assert text.count("\n") >= len(TABLE1_ROWS)
+
+    def test_rows_frozen(self):
+        with pytest.raises(AttributeError):
+            TABLE1_ROWS[0].source = "tampered"

@@ -1,0 +1,190 @@
+"""Tests for algorithm parameters (beta, z, alpha policies) and numeric helpers."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.numeric import (
+    ceil_log2_fraction,
+    half_power,
+    parse_epsilon,
+    parse_rational,
+)
+from repro.core.params import (
+    AlgorithmConfig,
+    beta_from,
+    level_cap,
+    resolve_alpha,
+    theorem9_alpha,
+)
+from repro.exceptions import InvalidInstanceError
+
+
+class TestNumericHelpers:
+    def test_parse_epsilon_accepts_forms(self):
+        assert parse_epsilon(1) == 1
+        assert parse_epsilon("1/3") == Fraction(1, 3)
+        assert parse_epsilon(0.5) == Fraction(1, 2)
+        assert parse_epsilon(Fraction(2, 7)) == Fraction(2, 7)
+
+    def test_parse_epsilon_range(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_epsilon(0)
+        with pytest.raises(InvalidInstanceError):
+            parse_epsilon(2)
+        with pytest.raises(InvalidInstanceError):
+            parse_epsilon(-1)
+
+    def test_parse_rational_rejects_garbage(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_rational("not a number", "x")
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            Fraction(1),
+            Fraction(2),
+            Fraction(3),
+            Fraction(1, 2),
+            Fraction(1, 3),
+            Fraction(7, 5),
+            Fraction(1023, 4),
+            Fraction(1, 1024),
+            Fraction(999999, 7),
+        ],
+    )
+    def test_ceil_log2_matches_float(self, value):
+        expected = math.ceil(math.log2(value))
+        assert ceil_log2_fraction(value) == expected
+
+    def test_ceil_log2_exact_powers(self):
+        # Exact powers of two are where float log2 is brittle.
+        for exponent in range(-20, 21):
+            value = Fraction(2) ** exponent
+            assert ceil_log2_fraction(value) == exponent
+
+    def test_ceil_log2_rejects_nonpositive(self):
+        with pytest.raises(InvalidInstanceError):
+            ceil_log2_fraction(Fraction(0))
+
+    def test_half_power(self):
+        assert half_power(0) == 1
+        assert half_power(3) == Fraction(1, 8)
+
+
+class TestBetaAndLevels:
+    def test_beta_definition(self):
+        assert beta_from(2, Fraction(1)) == Fraction(1, 3)
+        assert beta_from(4, Fraction(1, 2)) == Fraction(1, 9)
+
+    def test_beta_rank_zero_safe(self):
+        assert beta_from(0, Fraction(1)) == Fraction(1, 2)
+
+    def test_level_cap_values(self):
+        # f=2, eps=1: beta=1/3, z = ceil(log2 3) = 2.
+        assert level_cap(2, Fraction(1)) == 2
+        # f=2, eps=1/4: beta=1/9, z = ceil(log2 9) = 4.
+        assert level_cap(2, Fraction(1, 4)) == 4
+
+    def test_level_cap_grows_with_precision(self):
+        caps = [
+            level_cap(3, Fraction(1, denominator))
+            for denominator in (1, 4, 16, 64, 256)
+        ]
+        assert caps == sorted(caps)
+        assert caps[-1] > caps[0]
+
+
+class TestTheorem9Alpha:
+    def test_small_degree_gives_two(self):
+        assert theorem9_alpha(3, 2, Fraction(1)) == 2
+
+    def test_alpha_at_least_two(self):
+        for degree in (4, 16, 256, 10_000):
+            assert theorem9_alpha(degree, 2, Fraction(1)) >= 2
+
+    def test_huge_degree_grows_alpha(self):
+        # log Δ / (f log(f/eps) loglog Δ) is large for huge Δ, small f.
+        alpha = theorem9_alpha(2**64, 1, Fraction(1))
+        assert alpha > 2
+
+    def test_alpha_is_fraction_with_small_denominator(self):
+        alpha = theorem9_alpha(2**64, 1, Fraction(1))
+        assert isinstance(alpha, Fraction)
+        assert alpha.denominator <= 4096
+
+    def test_gamma_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            theorem9_alpha(10, 2, Fraction(1), gamma=0)
+
+
+class TestAlgorithmConfig:
+    def test_defaults(self):
+        config = AlgorithmConfig()
+        assert config.epsilon == 1
+        assert config.schedule == "spec"
+        assert config.increment_mode == "multi"
+        assert config.rounds_per_iteration == 4
+
+    def test_compact_rounds_per_iteration(self):
+        assert AlgorithmConfig(schedule="compact").rounds_per_iteration == 2
+
+    def test_epsilon_parsing(self):
+        assert AlgorithmConfig(epsilon="1/8").epsilon == Fraction(1, 8)
+
+    def test_invalid_schedule(self):
+        with pytest.raises(InvalidInstanceError):
+            AlgorithmConfig(schedule="eager")
+
+    def test_invalid_increment_mode(self):
+        with pytest.raises(InvalidInstanceError):
+            AlgorithmConfig(increment_mode="double")
+
+    def test_invalid_alpha_policy(self):
+        with pytest.raises(InvalidInstanceError):
+            AlgorithmConfig(alpha_policy="random")
+
+    def test_fixed_alpha_must_be_at_least_two(self):
+        with pytest.raises(InvalidInstanceError):
+            AlgorithmConfig(alpha_policy="fixed", fixed_alpha=1)
+
+    def test_max_iterations_validated(self):
+        with pytest.raises(InvalidInstanceError):
+            AlgorithmConfig(max_iterations=0)
+
+    def test_with_epsilon(self):
+        config = AlgorithmConfig(epsilon=1, schedule="compact")
+        updated = config.with_epsilon(Fraction(1, 5))
+        assert updated.epsilon == Fraction(1, 5)
+        assert updated.schedule == "compact"
+        assert config.epsilon == 1  # original untouched
+
+    def test_beta_and_z_helpers(self):
+        config = AlgorithmConfig(epsilon=Fraction(1, 2))
+        assert config.beta(3) == Fraction(1, 7)
+        assert config.z(3) == level_cap(3, Fraction(1, 2))
+
+
+class TestResolveAlpha:
+    def test_fixed_policy(self):
+        config = AlgorithmConfig(alpha_policy="fixed", fixed_alpha=Fraction(5, 2))
+        assert resolve_alpha(config, 2, 1000) == Fraction(5, 2)
+
+    def test_theorem9_policy(self):
+        config = AlgorithmConfig(alpha_policy="theorem9")
+        assert resolve_alpha(config, 2, 1000) == theorem9_alpha(
+            1000, 2, config.epsilon, config.gamma
+        )
+
+    def test_local_policy_uses_local_degree(self):
+        config = AlgorithmConfig(alpha_policy="local")
+        local = resolve_alpha(config, 1, 10**9, local_max_degree=2**64)
+        assert local == theorem9_alpha(2**64, 1, config.epsilon, config.gamma)
+
+    def test_local_policy_requires_degree(self):
+        config = AlgorithmConfig(alpha_policy="local")
+        with pytest.raises(InvalidInstanceError):
+            resolve_alpha(config, 2, 100)

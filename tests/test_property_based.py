@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies generate random weighted hypergraphs, set systems and
+covering programs; properties assert exactly what the paper proves:
+covers are valid, duals are feasible packings, certified ratios respect
+``f + eps``, levels stay below ``z``, executors agree, and reductions
+are cover-preserving.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.numeric import ceil_log2_fraction
+from repro.core.params import AlgorithmConfig
+from repro.core.solver import solve_mwhvc, solve_mwhvc_f_approx
+from repro.hypergraph import io
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.lp.covering_lp import dual_feasible
+from repro.lp.reference import exact_optimum
+
+SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def hypergraphs(draw, max_vertices=12, max_edges=14, max_rank=4):
+    """Random weighted hypergraph with at least one edge."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    edges = []
+    for _ in range(m):
+        size = draw(st.integers(min_value=1, max_value=min(max_rank, n)))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        edges.append(tuple(members))
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=30),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Hypergraph(n, edges, weights)
+
+
+epsilons = st.sampled_from(
+    [Fraction(1), Fraction(1, 2), Fraction(1, 3), Fraction(1, 7), Fraction(1, 16)]
+)
+
+
+@SETTINGS
+@given(hypergraphs(), epsilons)
+def test_cover_valid_and_certified(hg, epsilon):
+    result = solve_mwhvc(hg, epsilon)
+    assert hg.is_cover(result.cover)
+    assert result.certificate is not None
+    ratio = result.certified_ratio
+    assert ratio is None or ratio <= hg.rank + epsilon
+
+
+@SETTINGS
+@given(hypergraphs(), epsilons)
+def test_dual_always_feasible_packing(hg, epsilon):
+    result = solve_mwhvc(hg, epsilon)
+    assert dual_feasible(hg, result.dual)
+    assert all(value > 0 for value in result.dual.values())
+
+
+@SETTINGS
+@given(hypergraphs(), epsilons)
+def test_levels_below_cap(hg, epsilon):
+    config = AlgorithmConfig(epsilon=epsilon, check_invariants=True)
+    result = solve_mwhvc(hg, config=config)
+    assert result.stats.max_level < result.stats.level_cap
+
+
+@SETTINGS
+@given(
+    hypergraphs(max_vertices=9, max_edges=10),
+    epsilons,
+    st.sampled_from(["spec", "compact"]),
+    st.sampled_from(["multi", "single"]),
+)
+def test_executors_agree(hg, epsilon, schedule, mode):
+    config = AlgorithmConfig(
+        epsilon=epsilon, schedule=schedule, increment_mode=mode
+    )
+    lock = solve_mwhvc(hg, config=config, executor="lockstep")
+    cong = solve_mwhvc(hg, config=config, executor="congest")
+    assert lock.cover == cong.cover
+    assert lock.rounds == cong.rounds
+    assert lock.dual == cong.dual
+
+
+@SETTINGS
+@given(hypergraphs(max_vertices=10, max_edges=10))
+def test_f_approximation_exact(hg):
+    result = solve_mwhvc_f_approx(hg)
+    optimum = exact_optimum(hg).weight
+    assert result.weight <= hg.rank * optimum
+
+
+@SETTINGS
+@given(hypergraphs())
+def test_io_round_trip(hg):
+    assert io.loads(io.dumps(hg)) == hg
+
+
+@SETTINGS
+@given(
+    st.fractions(
+        min_value=Fraction(1, 10**6), max_value=Fraction(10**6)
+    ).filter(lambda value: value > 0)
+)
+def test_ceil_log2_fraction_definition(value):
+    result = ceil_log2_fraction(value)
+    # Definitional property: 2^(k-1) < value <= 2^k.
+    assert value <= Fraction(2) ** result
+    assert Fraction(2) ** (result - 1) < value
+
+
+@SETTINGS
+@given(hypergraphs(max_vertices=10, max_edges=10))
+def test_greedy_and_local_ratio_valid(hg):
+    from repro.baselines.greedy import greedy_set_cover
+    from repro.baselines.sequential import local_ratio_cover
+
+    greedy = greedy_set_cover(hg)
+    local = local_ratio_cover(hg)
+    assert hg.is_cover(greedy.cover)
+    assert hg.is_cover(local.cover)
+    optimum = exact_optimum(hg).weight
+    assert local.weight <= hg.rank * optimum
+
+
+@SETTINGS
+@given(hypergraphs(max_vertices=8, max_edges=8), epsilons)
+def test_kvy_guarantee(hg, epsilon):
+    from repro.baselines.kvy import kvy_cover
+
+    run = kvy_cover(hg, epsilon)
+    assert hg.is_cover(run.cover)
+    optimum = exact_optimum(hg).weight
+    assert run.weight <= (hg.rank + epsilon) * optimum
+
+
+@st.composite
+def zero_one_programs(draw, max_vars=5, max_rows=4):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    m = draw(st.integers(min_value=1, max_value=max_rows))
+    rows = []
+    bounds = []
+    for _ in range(m):
+        size = draw(st.integers(min_value=1, max_value=min(3, n)))
+        support = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        row = {
+            variable: draw(st.integers(min_value=1, max_value=4))
+            for variable in support
+        }
+        bound = draw(
+            st.integers(min_value=1, max_value=sum(row.values()))
+        )
+        rows.append(row)
+        bounds.append(bound)
+    weights = tuple(
+        draw(st.integers(min_value=1, max_value=9)) for _ in range(n)
+    )
+    from repro.ilp.program import CoveringILP
+    from repro.ilp.zero_one import ZeroOneProgram
+
+    return ZeroOneProgram(
+        CoveringILP(
+            num_variables=n,
+            rows=tuple(rows),
+            bounds=tuple(bounds),
+            weights=weights,
+        )
+    )
+
+
+@SETTINGS
+@given(zero_one_programs())
+def test_lemma14_cover_equivalence(program):
+    """Indicator vectors: hypergraph cover == feasible assignment."""
+    import itertools
+
+    from repro.ilp.reduction import reduce_zero_one
+
+    reduction = reduce_zero_one(program)
+    hg = reduction.hypergraph
+    n = program.num_variables
+    for bits in itertools.product((0, 1), repeat=n):
+        chosen = {j for j in range(n) if bits[j]}
+        assert hg.is_cover(chosen) == program.is_feasible(bits)
+
+
+@SETTINGS
+@given(zero_one_programs(), epsilons)
+def test_zero_one_solver_feasible(program, epsilon):
+    from repro.ilp.solver import solve_zero_one
+
+    result = solve_zero_one(program, epsilon)
+    assert program.is_feasible(result.assignment)
+    assert result.certified_guarantee <= program.row_rank + epsilon

@@ -1,0 +1,133 @@
+"""Second property-based suite: transforms, schedules, ILP simulation,
+observer accounting."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConvergenceRecorder
+from repro.core.params import AlgorithmConfig
+from repro.core.solver import solve_mwhvc
+from repro.hypergraph.transforms import (
+    disjoint_union,
+    scale_weights,
+    subdivide_edges,
+)
+from tests.test_property_based import epsilons, hypergraphs
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SMALL_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(hypergraphs(max_vertices=10, max_edges=10), st.integers(2, 1000))
+def test_uniform_weight_scaling_invariance(hg, factor):
+    """Scaling all weights leaves the execution identical."""
+    base = solve_mwhvc(hg, Fraction(1, 2))
+    scaled = solve_mwhvc(scale_weights(hg, factor), Fraction(1, 2))
+    assert scaled.cover == base.cover
+    assert scaled.rounds == base.rounds
+    assert scaled.weight == factor * base.weight
+
+
+@SETTINGS
+@given(
+    hypergraphs(max_vertices=8, max_edges=8),
+    hypergraphs(max_vertices=8, max_edges=8),
+)
+def test_disjoint_union_locality(left, right):
+    """Union rounds = max of part rounds; union cover = union of covers.
+
+    Locality holds only when the union does not change the *global*
+    parameters the parts run with: beta depends on the global rank and
+    the Theorem 9 alpha on the global max degree, so the property is
+    stated for equal-rank parts under a fixed alpha.
+    """
+    from hypothesis import assume
+
+    assume(left.rank == right.rank)
+    config = AlgorithmConfig(
+        epsilon=Fraction(1, 2), alpha_policy="fixed", fixed_alpha=2
+    )
+    union, offsets = disjoint_union([left, right])
+    result_left = solve_mwhvc(left, config=config)
+    result_right = solve_mwhvc(right, config=config)
+    result_union = solve_mwhvc(union, config=config)
+    assert result_union.rounds == max(
+        result_left.rounds, result_right.rounds
+    )
+    expected = set(result_left.cover) | {
+        offsets[1] + vertex for vertex in result_right.cover
+    }
+    assert set(result_union.cover) == expected
+
+
+@SETTINGS
+@given(hypergraphs(max_vertices=9, max_edges=8), epsilons)
+def test_subdivision_still_certified(hg, epsilon):
+    divided = subdivide_edges(hg, bridge_weight=2)
+    result = solve_mwhvc(divided, epsilon)
+    assert divided.is_cover(result.cover)
+    ratio = result.certified_ratio
+    assert ratio is None or ratio <= divided.rank + epsilon
+
+
+@SETTINGS
+@given(hypergraphs(max_vertices=9, max_edges=9), epsilons)
+def test_both_schedules_certified(hg, epsilon):
+    """Spec and compact may take different paths; both stay certified."""
+    for schedule in ("spec", "compact"):
+        config = AlgorithmConfig(
+            epsilon=epsilon, schedule=schedule, check_invariants=True
+        )
+        result = solve_mwhvc(hg, config=config)
+        assert hg.is_cover(result.cover)
+        ratio = result.certified_ratio
+        assert ratio is None or ratio <= hg.rank + epsilon
+
+
+@SETTINGS
+@given(hypergraphs(max_vertices=10, max_edges=10))
+def test_observer_accounting(hg):
+    recorder = ConvergenceRecorder()
+    result = solve_mwhvc(hg, Fraction(1, 2), observer=recorder)
+    assert recorder.iterations == result.iterations
+    assert (
+        sum(s.edges_covered_this_iteration for s in recorder.snapshots)
+        == hg.num_edges
+    )
+    assert (
+        sum(s.joins_this_iteration for s in recorder.snapshots)
+        == len(result.cover)
+    )
+    if recorder.snapshots:
+        assert recorder.snapshots[-1].dual_total == result.dual_total
+
+
+@SMALL_SETTINGS
+@given(st.integers(0, 10_000))
+def test_ilp_direct_equals_distributed(seed):
+    """The N(ILP) simulation computes the identical MWHVC execution."""
+    from repro.ilp.solver import solve_zero_one
+    from tests.test_ilp_reductions import random_zero_one
+
+    program = random_zero_one(seed, variables=4, rows=3)
+    direct = solve_zero_one(program, Fraction(1, 2), method="direct")
+    distributed = solve_zero_one(
+        program, Fraction(1, 2), method="distributed"
+    )
+    assert direct.assignment == distributed.assignment
+    assert direct.iterations == distributed.iterations
+    assert direct.cover_result.dual == distributed.cover_result.dual

@@ -1,0 +1,77 @@
+"""Medium-scale smoke tests: the library at thousands of vertices.
+
+Most tests run tiny instances for speed; these verify nothing breaks
+at realistic sizes (exact arithmetic growth, recursion limits, memory)
+and that quality stays far inside the guarantee.  Total runtime is kept
+to a few seconds by using the lockstep executor.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import AlgorithmConfig
+from repro.core.solver import solve_mwhvc, solve_mwhvc_f_approx
+from repro.hypergraph.generators import (
+    gnp_graph,
+    uniform_hypergraph,
+    uniform_weights,
+)
+from repro.lp.reference import fractional_optimum
+
+
+@pytest.fixture(scope="module")
+def large_instance():
+    return uniform_hypergraph(
+        1500,
+        4500,
+        3,
+        seed=42,
+        weights=uniform_weights(1500, 1000, seed=43),
+    )
+
+
+class TestScale:
+    def test_large_solve_certified(self, large_instance):
+        result = solve_mwhvc(large_instance, Fraction(1, 4))
+        assert large_instance.is_cover(result.cover)
+        assert float(result.certified_ratio) <= 3.25
+        # Quality is far better than worst case on random instances.
+        assert float(result.certified_ratio) <= 2.5
+
+    def test_large_solve_vs_lp(self, large_instance):
+        result = solve_mwhvc(large_instance, Fraction(1, 4))
+        lp_opt = fractional_optimum(large_instance)
+        assert result.weight <= 3.25 * lp_opt
+        assert result.dual_total <= lp_opt + 1e-6
+
+    def test_large_checked_mode(self, large_instance):
+        config = AlgorithmConfig(
+            epsilon=Fraction(1, 4), check_invariants=True
+        )
+        result = solve_mwhvc(large_instance, config=config)
+        assert large_instance.is_cover(result.cover)
+
+    def test_large_f_approx(self, large_instance):
+        result = solve_mwhvc_f_approx(large_instance)
+        # Exact-f certificate: weight <= 3 * dual <= 3 * OPT.
+        assert result.weight <= 3 * result.dual_total
+
+    def test_large_graph_with_huge_weights(self):
+        graph = gnp_graph(
+            800,
+            0.01,
+            seed=7,
+            weights=uniform_weights(800, 10**9, seed=8),
+        )
+        result = solve_mwhvc(graph, Fraction(1, 2))
+        assert graph.is_cover(result.cover)
+        assert result.stats.max_level < result.stats.level_cap
+
+    def test_rounds_stay_modest_at_scale(self, large_instance):
+        result = solve_mwhvc(large_instance, Fraction(1, 4))
+        # Delta ~ 20 here; O(log Delta / log log Delta) with small
+        # constants: two-digit rounds, nowhere near n or m.
+        assert result.rounds < 100

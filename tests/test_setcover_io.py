@@ -1,0 +1,157 @@
+"""Tests for set-cover instances, the Section 2 reduction, and the I/O format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+from repro.hypergraph import io
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.setcover import SetCoverInstance, random_set_cover
+
+
+class TestSetCoverInstance:
+    def test_basic(self):
+        instance = SetCoverInstance(
+            num_elements=3,
+            sets=((0, 1), (1, 2), (2,)),
+            weights=(2, 3, 1),
+        )
+        assert instance.num_sets == 3
+        assert instance.max_frequency == 2
+        assert instance.max_set_size == 2
+
+    def test_default_unit_weights(self):
+        instance = SetCoverInstance(num_elements=2, sets=((0,), (1,)))
+        assert instance.weights == (1, 1)
+
+    def test_uncoverable_element_rejected(self):
+        with pytest.raises(InfeasibleInstanceError):
+            SetCoverInstance(num_elements=3, sets=((0, 1),))
+
+    def test_bad_element_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(num_elements=2, sets=((0, 5), (1,)))
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(
+                num_elements=1, sets=((0,),), weights=(0,)
+            )
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(
+                num_elements=1, sets=((0,),), weights=(1, 2)
+            )
+
+    def test_is_cover(self):
+        instance = SetCoverInstance(
+            num_elements=3, sets=((0, 1), (2,), (1, 2))
+        )
+        assert instance.is_cover([0, 1])
+        assert not instance.is_cover([2])
+
+    def test_cover_weight(self):
+        instance = SetCoverInstance(
+            num_elements=2, sets=((0,), (1,)), weights=(4, 9)
+        )
+        assert instance.cover_weight([0, 1, 1]) == 13
+
+
+class TestSetCoverReduction:
+    def test_to_hypergraph_structure(self):
+        instance = SetCoverInstance(
+            num_elements=3,
+            sets=((0, 1), (1, 2), (0, 2)),
+            weights=(2, 3, 5),
+        )
+        hg = instance.to_hypergraph()
+        # One vertex per set, one hyperedge per element.
+        assert hg.num_vertices == 3
+        assert hg.num_edges == 3
+        # Element 1 is in sets 0 and 1.
+        assert hg.edge(1) == (0, 1)
+        assert hg.weights == (2, 3, 5)
+
+    def test_frequency_becomes_rank(self):
+        instance = random_set_cover(30, 12, seed=5, max_frequency=4)
+        hg = instance.to_hypergraph()
+        assert hg.rank == instance.max_frequency
+        assert hg.max_degree == instance.max_set_size
+
+    def test_covers_transfer(self):
+        instance = random_set_cover(20, 8, seed=9, max_frequency=3)
+        hg = instance.to_hypergraph()
+        # Any hypergraph cover is a set cover with the same ids.
+        cover = set(range(8))
+        assert hg.is_cover(cover) == instance.is_cover(cover)
+
+    def test_round_trip(self):
+        instance = random_set_cover(15, 6, seed=3)
+        back = SetCoverInstance.from_hypergraph(instance.to_hypergraph())
+        assert back.num_elements == instance.num_elements
+        assert back.weights == instance.weights
+        # Sets survive (element ids are preserved by construction).
+        assert back.sets == instance.sets
+
+
+class TestRandomSetCover:
+    def test_feasible_and_bounded_frequency(self):
+        instance = random_set_cover(40, 10, seed=0, max_frequency=3)
+        assert instance.max_frequency <= 3
+        assert instance.is_cover(range(10))
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            random_set_cover(5, 0, seed=0)
+        with pytest.raises(InvalidInstanceError):
+            random_set_cover(5, 3, seed=0, max_frequency=0)
+
+
+class TestIO:
+    def test_round_trip(self):
+        hg = Hypergraph(4, [(0, 1, 2), (2, 3)], weights=[5, 1, 2, 8])
+        assert io.loads(io.dumps(hg)) == hg
+
+    def test_unit_weights_omitted(self):
+        hg = Hypergraph(3, [(0, 1)])
+        text = io.dumps(hg)
+        assert "w " not in text
+        assert io.loads(text) == hg
+
+    def test_comments_ignored(self):
+        hg = Hypergraph(2, [(0, 1)])
+        text = io.dumps(hg, comment="line one\nline two")
+        assert text.startswith("c line one\nc line two")
+        assert io.loads(text) == hg
+
+    def test_missing_problem_line(self):
+        with pytest.raises(InvalidInstanceError):
+            io.loads("e 0 1\n")
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(InvalidInstanceError):
+            io.loads("p mwhvc 2 0\np mwhvc 2 0\n")
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            io.loads("p mwhvc 2 2\ne 0 1\n")
+
+    def test_unknown_tag(self):
+        with pytest.raises(InvalidInstanceError):
+            io.loads("p mwhvc 2 0\nx 1 2\n")
+
+    def test_weights_before_problem_line(self):
+        with pytest.raises(InvalidInstanceError):
+            io.loads("w 1 2\np mwhvc 2 0\n")
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(InvalidInstanceError):
+            io.loads("p vertexcover 2 0\n")
+
+    def test_save_and_load(self, tmp_path):
+        hg = Hypergraph(3, [(0, 2)], weights=[1, 2, 3])
+        path = tmp_path / "instance.hg"
+        io.save(hg, path, comment="saved by test")
+        assert io.load(path) == hg

@@ -1,0 +1,163 @@
+"""Tests for instance transformations and the algorithm's invariances."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.solver import solve_mwhvc
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph.generators import (
+    mixed_rank_hypergraph,
+    path_graph,
+    uniform_weights,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.transforms import (
+    disjoint_union,
+    induced_subhypergraph,
+    scale_weights,
+    subdivide_edges,
+)
+from repro.lp.reference import exact_optimum
+
+
+class TestDisjointUnion:
+    def test_structure(self):
+        a = path_graph(3, weights=[1, 2, 3])
+        b = Hypergraph(2, [(0, 1)], weights=[4, 5])
+        union, offsets = disjoint_union([a, b])
+        assert union.num_vertices == 5
+        assert union.num_edges == 3
+        assert offsets == [0, 3]
+        assert union.edge(2) == (3, 4)
+        assert union.weights == (1, 2, 3, 4, 5)
+
+    def test_optima_add_up(self):
+        a = path_graph(4, weights=[5, 1, 1, 5])
+        b = path_graph(5, weights=[9, 2, 7, 2, 9])
+        union, _ = disjoint_union([a, b])
+        assert (
+            exact_optimum(union).weight
+            == exact_optimum(a).weight + exact_optimum(b).weight
+        )
+
+    def test_rounds_governed_by_hardest_part(self):
+        """Locality: union rounds = max over components.
+
+        Requires parts of equal rank under a fixed alpha, since beta and
+        the Theorem 9 alpha are derived from *global* instance
+        parameters (see the property-based variant for the rationale).
+        """
+        from repro.core.params import AlgorithmConfig
+
+        a = mixed_rank_hypergraph(
+            10, 16, 3, seed=1, weights=uniform_weights(10, 30, seed=2),
+            min_rank=3,
+        )
+        b = mixed_rank_hypergraph(
+            14, 20, 3, seed=3, weights=uniform_weights(14, 30, seed=4),
+            min_rank=3,
+        )
+        config = AlgorithmConfig(
+            epsilon=Fraction(1, 3), alpha_policy="fixed", fixed_alpha=2
+        )
+        union, _ = disjoint_union([a, b])
+        rounds_a = solve_mwhvc(a, config=config).rounds
+        rounds_b = solve_mwhvc(b, config=config).rounds
+        rounds_union = solve_mwhvc(union, config=config).rounds
+        assert rounds_union == max(rounds_a, rounds_b)
+
+    def test_empty_union(self):
+        union, offsets = disjoint_union([])
+        assert union.num_vertices == 0
+        assert offsets == []
+
+
+class TestInducedSubhypergraph:
+    def test_restriction(self):
+        hg = Hypergraph(
+            5, [(0, 1), (1, 2, 3), (3, 4)], weights=[1, 2, 3, 4, 5]
+        )
+        sub, mapping = induced_subhypergraph(hg, [1, 2, 3])
+        assert mapping == [1, 2, 3]
+        assert sub.num_edges == 1  # only (1,2,3) is fully inside
+        assert sub.edge(0) == (0, 1, 2)
+        assert sub.weights == (2, 3, 4)
+
+    def test_out_of_range_rejected(self):
+        hg = path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            induced_subhypergraph(hg, [5])
+
+    def test_full_set_is_identity(self):
+        hg = path_graph(4, weights=[2, 3, 4, 5])
+        sub, mapping = induced_subhypergraph(hg, range(4))
+        assert sub == hg
+        assert mapping == [0, 1, 2, 3]
+
+
+class TestSubdivideEdges:
+    def test_structure(self):
+        hg = Hypergraph(4, [(0, 1, 2, 3)], weights=[2, 2, 2, 2])
+        divided = subdivide_edges(hg, bridge_weight=7)
+        assert divided.num_vertices == 5
+        assert divided.num_edges == 2
+        assert divided.weight(4) == 7
+        # Both halves contain the bridge vertex 4.
+        assert all(4 in edge for edge in divided.edges)
+
+    def test_singletons_untouched(self):
+        hg = Hypergraph(2, [(0,), (0, 1)], weights=[1, 1])
+        divided = subdivide_edges(hg)
+        assert (0,) in divided.edges
+
+    def test_cheap_bridge_dominates(self):
+        # With a very cheap bridge, picking every bridge is optimal.
+        hg = Hypergraph(4, [(0, 1), (2, 3)], weights=[10, 10, 10, 10])
+        divided = subdivide_edges(hg, bridge_weight=1)
+        assert exact_optimum(divided).weight == 2
+
+    def test_bridge_weight_validated(self):
+        with pytest.raises(InvalidInstanceError):
+            subdivide_edges(path_graph(3), bridge_weight=0)
+
+    def test_cover_still_found_within_guarantee(self):
+        hg = mixed_rank_hypergraph(
+            12, 18, 4, seed=5, weights=uniform_weights(12, 9, seed=6)
+        )
+        divided = subdivide_edges(hg, bridge_weight=3)
+        result = solve_mwhvc(divided, Fraction(1, 2))
+        assert divided.is_cover(result.cover)
+        optimum = exact_optimum(divided).weight
+        assert result.weight <= (divided.rank + Fraction(1, 2)) * optimum
+
+
+class TestScaleWeights:
+    def test_scaling_structure(self):
+        hg = path_graph(3, weights=[2, 3, 4])
+        scaled = scale_weights(hg, 5)
+        assert scaled.weights == (10, 15, 20)
+        assert scaled.edges == hg.edges
+
+    def test_factor_validated(self):
+        with pytest.raises(InvalidInstanceError):
+            scale_weights(path_graph(3), 0)
+
+    def test_algorithm_invariant_under_uniform_scaling(self):
+        """Bids, duals and thresholds all scale linearly, so the cover,
+        iteration count and round count are identical."""
+        hg = mixed_rank_hypergraph(
+            15, 24, 3, seed=8, weights=uniform_weights(15, 20, seed=9)
+        )
+        base = solve_mwhvc(hg, Fraction(1, 3))
+        for factor in (2, 7, 1000):
+            scaled_result = solve_mwhvc(
+                scale_weights(hg, factor), Fraction(1, 3)
+            )
+            assert scaled_result.cover == base.cover
+            assert scaled_result.iterations == base.iterations
+            assert scaled_result.rounds == base.rounds
+            assert scaled_result.weight == factor * base.weight
+            assert scaled_result.dual_total == factor * base.dual_total

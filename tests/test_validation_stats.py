@@ -1,0 +1,84 @@
+"""Tests for validation helpers and instance statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CertificateError, InvalidInstanceError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.stats import instance_stats
+from repro.hypergraph.validation import (
+    check_paper_assumptions,
+    require_cover,
+    require_vertex_subset,
+)
+
+
+class TestValidation:
+    def test_require_vertex_subset_ok(self):
+        hg = Hypergraph(4, [(0, 1)])
+        assert require_vertex_subset(hg, [1, 3]) == {1, 3}
+
+    def test_require_vertex_subset_out_of_range(self):
+        hg = Hypergraph(2, [(0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            require_vertex_subset(hg, [2])
+
+    def test_require_vertex_subset_non_int(self):
+        hg = Hypergraph(2, [(0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            require_vertex_subset(hg, ["0"])
+
+    def test_require_cover_ok(self):
+        hg = Hypergraph(3, [(0, 1), (1, 2)])
+        assert require_cover(hg, [1]) == {1}
+
+    def test_require_cover_names_missing_edge(self):
+        hg = Hypergraph(3, [(0, 1), (1, 2)])
+        with pytest.raises(CertificateError, match="hyperedge 1"):
+            require_cover(hg, [0])
+
+    def test_paper_assumptions_clean_instance(self):
+        hg = Hypergraph(10, [(i, i + 1, i + 2) for i in range(8)])
+        assert check_paper_assumptions(hg) == []
+
+    def test_paper_assumptions_huge_weights(self):
+        hg = Hypergraph(2, [(0, 1)], weights=[10**30, 1])
+        warnings = check_paper_assumptions(hg)
+        assert any("weight" in warning for warning in warnings)
+
+    def test_paper_assumptions_small_degree(self):
+        hg = Hypergraph(4, [(0, 1), (2, 3)])
+        warnings = check_paper_assumptions(hg)
+        assert any("maximum degree" in warning for warning in warnings)
+
+
+class TestStats:
+    def test_basic_stats(self):
+        hg = Hypergraph(
+            5, [(0, 1, 2), (1, 3)], weights=[2, 4, 6, 8, 10]
+        )
+        stats = instance_stats(hg)
+        assert stats.num_vertices == 5
+        assert stats.num_edges == 2
+        assert stats.rank == 3
+        assert stats.min_edge_size == 2
+        assert stats.max_degree == 2
+        assert stats.isolated_vertices == 1
+        assert stats.min_weight == 2
+        assert stats.max_weight == 10
+        assert stats.weight_ratio == 5.0
+        assert stats.total_weight == 30
+
+    def test_empty_instance_stats(self):
+        stats = instance_stats(Hypergraph(0, []))
+        assert stats.num_vertices == 0
+        assert stats.mean_degree == 0.0
+        assert stats.weight_ratio == 0.0
+
+    def test_as_dict_keys(self):
+        stats = instance_stats(Hypergraph(2, [(0, 1)]))
+        data = stats.as_dict()
+        assert data["n"] == 2
+        assert data["f"] == 2
+        assert "W" in data
