@@ -1,20 +1,30 @@
 """E9 — executor and instrumentation overheads (methodology check).
 
-Times the same solve three ways:
+Times the same solve four ways:
 
-* lockstep executor (the sweep workhorse);
+* fastpath executor (scaled-integer arrays — the sweep workhorse);
+* lockstep executor (Fraction object cores);
 * lockstep with invariant checking (Claims 1-2 verified every
   iteration — the cost of running in self-verifying mode);
 * the full CONGEST message-passing engine.
 
-All three produce bit-identical results (asserted); the timing ratios
-justify using lockstep for the scaling experiments.  Also reports the
+All four produce bit-identical results (asserted); the timing ratios
+justify using fastpath for the scaling experiments.  Also reports the
 engine's message statistics for one run, substantiating the CONGEST
 message-width claim on a mid-size instance.
+
+Two hard gates ride along:
+
+* ``test_fastpath_smoke_equality_gate`` — a fast fastpath-vs-lockstep
+  differential check sized for CI;
+* ``test_fastpath_speedup_large_instance`` — the acceptance criterion:
+  on a seeded ``n = 10^4, m = 5*10^4`` instance, fastpath must match
+  lockstep bit-for-bit *and* be at least 5x faster.
 """
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 
 from conftest import publish
@@ -29,10 +39,28 @@ M = 650
 RANK = 3
 EPSILON = Fraction(1, 3)
 
+LARGE_N = 10_000
+LARGE_M = 50_000
+LARGE_SEED = 7
+SPEEDUP_FLOOR = 5.0
 
-def build_instance():
-    weights = uniform_weights(N, 40, seed=5)
-    return uniform_hypergraph(N, M, RANK, seed=4, weights=weights)
+SMOKE_N = 2_000
+SMOKE_M = 10_000
+
+
+def build_instance(n=N, m=M, *, seed=4, weight_seed=5, max_weight=40):
+    weights = uniform_weights(n, max_weight, seed=weight_seed)
+    return uniform_hypergraph(n, m, RANK, seed=seed, weights=weights)
+
+
+def assert_bit_identical(reference, other, *, what):
+    assert other.cover == reference.cover, what
+    assert other.weight == reference.weight, what
+    assert other.iterations == reference.iterations, what
+    assert other.rounds == reference.rounds, what
+    assert other.dual == reference.dual, what
+    assert other.levels == reference.levels, what
+    assert other.stats == reference.stats, what
 
 
 def test_equivalence_and_message_stats(benchmark):
@@ -41,19 +69,21 @@ def test_equivalence_and_message_stats(benchmark):
 
     def run_all():
         lock = solve_mwhvc(hypergraph, config=config)
+        fast = solve_mwhvc(hypergraph, config=config, executor="fastpath")
         checked = solve_mwhvc(
             hypergraph,
             config=AlgorithmConfig(epsilon=EPSILON, check_invariants=True),
         )
         engine = solve_mwhvc(hypergraph, config=config, executor="congest")
-        return lock, checked, engine
+        return lock, fast, checked, engine
 
-    lock, checked, engine = benchmark.pedantic(
+    lock, fast, checked, engine = benchmark.pedantic(
         run_all, rounds=1, iterations=1
     )
-    assert lock.cover == checked.cover == engine.cover
+    assert lock.cover == fast.cover == checked.cover == engine.cover
     assert lock.rounds == engine.rounds
     assert lock.dual == engine.dual
+    assert_bit_identical(lock, fast, what="fastpath vs lockstep")
 
     metrics = engine.metrics
     table = render_table(
@@ -79,6 +109,14 @@ def test_equivalence_and_message_stats(benchmark):
     assert metrics.max_message_bits <= metrics.bandwidth_cap_bits
 
 
+def test_benchmark_fastpath(benchmark):
+    hypergraph = build_instance()
+    config = AlgorithmConfig(epsilon=EPSILON)
+    benchmark(
+        lambda: solve_mwhvc(hypergraph, config=config, executor="fastpath")
+    )
+
+
 def test_benchmark_lockstep(benchmark):
     hypergraph = build_instance()
     config = AlgorithmConfig(epsilon=EPSILON)
@@ -96,4 +134,69 @@ def test_benchmark_congest_engine(benchmark):
     config = AlgorithmConfig(epsilon=EPSILON)
     benchmark(
         lambda: solve_mwhvc(hypergraph, config=config, executor="congest")
+    )
+
+
+def test_fastpath_smoke_equality_gate(benchmark):
+    """CI gate: fastpath == lockstep on a mid-size seeded instance."""
+    hypergraph = build_instance(
+        SMOKE_N, SMOKE_M, seed=11, weight_seed=12
+    )
+    config = AlgorithmConfig(epsilon=EPSILON)
+
+    def run_pair():
+        fast = solve_mwhvc(
+            hypergraph, config=config, executor="fastpath"
+        )
+        lock = solve_mwhvc(hypergraph, config=config)
+        return fast, lock
+
+    fast, lock = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert_bit_identical(lock, fast, what="smoke fastpath vs lockstep")
+
+
+def test_fastpath_speedup_large_instance(benchmark):
+    """Acceptance gate: bit-identical and >= 5x on n=1e4, m=5e4.
+
+    Timed with ``verify=False`` so the (identical, shared) certificate
+    verification cost does not mask the executor difference; equality
+    of every observable is still asserted on the returned results.
+    """
+    hypergraph = build_instance(
+        LARGE_N, LARGE_M, seed=LARGE_SEED, weight_seed=8, max_weight=60
+    )
+    config = AlgorithmConfig(epsilon=EPSILON)
+
+    def run_pair():
+        t0 = time.perf_counter()
+        fast = solve_mwhvc(
+            hypergraph, config=config, executor="fastpath", verify=False
+        )
+        t1 = time.perf_counter()
+        lock = solve_mwhvc(
+            hypergraph, config=config, executor="lockstep", verify=False
+        )
+        t2 = time.perf_counter()
+        return fast, lock, t1 - t0, t2 - t1
+
+    fast, lock, fast_s, lock_s = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert_bit_identical(lock, fast, what="large fastpath vs lockstep")
+    speedup = lock_s / fast_s
+    table = render_table(
+        ["executor", "seconds", "speedup vs lockstep"],
+        [
+            ["fastpath", f"{fast_s:.3f}", f"{speedup:.1f}x"],
+            ["lockstep", f"{lock_s:.3f}", "1.0x"],
+        ],
+        title=(
+            f"E9 — fastpath speedup (n={LARGE_N}, m={LARGE_M}, "
+            f"rank={RANK}, eps={EPSILON}, seed={LARGE_SEED}, "
+            f"iterations={fast.iterations})"
+        ),
+    )
+    publish("executor_fastpath_speedup", table)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fastpath speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
     )

@@ -10,6 +10,7 @@ comparison tables are generated from a single loop.
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import replace
 
 from repro.baselines.base import BaselineRun
 from repro.baselines.dual_doubling import dual_doubling_cover
@@ -23,7 +24,13 @@ from repro.baselines.sequential import local_ratio_cover
 from repro.core.solver import solve_mwhvc, solve_mwhvc_f_approx
 from repro.hypergraph.hypergraph import Hypergraph
 
-__all__ = ["BaselineRunner", "BASELINES", "this_work", "this_work_f_approx"]
+__all__ = [
+    "BaselineRunner",
+    "BASELINES",
+    "this_work",
+    "this_work_fastpath",
+    "this_work_f_approx",
+]
 
 BaselineRunner = Callable[..., BaselineRun]
 
@@ -45,6 +52,20 @@ def this_work(hypergraph: Hypergraph, epsilon=1, **options) -> BaselineRun:
             "stats": result.stats,
         },
     )
+
+
+def this_work_fastpath(
+    hypergraph: Hypergraph, epsilon=1, **options
+) -> BaselineRun:
+    """The paper's algorithm on the vectorized fastpath executor.
+
+    Bit-identical to ``this-work`` (the differential tests enforce it);
+    registered separately so comparison sweeps can quantify executor
+    overhead and run at scales where the object cores are too slow.
+    Delegates to :func:`this_work` so the adapter fields cannot drift.
+    """
+    run = this_work(hypergraph, epsilon, executor="fastpath", **options)
+    return replace(run, algorithm="this-work-fastpath")
 
 
 def this_work_f_approx(hypergraph: Hypergraph, **options) -> BaselineRun:
@@ -69,6 +90,7 @@ def this_work_f_approx(hypergraph: Hypergraph, **options) -> BaselineRun:
 #: Name -> runner.  Distributed algorithms first, sequential references last.
 BASELINES: dict[str, BaselineRunner] = {
     "this-work": this_work,
+    "this-work-fastpath": this_work_fastpath,
     "this-work-f-approx": this_work_f_approx,
     "kvy": kvy_cover,
     "dual-doubling": dual_doubling_cover,

@@ -47,9 +47,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument(
         "--executor",
-        choices=("lockstep", "congest"),
+        choices=("lockstep", "fastpath", "congest"),
         default="lockstep",
-        help="lockstep (fast) or congest (message-passing engine)",
+        help=(
+            "lockstep (object cores), fastpath (vectorized arrays, "
+            "fastest) or congest (message-passing engine); all three "
+            "produce identical covers"
+        ),
     )
     solve.add_argument(
         "--schedule", choices=("spec", "compact"), default="spec"

@@ -1,6 +1,7 @@
 """Core algorithm: the paper's distributed (f+eps)-approximate MWHVC."""
 
 from repro.core.edge_logic import EdgeCore
+from repro.core.fastpath import run_fastpath
 from repro.core.lockstep import run_lockstep
 from repro.core.observer import (
     ConvergenceRecorder,
@@ -20,7 +21,12 @@ from repro.core.regimes import (
     optimality_note,
 )
 from repro.core.result import AlgorithmStats, CoverResult
-from repro.core.runner import assemble_result, build_cores, run_congest
+from repro.core.runner import (
+    assemble_result,
+    build_cores,
+    finalize_result,
+    run_congest,
+)
 from repro.core.solver import (
     f_approx_epsilon,
     solve_mwhvc,
@@ -40,9 +46,11 @@ __all__ = [
     "corollary12_applies",
     "optimality_note",
     "run_lockstep",
+    "run_fastpath",
     "run_congest",
     "build_cores",
     "assemble_result",
+    "finalize_result",
     "AlgorithmConfig",
     "beta_from",
     "level_cap",

@@ -12,16 +12,91 @@ hyperedge and implements the edge steps of an iteration:
 
 Statistics needed by the Lemma 6/7 ablation (raise counts, halving
 counts) are recorded here.
+
+The transition *arithmetic* is exposed as module-level pure functions
+(:func:`argmin_member`, :func:`initial_bid`, :func:`unanimous_raise`)
+so that every executor — the Fraction-exact cores below and the
+scaled-integer fastpath executor (:mod:`repro.core.fastpath`) — applies
+the identical formulas.  :func:`initial_bid_scaled` is the fixed-point
+twin of :func:`initial_bid`; the differential test harness asserts the
+two representations never diverge.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 from fractions import Fraction
 
 from repro.exceptions import AlgorithmError
 
-__all__ = ["EdgeCore"]
+__all__ = [
+    "EdgeCore",
+    "argmin_member",
+    "initial_bid",
+    "initial_bid_scaled",
+    "unanimous_raise",
+]
+
+
+# ----------------------------------------------------------------------
+# Pure transition arithmetic (single source of truth for all executors)
+# ----------------------------------------------------------------------
+
+
+def argmin_member(
+    members: Iterable[int],
+    weights: Mapping[int, int] | Sequence[int],
+    degrees: Mapping[int, int] | Sequence[int],
+) -> tuple[int, int, int]:
+    """The edge's iteration-0 argmin: minimize ``w(v)/|E(v)|``, ties by id.
+
+    Returns ``(v*, w(v*), |E(v*)|)``.  Comparison uses integer cross
+    products, which is exactly the ``(Fraction(w, d), v)`` ordering the
+    paper's tie-break prescribes but works for both the Fraction cores
+    and the integer fastpath executor.
+    """
+    best_vertex = -1
+    best_weight = 0
+    best_degree = 1
+    for vertex in members:
+        weight = weights[vertex]
+        degree = degrees[vertex]
+        if best_vertex < 0:
+            best_vertex, best_weight, best_degree = vertex, weight, degree
+            continue
+        left = weight * best_degree
+        right = best_weight * degree
+        if left < right or (left == right and vertex < best_vertex):
+            best_vertex, best_weight, best_degree = vertex, weight, degree
+    if best_vertex < 0:
+        raise AlgorithmError("argmin_member called with no members")
+    return best_vertex, best_weight, best_degree
+
+
+def initial_bid(min_weight: int, min_degree: int) -> Fraction:
+    """``bid0(e) = w(v*) / (2 |E(v*)|)`` (Section 3.2, iteration 0)."""
+    return Fraction(min_weight, 2 * min_degree)
+
+
+def initial_bid_scaled(min_weight: int, min_degree: int, scale: int) -> int:
+    """:func:`initial_bid` as an integer numerator over ``scale``.
+
+    ``scale`` must be divisible by ``2 * min_degree`` (the fastpath
+    executor builds its global scale as an lcm of those denominators).
+    """
+    denominator = 2 * min_degree
+    quotient, remainder = divmod(min_weight * scale, denominator)
+    if remainder:
+        raise AlgorithmError(
+            f"scale {scale} cannot represent bid0 = "
+            f"{min_weight}/{denominator} exactly"
+        )
+    return quotient
+
+
+def unanimous_raise(flags: Iterable[bool]) -> bool:
+    """Line 3f's condition: the edge raises iff *all* members said raise."""
+    return all(flags)
 
 
 class EdgeCore:
@@ -78,21 +153,15 @@ class EdgeCore:
         """
         if self.bid != 0:
             raise AlgorithmError(f"edge {self.edge_id} initialized twice")
-        best_vertex = min(
-            self.members,
-            key=lambda vertex: (
-                Fraction(weights[vertex], degrees[vertex]),
-                vertex,
-            ),
+        best_vertex, best_weight, best_degree = argmin_member(
+            self.members, weights, degrees
         )
-        best_weight = weights[best_vertex]
-        best_degree = degrees[best_vertex]
         self.alpha = Fraction(alpha)
         if self.alpha < 2:
             raise AlgorithmError(
                 f"edge {self.edge_id}: alpha must be >= 2, got {self.alpha}"
             )
-        self.bid = Fraction(best_weight, 2 * best_degree)
+        self.bid = initial_bid(best_weight, best_degree)
         self.delta = self.bid
         self.argmin_vertex = best_vertex
         return best_vertex, best_weight, best_degree
@@ -123,7 +192,7 @@ class EdgeCore:
                 f"edge {self.edge_id}: expected {len(self.members)} "
                 f"raise/stuck flags, got {len(collected)}"
             )
-        return all(collected)
+        return unanimous_raise(collected)
 
     def apply_raise(self, raised: bool) -> None:
         """Multiply by alpha if raised; always grow the dual by the bid.

@@ -1,0 +1,491 @@
+"""Vectorized fastpath executor for Algorithm MWHVC.
+
+The third executor: the same deterministic protocol as
+:mod:`repro.core.lockstep` and the CONGEST engine, but run on **flat
+integer arrays** instead of per-vertex/per-edge Python objects.  All
+protocol quantities (bids, duals, thresholds) are kept in an exact
+scaled fixed-point representation: every rational value ``x`` is stored
+as the integer numerator of ``x = numerator / scale`` for one global
+``scale``.  The scale starts as the lcm of the iteration-0 bid
+denominators (``2 |E(v*)|`` per edge, reduced) and the alpha
+denominators, and grows *dynamically* whenever a halving or an
+alpha-multiplication would leave the representation (an O(n + m)
+renumbering, triggered at most a bounded number of times per run
+because denominators are bounded by Claim 4 / Lemma 6).  Because every
+operation is exact integer arithmetic, the executor is bit-identical to
+the Fraction-based cores — the differential test harness asserts
+equality of covers, duals, iterations, rounds, levels and statistics on
+randomized instances — while avoiding per-operation gcd normalization,
+which makes it an order of magnitude faster than lockstep and the
+workhorse for large-scale sweeps.
+
+The transition *formulas* are not duplicated here: tightness, level
+increments, raise budgets and the invariant checks come from the pure
+``*_scaled`` functions in :mod:`repro.core.vertex_logic`, the argmin /
+initial-bid arithmetic from :mod:`repro.core.edge_logic`, and the
+halting-round schedule from :mod:`repro.core.lockstep` — the same
+single source of truth the object cores use.
+
+When numpy is importable, the structural per-iteration reductions
+(per-edge halving totals, per-edge raise unanimity) run as vectorized
+``reduceat`` kernels over a CSR layout of the hyperedges; without
+numpy a pure-Python fallback computes the identical small-integer
+sums.  The exact big-integer arithmetic itself is plain Python ``int``
+either way — machine-width dtypes cannot represent the protocol's
+denominators, and silent overflow would break bit-exactness.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd, lcm
+
+try:  # pragma: no cover - exercised implicitly by either branch
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.core.edge_logic import argmin_member, initial_bid_scaled
+from repro.core.lockstep import (
+    INIT_EXCHANGE_ROUNDS,
+    empty_instance_rounds,
+    phase_a_round,
+)
+from repro.core.observer import IterationObserver, IterationSnapshot
+from repro.core.params import AlgorithmConfig, resolve_alpha, theorem9_alpha
+from repro.core.result import AlgorithmStats, CoverResult
+from repro.core.runner import finalize_result
+from repro.core.vertex_logic import (
+    check_claim1_scaled,
+    check_eq1_scaled,
+    count_level_increments_scaled,
+    is_tight_scaled,
+    tight_threshold_scaled,
+    wants_raise_scaled,
+)
+from repro.exceptions import (
+    InvariantViolationError,
+    RoundLimitExceededError,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["run_fastpath", "HAS_NUMPY"]
+
+#: Whether the vectorized structural kernels are active in this process.
+HAS_NUMPY = _np is not None
+
+
+def run_fastpath(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig | None = None,
+    *,
+    verify: bool = True,
+    observer: IterationObserver | None = None,
+) -> CoverResult:
+    """Execute Algorithm MWHVC on flat scaled-integer arrays.
+
+    Drop-in equivalent of :func:`repro.core.lockstep.run_lockstep`:
+    same results (bit-identical covers, duals, iterations, rounds,
+    levels, statistics), same ``observer`` hook, same exceptions — at a
+    fraction of the cost.  Use it for sweeps; use lockstep when you
+    want the object cores' step-by-step introspection; use the CONGEST
+    engine when you need message metrics.
+    """
+    config = config or AlgorithmConfig()
+    n = hypergraph.num_vertices
+    m = hypergraph.num_edges
+    rank = hypergraph.rank
+    z = config.z(rank)
+    beta = config.beta(rank)
+    beta_num, beta_den = beta.numerator, beta.denominator
+    single = config.increment_mode == "single"
+    spec = config.schedule == "spec"
+    checked = config.check_invariants
+
+    if m == 0:
+        return finalize_result(
+            hypergraph,
+            config,
+            cover=frozenset(),
+            dual={},
+            levels=(0,) * n,
+            stats=AlgorithmStats.empty(level_cap=z),
+            alphas=[],
+            iterations=0,
+            rounds=empty_instance_rounds(n),
+            metrics=None,
+            verify=verify,
+        )
+
+    edges = hypergraph.edges
+    weights = hypergraph.weights
+    incidence = [hypergraph.incident_edges(v) for v in range(n)]
+    degrees = [len(edge_ids) for edge_ids in incidence]
+
+    # ------------------------------------------------------------------
+    # Iteration 0: alphas, argmins, the initial global scale and bids.
+    # ------------------------------------------------------------------
+    if config.alpha_policy == "local":
+        alpha_list = [
+            theorem9_alpha(
+                max(degrees[vertex] for vertex in members),
+                rank,
+                config.epsilon,
+                config.gamma,
+            )
+            for members in edges
+        ]
+    else:
+        shared_alpha = resolve_alpha(config, rank, hypergraph.max_degree)
+        alpha_list = [shared_alpha] * m
+    alpha_num = [alpha.numerator for alpha in alpha_list]
+    alpha_den = [alpha.denominator for alpha in alpha_list]
+
+    argmins = [argmin_member(members, weights, degrees) for members in edges]
+
+    # Smallest scale representing every bid0 and alpha*bid0 exactly.
+    scale = 1
+    for edge_id, (_, min_weight, min_degree) in enumerate(argmins):
+        bid_den = 2 * min_degree
+        scale = lcm(scale, bid_den // gcd(min_weight, bid_den))
+        raised_den = bid_den * alpha_den[edge_id]
+        raised_top = min_weight * alpha_num[edge_id]
+        scale = lcm(scale, raised_den // gcd(raised_top, raised_den))
+
+    bid = [
+        initial_bid_scaled(min_weight, min_degree, scale)
+        for (_, min_weight, min_degree) in argmins
+    ]
+    raised = [
+        bid[edge_id] * alpha_num[edge_id] // alpha_den[edge_id]
+        for edge_id in range(m)
+    ]
+    delta = list(bid)
+    total_delta = [0] * n
+    for edge_id, members in enumerate(edges):
+        bid0 = bid[edge_id]
+        for vertex in members:
+            total_delta[vertex] += bid0
+
+    level = [0] * n
+    in_cover = bytearray(n)
+    dead = bytearray(n)
+    uncovered_count = list(degrees)
+    covered = bytearray(m)
+    k_inc = [0] * n
+    flags = bytearray(n)
+    raise_count = [0] * m
+    halving_count = [0] * m
+    stuck_counts: dict[tuple[int, int], int] = {}
+    total_stuck = 0
+
+    for vertex in range(n):
+        if not degrees[vertex]:
+            dead[vertex] = 1
+    live_vertices = [vertex for vertex in range(n) if degrees[vertex]]
+    live_edges = list(range(m))
+
+    # Caches refreshed on every rescale: w(v) * scale and the step-3a
+    # right-hand side (see tight_threshold_scaled).
+    weight_scaled = [weights[vertex] * scale for vertex in range(n)]
+    tight_rhs = [
+        tight_threshold_scaled(weights[vertex], beta_num, beta_den, scale)
+        for vertex in range(n)
+    ]
+
+    def rescale(factor: int) -> None:
+        """Renumber every stored value into ``scale * factor``."""
+        nonlocal scale
+        scale *= factor
+        for array in (
+            bid, raised, delta, total_delta, weight_scaled, tight_rhs
+        ):
+            array[:] = [value * factor for value in array]
+
+    def alpha_times(value: int, numerator: int, denominator: int) -> int:
+        """Exact ``value * alpha`` in the current scale (rescales if needed)."""
+        top = value * numerator
+        quotient, remainder = divmod(top, denominator)
+        if not remainder:
+            return quotient
+        factor = denominator // gcd(top, denominator)
+        rescale(factor)
+        return value * factor * numerator // denominator
+
+    def halve(edge_id: int, count: int) -> None:
+        """Exact division of the edge's bid pair by ``2**count``."""
+        joint = bid[edge_id] | raised[edge_id]
+        if joint & ((1 << count) - 1):
+            trailing = (joint & -joint).bit_length() - 1
+            rescale(1 << (count - trailing))
+        bid[edge_id] >>= count
+        raised[edge_id] >>= count
+
+    def uncovered_raised_sum(vertex: int) -> int:
+        """``sum alpha(e) * bid(e)`` over the vertex's uncovered edges."""
+        weighted = 0
+        for edge_id in incidence[vertex]:
+            if not covered[edge_id]:
+                weighted += raised[edge_id]
+        return weighted
+
+    def record_raise_flag(vertex: int, *, extra_shift: int = 0) -> None:
+        """Step 3e for one vertex: set the flag, record stuck stats."""
+        nonlocal total_stuck
+        raise_flag = wants_raise_scaled(
+            uncovered_raised_sum(vertex),
+            weight_scaled[vertex],
+            level[vertex],
+            extra_shift=extra_shift,
+        )
+        flags[vertex] = 1 if raise_flag else 0
+        if not raise_flag:
+            total_stuck += 1
+            key = (vertex, level[vertex])
+            stuck_counts[key] = stuck_counts.get(key, 0) + 1
+
+    def edge_halvings(edge_id: int, totals) -> None:
+        """Step 3d (edge half): apply the members' total halving count."""
+        count = (
+            int(totals[edge_id])
+            if totals is not None
+            else sum(k_inc[vertex] for vertex in edges[edge_id])
+        )
+        if count:
+            halving_count[edge_id] += count
+            halve(edge_id, count)
+
+    def edge_raise_and_grow(edge_id: int, unanimous) -> int:
+        """Step 3f for one edge: raise decision, then dual growth.
+
+        Returns 1 if the edge raised (for the observer's counter).
+        Shared verbatim by both schedules — only the flag *timing*
+        differs between them, and that is decided by the callers.
+        """
+        members = edges[edge_id]
+        if unanimous is not None:
+            raise_edge = bool(unanimous[edge_id])
+        else:
+            raise_edge = all(flags[vertex] for vertex in members)
+        if raise_edge:
+            raise_count[edge_id] += 1
+            bid[edge_id] = raised[edge_id]
+            raised[edge_id] = alpha_times(
+                bid[edge_id], alpha_num[edge_id], alpha_den[edge_id]
+            )
+        increment = bid[edge_id]
+        if single:
+            if increment & 1:
+                rescale(2)
+                increment = bid[edge_id]
+            increment >>= 1
+        delta[edge_id] += increment
+        for vertex in members:
+            total_delta[vertex] += increment
+        return 1 if raise_edge else 0
+
+    def apply_coverage(newly: list[int]) -> list[int]:
+        """Non-joining members learn coverage; returns childless vertices."""
+        terminated: list[int] = []
+        for edge_id in newly:
+            for vertex in edges[edge_id]:
+                if in_cover[vertex]:
+                    continue
+                remaining = uncovered_count[vertex] - 1
+                uncovered_count[vertex] = remaining
+                if not remaining and not dead[vertex]:
+                    dead[vertex] = 1
+                    terminated.append(vertex)
+        return terminated
+
+    # CSR layout for the vectorized structural kernels.
+    if HAS_NUMPY:
+        lengths = [len(members) for members in edges]
+        flat_members = _np.fromiter(
+            (vertex for members in edges for vertex in members),
+            dtype=_np.int64,
+            count=sum(lengths),
+        )
+        segment_starts = _np.zeros(m, dtype=_np.int64)
+        _np.cumsum(lengths[:-1], out=segment_starts[1:])
+        flags_view = _np.frombuffer(flags, dtype=_np.uint8)
+
+    def halving_totals():
+        """Per-edge sum of member level increments (``None`` = use Python)."""
+        if HAS_NUMPY:
+            k_view = _np.fromiter(k_inc, dtype=_np.int64, count=n)
+            return _np.add.reduceat(k_view[flat_members], segment_starts)
+        return None
+
+    def raise_unanimity():
+        """Per-edge AND of member raise flags (``None`` = use Python)."""
+        if HAS_NUMPY:
+            return _np.bitwise_and.reduceat(
+                flags_view[flat_members], segment_starts
+            )
+        return None
+
+    iteration = 0
+    max_halt_round = INIT_EXCHANGE_ROUNDS
+    cover_size = 0
+    cover_weight = 0
+
+    while live_edges:
+        iteration += 1
+        if iteration > config.max_iterations:
+            raise RoundLimitExceededError(
+                f"no termination after {config.max_iterations} iterations; "
+                f"{len(live_edges)} edges uncovered"
+            )
+        round_a = phase_a_round(iteration, spec=spec)
+
+        # Phase A: tightness test, then level increments (compact mode
+        # also fixes the raise/stuck flag here, on own-halved bids).
+        joiners: list[int] = []
+        for vertex in live_vertices:
+            running = total_delta[vertex]
+            if is_tight_scaled(running, beta_den, tight_rhs[vertex]):
+                in_cover[vertex] = 1
+                joiners.append(vertex)
+                continue
+            increments = count_level_increments_scaled(
+                running, weight_scaled[vertex], level[vertex], z,
+                vertex=vertex,
+            )
+            if increments:
+                level[vertex] += increments
+            if checked:
+                if single and increments > 1:
+                    raise InvariantViolationError(
+                        f"vertex {vertex} leveled up {increments} times in "
+                        "one iteration in single-increment mode "
+                        "(Corollary 21 violated)"
+                    )
+                check_eq1_scaled(
+                    running, weight_scaled[vertex], level[vertex],
+                    vertex=vertex,
+                )
+            k_inc[vertex] = increments
+            if not spec:
+                record_raise_flag(vertex, extra_shift=increments)
+
+        newly_covered: list[int] = []
+        for vertex in joiners:
+            for edge_id in incidence[vertex]:
+                if not covered[edge_id]:
+                    covered[edge_id] = 1
+                    newly_covered.append(edge_id)
+        if newly_covered:
+            max_halt_round = max(max_halt_round, round_a + 1)
+            live_edges = [
+                edge_id for edge_id in live_edges if not covered[edge_id]
+            ]
+        if joiners:
+            max_halt_round = max(max_halt_round, round_a)
+
+        raised_this_iteration = 0
+        if spec:
+            # Phase B/C: vertices learn coverage *before* flags.
+            terminated = apply_coverage(newly_covered)
+            if terminated:
+                max_halt_round = max(max_halt_round, round_a + 2)
+            if joiners or terminated:
+                live_vertices = [
+                    vertex for vertex in live_vertices
+                    if not in_cover[vertex] and not dead[vertex]
+                ]
+            # Halvings for surviving edges, then flags on exact bids.
+            totals = halving_totals()
+            for edge_id in live_edges:
+                edge_halvings(edge_id, totals)
+            for vertex in live_vertices:
+                record_raise_flag(vertex)
+            # Phase D: raise decisions and dual growth.
+            unanimous = raise_unanimity()
+            for edge_id in live_edges:
+                raised_this_iteration += edge_raise_and_grow(
+                    edge_id, unanimous
+                )
+        else:
+            # Compact: flags were fixed in phase A; edges apply
+            # halvings + raise in one step, vertices catch up, and only
+            # then process coverage (they learn it a round later).
+            totals = halving_totals()
+            unanimous = raise_unanimity()
+            for edge_id in live_edges:
+                edge_halvings(edge_id, totals)
+                raised_this_iteration += edge_raise_and_grow(
+                    edge_id, unanimous
+                )
+            terminated = apply_coverage(newly_covered)
+            if terminated:
+                max_halt_round = max(max_halt_round, round_a + 2)
+            if joiners or terminated:
+                live_vertices = [
+                    vertex for vertex in live_vertices
+                    if not in_cover[vertex] and not dead[vertex]
+                ]
+
+        if checked:
+            for vertex in live_vertices:
+                bid_sum = 0
+                for edge_id in incidence[vertex]:
+                    if not covered[edge_id]:
+                        bid_sum += bid[edge_id]
+                check_claim1_scaled(
+                    bid_sum, weight_scaled[vertex], level[vertex],
+                    vertex=vertex,
+                )
+                if total_delta[vertex] > weight_scaled[vertex]:
+                    raise InvariantViolationError(
+                        f"vertex {vertex}: dual packing violated: "
+                        f"{Fraction(total_delta[vertex], scale)} > "
+                        f"w = {weights[vertex]}"
+                    )
+
+        if observer is not None:
+            cover_size += len(joiners)
+            cover_weight += sum(weights[vertex] for vertex in joiners)
+            observer.on_iteration(
+                IterationSnapshot(
+                    iteration=iteration,
+                    live_edges=len(live_edges),
+                    live_vertices=len(live_vertices),
+                    cover_size=cover_size,
+                    cover_weight=cover_weight,
+                    dual_total=Fraction(sum(delta), scale),
+                    max_level=max(level, default=0),
+                    joins_this_iteration=len(joiners),
+                    edges_covered_this_iteration=len(newly_covered),
+                    raised_edges_this_iteration=raised_this_iteration,
+                )
+            )
+
+    cover = frozenset(
+        vertex for vertex in range(n) if in_cover[vertex]
+    )
+    dual = {
+        edge_id: Fraction(delta[edge_id], scale) for edge_id in range(m)
+    }
+    stats = AlgorithmStats(
+        total_raise_events=sum(raise_count),
+        max_raises_per_edge=max(raise_count, default=0),
+        total_stuck_events=total_stuck,
+        max_stuck_per_vertex_level=max(stuck_counts.values(), default=0),
+        total_halvings=sum(halving_count),
+        max_level=max(level, default=0),
+        level_cap=z,
+    )
+    return finalize_result(
+        hypergraph,
+        config,
+        cover=cover,
+        dual=dual,
+        levels=tuple(level),
+        stats=stats,
+        alphas=list(alpha_list),
+        iterations=iteration,
+        rounds=max_halt_round,
+        metrics=None,
+        verify=verify,
+    )

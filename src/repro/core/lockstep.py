@@ -32,7 +32,42 @@ from repro.core.runner import assemble_result, build_cores
 from repro.exceptions import RoundLimitExceededError
 from repro.hypergraph.hypergraph import Hypergraph
 
-__all__ = ["run_lockstep"]
+__all__ = [
+    "run_lockstep",
+    "INIT_EXCHANGE_ROUNDS",
+    "phase_a_round",
+    "edge_cover_round",
+    "childless_halt_round",
+    "empty_instance_rounds",
+]
+
+#: Rounds 1-2: the iteration-0 weight/degree exchange.
+INIT_EXCHANGE_ROUNDS = 2
+
+
+def phase_a_round(iteration: int, *, spec: bool) -> int:
+    """Round in which iteration ``i``'s phase A (vertex acts) lands.
+
+    ``4i - 1`` on the spec schedule, ``2i + 1`` on the compact one (see
+    the event table in the module docstring).  Shared by the lockstep
+    and fastpath executors so their round accounting cannot diverge.
+    """
+    return 4 * iteration - 1 if spec else 2 * iteration + 1
+
+
+def edge_cover_round(iteration: int, *, spec: bool) -> int:
+    """Round in which an edge covered in iteration ``i`` halts."""
+    return phase_a_round(iteration, spec=spec) + 1
+
+
+def childless_halt_round(iteration: int, *, spec: bool) -> int:
+    """Round in which a vertex made childless in iteration ``i`` halts."""
+    return phase_a_round(iteration, spec=spec) + 2
+
+
+def empty_instance_rounds(num_vertices: int) -> int:
+    """Rounds for an edgeless instance: one wake-up round, or zero."""
+    return 1 if num_vertices > 0 else 0
 
 
 def run_lockstep(
@@ -55,7 +90,7 @@ def run_lockstep(
     rank = hypergraph.rank
 
     if num_edges == 0:
-        rounds = 1 if num_vertices > 0 else 0
+        rounds = empty_instance_rounds(num_vertices)
         return assemble_result(
             hypergraph, config, vertex_cores, edge_cores,
             iterations=0, rounds=rounds, metrics=None, verify=verify,
@@ -89,7 +124,7 @@ def run_lockstep(
     }
     spec = config.schedule == "spec"
     iteration = 0
-    max_halt_round = 2
+    max_halt_round = INIT_EXCHANGE_ROUNDS
     cover_size = 0
     cover_weight = 0
 
@@ -100,7 +135,7 @@ def run_lockstep(
                 f"no termination after {config.max_iterations} iterations; "
                 f"{len(live_edges)} edges uncovered"
             )
-        phase_a_round = 4 * iteration - 1 if spec else 2 * iteration + 1
+        round_a = phase_a_round(iteration, spec=spec)
 
         # Phase A: tightness test, then level increments (compact mode
         # also fixes the raise/stuck flag here, on own-halved bids).
@@ -124,9 +159,9 @@ def run_lockstep(
                     newly_covered.add(edge_id)
         for edge_id in newly_covered:
             edge_cores[edge_id].mark_covered()
-            max_halt_round = max(max_halt_round, phase_a_round + 1)
+            max_halt_round = max(max_halt_round, round_a + 1)
         if joiners:
-            max_halt_round = max(max_halt_round, phase_a_round)
+            max_halt_round = max(max_halt_round, round_a)
             live_vertices.difference_update(joiners)
         live_edges.difference_update(newly_covered)
         joiner_set = set(joiners)
@@ -138,7 +173,7 @@ def run_lockstep(
                 hypergraph, vertex_cores, newly_covered, joiner_set
             )
             if terminated_vertices:
-                max_halt_round = max(max_halt_round, phase_a_round + 2)
+                max_halt_round = max(max_halt_round, round_a + 2)
                 live_vertices.difference_update(terminated_vertices)
             # Halvings for surviving edges, then flags on exact bids.
             for edge_id in live_edges:
@@ -190,7 +225,7 @@ def run_lockstep(
                 hypergraph, vertex_cores, newly_covered, joiner_set
             )
             if terminated_vertices:
-                max_halt_round = max(max_halt_round, phase_a_round + 2)
+                max_halt_round = max(max_halt_round, round_a + 2)
                 live_vertices.difference_update(terminated_vertices)
 
         if config.check_invariants:

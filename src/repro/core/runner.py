@@ -25,7 +25,12 @@ from repro.exceptions import AlgorithmError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.lp.duality import ApproximationCertificate
 
-__all__ = ["build_cores", "run_congest", "assemble_result"]
+__all__ = [
+    "build_cores",
+    "run_congest",
+    "assemble_result",
+    "finalize_result",
+]
 
 
 def build_cores(
@@ -59,6 +64,52 @@ def build_cores(
     return vertex_cores, edge_cores, global_alpha
 
 
+def finalize_result(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig,
+    *,
+    cover: frozenset[int],
+    dual: dict[int, Fraction],
+    levels: tuple[int, ...],
+    stats: AlgorithmStats,
+    alphas: list[Fraction],
+    iterations: int,
+    rounds: int,
+    metrics: RunMetrics | None,
+    verify: bool,
+) -> CoverResult:
+    """Build (and optionally certify) a :class:`CoverResult` from raw values.
+
+    Shared by every executor: the core-based drivers go through
+    :func:`assemble_result`, which extracts these values from the
+    vertex/edge automata; the array-based fastpath executor calls this
+    directly with its integer state converted back to exact Fractions.
+    """
+    weight = sum(hypergraph.weight(vertex) for vertex in cover)
+    dual_total = sum(dual.values(), Fraction(0))
+    certificate = None
+    if verify:
+        certificate = ApproximationCertificate.verify(
+            hypergraph, cover, dual, max(1, hypergraph.rank), config.epsilon
+        )
+    return CoverResult(
+        cover=cover,
+        weight=weight,
+        rank=hypergraph.rank,
+        epsilon=config.epsilon,
+        iterations=iterations,
+        rounds=rounds,
+        dual=dual,
+        dual_total=dual_total,
+        certificate=certificate,
+        levels=levels,
+        stats=stats,
+        metrics=metrics,
+        alpha_min=min(alphas, default=Fraction(2)),
+        alpha_max=max(alphas, default=Fraction(2)),
+    )
+
+
 def assemble_result(
     hypergraph: Hypergraph,
     config: AlgorithmConfig,
@@ -79,9 +130,7 @@ def assemble_result(
     cover = frozenset(
         core.vertex for core in vertex_cores if core.in_cover
     )
-    weight = sum(hypergraph.weight(vertex) for vertex in cover)
     dual = {core.edge_id: core.delta for core in edge_cores}
-    dual_total = sum(dual.values(), Fraction(0))
     levels = tuple(core.level for core in vertex_cores)
     z = config.z(hypergraph.rank)
     stats = AlgorithmStats(
@@ -103,27 +152,18 @@ def assemble_result(
         max_level=max(levels, default=0),
         level_cap=z,
     )
-    alphas = [core.alpha for core in edge_cores]
-    certificate = None
-    if verify:
-        certificate = ApproximationCertificate.verify(
-            hypergraph, cover, dual, max(1, hypergraph.rank), config.epsilon
-        )
-    return CoverResult(
+    return finalize_result(
+        hypergraph,
+        config,
         cover=cover,
-        weight=weight,
-        rank=hypergraph.rank,
-        epsilon=config.epsilon,
-        iterations=iterations,
-        rounds=rounds,
         dual=dual,
-        dual_total=dual_total,
-        certificate=certificate,
         levels=levels,
         stats=stats,
+        alphas=[core.alpha for core in edge_cores],
+        iterations=iterations,
+        rounds=rounds,
         metrics=metrics,
-        alpha_min=min(alphas, default=Fraction(2)),
-        alpha_max=max(alphas, default=Fraction(2)),
+        verify=verify,
     )
 
 

@@ -19,6 +19,7 @@ from fractions import Fraction
 from numbers import Rational
 from typing import Literal
 
+from repro.core.fastpath import run_fastpath
 from repro.core.lockstep import run_lockstep
 from repro.core.params import AlgorithmConfig
 from repro.core.result import CoverResult
@@ -35,7 +36,7 @@ __all__ = [
     "f_approx_epsilon",
 ]
 
-Executor = Literal["lockstep", "congest"]
+Executor = Literal["lockstep", "congest", "fastpath"]
 
 
 def _execute(
@@ -45,27 +46,27 @@ def _execute(
     verify: bool,
     **executor_options,
 ) -> CoverResult:
-    if executor == "lockstep":
+    if executor in ("lockstep", "fastpath"):
         observer = executor_options.pop("observer", None)
         if executor_options:
             raise InvalidInstanceError(
                 f"options {sorted(executor_options)} apply only to "
                 "executor='congest'"
             )
-        return run_lockstep(
-            hypergraph, config, verify=verify, observer=observer
-        )
+        runner = run_fastpath if executor == "fastpath" else run_lockstep
+        return runner(hypergraph, config, verify=verify, observer=observer)
     if executor == "congest":
         if "observer" in executor_options:
             raise InvalidInstanceError(
-                "observer is supported by the lockstep executor only "
-                "(the engine's metrics/tracing cover the congest path)"
+                "observer is supported by the lockstep/fastpath executors "
+                "only (the engine's metrics/tracing cover the congest path)"
             )
         return run_congest(
             hypergraph, config, verify=verify, **executor_options
         )
     raise InvalidInstanceError(
-        f"executor must be 'lockstep' or 'congest', got {executor!r}"
+        "executor must be 'lockstep', 'fastpath' or 'congest', "
+        f"got {executor!r}"
     )
 
 
@@ -91,8 +92,11 @@ def solve_mwhvc(
         Full algorithm configuration; defaults to the paper's headline
         settings (spec schedule, multi increments, Theorem 9 alpha).
     executor:
-        ``"lockstep"`` (fast, identical results) or ``"congest"``
-        (message-passing engine with round/bit metrics).
+        ``"lockstep"`` (object cores, introspectable), ``"fastpath"``
+        (scaled-integer arrays, fastest, identical results) or
+        ``"congest"`` (message-passing engine with round/bit metrics).
+        All three are bit-identical on covers, duals, iterations and
+        rounds — the differential test suite enforces it.
     verify:
         Check the Claim 20 certificate on the result (exact; on by
         default).

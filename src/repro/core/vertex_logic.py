@@ -27,10 +27,170 @@ from collections import Counter
 from collections.abc import Iterable, Mapping
 from fractions import Fraction
 
+from repro.core.edge_logic import initial_bid
 from repro.core.numeric import half_power
 from repro.exceptions import AlgorithmError, InvariantViolationError
 
-__all__ = ["VertexCore"]
+__all__ = [
+    "VertexCore",
+    "tightness_threshold",
+    "level_target",
+    "raise_budget",
+    "count_level_increments",
+    "tight_threshold_scaled",
+    "is_tight_scaled",
+    "count_level_increments_scaled",
+    "wants_raise_scaled",
+    "check_eq1_scaled",
+    "check_claim1_scaled",
+]
+
+
+# ----------------------------------------------------------------------
+# Pure transition arithmetic (single source of truth for all executors)
+#
+# Each formula exists twice: a Fraction form used by the exact cores
+# below, and a scaled-integer form (suffix ``_scaled``) used by the
+# fastpath executor, where every rational ``x`` is stored as the
+# numerator of ``x = numerator / scale`` for one global integer
+# ``scale``.  The ``_scaled`` forms are cross-multiplied rewrites of
+# the Fraction forms — the differential test harness keeps them honest.
+# ----------------------------------------------------------------------
+
+
+def tightness_threshold(weight: Fraction, beta: Fraction) -> Fraction:
+    """Step 3a's threshold ``(1 - beta) w(v)``."""
+    return (1 - beta) * weight
+
+
+def level_target(weight: Fraction, level: int) -> Fraction:
+    """Eq. (1)'s upper envelope ``w (1 - 0.5^(l+1))`` at ``level = l``."""
+    return weight * (1 - half_power(level + 1))
+
+
+def raise_budget(weight: Fraction, level: int) -> Fraction:
+    """Step 3e's budget ``0.5^(l+1) w(v)`` at ``level = l``."""
+    return half_power(level + 1) * weight
+
+
+def count_level_increments(
+    total_delta: Fraction,
+    weight: Fraction,
+    level: int,
+    z: int,
+    *,
+    vertex: int,
+) -> int:
+    """Step 3d: increments needed until ``sum delta <= w (1 - 0.5^(l+1))``.
+
+    Raises :class:`InvariantViolationError` if the level would reach the
+    Claim 4 cap ``z``.
+    """
+    increments = 0
+    while total_delta > level_target(weight, level):
+        level += 1
+        increments += 1
+        if level >= z:
+            raise InvariantViolationError(
+                f"vertex {vertex} reached level {level} >= "
+                f"z = {z} (Claim 4 violated)"
+            )
+    return increments
+
+
+def tight_threshold_scaled(
+    weight: int, beta_num: int, beta_den: int, scale: int
+) -> int:
+    """Scaled right-hand side of step 3a: ``(1 - beta) w`` times
+    ``beta_den * scale`` (pair it with :func:`is_tight_scaled`)."""
+    return weight * (beta_den - beta_num) * scale
+
+
+def is_tight_scaled(
+    total_delta: int, beta_den: int, threshold: int
+) -> bool:
+    """Step 3a on scaled integers: ``total_delta/scale >= (1-beta) w``.
+
+    ``threshold`` is :func:`tight_threshold_scaled` (cacheable — it
+    changes only when the global scale changes).
+    """
+    return total_delta * beta_den >= threshold
+
+
+def count_level_increments_scaled(
+    total_delta: int,
+    weight_scaled: int,
+    level: int,
+    z: int,
+    *,
+    vertex: int,
+) -> int:
+    """Scaled twin of :func:`count_level_increments`.
+
+    ``weight_scaled`` is ``w(v) * scale``; the test
+    ``total_delta/scale > w (1 - 0.5^(l+1))`` cross-multiplies to
+    ``total_delta << (l+1)  >  weight_scaled * (2^(l+1) - 1)``.
+    """
+    increments = 0
+    while True:
+        shift = level + 1
+        if total_delta << shift <= weight_scaled * ((1 << shift) - 1):
+            return increments
+        level += 1
+        increments += 1
+        if level >= z:
+            raise InvariantViolationError(
+                f"vertex {vertex} reached level {level} >= "
+                f"z = {z} (Claim 4 violated)"
+            )
+
+
+def wants_raise_scaled(
+    weighted_bid_sum: int,
+    weight_scaled: int,
+    level: int,
+    *,
+    extra_shift: int = 0,
+) -> bool:
+    """Step 3e on scaled integers.
+
+    Tests ``(weighted_bid_sum / 2^extra_shift) / scale <= 0.5^(l+1) w``,
+    i.e. ``weighted_bid_sum << (l+1)  <=  weight_scaled << extra_shift``.
+    ``extra_shift`` carries the vertex's own same-iteration halvings in
+    the compact schedule (where other members' halvings are not yet
+    visible); the spec schedule always passes 0 because the stored bids
+    are fully halved before the test.
+    """
+    return (
+        weighted_bid_sum << (level + 1) <= weight_scaled << extra_shift
+    )
+
+
+def check_eq1_scaled(
+    total_delta: int, weight_scaled: int, level: int, *, vertex: int
+) -> None:
+    """Claim 2 / Eq. (1) on scaled integers (used in checked mode)."""
+    lower_ok = (
+        weight_scaled * ((1 << level) - 1) <= total_delta << level
+    )
+    shift = level + 1
+    upper_ok = total_delta << shift <= weight_scaled * ((1 << shift) - 1)
+    if not (lower_ok and upper_ok):
+        raise InvariantViolationError(
+            f"vertex {vertex}: Eq. (1) violated at level {level} "
+            "(scaled arithmetic)"
+        )
+
+
+def check_claim1_scaled(
+    bid_sum: int, weight_scaled: int, level: int, *, vertex: int
+) -> None:
+    """Claim 1 on scaled integers: ``sum bid <= 0.5^(l+1) w``."""
+    if bid_sum << (level + 1) > weight_scaled:
+        raise InvariantViolationError(
+            f"vertex {vertex}: Claim 1 violated: scaled bid sum "
+            f"{bid_sum} exceeds the level-{level} budget"
+        )
 
 
 class VertexCore:
@@ -123,7 +283,7 @@ class VertexCore:
             raise AlgorithmError(
                 f"vertex {self.vertex}: duplicate initial bid for edge {edge_id}"
             )
-        bid0 = Fraction(min_weight, 2 * min_degree)
+        bid0 = initial_bid(min_weight, min_degree)
         self.delta[edge_id] = bid0
         self.bid[edge_id] = bid0
         self.alpha[edge_id] = Fraction(alpha)
@@ -135,7 +295,7 @@ class VertexCore:
 
     def is_tight(self) -> bool:
         """Whether ``sum_{e in E(v)} delta(e) >= (1 - beta) w(v)``."""
-        return self.total_delta >= (1 - self.beta) * self.weight
+        return self.total_delta >= tightness_threshold(self.weight, self.beta)
 
     def join_cover(self) -> tuple[int, ...]:
         """Enter the cover; returns the uncovered edges to notify."""
@@ -155,15 +315,11 @@ class VertexCore:
         reports to its edges).  Claim 4 (level < z) is enforced
         unconditionally — it is cheap and a violation means a bug.
         """
-        increments = 0
-        while self.total_delta > self.weight * (1 - half_power(self.level + 1)):
-            self.level += 1
-            increments += 1
-            if self.level >= self.z:
-                raise InvariantViolationError(
-                    f"vertex {self.vertex} reached level {self.level} >= "
-                    f"z = {self.z} (Claim 4 violated)"
-                )
+        increments = count_level_increments(
+            self.total_delta, self.weight, self.level, self.z,
+            vertex=self.vertex,
+        )
+        self.level += increments
         if increments:
             self.total_level_increments += increments
             scale = Fraction(1, 1 << increments)
@@ -185,7 +341,7 @@ class VertexCore:
     def _check_eq1(self) -> None:
         """Claim 2 / Eq. (1): ``w(1 - 0.5^l) <= sum delta <= w(1 - 0.5^(l+1))``."""
         lower = self.weight * (1 - half_power(self.level))
-        upper = self.weight * (1 - half_power(self.level + 1))
+        upper = level_target(self.weight, self.level)
         if not lower <= self.total_delta <= upper:
             raise InvariantViolationError(
                 f"vertex {self.vertex}: Eq. (1) violated at level "
@@ -208,7 +364,7 @@ class VertexCore:
         case (A) needs in general: if every edge then multiplies its bid
         by its own alpha, the new bids still sum below the budget.
         """
-        budget = half_power(self.level + 1) * self.weight
+        budget = raise_budget(self.weight, self.level)
         weighted = sum(
             (self.alpha[edge_id] * self.bid[edge_id] for edge_id in self.uncovered),
             Fraction(0),
@@ -292,7 +448,7 @@ class VertexCore:
         bid_sum = sum(
             (self.bid[edge_id] for edge_id in self.uncovered), Fraction(0)
         )
-        budget = half_power(self.level + 1) * self.weight
+        budget = raise_budget(self.weight, self.level)
         if bid_sum > budget:
             raise InvariantViolationError(
                 f"vertex {self.vertex}: Claim 1 violated: sum of bids "

@@ -11,7 +11,12 @@ from repro.baselines.dual_doubling import dual_doubling_cover
 from repro.baselines.greedy import greedy_set_cover
 from repro.baselines.kvy import kvy_cover
 from repro.baselines.matching import matching_cover
-from repro.baselines.registry import BASELINES, this_work, this_work_f_approx
+from repro.baselines.registry import (
+    BASELINES,
+    this_work,
+    this_work_f_approx,
+    this_work_fastpath,
+)
 from repro.baselines.sequential import local_ratio_cover
 from repro.exceptions import CertificateError, InvalidInstanceError
 from repro.hypergraph.generators import (
@@ -231,6 +236,7 @@ class TestRegistry:
     def test_registry_contains_all(self):
         assert set(BASELINES) == {
             "this-work",
+            "this-work-fastpath",
             "this-work-f-approx",
             "kvy",
             "dual-doubling",
@@ -247,6 +253,16 @@ class TestRegistry:
         assert hg.is_cover(run.cover)
         assert run.extra["dual_total"] > 0
         assert run.certified_ratio() <= hg.rank + Fraction(1, 2)
+
+    def test_this_work_fastpath_adapter_matches_this_work(self):
+        hg = random_instances(1)[0]
+        reference = this_work(hg, Fraction(1, 2))
+        fastpath = this_work_fastpath(hg, Fraction(1, 2))
+        assert fastpath.cover == reference.cover
+        assert fastpath.weight == reference.weight
+        assert fastpath.iterations == reference.iterations
+        assert fastpath.rounds == reference.rounds
+        assert fastpath.extra["dual"] == reference.extra["dual"]
 
     def test_this_work_f_approx_adapter(self):
         hg = random_instances(2)[1]

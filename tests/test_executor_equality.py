@@ -1,9 +1,20 @@
-"""The lockstep executor and the CONGEST engine must agree exactly.
+"""The three executors must agree exactly — the differential harness.
 
-These tests are the backbone of the fast-sweep methodology: every
-benchmark that uses lockstep rounds is valid only because these
-assertions hold across schedules, increment modes, alpha policies and
-instance families.
+Algorithm MWHVC is deterministic, so the lockstep executor, the
+CONGEST engine and the vectorized fastpath executor must produce
+**bit-identical** covers, dual packings, iteration counts and round
+counts on every instance.  These tests are the backbone of the
+fast-sweep methodology: every benchmark that uses lockstep or fastpath
+rounds is valid only because these assertions hold across schedules,
+increment modes, alpha policies and instance families — and the
+fastpath executor's scaled-integer arithmetic is trusted only because
+it is differentially pinned against the Fraction cores here.
+
+The congest engine is the slowest of the three, so the harness runs a
+full three-way comparison on the structured/randomized batteries and a
+two-way fastpath-vs-lockstep comparison (plus hypothesis
+property-based instances) where engine coverage already exists
+elsewhere.
 """
 
 from __future__ import annotations
@@ -11,7 +22,11 @@ from __future__ import annotations
 from fractions import Fraction
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.core.fastpath import run_fastpath
+from repro.core.observer import ConvergenceRecorder
 from repro.core.params import AlgorithmConfig
 from repro.core.solver import solve_mwhvc
 from repro.hypergraph.generators import (
@@ -23,6 +38,7 @@ from repro.hypergraph.generators import (
     sunflower_hypergraph,
     uniform_weights,
 )
+from repro.hypergraph.hypergraph import Hypergraph
 
 CONFIG_MATRIX = [
     pytest.param(schedule, mode, policy, id=f"{schedule}-{mode}-{policy}")
@@ -31,17 +47,35 @@ CONFIG_MATRIX = [
     for policy in ("theorem9", "local")
 ]
 
+EXECUTORS = ("lockstep", "congest", "fastpath")
 
-def assert_equal_runs(hypergraph, config):
-    lock = solve_mwhvc(hypergraph, config=config, executor="lockstep")
-    cong = solve_mwhvc(hypergraph, config=config, executor="congest")
-    assert lock.cover == cong.cover
-    assert lock.weight == cong.weight
-    assert lock.iterations == cong.iterations
-    assert lock.rounds == cong.rounds
-    assert lock.dual == cong.dual
-    assert lock.levels == cong.levels
-    assert lock.stats == cong.stats
+
+def assert_equal_runs(hypergraph, config, *, executors=EXECUTORS):
+    """All executors agree on every observable of the run."""
+    results = {
+        executor: solve_mwhvc(hypergraph, config=config, executor=executor)
+        for executor in executors
+    }
+    reference_name = executors[0]
+    reference = results[reference_name]
+    for executor in executors[1:]:
+        other = results[executor]
+        for attribute in (
+            "cover",
+            "weight",
+            "iterations",
+            "rounds",
+            "dual",
+            "levels",
+            "stats",
+        ):
+            expected = getattr(reference, attribute)
+            actual = getattr(other, attribute)
+            assert actual == expected, (
+                f"{executor} disagrees with {reference_name} on "
+                f"{attribute}: {actual!r} != {expected!r}"
+            )
+    return reference
 
 
 @pytest.mark.parametrize("schedule,mode,policy", CONFIG_MATRIX)
@@ -87,8 +121,6 @@ def test_equality_epsilon_sweep(epsilon):
 
 
 def test_equality_trivial_cases():
-    from repro.hypergraph.hypergraph import Hypergraph
-
     config = AlgorithmConfig()
     for hypergraph in (
         Hypergraph(0, []),
@@ -137,13 +169,138 @@ def test_equality_with_extreme_weights():
     assert_equal_runs(hypergraph, config)
 
 
-def test_lockstep_is_deterministic():
+@pytest.mark.parametrize("executor", ["lockstep", "fastpath"])
+def test_executors_are_deterministic(executor):
     hypergraph = mixed_rank_hypergraph(
         15, 25, 4, seed=8, weights=uniform_weights(15, 30, seed=9)
     )
     config = AlgorithmConfig(epsilon=Fraction(1, 4))
-    first = solve_mwhvc(hypergraph, config=config)
-    second = solve_mwhvc(hypergraph, config=config)
+    first = solve_mwhvc(hypergraph, config=config, executor=executor)
+    second = solve_mwhvc(hypergraph, config=config, executor=executor)
     assert first.cover == second.cover
     assert first.dual == second.dual
     assert first.rounds == second.rounds
+
+
+@pytest.mark.parametrize("schedule", ["spec", "compact"])
+def test_fastpath_observer_matches_lockstep(schedule):
+    """Per-iteration convergence snapshots agree, not just end states."""
+    hypergraph = mixed_rank_hypergraph(
+        20, 35, 4, seed=3, weights=uniform_weights(20, 50, seed=4)
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 3), schedule=schedule)
+    lock_recorder = ConvergenceRecorder()
+    fast_recorder = ConvergenceRecorder()
+    solve_mwhvc(
+        hypergraph, config=config, executor="lockstep",
+        observer=lock_recorder,
+    )
+    solve_mwhvc(
+        hypergraph, config=config, executor="fastpath",
+        observer=fast_recorder,
+    )
+    assert lock_recorder.snapshots == fast_recorder.snapshots
+
+
+def test_fastpath_pure_python_fallback_is_identical(monkeypatch):
+    """The numpy kernels and the pure-Python fallback never diverge."""
+    import repro.core.fastpath as fastpath_module
+
+    hypergraph = mixed_rank_hypergraph(
+        25, 45, 4, seed=21, weights=uniform_weights(25, 35, seed=22)
+    )
+    for schedule in ("spec", "compact"):
+        config = AlgorithmConfig(
+            epsilon=Fraction(1, 3), schedule=schedule,
+            check_invariants=True,
+        )
+        vectorized = run_fastpath(hypergraph, config)
+        monkeypatch.setattr(fastpath_module, "HAS_NUMPY", False)
+        fallback = run_fastpath(hypergraph, config)
+        monkeypatch.undo()
+        assert vectorized.cover == fallback.cover
+        assert vectorized.dual == fallback.dual
+        assert vectorized.rounds == fallback.rounds
+        assert vectorized.stats == fallback.stats
+
+
+# ----------------------------------------------------------------------
+# Property-based differential tests (hypothesis; derandomized so CI is
+# reproducible — the generator is seeded by hypothesis' fixed database
+# seed, not wall-clock entropy).
+# ----------------------------------------------------------------------
+
+DIFFERENTIAL_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_hypergraphs(draw, max_vertices=14, max_edges=16, max_rank=4):
+    """Random weighted hypergraph with at least one edge."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    edges = []
+    for _ in range(m):
+        size = draw(st.integers(min_value=1, max_value=min(max_rank, n)))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        edges.append(tuple(members))
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=10**6),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Hypergraph(n, edges, weights)
+
+
+@DIFFERENTIAL_SETTINGS
+@given(
+    hypergraph=small_hypergraphs(),
+    epsilon=st.sampled_from(
+        [Fraction(1), Fraction(1, 2), Fraction(1, 7), Fraction(3, 5)]
+    ),
+    schedule=st.sampled_from(["spec", "compact"]),
+    mode=st.sampled_from(["multi", "single"]),
+)
+def test_property_three_way_equality(hypergraph, epsilon, schedule, mode):
+    """fastpath == lockstep == congest on arbitrary random instances."""
+    config = AlgorithmConfig(
+        epsilon=epsilon,
+        schedule=schedule,
+        increment_mode=mode,
+        check_invariants=True,
+    )
+    assert_equal_runs(hypergraph, config)
+
+
+@DIFFERENTIAL_SETTINGS
+@given(
+    hypergraph=small_hypergraphs(max_vertices=20, max_edges=30),
+    epsilon=st.sampled_from(
+        [Fraction(1, 3), Fraction(1, 11), Fraction(2, 9)]
+    ),
+    policy=st.sampled_from(["theorem9", "local", "fixed"]),
+)
+def test_property_fastpath_matches_lockstep(hypergraph, epsilon, policy):
+    """Denser property battery on the two fast executors (all policies)."""
+    config = AlgorithmConfig(
+        epsilon=epsilon,
+        alpha_policy=policy,
+        fixed_alpha=Fraction(5, 2),
+        check_invariants=True,
+    )
+    assert_equal_runs(
+        hypergraph, config, executors=("lockstep", "fastpath")
+    )
