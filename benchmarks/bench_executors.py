@@ -13,13 +13,20 @@ justify using fastpath for the scaling experiments.  Also reports the
 engine's message statistics for one run, substantiating the CONGEST
 message-width claim on a mid-size instance.
 
-Two hard gates ride along:
+Three hard gates ride along:
 
 * ``test_fastpath_smoke_equality_gate`` — a fast fastpath-vs-lockstep
   differential check sized for CI;
-* ``test_fastpath_speedup_large_instance`` — the acceptance criterion:
-  on a seeded ``n = 10^4, m = 5*10^4`` instance, fastpath must match
-  lockstep bit-for-bit *and* be at least 5x faster.
+* ``test_fastpath_speedup_trend_profile`` — the CI ``bench-trend``
+  profile: on the seeded smoke instance, fastpath must match lockstep
+  bit-for-bit *and* beat it by the 5x floor; emits the JSON consumed
+  by ``benchmarks/trend.py``;
+* ``test_fastpath_speedup_large_instance`` — the PR 1 acceptance
+  criterion at ``n = 10^4, m = 5*10^4``, same floor.
+
+The speedup gates persist machine-readable JSON (via ``publish_json``)
+next to their text tables so the benchmark-trend pipeline can track
+the ratios across commits.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from __future__ import annotations
 import time
 from fractions import Fraction
 
-from conftest import publish
+from conftest import publish, publish_json
 
 from repro.analysis.tables import render_table
 from repro.core.params import AlgorithmConfig
@@ -155,35 +162,45 @@ def test_fastpath_smoke_equality_gate(benchmark):
     assert_bit_identical(lock, fast, what="smoke fastpath vs lockstep")
 
 
-def test_fastpath_speedup_large_instance(benchmark):
-    """Acceptance gate: bit-identical and >= 5x on n=1e4, m=5e4.
+def _speedup_gate(benchmark, hypergraph, *, name, label, seed):
+    """Timed fastpath-vs-lockstep pair: equality + 5x floor + reports.
 
     Timed with ``verify=False`` so the (identical, shared) certificate
     verification cost does not mask the executor difference; equality
     of every observable is still asserted on the returned results.
+    Publishes both the human-readable table and the JSON blob the
+    ``bench-trend`` CI job aggregates into ``BENCH_2.json``.
     """
-    hypergraph = build_instance(
-        LARGE_N, LARGE_M, seed=LARGE_SEED, weight_seed=8, max_weight=60
-    )
     config = AlgorithmConfig(epsilon=EPSILON)
 
     def run_pair():
-        t0 = time.perf_counter()
-        fast = solve_mwhvc(
-            hypergraph, config=config, executor="fastpath", verify=False
-        )
-        t1 = time.perf_counter()
-        lock = solve_mwhvc(
-            hypergraph, config=config, executor="lockstep", verify=False
-        )
-        t2 = time.perf_counter()
-        return fast, lock, t1 - t0, t2 - t1
+        # Best-of-2 on both sides: a single-shot ratio on a shared CI
+        # runner is too exposed to noisy neighbors for a hard gate.
+        fast_times = []
+        lock_times = []
+        for _ in range(2):
+            t0 = time.perf_counter()
+            fast = solve_mwhvc(
+                hypergraph, config=config, executor="fastpath",
+                verify=False,
+            )
+            t1 = time.perf_counter()
+            lock = solve_mwhvc(
+                hypergraph, config=config, executor="lockstep",
+                verify=False,
+            )
+            t2 = time.perf_counter()
+            fast_times.append(t1 - t0)
+            lock_times.append(t2 - t1)
+        return fast, lock, min(fast_times), min(lock_times)
 
     fast, lock, fast_s, lock_s = benchmark.pedantic(
         run_pair, rounds=1, iterations=1
     )
-    assert_bit_identical(lock, fast, what="large fastpath vs lockstep")
+    assert_bit_identical(lock, fast, what=f"{label} fastpath vs lockstep")
     speedup = lock_s / fast_s
+    n = hypergraph.num_vertices
+    m = hypergraph.num_edges
     table = render_table(
         ["executor", "seconds", "speedup vs lockstep"],
         [
@@ -191,12 +208,57 @@ def test_fastpath_speedup_large_instance(benchmark):
             ["lockstep", f"{lock_s:.3f}", "1.0x"],
         ],
         title=(
-            f"E9 — fastpath speedup (n={LARGE_N}, m={LARGE_M}, "
-            f"rank={RANK}, eps={EPSILON}, seed={LARGE_SEED}, "
-            f"iterations={fast.iterations})"
+            f"E9 — fastpath speedup (n={n}, m={m}, rank={RANK}, "
+            f"eps={EPSILON}, seed={seed}, iterations={fast.iterations})"
         ),
     )
-    publish("executor_fastpath_speedup", table)
+    publish(name, table)
+    publish_json(
+        name,
+        {
+            "gate": "fastpath_vs_lockstep_speedup",
+            "profile": label,
+            "n": n,
+            "m": m,
+            "rank": RANK,
+            "epsilon": str(EPSILON),
+            "seed": seed,
+            "iterations": fast.iterations,
+            "fastpath_seconds": round(fast_s, 6),
+            "lockstep_seconds": round(lock_s, 6),
+            "speedup": round(speedup, 3),
+            "floor": SPEEDUP_FLOOR,
+            "bit_identical": True,
+        },
+    )
     assert speedup >= SPEEDUP_FLOOR, (
         f"fastpath speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+    )
+
+
+def test_fastpath_speedup_trend_profile(benchmark):
+    """CI bench-trend gate: the smoke-size instance must hold the 5x floor."""
+    hypergraph = build_instance(
+        SMOKE_N, SMOKE_M, seed=11, weight_seed=12
+    )
+    _speedup_gate(
+        benchmark,
+        hypergraph,
+        name="executor_fastpath_speedup_trend",
+        label="trend",
+        seed=11,
+    )
+
+
+def test_fastpath_speedup_large_instance(benchmark):
+    """Acceptance gate: bit-identical and >= 5x on n=1e4, m=5e4."""
+    hypergraph = build_instance(
+        LARGE_N, LARGE_M, seed=LARGE_SEED, weight_seed=8, max_weight=60
+    )
+    _speedup_gate(
+        benchmark,
+        hypergraph,
+        name="executor_fastpath_speedup",
+        label="large",
+        seed=LARGE_SEED,
     )

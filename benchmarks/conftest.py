@@ -4,10 +4,15 @@ Every experiment module runs its measurement inside a pytest-benchmark
 ``pedantic`` call (one timed execution), prints its reproduction table,
 persists it under ``benchmarks/results/`` for EXPERIMENTS.md, and
 asserts the experiment's shape criteria.
+
+Gate experiments additionally persist a machine-readable JSON blob via
+:func:`publish_json`; ``benchmarks/trend.py`` collects those blobs into
+the repo-root ``BENCH_2.json`` consumed by the ``bench-trend`` CI job.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -20,3 +25,18 @@ def publish(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def publish_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result under benchmarks/results/.
+
+    ``payload`` must be JSON-serializable; it is stored as
+    ``results/<name>.json`` alongside the human-readable table of the
+    same name and later aggregated into ``BENCH_2.json`` by
+    ``benchmarks/trend.py``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

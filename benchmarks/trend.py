@@ -1,0 +1,97 @@
+"""Assemble the repo-root ``BENCH_2.json`` benchmark-trend snapshot.
+
+The gate benchmarks (``bench_executors.py``, ``bench_batch.py``)
+persist machine-readable blobs under ``benchmarks/results/*.json`` via
+``conftest.publish_json``.  This script collects them into one
+top-level document the ``bench-trend`` CI job uploads as an artifact,
+so speedup ratios can be compared across commits without parsing
+pytest output.
+
+Usage::
+
+    python benchmarks/trend.py [--output BENCH_2.json]
+
+Exits non-zero if a collected gate reports a speedup below its
+recorded floor (belt-and-braces: the pytest assertions are the primary
+gate), or if no gate results are present at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+SCHEMA = "repro-covering/bench-trend/v1"
+
+
+def collect() -> dict:
+    entries = {}
+    for path in sorted(RESULTS_DIR.glob("*.json")):
+        entries[path.stem] = json.loads(path.read_text(encoding="utf-8"))
+    return entries
+
+
+def build_document(entries: dict) -> dict:
+    return {
+        "schema": SCHEMA,
+        "commit": os.environ.get("GITHUB_SHA", "unknown"),
+        "ref": os.environ.get("GITHUB_REF", "unknown"),
+        "run_id": os.environ.get("GITHUB_RUN_ID", "local"),
+        "entries": entries,
+    }
+
+
+def failing_gates(entries: dict) -> list[str]:
+    failures = []
+    for name, entry in entries.items():
+        speedup = entry.get("speedup")
+        floor = entry.get("floor")
+        if speedup is None or floor is None:
+            continue
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup}x below the {floor}x floor"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_2.json"),
+        help="where to write the snapshot (default: repo root)",
+    )
+    arguments = parser.parse_args(argv)
+    entries = collect()
+    if not entries:
+        print(
+            "error: no benchmark JSON found under benchmarks/results/ — "
+            "run the gate benchmarks first",
+            file=sys.stderr,
+        )
+        return 1
+    document = build_document(entries)
+    output = Path(arguments.output)
+    output.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {output} with {len(entries)} entries:")
+    for name, entry in sorted(entries.items()):
+        speedup = entry.get("speedup", "n/a")
+        floor = entry.get("floor", "n/a")
+        print(f"  {name}: speedup {speedup}x (floor {floor}x)")
+    failures = failing_gates(entries)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 2 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from repro.core import (
     AlgorithmConfig,
     CoverResult,
     solve_mwhvc,
+    solve_mwhvc_batch,
     solve_mwhvc_f_approx,
     solve_mwvc,
     solve_set_cover,
@@ -45,6 +46,7 @@ __all__ = [
     "AlgorithmConfig",
     "CoverResult",
     "solve_mwhvc",
+    "solve_mwhvc_batch",
     "solve_mwhvc_f_approx",
     "solve_mwvc",
     "solve_set_cover",

@@ -13,7 +13,10 @@ import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-import numpy as np
+try:  # pragma: no cover - optional measurement dependency
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
 
 __all__ = ["ScalingFit", "fit_scaling", "MODELS", "compare_models"]
 
@@ -55,6 +58,10 @@ def fit_scaling(
 ) -> ScalingFit:
     """Least-squares fit of one model; raises KeyError on unknown names."""
     transform = MODELS[model]
+    if np is None:
+        raise ImportError(
+            "fit_scaling requires numpy (pip install numpy)"
+        )
     gx = np.asarray([transform(x) for x in xs], dtype=float)
     y = np.asarray(ys, dtype=float)
     design = np.column_stack([gx, np.ones_like(gx)])

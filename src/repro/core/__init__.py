@@ -1,5 +1,6 @@
 """Core algorithm: the paper's distributed (f+eps)-approximate MWHVC."""
 
+from repro.core.batch import run_fastpath_batch
 from repro.core.edge_logic import EdgeCore
 from repro.core.fastpath import run_fastpath
 from repro.core.lockstep import run_lockstep
@@ -26,10 +27,12 @@ from repro.core.runner import (
     build_cores,
     finalize_result,
     run_congest,
+    run_many,
 )
 from repro.core.solver import (
     f_approx_epsilon,
     solve_mwhvc,
+    solve_mwhvc_batch,
     solve_mwhvc_f_approx,
     solve_mwvc,
     solve_set_cover,
@@ -47,7 +50,9 @@ __all__ = [
     "optimality_note",
     "run_lockstep",
     "run_fastpath",
+    "run_fastpath_batch",
     "run_congest",
+    "run_many",
     "build_cores",
     "assemble_result",
     "finalize_result",
@@ -60,6 +65,7 @@ __all__ = [
     "CoverResult",
     "f_approx_epsilon",
     "solve_mwhvc",
+    "solve_mwhvc_batch",
     "solve_mwhvc_f_approx",
     "solve_mwvc",
     "solve_set_cover",

@@ -37,13 +37,9 @@ denominators, and silent overflow would break bit-exactness.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
 from math import gcd, lcm
-
-try:  # pragma: no cover - exercised implicitly by either branch
-    import numpy as _np
-except ImportError:  # pragma: no cover
-    _np = None
 
 from repro.core.edge_logic import argmin_member, initial_bid_scaled
 from repro.core.lockstep import (
@@ -51,6 +47,7 @@ from repro.core.lockstep import (
     empty_instance_rounds,
     phase_a_round,
 )
+from repro.core.numeric import scaled_fraction
 from repro.core.observer import IterationObserver, IterationSnapshot
 from repro.core.params import AlgorithmConfig, resolve_alpha, theorem9_alpha
 from repro.core.result import AlgorithmStats, CoverResult
@@ -67,64 +64,56 @@ from repro.exceptions import (
     InvariantViolationError,
     RoundLimitExceededError,
 )
+from repro.hypergraph.csr import edge_membership_csr
 from repro.hypergraph.hypergraph import Hypergraph
 
-__all__ = ["run_fastpath", "HAS_NUMPY"]
+try:  # pragma: no cover - exercised implicitly by either branch
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = ["run_fastpath", "prepare_scaled_state", "ScaledState", "HAS_NUMPY"]
 
 #: Whether the vectorized structural kernels are active in this process.
 HAS_NUMPY = _np is not None
 
 
-def run_fastpath(
-    hypergraph: Hypergraph,
-    config: AlgorithmConfig | None = None,
-    *,
-    verify: bool = True,
-    observer: IterationObserver | None = None,
-) -> CoverResult:
-    """Execute Algorithm MWHVC on flat scaled-integer arrays.
+@dataclass(slots=True)
+class ScaledState:
+    """Iteration-0 output of the scaled fixed-point representation.
 
-    Drop-in equivalent of :func:`repro.core.lockstep.run_lockstep`:
-    same results (bit-identical covers, duals, iterations, rounds,
-    levels, statistics), same ``observer`` hook, same exceptions — at a
-    fraction of the cost.  Use it for sweeps; use lockstep when you
-    want the object cores' step-by-step introspection; use the CONGEST
-    engine when you need message metrics.
+    Everything a fastpath-style executor needs to start iterating: the
+    per-edge alphas, the argmin pairs, the smallest global ``scale``
+    representing every initial bid (and its alpha-multiple) exactly,
+    and the initial bid/raised/delta arrays as integer numerators over
+    that scale.  Shared by :func:`run_fastpath` (one instance) and
+    :func:`repro.core.batch.run_fastpath_batch` (arena slices) so the
+    two executors cannot diverge at initialization.
     """
-    config = config or AlgorithmConfig()
+
+    alpha_list: list[Fraction]
+    alpha_num: list[int]
+    alpha_den: list[int]
+    argmins: list[tuple[int, int, int]]
+    scale: int
+    bid: list[int]
+    raised: list[int]
+    delta: list[int]
+    total_delta: list[int]
+    degrees: list[int]
+
+
+def prepare_scaled_state(
+    hypergraph: Hypergraph, config: AlgorithmConfig
+) -> ScaledState:
+    """Run iteration 0 exactly: alphas, argmins, global scale, bids."""
     n = hypergraph.num_vertices
     m = hypergraph.num_edges
     rank = hypergraph.rank
-    z = config.z(rank)
-    beta = config.beta(rank)
-    beta_num, beta_den = beta.numerator, beta.denominator
-    single = config.increment_mode == "single"
-    spec = config.schedule == "spec"
-    checked = config.check_invariants
-
-    if m == 0:
-        return finalize_result(
-            hypergraph,
-            config,
-            cover=frozenset(),
-            dual={},
-            levels=(0,) * n,
-            stats=AlgorithmStats.empty(level_cap=z),
-            alphas=[],
-            iterations=0,
-            rounds=empty_instance_rounds(n),
-            metrics=None,
-            verify=verify,
-        )
-
     edges = hypergraph.edges
     weights = hypergraph.weights
-    incidence = [hypergraph.incident_edges(v) for v in range(n)]
-    degrees = [len(edge_ids) for edge_ids in incidence]
+    degrees = [hypergraph.degree(vertex) for vertex in range(n)]
 
-    # ------------------------------------------------------------------
-    # Iteration 0: alphas, argmins, the initial global scale and bids.
-    # ------------------------------------------------------------------
     if config.alpha_policy == "local":
         alpha_list = [
             theorem9_alpha(
@@ -160,12 +149,92 @@ def run_fastpath(
         bid[edge_id] * alpha_num[edge_id] // alpha_den[edge_id]
         for edge_id in range(m)
     ]
-    delta = list(bid)
     total_delta = [0] * n
     for edge_id, members in enumerate(edges):
         bid0 = bid[edge_id]
         for vertex in members:
             total_delta[vertex] += bid0
+    return ScaledState(
+        alpha_list=alpha_list,
+        alpha_num=alpha_num,
+        alpha_den=alpha_den,
+        argmins=argmins,
+        scale=scale,
+        bid=bid,
+        raised=raised,
+        delta=list(bid),
+        total_delta=total_delta,
+        degrees=degrees,
+    )
+
+
+def run_fastpath(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig | None = None,
+    *,
+    verify: bool = True,
+    observer: IterationObserver | None = None,
+    state: ScaledState | None = None,
+) -> CoverResult:
+    """Execute Algorithm MWHVC on flat scaled-integer arrays.
+
+    Drop-in equivalent of :func:`repro.core.lockstep.run_lockstep`:
+    same results (bit-identical covers, duals, iterations, rounds,
+    levels, statistics), same ``observer`` hook, same exceptions — at a
+    fraction of the cost.  Use it for sweeps; use lockstep when you
+    want the object cores' step-by-step introspection; use the CONGEST
+    engine when you need message metrics.
+
+    ``state`` may pass a precomputed
+    :func:`prepare_scaled_state` result for this exact
+    ``(hypergraph, config)`` pair — the batch executor uses this to
+    avoid repeating iteration 0 for instances it spills to this scalar
+    lane.  The state is consumed (mutated) by the run.
+    """
+    config = config or AlgorithmConfig()
+    n = hypergraph.num_vertices
+    m = hypergraph.num_edges
+    rank = hypergraph.rank
+    z = config.z(rank)
+    beta = config.beta(rank)
+    beta_num, beta_den = beta.numerator, beta.denominator
+    single = config.increment_mode == "single"
+    spec = config.schedule == "spec"
+    checked = config.check_invariants
+
+    if m == 0:
+        return finalize_result(
+            hypergraph,
+            config,
+            cover=frozenset(),
+            dual={},
+            levels=(0,) * n,
+            stats=AlgorithmStats.empty(level_cap=z),
+            alphas=[],
+            iterations=0,
+            rounds=empty_instance_rounds(n),
+            metrics=None,
+            verify=verify,
+        )
+
+    edges = hypergraph.edges
+    weights = hypergraph.weights
+    incidence = [hypergraph.incident_edges(v) for v in range(n)]
+
+    # ------------------------------------------------------------------
+    # Iteration 0: alphas, argmins, the initial global scale and bids.
+    # ------------------------------------------------------------------
+    if state is None:
+        state = prepare_scaled_state(hypergraph, config)
+    degrees = state.degrees
+    alpha_list = state.alpha_list
+    alpha_num = state.alpha_num
+    alpha_den = state.alpha_den
+    scale = state.scale
+    bid = state.bid
+    raised = state.raised
+    delta = state.delta
+    total_delta = state.total_delta
 
     level = [0] * n
     in_cover = bytearray(n)
@@ -300,14 +369,9 @@ def run_fastpath(
 
     # CSR layout for the vectorized structural kernels.
     if HAS_NUMPY:
-        lengths = [len(members) for members in edges]
-        flat_members = _np.fromiter(
-            (vertex for members in edges for vertex in members),
-            dtype=_np.int64,
-            count=sum(lengths),
-        )
-        segment_starts = _np.zeros(m, dtype=_np.int64)
-        _np.cumsum(lengths[:-1], out=segment_starts[1:])
+        membership = edge_membership_csr(edges)
+        flat_members = _np.array(membership.cells, dtype=_np.int64)
+        segment_starts = _np.array(membership.starts, dtype=_np.int64)
         flags_view = _np.frombuffer(flags, dtype=_np.uint8)
 
     def halving_totals():
@@ -464,8 +528,10 @@ def run_fastpath(
     cover = frozenset(
         vertex for vertex in range(n) if in_cover[vertex]
     )
+    dual_total = scaled_fraction(sum(delta), scale)
     dual = {
-        edge_id: Fraction(delta[edge_id], scale) for edge_id in range(m)
+        edge_id: scaled_fraction(delta[edge_id], scale)
+        for edge_id in range(m)
     }
     stats = AlgorithmStats(
         total_raise_events=sum(raise_count),
@@ -488,4 +554,5 @@ def run_fastpath(
         rounds=max_halt_round,
         metrics=None,
         verify=verify,
+        dual_total=dual_total,
     )

@@ -11,11 +11,36 @@ and every invariant in Section 4 is checked with zero rounding error.
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd
 from numbers import Rational
 
 from repro.exceptions import InvalidInstanceError
 
-__all__ = ["parse_epsilon", "parse_rational", "ceil_log2_fraction", "half_power"]
+__all__ = [
+    "parse_epsilon",
+    "parse_rational",
+    "ceil_log2_fraction",
+    "half_power",
+    "scaled_fraction",
+]
+
+
+def scaled_fraction(numerator: int, scale: int) -> Fraction:
+    """``Fraction(numerator, scale)`` for a known-positive ``scale``.
+
+    The scaled-integer executors convert whole dual packings back to
+    Fractions at finalization — one construction per hyperedge — and
+    the generic :class:`Fraction` constructor spends most of that time
+    re-validating its operands.  This helper performs exactly the same
+    normalization (divide by the gcd; ``scale > 0`` so no sign fixup)
+    through the slot layout ``fractions`` itself uses internally,
+    producing canonically equal values at a fraction of the cost.
+    """
+    divisor = gcd(numerator, scale)
+    value = Fraction.__new__(Fraction)
+    value._numerator = numerator // divisor
+    value._denominator = scale // divisor
+    return value
 
 
 def parse_rational(value: Rational | int | float | str, what: str) -> Fraction:

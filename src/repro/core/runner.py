@@ -28,9 +28,31 @@ from repro.lp.duality import ApproximationCertificate
 __all__ = [
     "build_cores",
     "run_congest",
+    "run_many",
     "assemble_result",
     "finalize_result",
 ]
+
+
+def run_many(
+    hypergraphs,
+    config: AlgorithmConfig,
+    runner,
+    *,
+    verify: bool = True,
+) -> list[CoverResult]:
+    """Run one executor over many instances, one at a time.
+
+    ``runner`` is any single-instance executor with the
+    ``(hypergraph, config, *, verify)`` signature (``run_fastpath``,
+    ``run_lockstep``).  This is the sequential reference the batched
+    arena executor (:mod:`repro.core.batch`) is differentially tested
+    against, and its fallback lane when numpy is unavailable.
+    """
+    return [
+        runner(hypergraph, config, verify=verify)
+        for hypergraph in hypergraphs
+    ]
 
 
 def build_cores(
@@ -77,21 +99,36 @@ def finalize_result(
     rounds: int,
     metrics: RunMetrics | None,
     verify: bool,
+    dual_total: Fraction | None = None,
 ) -> CoverResult:
     """Build (and optionally certify) a :class:`CoverResult` from raw values.
 
     Shared by every executor: the core-based drivers go through
     :func:`assemble_result`, which extracts these values from the
-    vertex/edge automata; the array-based fastpath executor calls this
-    directly with its integer state converted back to exact Fractions.
+    vertex/edge automata; the array-based fastpath and batch executors
+    call this directly with their integer state converted back to exact
+    Fractions.  ``dual_total`` lets scaled-integer executors pass the
+    packing total they already hold as one numerator-over-scale pair
+    instead of re-summing ``m`` reduced Fractions.
     """
     weight = sum(hypergraph.weight(vertex) for vertex in cover)
-    dual_total = sum(dual.values(), Fraction(0))
+    if dual_total is None:
+        dual_total = sum(dual.values(), Fraction(0))
     certificate = None
     if verify:
         certificate = ApproximationCertificate.verify(
             hypergraph, cover, dual, max(1, hypergraph.rank), config.epsilon
         )
+    # Alphas are identical across edges except under the local policy;
+    # comparing distinct (numerator, denominator) pairs avoids m
+    # Fraction comparisons in the overwhelmingly common uniform case.
+    distinct = {(alpha.numerator, alpha.denominator) for alpha in alphas}
+    if distinct:
+        span = [Fraction(num, den) for num, den in distinct]
+        alpha_min = min(span)
+        alpha_max = max(span)
+    else:
+        alpha_min = alpha_max = Fraction(2)
     return CoverResult(
         cover=cover,
         weight=weight,
@@ -105,8 +142,8 @@ def finalize_result(
         levels=levels,
         stats=stats,
         metrics=metrics,
-        alpha_min=min(alphas, default=Fraction(2)),
-        alpha_max=max(alphas, default=Fraction(2)),
+        alpha_min=alpha_min,
+        alpha_max=alpha_max,
     )
 
 

@@ -8,6 +8,9 @@
 * :func:`solve_mwvc` — the graph case (``f = 2``), Table 1's setting.
 * :func:`solve_set_cover` — weighted Set Cover via the Section 2
   equivalence (set ids are vertex ids, element ids are hyperedge ids).
+* :func:`solve_mwhvc_batch` — K independent instances advanced together
+  over one shared CSR arena, bit-identical to K sequential
+  ``executor="fastpath"`` runs.
 
 All functions return a :class:`~repro.core.result.CoverResult` whose
 certificate (when ``verify=True``, the default) is checked exactly.
@@ -15,21 +18,24 @@ certificate (when ``verify=True``, the default) is checked exactly.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from fractions import Fraction
 from numbers import Rational
 from typing import Literal
 
+from repro.core.batch import run_fastpath_batch
 from repro.core.fastpath import run_fastpath
 from repro.core.lockstep import run_lockstep
 from repro.core.params import AlgorithmConfig
 from repro.core.result import CoverResult
-from repro.core.runner import run_congest
+from repro.core.runner import run_congest, run_many
 from repro.exceptions import InvalidInstanceError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.setcover import SetCoverInstance
 
 __all__ = [
     "solve_mwhvc",
+    "solve_mwhvc_batch",
     "solve_mwhvc_f_approx",
     "solve_mwvc",
     "solve_set_cover",
@@ -107,6 +113,46 @@ def solve_mwhvc(
     if config is None:
         config = AlgorithmConfig(epsilon=Fraction(epsilon))
     return _execute(hypergraph, config, executor, verify, **congest_options)
+
+
+def solve_mwhvc_batch(
+    hypergraphs: Iterable[Hypergraph],
+    epsilon: Rational | int | float | str = 1,
+    *,
+    config: AlgorithmConfig | None = None,
+    verify: bool = True,
+    batched: bool = True,
+) -> list[CoverResult]:
+    """Solve K independent MWHVC instances as one batched execution.
+
+    Instances are packed into a shared CSR arena (see
+    :mod:`repro.core.batch`) and advanced together, one vectorized
+    sweep per iteration, masking instances that have already halted.
+    Results are **bit-identical** to solving each instance with
+    ``solve_mwhvc(..., executor="fastpath")`` — same covers, duals,
+    iterations, rounds, levels and statistics, in input order — so a
+    batch is purely a throughput optimization for request waves of
+    many small-to-medium instances.
+
+    Parameters
+    ----------
+    hypergraphs:
+        The instances, in the order results are returned.
+    epsilon / config / verify:
+        As in :func:`solve_mwhvc`; the single config applies to every
+        instance (rank-derived quantities like ``beta`` and ``z`` are
+        still per-instance).
+    batched:
+        When ``False``, run the instances sequentially through the
+        fastpath executor instead of the arena (a debugging/reference
+        mode; the results are identical either way).  Arena execution
+        also degrades to this path when numpy is unavailable.
+    """
+    if config is None:
+        config = AlgorithmConfig(epsilon=Fraction(epsilon))
+    if not batched:
+        return run_many(hypergraphs, config, run_fastpath, verify=verify)
+    return run_fastpath_batch(hypergraphs, config, verify=verify)
 
 
 def f_approx_epsilon(hypergraph: Hypergraph) -> Fraction:

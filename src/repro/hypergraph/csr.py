@@ -1,0 +1,171 @@
+"""CSR (compressed sparse row) layouts for hypergraphs and batches.
+
+The vectorized executors view a hypergraph as two flat ragged arrays:
+the *membership* layout (one segment per hyperedge listing its member
+vertices) and the *incidence* layout (one segment per vertex listing
+its incident hyperedges).  Both are plain ``(lengths, starts, cells)``
+triples — pure Python tuples, so the helpers work with or without
+numpy; callers that vectorize convert the tuples to ``int64`` arrays
+once and run ``reduceat`` kernels over the segments.
+
+:func:`pack_arena` concatenates the layouts of many independent
+instances into one shared **arena**: vertex and edge ids are offset
+into disjoint global ranges, so a single structural kernel sweep (one
+``reduceat`` per quantity) advances every instance simultaneously while
+per-instance offset tables keep results separable.  This is the packing
+behind :func:`repro.core.batch.run_fastpath_batch`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "CSRLayout",
+    "edge_membership_csr",
+    "vertex_incidence_csr",
+    "BatchArena",
+    "pack_arena",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CSRLayout:
+    """One ragged array: ``cells[starts[i] : starts[i] + lengths[i]]``
+    is segment ``i``.  ``starts`` is the exclusive prefix sum of
+    ``lengths``; ``len(cells) == sum(lengths)``."""
+
+    lengths: tuple[int, ...]
+    starts: tuple[int, ...]
+    cells: tuple[int, ...]
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.lengths)
+
+    def segment(self, index: int) -> tuple[int, ...]:
+        """The cells of segment ``index`` (for tests and debugging)."""
+        start = self.starts[index]
+        return self.cells[start : start + self.lengths[index]]
+
+
+def _starts_of(lengths: Sequence[int]) -> tuple[int, ...]:
+    starts = []
+    position = 0
+    for length in lengths:
+        starts.append(position)
+        position += length
+    return tuple(starts)
+
+
+def _layout(segments: Sequence[Sequence[int]]) -> CSRLayout:
+    lengths = tuple(len(segment) for segment in segments)
+    cells = tuple(cell for segment in segments for cell in segment)
+    return CSRLayout(lengths=lengths, starts=_starts_of(lengths), cells=cells)
+
+
+def edge_membership_csr(
+    edges: Sequence[Sequence[int]],
+) -> CSRLayout:
+    """Edge -> member-vertex layout (one segment per hyperedge)."""
+    return _layout(edges)
+
+
+def vertex_incidence_csr(
+    num_vertices: int, edges: Sequence[Sequence[int]]
+) -> CSRLayout:
+    """Vertex -> incident-edge layout (one segment per vertex)."""
+    incidence: list[list[int]] = [[] for _ in range(num_vertices)]
+    for edge_id, members in enumerate(edges):
+        for vertex in members:
+            incidence[vertex].append(edge_id)
+    return _layout(incidence)
+
+
+@dataclass(frozen=True, slots=True)
+class BatchArena:
+    """K independent instances packed into one shared id space.
+
+    Vertex ``v`` of instance ``k`` has global id
+    ``vertex_offset[k] + v``; edge ``e`` has global id
+    ``edge_offset[k] + e``.  ``membership`` is the concatenated
+    edge-to-member CSR layout over those global ids, so one structural
+    kernel call covers the whole batch (the transposed incidence
+    layout is derived from it — vectorized consumers get it via a
+    stable argsort of the membership cells).  The offset tables
+    (length ``K + 1``, ending in the totals) slice any global array
+    back into per-instance views.
+    """
+
+    num_instances: int
+    vertex_offset: tuple[int, ...]
+    edge_offset: tuple[int, ...]
+    weights: tuple[int, ...]
+    membership: CSRLayout
+    instance_of_vertex: tuple[int, ...]
+    instance_of_edge: tuple[int, ...]
+
+    @property
+    def total_vertices(self) -> int:
+        return self.vertex_offset[-1]
+
+    @property
+    def total_edges(self) -> int:
+        return self.edge_offset[-1]
+
+    def vertex_slice(self, instance: int) -> slice:
+        return slice(
+            self.vertex_offset[instance], self.vertex_offset[instance + 1]
+        )
+
+    def edge_slice(self, instance: int) -> slice:
+        return slice(
+            self.edge_offset[instance], self.edge_offset[instance + 1]
+        )
+
+
+def pack_arena(hypergraphs: Sequence[Hypergraph]) -> BatchArena:
+    """Concatenate instances into one shared CSR arena.
+
+    Preserves per-instance vertex/edge order, so any arena sweep that
+    treats segments independently is positionally identical to running
+    the instances one by one.  Membership cells are offset member
+    vertices in edge-id order; packing is a single O(total cells) pass.
+    """
+    vertex_offset = [0]
+    edge_offset = [0]
+    weights: list[int] = []
+    instance_of_vertex: list[int] = []
+    instance_of_edge: list[int] = []
+    membership_lengths: list[int] = []
+    membership_cells: list[int] = []
+    for index, hypergraph in enumerate(hypergraphs):
+        vertex_base = vertex_offset[-1]
+        edge_base = edge_offset[-1]
+        vertex_offset.append(vertex_base + hypergraph.num_vertices)
+        edge_offset.append(edge_base + hypergraph.num_edges)
+        weights.extend(hypergraph.weights)
+        instance_of_vertex.extend([index] * hypergraph.num_vertices)
+        instance_of_edge.extend([index] * hypergraph.num_edges)
+        for members in hypergraph.edges:
+            membership_lengths.append(len(members))
+            membership_cells.extend(
+                vertex_base + vertex for vertex in members
+            )
+    membership = CSRLayout(
+        lengths=tuple(membership_lengths),
+        starts=_starts_of(membership_lengths),
+        cells=tuple(membership_cells),
+    )
+    return BatchArena(
+        num_instances=len(vertex_offset) - 1,
+        vertex_offset=tuple(vertex_offset),
+        edge_offset=tuple(edge_offset),
+        weights=tuple(weights),
+        membership=membership,
+        instance_of_vertex=tuple(instance_of_vertex),
+        instance_of_edge=tuple(instance_of_edge),
+    )

@@ -11,14 +11,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-from scipy.optimize import linprog
-from scipy.sparse import csr_matrix
-
 from repro.exceptions import InvalidInstanceError, ReproError
 from repro.hypergraph.hypergraph import Hypergraph
 
-__all__ = ["fractional_optimum", "ExactSolution", "exact_optimum"]
+try:  # pragma: no cover - the LP stack is an optional measurement dep
+    import numpy as np
+    from scipy.optimize import linprog
+    from scipy.sparse import csr_matrix
+except ImportError:  # pragma: no cover
+    np = linprog = csr_matrix = None
+
+__all__ = [
+    "fractional_optimum",
+    "ExactSolution",
+    "exact_optimum",
+    "HAS_LP_SOLVER",
+]
+
+#: Whether the scipy-backed fractional LP solver is importable.  The
+#: exact branch-and-bound solver below is pure Python and always works;
+#: only :func:`fractional_optimum` needs the numerical stack.
+HAS_LP_SOLVER = linprog is not None
 
 
 def fractional_optimum(hypergraph: Hypergraph) -> float:
@@ -29,6 +42,11 @@ def fractional_optimum(hypergraph: Hypergraph) -> float:
     ``cover_weight / fractional_optimum`` upper-bounds the integrality
     gap-adjusted ratio the paper's guarantee is stated against.
     """
+    if linprog is None:
+        raise ReproError(
+            "fractional_optimum requires numpy and scipy; install the "
+            "measurement extras (pip install numpy scipy)"
+        )
     if hypergraph.num_edges == 0:
         return 0.0
     rows: list[int] = []

@@ -18,6 +18,7 @@ from repro.analysis.bounds import (
     theorem8_iteration_bound,
     theorem9_round_bound,
 )
+from repro.analysis import fitting
 from repro.analysis.fitting import MODELS, compare_models, fit_scaling
 from repro.analysis.sweep import aggregate_rounds, run_sweep
 from repro.analysis.tables import format_value, render_table
@@ -76,6 +77,7 @@ class TestBounds:
             assert math.isfinite(value), name
 
 
+@pytest.mark.skipif(fitting.np is None, reason="fitting needs numpy")
 class TestFitting:
     def test_recovers_linear_log(self):
         xs = [2**k for k in range(3, 12)]

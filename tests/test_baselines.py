@@ -237,6 +237,7 @@ class TestRegistry:
         assert set(BASELINES) == {
             "this-work",
             "this-work-fastpath",
+            "this-work-batch",
             "this-work-f-approx",
             "kvy",
             "dual-doubling",

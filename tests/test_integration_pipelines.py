@@ -10,6 +10,8 @@ from __future__ import annotations
 import json
 from fractions import Fraction
 
+import pytest
+
 from repro import (
     AlgorithmConfig,
     Hypergraph,
@@ -28,10 +30,13 @@ from repro.hypergraph.generators import (
 from repro.hypergraph.setcover import SetCoverInstance, random_set_cover
 from repro.ilp.program import CoveringILP, exact_ilp_optimum
 from repro.ilp.solver import solve_covering_ilp
-from repro.lp.reference import exact_optimum, fractional_optimum
+from repro.lp.reference import HAS_LP_SOLVER, exact_optimum, fractional_optimum
 
 
 class TestSetCoverJourney:
+    @pytest.mark.skipif(
+        not HAS_LP_SOLVER, reason="fractional LP needs numpy+scipy"
+    )
     def test_build_solve_verify_serialize(self):
         instance = random_set_cover(
             40, 14, seed=11, max_frequency=3, max_weight=20

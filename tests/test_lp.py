@@ -28,7 +28,7 @@ from repro.lp.duality import (
     beta_for,
     beta_tight_vertices,
 )
-from repro.lp.reference import exact_optimum, fractional_optimum
+from repro.lp.reference import HAS_LP_SOLVER, exact_optimum, fractional_optimum
 
 
 @pytest.fixture
@@ -171,6 +171,9 @@ class TestReferenceOptima:
         with pytest.raises(InvalidInstanceError):
             exact_optimum(path_graph(100), max_vertices=40)
 
+    @pytest.mark.skipif(
+        not HAS_LP_SOLVER, reason="fractional LP needs numpy+scipy"
+    )
     def test_fractional_triangle_gap(self):
         # The triangle's fractional optimum is 1.5 < 2 integral.
         value = fractional_optimum(
@@ -178,14 +181,23 @@ class TestReferenceOptima:
         )
         assert value == pytest.approx(1.5, abs=1e-6)
 
+    @pytest.mark.skipif(
+        not HAS_LP_SOLVER, reason="fractional LP needs numpy+scipy"
+    )
     def test_fractional_lower_bounds_integral(self):
         for n in (4, 5, 6, 7):
             hg = cycle_graph(n)
             assert fractional_optimum(hg) <= exact_optimum(hg).weight + 1e-9
 
+    @pytest.mark.skipif(
+        not HAS_LP_SOLVER, reason="fractional LP needs numpy+scipy"
+    )
     def test_fractional_edgeless(self):
         assert fractional_optimum(Hypergraph(3, [])) == 0.0
 
+    @pytest.mark.skipif(
+        not HAS_LP_SOLVER, reason="fractional LP needs numpy+scipy"
+    )
     def test_weak_duality_on_algorithm_dual(self, square):
         from repro.core.solver import solve_mwhvc
 

@@ -19,7 +19,7 @@ from repro.hypergraph.generators import (
     uniform_hypergraph,
     uniform_weights,
 )
-from repro.lp.reference import fractional_optimum
+from repro.lp.reference import HAS_LP_SOLVER, fractional_optimum
 
 
 @pytest.fixture(scope="module")
@@ -41,6 +41,9 @@ class TestScale:
         # Quality is far better than worst case on random instances.
         assert float(result.certified_ratio) <= 2.5
 
+    @pytest.mark.skipif(
+        not HAS_LP_SOLVER, reason="fractional LP needs numpy+scipy"
+    )
     def test_large_solve_vs_lp(self, large_instance):
         result = solve_mwhvc(large_instance, Fraction(1, 4))
         lp_opt = fractional_optimum(large_instance)
