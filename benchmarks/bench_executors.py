@@ -22,7 +22,11 @@ Three hard gates ride along:
   bit-for-bit *and* beat it by the 5x floor; emits the JSON consumed
   by ``benchmarks/trend.py``;
 * ``test_fastpath_speedup_large_instance`` — the PR 1 acceptance
-  criterion at ``n = 10^4, m = 5*10^4``, same floor.
+  criterion at ``n = 10^4, m = 5*10^4``, same floor;
+* ``test_lane_speedup_gate`` — the PR 3 acceptance criterion: on a
+  seeded lane-eligible instance the machine-width kernel lane (the
+  default ``lane="auto"`` fastpath loop) must be bit-identical to and
+  >= 2x faster than the pre-PR big-int loop (``lane="bigint"``).
 
 The speedup gates persist machine-readable JSON (via ``publish_json``)
 next to their text tables so the benchmark-trend pipeline can track
@@ -169,7 +173,7 @@ def _speedup_gate(benchmark, hypergraph, *, name, label, seed):
     verification cost does not mask the executor difference; equality
     of every observable is still asserted on the returned results.
     Publishes both the human-readable table and the JSON blob the
-    ``bench-trend`` CI job aggregates into ``BENCH_2.json``.
+    ``bench-trend`` CI job appends to the ``BENCH_3.json`` series.
     """
     config = AlgorithmConfig(epsilon=EPSILON)
 
@@ -261,4 +265,102 @@ def test_fastpath_speedup_large_instance(benchmark):
         name="executor_fastpath_speedup",
         label="large",
         seed=LARGE_SEED,
+    )
+
+
+# PR 3 lane gate: seeded profile chosen to be comfortably int64
+# lane-eligible (regular degrees keep the lcm-of-denominators scale
+# tiny) with enough iteration depth (eps = 1/200) that the vectorized
+# sweep advantage over the per-vertex Python loop is structural, not
+# noise.
+LANE_N = 4_000
+LANE_RANK = 3
+LANE_DEGREE = 9
+LANE_MAX_WEIGHT = 10_000
+LANE_EPSILON = Fraction(1, 200)
+LANE_SEED = 5
+LANE_SPEEDUP_FLOOR = 2.0
+
+
+def test_lane_speedup_gate(benchmark):
+    """Acceptance: the machine-width fastpath loop >= 2x the big-int loop."""
+    from repro.core.batch import arena_eligibility
+    from repro.hypergraph.generators import regular_hypergraph
+
+    hypergraph = regular_hypergraph(
+        LANE_N,
+        LANE_RANK,
+        LANE_DEGREE,
+        seed=LANE_SEED,
+        weights=uniform_weights(LANE_N, LANE_MAX_WEIGHT, seed=LANE_SEED + 1),
+    )
+    config = AlgorithmConfig(epsilon=LANE_EPSILON)
+    eligible, reason = arena_eligibility(hypergraph, config)
+    assert eligible, f"gate profile must be int64 lane-eligible: {reason}"
+
+    # Warm-up outside the timed region so both lanes are steady-state.
+    solve_mwhvc(hypergraph, config=config, executor="fastpath", verify=False)
+
+    def run_pair():
+        machine_times = []
+        bigint_times = []
+        for _ in range(2):
+            t0 = time.perf_counter()
+            machine = solve_mwhvc(
+                hypergraph, config=config, executor="fastpath",
+                verify=False,
+            )
+            t1 = time.perf_counter()
+            bigint = solve_mwhvc(
+                hypergraph, config=config, executor="fastpath",
+                lane="bigint", verify=False,
+            )
+            t2 = time.perf_counter()
+            machine_times.append(t1 - t0)
+            bigint_times.append(t2 - t1)
+        return machine, bigint, min(machine_times), min(bigint_times)
+
+    machine, bigint, machine_s, bigint_s = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert machine.lane == "int64", machine.lane
+    assert bigint.lane == "bigint", bigint.lane
+    assert_bit_identical(bigint, machine, what="machine lane vs big-int lane")
+    speedup = bigint_s / machine_s
+    table = render_table(
+        ["lane", "seconds", "speedup vs big-int"],
+        [
+            ["int64 (machine)", f"{machine_s:.3f}", f"{speedup:.2f}x"],
+            ["bigint (pre-PR loop)", f"{bigint_s:.3f}", "1.00x"],
+        ],
+        title=(
+            f"E11 — single-instance kernel-lane speedup (n={LANE_N}, "
+            f"{LANE_DEGREE}-regular, rank={LANE_RANK}, "
+            f"W<={LANE_MAX_WEIGHT}, eps={LANE_EPSILON}, "
+            f"iterations={machine.iterations})"
+        ),
+    )
+    publish("executor_lane_speedup", table)
+    publish_json(
+        "executor_lane_speedup",
+        {
+            "gate": "fastpath_lane_vs_bigint_speedup",
+            "n": LANE_N,
+            "m": hypergraph.num_edges,
+            "rank": LANE_RANK,
+            "degree": LANE_DEGREE,
+            "max_weight": LANE_MAX_WEIGHT,
+            "epsilon": str(LANE_EPSILON),
+            "seed": LANE_SEED,
+            "iterations": machine.iterations,
+            "machine_seconds": round(machine_s, 6),
+            "bigint_seconds": round(bigint_s, 6),
+            "speedup": round(speedup, 3),
+            "floor": LANE_SPEEDUP_FLOOR,
+            "bit_identical": True,
+        },
+    )
+    assert speedup >= LANE_SPEEDUP_FLOOR, (
+        f"machine-lane speedup {speedup:.2f}x below the "
+        f"{LANE_SPEEDUP_FLOOR}x floor"
     )

@@ -6,8 +6,9 @@ persists it under ``benchmarks/results/`` for EXPERIMENTS.md, and
 asserts the experiment's shape criteria.
 
 Gate experiments additionally persist a machine-readable JSON blob via
-:func:`publish_json`; ``benchmarks/trend.py`` collects those blobs into
-the repo-root ``BENCH_2.json`` consumed by the ``bench-trend`` CI job.
+:func:`publish_json`; ``benchmarks/trend.py`` folds those blobs into
+the committed repo-root ``BENCH_3.json`` cross-commit series consumed
+by the ``bench-trend`` CI job.
 """
 
 from __future__ import annotations
@@ -32,7 +33,7 @@ def publish_json(name: str, payload: dict) -> None:
 
     ``payload`` must be JSON-serializable; it is stored as
     ``results/<name>.json`` alongside the human-readable table of the
-    same name and later aggregated into ``BENCH_2.json`` by
+    same name and later folded into the ``BENCH_3.json`` series by
     ``benchmarks/trend.py``.
     """
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,15 +1,28 @@
-"""Assemble the repo-root ``BENCH_2.json`` benchmark-trend snapshot.
+"""Maintain the repo-root ``BENCH_3.json`` cross-commit benchmark series.
 
 The gate benchmarks (``bench_executors.py``, ``bench_batch.py``)
 persist machine-readable blobs under ``benchmarks/results/*.json`` via
-``conftest.publish_json``.  This script collects them into one
-top-level document the ``bench-trend`` CI job uploads as an artifact,
-so speedup ratios can be compared across commits without parsing
-pytest output.
+``conftest.publish_json``.  This script folds the current run's blobs
+into a **cross-commit series**: one trend file holding one record per
+commit (commit sha, ref, CI run id, and every gate's speedup/floor
+pair), so regressions are visible as a time series instead of isolated
+snapshots.  Re-runs of the same commit replace that commit's record
+rather than duplicating it.
+
+Durability: the series lives in the repo-root ``BENCH_3.json``, which
+is **committed** — each PR appends its record on top of the history it
+checked out, and the ``bench-trend`` CI job appends the CI-measured
+record for the commit under test and uploads the result as an
+artifact (the committed file is the durable store; the artifact is the
+per-run view).
 
 Usage::
 
-    python benchmarks/trend.py [--output BENCH_2.json]
+    python benchmarks/trend.py [--output BENCH_3.json]
+
+Pre-PR-3 single-snapshot documents (schema ``v1``, e.g. a leftover
+``BENCH_2.json`` passed via ``--output``) are migrated in place: their
+single record becomes the first entry of the series.
 
 Exits non-zero if a collected gate reports a speedup below its
 recorded floor (belt-and-braces: the pytest assertions are the primary
@@ -21,12 +34,14 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).parent.parent
-SCHEMA = "repro-covering/bench-trend/v1"
+SCHEMA_V1 = "repro-covering/bench-trend/v1"
+SCHEMA = "repro-covering/bench-trend/v2"
 
 
 def collect() -> dict:
@@ -36,14 +51,93 @@ def collect() -> dict:
     return entries
 
 
-def build_document(entries: dict) -> dict:
+def current_commit() -> str:
+    """The commit this record measures: CI's sha, else git describe.
+
+    Local runs use ``git describe --always --dirty`` so records stay
+    attributable (and same-tree re-runs replace one record) even
+    outside CI; a dirty working tree is visible in the id.
+    """
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        described = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            check=True,
+        ).stdout.strip()
+        return described or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def build_record(entries: dict) -> dict:
     return {
-        "schema": SCHEMA,
-        "commit": os.environ.get("GITHUB_SHA", "unknown"),
+        "commit": current_commit(),
         "ref": os.environ.get("GITHUB_REF", "unknown"),
         "run_id": os.environ.get("GITHUB_RUN_ID", "local"),
         "entries": entries,
     }
+
+
+def load_series(path: Path) -> list[dict]:
+    """Prior records from ``path`` (empty only if the file is absent).
+
+    An existing-but-unreadable history (truncated write, merge-conflict
+    markers, unknown schema) is a hard error — silently starting a
+    fresh series would destroy the accumulated history the file exists
+    to keep.
+    """
+    if not path.is_file():
+        return []
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(
+            f"error: cannot parse existing trend series {path}: {error} "
+            "— fix or remove the file instead of overwriting the history"
+        ) from error
+    if document.get("schema") == SCHEMA:
+        series = document.get("series", [])
+        if not isinstance(series, list):
+            raise SystemExit(
+                f"error: {path} has schema {SCHEMA} but no series list"
+            )
+        return series
+    if document.get("schema") == SCHEMA_V1:
+        # Migrate a one-shot snapshot into a one-record series.
+        return [
+            {
+                "commit": document.get("commit", "unknown"),
+                "ref": document.get("ref", "unknown"),
+                "run_id": document.get("run_id", "local"),
+                "entries": document.get("entries", {}),
+            }
+        ]
+    raise SystemExit(
+        f"error: {path} has unrecognized schema "
+        f"{document.get('schema')!r}; refusing to overwrite it"
+    )
+
+
+def append_record(series: list[dict], record: dict) -> list[dict]:
+    """The series with ``record`` appended, replacing any earlier
+    record for the same commit — including the ``"unknown"`` commit of
+    local runs, so repeated local invocations update one record
+    instead of growing the file without bound."""
+    commit = record["commit"]
+    kept = [
+        prior for prior in series if prior.get("commit") != commit
+    ]
+    kept.append(record)
+    return kept
+
+
+def build_document(series: list[dict]) -> dict:
+    return {"schema": SCHEMA, "series": series}
 
 
 def failing_gates(entries: dict) -> list[str]:
@@ -64,8 +158,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
-        default=str(REPO_ROOT / "BENCH_2.json"),
-        help="where to write the snapshot (default: repo root)",
+        default=str(REPO_ROOT / "BENCH_3.json"),
+        help="the trend series to append to (default: repo root)",
     )
     arguments = parser.parse_args(argv)
     entries = collect()
@@ -76,13 +170,16 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    document = build_document(entries)
     output = Path(arguments.output)
+    series = append_record(load_series(output), build_record(entries))
     output.write_text(
-        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        json.dumps(build_document(series), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
-    print(f"wrote {output} with {len(entries)} entries:")
+    print(
+        f"wrote {output}: {len(series)} commit record(s), latest with "
+        f"{len(entries)} entries:"
+    )
     for name, entry in sorted(entries.items()):
         speedup = entry.get("speedup", "n/a")
         floor = entry.get("floor", "n/a")

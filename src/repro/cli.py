@@ -22,7 +22,9 @@ import json
 import sys
 from pathlib import Path
 
+from repro.core.fastpath import LANES
 from repro.core.params import AlgorithmConfig
+from repro.core.result import rational_for_json
 from repro.core.solver import (
     solve_mwhvc,
     solve_mwhvc_batch,
@@ -63,6 +65,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "lockstep (object cores), fastpath (vectorized arrays, "
             "fastest) or congest (message-passing engine); all three "
             "produce identical covers"
+        ),
+    )
+    solve.add_argument(
+        "--lane",
+        choices=LANES,
+        default="auto",
+        help=(
+            "fastpath only: strongest kernel lane to attempt (auto == "
+            "int64; ineligible or overflowing runs degrade down the "
+            "spill ladder to bigint with bit-identical results)"
         ),
     )
     solve.add_argument(
@@ -150,13 +162,20 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             schedule=arguments.schedule,
             check_invariants=arguments.check_invariants,
         )
+        options = {}
+        if arguments.executor == "fastpath" or arguments.lane != "auto":
+            # Lane forcing applies to the fastpath executor only; the
+            # solver rejects it for the others with a clear error.
+            options["lane"] = arguments.lane
         if arguments.f_approx:
             result = solve_mwhvc_f_approx(
-                hypergraph, config=config, executor=arguments.executor
+                hypergraph, config=config, executor=arguments.executor,
+                **options,
             )
         else:
             result = solve_mwhvc(
-                hypergraph, config=config, executor=arguments.executor
+                hypergraph, config=config, executor=arguments.executor,
+                **options,
             )
         if arguments.json:
             print(result.to_json(include_dual=True))
@@ -213,6 +232,9 @@ def _dispatch_batch(arguments: argparse.Namespace) -> int:
         hypergraphs, config=config, batched=not arguments.sequential
     )
     if arguments.json:
+        # Weights may be exact rationals (fractional-weight instances):
+        # render them the same canonical "num/den" way CoverResult's
+        # own JSON view does, never handing a Fraction to json.dumps.
         print(
             json.dumps(
                 {
@@ -221,8 +243,8 @@ def _dispatch_batch(arguments: argparse.Namespace) -> int:
                         for path, result in zip(paths, results)
                     ],
                     "count": len(results),
-                    "total_weight": sum(
-                        result.weight for result in results
+                    "total_weight": rational_for_json(
+                        sum(result.weight for result in results)
                     ),
                 }
             )

@@ -2,79 +2,78 @@
 
 Serving request waves means solving many *independent* small-to-medium
 instances per call, and the per-instance dispatch overhead of running
-:func:`repro.core.fastpath.run_fastpath` in a loop — one Python
-iteration loop and one set of numpy kernel launches per instance —
-dominates once instances are small.  Algorithm MWHVC is uniform across
-instances (the same (2+eps)-style transition rules apply to every one),
-so a single vectorized sweep can advance a whole batch at once:
+:func:`repro.core.fastpath.run_fastpath` in a loop — one iteration
+loop and one set of numpy kernel launches per instance — dominates
+once instances are small.  Algorithm MWHVC is uniform across instances
+(the same (2+eps)-style transition rules apply to every one), so a
+single vectorized sweep can advance a whole batch at once:
 
 * :func:`repro.hypergraph.csr.pack_arena` concatenates the K instances
   into one shared CSR arena (disjoint global vertex/edge id ranges with
   per-instance offset tables);
-* every per-iteration quantity — tightness, level increments, bid
-  halvings, raise unanimity, dual growth — is evaluated by ``reduceat``
-  / gather kernels over the arena, with instances that have already
-  halted masked out of the live index sets;
+* the sweep engine itself is the shared kernel layer of
+  :class:`repro.core.kernels.LaneRun` — the same guarded machine-width
+  kernels the single-instance fastpath loop uses since PR 3 — with
+  instances that have already halted masked out of the live index
+  sets;
 * the transition *formulas* are the same ``*_scaled`` pure functions
-  the scalar fastpath uses (:func:`repro.core.vertex_logic.is_tight_scaled`
-  and :func:`~repro.core.vertex_logic.wants_raise_scaled` are applied
-  directly to whole arrays), and iteration 0 is the shared
+  every scaled executor uses, and iteration 0 is the shared
   :func:`repro.core.fastpath.prepare_scaled_state`.
 
 Exactness is non-negotiable: results must be **bit-identical** to K
-sequential ``executor="fastpath"`` runs.  The arena therefore stores
-the scaled fixed-point integers in ``int64`` arrays and runs an
-instance in the arena only while a conservative *headroom bound*
-guarantees that no intermediate of a sweep can overflow: writing
-``S = w_max * scale * max(beta_den, alpha) * 2**(z+2)``, the instance
-is arena-eligible while ``S < 2**62``.  Instances that are ineligible
-up front (no numpy, huge initial scale, fractional alphas, Appendix C
-increments, checked mode) or whose dynamically growing scale outruns
-the bound mid-run are *spilled*: solved by the scalar fastpath
-executor, whose unbounded Python integers implement the identical
-transitions.  Either lane, same bits — the differential tests in
-``tests/test_batch_executor.py`` enforce it instance by instance.
+sequential ``executor="fastpath"`` runs.  Eligible instances therefore
+run in an ``int64`` arena only while the conservative headroom bound
+of :func:`repro.core.kernels.scale_limit` guarantees that no sweep
+intermediate can overflow; instances that outgrow int64 — up front or
+mid-run — step down the spill ladder instead of erroring: a second
+arena on the two-limb ~128-bit lane admits large-scale / large-alpha /
+large-weight instances, and anything beyond that (or structurally
+ineligible: no numpy, fractional alphas, Appendix C increments,
+checked mode) is solved by the scalar fastpath executor, whose
+unbounded Python integers implement the identical transitions.  Any
+lane, same bits — the differential tests in
+``tests/test_batch_executor.py`` and ``tests/test_kernel_lanes.py``
+enforce it instance by instance.
 """
 
 from __future__ import annotations
 
+from repro.core import kernels
 from repro.core.fastpath import (
     HAS_NUMPY,
     prepare_scaled_state,
     run_fastpath,
 )
-from repro.core.lockstep import (
-    INIT_EXCHANGE_ROUNDS,
-    empty_instance_rounds,
-    phase_a_round,
+from repro.core.kernels import (
+    Int64Ops,
+    LaneRun,
+    TwoLimbOps,
+    finalize_lane_instance,
+    headroom_factor,
+    lane_eligibility,
 )
-from repro.core.numeric import scaled_fraction
+from repro.core.lockstep import empty_instance_rounds
 from repro.core.params import AlgorithmConfig
 from repro.core.result import AlgorithmStats, CoverResult
 from repro.core.runner import finalize_result
-from repro.core.vertex_logic import (
-    is_tight_scaled,
-    tight_threshold_scaled,
-    wants_raise_scaled,
-)
-from repro.exceptions import (
-    InvariantViolationError,
-    RoundLimitExceededError,
-)
-from repro.hypergraph.csr import BatchArena, pack_arena
 from repro.hypergraph.hypergraph import Hypergraph
-
-try:  # pragma: no cover - exercised implicitly by either branch
-    import numpy as _np
-except ImportError:  # pragma: no cover
-    _np = None
 
 __all__ = ["run_fastpath_batch", "arena_eligibility"]
 
-#: Bit budget for every int64 intermediate of one arena sweep.  An
-#: instance lives in the arena only while its headroom product stays
-#: below ``2**_HEADROOM_BITS`` (tests shrink this to force spills).
-_HEADROOM_BITS = 62
+#: Override for the int64 arena's headroom budget.  ``None`` (the
+#: default) defers to ``kernels.INT64_HEADROOM_BITS`` at call time, so
+#: the solo fastpath and the batch arena always agree on the budget;
+#: tests shrink this module attribute to force arena-only spills onto
+#: the wider lanes.
+_HEADROOM_BITS: int | None = None
+
+
+def _int64_headroom_bits() -> int:
+    return (
+        _HEADROOM_BITS
+        if _HEADROOM_BITS is not None
+        else kernels.INT64_HEADROOM_BITS
+    )
 
 
 def arena_eligibility(
@@ -87,44 +86,40 @@ def arena_eligibility(
     Returns ``(eligible, reason)``; ``reason`` names the first failed
     requirement (or is ``"ok"``).  ``state`` may pass a precomputed
     :class:`~repro.core.fastpath.ScaledState` to avoid recomputing
-    iteration 0.
+    iteration 0.  Never raises on instances it cannot bound (e.g.
+    fractional weights whose scaled range exceeds the headroom): those
+    are simply ineligible and take a wider lane.
     """
     if not HAS_NUMPY:
         return False, "numpy unavailable"
     if hypergraph.num_edges == 0:
         return False, "empty instance (solved directly)"
-    if config.increment_mode != "multi":
-        return False, "single-increment mode uses the scalar executor"
-    if config.check_invariants:
-        return False, "checked runs use the scalar executor"
     if state is None:
         state = prepare_scaled_state(hypergraph, config)
-    if any(den != 1 for den in state.alpha_den):
-        return False, "fractional alpha uses the scalar executor"
-    if state.scale > _scale_limit(hypergraph, config, state):
-        return False, "initial scale exceeds the int64 headroom"
-    return True, "ok"
+    return lane_eligibility(
+        hypergraph,
+        config,
+        state,
+        lane="int64",
+        headroom_bits=_int64_headroom_bits(),
+    )
 
 
 def _scale_limit(
     hypergraph: Hypergraph, config: AlgorithmConfig, state
 ) -> int:
-    """Largest scale for which every sweep intermediate fits in int64.
+    """Largest scale keeping every int64 sweep intermediate in bounds.
 
-    The coarsest bound over one sweep's arithmetic: bids and duals stay
-    below ``w_max * scale`` (Claims 1-2), flags and level tests shift
-    by at most ``z``, the tightness test multiplies by ``beta_den`` and
-    raises multiply by ``alpha`` — so ``w_max * scale *
-    max(beta_den, alpha_num) * 2**(z+2) < 2**_HEADROOM_BITS`` keeps
-    everything representable.
+    Delegates to :func:`repro.core.kernels.scale_limit` with this
+    module's (test-adjustable) headroom budget.
     """
     rank = hypergraph.rank
-    beta = config.beta(rank)
-    z = config.z(rank)
-    w_max = max(hypergraph.weights)
-    factor = max(beta.denominator, max(state.alpha_num, default=2))
-    headroom = w_max * factor << (z + 2)
-    return (1 << _HEADROOM_BITS) // headroom
+    return kernels.scale_limit(
+        max(hypergraph.weights),
+        headroom_factor(config, rank, state),
+        config.z(rank),
+        _int64_headroom_bits(),
+    )
 
 
 def run_fastpath_batch(
@@ -135,20 +130,23 @@ def run_fastpath_batch(
 ) -> list[CoverResult]:
     """Solve K independent instances, bit-identical to K fastpath runs.
 
-    Eligible instances are packed into one shared CSR arena and
-    advanced together, one vectorized sweep per iteration, masking
-    instances that have already halted; the rest (and any instance
-    whose scale outgrows the arena's int64 headroom mid-run) are solved
-    by :func:`~repro.core.fastpath.run_fastpath`.  Per-instance results
-    — covers, duals, iterations, rounds, levels, statistics and
+    Eligible instances are packed into one shared CSR arena per kernel
+    lane (int64 first, the two-limb 128-bit lane for instances beyond
+    int64's headroom) and advanced together, one vectorized sweep per
+    iteration, masking instances that have already halted; the rest —
+    and any instance whose scale outgrows its arena's headroom mid-run
+    — step down the spill ladder to the scalar
+    :func:`~repro.core.fastpath.run_fastpath`.  Per-instance results —
+    covers, duals, iterations, rounds, levels, statistics and
     certificates — are indistinguishable from running the instances
     one at a time with ``executor="fastpath"``.
     """
     config = config or AlgorithmConfig()
     instances = list(hypergraphs)
     results: list[CoverResult | None] = [None] * len(instances)
-    arena_members: list[tuple[int, Hypergraph, object]] = []
-    solo: list[int] = []
+    int64_members: list[tuple[int, Hypergraph, object]] = []
+    two_limb_members: list[tuple[int, Hypergraph, object]] = []
+    solo: list[tuple[int, str]] = []
     prepared: dict[int, object] = {}
     for index, hypergraph in enumerate(instances):
         if hypergraph.num_edges == 0:
@@ -160,33 +158,68 @@ def run_fastpath_batch(
             prepared[index] = state
         eligible, _ = arena_eligibility(hypergraph, config, state)
         if eligible:
-            arena_members.append((index, hypergraph, state))
-        else:
-            solo.append(index)
+            int64_members.append((index, hypergraph, state))
+            continue
+        if state is not None:
+            wider, _ = lane_eligibility(
+                hypergraph, config, state, lane="two-limb"
+            )
+            if wider:
+                two_limb_members.append((index, hypergraph, state))
+                continue
+        solo.append((index, "auto"))
 
-    if arena_members:
-        solved, spilled = _ArenaRun(
-            [pair[1] for pair in arena_members],
-            [pair[2] for pair in arena_members],
+    def run_arena(members, ops, limits, spill_lane: str) -> None:
+        solved, spilled = LaneRun(
+            [member[1] for member in members],
+            [member[2] for member in members],
             config,
+            ops=ops,
+            limits=limits,
         ).solve()
-        for position, (index, hypergraph, _) in enumerate(arena_members):
+        for position, (index, hypergraph, _) in enumerate(members):
             if position in spilled:
-                solo.append(index)
+                solo.append((index, spill_lane))
             else:
-                results[index] = _finalize_arena_instance(
-                    hypergraph, config, solved[position], verify
+                results[index] = finalize_lane_instance(
+                    hypergraph, config, solved[position], verify,
+                    lane=ops.name,
                 )
 
-    # Solo lane: ineligible and spilled instances run through the
-    # scalar fastpath executor, reusing the already-computed iteration-0
-    # state (the arena only copies it, so spilled states are pristine).
-    for index in solo:
+    if int64_members:
+        run_arena(
+            int64_members,
+            Int64Ops,
+            [
+                _scale_limit(hypergraph, config, state)
+                for _, hypergraph, state in int64_members
+            ],
+            "two-limb",
+        )
+    if two_limb_members:
+        run_arena(
+            two_limb_members,
+            TwoLimbOps,
+            kernels.default_scale_limits(
+                [member[1] for member in two_limb_members],
+                config,
+                [member[2] for member in two_limb_members],
+                lane="two-limb",
+            ),
+            "bigint",
+        )
+
+    # Spill ladder tail: up-front ineligible and spilled instances run
+    # through the scalar fastpath executor, reusing the already-computed
+    # iteration-0 state (the arenas only copy it, so spilled states are
+    # pristine).  The ``lane`` hint skips lanes already outgrown.
+    for index, lane in solo:
         results[index] = run_fastpath(
             instances[index],
             config,
             verify=verify,
             state=prepared.get(index),
+            lane=lane,
         )
     return results  # type: ignore[return-value]
 
@@ -209,497 +242,3 @@ def _empty_result(
         metrics=None,
         verify=verify,
     )
-
-
-def _finalize_arena_instance(
-    hypergraph: Hypergraph,
-    config: AlgorithmConfig,
-    raw: dict,
-    verify: bool,
-) -> CoverResult:
-    """Convert one instance's arena slice back to exact Fractions."""
-    scale = raw["scale"]
-    dual = {
-        edge_id: scaled_fraction(value, scale)
-        for edge_id, value in enumerate(raw["delta"])
-    }
-    return finalize_result(
-        hypergraph,
-        config,
-        cover=frozenset(raw["cover"]),
-        dual=dual,
-        levels=tuple(raw["levels"]),
-        stats=raw["stats"],
-        alphas=raw["alphas"],
-        iterations=raw["iterations"],
-        rounds=raw["rounds"],
-        metrics=None,
-        verify=verify,
-        dual_total=scaled_fraction(sum(raw["delta"]), scale),
-    )
-
-
-class _ArenaRun:
-    """One batched execution over a shared CSR arena (int64 lane)."""
-
-    def __init__(self, hypergraphs, states, config: AlgorithmConfig):
-        self.config = config
-        self.spec = config.schedule == "spec"
-        self.count = len(hypergraphs)
-        self.hypergraphs = hypergraphs
-        self.states = states
-        arena: BatchArena = pack_arena(hypergraphs)
-        self.arena = arena
-        total_v = arena.total_vertices
-        total_e = arena.total_edges
-
-        int64 = _np.int64
-        # -- edge-side state ------------------------------------------
-        self.bid = _np.array(
-            [value for state in states for value in state.bid], dtype=int64
-        )
-        self.raised = _np.array(
-            [value for state in states for value in state.raised],
-            dtype=int64,
-        )
-        self.delta = self.bid.copy()
-        self.alpha_num_e = _np.array(
-            [num for state in states for num in state.alpha_num],
-            dtype=int64,
-        )
-        self.covered = _np.zeros(total_e, dtype=bool)
-        self.live_edge = _np.ones(total_e, dtype=bool)
-        self.raise_count = _np.zeros(total_e, dtype=int64)
-        self.halving_count = _np.zeros(total_e, dtype=int64)
-        self.inst_e = _np.array(arena.instance_of_edge, dtype=int64)
-
-        # -- vertex-side state ----------------------------------------
-        self.scales = [state.scale for state in states]
-        beta_den, z_caps, limits = [], [], []
-        weight_scaled: list[int] = []
-        tight_rhs: list[int] = []
-        for hypergraph, state in zip(hypergraphs, states):
-            beta = config.beta(hypergraph.rank)
-            beta_den.append(beta.denominator)
-            z_caps.append(config.z(hypergraph.rank))
-            limits.append(_scale_limit(hypergraph, config, state))
-            for vertex in range(hypergraph.num_vertices):
-                weight = hypergraph.weight(vertex)
-                weight_scaled.append(weight * state.scale)
-                tight_rhs.append(
-                    tight_threshold_scaled(
-                        weight, beta.numerator, beta.denominator,
-                        state.scale,
-                    )
-                )
-        self.z_caps = z_caps
-        self.limits = limits
-        self.weight_scaled = _np.array(weight_scaled, dtype=int64)
-        self.tight_rhs = _np.array(tight_rhs, dtype=int64)
-        self.total_delta = _np.array(
-            [value for state in states for value in state.total_delta],
-            dtype=int64,
-        )
-        degrees = _np.array(
-            [deg for state in states for deg in state.degrees], dtype=int64
-        )
-        self.uncovered_count = degrees.copy()
-        self.level = _np.zeros(total_v, dtype=int64)
-        self.k_inc = _np.zeros(total_v, dtype=int64)
-        self.flags = _np.zeros(total_v, dtype=int64)
-        self.in_cover = _np.zeros(total_v, dtype=bool)
-        self.dead = degrees == 0
-        self.inst_v = _np.array(arena.instance_of_vertex, dtype=int64)
-        self.beta_den_v = _np.repeat(
-            _np.array(beta_den, dtype=int64),
-            _np.diff(_np.array(arena.vertex_offset, dtype=int64)),
-        )
-        self.z_v = _np.repeat(
-            _np.array(z_caps, dtype=int64),
-            _np.diff(_np.array(arena.vertex_offset, dtype=int64)),
-        )
-        z_max = max(z_caps)
-        self.stuck = _np.zeros((total_v, z_max), dtype=int64)
-
-        # -- CSR kernels ----------------------------------------------
-        membership = arena.membership
-        self.e_cells = _np.array(membership.cells, dtype=int64)
-        self.e_starts = _np.array(membership.starts, dtype=int64)
-        self.e_lengths = _np.array(membership.lengths, dtype=int64)
-        # The incidence layout is the membership transpose: a stable
-        # sort of the membership cells groups the (edge, vertex) pairs
-        # by vertex while keeping ascending edge ids inside each group.
-        order = _np.argsort(self.e_cells, kind="stable")
-        self.v_cells = _np.repeat(
-            _np.arange(total_e, dtype=int64), self.e_lengths
-        )[order]
-        v_lengths = _np.bincount(self.e_cells, minlength=total_v).astype(
-            int64
-        )
-        v_starts = _np.zeros(total_v, dtype=int64)
-        _np.cumsum(v_lengths[:-1], out=v_starts[1:])
-        self.v_starts = v_starts
-        self.v_lengths = v_lengths
-        live_start = _np.nonzero(v_lengths > 0)[0]
-
-        # -- per-instance bookkeeping ---------------------------------
-        self.active = _np.ones(self.count, dtype=bool)
-        self.spilled: set[int] = set()
-        self.iterations = [0] * self.count
-        self.halt_round = _np.full(
-            self.count, INIT_EXCHANGE_ROUNDS, dtype=int64
-        )
-        self.live_v = live_start
-        self.live_e = _np.arange(total_e, dtype=int64)
-
-    # ------------------------------------------------------------------
-    # Gather / segment kernels
-    # ------------------------------------------------------------------
-
-    def _expand_segments(self, ids, starts, lengths):
-        """Flat cell positions of the given segments, concatenated."""
-        lens = lengths[ids]
-        total = int(lens.sum())
-        if total == 0:
-            return _np.empty(0, dtype=_np.int64)
-        ends = _np.cumsum(lens)
-        inner = _np.arange(total, dtype=_np.int64) - _np.repeat(
-            ends - lens, lens
-        )
-        return _np.repeat(starts[ids], lens) + inner
-
-    def _edge_view(self):
-        """Live-edge subset CSR: (live edges, segment starts, cells).
-
-        Rebuilt per sweep so every structural kernel touches only the
-        cells of edges that are still uncovered — the live sets shrink
-        fast, and full-arena kernels would dominate the tail sweeps.
-        """
-        live = self.live_e
-        lengths = self.e_lengths[live]
-        starts = _np.zeros(live.size, dtype=_np.int64)
-        if live.size:
-            _np.cumsum(lengths[:-1], out=starts[1:])
-        cells = self.e_cells[
-            self._expand_segments(live, self.e_starts, self.e_lengths)
-        ]
-        return live, starts, cells
-
-    def _vertex_view(self):
-        """Live-vertex subset CSR over the incidence layout."""
-        live = self.live_v
-        lengths = self.v_lengths[live]
-        starts = _np.zeros(live.size, dtype=_np.int64)
-        if live.size:
-            _np.cumsum(lengths[:-1], out=starts[1:])
-        cells = self.v_cells[
-            self._expand_segments(live, self.v_starts, self.v_lengths)
-        ]
-        return live, starts, cells
-
-    def _live_vertex_sums(self, edge_values, vertex_view):
-        """Per-live-vertex sums of an edge array over live incident
-        edges, aligned with the view's vertex order."""
-        live, starts, cells = vertex_view
-        if not live.size:
-            return _np.empty(0, dtype=_np.int64)
-        # Gather first, mask second: O(live cells), not O(total edges).
-        masked = edge_values[cells] * self.live_edge[cells]
-        return _np.add.reduceat(masked, starts)
-
-    # ------------------------------------------------------------------
-    # Sweep phases
-    # ------------------------------------------------------------------
-
-    def _level_up(self, vertices, running):
-        """Step 3d's while-loop, vectorized over a shrinking index set."""
-        self.k_inc[vertices] = 0
-        idx = vertices
-        while idx.size:
-            shift = self.level[idx] + 1
-            over = (running << shift) > (
-                self.weight_scaled[idx] * ((1 << shift) - 1)
-            )
-            idx = idx[over]
-            running = running[over]
-            if not idx.size:
-                break
-            self.level[idx] += 1
-            self.k_inc[idx] += 1
-            capped = self.level[idx] >= self.z_v[idx]
-            if capped.any():
-                vertex = int(idx[capped][0])
-                instance = int(self.inst_v[vertex])
-                local = vertex - self.arena.vertex_offset[instance]
-                raise InvariantViolationError(
-                    f"vertex {local} reached level "
-                    f"{int(self.level[vertex])} >= "
-                    f"z = {self.z_caps[instance]} (Claim 4 violated)"
-                )
-
-    def _record_flags(self, vertices, sums, extra_shift=None):
-        """Step 3e for a vertex set: flags plus stuck statistics.
-
-        ``sums`` is aligned with ``vertices`` (one weighted-bid sum per
-        entry, as produced by :meth:`_live_vertex_sums`).
-        """
-        if not vertices.size:
-            return
-        weight = self.weight_scaled[vertices]
-        if extra_shift is None:
-            raise_flag = wants_raise_scaled(
-                sums, weight, self.level[vertices]
-            )
-        else:
-            raise_flag = wants_raise_scaled(
-                sums,
-                weight,
-                self.level[vertices],
-                extra_shift=extra_shift,
-            )
-        self.flags[vertices] = raise_flag
-        stuck = vertices[~raise_flag]
-        if stuck.size:
-            _np.add.at(self.stuck, (stuck, self.level[stuck]), 1)
-
-    def _mark_coverage(self, joiners):
-        """Edges of this sweep's joiners become covered."""
-        if not joiners.size:
-            return _np.empty(0, dtype=_np.int64)
-        cells = self.v_cells[
-            self._expand_segments(joiners, self.v_starts, self.v_lengths)
-        ]
-        newly = _np.unique(cells[~self.covered[cells]])
-        if newly.size:
-            self.covered[newly] = True
-            self.live_edge[newly] = False
-            self.live_e = self.live_e[~self.covered[self.live_e]]
-        return newly
-
-    def _apply_coverage(self, newly):
-        """Non-joining members learn coverage; returns childless ones."""
-        if not newly.size:
-            return _np.empty(0, dtype=_np.int64)
-        cells = self.e_cells[
-            self._expand_segments(newly, self.e_starts, self.e_lengths)
-        ]
-        members = cells[~self.in_cover[cells]]
-        _np.subtract.at(self.uncovered_count, members, 1)
-        candidates = _np.unique(members)
-        terminated = candidates[
-            (self.uncovered_count[candidates] == 0)
-            & ~self.dead[candidates]
-        ]
-        if terminated.size:
-            self.dead[terminated] = True
-        return terminated
-
-    def _halve_edges(self, edge_view) -> bool:
-        """Step 3d (edge half) with per-instance dynamic rescaling.
-
-        The scalar executor rescales lazily edge by edge; the combined
-        factor it reaches is ``2**max(count - trailing_zeros)`` over
-        the instance's halving edges, independent of processing order,
-        so the arena applies that factor to the whole instance slice at
-        once.  Instances whose scale would outgrow the int64 headroom
-        are spilled to the scalar lane instead; returns whether any
-        instance spilled (the caller's live views are then stale).
-        """
-        live, starts, cells = edge_view
-        if not live.size:
-            return False
-        totals = _np.add.reduceat(self.k_inc[cells], starts)
-        mask = totals > 0
-        halving = live[mask]
-        if not halving.size:
-            return False
-        counts = totals[mask]
-        joint = self.bid[halving] | self.raised[halving]
-        low_bit = joint & -joint
-        trailing = _np.log2(low_bit.astype(_np.float64)).astype(_np.int64)
-        deficit = counts - trailing
-        lacking = deficit > 0
-        spilled_now = False
-        if lacking.any():
-            factors = _np.zeros(self.count, dtype=_np.int64)
-            _np.maximum.at(
-                factors, self.inst_e[halving[lacking]], deficit[lacking]
-            )
-            for instance in _np.nonzero(factors)[0]:
-                instance = int(instance)
-                shift = int(factors[instance])
-                new_scale = self.scales[instance] << shift
-                if new_scale > self.limits[instance]:
-                    self._spill(instance)
-                    spilled_now = True
-                    continue
-                self.scales[instance] = new_scale
-                vertex_slice = self.arena.vertex_slice(instance)
-                edge_slice = self.arena.edge_slice(instance)
-                for array in (self.bid, self.raised, self.delta):
-                    array[edge_slice] <<= shift
-                for array in (
-                    self.total_delta,
-                    self.weight_scaled,
-                    self.tight_rhs,
-                ):
-                    array[vertex_slice] <<= shift
-            if spilled_now:
-                keep = self.live_edge[halving]
-                halving = halving[keep]
-                counts = counts[keep]
-                if not halving.size:
-                    return True
-        self.halving_count[halving] += counts
-        self.bid[halving] >>= counts
-        self.raised[halving] >>= counts
-        return spilled_now
-
-    def _raise_and_grow(self, edge_view, vertex_view):
-        """Step 3f across the live arena: raises, then dual growth."""
-        live, starts, cells = edge_view
-        if live.size:
-            unanimous = _np.bitwise_and.reduceat(self.flags[cells], starts)
-            raising = live[unanimous == 1]
-            if raising.size:
-                self.raise_count[raising] += 1
-                self.bid[raising] = self.raised[raising]
-                self.raised[raising] = (
-                    self.bid[raising] * self.alpha_num_e[raising]
-                )
-            self.delta[live] += self.bid[live]
-        vertices = vertex_view[0]
-        if vertices.size:
-            self.total_delta[vertices] += self._live_vertex_sums(
-                self.bid, vertex_view
-            )
-
-    def _spill(self, instance: int) -> None:
-        """Abandon an instance's arena state; the scalar lane re-runs it."""
-        self.spilled.add(instance)
-        self.active[instance] = False
-        edge_slice = self.arena.edge_slice(instance)
-        self.live_edge[edge_slice] = False
-        self._filter_live()
-
-    def _filter_live(self) -> None:
-        self.live_v = self.live_v[self.active[self.inst_v[self.live_v]]]
-        self.live_e = self.live_e[self.active[self.inst_e[self.live_e]]]
-
-    def _bump_halt(self, instances, value: int) -> None:
-        if instances.size:
-            _np.maximum.at(self.halt_round, instances, value)
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
-
-    def solve(self) -> tuple[dict[int, dict], set[int]]:
-        config = self.config
-        spec = self.spec
-        sweep = 0
-        while self.live_e.size:
-            sweep += 1
-            if sweep > config.max_iterations:
-                raise RoundLimitExceededError(
-                    f"no termination after {config.max_iterations} "
-                    f"iterations; {self.live_e.size} edges uncovered "
-                    "across the batch"
-                )
-            round_a = phase_a_round(sweep, spec=spec)
-
-            live = self.live_v
-            if not spec:
-                # Compact: flags are fixed in phase A on the previous
-                # sweep's bids/coverage, before joins are applied.
-                pre_view = self._vertex_view()
-                pre_sums = self._live_vertex_sums(self.raised, pre_view)
-
-            running = self.total_delta[live]
-            tight = is_tight_scaled(
-                running, self.beta_den_v[live], self.tight_rhs[live]
-            )
-            joiners = live[tight]
-            if joiners.size:
-                self.in_cover[joiners] = True
-            nonjoin = live[~tight]
-            self._level_up(nonjoin, running[~tight])
-            if not spec:
-                self._record_flags(
-                    nonjoin,
-                    pre_sums[~tight],
-                    extra_shift=self.k_inc[nonjoin],
-                )
-
-            newly = self._mark_coverage(joiners)
-            self._bump_halt(self.inst_v[joiners], round_a)
-            self._bump_halt(self.inst_e[newly], round_a + 1)
-
-            if spec:
-                terminated = self._apply_coverage(newly)
-                self._bump_halt(self.inst_v[terminated], round_a + 2)
-                self.live_v = self.live_v[
-                    ~self.in_cover[self.live_v] & ~self.dead[self.live_v]
-                ]
-                edge_view = self._edge_view()
-                if self._halve_edges(edge_view):
-                    edge_view = self._edge_view()
-                vertex_view = self._vertex_view()
-                self._record_flags(
-                    vertex_view[0],
-                    self._live_vertex_sums(self.raised, vertex_view),
-                )
-                self._raise_and_grow(edge_view, vertex_view)
-            else:
-                edge_view = self._edge_view()
-                if self._halve_edges(edge_view):
-                    edge_view = self._edge_view()
-                self._raise_and_grow(edge_view, self._vertex_view())
-                terminated = self._apply_coverage(newly)
-                self._bump_halt(self.inst_v[terminated], round_a + 2)
-                self.live_v = self.live_v[
-                    ~self.in_cover[self.live_v] & ~self.dead[self.live_v]
-                ]
-
-            remaining = _np.bincount(
-                self.inst_e[self.live_e], minlength=self.count
-            )
-            finished = _np.nonzero(self.active & (remaining == 0))[0]
-            if finished.size:
-                for instance in finished:
-                    instance = int(instance)
-                    self.iterations[instance] = sweep
-                    self.active[instance] = False
-                self._filter_live()
-
-        return {
-            instance: self._collect(instance)
-            for instance in range(self.count)
-            if instance not in self.spilled
-        }, self.spilled
-
-    def _collect(self, instance: int) -> dict:
-        vertex_slice = self.arena.vertex_slice(instance)
-        edge_slice = self.arena.edge_slice(instance)
-        levels = self.level[vertex_slice]
-        raises = self.raise_count[edge_slice]
-        stuck = self.stuck[vertex_slice]
-        stats = AlgorithmStats(
-            total_raise_events=int(raises.sum()),
-            max_raises_per_edge=int(raises.max()),
-            total_stuck_events=int(stuck.sum()),
-            max_stuck_per_vertex_level=int(stuck.max()),
-            total_halvings=int(self.halving_count[edge_slice].sum()),
-            max_level=int(levels.max()),
-            level_cap=self.z_caps[instance],
-        )
-        return {
-            "scale": self.scales[instance],
-            "cover": _np.nonzero(self.in_cover[vertex_slice])[0].tolist(),
-            "delta": self.delta[edge_slice].tolist(),
-            "levels": levels.tolist(),
-            "stats": stats,
-            "alphas": list(self.states[instance].alpha_list),
-            "iterations": self.iterations[instance],
-            "rounds": int(self.halt_round[instance]),
-        }

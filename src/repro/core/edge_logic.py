@@ -73,16 +73,23 @@ def argmin_member(
     return best_vertex, best_weight, best_degree
 
 
-def initial_bid(min_weight: int, min_degree: int) -> Fraction:
-    """``bid0(e) = w(v*) / (2 |E(v*)|)`` (Section 3.2, iteration 0)."""
+def initial_bid(min_weight, min_degree: int) -> Fraction:
+    """``bid0(e) = w(v*) / (2 |E(v*)|)`` (Section 3.2, iteration 0).
+
+    ``min_weight`` may itself be a rational (fractional vertex
+    weights); the Fraction constructor normalizes either way.
+    """
     return Fraction(min_weight, 2 * min_degree)
 
 
-def initial_bid_scaled(min_weight: int, min_degree: int, scale: int) -> int:
+def initial_bid_scaled(min_weight, min_degree: int, scale: int) -> int:
     """:func:`initial_bid` as an integer numerator over ``scale``.
 
-    ``scale`` must be divisible by ``2 * min_degree`` (the fastpath
-    executor builds its global scale as an lcm of those denominators).
+    ``scale`` must be a multiple of ``bid0``'s reduced denominator (the
+    fastpath executor builds its global scale as an lcm of those
+    denominators, folding in weight denominators when weights are
+    fractional).  ``min_weight * scale`` is then integral and exactly
+    divisible by ``2 * min_degree``.
     """
     denominator = 2 * min_degree
     quotient, remainder = divmod(min_weight * scale, denominator)
@@ -91,7 +98,7 @@ def initial_bid_scaled(min_weight: int, min_degree: int, scale: int) -> int:
             f"scale {scale} cannot represent bid0 = "
             f"{min_weight}/{denominator} exactly"
         )
-    return quotient
+    return int(quotient)
 
 
 def unanimous_raise(flags: Iterable[bool]) -> bool:

@@ -26,13 +26,22 @@ initial-bid arithmetic from :mod:`repro.core.edge_logic`, and the
 halting-round schedule from :mod:`repro.core.lockstep` — the same
 single source of truth the object cores use.
 
-When numpy is importable, the structural per-iteration reductions
-(per-edge halving totals, per-edge raise unanimity) run as vectorized
-``reduceat`` kernels over a CSR layout of the hyperedges; without
-numpy a pure-Python fallback computes the identical small-integer
-sums.  The exact big-integer arithmetic itself is plain Python ``int``
-either way — machine-width dtypes cannot represent the protocol's
-denominators, and silent overflow would break bit-exactness.
+Since PR 3 the executor selects an arithmetic **lane** per run (see
+:mod:`repro.core.kernels`): instances whose headroom bound fits
+machine width run the whole iteration loop on vectorized ``int64``
+arrays (or on the two-limb ~128-bit hi/lo representation when they
+outgrow int64 but not ``2**93``), falling back transparently to the
+unbounded big-int loop below — ``"bigint"`` — when neither bound
+holds or when a lane's scale outgrows its headroom mid-run.  Every
+lane is bit-identical; ``lane="..."`` forces the ladder's entry point
+for tests and diagnostics.
+
+In the big-int loop, when numpy is importable the structural
+per-iteration reductions (per-edge halving totals, per-edge raise
+unanimity) run as vectorized ``reduceat`` kernels over a CSR layout of
+the hyperedges; without numpy a pure-Python fallback computes the
+identical small-integer sums.  The exact arithmetic itself is plain
+Python ``int`` either way.
 """
 
 from __future__ import annotations
@@ -41,13 +50,21 @@ from dataclasses import dataclass
 from fractions import Fraction
 from math import gcd, lcm
 
-from repro.core.edge_logic import argmin_member, initial_bid_scaled
+from repro.core.edge_logic import argmin_member, initial_bid, initial_bid_scaled
+from repro.core.kernels import (
+    MACHINE_LANES,
+    LaneRun,
+    default_scale_limits,
+    finalize_lane_instance,
+    lane_eligibility,
+    lane_ops,
+)
 from repro.core.lockstep import (
     INIT_EXCHANGE_ROUNDS,
     empty_instance_rounds,
     phase_a_round,
 )
-from repro.core.numeric import scaled_fraction
+from repro.core.numeric import exact_scaled_int, scaled_fraction
 from repro.core.observer import IterationObserver, IterationSnapshot
 from repro.core.params import AlgorithmConfig, resolve_alpha, theorem9_alpha
 from repro.core.result import AlgorithmStats, CoverResult
@@ -61,6 +78,7 @@ from repro.core.vertex_logic import (
     wants_raise_scaled,
 )
 from repro.exceptions import (
+    InvalidInstanceError,
     InvariantViolationError,
     RoundLimitExceededError,
 )
@@ -72,10 +90,20 @@ try:  # pragma: no cover - exercised implicitly by either branch
 except ImportError:  # pragma: no cover
     _np = None
 
-__all__ = ["run_fastpath", "prepare_scaled_state", "ScaledState", "HAS_NUMPY"]
+__all__ = [
+    "run_fastpath",
+    "prepare_scaled_state",
+    "ScaledState",
+    "HAS_NUMPY",
+    "LANES",
+]
 
 #: Whether the vectorized structural kernels are active in this process.
 HAS_NUMPY = _np is not None
+
+#: Valid ``lane=`` arguments: the spill ladder, strongest first, plus
+#: ``"auto"`` (equivalent to starting at the top).
+LANES = ("auto",) + MACHINE_LANES + ("bigint",)
 
 
 @dataclass(slots=True)
@@ -132,14 +160,27 @@ def prepare_scaled_state(
 
     argmins = [argmin_member(members, weights, degrees) for members in edges]
 
-    # Smallest scale representing every bid0 and alpha*bid0 exactly.
+    # Smallest scale representing every bid0 and alpha*bid0 exactly —
+    # and, with fractional vertex weights, every ``w(v) * scale`` (the
+    # scaled executors cache those as integers too).
     scale = 1
+    for weight in weights:
+        denominator = getattr(weight, "denominator", 1)
+        if denominator > 1:
+            scale = lcm(scale, denominator)
     for edge_id, (_, min_weight, min_degree) in enumerate(argmins):
-        bid_den = 2 * min_degree
-        scale = lcm(scale, bid_den // gcd(min_weight, bid_den))
-        raised_den = bid_den * alpha_den[edge_id]
-        raised_top = min_weight * alpha_num[edge_id]
-        scale = lcm(scale, raised_den // gcd(raised_top, raised_den))
+        if isinstance(min_weight, int):
+            bid_den = 2 * min_degree
+            scale = lcm(scale, bid_den // gcd(min_weight, bid_den))
+            raised_den = bid_den * alpha_den[edge_id]
+            raised_top = min_weight * alpha_num[edge_id]
+            scale = lcm(scale, raised_den // gcd(raised_top, raised_den))
+        else:
+            # Rational argmin weight: let Fraction normalize the
+            # denominators (identical lcm contributions as above).
+            bid0 = initial_bid(min_weight, min_degree)
+            scale = lcm(scale, bid0.denominator)
+            scale = lcm(scale, (bid0 * alpha_list[edge_id]).denominator)
 
     bid = [
         initial_bid_scaled(min_weight, min_degree, scale)
@@ -175,6 +216,7 @@ def run_fastpath(
     verify: bool = True,
     observer: IterationObserver | None = None,
     state: ScaledState | None = None,
+    lane: str = "auto",
 ) -> CoverResult:
     """Execute Algorithm MWHVC on flat scaled-integer arrays.
 
@@ -190,8 +232,103 @@ def run_fastpath(
     ``(hypergraph, config)`` pair — the batch executor uses this to
     avoid repeating iteration 0 for instances it spills to this scalar
     lane.  The state is consumed (mutated) by the run.
+
+    ``lane`` names the strongest arithmetic lane the run may attempt
+    (``"auto"`` == ``"int64"``): the iteration loop runs on machine
+    width whenever the lane's headroom bound admits the instance, and
+    degrades transparently down the ladder — int64 -> two-limb ->
+    bigint — when a lane is ineligible or its scale outgrows the
+    headroom mid-run.  Results are bit-identical on every lane (the
+    completing lane is reported in ``CoverResult.lane``);
+    ``lane="bigint"`` pins the unbounded big-int loop.  Observers are
+    a big-int-loop feature: with an ``observer``, ``"auto"`` runs the
+    big-int loop and explicitly forcing a machine lane is an error.
     """
     config = config or AlgorithmConfig()
+    if lane not in LANES:
+        raise InvalidInstanceError(
+            f"lane must be one of {', '.join(LANES)}, got {lane!r}"
+        )
+    if observer is not None and lane in MACHINE_LANES:
+        # The machine lanes have no observer hook; silently running the
+        # big-int loop would contradict the explicit forcing.  "auto"
+        # degrades to bigint instead (observers are a bigint feature).
+        raise InvalidInstanceError(
+            "observer is supported on the big-int lane only — drop the "
+            f"observer or use lane='auto'/'bigint' instead of {lane!r}"
+        )
+    n = hypergraph.num_vertices
+    m = hypergraph.num_edges
+
+    if m == 0:
+        return finalize_result(
+            hypergraph,
+            config,
+            cover=frozenset(),
+            dual={},
+            levels=(0,) * n,
+            stats=AlgorithmStats.empty(level_cap=config.z(hypergraph.rank)),
+            alphas=[],
+            iterations=0,
+            rounds=empty_instance_rounds(n),
+            metrics=None,
+            verify=verify,
+        )
+
+    # ------------------------------------------------------------------
+    # Iteration 0: alphas, argmins, the initial global scale and bids.
+    # ------------------------------------------------------------------
+    if state is None:
+        state = prepare_scaled_state(hypergraph, config)
+
+    # Machine-width lanes (the big win: the whole iteration loop runs
+    # as numpy kernels).  The lane loops read ``state`` without
+    # mutating it, so a mid-run spill replays from iteration 0 on the
+    # next lane down with nothing recomputed but the sweeps themselves.
+    if HAS_NUMPY and observer is None and lane != "bigint":
+        start = "int64" if lane == "auto" else lane
+        ladder = MACHINE_LANES[MACHINE_LANES.index(start):]
+        for lane_name in ladder:
+            eligible, _ = lane_eligibility(
+                hypergraph, config, state, lane=lane_name
+            )
+            if not eligible:
+                continue
+            solved, spilled = LaneRun(
+                [hypergraph],
+                [state],
+                config,
+                ops=lane_ops(lane_name),
+                limits=default_scale_limits(
+                    [hypergraph], config, [state], lane=lane_name
+                ),
+            ).solve()
+            if 0 in spilled:
+                continue
+            return finalize_lane_instance(
+                hypergraph, config, solved[0], verify, lane=lane_name
+            )
+
+    return _run_bigint(
+        hypergraph, config, verify=verify, observer=observer, state=state
+    )
+
+
+def _run_bigint(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig,
+    *,
+    verify: bool,
+    observer: IterationObserver | None,
+    state: ScaledState,
+) -> CoverResult:
+    """The unbounded big-int iteration loop (the spill ladder's floor).
+
+    Plain Python integers represent any scale, so this lane has no
+    eligibility conditions; it also carries the features the machine
+    lanes exclude (observers, invariant checking, single-increment
+    mode).  Consumes ``state``.
+    """
     n = hypergraph.num_vertices
     m = hypergraph.num_edges
     rank = hypergraph.rank
@@ -202,30 +339,10 @@ def run_fastpath(
     spec = config.schedule == "spec"
     checked = config.check_invariants
 
-    if m == 0:
-        return finalize_result(
-            hypergraph,
-            config,
-            cover=frozenset(),
-            dual={},
-            levels=(0,) * n,
-            stats=AlgorithmStats.empty(level_cap=z),
-            alphas=[],
-            iterations=0,
-            rounds=empty_instance_rounds(n),
-            metrics=None,
-            verify=verify,
-        )
-
     edges = hypergraph.edges
     weights = hypergraph.weights
     incidence = [hypergraph.incident_edges(v) for v in range(n)]
 
-    # ------------------------------------------------------------------
-    # Iteration 0: alphas, argmins, the initial global scale and bids.
-    # ------------------------------------------------------------------
-    if state is None:
-        state = prepare_scaled_state(hypergraph, config)
     degrees = state.degrees
     alpha_list = state.alpha_list
     alpha_num = state.alpha_num
@@ -255,8 +372,12 @@ def run_fastpath(
     live_edges = list(range(m))
 
     # Caches refreshed on every rescale: w(v) * scale and the step-3a
-    # right-hand side (see tight_threshold_scaled).
-    weight_scaled = [weights[vertex] * scale for vertex in range(n)]
+    # right-hand side (see tight_threshold_scaled).  ``scale`` is a
+    # multiple of every weight denominator, so both are exact integers
+    # even with fractional weights.
+    weight_scaled = [
+        exact_scaled_int(weights[vertex], scale) for vertex in range(n)
+    ]
     tight_rhs = [
         tight_threshold_scaled(weights[vertex], beta_num, beta_den, scale)
         for vertex in range(n)
@@ -555,4 +676,5 @@ def run_fastpath(
         metrics=None,
         verify=verify,
         dual_total=dual_total,
+        lane="bigint",
     )

@@ -1,0 +1,1043 @@
+"""Shared machine-width kernel lanes for the scaled-integer executors.
+
+The batched arena executor (PR 2) proved that Algorithm MWHVC's exact
+scaled fixed-point arithmetic can run on machine-width numpy arrays —
+bit-identical to the unbounded big-int path — as long as a conservative
+*headroom bound* guarantees that no intermediate of a sweep overflows.
+This module extracts that machinery into one shared layer so every
+consumer (the multi-instance arena in :mod:`repro.core.batch` and the
+single-instance fastpath loop in :mod:`repro.core.fastpath`) runs the
+same guarded kernels:
+
+* **headroom accounting** — :func:`scale_limit` bounds the largest
+  global scale for which every sweep intermediate stays representable
+  (coarse bound: writing ``S = w_max * scale * max(beta_den, alpha) *
+  2**(z+2)``, the lane is safe while ``S < 2**headroom_bits``), and
+  :func:`lane_eligibility` folds in the structural requirements
+  (numpy, multi-increment mode, unchecked runs, integral alphas);
+* **the int64 lane** (:class:`Int64Ops`) — plain ``int64`` arrays, one
+  numpy kernel per transition, exactly PR 2's arena arithmetic;
+* **the two-limb lane** (:class:`TwoLimbOps`) — every value is an
+  ``x = hi * 2**32 + lo`` pair of ``int64`` arrays with vectorized
+  carry propagation, widening the representable range to ~128 bits
+  (headroom ``2**93``) so large-scale / large-alpha / large-weight
+  instances that outgrow int64 still run at machine speed.  Small
+  multipliers (``beta_den``, ``alpha``, ``2**(z+2)``) must fit 31 bits
+  so limb products stay inside int64 — checked by eligibility;
+* **the sweep engine** (:class:`LaneRun`) — the per-iteration
+  vectorized protocol (tightness, level increments, halvings, raise
+  unanimity, dual growth) over a shared CSR arena of K >= 1 instances,
+  with per-instance dynamic rescaling and transparent *spill*: an
+  instance whose scale outruns its lane's headroom mid-run is handed
+  back to the caller, which re-runs it on the next lane down the
+  ladder (int64 -> two-limb -> big-int).  Either lane, same bits.
+
+The transition *formulas* are not duplicated: the int64 lane applies
+the ``*_scaled`` pure functions from :mod:`repro.core.vertex_logic`
+directly to whole arrays, and the two-limb lane implements the same
+cross-multiplied comparisons limb-wise (each rewrite cites its scalar
+twin).  The lane-forcing differential tests in
+``tests/test_kernel_lanes.py`` pin all lanes against the Fraction
+cores.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.lockstep import INIT_EXCHANGE_ROUNDS, phase_a_round
+from repro.core.numeric import exact_scaled_int, scaled_fraction
+from repro.core.params import AlgorithmConfig
+from repro.core.result import AlgorithmStats, CoverResult
+from repro.core.runner import finalize_result
+from repro.core.vertex_logic import (
+    is_tight_scaled,
+    tight_threshold_scaled,
+    wants_raise_scaled,
+)
+from repro.exceptions import (
+    InvalidInstanceError,
+    InvariantViolationError,
+    RoundLimitExceededError,
+)
+from repro.hypergraph.csr import BatchArena, pack_arena
+from repro.hypergraph.hypergraph import Hypergraph
+
+try:  # pragma: no cover - exercised implicitly by either branch
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "HAS_NUMPY",
+    "INT64_HEADROOM_BITS",
+    "TWO_LIMB_HEADROOM_BITS",
+    "MACHINE_LANES",
+    "Int64Ops",
+    "TwoLimbOps",
+    "LaneRun",
+    "lane_ops",
+    "lane_eligibility",
+    "headroom_factor",
+    "scale_limit",
+    "default_scale_limits",
+    "finalize_lane_instance",
+]
+
+#: Whether the vectorized kernel lanes are available in this process.
+HAS_NUMPY = _np is not None
+
+#: Bit budget for every intermediate of one int64 sweep.
+INT64_HEADROOM_BITS = 62
+
+#: Bit budget for the two-limb (hi/lo int64 pair) lane.  Values are
+#: ``hi * 2**32 + lo``; partial reduceat sums of the ``hi`` limbs stay
+#: below ``2**(93 - 32) * segment_length < 2**63`` and limb products of
+#: a 31-bit multiplier stay inside int64, so 93 bits is the safe range.
+TWO_LIMB_HEADROOM_BITS = 93
+
+#: Two-limb multiplications split into int64 limb products, which caps
+#: every scalar multiplier (``beta_den``, ``alpha_num``, ``2**(z+2)``)
+#: at 31 bits.
+SMALL_FACTOR_BITS = 31
+
+#: Bits per stored low limb of a two-limb value.
+LIMB_BITS = 32
+
+_LIMB_MASK = (1 << LIMB_BITS) - 1
+
+#: The machine-width lanes, strongest first; the spill ladder appends
+#: the unbounded big-int executor after these.
+MACHINE_LANES = ("int64", "two-limb")
+
+
+# ----------------------------------------------------------------------
+# Headroom accounting
+# ----------------------------------------------------------------------
+
+
+def headroom_factor(config: AlgorithmConfig, rank: int, state) -> int:
+    """The non-shift multiplier of the headroom product.
+
+    One sweep multiplies values by at most ``beta_den`` (tightness) or
+    ``alpha_num`` (raises) before shifting by at most ``z + 2`` bits;
+    the coarse bound takes the max of the two.
+    """
+    beta = config.beta(rank)
+    return max(beta.denominator, max(state.alpha_num, default=2))
+
+
+def scale_limit(
+    w_max: int | Fraction, factor: int, z: int, headroom_bits: int
+) -> int:
+    """Largest scale keeping every sweep intermediate inside the lane.
+
+    Bids and duals stay below ``w_max * scale`` (Claims 1-2), flags and
+    level tests shift by at most ``z``, the tightness test multiplies
+    by ``beta_den`` and raises multiply by ``alpha`` — so ``w_max *
+    scale * factor * 2**(z+2) < 2**headroom_bits`` keeps everything
+    representable.  ``w_max`` may be a :class:`Fraction` (fractional
+    vertex weights): the bound is computed exactly either way, and a
+    regime with no representable scale returns 0 (every ``scale >= 1``
+    is then ineligible — callers must treat that as a spill, never an
+    error).
+    """
+    w_max = Fraction(w_max)
+    denominator = w_max.numerator * factor << (z + 2)
+    return ((1 << headroom_bits) * w_max.denominator) // denominator
+
+
+def _lane_headroom_bits(lane: str) -> int:
+    # Read the module globals at call time so tests can monkeypatch the
+    # budgets to force spills.
+    if lane == "int64":
+        return INT64_HEADROOM_BITS
+    if lane == "two-limb":
+        return TWO_LIMB_HEADROOM_BITS
+    raise InvalidInstanceError(f"unknown machine lane {lane!r}")
+
+
+def lane_eligibility(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig,
+    state,
+    *,
+    lane: str,
+    headroom_bits: int | None = None,
+) -> tuple[bool, str]:
+    """Whether ``lane`` can run this instance exactly.
+
+    Returns ``(eligible, reason)``; ``reason`` names the first failed
+    requirement (or is ``"ok"``).  ``state`` is the instance's
+    :class:`~repro.core.fastpath.ScaledState` (iteration 0 already
+    computed by the caller — this module never recomputes it).  The
+    check never raises on exotic instances (fractional weights, huge
+    scales): anything it cannot bound is simply ineligible.
+    """
+    if not HAS_NUMPY:
+        return False, "numpy unavailable"
+    if hypergraph.num_edges == 0:
+        return False, "empty instance (solved directly)"
+    if config.increment_mode != "multi":
+        return False, "single-increment mode uses the scalar executor"
+    if config.check_invariants:
+        return False, "checked runs use the scalar executor"
+    if any(den != 1 for den in state.alpha_den):
+        return False, "fractional alpha uses the scalar executor"
+    rank = hypergraph.rank
+    z = config.z(rank)
+    factor = headroom_factor(config, rank, state)
+    if lane == "two-limb":
+        # Limb products of the two-limb multiply must fit int64.
+        if z + 2 > SMALL_FACTOR_BITS or factor >= (1 << SMALL_FACTOR_BITS):
+            return False, "multiplier exceeds the two-limb 31-bit budget"
+    bits = headroom_bits if headroom_bits is not None else _lane_headroom_bits(lane)
+    limit = scale_limit(max(hypergraph.weights), factor, z, bits)
+    if state.scale > limit:
+        return False, f"initial scale exceeds the {lane} headroom"
+    return True, "ok"
+
+
+def default_scale_limits(hypergraphs, config, states, *, lane: str) -> list[int]:
+    """Per-instance mid-run scale ceilings for ``lane``'s headroom."""
+    bits = _lane_headroom_bits(lane)
+    limits = []
+    for hypergraph, state in zip(hypergraphs, states):
+        rank = hypergraph.rank
+        limits.append(
+            scale_limit(
+                max(hypergraph.weights),
+                headroom_factor(config, rank, state),
+                config.z(rank),
+                bits,
+            )
+        )
+    return limits
+
+
+# ----------------------------------------------------------------------
+# Lane backends
+#
+# A lane implements one uniform op surface over opaque "value arrays"
+# (bids, duals, scaled weights, thresholds).  Bookkeeping arrays
+# (levels, flags, counters, index sets) are plain int64 in every lane.
+# ----------------------------------------------------------------------
+
+
+class Int64Ops:
+    """PR 2's arena arithmetic: values are plain ``int64`` arrays."""
+
+    name = "int64"
+
+    @staticmethod
+    def from_list(values):
+        return _np.array(values, dtype=_np.int64)
+
+    @staticmethod
+    def tolist_slice(value, sl):
+        return value[sl].tolist()
+
+    @staticmethod
+    def copy(value):
+        return value.copy()
+
+    @staticmethod
+    def gather(value, idx):
+        return value[idx]
+
+    @staticmethod
+    def scatter(value, idx, other):
+        value[idx] = other
+
+    @staticmethod
+    def iadd(value, idx, other):
+        value[idx] += other
+
+    @staticmethod
+    def mul_mask(value, mask):
+        return value * mask
+
+    @staticmethod
+    def mul_int(value, factor):
+        return value * factor
+
+    @staticmethod
+    def shl(value, count):
+        return value << count
+
+    @staticmethod
+    def shr_exact(value, count):
+        return value >> count
+
+    @staticmethod
+    def ishl_slice(value, sl, shift):
+        value[sl] <<= shift
+
+    @staticmethod
+    def gt(left, right):
+        return left > right
+
+    @staticmethod
+    def bit_or(left, right):
+        return left | right
+
+    @staticmethod
+    def trailing_zeros(value):
+        low_bit = value & -value
+        return _np.log2(low_bit.astype(_np.float64)).astype(_np.int64)
+
+    @staticmethod
+    def reduceat(cells, starts):
+        return _np.add.reduceat(cells, starts)
+
+    @staticmethod
+    def empty():
+        return _np.empty(0, dtype=_np.int64)
+
+    # -- transition tests (delegate to the shared pure functions, which
+    # -- are written as array-compatible expressions) ------------------
+
+    @staticmethod
+    def is_tight(running, beta_den, threshold):
+        return is_tight_scaled(running, beta_den, threshold)
+
+    @staticmethod
+    def wants_raise(sums, weight, level, extra_shift=None):
+        if extra_shift is None:
+            return wants_raise_scaled(sums, weight, level)
+        return wants_raise_scaled(
+            sums, weight, level, extra_shift=extra_shift
+        )
+
+
+class TwoLimb:
+    """A vector of non-negative ~128-bit values: ``hi * 2**32 + lo``.
+
+    Both limbs are ``int64`` arrays; the *normalized* invariant is
+    ``0 <= lo < 2**32`` (so bitwise OR across pairs equals OR of the
+    represented values).  ``hi`` stays below ``2**61`` for every value
+    admitted by the ``2**93`` headroom bound.
+    """
+
+    __slots__ = ("hi", "lo")
+
+    def __init__(self, hi, lo):
+        self.hi = hi
+        self.lo = lo
+
+    @property
+    def size(self):
+        return self.lo.size
+
+
+def _two_limb_normalize(hi, lo):
+    carry = lo >> LIMB_BITS
+    return TwoLimb(hi + carry, lo & _LIMB_MASK)
+
+
+class TwoLimbOps:
+    """The 128-bit lane: limb-parallel arithmetic with vectorized carry.
+
+    Every operation is a handful of int64 numpy kernels; the comments
+    bound the intermediates.  ``V`` denotes a represented value, which
+    the headroom guarantee keeps below ``2**93``; scalar multipliers
+    are below ``2**31`` (eligibility), so every limb product fits a
+    signed int64.
+    """
+
+    name = "two-limb"
+
+    @staticmethod
+    def from_list(values):
+        hi = _np.array([value >> LIMB_BITS for value in values], dtype=_np.int64)
+        lo = _np.array([value & _LIMB_MASK for value in values], dtype=_np.int64)
+        return TwoLimb(hi, lo)
+
+    @staticmethod
+    def tolist_slice(value, sl):
+        his = value.hi[sl].tolist()
+        los = value.lo[sl].tolist()
+        return [(hi << LIMB_BITS) | lo for hi, lo in zip(his, los)]
+
+    @staticmethod
+    def copy(value):
+        return TwoLimb(value.hi.copy(), value.lo.copy())
+
+    @staticmethod
+    def gather(value, idx):
+        return TwoLimb(value.hi[idx], value.lo[idx])
+
+    @staticmethod
+    def scatter(value, idx, other):
+        value.hi[idx] = other.hi
+        value.lo[idx] = other.lo
+
+    @staticmethod
+    def iadd(value, idx, other):
+        # lo sums stay below 2**33; one carry pass renormalizes.
+        lo = value.lo[idx] + other.lo
+        value.hi[idx] += other.hi + (lo >> LIMB_BITS)
+        value.lo[idx] = lo & _LIMB_MASK
+
+    @staticmethod
+    def mul_mask(value, mask):
+        return TwoLimb(value.hi * mask, value.lo * mask)
+
+    @staticmethod
+    def mul_int(value, factor):
+        """``V * c`` for ``c < 2**31`` (scalar or per-element array).
+
+        Splits ``hi`` into 31-bit halves so every partial product fits
+        int64: ``V*c = (hi>>31)*c * 2**63 + (hi&M31)*c * 2**32 + lo*c``
+        with ``lo*c < 2**63``, ``(hi&M31)*c < 2**62`` and — because the
+        result is below the 2**93 headroom — ``(hi>>31)*c < 2**30``.
+        """
+        mask31 = (1 << 31) - 1
+        p_lo = value.lo * factor
+        p_h0 = (value.hi & mask31) * factor
+        p_h1 = (value.hi >> 31) * factor
+        hi = (p_h1 << 31) + p_h0 + (p_lo >> LIMB_BITS)
+        return TwoLimb(hi, p_lo & _LIMB_MASK)
+
+    @classmethod
+    def shl(cls, value, count):
+        """``V << count`` in chunks of <= 30 bits (each a mul_int)."""
+        if _np.isscalar(count) or getattr(count, "ndim", 1) == 0:
+            count = _np.full(value.size, int(count), dtype=_np.int64)
+        result = value
+        remaining = count
+        while remaining.size and int(remaining.max()) > 0:
+            step = _np.minimum(remaining, 30)
+            result = cls.mul_int(result, _np.int64(1) << step)
+            remaining = remaining - step
+        return result
+
+    @staticmethod
+    def shr_exact(value, count):
+        """``V >> count`` (exact division) in chunks of <= 31 bits."""
+        hi, lo = value.hi, value.lo
+        remaining = count
+        while True:
+            step = _np.minimum(remaining, 31)
+            lo = (lo >> step) | ((hi & ((_np.int64(1) << step) - 1)) << (LIMB_BITS - step))
+            hi = hi >> step
+            remaining = remaining - step
+            if not remaining.size or int(remaining.max()) <= 0:
+                break
+        return TwoLimb(hi, lo)
+
+    @classmethod
+    def ishl_slice(cls, value, sl, shift):
+        shifted = cls.shl(
+            TwoLimb(value.hi[sl], value.lo[sl]),
+            _np.int64(shift),
+        )
+        value.hi[sl] = shifted.hi
+        value.lo[sl] = shifted.lo
+
+    @staticmethod
+    def gt(left, right):
+        return (left.hi > right.hi) | (
+            (left.hi == right.hi) & (left.lo > right.lo)
+        )
+
+    @staticmethod
+    def _ge(left, right):
+        return (left.hi > right.hi) | (
+            (left.hi == right.hi) & (left.lo >= right.lo)
+        )
+
+    @staticmethod
+    def bit_or(left, right):
+        # Valid because normalized lo limbs occupy exactly 32 bits.
+        return TwoLimb(left.hi | right.hi, left.lo | right.lo)
+
+    @staticmethod
+    def trailing_zeros(value):
+        lo_bit = value.lo & -value.lo
+        hi_bit = value.hi & -value.hi
+        lo_tz = _np.log2(
+            _np.maximum(lo_bit, 1).astype(_np.float64)
+        ).astype(_np.int64)
+        hi_tz = _np.log2(
+            _np.maximum(hi_bit, 1).astype(_np.float64)
+        ).astype(_np.int64)
+        return _np.where(value.lo != 0, lo_tz, LIMB_BITS + hi_tz)
+
+    @staticmethod
+    def reduceat(cells, starts):
+        # lo partial sums < segment_length * 2**32 and hi partial sums
+        # < (semantic segment sum) / 2**32 < 2**61 — both inside int64.
+        hi = _np.add.reduceat(cells.hi, starts)
+        lo = _np.add.reduceat(cells.lo, starts)
+        return _two_limb_normalize(hi, lo)
+
+    @staticmethod
+    def empty():
+        empty = _np.empty(0, dtype=_np.int64)
+        return TwoLimb(empty, empty.copy())
+
+    # -- transition tests ----------------------------------------------
+
+    @classmethod
+    def is_tight(cls, running, beta_den, threshold):
+        """:func:`~repro.core.vertex_logic.is_tight_scaled`, limb-wise:
+        ``running * beta_den >= threshold``."""
+        return cls._ge(cls.mul_int(running, beta_den), threshold)
+
+    @classmethod
+    def wants_raise(cls, sums, weight, level, extra_shift=None):
+        """:func:`~repro.core.vertex_logic.wants_raise_scaled`,
+        limb-wise: ``sums << (level+1) <= weight << extra_shift``."""
+        lhs = cls.shl(sums, level + 1)
+        rhs = weight if extra_shift is None else cls.shl(weight, extra_shift)
+        return ~cls.gt(lhs, rhs)
+
+
+_LANE_OPS = {"int64": Int64Ops, "two-limb": TwoLimbOps}
+
+
+def lane_ops(lane: str):
+    """The ops backend implementing ``lane``."""
+    try:
+        return _LANE_OPS[lane]
+    except KeyError:
+        raise InvalidInstanceError(
+            f"unknown machine lane {lane!r}"
+        ) from None
+
+
+def finalize_lane_instance(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig,
+    raw: dict,
+    verify: bool,
+    *,
+    lane: str,
+) -> CoverResult:
+    """Convert one instance's lane state back to exact Fractions."""
+    scale = raw["scale"]
+    dual = {
+        edge_id: scaled_fraction(value, scale)
+        for edge_id, value in enumerate(raw["delta"])
+    }
+    return finalize_result(
+        hypergraph,
+        config,
+        cover=frozenset(raw["cover"]),
+        dual=dual,
+        levels=tuple(raw["levels"]),
+        stats=raw["stats"],
+        alphas=raw["alphas"],
+        iterations=raw["iterations"],
+        rounds=raw["rounds"],
+        metrics=None,
+        verify=verify,
+        dual_total=scaled_fraction(sum(raw["delta"]), scale),
+        lane=lane,
+    )
+
+
+class LaneRun:
+    """One batched execution over a shared CSR arena on a kernel lane.
+
+    ``K >= 1`` instances are packed into disjoint global id ranges and
+    advanced together, one vectorized sweep per iteration; ``ops`` is
+    the lane backend (:class:`Int64Ops` or :class:`TwoLimbOps`) and
+    ``limits`` the per-instance scale ceilings from the lane's
+    headroom bound.  Instances whose dynamically growing scale would
+    cross their ceiling are *spilled* (abandoned mid-run, reported in
+    the second element of :meth:`solve`'s result) for the caller to
+    re-run on a wider lane; everything else is bit-identical to the
+    scalar fastpath executor.
+    """
+
+    def __init__(self, hypergraphs, states, config: AlgorithmConfig, *, ops, limits):
+        self.config = config
+        self.spec = config.schedule == "spec"
+        self.count = len(hypergraphs)
+        self.hypergraphs = hypergraphs
+        self.states = states
+        self.ops = ops
+        arena: BatchArena = pack_arena(hypergraphs)
+        self.arena = arena
+        total_v = arena.total_vertices
+        total_e = arena.total_edges
+
+        int64 = _np.int64
+        # -- edge-side state ------------------------------------------
+        self.bid = ops.from_list(
+            [value for state in states for value in state.bid]
+        )
+        self.raised = ops.from_list(
+            [value for state in states for value in state.raised]
+        )
+        self.delta = ops.copy(self.bid)
+        self.alpha_num_e = _np.array(
+            [num for state in states for num in state.alpha_num],
+            dtype=int64,
+        )
+        self.covered = _np.zeros(total_e, dtype=bool)
+        self.live_edge = _np.ones(total_e, dtype=bool)
+        self.raise_count = _np.zeros(total_e, dtype=int64)
+        self.halving_count = _np.zeros(total_e, dtype=int64)
+        self.inst_e = _np.array(arena.instance_of_edge, dtype=int64)
+
+        # -- vertex-side state ----------------------------------------
+        self.scales = [state.scale for state in states]
+        beta_den, z_caps = [], []
+        weight_scaled: list[int] = []
+        tight_rhs: list[int] = []
+        for hypergraph, state in zip(hypergraphs, states):
+            beta = config.beta(hypergraph.rank)
+            beta_den.append(beta.denominator)
+            z_caps.append(config.z(hypergraph.rank))
+            for vertex in range(hypergraph.num_vertices):
+                weight = hypergraph.weight(vertex)
+                weight_scaled.append(exact_scaled_int(weight, state.scale))
+                tight_rhs.append(
+                    tight_threshold_scaled(
+                        weight, beta.numerator, beta.denominator,
+                        state.scale,
+                    )
+                )
+        self.z_caps = z_caps
+        self.limits = limits
+        self.weight_scaled = ops.from_list(weight_scaled)
+        self.tight_rhs = ops.from_list(tight_rhs)
+        self.total_delta = ops.from_list(
+            [value for state in states for value in state.total_delta]
+        )
+        degrees = _np.array(
+            [deg for state in states for deg in state.degrees], dtype=int64
+        )
+        self.uncovered_count = degrees.copy()
+        self.level = _np.zeros(total_v, dtype=int64)
+        self.k_inc = _np.zeros(total_v, dtype=int64)
+        self.flags = _np.zeros(total_v, dtype=int64)
+        self.in_cover = _np.zeros(total_v, dtype=bool)
+        self.dead = degrees == 0
+        self.inst_v = _np.array(arena.instance_of_vertex, dtype=int64)
+        self.beta_den_v = _np.repeat(
+            _np.array(beta_den, dtype=int64),
+            _np.diff(_np.array(arena.vertex_offset, dtype=int64)),
+        )
+        self.z_v = _np.repeat(
+            _np.array(z_caps, dtype=int64),
+            _np.diff(_np.array(arena.vertex_offset, dtype=int64)),
+        )
+        z_max = max(z_caps)
+        self.stuck = _np.zeros((total_v, z_max), dtype=int64)
+
+        # -- CSR kernels ----------------------------------------------
+        membership = arena.membership
+        self.e_cells = _np.array(membership.cells, dtype=int64)
+        self.e_starts = _np.array(membership.starts, dtype=int64)
+        self.e_lengths = _np.array(membership.lengths, dtype=int64)
+        # The incidence layout is the membership transpose: a stable
+        # sort of the membership cells groups the (edge, vertex) pairs
+        # by vertex while keeping ascending edge ids inside each group
+        # — the same ordering :func:`repro.hypergraph.csr.arena_incidence`
+        # specifies (and tests pin), built vectorized because this runs
+        # per solve.
+        order = _np.argsort(self.e_cells, kind="stable")
+        self.v_cells = _np.repeat(
+            _np.arange(total_e, dtype=int64), self.e_lengths
+        )[order]
+        v_lengths = _np.bincount(self.e_cells, minlength=total_v).astype(
+            int64
+        )
+        v_starts = _np.zeros(total_v, dtype=int64)
+        _np.cumsum(v_lengths[:-1], out=v_starts[1:])
+        self.v_starts = v_starts
+        self.v_lengths = v_lengths
+        live_start = _np.nonzero(v_lengths > 0)[0]
+
+        # -- per-instance bookkeeping ---------------------------------
+        self.active = _np.ones(self.count, dtype=bool)
+        self.spilled: set[int] = set()
+        self.iterations = [0] * self.count
+        self.halt_round = _np.full(
+            self.count, INIT_EXCHANGE_ROUNDS, dtype=int64
+        )
+        self.live_v = live_start
+        self.live_e = _np.arange(total_e, dtype=int64)
+
+    # ------------------------------------------------------------------
+    # Gather / segment kernels
+    # ------------------------------------------------------------------
+
+    def _expand_segments(self, ids, starts, lengths):
+        """Flat cell positions of the given segments, concatenated."""
+        lens = lengths[ids]
+        total = int(lens.sum())
+        if total == 0:
+            return _np.empty(0, dtype=_np.int64)
+        ends = _np.cumsum(lens)
+        inner = _np.arange(total, dtype=_np.int64) - _np.repeat(
+            ends - lens, lens
+        )
+        return _np.repeat(starts[ids], lens) + inner
+
+    def _edge_view(self):
+        """Live-edge subset CSR: (live edges, segment starts, cells).
+
+        Rebuilt per sweep so every structural kernel touches only the
+        cells of edges that are still uncovered — the live sets shrink
+        fast, and full-arena kernels would dominate the tail sweeps.
+        """
+        live = self.live_e
+        lengths = self.e_lengths[live]
+        starts = _np.zeros(live.size, dtype=_np.int64)
+        if live.size:
+            _np.cumsum(lengths[:-1], out=starts[1:])
+        cells = self.e_cells[
+            self._expand_segments(live, self.e_starts, self.e_lengths)
+        ]
+        return live, starts, cells
+
+    def _vertex_view(self):
+        """Live-vertex subset CSR over the incidence layout."""
+        live = self.live_v
+        lengths = self.v_lengths[live]
+        starts = _np.zeros(live.size, dtype=_np.int64)
+        if live.size:
+            _np.cumsum(lengths[:-1], out=starts[1:])
+        cells = self.v_cells[
+            self._expand_segments(live, self.v_starts, self.v_lengths)
+        ]
+        return live, starts, cells
+
+    def _live_vertex_sums(self, edge_values, vertex_view):
+        """Per-live-vertex sums of an edge value array over live
+        incident edges, aligned with the view's vertex order."""
+        ops = self.ops
+        live, starts, cells = vertex_view
+        if not live.size:
+            return ops.empty()
+        # Gather first, mask second: O(live cells), not O(total edges).
+        masked = ops.mul_mask(ops.gather(edge_values, cells), self.live_edge[cells])
+        return ops.reduceat(masked, starts)
+
+    # ------------------------------------------------------------------
+    # Sweep phases
+    # ------------------------------------------------------------------
+
+    def _level_up(self, vertices, running):
+        """Step 3d's while-loop, vectorized over a shrinking index set.
+
+        The comparison is the array form of
+        :func:`~repro.core.vertex_logic.count_level_increments_scaled`:
+        ``(running << shift) > weight_scaled * (2**shift - 1)``.
+        """
+        ops = self.ops
+        self.k_inc[vertices] = 0
+        idx = vertices
+        while idx.size:
+            shift = self.level[idx] + 1
+            over = ops.gt(
+                ops.shl(running, shift),
+                ops.mul_int(
+                    ops.gather(self.weight_scaled, idx),
+                    (_np.int64(1) << shift) - 1,
+                ),
+            )
+            idx = idx[over]
+            running = ops.gather(running, over)
+            if not idx.size:
+                break
+            self.level[idx] += 1
+            self.k_inc[idx] += 1
+            capped = self.level[idx] >= self.z_v[idx]
+            if capped.any():
+                vertex = int(idx[capped][0])
+                instance = int(self.inst_v[vertex])
+                local = vertex - self.arena.vertex_offset[instance]
+                raise InvariantViolationError(
+                    f"vertex {local} reached level "
+                    f"{int(self.level[vertex])} >= "
+                    f"z = {self.z_caps[instance]} (Claim 4 violated)"
+                )
+
+    def _record_flags(self, vertices, sums, extra_shift=None):
+        """Step 3e for a vertex set: flags plus stuck statistics.
+
+        ``sums`` is aligned with ``vertices`` (one weighted-bid sum per
+        entry, as produced by :meth:`_live_vertex_sums`).
+        """
+        if not vertices.size:
+            return
+        ops = self.ops
+        weight = ops.gather(self.weight_scaled, vertices)
+        raise_flag = ops.wants_raise(
+            sums, weight, self.level[vertices], extra_shift
+        )
+        self.flags[vertices] = raise_flag
+        stuck = vertices[~raise_flag]
+        if stuck.size:
+            _np.add.at(self.stuck, (stuck, self.level[stuck]), 1)
+
+    def _mark_coverage(self, joiners):
+        """Edges of this sweep's joiners become covered."""
+        if not joiners.size:
+            return _np.empty(0, dtype=_np.int64)
+        cells = self.v_cells[
+            self._expand_segments(joiners, self.v_starts, self.v_lengths)
+        ]
+        newly = _np.unique(cells[~self.covered[cells]])
+        if newly.size:
+            self.covered[newly] = True
+            self.live_edge[newly] = False
+            self.live_e = self.live_e[~self.covered[self.live_e]]
+        return newly
+
+    def _apply_coverage(self, newly):
+        """Non-joining members learn coverage; returns childless ones."""
+        if not newly.size:
+            return _np.empty(0, dtype=_np.int64)
+        cells = self.e_cells[
+            self._expand_segments(newly, self.e_starts, self.e_lengths)
+        ]
+        members = cells[~self.in_cover[cells]]
+        _np.subtract.at(self.uncovered_count, members, 1)
+        candidates = _np.unique(members)
+        terminated = candidates[
+            (self.uncovered_count[candidates] == 0)
+            & ~self.dead[candidates]
+        ]
+        if terminated.size:
+            self.dead[terminated] = True
+        return terminated
+
+    def _halve_edges(self, edge_view) -> bool:
+        """Step 3d (edge half) with per-instance dynamic rescaling.
+
+        The scalar executor rescales lazily edge by edge; the combined
+        factor it reaches is ``2**max(count - trailing_zeros)`` over
+        the instance's halving edges, independent of processing order,
+        so the lane applies that factor to the whole instance slice at
+        once.  Instances whose scale would outgrow the lane's headroom
+        are spilled to the next lane instead; returns whether any
+        instance spilled (the caller's live views are then stale).
+        """
+        ops = self.ops
+        live, starts, cells = edge_view
+        if not live.size:
+            return False
+        totals = _np.add.reduceat(self.k_inc[cells], starts)
+        mask = totals > 0
+        halving = live[mask]
+        if not halving.size:
+            return False
+        counts = totals[mask]
+        joint = ops.bit_or(
+            ops.gather(self.bid, halving), ops.gather(self.raised, halving)
+        )
+        trailing = ops.trailing_zeros(joint)
+        deficit = counts - trailing
+        lacking = deficit > 0
+        spilled_now = False
+        if lacking.any():
+            factors = _np.zeros(self.count, dtype=_np.int64)
+            _np.maximum.at(
+                factors, self.inst_e[halving[lacking]], deficit[lacking]
+            )
+            for instance in _np.nonzero(factors)[0]:
+                instance = int(instance)
+                shift = int(factors[instance])
+                new_scale = self.scales[instance] << shift
+                if new_scale > self.limits[instance]:
+                    self._spill(instance)
+                    spilled_now = True
+                    continue
+                self.scales[instance] = new_scale
+                vertex_slice = self.arena.vertex_slice(instance)
+                edge_slice = self.arena.edge_slice(instance)
+                for array in (self.bid, self.raised, self.delta):
+                    ops.ishl_slice(array, edge_slice, shift)
+                for array in (
+                    self.total_delta,
+                    self.weight_scaled,
+                    self.tight_rhs,
+                ):
+                    ops.ishl_slice(array, vertex_slice, shift)
+            if spilled_now:
+                keep = self.live_edge[halving]
+                halving = halving[keep]
+                counts = counts[keep]
+                if not halving.size:
+                    return True
+        self.halving_count[halving] += counts
+        ops.scatter(
+            self.bid,
+            halving,
+            ops.shr_exact(ops.gather(self.bid, halving), counts),
+        )
+        ops.scatter(
+            self.raised,
+            halving,
+            ops.shr_exact(ops.gather(self.raised, halving), counts),
+        )
+        return spilled_now
+
+    def _raise_and_grow(self, edge_view, vertex_view):
+        """Step 3f across the live arena: raises, then dual growth."""
+        ops = self.ops
+        live, starts, cells = edge_view
+        if live.size:
+            unanimous = _np.bitwise_and.reduceat(self.flags[cells], starts)
+            raising = live[unanimous == 1]
+            if raising.size:
+                self.raise_count[raising] += 1
+                ops.scatter(
+                    self.bid, raising, ops.gather(self.raised, raising)
+                )
+                ops.scatter(
+                    self.raised,
+                    raising,
+                    ops.mul_int(
+                        ops.gather(self.bid, raising),
+                        self.alpha_num_e[raising],
+                    ),
+                )
+            ops.iadd(self.delta, live, ops.gather(self.bid, live))
+        vertices = vertex_view[0]
+        if vertices.size:
+            ops.iadd(
+                self.total_delta,
+                vertices,
+                self._live_vertex_sums(self.bid, vertex_view),
+            )
+
+    def _spill(self, instance: int) -> None:
+        """Abandon an instance's lane state; a wider lane re-runs it."""
+        self.spilled.add(instance)
+        self.active[instance] = False
+        edge_slice = self.arena.edge_slice(instance)
+        self.live_edge[edge_slice] = False
+        self._filter_live()
+
+    def _filter_live(self) -> None:
+        self.live_v = self.live_v[self.active[self.inst_v[self.live_v]]]
+        self.live_e = self.live_e[self.active[self.inst_e[self.live_e]]]
+
+    def _bump_halt(self, instances, value: int) -> None:
+        if instances.size:
+            _np.maximum.at(self.halt_round, instances, value)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self) -> tuple[dict[int, dict], set[int]]:
+        config = self.config
+        ops = self.ops
+        spec = self.spec
+        sweep = 0
+        while self.live_e.size:
+            sweep += 1
+            if sweep > config.max_iterations:
+                raise RoundLimitExceededError(
+                    f"no termination after {config.max_iterations} "
+                    f"iterations; {self.live_e.size} edges uncovered "
+                    "across the batch"
+                )
+            round_a = phase_a_round(sweep, spec=spec)
+
+            live = self.live_v
+            if not spec:
+                # Compact: flags are fixed in phase A on the previous
+                # sweep's bids/coverage, before joins are applied.
+                pre_view = self._vertex_view()
+                pre_sums = self._live_vertex_sums(self.raised, pre_view)
+
+            running = ops.gather(self.total_delta, live)
+            tight = ops.is_tight(
+                running,
+                self.beta_den_v[live],
+                ops.gather(self.tight_rhs, live),
+            )
+            joiners = live[tight]
+            if joiners.size:
+                self.in_cover[joiners] = True
+            nonjoin = live[~tight]
+            self._level_up(nonjoin, ops.gather(running, ~tight))
+            if not spec:
+                self._record_flags(
+                    nonjoin,
+                    ops.gather(pre_sums, ~tight),
+                    extra_shift=self.k_inc[nonjoin],
+                )
+
+            newly = self._mark_coverage(joiners)
+            self._bump_halt(self.inst_v[joiners], round_a)
+            self._bump_halt(self.inst_e[newly], round_a + 1)
+
+            if spec:
+                terminated = self._apply_coverage(newly)
+                self._bump_halt(self.inst_v[terminated], round_a + 2)
+                self.live_v = self.live_v[
+                    ~self.in_cover[self.live_v] & ~self.dead[self.live_v]
+                ]
+                edge_view = self._edge_view()
+                if self._halve_edges(edge_view):
+                    edge_view = self._edge_view()
+                vertex_view = self._vertex_view()
+                self._record_flags(
+                    vertex_view[0],
+                    self._live_vertex_sums(self.raised, vertex_view),
+                )
+                self._raise_and_grow(edge_view, vertex_view)
+            else:
+                edge_view = self._edge_view()
+                if self._halve_edges(edge_view):
+                    edge_view = self._edge_view()
+                self._raise_and_grow(edge_view, self._vertex_view())
+                terminated = self._apply_coverage(newly)
+                self._bump_halt(self.inst_v[terminated], round_a + 2)
+                self.live_v = self.live_v[
+                    ~self.in_cover[self.live_v] & ~self.dead[self.live_v]
+                ]
+
+            remaining = _np.bincount(
+                self.inst_e[self.live_e], minlength=self.count
+            )
+            finished = _np.nonzero(self.active & (remaining == 0))[0]
+            if finished.size:
+                for instance in finished:
+                    instance = int(instance)
+                    self.iterations[instance] = sweep
+                    self.active[instance] = False
+                self._filter_live()
+
+        return {
+            instance: self._collect(instance)
+            for instance in range(self.count)
+            if instance not in self.spilled
+        }, self.spilled
+
+    def _collect(self, instance: int) -> dict:
+        vertex_slice = self.arena.vertex_slice(instance)
+        edge_slice = self.arena.edge_slice(instance)
+        levels = self.level[vertex_slice]
+        raises = self.raise_count[edge_slice]
+        stuck = self.stuck[vertex_slice]
+        stats = AlgorithmStats(
+            total_raise_events=int(raises.sum()),
+            max_raises_per_edge=int(raises.max()),
+            total_stuck_events=int(stuck.sum()),
+            max_stuck_per_vertex_level=int(stuck.max()),
+            total_halvings=int(self.halving_count[edge_slice].sum()),
+            max_level=int(levels.max()),
+            level_cap=self.z_caps[instance],
+        )
+        return {
+            "scale": self.scales[instance],
+            "cover": _np.nonzero(self.in_cover[vertex_slice])[0].tolist(),
+            "delta": self.ops.tolist_slice(self.delta, edge_slice),
+            "levels": levels.tolist(),
+            "stats": stats,
+            "alphas": list(self.states[instance].alpha_list),
+            "iterations": self.iterations[instance],
+            "rounds": int(self.halt_round[instance]),
+        }

@@ -14,7 +14,7 @@ from fractions import Fraction
 from math import gcd
 from numbers import Rational
 
-from repro.exceptions import InvalidInstanceError
+from repro.exceptions import AlgorithmError, InvalidInstanceError
 
 __all__ = [
     "parse_epsilon",
@@ -22,7 +22,41 @@ __all__ = [
     "ceil_log2_fraction",
     "half_power",
     "scaled_fraction",
+    "exact_scaled_int",
 ]
+
+
+def _probe_fraction_slots() -> bool:
+    """One-time capability probe for the ``Fraction.__new__`` fast path.
+
+    :func:`scaled_fraction` builds Fractions through the private
+    ``_numerator`` / ``_denominator`` slots that CPython's
+    ``fractions`` module uses internally.  Those are implementation
+    details: a future CPython could rename them, add ``__slots__``
+    enforcement, or cache derived state, silently breaking (or worse,
+    corrupting) every value built this way.  This probe constructs one
+    value via the back door and checks it behaves exactly like the
+    public constructor; any discrepancy or exception disables the fast
+    path for the whole process, degrading to slow-but-correct.
+    """
+    try:
+        value = Fraction.__new__(Fraction)
+        value._numerator = 3
+        value._denominator = 2
+        reference = Fraction(3, 2)
+        return (
+            value == reference
+            and value.numerator == 3
+            and value.denominator == 2
+            and value + Fraction(1, 2) == Fraction(2)
+            and hash(value) == hash(reference)
+        )
+    except Exception:  # pragma: no cover - depends on the interpreter
+        return False
+
+
+#: Whether this interpreter supports the slot-layout fast path.
+_HAS_FRACTION_SLOTS = _probe_fraction_slots()
 
 
 def scaled_fraction(numerator: int, scale: int) -> Fraction:
@@ -34,13 +68,39 @@ def scaled_fraction(numerator: int, scale: int) -> Fraction:
     re-validating its operands.  This helper performs exactly the same
     normalization (divide by the gcd; ``scale > 0`` so no sign fixup)
     through the slot layout ``fractions`` itself uses internally,
-    producing canonically equal values at a fraction of the cost.
+    producing canonically equal values at a fraction of the cost.  If
+    the one-time :func:`_probe_fraction_slots` capability check failed
+    (a CPython internals change), it falls back to the public
+    constructor — slower, never wrong.
     """
+    if not _HAS_FRACTION_SLOTS:
+        return Fraction(numerator, scale)
     divisor = gcd(numerator, scale)
     value = Fraction.__new__(Fraction)
     value._numerator = numerator // divisor
     value._denominator = scale // divisor
     return value
+
+
+def exact_scaled_int(value: Rational | int, scale: int) -> int:
+    """``value * scale`` as an exact integer.
+
+    The scaled-integer executors store every rational quantity as an
+    integer numerator over one global ``scale`` chosen (as an lcm of
+    all relevant denominators) so that these products are integral;
+    this helper performs the conversion and *verifies* integrality, so
+    a mis-chosen scale fails loudly instead of truncating.  Plain int
+    values pass through with no overhead beyond the multiply.
+    """
+    scaled = value * scale
+    if isinstance(scaled, int):
+        return scaled
+    numerator = int(scaled)
+    if numerator != scaled:
+        raise AlgorithmError(
+            f"scale {scale} cannot represent {value!r} exactly"
+        )
+    return numerator
 
 
 def parse_rational(value: Rational | int | float | str, what: str) -> Fraction:

@@ -9,13 +9,30 @@ executions — the engine's message metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 
 from repro.congest.metrics import RunMetrics
 from repro.lp.duality import ApproximationCertificate
 
-__all__ = ["AlgorithmStats", "CoverResult"]
+__all__ = ["AlgorithmStats", "CoverResult", "rational_for_json"]
+
+
+def rational_for_json(value: int | Fraction) -> int | str:
+    """A JSON-safe rendering of an exact weight-like quantity.
+
+    Integers pass through unchanged (the overwhelmingly common case);
+    non-integral rationals — possible since vertex weights may be
+    Fractions — are rendered canonically as ``"num/den"`` strings, the
+    same form :meth:`CoverResult.as_dict` uses for every other rational
+    field (``str(Fraction(3, 2)) == "3/2"``).
+    """
+    if isinstance(value, int):
+        return value
+    value = Fraction(value)
+    if value.denominator == 1:
+        return value.numerator
+    return str(value)
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,7 +81,8 @@ class CoverResult:
     cover:
         The computed vertex cover ``C``.
     weight:
-        ``w(C)`` (integer — vertex weights are integers).
+        ``w(C)`` (an exact int, or a Fraction when vertex weights are
+        fractional).
     rank / epsilon / guarantee:
         Instance rank ``f``, the slack ``eps``, and the certified bound
         ``f + eps``.
@@ -90,10 +108,16 @@ class CoverResult:
     alpha_min / alpha_max:
         Range of alphas used across edges (they differ only under the
         local policy).
+    lane:
+        Which arithmetic lane completed the run for the scaled-integer
+        executors (``"int64"``, ``"two-limb"`` or ``"bigint"``);
+        ``None`` for the Fraction-core executors.  Metadata only —
+        excluded from equality so differential comparisons across
+        executors and lanes stay meaningful.
     """
 
     cover: frozenset[int]
-    weight: int
+    weight: int | Fraction
     rank: int
     epsilon: Fraction
     iterations: int
@@ -106,6 +130,7 @@ class CoverResult:
     metrics: RunMetrics | None
     alpha_min: Fraction
     alpha_max: Fraction
+    lane: str | None = field(default=None, compare=False)
 
     @property
     def guarantee(self) -> Fraction:
@@ -137,7 +162,7 @@ class CoverResult:
         """
         data = {
             "cover": sorted(self.cover),
-            "weight": self.weight,
+            "weight": rational_for_json(self.weight),
             "rank": self.rank,
             "epsilon": str(self.epsilon),
             "guarantee": str(self.guarantee),
@@ -164,6 +189,8 @@ class CoverResult:
                 "level_cap": self.stats.level_cap,
             },
         }
+        if self.lane is not None:
+            data["lane"] = self.lane
         if self.metrics is not None:
             data["congest_metrics"] = self.metrics.as_dict()
         if include_dual:

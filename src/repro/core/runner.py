@@ -100,6 +100,7 @@ def finalize_result(
     metrics: RunMetrics | None,
     verify: bool,
     dual_total: Fraction | None = None,
+    lane: str | None = None,
 ) -> CoverResult:
     """Build (and optionally certify) a :class:`CoverResult` from raw values.
 
@@ -109,7 +110,9 @@ def finalize_result(
     call this directly with their integer state converted back to exact
     Fractions.  ``dual_total`` lets scaled-integer executors pass the
     packing total they already hold as one numerator-over-scale pair
-    instead of re-summing ``m`` reduced Fractions.
+    instead of re-summing ``m`` reduced Fractions.  ``lane`` records
+    which arithmetic lane (int64 / two-limb / bigint) produced the raw
+    values — metadata the scaled executors report for observability.
     """
     weight = sum(hypergraph.weight(vertex) for vertex in cover)
     if dual_total is None:
@@ -144,6 +147,7 @@ def finalize_result(
         metrics=metrics,
         alpha_min=alpha_min,
         alpha_max=alpha_max,
+        lane=lane,
     )
 
 

@@ -54,18 +54,29 @@ def _execute(
 ) -> CoverResult:
     if executor in ("lockstep", "fastpath"):
         observer = executor_options.pop("observer", None)
+        if executor == "fastpath":
+            lane = executor_options.pop("lane", "auto")
         if executor_options:
             raise InvalidInstanceError(
-                f"options {sorted(executor_options)} apply only to "
-                "executor='congest'"
+                f"options {sorted(executor_options)} do not apply to "
+                f"executor={executor!r} (lane= is fastpath-only; other "
+                "options are congest-only)"
             )
-        runner = run_fastpath if executor == "fastpath" else run_lockstep
-        return runner(hypergraph, config, verify=verify, observer=observer)
+        if executor == "fastpath":
+            return run_fastpath(
+                hypergraph, config, verify=verify, observer=observer,
+                lane=lane,
+            )
+        return run_lockstep(hypergraph, config, verify=verify, observer=observer)
     if executor == "congest":
         if "observer" in executor_options:
             raise InvalidInstanceError(
                 "observer is supported by the lockstep/fastpath executors "
                 "only (the engine's metrics/tracing cover the congest path)"
+            )
+        if "lane" in executor_options:
+            raise InvalidInstanceError(
+                "lane forcing applies to executor='fastpath' only"
             )
         return run_congest(
             hypergraph, config, verify=verify, **executor_options
@@ -108,7 +119,13 @@ def solve_mwhvc(
         default).
     congest_options:
         Passed to :func:`repro.core.runner.run_congest` (e.g.
-        ``strict_bandwidth=True``, ``trace=...``).
+        ``strict_bandwidth=True``, ``trace=...``).  For
+        ``executor="fastpath"``, the single option ``lane=`` forces
+        the entry point of the kernel-lane spill ladder
+        (``"auto"`` / ``"int64"`` / ``"two-limb"`` / ``"bigint"``; see
+        :mod:`repro.core.kernels`) — results are bit-identical on
+        every lane, and the completing lane lands in
+        ``CoverResult.lane``.
     """
     if config is None:
         config = AlgorithmConfig(epsilon=Fraction(epsilon))

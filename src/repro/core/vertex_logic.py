@@ -28,7 +28,7 @@ from collections.abc import Iterable, Mapping
 from fractions import Fraction
 
 from repro.core.edge_logic import initial_bid
-from repro.core.numeric import half_power
+from repro.core.numeric import exact_scaled_int, half_power
 from repro.exceptions import AlgorithmError, InvariantViolationError
 
 __all__ = [
@@ -99,11 +99,17 @@ def count_level_increments(
 
 
 def tight_threshold_scaled(
-    weight: int, beta_num: int, beta_den: int, scale: int
+    weight, beta_num: int, beta_den: int, scale: int
 ) -> int:
     """Scaled right-hand side of step 3a: ``(1 - beta) w`` times
-    ``beta_den * scale`` (pair it with :func:`is_tight_scaled`)."""
-    return weight * (beta_den - beta_num) * scale
+    ``beta_den * scale`` (pair it with :func:`is_tight_scaled`).
+
+    ``weight`` may be a :class:`~fractions.Fraction` (fractional vertex
+    weights): the scaled executors fold all weight denominators into
+    ``scale``, so the product is integral — verified by
+    :func:`~repro.core.numeric.exact_scaled_int`.
+    """
+    return exact_scaled_int(weight * (beta_den - beta_num), scale)
 
 
 def is_tight_scaled(

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from fractions import Fraction
 
 from repro.hypergraph.hypergraph import Hypergraph
 
@@ -29,6 +30,7 @@ __all__ = [
     "vertex_incidence_csr",
     "BatchArena",
     "pack_arena",
+    "arena_incidence",
 ]
 
 
@@ -103,7 +105,7 @@ class BatchArena:
     num_instances: int
     vertex_offset: tuple[int, ...]
     edge_offset: tuple[int, ...]
-    weights: tuple[int, ...]
+    weights: tuple[int | Fraction, ...]
     membership: CSRLayout
     instance_of_vertex: tuple[int, ...]
     instance_of_edge: tuple[int, ...]
@@ -125,6 +127,28 @@ class BatchArena:
         return slice(
             self.edge_offset[instance], self.edge_offset[instance + 1]
         )
+
+
+def arena_incidence(arena: BatchArena) -> CSRLayout:
+    """The arena membership's transpose: vertex -> incident global edges.
+
+    One segment per global vertex id listing the global ids of the
+    hyperedges containing it, in ascending edge order (the order a
+    stable sort of the membership cells would produce).  This is the
+    *specification* of the incidence layout the kernel-lane sweeps
+    (:mod:`repro.core.kernels`) run their per-vertex ``reduceat``
+    reductions over — the sweeps build the same transpose vectorized
+    (argsort/bincount) for speed; the kernel-lane tests pin the two
+    constructions against each other and against
+    :func:`vertex_incidence_csr`.
+    """
+    membership = arena.membership
+    incidence: list[list[int]] = [[] for _ in range(arena.total_vertices)]
+    for edge_id in range(membership.num_segments):
+        start = membership.starts[edge_id]
+        for position in range(start, start + membership.lengths[edge_id]):
+            incidence[membership.cells[position]].append(edge_id)
+    return _layout(incidence)
 
 
 def pack_arena(hypergraphs: Sequence[Hypergraph]) -> BatchArena:

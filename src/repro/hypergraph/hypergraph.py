@@ -15,6 +15,7 @@ algorithm state machines allocation-friendly and deterministic.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from fractions import Fraction
 from typing import Optional
 
 from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
@@ -33,14 +34,17 @@ class Hypergraph:
         Iterable of hyperedges, each a non-empty iterable of distinct
         vertex ids.  Edges are stored as sorted tuples in input order.
     weights:
-        Optional sequence of ``n`` positive integer vertex weights.
-        Defaults to all ones (the unweighted / cardinality problem).
+        Optional sequence of ``n`` positive vertex weights — ints or
+        exact rationals (:class:`~fractions.Fraction`; integral
+        Fractions are normalized to ints).  Defaults to all ones (the
+        unweighted / cardinality problem).  Floats are rejected: the
+        algorithm's exactness guarantees require rational arithmetic.
 
     Raises
     ------
     InvalidInstanceError
         On malformed input: negative ids, out-of-range ids, duplicate
-        vertices inside an edge, non-positive or non-integer weights.
+        vertices inside an edge, non-positive or non-rational weights.
     InfeasibleInstanceError
         If some hyperedge is empty (it can never be covered).
 
@@ -110,14 +114,19 @@ class Hypergraph:
                     f"expected {num_vertices} weights, got {len(weight_list)}"
                 )
             for vertex, weight in enumerate(weight_list):
-                if isinstance(weight, bool) or not isinstance(weight, int):
+                if isinstance(weight, bool) or not isinstance(
+                    weight, (int, Fraction)
+                ):
                     raise InvalidInstanceError(
-                        f"weight of vertex {vertex} must be int, got {weight!r}"
+                        f"weight of vertex {vertex} must be an int or "
+                        f"Fraction, got {weight!r}"
                     )
                 if weight <= 0:
                     raise InvalidInstanceError(
                         f"weight of vertex {vertex} must be positive, got {weight}"
                     )
+                if isinstance(weight, Fraction) and weight.denominator == 1:
+                    weight_list[vertex] = int(weight)
             weight_tuple = tuple(weight_list)
         self._weights = weight_tuple
 
@@ -146,7 +155,7 @@ class Hypergraph:
         return self._edges
 
     @property
-    def weights(self) -> tuple[int, ...]:
+    def weights(self) -> tuple[int | Fraction, ...]:
         """Vertex weights indexed by vertex id."""
         return self._weights
 
@@ -176,7 +185,7 @@ class Hypergraph:
         """Vertices of hyperedge ``edge_id``."""
         return self._edges[edge_id]
 
-    def weight(self, vertex: int) -> int:
+    def weight(self, vertex: int) -> int | Fraction:
         """Weight of ``vertex``."""
         return self._weights[vertex]
 
@@ -210,7 +219,7 @@ class Hypergraph:
             if not chosen.intersection(edge)
         ]
 
-    def cover_weight(self, vertices: Iterable[int]) -> int:
+    def cover_weight(self, vertices: Iterable[int]) -> int | Fraction:
         """Total weight of a vertex set (vertices counted once each)."""
         return sum(self._weights[vertex] for vertex in set(vertices))
 

@@ -6,6 +6,10 @@ Format (whitespace separated, ``c``-prefixed comment lines ignored)::
     w <w0> <w1> ... <w_{n-1}>          # optional; defaults to all ones
     e <v> <v> ...                      # one line per hyperedge
 
+Weights are positive rationals: plain integers or exact ``num/den``
+tokens (e.g. ``3/2``) — the form ``str(Fraction(...))`` produces, so
+fractional-weight instances round-trip exactly.
+
 The format is deliberately minimal and line-oriented so instances can be
 versioned, diffed, and produced by other tools.  ``loads``/``dumps`` are
 exact inverses (modulo comments), which the round-trip tests enforce.
@@ -13,12 +17,25 @@ exact inverses (modulo comments), which the round-trip tests enforce.
 
 from __future__ import annotations
 
+from fractions import Fraction
 from pathlib import Path
 
 from repro.exceptions import InvalidInstanceError
 from repro.hypergraph.hypergraph import Hypergraph
 
 __all__ = ["dumps", "loads", "save", "load"]
+
+
+def _parse_weight(token: str, line_number: int) -> int | Fraction:
+    """An integer or exact ``num/den`` rational weight token."""
+    try:
+        if "/" in token:
+            return Fraction(token)
+        return int(token)
+    except (ValueError, ZeroDivisionError) as error:
+        raise InvalidInstanceError(
+            f"line {line_number}: malformed weight {token!r}"
+        ) from error
 
 
 def dumps(hypergraph: Hypergraph, *, comment: str | None = None) -> str:
@@ -41,7 +58,7 @@ def loads(text: str) -> Hypergraph:
     """Parse the text format back into a :class:`Hypergraph`."""
     num_vertices: int | None = None
     declared_edges: int | None = None
-    weights: list[int] | None = None
+    weights: list[int | Fraction] | None = None
     edges: list[tuple[int, ...]] = []
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.strip()
@@ -65,7 +82,9 @@ def loads(text: str) -> Hypergraph:
                 raise InvalidInstanceError(
                     f"line {line_number}: weights before problem line"
                 )
-            weights = [int(field) for field in fields[1:]]
+            weights = [
+                _parse_weight(field, line_number) for field in fields[1:]
+            ]
         elif tag == "e":
             if num_vertices is None:
                 raise InvalidInstanceError(

@@ -1,0 +1,542 @@
+"""The kernel lanes must be bit-identical — and fractional weights safe.
+
+PR 3 moved the batched arena's guarded int64 sweep machinery into the
+shared kernel layer (:mod:`repro.core.kernels`), added the two-limb
+~128-bit lane, and gave the single-instance fastpath executor a
+machine-width iteration loop with a spill ladder (int64 -> two-limb ->
+bigint).  These tests pin:
+
+* lane-forcing differential equality: every lane (``lane="int64"`` /
+  ``"two-limb"`` / ``"bigint"``) produces the same covers, duals,
+  iterations, rounds, levels and statistics as the Fraction-core
+  lockstep executor, on structured and hypothesis instance mixes;
+* lane *engagement*: eligible instances actually run on the expected
+  lane (reported via ``CoverResult.lane``), and mid-run headroom
+  exhaustion spills down the ladder without changing a single bit;
+* the fractional-weight regressions: ``repro-cover batch --json`` no
+  longer crashes on Fraction weights, ``arena_eligibility`` returns
+  ``(False, reason)`` instead of raising for instances it cannot
+  bound, and the whole executor matrix stays exact on rational
+  weights;
+* the ``scaled_fraction`` capability probe: when the CPython slot
+  layout fast path is unavailable, results degrade to the public
+  constructor, never to wrong values;
+* the two-limb limb arithmetic itself, against plain Python integers.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.core.kernels as kernels_module
+import repro.core.numeric as numeric_module
+from repro.core.batch import arena_eligibility
+from repro.core.fastpath import HAS_NUMPY, prepare_scaled_state, run_fastpath
+from repro.core.kernels import TwoLimbOps, lane_eligibility
+from repro.core.numeric import scaled_fraction
+from repro.core.params import AlgorithmConfig
+from repro.core.solver import solve_mwhvc, solve_mwhvc_batch
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph import io
+from repro.hypergraph.csr import arena_incidence, pack_arena, vertex_incidence_csr
+from repro.hypergraph.generators import (
+    mixed_rank_hypergraph,
+    uniform_weights,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+needs_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="the machine-width kernel lanes require numpy"
+)
+
+LANES = ("int64", "two-limb", "bigint")
+
+OBSERVABLES = (
+    "cover",
+    "weight",
+    "iterations",
+    "rounds",
+    "dual",
+    "dual_total",
+    "levels",
+    "stats",
+)
+
+
+def assert_lanes_match_lockstep(hypergraph, config, *, lanes=LANES):
+    """Every forced lane equals the Fraction cores on every observable."""
+    reference = solve_mwhvc(hypergraph, config=config, executor="lockstep")
+    for lane in lanes:
+        result = solve_mwhvc(
+            hypergraph, config=config, executor="fastpath", lane=lane
+        )
+        for attribute in OBSERVABLES:
+            expected = getattr(reference, attribute)
+            actual = getattr(result, attribute)
+            assert actual == expected, (
+                f"lane {lane} disagrees with lockstep on {attribute}: "
+                f"{actual!r} != {expected!r}"
+            )
+    return reference
+
+
+def fractional_instance(seed=3, n=18, m=30, rank=3):
+    base = mixed_rank_hypergraph(n, m, rank, seed=seed)
+    return base.reweighted(
+        [Fraction(3 * (v + 2), 2 + (v % 5)) for v in range(n)]
+    )
+
+
+# ----------------------------------------------------------------------
+# Lane-forcing differential batteries
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("schedule", ["spec", "compact"])
+@pytest.mark.parametrize("epsilon", ["1", "1/3", "1/9"])
+def test_lane_equality_random_instances(schedule, epsilon):
+    config = AlgorithmConfig(epsilon=Fraction(epsilon), schedule=schedule)
+    for seed in range(4):
+        hypergraph = mixed_rank_hypergraph(
+            12 + seed * 2,
+            18 + seed * 3,
+            4,
+            seed=seed,
+            weights=uniform_weights(12 + seed * 2, 50, seed=seed + 5),
+        )
+        assert_lanes_match_lockstep(hypergraph, config)
+
+
+def test_lane_equality_huge_weights():
+    """Weights beyond int64's headroom exercise the two-limb regime."""
+    weights = [10**16 + 997 * v for v in range(30)]
+    hypergraph = mixed_rank_hypergraph(30, 50, 3, seed=17, weights=weights)
+    config = AlgorithmConfig(epsilon=Fraction(1, 5))
+    assert_lanes_match_lockstep(hypergraph, config)
+
+
+def test_lane_equality_fractional_weights():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    assert_lanes_match_lockstep(fractional_instance(), config)
+
+
+@needs_numpy
+def test_lanes_engage_as_reported():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    eligible = mixed_rank_hypergraph(
+        14, 22, 3, seed=2, weights=uniform_weights(14, 20, seed=3)
+    )
+    assert solve_mwhvc(
+        eligible, config=config, executor="fastpath"
+    ).lane == "int64"
+    assert solve_mwhvc(
+        eligible, config=config, executor="fastpath", lane="two-limb"
+    ).lane == "two-limb"
+    assert solve_mwhvc(
+        eligible, config=config, executor="fastpath", lane="bigint"
+    ).lane == "bigint"
+    # Beyond int64's headroom the ladder lands on the two-limb lane.
+    huge = eligible.reweighted([10**16 + v for v in range(14)])
+    assert solve_mwhvc(
+        huge, config=config, executor="fastpath"
+    ).lane == "two-limb"
+    # Features the machine lanes exclude pin the big-int floor.
+    checked = AlgorithmConfig(epsilon=Fraction(1, 3), check_invariants=True)
+    assert solve_mwhvc(
+        eligible, config=checked, executor="fastpath"
+    ).lane == "bigint"
+    # Fraction-core executors report no lane.
+    assert solve_mwhvc(eligible, config=config).lane is None
+
+
+def test_invalid_lane_is_rejected():
+    hypergraph = Hypergraph(2, [(0, 1)])
+    with pytest.raises(InvalidInstanceError):
+        solve_mwhvc(hypergraph, executor="fastpath", lane="float128")
+    with pytest.raises(InvalidInstanceError):
+        solve_mwhvc(hypergraph, executor="lockstep", lane="int64")
+    with pytest.raises(InvalidInstanceError):
+        solve_mwhvc(hypergraph, executor="congest", lane="int64")
+
+
+def test_observer_with_forced_machine_lane_is_rejected():
+    """Observers only exist on the big-int loop; silently running it
+    under an explicitly forced machine lane would instrument the wrong
+    code path, so the combination errors instead."""
+    from repro.core.observer import ConvergenceRecorder
+
+    hypergraph = mixed_rank_hypergraph(
+        10, 15, 3, seed=1, weights=uniform_weights(10, 10, seed=2)
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    for lane in ("int64", "two-limb"):
+        with pytest.raises(InvalidInstanceError):
+            solve_mwhvc(
+                hypergraph, config=config, executor="fastpath",
+                observer=ConvergenceRecorder(), lane=lane,
+            )
+    # "auto" (and "bigint") degrade to the observable big-int loop.
+    recorder = ConvergenceRecorder()
+    result = solve_mwhvc(
+        hypergraph, config=config, executor="fastpath", observer=recorder
+    )
+    assert result.lane == "bigint"
+    assert recorder.snapshots
+
+
+@needs_numpy
+def test_midrun_spill_down_the_ladder(monkeypatch):
+    """Shrunken headroom forces mid-run spills; bits never change."""
+    hypergraph = mixed_rank_hypergraph(
+        20, 35, 4, seed=8, weights=uniform_weights(20, 1000, seed=9)
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 7))
+    reference = solve_mwhvc(hypergraph, config=config, executor="lockstep")
+
+    monkeypatch.setattr(kernels_module, "INT64_HEADROOM_BITS", 40)
+    spilled = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+    assert spilled.lane in ("two-limb", "bigint")
+    for attribute in OBSERVABLES:
+        assert getattr(spilled, attribute) == getattr(reference, attribute)
+
+    monkeypatch.setattr(kernels_module, "TWO_LIMB_HEADROOM_BITS", 40)
+    floored = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+    assert floored.lane == "bigint"
+    for attribute in OBSERVABLES:
+        assert getattr(floored, attribute) == getattr(reference, attribute)
+
+
+DIFFERENTIAL_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def lane_stress_hypergraphs(draw, max_vertices=12, max_edges=14, max_rank=4):
+    """Random instances whose weights span the whole lane ladder."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    edges = []
+    for _ in range(m):
+        size = draw(st.integers(min_value=1, max_value=min(max_rank, n)))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        edges.append(tuple(members))
+    weight_pool = st.one_of(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=10**14, max_value=10**17),
+        st.fractions(
+            min_value=Fraction(1, 64),
+            max_value=Fraction(10**6),
+            max_denominator=64,
+        ),
+    )
+    weights = draw(st.lists(weight_pool, min_size=n, max_size=n))
+    return Hypergraph(n, edges, weights)
+
+
+@DIFFERENTIAL_SETTINGS
+@given(
+    hypergraph=lane_stress_hypergraphs(),
+    epsilon=st.sampled_from(
+        [Fraction(1), Fraction(1, 2), Fraction(1, 7), Fraction(2, 9)]
+    ),
+    schedule=st.sampled_from(["spec", "compact"]),
+)
+def test_property_lane_equality(hypergraph, epsilon, schedule):
+    """int64 / two-limb / big-int are all bit-identical to lockstep."""
+    config = AlgorithmConfig(epsilon=epsilon, schedule=schedule)
+    assert_lanes_match_lockstep(hypergraph, config)
+
+
+@DIFFERENTIAL_SETTINGS
+@given(
+    hypergraphs=st.lists(
+        lane_stress_hypergraphs(max_vertices=8, max_edges=10),
+        min_size=1,
+        max_size=4,
+    ),
+    epsilon=st.sampled_from([Fraction(1, 3), Fraction(1, 11)]),
+)
+def test_property_batch_lane_mixes(hypergraphs, epsilon):
+    """Batches mixing int64 / two-limb / spilled instances stay exact."""
+    config = AlgorithmConfig(epsilon=epsilon)
+    batch = solve_mwhvc_batch(hypergraphs, config=config)
+    for hypergraph, batched in zip(hypergraphs, batch):
+        solo = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+        for attribute in OBSERVABLES:
+            assert getattr(batched, attribute) == getattr(solo, attribute)
+
+
+# ----------------------------------------------------------------------
+# Fractional-weight regressions (CLI / arena boundary)
+# ----------------------------------------------------------------------
+
+
+def test_hypergraph_accepts_fraction_weights():
+    hypergraph = Hypergraph(
+        3, [(0, 1), (1, 2)], weights=[Fraction(3, 2), 2, Fraction(4, 2)]
+    )
+    # Integral rationals normalize to int; true fractions survive.
+    assert hypergraph.weights == (Fraction(3, 2), 2, 2)
+    assert isinstance(hypergraph.weights[2], int)
+    assert hypergraph.cover_weight({0, 1}) == Fraction(7, 2)
+    with pytest.raises(InvalidInstanceError):
+        Hypergraph(2, [(0, 1)], weights=[1.5, 1])
+    with pytest.raises(InvalidInstanceError):
+        Hypergraph(2, [(0, 1)], weights=[Fraction(0), 1])
+    with pytest.raises(InvalidInstanceError):
+        Hypergraph(2, [(0, 1)], weights=[Fraction(-1, 2), 1])
+
+
+def test_io_roundtrips_fraction_weights(tmp_path):
+    hypergraph = fractional_instance(n=9, m=12)
+    text = io.dumps(hypergraph)
+    assert "/" in text.splitlines()[1]  # the w-line carries num/den tokens
+    assert io.loads(text) == hypergraph
+    path = tmp_path / "frac.hg"
+    io.save(hypergraph, path)
+    assert io.load(path) == hypergraph
+    with pytest.raises(InvalidInstanceError):
+        io.loads("p mwhvc 2 1\nw 1/0 2\ne 0 1\n")
+    with pytest.raises(InvalidInstanceError):
+        io.loads("p mwhvc 2 1\nw x/y 2\ne 0 1\n")
+
+
+def test_arena_eligibility_never_raises_on_fractional_weights(monkeypatch):
+    """Regression: ``w_max * factor << (z + 2)`` used to TypeError."""
+    hypergraph = fractional_instance()
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    eligible, reason = arena_eligibility(hypergraph, config)
+    assert isinstance(eligible, bool) and isinstance(reason, str)
+    # Forced-ineligible: with no representable scale the instance must
+    # be reported ineligible, not crash the batch dispatcher.
+    import repro.core.batch as batch_module
+
+    monkeypatch.setattr(batch_module, "_HEADROOM_BITS", 4)
+    eligible, reason = arena_eligibility(hypergraph, config)
+    assert eligible is False
+    if HAS_NUMPY:
+        assert "headroom" in reason
+    results = solve_mwhvc_batch([hypergraph], config=config)
+    solo = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+    assert results[0].dual == solo.dual
+    assert results[0].cover == solo.cover
+
+
+def test_cli_batch_json_fractional_weights(tmp_path, capsys):
+    """Regression: Fraction weights crashed ``batch --json`` with a
+    TypeError from json.dumps."""
+    from repro.cli import main
+
+    for seed in range(3):
+        hypergraph = fractional_instance(seed=seed, n=8, m=10)
+        io.save(hypergraph, tmp_path / f"frac{seed}.hg")
+    assert main(["batch", str(tmp_path), "--json", "--epsilon", "1/2"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 3
+    weights = [entry["weight"] for entry in payload["instances"]]
+    total = sum(Fraction(str(weight)) for weight in weights)
+    recorded = Fraction(str(payload["total_weight"]))
+    assert recorded == total
+    # Canonical rendering: ints stay ints, true rationals are "num/den".
+    for weight in weights + [payload["total_weight"]]:
+        assert isinstance(weight, int) or (
+            isinstance(weight, str) and "/" in weight
+        )
+    # The sequential reference path serializes identically.
+    assert main(
+        ["batch", str(tmp_path), "--json", "--sequential", "--epsilon", "1/2"]
+    ) == 0
+    sequential = json.loads(capsys.readouterr().out)
+    assert sequential["total_weight"] == payload["total_weight"]
+
+
+def test_cli_solve_lane_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    hypergraph = mixed_rank_hypergraph(
+        8, 12, 3, seed=1, weights=uniform_weights(8, 9, seed=2)
+    )
+    path = tmp_path / "inst.hg"
+    io.save(hypergraph, path)
+    assert main(
+        ["solve", str(path), "--executor", "fastpath", "--lane",
+         "two-limb", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    if HAS_NUMPY:
+        assert payload["lane"] == "two-limb"
+    # Lane forcing is a fastpath-only option.
+    assert main(
+        ["solve", str(path), "--executor", "lockstep", "--lane", "int64"]
+    ) == 2
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# scaled_fraction capability probe
+# ----------------------------------------------------------------------
+
+
+def test_scaled_fraction_probe_and_fallback(monkeypatch):
+    assert numeric_module._probe_fraction_slots() is True
+    fast = scaled_fraction(6, 4)
+    monkeypatch.setattr(numeric_module, "_HAS_FRACTION_SLOTS", False)
+    slow = scaled_fraction(6, 4)
+    assert fast == slow == Fraction(3, 2)
+    assert slow.numerator == 3 and slow.denominator == 2
+    # The fallback is the public constructor: fully normalized values.
+    assert scaled_fraction(0, 7) == Fraction(0)
+    assert scaled_fraction(10, 5) == Fraction(2)
+
+
+# ----------------------------------------------------------------------
+# Two-limb limb arithmetic vs plain Python integers
+# ----------------------------------------------------------------------
+
+
+@needs_numpy
+def test_two_limb_roundtrip_and_ops():
+    import numpy as np
+
+    values = [0, 1, (1 << 32) - 1, 1 << 32, (1 << 62) + 12345,
+              (1 << 91) + (1 << 40) + 7, (10**16) * 3 + 1]
+    pair = TwoLimbOps.from_list(values)
+    assert TwoLimbOps.tolist_slice(pair, slice(None)) == values
+
+    factors = np.array([1, 3, 2**30 - 1, 7, 601, 2, 5], dtype=np.int64)
+    product = TwoLimbOps.mul_int(pair, factors)
+    assert TwoLimbOps.tolist_slice(product, slice(None)) == [
+        value * int(factor) for value, factor in zip(values, factors)
+    ]
+
+    # Shifts keep every result inside the lane's 2**93 headroom; the
+    # 45-bit entry exercises the >30-bit chunked path.
+    shifts = np.array([0, 45, 30, 31, 5, 1, 35], dtype=np.int64)
+    shifted = TwoLimbOps.shl(pair, shifts)
+    assert TwoLimbOps.tolist_slice(shifted, slice(None)) == [
+        value << int(shift) for value, shift in zip(values, shifts)
+    ]
+    back = TwoLimbOps.shr_exact(shifted, shifts)
+    assert TwoLimbOps.tolist_slice(back, slice(None)) == values
+
+    nonzero = [value for value in values if value]
+    tz = TwoLimbOps.trailing_zeros(TwoLimbOps.from_list(nonzero))
+    expected = [(value & -value).bit_length() - 1 for value in nonzero]
+    assert tz.tolist() == expected
+
+    left = TwoLimbOps.from_list([5, 1 << 80, 3])
+    right = TwoLimbOps.from_list([5, (1 << 80) + 1, 2])
+    assert TwoLimbOps.gt(left, right).tolist() == [False, False, True]
+    assert TwoLimbOps._ge(left, right).tolist() == [True, False, True]
+
+    cells = TwoLimbOps.from_list([1 << 70, (1 << 32) - 1, 1, 12, 1 << 90])
+    starts = np.array([0, 2, 4], dtype=np.int64)
+    sums = TwoLimbOps.reduceat(cells, starts)
+    assert TwoLimbOps.tolist_slice(sums, slice(None)) == [
+        (1 << 70) + (1 << 32) - 1, 13, 1 << 90
+    ]
+
+
+@needs_numpy
+def test_arena_incidence_matches_single_instance_transpose():
+    hypergraph = mixed_rank_hypergraph(
+        9, 14, 3, seed=2, weights=uniform_weights(9, 5, seed=3)
+    )
+    arena = pack_arena([hypergraph])
+    incidence = arena_incidence(arena)
+    reference = vertex_incidence_csr(
+        hypergraph.num_vertices, hypergraph.edges
+    )
+    assert incidence == reference
+
+
+@needs_numpy
+def test_lane_run_transpose_matches_arena_incidence():
+    """LaneRun's vectorized argsort transpose equals the pure-Python
+    specification in :func:`repro.hypergraph.csr.arena_incidence`."""
+    from repro.core.kernels import Int64Ops, LaneRun
+
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    hypergraphs = [
+        mixed_rank_hypergraph(
+            7 + seed, 10 + seed, 3, seed=seed,
+            weights=uniform_weights(7 + seed, 6, seed=seed + 4),
+        )
+        for seed in range(3)
+    ]
+    states = [
+        prepare_scaled_state(hypergraph, config)
+        for hypergraph in hypergraphs
+    ]
+    run = LaneRun(
+        hypergraphs, states, config, ops=Int64Ops,
+        limits=[10**9] * len(hypergraphs),
+    )
+    incidence = arena_incidence(run.arena)
+    assert tuple(run.v_cells.tolist()) == incidence.cells
+    assert tuple(run.v_starts.tolist()) == incidence.starts
+    assert tuple(run.v_lengths.tolist()) == incidence.lengths
+
+
+@needs_numpy
+def test_lane_eligibility_reasons():
+    hypergraph = mixed_rank_hypergraph(
+        10, 15, 3, seed=1, weights=uniform_weights(10, 10, seed=2)
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    state = prepare_scaled_state(hypergraph, config)
+    assert lane_eligibility(
+        hypergraph, config, state, lane="int64"
+    ) == (True, "ok")
+    assert lane_eligibility(
+        hypergraph, config, state, lane="two-limb"
+    ) == (True, "ok")
+    huge = hypergraph.reweighted([10**16 + v for v in range(10)])
+    huge_state = prepare_scaled_state(huge, config)
+    eligible, reason = lane_eligibility(
+        huge, config, huge_state, lane="int64"
+    )
+    assert not eligible and "headroom" in reason
+    assert lane_eligibility(
+        huge, config, huge_state, lane="two-limb"
+    ) == (True, "ok")
+    # A beta denominator beyond 31 bits exceeds the limb-product budget.
+    wide_beta = AlgorithmConfig(epsilon=Fraction(1, 2**33 + 1))
+    wide_state = prepare_scaled_state(hypergraph, wide_beta)
+    eligible, reason = lane_eligibility(
+        hypergraph, wide_beta, wide_state, lane="two-limb"
+    )
+    assert not eligible and "31-bit" in reason
+
+
+def test_run_fastpath_state_survives_lane_spills(monkeypatch):
+    """A consumed-state contract: lane attempts must not corrupt the
+    iteration-0 state the big-int floor finally consumes."""
+    hypergraph = mixed_rank_hypergraph(
+        15, 25, 4, seed=8, weights=uniform_weights(15, 30, seed=9)
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 4))
+    reference = run_fastpath(hypergraph, config)
+    monkeypatch.setattr(kernels_module, "INT64_HEADROOM_BITS", 4)
+    monkeypatch.setattr(kernels_module, "TWO_LIMB_HEADROOM_BITS", 4)
+    state = prepare_scaled_state(hypergraph, config)
+    floored = run_fastpath(hypergraph, config, state=state)
+    assert floored.lane == "bigint"
+    assert floored.dual == reference.dual
+    assert floored.stats == reference.stats
