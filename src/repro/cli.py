@@ -120,6 +120,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the batch (default 1 = in-process; "
+            "0 = one per core).  Shards are cost-balanced and results "
+            "are bit-identical for every N"
+        ),
+    )
+    batch.add_argument(
         "--json",
         action="store_true",
         help="print one JSON object with per-instance results",
@@ -229,7 +240,10 @@ def _dispatch_batch(arguments: argparse.Namespace) -> int:
         epsilon=arguments.epsilon, schedule=arguments.schedule
     )
     results = solve_mwhvc_batch(
-        hypergraphs, config=config, batched=not arguments.sequential
+        hypergraphs,
+        config=config,
+        batched=not arguments.sequential,
+        jobs=arguments.jobs,
     )
     if arguments.json:
         # Weights may be exact rationals (fractional-weight instances):

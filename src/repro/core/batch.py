@@ -30,10 +30,17 @@ arena on the two-limb ~128-bit lane admits large-scale / large-alpha /
 large-weight instances, and anything beyond that (or structurally
 ineligible: no numpy, fractional alphas, Appendix C increments,
 checked mode) is solved by the scalar fastpath executor, whose
-unbounded Python integers implement the identical transitions.  Any
-lane, same bits — the differential tests in
-``tests/test_batch_executor.py`` and ``tests/test_kernel_lanes.py``
-enforce it instance by instance.
+unbounded Python integers implement the identical transitions.
+Mid-run spills *carry* the instance's live scaled state across the
+lane boundary (see :meth:`repro.core.kernels.LaneRun._extract_carry`):
+the two-limb arena and the big-int loop resume from the interrupted
+iteration, never replaying finished work.  Any lane, same bits — the
+differential tests in ``tests/test_batch_executor.py`` and
+``tests/test_kernel_lanes.py`` enforce it instance by instance.
+
+For multi-core scaling, :mod:`repro.core.parallel` shards a batch
+across a persistent worker pool (``solve_mwhvc_batch(..., jobs=N)``),
+running this module's executor inside each worker.
 """
 
 from __future__ import annotations
@@ -144,9 +151,12 @@ def run_fastpath_batch(
     config = config or AlgorithmConfig()
     instances = list(hypergraphs)
     results: list[CoverResult | None] = [None] * len(instances)
-    int64_members: list[tuple[int, Hypergraph, object]] = []
-    two_limb_members: list[tuple[int, Hypergraph, object]] = []
-    solo: list[tuple[int, str]] = []
+    # Arena members are ``(index, hypergraph, state, carry)`` — the
+    # carry (None for fresh instances) travels inside the tuple so it
+    # can never fall out of alignment with its instance.
+    int64_members: list[tuple[int, Hypergraph, object, dict | None]] = []
+    two_limb_members: list[tuple[int, Hypergraph, object, dict | None]] = []
+    solo: list[tuple[int, str, dict | None]] = []
     prepared: dict[int, object] = {}
     for index, hypergraph in enumerate(instances):
         if hypergraph.num_edges == 0:
@@ -158,46 +168,63 @@ def run_fastpath_batch(
             prepared[index] = state
         eligible, _ = arena_eligibility(hypergraph, config, state)
         if eligible:
-            int64_members.append((index, hypergraph, state))
+            int64_members.append((index, hypergraph, state, None))
             continue
         if state is not None:
             wider, _ = lane_eligibility(
                 hypergraph, config, state, lane="two-limb"
             )
             if wider:
-                two_limb_members.append((index, hypergraph, state))
+                two_limb_members.append((index, hypergraph, state, None))
                 continue
-        solo.append((index, "auto"))
+        solo.append((index, "auto", None))
 
-    def run_arena(members, ops, limits, spill_lane: str) -> None:
-        solved, spilled = LaneRun(
+    def run_arena(members, ops, limits):
+        """Finalize completed members; return spilled ones with carries."""
+        carries = [member[3] for member in members]
+        solved, spills = LaneRun(
             [member[1] for member in members],
             [member[2] for member in members],
             config,
             ops=ops,
             limits=limits,
+            carries=carries if any(carries) else None,
         ).solve()
-        for position, (index, hypergraph, _) in enumerate(members):
-            if position in spilled:
-                solo.append((index, spill_lane))
+        spilled = []
+        for position, (index, hypergraph, state, _) in enumerate(members):
+            if position in spills:
+                spilled.append((index, hypergraph, state, spills[position]))
             else:
                 results[index] = finalize_lane_instance(
                     hypergraph, config, solved[position], verify,
                     lane=ops.name,
                 )
+        return spilled
 
     if int64_members:
-        run_arena(
+        spilled = run_arena(
             int64_members,
             Int64Ops,
             [
                 _scale_limit(hypergraph, config, state)
-                for _, hypergraph, state in int64_members
+                for _, hypergraph, state, _ in int64_members
             ],
-            "two-limb",
         )
+        # Mid-run int64 spills resume *from the interrupted iteration*
+        # on the two-limb arena (joining the up-front two-limb members)
+        # when the carried scale still fits its headroom, else on the
+        # scalar big-int loop — never replaying finished iterations.
+        for index, hypergraph, state, carry in spilled:
+            wider, _ = lane_eligibility(
+                hypergraph, config, state, lane="two-limb",
+                scale=carry["scale"],
+            )
+            if wider:
+                two_limb_members.append((index, hypergraph, state, carry))
+            else:
+                solo.append((index, "bigint", carry))
     if two_limb_members:
-        run_arena(
+        spilled = run_arena(
             two_limb_members,
             TwoLimbOps,
             kernels.default_scale_limits(
@@ -206,20 +233,23 @@ def run_fastpath_batch(
                 [member[2] for member in two_limb_members],
                 lane="two-limb",
             ),
-            "bigint",
         )
+        for index, hypergraph, state, carry in spilled:
+            solo.append((index, "bigint", carry))
 
-    # Spill ladder tail: up-front ineligible and spilled instances run
-    # through the scalar fastpath executor, reusing the already-computed
-    # iteration-0 state (the arenas only copy it, so spilled states are
-    # pristine).  The ``lane`` hint skips lanes already outgrown.
-    for index, lane in solo:
+    # Spill ladder tail: up-front ineligible instances run through the
+    # scalar fastpath executor, reusing the already-computed iteration-0
+    # state (the arenas only copy it, so spilled states are pristine);
+    # instances that spilled past the two-limb arena resume the big-int
+    # loop from their carried iteration.
+    for index, lane, carry in solo:
         results[index] = run_fastpath(
             instances[index],
             config,
             verify=verify,
             state=prepared.get(index),
             lane=lane,
+            carry=carry,
         )
     return results  # type: ignore[return-value]
 

@@ -217,6 +217,7 @@ def run_fastpath(
     observer: IterationObserver | None = None,
     state: ScaledState | None = None,
     lane: str = "auto",
+    carry: dict | None = None,
 ) -> CoverResult:
     """Execute Algorithm MWHVC on flat scaled-integer arrays.
 
@@ -238,11 +239,20 @@ def run_fastpath(
     width whenever the lane's headroom bound admits the instance, and
     degrades transparently down the ladder — int64 -> two-limb ->
     bigint — when a lane is ineligible or its scale outgrows the
-    headroom mid-run.  Results are bit-identical on every lane (the
+    headroom mid-run.  A mid-run spill *carries* the live scaled state
+    across the lane boundary (see
+    :meth:`repro.core.kernels.LaneRun._extract_carry`): the wider lane
+    resumes from the interrupted iteration instead of replaying from
+    iteration 0.  Results are bit-identical on every lane (the
     completing lane is reported in ``CoverResult.lane``);
     ``lane="bigint"`` pins the unbounded big-int loop.  Observers are
     a big-int-loop feature: with an ``observer``, ``"auto"`` runs the
     big-int loop and explicitly forcing a machine lane is an error.
+
+    ``carry`` resumes this run from a previously extracted spill state
+    (requires the matching ``state``); the batch executor uses it to
+    hand an instance that outgrew an arena mid-run to the next lane
+    without repeating the finished iterations.
     """
     config = config or AlgorithmConfig()
     if lane not in LANES:
@@ -283,18 +293,23 @@ def run_fastpath(
 
     # Machine-width lanes (the big win: the whole iteration loop runs
     # as numpy kernels).  The lane loops read ``state`` without
-    # mutating it, so a mid-run spill replays from iteration 0 on the
-    # next lane down with nothing recomputed but the sweeps themselves.
+    # mutating it; a mid-run spill extracts the instance's sweep-start
+    # state as a carry, and the next lane down the ladder resumes from
+    # that iteration — only the interrupted sweep is re-executed.
     if HAS_NUMPY and observer is None and lane != "bigint":
         start = "int64" if lane == "auto" else lane
         ladder = MACHINE_LANES[MACHINE_LANES.index(start):]
         for lane_name in ladder:
             eligible, _ = lane_eligibility(
-                hypergraph, config, state, lane=lane_name
+                hypergraph,
+                config,
+                state,
+                lane=lane_name,
+                scale=carry["scale"] if carry else None,
             )
             if not eligible:
                 continue
-            solved, spilled = LaneRun(
+            solved, spills = LaneRun(
                 [hypergraph],
                 [state],
                 config,
@@ -302,15 +317,18 @@ def run_fastpath(
                 limits=default_scale_limits(
                     [hypergraph], config, [state], lane=lane_name
                 ),
+                carries=[carry] if carry else None,
             ).solve()
-            if 0 in spilled:
+            if 0 in spills:
+                carry = spills[0]
                 continue
             return finalize_lane_instance(
                 hypergraph, config, solved[0], verify, lane=lane_name
             )
 
     return _run_bigint(
-        hypergraph, config, verify=verify, observer=observer, state=state
+        hypergraph, config, verify=verify, observer=observer, state=state,
+        carry=carry,
     )
 
 
@@ -321,13 +339,17 @@ def _run_bigint(
     verify: bool,
     observer: IterationObserver | None,
     state: ScaledState,
+    carry: dict | None = None,
 ) -> CoverResult:
     """The unbounded big-int iteration loop (the spill ladder's floor).
 
     Plain Python integers represent any scale, so this lane has no
     eligibility conditions; it also carries the features the machine
     lanes exclude (observers, invariant checking, single-increment
-    mode).  Consumes ``state``.
+    mode).  Consumes ``state``.  With a ``carry`` (a machine lane's
+    mid-run spill state), the loop resumes from the carried iteration
+    instead of iteration 0 — bits, rounds and statistics come out
+    identical to a full big-int run.
     """
     n = hypergraph.num_vertices
     m = hypergraph.num_edges
@@ -347,29 +369,52 @@ def _run_bigint(
     alpha_list = state.alpha_list
     alpha_num = state.alpha_num
     alpha_den = state.alpha_den
-    scale = state.scale
-    bid = state.bid
-    raised = state.raised
-    delta = state.delta
-    total_delta = state.total_delta
-
-    level = [0] * n
-    in_cover = bytearray(n)
-    dead = bytearray(n)
-    uncovered_count = list(degrees)
-    covered = bytearray(m)
+    if carry is None:
+        scale = state.scale
+        bid = state.bid
+        raised = state.raised
+        delta = state.delta
+        total_delta = state.total_delta
+        level = [0] * n
+        in_cover = bytearray(n)
+        dead = bytearray(n)
+        uncovered_count = list(degrees)
+        covered = bytearray(m)
+        raise_count = [0] * m
+        halving_count = [0] * m
+        stuck_counts: dict[tuple[int, int], int] = {}
+        for vertex in range(n):
+            if not degrees[vertex]:
+                dead[vertex] = 1
+    else:
+        # Resume a machine lane's spill from its carried sweep-start
+        # state (lane-neutral Python ints — see LaneRun._extract_carry).
+        scale = carry["scale"]
+        bid = list(carry["bid"])
+        raised = list(carry["raised"])
+        delta = list(carry["delta"])
+        total_delta = list(carry["total_delta"])
+        level = list(carry["level"])
+        in_cover = bytearray(carry["in_cover"])
+        dead = bytearray(carry["dead"])
+        uncovered_count = list(carry["uncovered_count"])
+        covered = bytearray(carry["covered"])
+        raise_count = list(carry["raise_count"])
+        halving_count = list(carry["halving_count"])
+        stuck_counts = {
+            (vertex, stuck_level): count
+            for vertex, row in enumerate(carry["stuck"])
+            for stuck_level, count in enumerate(row)
+            if count
+        }
+    total_stuck = sum(stuck_counts.values())
     k_inc = [0] * n
     flags = bytearray(n)
-    raise_count = [0] * m
-    halving_count = [0] * m
-    stuck_counts: dict[tuple[int, int], int] = {}
-    total_stuck = 0
-
-    for vertex in range(n):
-        if not degrees[vertex]:
-            dead[vertex] = 1
-    live_vertices = [vertex for vertex in range(n) if degrees[vertex]]
-    live_edges = list(range(m))
+    live_vertices = [
+        vertex for vertex in range(n)
+        if not in_cover[vertex] and not dead[vertex]
+    ]
+    live_edges = [edge_id for edge_id in range(m) if not covered[edge_id]]
 
     # Caches refreshed on every rescale: w(v) * scale and the step-3a
     # right-hand side (see tight_threshold_scaled).  ``scale`` is a
@@ -510,8 +555,10 @@ def _run_bigint(
             )
         return None
 
-    iteration = 0
-    max_halt_round = INIT_EXCHANGE_ROUNDS
+    iteration = 0 if carry is None else carry["iterations"]
+    max_halt_round = (
+        INIT_EXCHANGE_ROUNDS if carry is None else carry["halt_round"]
+    )
     cover_size = 0
     cover_weight = 0
 

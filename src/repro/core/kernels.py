@@ -29,8 +29,15 @@ same guarded kernels:
   unanimity, dual growth) over a shared CSR arena of K >= 1 instances,
   with per-instance dynamic rescaling and transparent *spill*: an
   instance whose scale outruns its lane's headroom mid-run is handed
-  back to the caller, which re-runs it on the next lane down the
-  ladder (int64 -> two-limb -> big-int).  Either lane, same bits.
+  back to the caller as a **carry** — its exact state at the start of
+  the interrupted sweep (the engine undoes that sweep's partial
+  phase-A mutations for the instance) — and the next lane down the
+  ladder (int64 -> two-limb -> big-int) *resumes from that iteration*
+  instead of replaying from iteration 0.  Resumption is exact: value
+  arrays cross the lane boundary as arbitrary-precision integers
+  (``int64`` words widen to two-limb pairs, two-limb pairs reconstruct
+  to Python ints), and per-instance iteration offsets keep the
+  round/iteration accounting bit-identical to an uninterrupted run.
 
 The transition *formulas* are not duplicated: the int64 lane applies
 the ``*_scaled`` pure functions from :mod:`repro.core.vertex_logic`
@@ -44,6 +51,7 @@ cores.
 from __future__ import annotations
 
 from fractions import Fraction
+from math import log2
 
 from repro.core.lockstep import INIT_EXCHANGE_ROUNDS, phase_a_round
 from repro.core.numeric import exact_scaled_int, scaled_fraction
@@ -147,6 +155,15 @@ def scale_limit(
     return ((1 << headroom_bits) * w_max.denominator) // denominator
 
 
+#: Safety margin (in bits) for the float64 eligibility prefilter.  The
+#: prefilter compares ``log2(w_max * scale * factor) + z + 2`` against
+#: the headroom budget using correctly-rounded float64 logarithms; the
+#: accumulated rounding error of the four-term sum is below 1e-9 bits,
+#: so half a bit of margin keeps the filter strictly conservative —
+#: anything inside the margin falls through to the exact big-int bound.
+PREFILTER_MARGIN_BITS = 0.5
+
+
 def _lane_headroom_bits(lane: str) -> int:
     # Read the module globals at call time so tests can monkeypatch the
     # budgets to force spills.
@@ -164,6 +181,7 @@ def lane_eligibility(
     *,
     lane: str,
     headroom_bits: int | None = None,
+    scale: int | None = None,
 ) -> tuple[bool, str]:
     """Whether ``lane`` can run this instance exactly.
 
@@ -173,6 +191,10 @@ def lane_eligibility(
     computed by the caller — this module never recomputes it).  The
     check never raises on exotic instances (fractional weights, huge
     scales): anything it cannot bound is simply ineligible.
+
+    ``scale`` overrides the scale being admitted (default: the state's
+    initial scale) — resumed instances check their *carried* mid-run
+    scale against the lane's headroom instead.
     """
     if not HAS_NUMPY:
         return False, "numpy unavailable"
@@ -192,9 +214,31 @@ def lane_eligibility(
         if z + 2 > SMALL_FACTOR_BITS or factor >= (1 << SMALL_FACTOR_BITS):
             return False, "multiplier exceeds the two-limb 31-bit budget"
     bits = headroom_bits if headroom_bits is not None else _lane_headroom_bits(lane)
-    limit = scale_limit(max(hypergraph.weights), factor, z, bits)
-    if state.scale > limit:
-        return False, f"initial scale exceeds the {lane} headroom"
+    if scale is None:
+        scale = state.scale
+    over = f"initial scale exceeds the {lane} headroom"
+    # Float64-error-bound prefilter: ``scale <= scale_limit(...)`` is
+    # equivalent to ``log2(w_max * scale * factor) + z + 2 <= bits``,
+    # and the log-sum is computable to ~1e-9 bits with four
+    # correctly-rounded float64 logarithms — so instances comfortably
+    # clear of the boundary skip the exact big-int bound entirely on
+    # this hot admission path.  Only the boundary band (within
+    # ``PREFILTER_MARGIN_BITS``) pays for exact arithmetic.
+    w_max = max(hypergraph.weights)
+    approx_bits = (
+        log2(w_max.numerator)
+        - log2(w_max.denominator)
+        + log2(scale)
+        + log2(factor)
+        + z
+        + 2
+    )
+    if approx_bits <= bits - PREFILTER_MARGIN_BITS:
+        return True, "ok"
+    if approx_bits >= bits + PREFILTER_MARGIN_BITS:
+        return False, over
+    if scale > scale_limit(w_max, factor, z, bits):
+        return False, over
     return True, "ok"
 
 
@@ -545,20 +589,37 @@ class LaneRun:
     advanced together, one vectorized sweep per iteration; ``ops`` is
     the lane backend (:class:`Int64Ops` or :class:`TwoLimbOps`) and
     ``limits`` the per-instance scale ceilings from the lane's
-    headroom bound.  Instances whose dynamically growing scale would
-    cross their ceiling are *spilled* (abandoned mid-run, reported in
-    the second element of :meth:`solve`'s result) for the caller to
-    re-run on a wider lane; everything else is bit-identical to the
-    scalar fastpath executor.
+    headroom bound.  An instance whose dynamically growing scale would
+    cross its ceiling is *spilled*: the engine rolls the instance back
+    to the interrupted sweep's start, extracts that exact state as a
+    lane-neutral **carry** (the second element of :meth:`solve`'s
+    result maps spilled positions to carries), and the caller resumes
+    it on a wider lane via ``carries=`` — from the carried iteration,
+    not from iteration 0.  ``carries[k]`` (when given) replaces
+    instance ``k``'s iteration-0 state with the carried mid-run state;
+    per-instance iteration offsets keep iteration and round accounting
+    identical to an uninterrupted run.  Everything, resumed or not, is
+    bit-identical to the scalar fastpath executor.
     """
 
-    def __init__(self, hypergraphs, states, config: AlgorithmConfig, *, ops, limits):
+    def __init__(
+        self,
+        hypergraphs,
+        states,
+        config: AlgorithmConfig,
+        *,
+        ops,
+        limits,
+        carries=None,
+    ):
         self.config = config
         self.spec = config.schedule == "spec"
         self.count = len(hypergraphs)
         self.hypergraphs = hypergraphs
         self.states = states
         self.ops = ops
+        if carries is None:
+            carries = [None] * self.count
         arena: BatchArena = pack_arena(hypergraphs)
         self.arena = arena
         total_v = arena.total_vertices
@@ -567,38 +628,53 @@ class LaneRun:
         int64 = _np.int64
         # -- edge-side state ------------------------------------------
         self.bid = ops.from_list(
-            [value for state in states for value in state.bid]
+            [
+                value
+                for state, carry in zip(states, carries)
+                for value in (carry["bid"] if carry else state.bid)
+            ]
         )
         self.raised = ops.from_list(
-            [value for state in states for value in state.raised]
+            [
+                value
+                for state, carry in zip(states, carries)
+                for value in (carry["raised"] if carry else state.raised)
+            ]
         )
-        self.delta = ops.copy(self.bid)
+        self.delta = ops.from_list(
+            [
+                value
+                for state, carry in zip(states, carries)
+                for value in (carry["delta"] if carry else state.delta)
+            ]
+        )
         self.alpha_num_e = _np.array(
             [num for state in states for num in state.alpha_num],
             dtype=int64,
         )
         self.covered = _np.zeros(total_e, dtype=bool)
-        self.live_edge = _np.ones(total_e, dtype=bool)
         self.raise_count = _np.zeros(total_e, dtype=int64)
         self.halving_count = _np.zeros(total_e, dtype=int64)
         self.inst_e = _np.array(arena.instance_of_edge, dtype=int64)
 
         # -- vertex-side state ----------------------------------------
-        self.scales = [state.scale for state in states]
+        self.scales = [
+            carry["scale"] if carry else state.scale
+            for state, carry in zip(states, carries)
+        ]
         beta_den, z_caps = [], []
         weight_scaled: list[int] = []
         tight_rhs: list[int] = []
-        for hypergraph, state in zip(hypergraphs, states):
+        for hypergraph, scale in zip(hypergraphs, self.scales):
             beta = config.beta(hypergraph.rank)
             beta_den.append(beta.denominator)
             z_caps.append(config.z(hypergraph.rank))
             for vertex in range(hypergraph.num_vertices):
                 weight = hypergraph.weight(vertex)
-                weight_scaled.append(exact_scaled_int(weight, state.scale))
+                weight_scaled.append(exact_scaled_int(weight, scale))
                 tight_rhs.append(
                     tight_threshold_scaled(
-                        weight, beta.numerator, beta.denominator,
-                        state.scale,
+                        weight, beta.numerator, beta.denominator, scale
                     )
                 )
         self.z_caps = z_caps
@@ -606,7 +682,13 @@ class LaneRun:
         self.weight_scaled = ops.from_list(weight_scaled)
         self.tight_rhs = ops.from_list(tight_rhs)
         self.total_delta = ops.from_list(
-            [value for state in states for value in state.total_delta]
+            [
+                value
+                for state, carry in zip(states, carries)
+                for value in (
+                    carry["total_delta"] if carry else state.total_delta
+                )
+            ]
         )
         degrees = _np.array(
             [deg for state in states for deg in state.degrees], dtype=int64
@@ -628,6 +710,26 @@ class LaneRun:
         )
         z_max = max(z_caps)
         self.stuck = _np.zeros((total_v, z_max), dtype=int64)
+
+        # -- carried (resumed) instances ------------------------------
+        # A carry replaces the bookkeeping slices with the spilled
+        # run's state at the start of the interrupted sweep; the value
+        # arrays above were already loaded from it.
+        for instance, carry in enumerate(carries):
+            if carry is None:
+                continue
+            vertex_slice = arena.vertex_slice(instance)
+            edge_slice = arena.edge_slice(instance)
+            self.level[vertex_slice] = carry["level"]
+            self.in_cover[vertex_slice] = carry["in_cover"]
+            self.dead[vertex_slice] = carry["dead"]
+            self.uncovered_count[vertex_slice] = carry["uncovered_count"]
+            self.covered[edge_slice] = carry["covered"]
+            self.raise_count[edge_slice] = carry["raise_count"]
+            self.halving_count[edge_slice] = carry["halving_count"]
+            stuck = _np.array(carry["stuck"], dtype=int64)
+            self.stuck[vertex_slice, : stuck.shape[1]] = stuck
+        self.live_edge = ~self.covered
 
         # -- CSR kernels ----------------------------------------------
         membership = arena.membership
@@ -656,12 +758,27 @@ class LaneRun:
         # -- per-instance bookkeeping ---------------------------------
         self.active = _np.ones(self.count, dtype=bool)
         self.spilled: set[int] = set()
+        self.carries_out: dict[int, dict] = {}
+        self._spilled_this_sweep: list[int] = []
         self.iterations = [0] * self.count
-        self.halt_round = _np.full(
-            self.count, INIT_EXCHANGE_ROUNDS, dtype=int64
+        # Resumed instances pick their iteration/round accounting up
+        # where the spilling lane left off: local sweep s is global
+        # iteration ``offsets[k] + s``.
+        self.offsets = _np.array(
+            [carry["iterations"] if carry else 0 for carry in carries],
+            dtype=int64,
         )
-        self.live_v = live_start
-        self.live_e = _np.arange(total_e, dtype=int64)
+        self.halt_round = _np.array(
+            [
+                carry["halt_round"] if carry else INIT_EXCHANGE_ROUNDS
+                for carry in carries
+            ],
+            dtype=int64,
+        )
+        self.live_v = live_start[
+            ~self.in_cover[live_start] & ~self.dead[live_start]
+        ]
+        self.live_e = _np.nonzero(self.live_edge)[0]
 
     # ------------------------------------------------------------------
     # Gather / segment kernels
@@ -910,8 +1027,10 @@ class LaneRun:
             )
 
     def _spill(self, instance: int) -> None:
-        """Abandon an instance's lane state; a wider lane re-runs it."""
+        """Take an instance off this lane; the end-of-sweep carry pass
+        rolls it back to the sweep's start for a wider lane to resume."""
         self.spilled.add(instance)
+        self._spilled_this_sweep.append(instance)
         self.active[instance] = False
         edge_slice = self.arena.edge_slice(instance)
         self.live_edge[edge_slice] = False
@@ -921,28 +1040,133 @@ class LaneRun:
         self.live_v = self.live_v[self.active[self.inst_v[self.live_v]]]
         self.live_e = self.live_e[self.active[self.inst_e[self.live_e]]]
 
-    def _bump_halt(self, instances, value: int) -> None:
+    def _bump_halt(self, instances, round_a, extra: int = 0) -> None:
+        """Raise instances' halting rounds to their phase-A round (+
+        ``extra``); ``round_a`` is the per-instance round array (it
+        varies across resumed instances with different offsets)."""
         if instances.size:
-            _np.maximum.at(self.halt_round, instances, value)
+            _np.maximum.at(
+                self.halt_round, instances, round_a[instances] + extra
+            )
+
+    # ------------------------------------------------------------------
+    # Spill-state carry
+    # ------------------------------------------------------------------
+
+    def _undo_and_carry(
+        self, instance, sweep, joiners, nonjoin, newly, terminated,
+        halt_before,
+    ) -> None:
+        """Roll a spilled instance back to this sweep's start and
+        extract the carry.
+
+        The spill is detected inside :meth:`_halve_edges`, by which
+        point the sweep has already applied its phase-A mutations to
+        the instance (joins, level increments, coverage marking, halt
+        bumps — and, per schedule, coverage application and stuck
+        statistics); nothing after the halving phase touches a spilled
+        instance (its ids leave the live sets).  Every one of those
+        mutations is invertible from the sweep's own records — the
+        join/non-join index sets, ``k_inc``, the newly-covered edge
+        set, the terminated vertex set and the sweep-start halting
+        rounds — so the rollback is exact, and the carry equals the
+        instance's state after ``sweep - 1`` full iterations.
+        """
+        inst_v, inst_e = self.inst_v, self.inst_e
+        newly_i = newly[inst_e[newly] == instance]
+        if newly_i.size:
+            # _apply_coverage's decrements, inverted under the same
+            # membership mask (in_cover is restored only afterwards).
+            cells = self.e_cells[
+                self._expand_segments(newly_i, self.e_starts, self.e_lengths)
+            ]
+            members = cells[~self.in_cover[cells]]
+            _np.add.at(self.uncovered_count, members, 1)
+            self.covered[newly_i] = False
+        terminated_i = terminated[inst_v[terminated] == instance]
+        self.dead[terminated_i] = False
+        nonjoin_i = nonjoin[inst_v[nonjoin] == instance]
+        if not self.spec and nonjoin_i.size:
+            # Compact mode fixed flags/stuck in phase A (spec records
+            # them after halving, which a spilled instance never
+            # reaches).  Stuck was counted at the post-increment level,
+            # so subtract before restoring the levels.
+            stuck_i = nonjoin_i[self.flags[nonjoin_i] == 0]
+            if stuck_i.size:
+                _np.subtract.at(
+                    self.stuck, (stuck_i, self.level[stuck_i]), 1
+                )
+        self.level[nonjoin_i] -= self.k_inc[nonjoin_i]
+        joiners_i = joiners[inst_v[joiners] == instance]
+        self.in_cover[joiners_i] = False
+        self.halt_round[instance] = halt_before[instance]
+        self.carries_out[instance] = self._extract_carry(
+            instance, sweep - 1
+        )
+
+    def _extract_carry(self, instance: int, iterations: int) -> dict:
+        """The instance's exact sweep-start state, lane-neutral.
+
+        Value arrays cross the lane boundary as Python ints (two-limb
+        pairs reconstruct, int64 words widen losslessly), so any wider
+        lane — or the scalar big-int loop — can resume from iteration
+        ``iterations`` with identical bits.
+        """
+        ops = self.ops
+        vertex_slice = self.arena.vertex_slice(instance)
+        edge_slice = self.arena.edge_slice(instance)
+        return {
+            "scale": self.scales[instance],
+            "bid": ops.tolist_slice(self.bid, edge_slice),
+            "raised": ops.tolist_slice(self.raised, edge_slice),
+            "delta": ops.tolist_slice(self.delta, edge_slice),
+            "total_delta": ops.tolist_slice(self.total_delta, vertex_slice),
+            "level": self.level[vertex_slice].tolist(),
+            "in_cover": self.in_cover[vertex_slice].tolist(),
+            "dead": self.dead[vertex_slice].tolist(),
+            "uncovered_count": self.uncovered_count[vertex_slice].tolist(),
+            "covered": self.covered[edge_slice].tolist(),
+            "raise_count": self.raise_count[edge_slice].tolist(),
+            "halving_count": self.halving_count[edge_slice].tolist(),
+            "stuck": self.stuck[
+                vertex_slice, : self.z_caps[instance]
+            ].tolist(),
+            "halt_round": int(self.halt_round[instance]),
+            "iterations": int(self.offsets[instance]) + iterations,
+        }
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
 
-    def solve(self) -> tuple[dict[int, dict], set[int]]:
+    def solve(self) -> tuple[dict[int, dict], dict[int, dict]]:
+        """Run the arena to completion.
+
+        Returns ``(solved, carries)``: per-position raw results for
+        instances this lane finished, and per-position carry states
+        for instances that spilled mid-run (resume them on a wider
+        lane via ``carries=``).
+        """
         config = self.config
         ops = self.ops
         spec = self.spec
+        resumed = bool(self.offsets.any())
         sweep = 0
         while self.live_e.size:
             sweep += 1
-            if sweep > config.max_iterations:
+            max_offset = (
+                int(self.offsets[self.active].max()) if resumed else 0
+            )
+            if sweep + max_offset > config.max_iterations:
                 raise RoundLimitExceededError(
                     f"no termination after {config.max_iterations} "
                     f"iterations; {self.live_e.size} edges uncovered "
                     "across the batch"
                 )
-            round_a = phase_a_round(sweep, spec=spec)
+            # Per-instance phase-A rounds: resumed instances are offset
+            # (phase_a_round is elementwise over the iteration array).
+            round_a = phase_a_round(sweep + self.offsets, spec=spec)
+            halt_before = self.halt_round.copy()
 
             live = self.live_v
             if not spec:
@@ -971,11 +1195,11 @@ class LaneRun:
 
             newly = self._mark_coverage(joiners)
             self._bump_halt(self.inst_v[joiners], round_a)
-            self._bump_halt(self.inst_e[newly], round_a + 1)
+            self._bump_halt(self.inst_e[newly], round_a, 1)
 
             if spec:
                 terminated = self._apply_coverage(newly)
-                self._bump_halt(self.inst_v[terminated], round_a + 2)
+                self._bump_halt(self.inst_v[terminated], round_a, 2)
                 self.live_v = self.live_v[
                     ~self.in_cover[self.live_v] & ~self.dead[self.live_v]
                 ]
@@ -994,10 +1218,18 @@ class LaneRun:
                     edge_view = self._edge_view()
                 self._raise_and_grow(edge_view, self._vertex_view())
                 terminated = self._apply_coverage(newly)
-                self._bump_halt(self.inst_v[terminated], round_a + 2)
+                self._bump_halt(self.inst_v[terminated], round_a, 2)
                 self.live_v = self.live_v[
                     ~self.in_cover[self.live_v] & ~self.dead[self.live_v]
                 ]
+
+            if self._spilled_this_sweep:
+                for instance in self._spilled_this_sweep:
+                    self._undo_and_carry(
+                        instance, sweep, joiners, nonjoin, newly,
+                        terminated, halt_before,
+                    )
+                self._spilled_this_sweep.clear()
 
             remaining = _np.bincount(
                 self.inst_e[self.live_e], minlength=self.count
@@ -1006,7 +1238,9 @@ class LaneRun:
             if finished.size:
                 for instance in finished:
                     instance = int(instance)
-                    self.iterations[instance] = sweep
+                    self.iterations[instance] = sweep + int(
+                        self.offsets[instance]
+                    )
                     self.active[instance] = False
                 self._filter_live()
 
@@ -1014,7 +1248,7 @@ class LaneRun:
             instance: self._collect(instance)
             for instance in range(self.count)
             if instance not in self.spilled
-        }, self.spilled
+        }, self.carries_out
 
     def _collect(self, instance: int) -> dict:
         vertex_slice = self.arena.vertex_slice(instance)

@@ -22,6 +22,7 @@ __all__ = [
     "ceil_log2_fraction",
     "half_power",
     "scaled_fraction",
+    "raw_fraction",
     "exact_scaled_int",
 ]
 
@@ -79,6 +80,27 @@ def scaled_fraction(numerator: int, scale: int) -> Fraction:
     value = Fraction.__new__(Fraction)
     value._numerator = numerator // divisor
     value._denominator = scale // divisor
+    return value
+
+
+def raw_fraction(numerator: int, denominator: int) -> Fraction:
+    """Rebuild a Fraction from an **already-canonical** pair.
+
+    The multiprocess executor ships dual packings across the process
+    boundary as ``(numerator, denominator)`` int pairs taken from
+    normalized Fractions — re-running the constructor's gcd on the
+    receiving side would redo work the sender already did (and
+    ``Fraction``'s own pickle format is worse still: it round-trips
+    through string parsing).  Callers must guarantee the pair is in
+    lowest terms with a positive denominator; the same
+    :func:`_probe_fraction_slots` capability check guards the slot
+    fast path, degrading to the public constructor when unavailable.
+    """
+    if not _HAS_FRACTION_SLOTS:
+        return Fraction(numerator, denominator)
+    value = Fraction.__new__(Fraction)
+    value._numerator = numerator
+    value._denominator = denominator
     return value
 
 

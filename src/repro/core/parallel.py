@@ -1,0 +1,441 @@
+"""Multiprocess sharded batch execution for the fastpath arenas.
+
+The batched arena executor (:mod:`repro.core.batch`) advances K
+independent instances with one vectorized sweep per iteration — but on
+a single core.  The paper's algorithm is distributed by design, and
+independent instances parallelize trivially; this module is that last
+step: ``jobs=N`` partitions a batch into per-worker **shards**, ships
+each shard's packed CSR arena to a persistent worker pool, runs the
+ordinary arena executor (kernel lanes, spill-state carry and all)
+inside each worker, and merges the per-instance results back in
+submission order.  Parallelism is purely an execution detail:
+
+* **cost-model sharding** — shards are balanced by
+  :func:`estimated_cost` (``nnz * expected-iterations``, an LPT greedy
+  assignment), not round-robin, so one heavy instance cannot serialize
+  the batch behind it;
+* **shared-memory transport** — a shard's CSR structure crosses the
+  process boundary as one flat ``int64`` buffer in a
+  ``multiprocessing.shared_memory`` block
+  (:func:`repro.hypergraph.csr.serialize_arena`), avoiding the pickle
+  of O(nnz) Python object graphs; weights/config ride in a small
+  pickled header.  Where shared memory is unavailable (or creation
+  fails), the same buffer travels inside the pickled payload instead —
+  identical results, slightly more copying;
+* **bit-identical merging** — every worker runs
+  :func:`repro.core.batch.run_fastpath_batch` on its shard, whose
+  per-instance contract is already "identical to a solo fastpath run",
+  so ``jobs=N`` equals ``jobs=1`` equals K scalar runs bit for bit,
+  in submission order; the solving shard is recorded in
+  ``CoverResult.worker``;
+* **crash fallback** — a worker that dies (OOM-killed, segfaulted)
+  breaks the pool; affected shards are re-solved in-process and the
+  pool is rebuilt lazily for the next call.  Algorithmic exceptions
+  (bad instances) propagate unchanged, exactly as ``jobs=1`` would
+  raise them.
+
+The pool is persistent across calls (process spawn costs would swamp
+small batches) and sized on first use; :func:`shutdown_pool` tears it
+down explicitly (also registered at interpreter exit).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from fractions import Fraction
+
+from repro.core.batch import run_fastpath_batch
+from repro.core.numeric import raw_fraction
+from repro.core.params import AlgorithmConfig
+from repro.core.result import AlgorithmStats, CoverResult
+from repro.hypergraph.csr import (
+    arena_hypergraphs,
+    deserialize_arena,
+    pack_arena,
+    serialize_arena,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+try:  # pragma: no cover - absent only on exotic builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+__all__ = [
+    "estimated_cost",
+    "partition_shards",
+    "run_fastpath_batch_parallel",
+    "shutdown_pool",
+]
+
+#: Test hook: force the pickle transport even when shared memory works.
+_FORCE_PICKLE = False
+
+#: Test hook: make every worker task kill its process (exercises the
+#: broken-pool -> in-process fallback without a real crash).
+_CRASH_WORKERS = False
+
+
+# ----------------------------------------------------------------------
+# Cost model and sharding
+# ----------------------------------------------------------------------
+
+
+def estimated_cost(hypergraph: Hypergraph, config: AlgorithmConfig) -> int:
+    """Deterministic per-instance work estimate for shard balancing.
+
+    Each sweep touches every live incidence cell once, so work is
+    ``nnz * iterations``.  The iteration count is bounded by the
+    paper's analysis (raises per edge are ``O(log_alpha(Delta *
+    2**(f z)))``, levels by ``z``), for which ``log2(Delta) + z`` is a
+    cheap structural proxy — exact balance is not required, only that
+    a few heavy instances do not pile onto one shard.
+    """
+    nnz = sum(len(members) for members in hypergraph.edges)
+    expected_iterations = hypergraph.max_degree.bit_length() + config.z(
+        hypergraph.rank
+    )
+    return max(1, nnz) * max(1, expected_iterations)
+
+
+def partition_shards(
+    hypergraphs, config: AlgorithmConfig, jobs: int
+) -> list[list[int]]:
+    """Split instance indices into ``<= jobs`` cost-balanced shards.
+
+    LPT greedy: instances descend by :func:`estimated_cost` onto the
+    currently lightest shard.  Deterministic (ties break on index) and
+    within-shard indices stay ascending, so merged output order never
+    depends on scheduling.  Empty shards are dropped.
+    """
+    count = len(hypergraphs)
+    shard_count = max(1, min(jobs, count))
+    costs = [
+        estimated_cost(hypergraph, config) for hypergraph in hypergraphs
+    ]
+    ranked = sorted(range(count), key=lambda index: (-costs[index], index))
+    loads = [0] * shard_count
+    members: list[list[int]] = [[] for _ in range(shard_count)]
+    for index in ranked:
+        shard = min(range(shard_count), key=lambda s: (loads[s], s))
+        loads[shard] += costs[index]
+        members[shard].append(index)
+    return [sorted(shard) for shard in members if shard]
+
+
+# ----------------------------------------------------------------------
+# Result wire format
+#
+# ``Fraction`` pickles through *string parsing* and re-runs gcd
+# normalization on every value — for a dual packing of m edges per
+# instance that dominates the merge.  Workers therefore ship results as
+# flat tuples of already-canonical ``(numerator, denominator)`` int
+# pairs, and the parent rebuilds Fractions through the no-gcd
+# :func:`repro.core.numeric.raw_fraction` slot path (~2x faster end to
+# end, and smaller on the wire).  Certificates (present only with
+# ``verify=True``) pickle natively: correctness infrastructure is not
+# worth a bespoke encoding.
+# ----------------------------------------------------------------------
+
+
+def _encode_rational(value: int | Fraction):
+    if isinstance(value, int):
+        return value
+    return (value.numerator, value.denominator)
+
+
+def _decode_rational(value) -> int | Fraction:
+    if isinstance(value, int):
+        return value
+    return raw_fraction(*value)
+
+
+def _encode_result(result: CoverResult) -> tuple:
+    dual = result.dual
+    stats = result.stats
+    return (
+        tuple(result.cover),
+        _encode_rational(result.weight),
+        result.rank,
+        _encode_rational(result.epsilon),
+        result.iterations,
+        result.rounds,
+        tuple(dual.keys()),
+        tuple(value.numerator for value in dual.values()),
+        tuple(value.denominator for value in dual.values()),
+        _encode_rational(result.dual_total),
+        result.certificate,
+        result.levels,
+        (
+            stats.total_raise_events,
+            stats.max_raises_per_edge,
+            stats.total_stuck_events,
+            stats.max_stuck_per_vertex_level,
+            stats.total_halvings,
+            stats.max_level,
+            stats.level_cap,
+        ),
+        _encode_rational(result.alpha_min),
+        _encode_rational(result.alpha_max),
+        result.lane,
+    )
+
+
+def _decode_result(wire: tuple, worker: int) -> CoverResult:
+    (
+        cover, weight, rank, epsilon, iterations, rounds,
+        dual_keys, dual_nums, dual_dens, dual_total, certificate,
+        levels, stats, alpha_min, alpha_max, lane,
+    ) = wire
+    return CoverResult(
+        cover=frozenset(cover),
+        weight=_decode_rational(weight),
+        rank=rank,
+        epsilon=_decode_rational(epsilon),
+        iterations=iterations,
+        rounds=rounds,
+        dual={
+            edge_id: raw_fraction(numerator, denominator)
+            for edge_id, numerator, denominator in zip(
+                dual_keys, dual_nums, dual_dens
+            )
+        },
+        dual_total=_decode_rational(dual_total),
+        certificate=certificate,
+        levels=levels,
+        stats=AlgorithmStats(*stats),
+        metrics=None,
+        alpha_min=_decode_rational(alpha_min),
+        alpha_max=_decode_rational(alpha_max),
+        lane=lane,
+        worker=worker,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+#: Where POSIX shared-memory segments surface as files.  Workers read
+#: a segment's payload straight from this directory instead of
+#: attaching a ``SharedMemory`` handle: attaching would (re-)register
+#: the parent-owned segment with a resource tracker, which either
+#: double-unregisters under ``fork`` (parent and child share one
+#: tracker) or warns about "leaks" under ``spawn`` — the plain read
+#: has no tracker interaction at all.  Shared-memory transport is only
+#: selected when this directory exists; elsewhere the pickle fallback
+#: carries the same buffer.
+_SHM_DIR = "/dev/shm"
+
+
+def _attach_shm_bytes(name: str, size: int) -> bytes:
+    """Read a parent-owned shared-memory segment's payload."""
+    path = os.path.join(_SHM_DIR, name.lstrip("/"))
+    with open(path, "rb") as handle:
+        return handle.read(size)
+
+
+def _solve_shard(payload: dict) -> tuple[int, list[tuple]]:
+    """Worker entry point: solve one shard with the in-process executor.
+
+    The payload carries the shard's serialized arena (by shared-memory
+    name or inline bytes), the concatenated weights, the config, and
+    the parent's headroom budgets — shipping the budgets keeps parent
+    and workers agreeing on lane admission even when tests shrink them
+    to force spills.  Results return in the compact wire format of
+    :func:`_encode_result`.
+    """
+    if payload.get("crash"):  # pragma: no cover - exercised via subprocess
+        os._exit(13)
+    kind, *details = payload["transport"]
+    if kind == "shm":
+        buffer = _attach_shm_bytes(*details)
+    else:
+        buffer = details[0]
+    arena = deserialize_arena(buffer, payload["weights"])
+    instances = arena_hypergraphs(arena)
+
+    import repro.core.batch as batch_module
+    import repro.core.kernels as kernels_module
+
+    kernels_module.INT64_HEADROOM_BITS = payload["int64_bits"]
+    kernels_module.TWO_LIMB_HEADROOM_BITS = payload["two_limb_bits"]
+    batch_module._HEADROOM_BITS = payload["batch_bits"]
+    results = run_fastpath_batch(
+        instances, payload["config"], verify=payload["verify"]
+    )
+    return payload["shard"], [_encode_result(result) for result in results]
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_JOBS = 0
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_JOBS
+    if _POOL is not None and _POOL_JOBS != jobs:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (rebuilt lazily on use)."""
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_JOBS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    """``jobs <= 0`` (or ``None``) means one worker per available core."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _make_payload(shard: int, indices, instances, config, verify):
+    """Build one worker payload; returns ``(payload, shm_block|None)``."""
+    import repro.core.batch as batch_module
+    import repro.core.kernels as kernels_module
+
+    arena = pack_arena([instances[index] for index in indices])
+    buffer = serialize_arena(arena)
+    transport = ("bytes", buffer)
+    block = None
+    if (
+        shared_memory is not None
+        and not _FORCE_PICKLE
+        and os.path.isdir(_SHM_DIR)
+    ):
+        try:
+            block = shared_memory.SharedMemory(
+                create=True, size=max(1, len(buffer))
+            )
+            block.buf[: len(buffer)] = buffer
+            transport = ("shm", block.name, len(buffer))
+        except OSError:  # pragma: no cover - e.g. /dev/shm exhausted
+            block = None
+            transport = ("bytes", buffer)
+    return {
+        "shard": shard,
+        "transport": transport,
+        "weights": arena.weights,
+        "config": config,
+        "verify": verify,
+        "int64_bits": kernels_module.INT64_HEADROOM_BITS,
+        "two_limb_bits": kernels_module.TWO_LIMB_HEADROOM_BITS,
+        "batch_bits": batch_module._HEADROOM_BITS,
+        "crash": _CRASH_WORKERS,
+    }, block
+
+
+def run_fastpath_batch_parallel(
+    hypergraphs,
+    config: AlgorithmConfig | None = None,
+    *,
+    verify: bool = True,
+    jobs: int | None = None,
+) -> list[CoverResult]:
+    """Solve K instances across ``jobs`` worker processes.
+
+    Bit-identical to :func:`repro.core.batch.run_fastpath_batch`
+    (``jobs=1``) and hence to K solo fastpath runs — sharding only
+    changes which process runs an instance's arena, never its bits.
+    Results come back in submission order with ``CoverResult.worker``
+    naming the shard that solved each instance; ``jobs <= 0`` sizes
+    the pool to the machine.  Shards whose worker process dies are
+    transparently re-solved in-process.
+    """
+    config = config or AlgorithmConfig()
+    instances = list(hypergraphs)
+    jobs = _resolve_jobs(jobs)
+    if jobs <= 1 or len(instances) <= 1:
+        return run_fastpath_batch(instances, config, verify=verify)
+
+    shards = partition_shards(instances, config, jobs)
+    if len(shards) <= 1:
+        return run_fastpath_batch(instances, config, verify=verify)
+
+    results: list[CoverResult | None] = [None] * len(instances)
+    payloads = []
+    blocks = []
+    futures: list = []
+    failed: list[int] = []
+    try:
+        # Payload building sits inside the same try/finally as the
+        # futures: an interrupt mid-loop must still unlink the
+        # shared-memory segments already created for earlier shards.
+        for shard, indices in enumerate(shards):
+            payload, block = _make_payload(
+                shard, indices, instances, config, verify
+            )
+            payloads.append(payload)
+            if block is not None:
+                blocks.append(block)
+
+        pool = _get_pool(jobs)
+        futures = [
+            (shard, pool.submit(_solve_shard, payload))
+            for shard, payload in enumerate(payloads)
+        ]
+        for shard, future in futures:
+            try:
+                shard_id, shard_results = future.result()
+            except BrokenExecutor:
+                failed.append(shard)
+                continue
+            for index, wire in zip(shards[shard_id], shard_results):
+                results[index] = _decode_result(wire, shard_id)
+    except BrokenExecutor:  # pragma: no cover - pool died at submit time
+        failed = [
+            shard for shard in range(len(shards))
+            if any(results[index] is None for index in shards[shard])
+        ]
+    finally:
+        # Settle every outstanding future before unlinking: if one
+        # shard's result raised (a worker-side algorithm error
+        # propagating to the caller), still-queued workers may not
+        # have read their segments yet — unlinking under them would
+        # turn one instance's error into spurious FileNotFoundErrors
+        # and leave never-retrieved exceptions in the persistent pool.
+        for _, future in futures:
+            if not future.cancel():
+                try:
+                    future.exception()
+                except BaseException:  # noqa: BLE001 - settle only
+                    pass
+        for block in blocks:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    if failed:
+        # The pool is unusable after a worker death; drop it (the next
+        # call rebuilds it) and finish the affected shards in-process.
+        shutdown_pool()
+        for shard in failed:
+            indices = shards[shard]
+            recovered = run_fastpath_batch(
+                [instances[index] for index in indices],
+                config,
+                verify=verify,
+            )
+            for index, result in zip(indices, recovered):
+                results[index] = result
+    return results  # type: ignore[return-value]

@@ -114,6 +114,12 @@ class CoverResult:
         ``None`` for the Fraction-core executors.  Metadata only —
         excluded from equality so differential comparisons across
         executors and lanes stay meaningful.
+    worker:
+        Which shard of a multiprocess batch execution
+        (``solve_mwhvc_batch(..., jobs=N)``) solved this instance;
+        ``None`` for in-process runs.  Like ``lane``, provenance
+        metadata excluded from equality — parallelism must never be
+        observable in the results themselves.
     """
 
     cover: frozenset[int]
@@ -131,6 +137,7 @@ class CoverResult:
     alpha_min: Fraction
     alpha_max: Fraction
     lane: str | None = field(default=None, compare=False)
+    worker: int | None = field(default=None, compare=False)
 
     @property
     def guarantee(self) -> Fraction:
@@ -191,6 +198,8 @@ class CoverResult:
         }
         if self.lane is not None:
             data["lane"] = self.lane
+        if self.worker is not None:
+            data["worker"] = self.worker
         if self.metrics is not None:
             data["congest_metrics"] = self.metrics.as_dict()
         if include_dual:

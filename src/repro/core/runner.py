@@ -40,18 +40,33 @@ def run_many(
     runner,
     *,
     verify: bool = True,
+    jobs: int = 1,
 ) -> list[CoverResult]:
-    """Run one executor over many instances, one at a time.
+    """Run one executor over many instances.
 
     ``runner`` is any single-instance executor with the
     ``(hypergraph, config, *, verify)`` signature (``run_fastpath``,
-    ``run_lockstep``).  This is the sequential reference the batched
-    arena executor (:mod:`repro.core.batch`) is differentially tested
-    against, and its fallback lane when numpy is unavailable.
+    ``run_lockstep``).  A homogeneous fastpath workload — ``runner is
+    run_fastpath``, the common case for CLI/API sweeps — is routed
+    through :func:`repro.core.solver.solve_mwhvc_batch`, so it gets
+    the shared-arena kernels (and, with ``jobs``, the multiprocess
+    shards) for free while returning the bit-identical per-instance
+    results a sequential loop would.  Other runners execute one at a
+    time (``jobs`` is then ignored: the object-core executors hold
+    unpicklable per-run state).
     """
+    from repro.core.fastpath import run_fastpath
+
+    instances = list(hypergraphs)
+    if runner is run_fastpath:
+        from repro.core.solver import solve_mwhvc_batch
+
+        return solve_mwhvc_batch(
+            instances, config=config, verify=verify, jobs=jobs
+        )
     return [
         runner(hypergraph, config, verify=verify)
-        for hypergraph in hypergraphs
+        for hypergraph in instances
     ]
 
 

@@ -28,7 +28,7 @@ from repro.core.fastpath import run_fastpath
 from repro.core.lockstep import run_lockstep
 from repro.core.params import AlgorithmConfig
 from repro.core.result import CoverResult
-from repro.core.runner import run_congest, run_many
+from repro.core.runner import run_congest
 from repro.exceptions import InvalidInstanceError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.setcover import SetCoverInstance
@@ -139,6 +139,7 @@ def solve_mwhvc_batch(
     config: AlgorithmConfig | None = None,
     verify: bool = True,
     batched: bool = True,
+    jobs: int = 1,
 ) -> list[CoverResult]:
     """Solve K independent MWHVC instances as one batched execution.
 
@@ -164,12 +165,37 @@ def solve_mwhvc_batch(
         fastpath executor instead of the arena (a debugging/reference
         mode; the results are identical either way).  Arena execution
         also degrades to this path when numpy is unavailable.
+    jobs:
+        Number of worker processes (see :mod:`repro.core.parallel`):
+        ``1`` (the default) runs the arena in-process, ``N > 1``
+        shards the batch across a persistent pool of ``N`` workers
+        (cost-model-balanced, shared-memory transport), and ``0`` (or
+        any non-positive value) sizes the pool to the machine.
+        Results are identical for every ``jobs`` value — parallelism
+        only shows up in ``CoverResult.worker`` and wall-clock time.
     """
     if config is None:
         config = AlgorithmConfig(epsilon=Fraction(epsilon))
     if not batched:
-        return run_many(hypergraphs, config, run_fastpath, verify=verify)
-    return run_fastpath_batch(hypergraphs, config, verify=verify)
+        if jobs != 1:
+            # Silently running the reference loop single-core under a
+            # jobs= request would corrupt any timing comparison built
+            # on it — the combination is contradictory, so reject it.
+            raise InvalidInstanceError(
+                "jobs applies to the batched executor only — drop "
+                "batched=False/--sequential or use jobs=1"
+            )
+        return [
+            run_fastpath(hypergraph, config, verify=verify)
+            for hypergraph in hypergraphs
+        ]
+    if jobs == 1:
+        return run_fastpath_batch(hypergraphs, config, verify=verify)
+    from repro.core.parallel import run_fastpath_batch_parallel
+
+    return run_fastpath_batch_parallel(
+        hypergraphs, config, verify=verify, jobs=jobs
+    )
 
 
 def f_approx_epsilon(hypergraph: Hypergraph) -> Fraction:

@@ -14,14 +14,26 @@ into disjoint global ranges, so a single structural kernel sweep (one
 ``reduceat`` per quantity) advances every instance simultaneously while
 per-instance offset tables keep results separable.  This is the packing
 behind :func:`repro.core.batch.run_fastpath_batch`.
+
+For the multiprocess executor (:mod:`repro.core.parallel`) an arena's
+structure round-trips through one flat native-``int64`` buffer:
+:func:`serialize_arena` / :func:`deserialize_arena` move a shard's
+packed CSR across the process boundary (via ``shared_memory`` or, as a
+fallback, an ordinary pickled payload) without serializing Python
+object graphs, and :func:`arena_hypergraphs` reconstructs the packed
+instances — the exact inverse of :func:`pack_arena` — on the worker
+side.  Vertex weights travel separately: they may be arbitrary exact
+rationals, which have no fixed-width representation.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Sequence
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.exceptions import InvalidInstanceError
 from repro.hypergraph.hypergraph import Hypergraph
 
 __all__ = [
@@ -31,6 +43,9 @@ __all__ = [
     "BatchArena",
     "pack_arena",
     "arena_incidence",
+    "serialize_arena",
+    "deserialize_arena",
+    "arena_hypergraphs",
 ]
 
 
@@ -149,6 +164,104 @@ def arena_incidence(arena: BatchArena) -> CSRLayout:
         for position in range(start, start + membership.lengths[edge_id]):
             incidence[membership.cells[position]].append(edge_id)
     return _layout(incidence)
+
+
+def serialize_arena(arena: BatchArena) -> bytes:
+    """An arena's structure as one flat native-``int64`` buffer.
+
+    Layout: ``[K, vertex_offset (K+1), edge_offset (K+1),
+    membership.lengths (total edges), membership.cells (total cells)]``
+    — every section's size is derivable from the prefix, so
+    :func:`deserialize_arena` needs no side channel.  Weights are *not*
+    included (they may be Fractions of unbounded size); ship them
+    separately and pass them back to :func:`deserialize_arena`.
+    """
+    payload = array("q", [arena.num_instances])
+    payload.extend(arena.vertex_offset)
+    payload.extend(arena.edge_offset)
+    payload.extend(arena.membership.lengths)
+    payload.extend(arena.membership.cells)
+    return payload.tobytes()
+
+
+def deserialize_arena(buffer, weights) -> BatchArena:
+    """Rebuild a :class:`BatchArena` from :func:`serialize_arena` bytes.
+
+    ``buffer`` is any bytes-like object (a ``shared_memory`` view or a
+    pickled payload); ``weights`` is the concatenated per-vertex weight
+    tuple the sender shipped alongside.  Only same-machine transport is
+    supported (native byte order — the buffer never leaves the host).
+    """
+    data = array("q")
+    data.frombytes(bytes(buffer))
+    count = data[0]
+    position = 1
+    vertex_offset = tuple(data[position : position + count + 1])
+    position += count + 1
+    edge_offset = tuple(data[position : position + count + 1])
+    position += count + 1
+    total_edges = edge_offset[-1]
+    lengths = tuple(data[position : position + total_edges])
+    position += total_edges
+    cells = tuple(data[position : position + sum(lengths)])
+    if len(weights) != vertex_offset[-1]:
+        raise InvalidInstanceError(
+            f"arena buffer carries {vertex_offset[-1]} vertices but "
+            f"{len(weights)} weights were supplied"
+        )
+    instance_of_vertex: list[int] = []
+    instance_of_edge: list[int] = []
+    for index in range(count):
+        instance_of_vertex.extend(
+            [index] * (vertex_offset[index + 1] - vertex_offset[index])
+        )
+        instance_of_edge.extend(
+            [index] * (edge_offset[index + 1] - edge_offset[index])
+        )
+    return BatchArena(
+        num_instances=count,
+        vertex_offset=vertex_offset,
+        edge_offset=edge_offset,
+        weights=tuple(weights),
+        membership=CSRLayout(
+            lengths=lengths, starts=_starts_of(lengths), cells=cells
+        ),
+        instance_of_vertex=tuple(instance_of_vertex),
+        instance_of_edge=tuple(instance_of_edge),
+    )
+
+
+def arena_hypergraphs(arena: BatchArena) -> list[Hypergraph]:
+    """Reconstruct the packed instances — the inverse of :func:`pack_arena`.
+
+    Per-instance vertex/edge order is preserved (packing preserved it),
+    so the reconstructed instances are ``==`` to the originals and any
+    solve over them is positionally identical.  Construction goes
+    through ``Hypergraph._from_validated``: an arena's cells were
+    extracted from live (already-validated) hypergraphs, so re-running
+    the per-cell input checks would only tax the worker-side hot path
+    of the multiprocess executor.
+    """
+    instances: list[Hypergraph] = []
+    for index in range(arena.num_instances):
+        vertex_base = arena.vertex_offset[index]
+        num_vertices = arena.vertex_offset[index + 1] - vertex_base
+        edges = tuple(
+            tuple(
+                cell - vertex_base
+                for cell in arena.membership.segment(edge_id)
+            )
+            for edge_id in range(
+                arena.edge_offset[index], arena.edge_offset[index + 1]
+            )
+        )
+        weights = arena.weights[
+            vertex_base : arena.vertex_offset[index + 1]
+        ]
+        instances.append(
+            Hypergraph._from_validated(num_vertices, edges, weights)
+        )
+    return instances
 
 
 def pack_arena(hypergraphs: Sequence[Hypergraph]) -> BatchArena:

@@ -79,7 +79,6 @@ class Hypergraph:
         self._num_vertices = num_vertices
 
         normalized_edges: list[tuple[int, ...]] = []
-        incidence: list[list[int]] = [[] for _ in range(num_vertices)]
         for edge_id, raw_edge in enumerate(edges):
             members = tuple(sorted(raw_edge))
             if not members:
@@ -100,10 +99,8 @@ class Hypergraph:
                         f"hyperedge {edge_id} references vertex {vertex} "
                         f"outside 0..{num_vertices - 1}"
                     )
-                incidence[vertex].append(edge_id)
             normalized_edges.append(members)
         self._edges = tuple(normalized_edges)
-        self._incidence = tuple(tuple(edge_ids) for edge_ids in incidence)
 
         if weights is None:
             weight_tuple = (1,) * num_vertices
@@ -129,11 +126,45 @@ class Hypergraph:
                     weight_list[vertex] = int(weight)
             weight_tuple = tuple(weight_list)
         self._weights = weight_tuple
+        self._derive_structure()
 
+    def _derive_structure(self) -> None:
+        """Derived state from ``_num_vertices``/``_edges``: incidence,
+        rank, max degree.  The single source both constructors call, so
+        validated and trusted instances can never diverge."""
+        incidence: list[list[int]] = [[] for _ in range(self._num_vertices)]
+        for edge_id, members in enumerate(self._edges):
+            for vertex in members:
+                incidence[vertex].append(edge_id)
+        self._incidence = tuple(tuple(edge_ids) for edge_ids in incidence)
         self._rank = max((len(edge) for edge in self._edges), default=0)
         self._max_degree = max(
             (len(edge_ids) for edge_ids in self._incidence), default=0
         )
+
+    @classmethod
+    def _from_validated(
+        cls,
+        num_vertices: int,
+        edges: tuple[tuple[int, ...], ...],
+        weights: tuple,
+    ) -> "Hypergraph":
+        """Rebuild a hypergraph from *already-validated* parts.
+
+        For transport layers (the multiprocess executor's worker-side
+        arena reconstruction) whose inputs were extracted from a live
+        ``Hypergraph``: edges must be sorted tuples of in-range vertex
+        ids and weights the normalized tuple a previous construction
+        produced.  Skips per-cell input validation only; the derived
+        state comes from the same :meth:`_derive_structure` as
+        ``__init__``, so the result is ``==`` to the original.
+        """
+        instance = cls.__new__(cls)
+        instance._num_vertices = num_vertices
+        instance._edges = edges
+        instance._weights = weights
+        instance._derive_structure()
+        return instance
 
     # ------------------------------------------------------------------
     # Basic accessors

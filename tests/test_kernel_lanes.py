@@ -211,6 +211,130 @@ def test_midrun_spill_down_the_ladder(monkeypatch):
         assert getattr(floored, attribute) == getattr(reference, attribute)
 
 
+def _spy_lane_runs(monkeypatch):
+    """Record every LaneRun the ladder constructs (in order)."""
+    from repro.core.kernels import LaneRun
+
+    runs = []
+    real_init = LaneRun.__init__
+
+    def spying_init(self, *args, **kwargs):
+        real_init(self, *args, **kwargs)
+        runs.append(self)
+
+    monkeypatch.setattr(LaneRun, "__init__", spying_init)
+    return runs
+
+
+@needs_numpy
+@pytest.mark.parametrize("schedule", ["spec", "compact"])
+def test_scalar_spill_carry_resumes_in_place(monkeypatch, schedule):
+    """Acceptance: a late mid-run spill must *not* replay from
+    iteration 0 — the wider lane resumes at the carried iteration, and
+    the iteration counts across the lane boundary add up to exactly
+    one uninterrupted run (plus re-execution of the interrupted
+    sweep), with bit-identical results."""
+    hypergraph = mixed_rank_hypergraph(
+        20, 35, 4, seed=8, weights=uniform_weights(20, 1000, seed=9)
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 7), schedule=schedule)
+    reference = solve_mwhvc(hypergraph, config=config, executor="lockstep")
+
+    runs = _spy_lane_runs(monkeypatch)
+    # Shrunken headroom admits the initial scale but trips mid-run.
+    monkeypatch.setattr(kernels_module, "INT64_HEADROOM_BITS", 41)
+    result = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+    assert result.lane == "two-limb"
+    for attribute in OBSERVABLES:
+        assert getattr(result, attribute) == getattr(reference, attribute)
+
+    int64_run, resumed = runs
+    assert int64_run.ops.name == "int64" and 0 in int64_run.carries_out
+    carry = int64_run.carries_out[0]
+    # Late spill: at least two iterations completed before the boundary.
+    assert carry["iterations"] >= 2
+    # The resumed engine starts offset at the carried iteration — its
+    # local sweep count is the remainder, not a replay from zero.
+    assert resumed.ops.name == "two-limb"
+    assert int(resumed.offsets[0]) == carry["iterations"]
+    resumed_sweeps = result.iterations - carry["iterations"]
+    assert 0 < resumed_sweeps < result.iterations
+
+
+@needs_numpy
+@pytest.mark.parametrize("schedule", ["spec", "compact"])
+def test_scalar_spill_carry_to_bigint(monkeypatch, schedule):
+    """Both boundaries: int64 -> two-limb -> bigint, resuming twice."""
+    hypergraph = mixed_rank_hypergraph(
+        20, 35, 4, seed=8, weights=uniform_weights(20, 1000, seed=9)
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 7), schedule=schedule)
+    reference = solve_mwhvc(hypergraph, config=config, executor="lockstep")
+    runs = _spy_lane_runs(monkeypatch)
+    # Equal budgets: the resumed two-limb engine re-executes the
+    # interrupted sweep and trips the same ceiling, carrying again.
+    monkeypatch.setattr(kernels_module, "INT64_HEADROOM_BITS", 41)
+    monkeypatch.setattr(kernels_module, "TWO_LIMB_HEADROOM_BITS", 41)
+    result = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+    assert result.lane == "bigint"
+    for attribute in OBSERVABLES:
+        assert getattr(result, attribute) == getattr(reference, attribute)
+    # Every machine engine spilled with a carry; offsets chain upward.
+    assert [run.ops.name for run in runs] == ["int64", "two-limb"]
+    first = runs[0].carries_out[0]
+    second = runs[1].carries_out[0]
+    assert int(runs[1].offsets[0]) == first["iterations"] >= 1
+    assert second["iterations"] >= first["iterations"]
+    assert second["iterations"] < result.iterations
+
+
+@needs_numpy
+@pytest.mark.parametrize("schedule", ["spec", "compact"])
+def test_arena_spill_carry_resumes_in_place(monkeypatch, schedule):
+    """The arena path: a spilled batch member joins the two-limb arena
+    at its carried offset (alongside fresh members at offset 0) and
+    the merged results stay bit-identical to solo runs."""
+    import repro.core.batch as batch_module
+
+    spilling = mixed_rank_hypergraph(
+        20, 35, 4, seed=8, weights=uniform_weights(20, 1000, seed=9)
+    )
+    small = mixed_rank_hypergraph(
+        10, 15, 3, seed=1, weights=uniform_weights(10, 10, seed=2)
+    )
+    huge = mixed_rank_hypergraph(
+        12, 18, 3, seed=3, weights=[10**16 + v for v in range(12)]
+    )
+    batch = [small, spilling, huge]
+    config = AlgorithmConfig(epsilon=Fraction(1, 7), schedule=schedule)
+    solos = [
+        solve_mwhvc(hypergraph, config=config, executor="fastpath")
+        for hypergraph in batch
+    ]
+
+    runs = _spy_lane_runs(monkeypatch)
+    monkeypatch.setattr(batch_module, "_HEADROOM_BITS", 41)
+    monkeypatch.setattr(kernels_module, "INT64_HEADROOM_BITS", 41)
+    results = solve_mwhvc_batch(batch, config=config)
+    for position, (solo, batched) in enumerate(zip(solos, results)):
+        for attribute in OBSERVABLES:
+            assert getattr(batched, attribute) == getattr(
+                solo, attribute
+            ), (position, attribute)
+
+    int64_arena = runs[0]
+    assert int64_arena.carries_out, "expected a mid-run arena spill"
+    carry = next(iter(int64_arena.carries_out.values()))
+    assert carry["iterations"] >= 1
+    two_limb_arena = runs[1]
+    assert two_limb_arena.ops.name == "two-limb"
+    offsets = sorted(int(offset) for offset in two_limb_arena.offsets)
+    # Mixed offsets: the fresh (huge-weight) member starts at 0, the
+    # resumed member at its carried iteration.
+    assert offsets[0] == 0
+    assert offsets[-1] == carry["iterations"] >= 1
+
+
 DIFFERENTIAL_SETTINGS = settings(
     max_examples=15,
     deadline=None,
@@ -523,6 +647,36 @@ def test_lane_eligibility_reasons():
         hypergraph, wide_beta, wide_state, lane="two-limb"
     )
     assert not eligible and "31-bit" in reason
+
+
+@needs_numpy
+def test_eligibility_prefilter_agrees_with_exact_bound():
+    """The float64 prefilter must reproduce the exact big-int verdict
+    for every headroom budget — including the boundary band where it
+    falls through to exact arithmetic — on int and Fraction weights."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    for hypergraph in (
+        mixed_rank_hypergraph(
+            10, 15, 3, seed=1, weights=uniform_weights(10, 10, seed=2)
+        ),
+        mixed_rank_hypergraph(
+            10, 15, 3, seed=1, weights=[10**15 + v for v in range(10)]
+        ),
+        fractional_instance(n=10, m=15),
+    ):
+        state = prepare_scaled_state(hypergraph, config)
+        rank = hypergraph.rank
+        factor = kernels_module.headroom_factor(config, rank, state)
+        z = config.z(rank)
+        for bits in range(4, 100):
+            exact = state.scale <= kernels_module.scale_limit(
+                max(hypergraph.weights), factor, z, bits
+            )
+            eligible, _ = lane_eligibility(
+                hypergraph, config, state, lane="int64",
+                headroom_bits=bits,
+            )
+            assert eligible == exact, (hypergraph, bits)
 
 
 def test_run_fastpath_state_survives_lane_spills(monkeypatch):

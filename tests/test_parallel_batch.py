@@ -1,0 +1,503 @@
+"""``jobs=N`` must be invisible in the results — only in the clock.
+
+The multiprocess sharded executor (:mod:`repro.core.parallel`) splits
+a batch into cost-balanced shards, ships each shard's packed CSR arena
+to a persistent worker pool (shared memory when available, pickle
+otherwise) and merges the per-instance results in submission order.
+These tests pin the contract that parallelism is pure transport:
+
+* ``jobs=N`` results — covers, duals, iterations, rounds, levels,
+  statistics, lane tags and ordering — are bit-identical to ``jobs=1``
+  (and hence to solo fastpath runs), across structured and hypothesis
+  batches mixing int and Fraction weights;
+* forced mid-run spills *inside workers* (shrunken headroom budgets
+  ship with the payload, so workers agree with the parent) still come
+  back bit-identical, exercising the spill-state carry across the
+  process boundary;
+* a worker crash breaks the pool, the affected shards are re-solved
+  in-process, and the pool is rebuilt for the next call;
+* the shared-memory and pickle transports carry identical bits, and
+  the arena (de)serialization layer round-trips exactly;
+* sharding is deterministic and cost-balanced, never order-changing;
+* ``CoverResult.worker`` records shard provenance (and is excluded
+  from equality, like ``lane``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.core.kernels as kernels_module
+import repro.core.parallel as parallel_module
+from repro.core.batch import run_fastpath_batch
+from repro.core.fastpath import HAS_NUMPY, run_fastpath
+from repro.core.params import AlgorithmConfig
+from repro.core.parallel import (
+    estimated_cost,
+    partition_shards,
+    run_fastpath_batch_parallel,
+    shutdown_pool,
+)
+from repro.core.runner import run_many
+from repro.core.solver import solve_mwhvc, solve_mwhvc_batch
+from repro.hypergraph.csr import (
+    arena_hypergraphs,
+    deserialize_arena,
+    pack_arena,
+    serialize_arena,
+)
+from repro.hypergraph.generators import (
+    mixed_rank_hypergraph,
+    uniform_weights,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+OBSERVABLES = (
+    "cover",
+    "weight",
+    "iterations",
+    "rounds",
+    "dual",
+    "dual_total",
+    "levels",
+    "stats",
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _teardown_pool():
+    yield
+    shutdown_pool()
+
+
+def assert_parallel_matches_sequential(hypergraphs, config, *, jobs=2,
+                                       verify=True):
+    """``jobs=N`` equals ``jobs=1`` on every observable plus lane tag."""
+    sequential = solve_mwhvc_batch(hypergraphs, config=config, verify=verify)
+    parallel = solve_mwhvc_batch(
+        hypergraphs, config=config, verify=verify, jobs=jobs
+    )
+    assert len(parallel) == len(sequential)
+    for position, (left, right) in enumerate(zip(sequential, parallel)):
+        for attribute in OBSERVABLES:
+            assert getattr(right, attribute) == getattr(left, attribute), (
+                f"jobs={jobs} drifted from jobs=1 at [{position}] "
+                f"on {attribute}"
+            )
+        assert right.lane == left.lane, position
+    return sequential, parallel
+
+
+def random_batch(count, *, base_seed=0, max_weight=40):
+    return [
+        mixed_rank_hypergraph(
+            10 + 2 * ((seed + base_seed) % 7),
+            14 + 3 * ((seed + base_seed) % 5),
+            4,
+            seed=seed + base_seed,
+            weights=uniform_weights(
+                10 + 2 * ((seed + base_seed) % 7),
+                max_weight,
+                seed=seed + base_seed + 77,
+            ),
+        )
+        for seed in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Cost model and sharding
+# ----------------------------------------------------------------------
+
+
+def test_partition_shards_is_deterministic_and_balanced():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(9)
+    shards = partition_shards(batch, config, 3)
+    assert shards == partition_shards(batch, config, 3)
+    assert sorted(index for shard in shards for index in shard) == list(
+        range(9)
+    )
+    assert all(shard == sorted(shard) for shard in shards)
+    loads = [
+        sum(estimated_cost(batch[index], config) for index in shard)
+        for shard in shards
+    ]
+    # LPT keeps the heaviest shard within 2x of the lightest here.
+    assert max(loads) <= 2 * min(loads)
+
+
+def test_partition_shards_degenerate_counts():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(3)
+    assert partition_shards(batch, config, 1) == [[0, 1, 2]]
+    # More workers than instances: one singleton shard per instance.
+    shards = partition_shards(batch, config, 8)
+    assert sorted(index for shard in shards for index in shard) == [0, 1, 2]
+    assert all(len(shard) == 1 for shard in shards)
+
+
+def test_estimated_cost_scales_with_structure():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    small = mixed_rank_hypergraph(
+        8, 10, 3, seed=1, weights=uniform_weights(8, 9, seed=2)
+    )
+    large = mixed_rank_hypergraph(
+        40, 90, 4, seed=1, weights=uniform_weights(40, 9, seed=2)
+    )
+    assert estimated_cost(large, config) > estimated_cost(small, config)
+
+
+# ----------------------------------------------------------------------
+# Arena serialization (the shared-memory wire format)
+# ----------------------------------------------------------------------
+
+
+def test_arena_serialization_roundtrip():
+    batch = random_batch(4, base_seed=5)
+    arena = pack_arena(batch)
+    rebuilt = deserialize_arena(serialize_arena(arena), arena.weights)
+    assert rebuilt == arena
+    assert arena_hypergraphs(rebuilt) == batch
+
+
+def test_arena_serialization_fraction_weights_and_degenerates():
+    batch = [
+        Hypergraph(3, [(0, 1), (1, 2)], weights=[Fraction(3, 2), 2, 4]),
+        Hypergraph(2, []),
+        Hypergraph(1, [(0,)], weights=[10**20]),
+    ]
+    arena = pack_arena(batch)
+    rebuilt = deserialize_arena(serialize_arena(arena), arena.weights)
+    assert arena_hypergraphs(rebuilt) == batch
+
+
+def test_deserialize_arena_rejects_weight_mismatch():
+    from repro.exceptions import InvalidInstanceError
+
+    arena = pack_arena(random_batch(2))
+    with pytest.raises(InvalidInstanceError):
+        deserialize_arena(serialize_arena(arena), arena.weights[:-1])
+
+
+# ----------------------------------------------------------------------
+# Parallel equals sequential
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("schedule", ["spec", "compact"])
+def test_parallel_matches_sequential_random_mixes(schedule):
+    config = AlgorithmConfig(epsilon=Fraction(1, 3), schedule=schedule)
+    assert_parallel_matches_sequential(random_batch(8), config)
+
+
+def test_parallel_matches_solo_fastpath():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(6, base_seed=11)
+    parallel = solve_mwhvc_batch(batch, config=config, jobs=3)
+    for hypergraph, result in zip(batch, parallel):
+        solo = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+        for attribute in OBSERVABLES:
+            assert getattr(result, attribute) == getattr(solo, attribute)
+
+
+def test_parallel_worker_provenance():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(6, base_seed=2)
+    _, parallel = assert_parallel_matches_sequential(batch, config, jobs=2)
+    workers = {result.worker for result in parallel}
+    assert workers == {0, 1}
+    payload = parallel[0].as_dict()
+    assert payload["worker"] in (0, 1)
+    # Provenance never participates in equality (like lane).
+    sequential = solve_mwhvc_batch(batch, config=config)
+    assert sequential[0].worker is None
+    assert "worker" not in sequential[0].as_dict()
+
+
+def test_parallel_preserves_submission_order():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(7, base_seed=21)
+    straight = solve_mwhvc_batch(batch, config=config, jobs=2)
+    reverse = solve_mwhvc_batch(
+        list(reversed(batch)), config=config, jobs=2
+    )
+    for left, right in zip(straight, reversed(reverse)):
+        assert left.cover == right.cover
+        assert left.dual == right.dual
+
+
+def test_parallel_degenerate_batches():
+    config = AlgorithmConfig(epsilon=Fraction(1, 2))
+    assert solve_mwhvc_batch([], config=config, jobs=4) == []
+    single = random_batch(1)
+    assert_parallel_matches_sequential(single, config, jobs=4)
+    mixed = [
+        Hypergraph(0, []),
+        Hypergraph(4, []),
+        Hypergraph(3, [(0, 1, 2)]),
+        random_batch(1, base_seed=3)[0],
+    ]
+    assert_parallel_matches_sequential(mixed, config, jobs=2)
+
+
+def test_sequential_reference_mode_rejects_jobs(tmp_path, capsys):
+    """``batched=False`` + ``jobs>1`` is contradictory (it would
+    silently single-core a timing reference) and must error."""
+    from repro.cli import main
+    from repro.exceptions import InvalidInstanceError
+    from repro.hypergraph import io
+
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(2)
+    with pytest.raises(InvalidInstanceError):
+        solve_mwhvc_batch(batch, config=config, batched=False, jobs=2)
+    io.save(batch[0], tmp_path / "one.hg")
+    assert main(
+        ["batch", str(tmp_path), "--sequential", "--jobs", "2"]
+    ) == 2
+    assert "jobs" in capsys.readouterr().err
+
+
+def test_parallel_jobs_zero_means_machine_sized():
+    """``jobs=0`` resolves to the CPU count (>= 1) and stays exact."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    assert_parallel_matches_sequential(
+        random_batch(4, base_seed=6), config, jobs=0
+    )
+
+
+def test_parallel_verify_modes():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(4, base_seed=9)
+    verified = solve_mwhvc_batch(batch, config=config, jobs=2)
+    assert all(result.certificate is not None for result in verified)
+    unverified = solve_mwhvc_batch(
+        batch, config=config, jobs=2, verify=False
+    )
+    assert all(result.certificate is None for result in unverified)
+
+
+# ----------------------------------------------------------------------
+# Transports and failure handling
+# ----------------------------------------------------------------------
+
+
+def test_pickle_transport_matches_shared_memory(monkeypatch):
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(6, base_seed=4)
+    via_shm = run_fastpath_batch_parallel(batch, config, jobs=2)
+    monkeypatch.setattr(parallel_module, "_FORCE_PICKLE", True)
+    via_pickle = run_fastpath_batch_parallel(batch, config, jobs=2)
+    for left, right in zip(via_shm, via_pickle):
+        for attribute in OBSERVABLES:
+            assert getattr(left, attribute) == getattr(right, attribute)
+
+
+def test_worker_crash_falls_back_to_sequential(monkeypatch):
+    """A dying worker must cost wall-clock, never correctness."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(5, base_seed=8)
+    expected = run_fastpath_batch(batch, config)
+    monkeypatch.setattr(parallel_module, "_CRASH_WORKERS", True)
+    recovered = run_fastpath_batch_parallel(batch, config, jobs=2)
+    for left, right in zip(expected, recovered):
+        for attribute in OBSERVABLES:
+            assert getattr(right, attribute) == getattr(left, attribute)
+        # Fallback runs in-process: no worker provenance.
+        assert right.worker is None
+    # The broken pool was torn down; the next call rebuilds it.
+    monkeypatch.setattr(parallel_module, "_CRASH_WORKERS", False)
+    _, healthy = assert_parallel_matches_sequential(batch, config)
+    assert {result.worker for result in healthy} == {0, 1}
+
+
+@pytest.mark.skipif(
+    not HAS_NUMPY, reason="forced spills need the machine lanes"
+)
+def test_forced_spills_inside_workers(monkeypatch):
+    """Shrunken headroom budgets ship with the payload, so workers
+    spill (and carry) mid-run exactly like the parent would."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 7))
+    batch = random_batch(4, base_seed=4, max_weight=1000) + [
+        mixed_rank_hypergraph(
+            20, 35, 4, seed=8, weights=uniform_weights(20, 1000, seed=9)
+        )
+    ]
+    solos = [
+        solve_mwhvc(hypergraph, config=config, executor="fastpath")
+        for hypergraph in batch
+    ]
+    monkeypatch.setattr(kernels_module, "INT64_HEADROOM_BITS", 41)
+    parallel = run_fastpath_batch_parallel(batch, config, jobs=2)
+    lanes = {result.lane for result in parallel}
+    assert lanes - {"int64"}, f"expected spilled lanes, got {lanes}"
+    for position, (solo, result) in enumerate(zip(solos, parallel)):
+        for attribute in OBSERVABLES:
+            assert getattr(result, attribute) == getattr(
+                solo, attribute
+            ), (position, attribute)
+
+
+# ----------------------------------------------------------------------
+# run_many routing (CLI/API sweeps get the arena + jobs for free)
+# ----------------------------------------------------------------------
+
+
+def test_run_many_routes_fastpath_through_batch():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(5, base_seed=14)
+    routed = run_many(batch, config, run_fastpath)
+    direct = solve_mwhvc_batch(batch, config=config)
+    for left, right in zip(routed, direct):
+        for attribute in OBSERVABLES:
+            assert getattr(left, attribute) == getattr(right, attribute)
+    # Routing engaged the arena lanes (a sequential loop would too,
+    # but per-instance; the lane tag proves the batched path ran).
+    if HAS_NUMPY:
+        assert all(result.lane is not None for result in routed)
+
+
+def test_run_many_parallel_jobs():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(4, base_seed=17)
+    routed = run_many(batch, config, run_fastpath, jobs=2)
+    direct = solve_mwhvc_batch(batch, config=config)
+    for left, right in zip(routed, direct):
+        for attribute in OBSERVABLES:
+            assert getattr(left, attribute) == getattr(right, attribute)
+
+
+def test_run_many_other_runners_stay_sequential():
+    from repro.core.lockstep import run_lockstep
+
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(2, base_seed=19)
+    results = run_many(batch, config, run_lockstep)
+    for hypergraph, result in zip(batch, results):
+        solo = solve_mwhvc(hypergraph, config=config, executor="lockstep")
+        assert result.cover == solo.cover
+        assert result.lane is None
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_batch_jobs_flag(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+    from repro.hypergraph import io
+
+    for seed in range(4):
+        hypergraph = mixed_rank_hypergraph(
+            8, 12, 3, seed=seed,
+            weights=uniform_weights(8, 9, seed=seed + 40),
+        )
+        io.save(hypergraph, tmp_path / f"instance{seed}.hg")
+    assert main(["batch", str(tmp_path), "--json"]) == 0
+    sequential = json.loads(capsys.readouterr().out)
+    assert main(["batch", str(tmp_path), "--json", "--jobs", "2"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert parallel["total_weight"] == sequential["total_weight"]
+    for left, right in zip(
+        sequential["instances"], parallel["instances"]
+    ):
+        assert left["cover"] == right["cover"]
+        assert left["dual_total"] == right["dual_total"]
+    assert {entry.get("worker") for entry in parallel["instances"]} == {
+        0, 1,
+    }
+
+
+# ----------------------------------------------------------------------
+# Property-based battery (derandomized): jobs=2 == jobs=1 on mixes of
+# int- and Fraction-weighted instances, including spill-prone weights.
+# ----------------------------------------------------------------------
+
+DIFFERENTIAL_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def weighted_hypergraphs(draw, max_vertices=10, max_edges=12, max_rank=4):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(m):
+        size = draw(st.integers(min_value=1, max_value=min(max_rank, n)))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        edges.append(tuple(members))
+    weight_pool = st.one_of(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=10**14, max_value=10**17),
+        st.fractions(
+            min_value=Fraction(1, 64),
+            max_value=Fraction(10**6),
+            max_denominator=64,
+        ),
+    )
+    weights = draw(st.lists(weight_pool, min_size=n, max_size=n))
+    return Hypergraph(n, edges, weights)
+
+
+@DIFFERENTIAL_SETTINGS
+@given(
+    hypergraphs=st.lists(weighted_hypergraphs(), min_size=2, max_size=6),
+    epsilon=st.sampled_from([Fraction(1), Fraction(1, 3), Fraction(1, 9)]),
+    schedule=st.sampled_from(["spec", "compact"]),
+    jobs=st.sampled_from([2, 3]),
+)
+def test_property_parallel_matches_sequential(
+    hypergraphs, epsilon, schedule, jobs
+):
+    config = AlgorithmConfig(epsilon=epsilon, schedule=schedule)
+    assert_parallel_matches_sequential(
+        hypergraphs, config, jobs=jobs, verify=False
+    )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        # The monkeypatch sets the same constant every example and is
+        # undone once after the last — safe to share across examples.
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+@given(
+    hypergraphs=st.lists(
+        weighted_hypergraphs(max_vertices=8, max_edges=10),
+        min_size=2,
+        max_size=4,
+    ),
+    epsilon=st.sampled_from([Fraction(1, 3), Fraction(1, 7)]),
+)
+def test_property_parallel_spill_mixes(monkeypatch, hypergraphs, epsilon):
+    """Workers inherit shrunken budgets: spill ladders inside workers
+    (int64 -> two-limb -> bigint, with carries) stay bit-identical."""
+    monkeypatch.setattr(kernels_module, "INT64_HEADROOM_BITS", 44)
+    config = AlgorithmConfig(epsilon=epsilon)
+    assert_parallel_matches_sequential(
+        hypergraphs, config, jobs=2, verify=False
+    )
