@@ -30,6 +30,19 @@ top: the same 64-instance suite solved with ``jobs=2`` must be >=
 gate's floor is recorded as null on single-core boxes, where the
 measurement still runs and feeds the trend series) — and bit-identical
 either way.
+
+E12 (``test_stream_steal_gate``) attacks the static sharding's one
+blind spot: the ``nnz * expected-iterations`` cost model.  A skewed
+64-instance batch carries one **misestimated straggler** — a
+Fraction-weighted instance that rides the big-int lane at many times
+its structural estimate, next to 63 uniform-weight instances the
+model *over*-estimates (they terminate in ~2 iterations) — so static
+LPT colocates roughly half the batch behind the straggler.  The
+streaming session's work-stealing scheduler
+(:class:`repro.core.stream.BatchSession`) must beat static ``jobs=2``
+sharding by >= 1.3x on that batch (multi-core; single-core boxes
+record the observed ratio with a null floor like E11), bit-identical
+throughout.
 """
 
 from __future__ import annotations
@@ -56,6 +69,7 @@ EPSILON = Fraction(1, 200)
 THROUGHPUT_FLOOR = 2.0
 PARALLEL_JOBS = 2
 PARALLEL_FLOOR = 1.5
+STREAM_JOBS = 2
 #: E11 profile: same 64-instance shape, but deeper iteration counts
 #: (tight epsilon, small weights keep the int64 arena eligible) so
 #: per-instance compute dominates the fixed per-shard transport cost —
@@ -297,6 +311,188 @@ def test_parallel_jobs_gate(benchmark):
         assert speedup >= PARALLEL_FLOOR, (
             f"jobs={PARALLEL_JOBS} throughput {speedup:.2f}x below the "
             f"{PARALLEL_FLOOR}x floor on {cpus} cpus"
+        )
+
+
+STREAM_FLOOR = 1.3
+#: E12 normal-instance size: large enough that real solve time (a few
+#: ms each) dominates per-shard scheduling overhead, keeping the gate
+#: about schedule quality rather than dispatch constants.
+STREAM_NORMAL_N = 600
+#: The straggler has the *same structure* as a normal instance — the
+#: cost model prices it identically — so static LPT packs half the
+#: batch behind it.
+STREAM_STRAGGLER_N = STREAM_NORMAL_N
+#: Bit size of the straggler's rational-weight numerators.  Big-int
+#: lane cost scales with integer width (every bid/dual carries the
+#: weights' magnitude), so this dial sets the straggler's actual cost
+#: to roughly the whole uniform-weight remainder — ~60x its
+#: structural estimate — without touching a single quantity the cost
+#: model can see.
+STREAM_WEIGHT_BITS = 36_000
+#: Denominators of the straggler's rational weights: twenty mid-size
+#: primes whose lcm (~140 bits) exceeds the two-limb headroom (2^93),
+#: pinning the straggler to the big-int lane regardless of the
+#: numerator dial above.
+STREAM_PRIMES = (
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197,
+)
+
+
+def build_skewed_batch():
+    """One misestimated straggler followed by 63 overestimated normals.
+
+    The normals have uniform weight 1: everything is tight after ~2
+    iterations, a fraction of the ``log2(Delta) + z`` iteration proxy.
+    The straggler is structurally identical to a normal but carries
+    huge rational weights: the lcm of its denominators exceeds every
+    machine-lane headroom (big-int lane), and its ~36k-bit numerators
+    make every big-int operation proportionally expensive — two
+    effects the ``nnz * expected-iterations`` model is blind to, in
+    opposite directions.  Net skew: the straggler's actual cost is
+    roughly the 63 normals' combined worker time (the regime where
+    static sharding loses the most: LPT parks half the normals behind
+    the straggler, stealing moves them all to the other worker).
+    """
+    straggler_weights = [
+        Fraction(
+            (1 << STREAM_WEIGHT_BITS) + 3 ** (i % 16) * (7 * i + 1),
+            STREAM_PRIMES[i % len(STREAM_PRIMES)],
+        )
+        for i in range(STREAM_STRAGGLER_N)
+    ]
+    straggler = regular_hypergraph(
+        STREAM_STRAGGLER_N, RANK, DEGREE, seed=63,
+        weights=straggler_weights,
+    )
+    normals = [
+        regular_hypergraph(
+            STREAM_NORMAL_N, RANK, DEGREE, seed=seed,
+            weights=[1] * STREAM_NORMAL_N,
+        )
+        for seed in range(BATCH_SIZE - 1)
+    ]
+    return [straggler] + normals
+
+
+def test_stream_steal_gate(benchmark):
+    """Acceptance: streaming work-stealing >= 1.3x static ``jobs=2``
+    sharding on the skewed batch, bit-identical results.
+
+    Like E11, the floor is enforced only on multi-core machines; the
+    measurement always runs and feeds the trend series.
+    """
+    from repro.core.parallel import run_fastpath_batch_parallel
+    from repro.core.stream import BatchSession
+
+    instances = build_skewed_batch()
+    config = AlgorithmConfig(epsilon=PARALLEL_EPSILON)
+    cpus = os.cpu_count() or 1
+    gated = cpus >= 2
+
+    def run_stream():
+        with BatchSession(
+            config, jobs=STREAM_JOBS, verify=False
+        ) as session:
+            tickets = [
+                session.submit(hypergraph) for hypergraph in instances
+            ]
+            results = [ticket.result() for ticket in tickets]
+            return results, dict(session.stats)
+
+    # Warm-up: pool spawn + per-worker imports on both sides.
+    run_fastpath_batch_parallel(
+        instances[1:5], config, verify=False, jobs=STREAM_JOBS
+    )
+    with BatchSession(config, jobs=STREAM_JOBS, verify=False) as session:
+        for hypergraph in instances[1:5]:
+            session.submit(hypergraph)
+
+    def run_pair():
+        static_times = []
+        stream_times = []
+        for _ in range(2):
+            t0 = time.perf_counter()
+            static = run_fastpath_batch_parallel(
+                instances, config, verify=False, jobs=STREAM_JOBS
+            )
+            t1 = time.perf_counter()
+            streamed, stats = run_stream()
+            t2 = time.perf_counter()
+            static_times.append(t1 - t0)
+            stream_times.append(t2 - t1)
+        return static, streamed, stats, min(static_times), min(stream_times)
+
+    static, streamed, stats, static_s, stream_s = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    shutdown_pool()
+
+    reference = solve_mwhvc_batch(instances, config=config, verify=False)
+    for position, (solo, via_static, via_stream) in enumerate(
+        zip(reference, static, streamed)
+    ):
+        for attribute in OBSERVABLES:
+            assert getattr(via_static, attribute) == getattr(
+                solo, attribute
+            ), f"static[{position}] drifted: {attribute}"
+            assert getattr(via_stream, attribute) == getattr(
+                solo, attribute
+            ), f"stream[{position}] drifted: {attribute}"
+    assert reference[0].lane == "bigint", (
+        "the straggler must ride the big-int lane for the skew to "
+        f"exist, got {reference[0].lane}"
+    )
+    assert stats["shards"] > 2, stats
+
+    speedup = static_s / stream_s
+    table = render_table(
+        ["mode", "seconds", "throughput vs static shards"],
+        [
+            [
+                "streaming + work stealing",
+                f"{stream_s:.3f}",
+                f"{speedup:.2f}x",
+            ],
+            ["static LPT shards", f"{static_s:.3f}", "1.00x"],
+        ],
+        title=(
+            f"E12 — skewed batch of {BATCH_SIZE} instances "
+            f"(one rational-weight straggler n={STREAM_STRAGGLER_N}, "
+            f"{BATCH_SIZE - 1} x n={STREAM_NORMAL_N} w=1, "
+            f"eps={PARALLEL_EPSILON}, jobs={STREAM_JOBS}, {cpus} cpu(s), "
+            f"{stats['steals']} steals / {stats['splits']} splits)"
+        ),
+    )
+    publish("batch_stream_steal", table)
+    publish_json(
+        "batch_stream_steal",
+        {
+            "gate": "stream_steal_vs_static_sharding",
+            "instances": BATCH_SIZE,
+            "n": STREAM_NORMAL_N,
+            "straggler_n": STREAM_STRAGGLER_N,
+            "degree": DEGREE,
+            "rank": RANK,
+            "epsilon": str(PARALLEL_EPSILON),
+            "jobs": STREAM_JOBS,
+            "cpus": cpus,
+            "static_seconds": round(static_s, 6),
+            "stream_seconds": round(stream_s, 6),
+            "speedup": round(speedup, 3),
+            "steals": stats["steals"],
+            "splits": stats["splits"],
+            "shards": stats["shards"],
+            "floor": STREAM_FLOOR if gated else None,
+            "gated": gated,
+            "bit_identical": True,
+        },
+    )
+    if gated:
+        assert speedup >= STREAM_FLOOR, (
+            f"work-stealing throughput {speedup:.2f}x below the "
+            f"{STREAM_FLOOR}x floor over static sharding on {cpus} cpus"
         )
 
 

@@ -9,6 +9,13 @@ batch
     Solve every ``.hg`` file in a directory as one batched execution
     over a shared CSR arena (bit-identical to solving them one by one
     with the fastpath executor, but substantially faster).
+    ``--stream`` routes the batch through the streaming work-stealing
+    session instead of the static shards.
+serve
+    Stream instance file paths from stdin through a
+    :class:`~repro.core.stream.BatchSession` — one result line per
+    instance, admission micro-batched and scheduled across the worker
+    pool while paths keep arriving.
 generate
     Write a random instance to a ``.hg`` file.
 stats
@@ -122,18 +129,64 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
         help=(
-            "worker processes for the batch (default 1 = in-process; "
-            "0 = one per core).  Shards are cost-balanced and results "
-            "are bit-identical for every N"
+            "worker processes for the batch (default 1 = in-process, "
+            "or one per core with --stream; 0 = one per core).  "
+            "Shards are cost-balanced and results are bit-identical "
+            "for every N"
+        ),
+    )
+    batch.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "admit the instances through the streaming work-stealing "
+            "session instead of static cost-model shards (identical "
+            "results; wins when per-instance cost is skewed)"
         ),
     )
     batch.add_argument(
         "--json",
         action="store_true",
         help="print one JSON object with per-instance results",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "stream instance file paths from stdin through a batch "
+            "session (one result line per instance)"
+        ),
+    )
+    serve.add_argument(
+        "--epsilon", default="1", help="approximation slack in (0,1]"
+    )
+    serve.add_argument(
+        "--schedule", choices=("spec", "compact"), default="spec"
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "worker processes for the session (default 0 = one per "
+            "core)"
+        ),
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        metavar="K",
+        help="micro-batch size cap for compatible submissions",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON object per line instead of summaries",
     )
 
     generate = commands.add_parser(
@@ -196,6 +249,8 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         return 0
     if arguments.command == "batch":
         return _dispatch_batch(arguments)
+    if arguments.command == "serve":
+        return _dispatch_serve(arguments)
     if arguments.command == "generate":
         weights = generators.uniform_weights(
             arguments.vertices, arguments.max_weight, seed=arguments.seed + 1
@@ -239,11 +294,18 @@ def _dispatch_batch(arguments: argparse.Namespace) -> int:
     config = AlgorithmConfig(
         epsilon=arguments.epsilon, schedule=arguments.schedule
     )
+    jobs = arguments.jobs
+    if jobs is None:
+        # The streaming session always runs over the worker pool, so
+        # its useful default is the machine; the static paths keep
+        # their in-process default.
+        jobs = 0 if arguments.stream else 1
     results = solve_mwhvc_batch(
         hypergraphs,
         config=config,
         batched=not arguments.sequential,
-        jobs=arguments.jobs,
+        jobs=jobs,
+        stream=arguments.stream,
     )
     if arguments.json:
         # Weights may be exact rationals (fractional-weight instances):
@@ -269,6 +331,67 @@ def _dispatch_batch(arguments: argparse.Namespace) -> int:
     total = sum(result.weight for result in results)
     print(f"batch: {len(results)} instances, total cover weight {total}")
     return 0
+
+
+def _dispatch_serve(arguments: argparse.Namespace) -> int:
+    """The serving loop: paths in on stdin, results out as they land.
+
+    Each non-blank stdin line names one ``.hg`` instance file; it is
+    admitted into the session the moment it is read, and finished
+    results print in admission order as soon as they (and everything
+    admitted before them) resolve — later paths keep streaming in
+    while earlier instances are still being solved.  A line that fails
+    to load is reported on stderr without stopping the loop; the exit
+    code is 2 if any line failed, else 0.
+    """
+    from repro.core.stream import BatchSession
+
+    config = AlgorithmConfig(
+        epsilon=arguments.epsilon, schedule=arguments.schedule
+    )
+    failures = 0
+    pending: list[tuple[str, object]] = []
+
+    def emit_ready(block: bool) -> None:
+        nonlocal failures
+        while pending and (block or pending[0][1].done()):
+            name, ticket = pending.pop(0)
+            try:
+                result = ticket.result()
+            except Exception as error:  # keep serving past bad instances
+                failures += 1
+                print(f"error: {name}: {error}", file=sys.stderr)
+                continue
+            if arguments.json:
+                print(
+                    json.dumps({"file": name, **result.as_dict()}),
+                    flush=True,
+                )
+            else:
+                print(f"{name}: {result.summary()}", flush=True)
+
+    with BatchSession(
+        config=config,
+        jobs=arguments.jobs,
+        max_batch=arguments.max_batch,
+        # A service may run indefinitely: don't accumulate the
+        # admission log.
+        record_schedule=False,
+    ) as session:
+        for line in sys.stdin:
+            path = line.strip()
+            if not path:
+                continue
+            try:
+                hypergraph = io.load(path)
+            except (OSError, ReproError) as error:
+                failures += 1
+                print(f"error: {path}: {error}", file=sys.stderr)
+                continue
+            pending.append((path, session.submit(hypergraph)))
+            emit_ready(block=False)
+        emit_ready(block=True)
+    return 2 if failures else 0
 
 
 if __name__ == "__main__":

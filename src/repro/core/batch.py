@@ -63,6 +63,7 @@ from repro.core.lockstep import empty_instance_rounds
 from repro.core.params import AlgorithmConfig
 from repro.core.result import AlgorithmStats, CoverResult
 from repro.core.runner import finalize_result
+from repro.hypergraph.csr import slice_arena
 from repro.hypergraph.hypergraph import Hypergraph
 
 __all__ = ["run_fastpath_batch", "arena_eligibility"]
@@ -134,6 +135,7 @@ def run_fastpath_batch(
     config: AlgorithmConfig | None = None,
     *,
     verify: bool = True,
+    arena=None,
 ) -> list[CoverResult]:
     """Solve K independent instances, bit-identical to K fastpath runs.
 
@@ -147,6 +149,13 @@ def run_fastpath_batch(
     covers, duals, iterations, rounds, levels, statistics and
     certificates — are indistinguishable from running the instances
     one at a time with ``executor="fastpath"``.
+
+    ``arena`` may pass the instances' already-packed
+    :class:`~repro.hypergraph.csr.BatchArena` (positionally matching
+    ``hypergraphs``, e.g. a worker's shipped shard): the per-lane
+    eligibility groups are then *sliced* out of it
+    (:func:`~repro.hypergraph.csr.slice_arena`) instead of re-packed
+    from the instances — same bits, minus the rebuild.
     """
     config = config or AlgorithmConfig()
     instances = list(hypergraphs)
@@ -182,6 +191,11 @@ def run_fastpath_batch(
     def run_arena(members, ops, limits):
         """Finalize completed members; return spilled ones with carries."""
         carries = [member[3] for member in members]
+        lane_arena = (
+            slice_arena(arena, [member[0] for member in members])
+            if arena is not None
+            else None
+        )
         solved, spills = LaneRun(
             [member[1] for member in members],
             [member[2] for member in members],
@@ -189,6 +203,7 @@ def run_fastpath_batch(
             ops=ops,
             limits=limits,
             carries=carries if any(carries) else None,
+            arena=lane_arena,
         ).solve()
         spilled = []
         for position, (index, hypergraph, state, _) in enumerate(members):

@@ -611,6 +611,7 @@ class LaneRun:
         ops,
         limits,
         carries=None,
+        arena: BatchArena | None = None,
     ):
         self.config = config
         self.spec = config.schedule == "spec"
@@ -620,7 +621,12 @@ class LaneRun:
         self.ops = ops
         if carries is None:
             carries = [None] * self.count
-        arena: BatchArena = pack_arena(hypergraphs)
+        if arena is None:
+            # ``arena`` lets callers that already hold this exact
+            # packing (a worker's shipped shard sliced per lane via
+            # :func:`repro.hypergraph.csr.slice_arena`) skip the
+            # re-pack; it must equal ``pack_arena(hypergraphs)``.
+            arena = pack_arena(hypergraphs)
         self.arena = arena
         total_v = arena.total_vertices
         total_e = arena.total_edges

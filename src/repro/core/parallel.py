@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from fractions import Fraction
 
@@ -67,6 +68,8 @@ __all__ = [
     "estimated_cost",
     "partition_shards",
     "run_fastpath_batch_parallel",
+    "shard_payload",
+    "ship_buffer",
     "shutdown_pool",
 ]
 
@@ -256,6 +259,10 @@ def _solve_shard(payload: dict) -> tuple[int, list[tuple]]:
     else:
         buffer = details[0]
     arena = deserialize_arena(buffer, payload["weights"])
+    # The instances are reconstructed for per-instance metadata only
+    # (iteration-0 state preparation, finalization); the executor
+    # consumes the shipped arena itself, slicing the per-lane
+    # eligibility groups out of it instead of re-packing.
     instances = arena_hypergraphs(arena)
 
     import repro.core.batch as batch_module
@@ -265,7 +272,7 @@ def _solve_shard(payload: dict) -> tuple[int, list[tuple]]:
     kernels_module.TWO_LIMB_HEADROOM_BITS = payload["two_limb_bits"]
     batch_module._HEADROOM_BITS = payload["batch_bits"]
     results = run_fastpath_batch(
-        instances, payload["config"], verify=payload["verify"]
+        instances, payload["config"], verify=payload["verify"], arena=arena
     )
     return payload["shard"], [_encode_result(result) for result in results]
 
@@ -276,25 +283,61 @@ def _solve_shard(payload: dict) -> tuple[int, list[tuple]]:
 
 _POOL: ProcessPoolExecutor | None = None
 _POOL_JOBS = 0
+#: Guards the pool globals: since the streaming session recovers
+#: crashed shards from the pool's own collector thread, ``_get_pool``
+#: / ``shutdown_pool`` race against main-thread callers without it
+#: (an unguarded check-then-act could submit to a just-torn-down pool
+#: or orphan a freshly built one).  Executor shutdowns always happen
+#: *outside* the lock: joining pool threads while holding it could
+#: deadlock against a collector thread waiting to acquire it.
+_POOL_LOCK = threading.Lock()
 
 
 def _get_pool(jobs: int) -> ProcessPoolExecutor:
     global _POOL, _POOL_JOBS
-    if _POOL is not None and _POOL_JOBS != jobs:
-        shutdown_pool()
-    if _POOL is None:
-        _POOL = ProcessPoolExecutor(max_workers=jobs)
-        _POOL_JOBS = jobs
-    return _POOL
+    stale = None
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL_JOBS != jobs:
+            stale, _POOL, _POOL_JOBS = _POOL, None, 0
+        if _POOL is None:
+            _POOL = ProcessPoolExecutor(max_workers=jobs)
+            _POOL_JOBS = jobs
+        pool = _POOL
+    if stale is not None:
+        stale.shutdown(wait=False, cancel_futures=True)
+    return pool
+
+
+def _detach_pool(expected=None) -> ProcessPoolExecutor | None:
+    """Atomically clear the pool globals; returns the detached pool.
+
+    With ``expected`` the detach only happens if the current pool *is*
+    that object — the streaming session uses this to drop exactly the
+    pool whose worker died, never a replacement a sibling callback
+    already built.
+    """
+    global _POOL, _POOL_JOBS
+    with _POOL_LOCK:
+        if _POOL is None or (expected is not None and _POOL is not expected):
+            return None
+        pool, _POOL, _POOL_JOBS = _POOL, None, 0
+        return pool
 
 
 def shutdown_pool() -> None:
-    """Tear down the persistent worker pool (rebuilt lazily on use)."""
-    global _POOL, _POOL_JOBS
-    if _POOL is not None:
-        _POOL.shutdown(wait=False, cancel_futures=True)
-        _POOL = None
-        _POOL_JOBS = 0
+    """Tear down the persistent worker pool (rebuilt lazily on use).
+
+    From the main thread the shutdown *joins* the pool's internal
+    threads — leaving them mid-teardown races concurrent.futures' own
+    interpreter-exit hook into a harmless-but-noisy "Exception
+    ignored" on a closed pipe.  From any other thread (the streaming
+    session's completion callbacks run on the pool's collector thread,
+    which must not join itself) the shutdown stays non-blocking.
+    """
+    pool = _detach_pool()
+    if pool is not None:
+        wait = threading.current_thread() is threading.main_thread()
+        pool.shutdown(wait=wait, cancel_futures=True)
 
 
 atexit.register(shutdown_pool)
@@ -307,15 +350,14 @@ def _resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _make_payload(shard: int, indices, instances, config, verify):
-    """Build one worker payload; returns ``(payload, shm_block|None)``."""
-    import repro.core.batch as batch_module
-    import repro.core.kernels as kernels_module
+def ship_buffer(buffer: bytes):
+    """Choose a transport for one serialized-arena buffer.
 
-    arena = pack_arena([instances[index] for index in indices])
-    buffer = serialize_arena(arena)
-    transport = ("bytes", buffer)
-    block = None
+    Returns ``(transport, shm_block | None)``: a shared-memory segment
+    holding the buffer when available (the caller owns the block and
+    must ``close()``/``unlink()`` it once the worker is done), else the
+    buffer rides inside the pickled payload.
+    """
     if (
         shared_memory is not None
         and not _FORCE_PICKLE
@@ -326,10 +368,26 @@ def _make_payload(shard: int, indices, instances, config, verify):
                 create=True, size=max(1, len(buffer))
             )
             block.buf[: len(buffer)] = buffer
-            transport = ("shm", block.name, len(buffer))
+            return ("shm", block.name, len(buffer)), block
         except OSError:  # pragma: no cover - e.g. /dev/shm exhausted
-            block = None
-            transport = ("bytes", buffer)
+            pass
+    return ("bytes", buffer), None
+
+
+def shard_payload(arena, shard, config, verify, *, crash: bool = False):
+    """Build one :func:`_solve_shard` payload for an already-packed arena.
+
+    Returns ``(payload, shm_block|None)``.  The parent's headroom
+    budgets are snapshotted into the payload at call time so workers
+    always agree with the caller on lane admission (tests shrink the
+    budgets to force spills inside workers).  Shared by the static
+    sharded executor below and the streaming session
+    (:mod:`repro.core.stream`), whose shards arrive pre-packed.
+    """
+    import repro.core.batch as batch_module
+    import repro.core.kernels as kernels_module
+
+    transport, block = ship_buffer(serialize_arena(arena))
     return {
         "shard": shard,
         "transport": transport,
@@ -339,8 +397,14 @@ def _make_payload(shard: int, indices, instances, config, verify):
         "int64_bits": kernels_module.INT64_HEADROOM_BITS,
         "two_limb_bits": kernels_module.TWO_LIMB_HEADROOM_BITS,
         "batch_bits": batch_module._HEADROOM_BITS,
-        "crash": _CRASH_WORKERS,
+        "crash": crash or _CRASH_WORKERS,
     }, block
+
+
+def _make_payload(shard: int, indices, instances, config, verify):
+    """Build one worker payload; returns ``(payload, shm_block|None)``."""
+    arena = pack_arena([instances[index] for index in indices])
+    return shard_payload(arena, shard, config, verify)
 
 
 def run_fastpath_batch_parallel(

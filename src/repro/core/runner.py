@@ -41,6 +41,7 @@ def run_many(
     *,
     verify: bool = True,
     jobs: int = 1,
+    stream: bool = False,
 ) -> list[CoverResult]:
     """Run one executor over many instances.
 
@@ -51,8 +52,11 @@ def run_many(
     through :func:`repro.core.solver.solve_mwhvc_batch`, so it gets
     the shared-arena kernels (and, with ``jobs``, the multiprocess
     shards) for free while returning the bit-identical per-instance
-    results a sequential loop would.  Other runners execute one at a
-    time (``jobs`` is then ignored: the object-core executors hold
+    results a sequential loop would; ``stream=True`` further routes
+    it through the work-stealing streaming session
+    (:class:`~repro.core.stream.BatchSession`) for cost-skewed
+    workloads.  Other runners execute one at a time (``jobs`` and
+    ``stream`` are then ignored: the object-core executors hold
     unpicklable per-run state).
     """
     from repro.core.fastpath import run_fastpath
@@ -62,7 +66,8 @@ def run_many(
         from repro.core.solver import solve_mwhvc_batch
 
         return solve_mwhvc_batch(
-            instances, config=config, verify=verify, jobs=jobs
+            instances, config=config, verify=verify, jobs=jobs,
+            stream=stream,
         )
     return [
         runner(hypergraph, config, verify=verify)

@@ -140,6 +140,7 @@ def solve_mwhvc_batch(
     verify: bool = True,
     batched: bool = True,
     jobs: int = 1,
+    stream: bool = False,
 ) -> list[CoverResult]:
     """Solve K independent MWHVC instances as one batched execution.
 
@@ -173,9 +174,31 @@ def solve_mwhvc_batch(
         any non-positive value) sizes the pool to the machine.
         Results are identical for every ``jobs`` value — parallelism
         only shows up in ``CoverResult.worker`` and wall-clock time.
+    stream:
+        Route the batch through a streaming
+        :class:`~repro.core.stream.BatchSession` (admission one
+        instance at a time, micro-batched shards, work-stealing
+        scheduler) instead of the static sharded executor.  Purely a
+        scheduling change — results stay bit-identical; useful with
+        ``jobs > 1`` when the batch is cost-skewed and the static
+        cost model would misbalance the shards.  The session always
+        runs over the worker pool — with ``jobs=1`` that is a single
+        worker process (correct but pure overhead); use ``jobs=0``
+        (machine-sized) or ``jobs>1`` when streaming for speed.
     """
     if config is None:
         config = AlgorithmConfig(epsilon=Fraction(epsilon))
+    if stream:
+        if not batched:
+            raise InvalidInstanceError(
+                "stream applies to the batched executor only — drop "
+                "batched=False/--sequential or the stream flag"
+            )
+        from repro.core.stream import BatchSession
+
+        with BatchSession(config=config, jobs=jobs, verify=verify) as session:
+            tickets = [session.submit(hypergraph) for hypergraph in hypergraphs]
+            return [ticket.result() for ticket in tickets]
     if not batched:
         if jobs != 1:
             # Silently running the reference loop single-core under a

@@ -1,0 +1,670 @@
+"""Streaming batch admission with a work-stealing shard scheduler.
+
+The static parallel executor (:mod:`repro.core.parallel`) answers one
+question — "here are K instances, solve them" — by cutting the batch
+into cost-balanced shards up front.  A serving workload asks a harder
+one: instances *arrive over time*, and the ``nnz * expected-iterations``
+cost model that balances the static shards can be wrong (a
+rational-weighted instance rides the big-int lane at many times its
+structural estimate).  This module is the serving answer:
+
+* **admission** — :class:`BatchSession` is a context manager whose
+  :meth:`~BatchSession.submit` accepts one hypergraph at a time and
+  returns a :class:`StreamTicket` (a Future-style handle).  Compatible
+  submissions (same config) are **micro-batched** on the fly: they
+  accumulate in a per-config buffer that seals into a packed arena
+  shard when it reaches ``max_batch`` — or immediately, when idle
+  worker capacity would otherwise go unused (batching is a throughput
+  trade; under low load, latency wins);
+* **scheduling** — sealed shards are assigned to the least-loaded
+  per-worker queue (by estimated cost) of the persistent process pool
+  from :mod:`repro.core.parallel`, at most one shard in flight per
+  worker.  A worker that drains its own queue **steals half of the
+  largest pending shard** anywhere: the shard's packed arena is
+  re-sliced in place (:func:`repro.hypergraph.csr.slice_arena`) — the
+  victim keeps the front half, the thief takes the back half — so a
+  misestimated straggler can no longer serialize the work queued
+  behind it;
+* **exactness** — every shard is solved by
+  :func:`repro.core.batch.run_fastpath_batch` (consuming the shipped
+  arena directly), whose per-instance contract is already "identical
+  to a solo fastpath run".  Admission order, micro-batch grouping,
+  steal timing, worker crashes and mid-run lane spills are therefore
+  *scheduling* facts, never *result* facts: every ticket resolves to
+  the bit-identical result of ``run_fastpath(hypergraph, config)``.
+  The stateful soak harness in ``tests/test_stream_soak.py`` pins
+  this under adversarial interleavings;
+* **resilience** — a worker crash (the pool breaks) re-solves the
+  affected shards in-process, exactly like the static executor;
+  results are settled **first-wins per ticket** so a steal or crash
+  fallback racing a late completion can never deliver twice
+  (duplicates are counted in :attr:`BatchSession.stats`);
+* **provenance & replay** — ``CoverResult.worker`` records the slot
+  that solved each instance, and the session keeps a **schedule log**
+  of every admission decision; :func:`replay_schedule` re-executes a
+  logged schedule deterministically in-process and must reproduce
+  every result bit for bit.
+
+The CLI front ends are ``repro-cover serve`` (paths streamed over
+stdin) and ``repro-cover batch --stream``; the API front ends are
+``solve_mwhvc_batch(..., stream=True)`` and ``run_many(...,
+stream=True)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from concurrent.futures import BrokenExecutor, CancelledError
+
+from repro.core import parallel
+from repro.core.batch import run_fastpath_batch
+from repro.core.parallel import (
+    _decode_result,
+    _resolve_jobs,
+    _solve_shard,
+    estimated_cost,
+    shard_payload,
+)
+from repro.core.params import AlgorithmConfig
+from repro.core.result import CoverResult
+from repro.exceptions import SessionClosedError
+from repro.hypergraph.csr import BatchArena, pack_arena, slice_arena
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["BatchSession", "StreamTicket", "replay_schedule"]
+
+#: Test hook: make the next dispatched shard's worker die mid-task
+#: (exercises the broken-pool -> in-process fallback deterministically,
+#: including for stolen shards).  Reset to False by the dispatch that
+#: consumes it.
+_CRASH_NEXT_DISPATCH = False
+
+#: Test hook: dispatch every shard twice.  The second completion races
+#: the first and must be swallowed by the first-wins settle rule — the
+#: "steal racing completion" dedup path, forced deterministically.
+_DUPLICATE_DISPATCH = False
+
+
+def _release_block(block) -> None:
+    """Close and unlink one shared-memory transport block (if any)."""
+    if block is None:
+        return
+    block.close()
+    try:
+        block.unlink()
+    except FileNotFoundError:  # pragma: no cover
+        pass
+
+
+class StreamTicket:
+    """Future-style handle for one streamed instance.
+
+    Returned by :meth:`BatchSession.submit`; :meth:`result` blocks
+    until the instance's shard has been solved (sealing any buffer it
+    is still sitting in, so waiting always makes progress) and returns
+    a :class:`~repro.core.result.CoverResult` bit-identical to a solo
+    ``run_fastpath`` of the submitted hypergraph.
+    """
+
+    __slots__ = ("id", "hypergraph", "config", "_session", "_event",
+                 "_result", "_error")
+
+    def __init__(
+        self,
+        ticket_id: int,
+        hypergraph: Hypergraph,
+        config: AlgorithmConfig,
+        session: "BatchSession",
+    ):
+        self.id = ticket_id
+        self.hypergraph = hypergraph
+        self.config = config
+        self._session = session
+        self._event = threading.Event()
+        self._result: CoverResult | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether the result (or an error) is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> CoverResult:
+        """The instance's cover result (blocking; re-raises errors)."""
+        if not self._event.is_set():
+            # Waiting must guarantee progress: seal any partial buffer
+            # this ticket may still be sitting in and kick the pumps.
+            self._session.flush()
+            if not self._event.wait(timeout):
+                raise TimeoutError(
+                    f"ticket {self.id} not resolved within {timeout}s"
+                )
+        if self._error is not None:
+            raise self._error
+        return self._result  # type: ignore[return-value]
+
+
+class _Shard:
+    """One sealed micro-batch: tickets plus their packed arena."""
+
+    __slots__ = ("id", "entries", "arena", "config", "costs")
+
+    def __init__(self, shard_id, entries, arena, config, costs):
+        self.id = shard_id
+        self.entries: list[StreamTicket] = entries
+        self.arena: BatchArena = arena
+        self.config: AlgorithmConfig = config
+        self.costs: list[int] = costs
+
+    @property
+    def cost(self) -> int:
+        return sum(self.costs)
+
+    def split(self, ids) -> tuple["_Shard", "_Shard"]:
+        """Halve the shard: ``(kept_front, stolen_back)``.
+
+        Both halves re-slice the packed arena in place
+        (:func:`~repro.hypergraph.csr.slice_arena`) — no Hypergraph
+        expansion, no re-pack.
+        """
+        half = len(self.entries) // 2
+        front = range(half)
+        back = range(half, len(self.entries))
+        kept = _Shard(
+            next(ids),
+            self.entries[:half],
+            slice_arena(self.arena, front),
+            self.config,
+            self.costs[:half],
+        )
+        stolen = _Shard(
+            next(ids),
+            self.entries[half:],
+            slice_arena(self.arena, back),
+            self.config,
+            self.costs[half:],
+        )
+        return kept, stolen
+
+
+class BatchSession:
+    """A continuously-fed batched solver over the persistent worker pool.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`~repro.core.params.AlgorithmConfig` for
+        submissions (per-submit overrides allowed; only submissions
+        sharing a config micro-batch together).
+    jobs:
+        Worker processes, as in ``solve_mwhvc_batch``: ``None``/``0``
+        sizes the pool to the machine.  The pool itself is the shared
+        persistent one from :mod:`repro.core.parallel`.
+    verify:
+        Check each result's certificate (session-wide).
+    max_batch:
+        Micro-batch size cap: a config's buffer seals into a shard at
+        this many submissions (sooner when idle capacity is waiting).
+    steal:
+        Enable the work-stealing scheduler.  With ``False`` a worker
+        only ever runs shards assigned to its own queue — the static
+        baseline the E12 benchmark gate measures against.
+    record_schedule:
+        Keep the admission/schedule log (:attr:`schedule`, a few
+        tuples per instance).  On by default for reproducibility
+        (:func:`replay_schedule`); indefinitely-running services
+        (``repro-cover serve``) turn it off so memory stays bounded.
+
+    Use as a context manager; exiting drains (waits for every
+    submitted instance) and closes the session.  Results are exact and
+    scheduling-independent — see the module docstring.
+    """
+
+    def __init__(
+        self,
+        config: AlgorithmConfig | None = None,
+        *,
+        jobs: int | None = None,
+        verify: bool = True,
+        max_batch: int = 8,
+        steal: bool = True,
+        record_schedule: bool = True,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._config = config or AlgorithmConfig()
+        self._jobs = _resolve_jobs(jobs)
+        self._verify = verify
+        self._max_batch = max_batch
+        self._steal = steal
+        self._lock = threading.RLock()
+        self._drained = threading.Condition(self._lock)
+        self._buffers: dict[AlgorithmConfig, list[StreamTicket]] = {}
+        self._queues: list[deque[_Shard]] = [
+            deque() for _ in range(self._jobs)
+        ]
+        self._loads = [0] * self._jobs
+        self._inflight: list[_Shard | None] = [None] * self._jobs
+        self._ticket_ids = itertools.count()
+        self._shard_ids = itertools.count()
+        self._open = True
+        self._unsettled = 0
+        #: Scheduling counters (informational): sealed shards, steals,
+        #: shard splits, worker crashes, deduplicated late results.
+        self.stats = {
+            "shards": 0,
+            "steals": 0,
+            "splits": 0,
+            "crashes": 0,
+            "duplicates": 0,
+        }
+        self._record = record_schedule
+        #: The admission/schedule log: a list of event tuples (see
+        #: :func:`replay_schedule` for the grammar).  Every scheduling
+        #: decision lands here (unless ``record_schedule=False``),
+        #: making a live run reproducible offline.
+        self.schedule: list[tuple] = []
+
+    def _log(self, *event) -> None:
+        if self._record:
+            self.schedule.append(event)
+
+    # ------------------------------------------------------------------
+    # Context manager / lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "BatchSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Refuse new submissions, then drain outstanding ones.
+
+        Idempotent; an empty session closes immediately.  The shared
+        worker pool is left running (it is persistent across sessions
+        and static ``jobs=N`` calls alike).
+        """
+        with self._lock:
+            self._open = False
+        self.drain()
+
+    def drain(self) -> None:
+        """Block until every submitted instance has settled."""
+        with self._drained:
+            self._flush_locked()
+            while self._unsettled:
+                self._drained.wait()
+
+    def flush(self) -> None:
+        """Seal all partial micro-batch buffers and dispatch them."""
+        with self._lock:
+            self._flush_locked()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        hypergraph: Hypergraph,
+        *,
+        config: AlgorithmConfig | None = None,
+    ) -> StreamTicket:
+        """Admit one instance; returns its :class:`StreamTicket`.
+
+        The instance joins the micro-batch buffer of its config and is
+        solved as part of whichever shard that buffer seals into (and
+        wherever stealing moves it) — none of which is observable in
+        the result.
+        """
+        with self._lock:
+            if not self._open:
+                raise SessionClosedError(
+                    "submit() on a closed BatchSession — results of "
+                    "earlier submissions remain retrievable"
+                )
+            config = config or self._config
+            ticket = StreamTicket(
+                next(self._ticket_ids), hypergraph, config, self
+            )
+            self._unsettled += 1
+            self._log("submit", ticket.id)
+            buffer = self._buffers.setdefault(config, [])
+            buffer.append(ticket)
+            if len(buffer) >= self._max_batch or self._idle_capacity():
+                self._seal(config)
+            self._pump()
+            return ticket
+
+    def _idle_capacity(self) -> bool:
+        """True when a worker slot sits idle with nothing pending
+        anywhere — the moment batching further would only add latency."""
+        if any(self._queues[slot] for slot in range(self._jobs)):
+            return False
+        return any(shard is None for shard in self._inflight)
+
+    def _flush_locked(self) -> None:
+        for config in list(self._buffers):
+            if self._buffers[config]:
+                self._seal(config)
+        self._pump()
+
+    def _seal(self, config: AlgorithmConfig) -> None:
+        """Pack one config's buffered submissions into a pending shard."""
+        entries = self._buffers.get(config) or []
+        if not entries:
+            return
+        self._buffers[config] = []
+        arena = pack_arena([ticket.hypergraph for ticket in entries])
+        costs = [
+            estimated_cost(ticket.hypergraph, config) for ticket in entries
+        ]
+        shard = _Shard(next(self._shard_ids), entries, arena, config, costs)
+        slot = min(range(self._jobs), key=lambda s: (self._loads[s], s))
+        self._queues[slot].append(shard)
+        self._loads[slot] += shard.cost
+        self.stats["shards"] += 1
+        self._log(
+            "seal", shard.id, slot,
+            tuple(ticket.id for ticket in entries),
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling: dispatch and work stealing
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Fill every idle worker slot from its queue (stealing when
+        the queue is dry).  Runs under the lock; re-entered after every
+        completion, seal and fallback."""
+        # An idle slot with dry queues must never leave submissions
+        # sitting in a micro-batch buffer (a worker finishing while a
+        # partial buffer waits would otherwise stall it until the next
+        # submit/flush): seal partial batches the moment capacity
+        # would go unused.
+        if self._idle_capacity() and any(self._buffers.values()):
+            for config in list(self._buffers):
+                if self._buffers[config]:
+                    self._seal(config)
+        for slot in range(self._jobs):
+            while self._inflight[slot] is None:
+                shard = self._take(slot)
+                if shard is None:
+                    break
+                self._dispatch(slot, shard)
+
+    def _take(self, slot: int) -> _Shard | None:
+        """Next shard for ``slot``: own queue first, then steal.
+
+        ``_loads`` tracks queued *and* in-flight estimated cost per
+        slot (a busy worker still counts as loaded, so admission does
+        not pile new shards behind it): taking from the own queue
+        keeps the cost on the slot until completion; stealing moves
+        the stolen cost from the victim to the thief.
+        """
+        if self._queues[slot]:
+            return self._queues[slot].popleft()
+        if not self._steal:
+            return None
+        victim, shard = None, None
+        for other in range(self._jobs):
+            if other == slot:
+                continue
+            for candidate in self._queues[other]:
+                if shard is None or candidate.cost > shard.cost:
+                    victim, shard = other, candidate
+        if shard is None:
+            return None
+        self._queues[victim].remove(shard)
+        self.stats["steals"] += 1
+        if len(shard.entries) > 1:
+            # Split: the victim keeps the front half (next in its
+            # line), the thief takes the back half — both halves are
+            # in-place arena slices, never re-packs.
+            kept, stolen = shard.split(self._shard_ids)
+            self._queues[victim].appendleft(kept)
+            self._loads[victim] -= stolen.cost
+            self._loads[slot] += stolen.cost
+            self.stats["splits"] += 1
+            self._log(
+                "steal", shard.id, victim, slot,
+                tuple(ticket.id for ticket in stolen.entries),
+            )
+            return stolen
+        self._loads[victim] -= shard.cost
+        self._loads[slot] += shard.cost
+        self._log(
+            "steal", shard.id, victim, slot,
+            tuple(ticket.id for ticket in shard.entries),
+        )
+        return shard
+
+    def _dispatch(self, slot: int, shard: _Shard) -> None:
+        """Ship one shard to the pool; falls back in-process when the
+        pool cannot accept work."""
+        global _CRASH_NEXT_DISPATCH
+        crash = _CRASH_NEXT_DISPATCH
+        _CRASH_NEXT_DISPATCH = False
+        block = None
+        try:
+            pool = parallel._get_pool(self._jobs)
+            payload, block = shard_payload(
+                shard.arena, shard.id, shard.config, self._verify,
+                crash=crash,
+            )
+            future = pool.submit(_solve_shard, payload)
+        except BaseException:
+            # The pool refused the work (broken mid-rebuild,
+            # interpreter shutting down): solving in-process keeps the
+            # ticket contract intact.
+            _release_block(block)
+            self._loads[slot] -= shard.cost
+            self._solve_inline(shard)
+            return
+        self._inflight[slot] = shard
+        self._log(
+            "dispatch", shard.id, slot,
+            tuple(ticket.id for ticket in shard.entries),
+        )
+        future.add_done_callback(
+            lambda done, slot=slot, shard=shard, block=block, pool=pool:
+            self._on_done(slot, shard, block, pool, done)
+        )
+        if _DUPLICATE_DISPATCH:
+            # Deterministic "steal racing completion": the same shard
+            # solved a second time; the late copy must dedup away.
+            dup_block = None
+            try:
+                dup_payload, dup_block = shard_payload(
+                    shard.arena, shard.id, shard.config, self._verify
+                )
+                dup_future = pool.submit(_solve_shard, dup_payload)
+            except BaseException:
+                _release_block(dup_block)
+                return
+            dup_future.add_done_callback(
+                lambda done, slot=slot, shard=shard, block=dup_block,
+                pool=pool:
+                self._on_done(slot, shard, block, pool, done,
+                              occupies=False)
+            )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _on_done(self, slot, shard, block, pool, future, *, occupies=True):
+        """Completion callback (runs on the pool's collector thread)."""
+        _release_block(block)
+        try:
+            _, wire = future.result()
+            outcome, payload = "ok", wire
+        except (BrokenExecutor, CancelledError):
+            # A dead worker breaks the pool; external pool churn
+            # (``shutdown_pool()``, a concurrent caller resizing the
+            # shared pool) cancels queued futures.  Either way the
+            # shard never ran — recover it, never surface the
+            # scheduling accident to the ticket.
+            outcome, payload = "broken", None
+        except BaseException as error:  # algorithm errors, propagated
+            outcome, payload = "error", error
+        with self._lock:
+            if occupies:
+                self._inflight[slot] = None
+                self._loads[slot] -= shard.cost
+            if outcome == "ok":
+                for ticket, wire_result in zip(shard.entries, payload):
+                    self._settle(
+                        ticket, result=_decode_result(wire_result, slot)
+                    )
+            elif outcome == "broken":
+                self.stats["crashes"] += 1
+                self._log("crash", shard.id, slot)
+                # Only drop the pool the dead future belonged to — a
+                # sibling callback may already have rebuilt it.  The
+                # detach is atomic under the pool lock; the shutdown
+                # itself never blocks (this *is* a pool thread).
+                dead = parallel._detach_pool(expected=pool)
+                if dead is not None:
+                    dead.shutdown(wait=False, cancel_futures=True)
+                if occupies:
+                    self._solve_inline(shard)
+            else:
+                # A shard-level solver error may belong to a single
+                # poison instance; never fail its micro-batch peers.
+                # Singleton shards settle the error directly, larger
+                # shards re-solve per instance off the lock so only
+                # the genuinely failing tickets error.
+                if len(shard.entries) == 1:
+                    self._settle(shard.entries[0], error=payload)
+                else:
+                    self._log(
+                        "fallback", shard.id, None,
+                        tuple(ticket.id for ticket in shard.entries),
+                    )
+                    threading.Thread(
+                        target=self._run_isolated, args=(shard,),
+                        daemon=True,
+                    ).start()
+            self._pump()
+            self._drained.notify_all()
+
+    def _solve_inline(self, shard: _Shard) -> None:
+        """In-process fallback: the crash path of the static executor.
+
+        The actual solve is handed to a short-lived thread so the
+        session lock is never held across a batch solve — recovering
+        one crashed shard must not freeze admission, settling, or
+        other shards' recovery.  Results carry no worker provenance,
+        mirroring ``run_fastpath_batch_parallel``'s recovery.
+        """
+        self._log(
+            "fallback", shard.id, None,
+            tuple(ticket.id for ticket in shard.entries),
+        )
+        threading.Thread(
+            target=self._run_fallback, args=(shard,), daemon=True
+        ).start()
+
+    def _run_fallback(self, shard: _Shard) -> None:
+        try:
+            results = run_fastpath_batch(
+                [ticket.hypergraph for ticket in shard.entries],
+                shard.config,
+                verify=self._verify,
+                arena=shard.arena,
+            )
+            outcomes = [(ticket, result, None) for ticket, result
+                        in zip(shard.entries, results)]
+        except BaseException:
+            # The batched re-solve failed too: isolate per instance so
+            # only the poison tickets carry the error.
+            outcomes = self._solve_isolated(shard)
+        self._settle_outcomes(outcomes)
+
+    def _run_isolated(self, shard: _Shard) -> None:
+        self._settle_outcomes(self._solve_isolated(shard))
+
+    def _solve_isolated(self, shard: _Shard):
+        """Solve a shard's instances one by one (solo contract): each
+        ticket gets exactly the result — or the exception — its own
+        ``run_fastpath`` would produce.  Runs off the session lock."""
+        outcomes = []
+        for ticket in shard.entries:
+            try:
+                result = run_fastpath_batch(
+                    [ticket.hypergraph], shard.config, verify=self._verify
+                )[0]
+                outcomes.append((ticket, result, None))
+            except BaseException as error:
+                outcomes.append((ticket, None, error))
+        return outcomes
+
+    def _settle_outcomes(self, outcomes) -> None:
+        with self._lock:
+            for ticket, result, error in outcomes:
+                self._settle(ticket, result=result, error=error)
+            self._pump()
+            self._drained.notify_all()
+
+    def _settle(self, ticket, result=None, error=None) -> bool:
+        """Deliver one ticket's outcome — first result wins.
+
+        A late duplicate (a steal or crash fallback racing a
+        completion) is counted and discarded; results are bit-identical
+        either way, so first-wins is safe and keeps accounting single.
+        """
+        if ticket._event.is_set():
+            self.stats["duplicates"] += 1
+            return False
+        ticket._result = result
+        ticket._error = error
+        ticket._event.set()
+        self._unsettled -= 1
+        self._drained.notify_all()
+        return True
+
+
+def replay_schedule(
+    schedule,
+    hypergraphs,
+    config: AlgorithmConfig | None = None,
+    *,
+    verify: bool = True,
+) -> dict[int, CoverResult]:
+    """Deterministically re-execute a session's logged schedule.
+
+    ``schedule`` is a :attr:`BatchSession.schedule` log;
+    ``hypergraphs`` maps ticket ids to instances (a list indexed by
+    ticket id, or a dict).  Event grammar::
+
+        ("submit",   ticket_id)
+        ("seal",     shard_id, slot, ticket_ids)
+        ("steal",    shard_id, victim_slot, thief_slot, stolen_ids)
+        ("dispatch", shard_id, slot, ticket_ids)
+        ("crash",    shard_id, slot)
+        ("fallback", shard_id, None, ticket_ids)
+
+    Replay solves every executed group — each ``dispatch`` and each
+    ``fallback`` — as one in-process batch, in log order, settling
+    tickets first-wins exactly like the live session.  Because every
+    execution path is bit-identical per instance, the replayed results
+    must equal the live session's, whatever the original timing was;
+    the scheduler tests pin this.  Only single-config sessions replay
+    (pass the session's config); per-submit config overrides are not
+    recorded in the log.
+    """
+    config = config or AlgorithmConfig()
+    results: dict[int, CoverResult] = {}
+    for event in schedule:
+        if event[0] not in ("dispatch", "fallback"):
+            continue
+        ticket_ids = event[3]
+        group = [hypergraphs[ticket_id] for ticket_id in ticket_ids]
+        solved = run_fastpath_batch(group, config, verify=verify)
+        for ticket_id, result in zip(ticket_ids, solved):
+            results.setdefault(ticket_id, result)
+    return results

@@ -48,6 +48,15 @@ class RoundLimitExceededError(SimulationError):
     """The simulation did not terminate within the configured round limit."""
 
 
+class SessionClosedError(ReproError, RuntimeError):
+    """A submission was attempted on a closed streaming session.
+
+    Raised by :meth:`repro.core.stream.BatchSession.submit` after
+    ``close()`` (or after the session's ``with`` block exited); results
+    of instances admitted before the close remain retrievable.
+    """
+
+
 class AlgorithmError(ReproError, RuntimeError):
     """An algorithm reached a state its specification forbids."""
 

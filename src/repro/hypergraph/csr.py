@@ -42,6 +42,7 @@ __all__ = [
     "vertex_incidence_csr",
     "BatchArena",
     "pack_arena",
+    "slice_arena",
     "arena_incidence",
     "serialize_arena",
     "deserialize_arena",
@@ -225,6 +226,65 @@ def deserialize_arena(buffer, weights) -> BatchArena:
         weights=tuple(weights),
         membership=CSRLayout(
             lengths=lengths, starts=_starts_of(lengths), cells=cells
+        ),
+        instance_of_vertex=tuple(instance_of_vertex),
+        instance_of_edge=tuple(instance_of_edge),
+    )
+
+
+def slice_arena(arena: BatchArena, indices: Sequence[int]) -> BatchArena:
+    """Re-slice a packed arena down to a subset of its instances.
+
+    Returns the arena :func:`pack_arena` would build for
+    ``[instances[i] for i in indices]`` — bit-for-bit, including cell
+    order — but assembled directly from the packed representation in
+    one O(selected cells) pass, never expanding the instances back to
+    :class:`~repro.hypergraph.hypergraph.Hypergraph` objects.  The
+    selection may be any subset in any order (indices need not be
+    contiguous or sorted): a lane's eligibility group, the half of a
+    shard a work-stealing scheduler takes, a single resubmitted
+    instance.  Each instance's membership cells are contiguous in the
+    parent (packing concatenates instances in order), so a slice is a
+    per-instance copy with the vertex base rewritten.
+    """
+    membership = arena.membership
+    vertex_offset = [0]
+    edge_offset = [0]
+    weights: list[int | Fraction] = []
+    instance_of_vertex: list[int] = []
+    instance_of_edge: list[int] = []
+    lengths: list[int] = []
+    cells: list[int] = []
+    for new_index, old_index in enumerate(indices):
+        vertex_lo = arena.vertex_offset[old_index]
+        vertex_hi = arena.vertex_offset[old_index + 1]
+        edge_lo = arena.edge_offset[old_index]
+        edge_hi = arena.edge_offset[old_index + 1]
+        shift = vertex_offset[-1] - vertex_lo
+        vertex_offset.append(vertex_offset[-1] + (vertex_hi - vertex_lo))
+        edge_offset.append(edge_offset[-1] + (edge_hi - edge_lo))
+        weights.extend(arena.weights[vertex_lo:vertex_hi])
+        instance_of_vertex.extend([new_index] * (vertex_hi - vertex_lo))
+        instance_of_edge.extend([new_index] * (edge_hi - edge_lo))
+        lengths.extend(membership.lengths[edge_lo:edge_hi])
+        if edge_hi > edge_lo:
+            cell_lo = membership.starts[edge_lo]
+            cell_hi = (
+                membership.starts[edge_hi - 1]
+                + membership.lengths[edge_hi - 1]
+            )
+            cells.extend(
+                cell + shift for cell in membership.cells[cell_lo:cell_hi]
+            )
+    return BatchArena(
+        num_instances=len(indices),
+        vertex_offset=tuple(vertex_offset),
+        edge_offset=tuple(edge_offset),
+        weights=tuple(weights),
+        membership=CSRLayout(
+            lengths=tuple(lengths),
+            starts=_starts_of(lengths),
+            cells=tuple(cells),
         ),
         instance_of_vertex=tuple(instance_of_vertex),
         instance_of_edge=tuple(instance_of_edge),
