@@ -31,18 +31,24 @@ gate's floor is recorded as null on single-core boxes, where the
 measurement still runs and feeds the trend series) — and bit-identical
 either way.
 
-E12 (``test_stream_steal_gate``) attacks the static sharding's one
-blind spot: the ``nnz * expected-iterations`` cost model.  A skewed
-64-instance batch carries one **misestimated straggler** — a
+E12 (``test_stream_steal_gate``) attacks cost misestimation.  A
+skewed 64-instance batch carries one **straggler** — a
 Fraction-weighted instance that rides the big-int lane at many times
-its structural estimate, next to 63 uniform-weight instances the
-model *over*-estimates (they terminate in ~2 iterations) — so static
-LPT colocates roughly half the batch behind the straggler.  The
-streaming session's work-stealing scheduler
-(:class:`repro.core.stream.BatchSession`) must beat static ``jobs=2``
-sharding by >= 1.3x on that batch (multi-core; single-core boxes
-record the observed ratio with a null floor like E11), bit-identical
-throughout.
+the structural ``nnz * expected-iterations`` product, next to 63
+uniform-weight instances that product *over*-estimates (they
+terminate in ~2 iterations).  The *naive* baseline reproduces the
+pre-fix cost model (every instance priced as if it ran the int64
+lane): its LPT colocates roughly half the batch behind the straggler.
+Two remedies must each beat that baseline by >= 1.3x on ``jobs=2``
+(multi-core; single-core boxes record the observed ratios with null
+floors like E11), bit-identical throughout:
+
+* **corrected static sharding** — the lane-aware
+  :func:`repro.core.parallel.corrected_cost` estimate prices the
+  straggler's big-int width up front, so static LPT isolates it;
+* **streaming work stealing**
+  (:class:`repro.core.stream.BatchSession`) — fixes the same skew
+  dynamically even when the estimate is wrong.
 """
 
 from __future__ import annotations
@@ -319,9 +325,9 @@ STREAM_FLOOR = 1.3
 #: ms each) dominates per-shard scheduling overhead, keeping the gate
 #: about schedule quality rather than dispatch constants.
 STREAM_NORMAL_N = 600
-#: The straggler has the *same structure* as a normal instance — the
-#: cost model prices it identically — so static LPT packs half the
-#: batch behind it.
+#: The straggler has the *same structure* as a normal instance — a
+#: lane-blind cost model prices it identically — so naive static LPT
+#: packs half the batch behind it.
 STREAM_STRAGGLER_N = STREAM_NORMAL_N
 #: Bit size of the straggler's rational-weight numerators.  Big-int
 #: lane cost scales with integer width (every bid/dual carries the
@@ -349,11 +355,13 @@ def build_skewed_batch():
     huge rational weights: the lcm of its denominators exceeds every
     machine-lane headroom (big-int lane), and its ~36k-bit numerators
     make every big-int operation proportionally expensive — two
-    effects the ``nnz * expected-iterations`` model is blind to, in
-    opposite directions.  Net skew: the straggler's actual cost is
-    roughly the 63 normals' combined worker time (the regime where
-    static sharding loses the most: LPT parks half the normals behind
-    the straggler, stealing moves them all to the other worker).
+    effects the bare ``nnz * expected-iterations`` product misses in
+    opposite directions (the lane-aware estimate now prices both; the
+    gate's naive baseline deliberately strips that correction).  Net
+    skew: the straggler's actual cost is roughly the 63 normals'
+    combined worker time — the regime where lane-blind sharding loses
+    the most: LPT parks half the normals behind the straggler, while
+    either remedy moves them all to the other worker.
     """
     straggler_weights = [
         Fraction(
@@ -377,19 +385,33 @@ def build_skewed_batch():
 
 
 def test_stream_steal_gate(benchmark):
-    """Acceptance: streaming work-stealing >= 1.3x static ``jobs=2``
-    sharding on the skewed batch, bit-identical results.
+    """Acceptance: on the skewed batch, both the lane-aware corrected
+    static sharding and the streaming work-stealing session must beat
+    the naive (lane-blind) static baseline by >= 1.3x on ``jobs=2``,
+    bit-identical results.
 
-    Like E11, the floor is enforced only on multi-core machines; the
-    measurement always runs and feeds the trend series.
+    The naive baseline reinstates the pre-fix estimator — every
+    instance priced at the int64 lane factor with no learned
+    correction — by patching :mod:`repro.core.parallel`'s
+    ``corrected_cost`` for the baseline run only.  Like E11, the
+    floors are enforced only on multi-core machines; the measurements
+    always run and feed the trend series.
     """
-    from repro.core.parallel import run_fastpath_batch_parallel
+    import repro.core.parallel as parallel_module
+    from repro.core.parallel import (
+        COST_MODEL,
+        estimated_cost,
+        run_fastpath_batch_parallel,
+    )
     from repro.core.stream import BatchSession
 
     instances = build_skewed_batch()
     config = AlgorithmConfig(epsilon=PARALLEL_EPSILON)
     cpus = os.cpu_count() or 1
     gated = cpus >= 2
+
+    def naive_cost(hypergraph, config, model=None):
+        return estimated_cost(hypergraph, config, lane="int64")
 
     def run_stream():
         with BatchSession(
@@ -409,34 +431,58 @@ def test_stream_steal_gate(benchmark):
         for hypergraph in instances[1:5]:
             session.submit(hypergraph)
 
-    def run_pair():
-        static_times = []
+    def run_triple():
+        naive_times = []
+        corrected_times = []
         stream_times = []
         for _ in range(2):
-            t0 = time.perf_counter()
-            static = run_fastpath_batch_parallel(
+            # Naive baseline: lane-blind costs, no learned rates.
+            original = parallel_module.corrected_cost
+            parallel_module.corrected_cost = naive_cost
+            COST_MODEL.reset()
+            try:
+                t0 = time.perf_counter()
+                naive = run_fastpath_batch_parallel(
+                    instances, config, verify=False, jobs=STREAM_JOBS
+                )
+                t1 = time.perf_counter()
+            finally:
+                parallel_module.corrected_cost = original
+            # Corrected static: the lane-aware estimate, from a cold
+            # model so the run is deterministic.
+            COST_MODEL.reset()
+            t2 = time.perf_counter()
+            corrected = run_fastpath_batch_parallel(
                 instances, config, verify=False, jobs=STREAM_JOBS
             )
-            t1 = time.perf_counter()
+            t3 = time.perf_counter()
             streamed, stats = run_stream()
-            t2 = time.perf_counter()
-            static_times.append(t1 - t0)
-            stream_times.append(t2 - t1)
-        return static, streamed, stats, min(static_times), min(stream_times)
+            t4 = time.perf_counter()
+            naive_times.append(t1 - t0)
+            corrected_times.append(t3 - t2)
+            stream_times.append(t4 - t3)
+        return (
+            naive, corrected, streamed, stats,
+            min(naive_times), min(corrected_times), min(stream_times),
+        )
 
-    static, streamed, stats, static_s, stream_s = benchmark.pedantic(
-        run_pair, rounds=1, iterations=1
+    naive, corrected, streamed, stats, naive_s, corrected_s, stream_s = (
+        benchmark.pedantic(run_triple, rounds=1, iterations=1)
     )
     shutdown_pool()
+    COST_MODEL.reset()
 
     reference = solve_mwhvc_batch(instances, config=config, verify=False)
-    for position, (solo, via_static, via_stream) in enumerate(
-        zip(reference, static, streamed)
+    for position, (solo, via_naive, via_corrected, via_stream) in enumerate(
+        zip(reference, naive, corrected, streamed)
     ):
         for attribute in OBSERVABLES:
-            assert getattr(via_static, attribute) == getattr(
+            assert getattr(via_naive, attribute) == getattr(
                 solo, attribute
-            ), f"static[{position}] drifted: {attribute}"
+            ), f"naive static[{position}] drifted: {attribute}"
+            assert getattr(via_corrected, attribute) == getattr(
+                solo, attribute
+            ), f"corrected static[{position}] drifted: {attribute}"
             assert getattr(via_stream, attribute) == getattr(
                 solo, attribute
             ), f"stream[{position}] drifted: {attribute}"
@@ -446,16 +492,22 @@ def test_stream_steal_gate(benchmark):
     )
     assert stats["shards"] > 2, stats
 
-    speedup = static_s / stream_s
+    speedup = naive_s / stream_s
+    corrected_speedup = naive_s / corrected_s
     table = render_table(
-        ["mode", "seconds", "throughput vs static shards"],
+        ["mode", "seconds", "throughput vs naive shards"],
         [
             [
                 "streaming + work stealing",
                 f"{stream_s:.3f}",
                 f"{speedup:.2f}x",
             ],
-            ["static LPT shards", f"{static_s:.3f}", "1.00x"],
+            [
+                "corrected static shards",
+                f"{corrected_s:.3f}",
+                f"{corrected_speedup:.2f}x",
+            ],
+            ["naive (lane-blind) shards", f"{naive_s:.3f}", "1.00x"],
         ],
         title=(
             f"E12 — skewed batch of {BATCH_SIZE} instances "
@@ -478,9 +530,11 @@ def test_stream_steal_gate(benchmark):
             "epsilon": str(PARALLEL_EPSILON),
             "jobs": STREAM_JOBS,
             "cpus": cpus,
-            "static_seconds": round(static_s, 6),
+            "naive_seconds": round(naive_s, 6),
+            "corrected_seconds": round(corrected_s, 6),
             "stream_seconds": round(stream_s, 6),
             "speedup": round(speedup, 3),
+            "corrected_speedup": round(corrected_speedup, 3),
             "steals": stats["steals"],
             "splits": stats["splits"],
             "shards": stats["shards"],
@@ -492,7 +546,12 @@ def test_stream_steal_gate(benchmark):
     if gated:
         assert speedup >= STREAM_FLOOR, (
             f"work-stealing throughput {speedup:.2f}x below the "
-            f"{STREAM_FLOOR}x floor over static sharding on {cpus} cpus"
+            f"{STREAM_FLOOR}x floor over naive sharding on {cpus} cpus"
+        )
+        assert corrected_speedup >= STREAM_FLOOR, (
+            f"corrected-cost sharding {corrected_speedup:.2f}x below "
+            f"the {STREAM_FLOOR}x floor over naive sharding on "
+            f"{cpus} cpus"
         )
 
 

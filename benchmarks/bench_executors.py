@@ -26,7 +26,15 @@ Three hard gates ride along:
 * ``test_lane_speedup_gate`` — the PR 3 acceptance criterion: on a
   seeded lane-eligible instance the machine-width kernel lane (the
   default ``lane="auto"`` fastpath loop) must be bit-identical to and
-  >= 2x faster than the pre-PR big-int loop (``lane="bigint"``).
+  >= 2x faster than the pre-PR big-int loop (``lane="bigint"``);
+* ``test_fused_sweep_speedup_gate`` — on the same lane profile, the
+  fused sweep/setup passes (``FUSED_SWEEPS = True``, the default) must
+  be bit-identical to and >= 1.3x faster than the pre-fusion engine
+  (``FUSED_SWEEPS = False``);
+* ``test_three_limb_speedup_gate`` — on a seeded huge-``beta_den``
+  instance that disqualifies both narrower machine lanes, the
+  three-limb lane must complete the whole run (no spill to big-int)
+  bit-identically and >= 2x faster than the forced big-int loop.
 
 The speedup gates persist machine-readable JSON (via ``publish_json``)
 next to their text tables so the benchmark-trend pipeline can track
@@ -363,4 +371,205 @@ def test_lane_speedup_gate(benchmark):
     assert speedup >= LANE_SPEEDUP_FLOOR, (
         f"machine-lane speedup {speedup:.2f}x below the "
         f"{LANE_SPEEDUP_FLOOR}x floor"
+    )
+
+
+FUSED_SPEEDUP_FLOOR = 1.3
+
+
+def test_fused_sweep_speedup_gate(benchmark):
+    """Acceptance: fused sweep/setup passes >= 1.3x the pre-fusion engine.
+
+    ``FUSED_SWEEPS = False`` reproduces the pre-fusion engine — scalar
+    iteration 0, scalar arena packing, per-op sweep composition with no
+    view caches, per-edge Fraction finalization — so flipping the flag
+    inside the timed pair measures exactly what the fusion bought.
+    Both modes must stay bit-identical on every observable.
+    """
+    import repro.core.kernels as kernels_module
+    from repro.hypergraph.generators import regular_hypergraph
+
+    hypergraph = regular_hypergraph(
+        LANE_N,
+        LANE_RANK,
+        LANE_DEGREE,
+        seed=LANE_SEED,
+        weights=uniform_weights(LANE_N, LANE_MAX_WEIGHT, seed=LANE_SEED + 1),
+    )
+    config = AlgorithmConfig(epsilon=LANE_EPSILON)
+    solve_mwhvc(hypergraph, config=config, executor="fastpath", verify=False)
+
+    def run_pair():
+        fused_times = []
+        unfused_times = []
+        try:
+            for _ in range(2):
+                kernels_module.FUSED_SWEEPS = True
+                t0 = time.perf_counter()
+                fused = solve_mwhvc(
+                    hypergraph, config=config, executor="fastpath",
+                    verify=False,
+                )
+                t1 = time.perf_counter()
+                kernels_module.FUSED_SWEEPS = False
+                unfused = solve_mwhvc(
+                    hypergraph, config=config, executor="fastpath",
+                    verify=False,
+                )
+                t2 = time.perf_counter()
+                fused_times.append(t1 - t0)
+                unfused_times.append(t2 - t1)
+        finally:
+            kernels_module.FUSED_SWEEPS = True
+        return fused, unfused, min(fused_times), min(unfused_times)
+
+    fused, unfused, fused_s, unfused_s = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert fused.lane == unfused.lane == "int64"
+    assert_bit_identical(unfused, fused, what="fused vs pre-fusion sweeps")
+    speedup = unfused_s / fused_s
+    table = render_table(
+        ["engine", "seconds", "speedup vs pre-fusion"],
+        [
+            ["fused sweeps", f"{fused_s:.3f}", f"{speedup:.2f}x"],
+            ["pre-fusion", f"{unfused_s:.3f}", "1.00x"],
+        ],
+        title=(
+            f"E11 — fused sweep-pass speedup (n={LANE_N}, "
+            f"{LANE_DEGREE}-regular, rank={LANE_RANK}, "
+            f"W<={LANE_MAX_WEIGHT}, eps={LANE_EPSILON}, "
+            f"iterations={fused.iterations})"
+        ),
+    )
+    publish("executor_fused_sweeps", table)
+    publish_json(
+        "executor_fused_sweeps",
+        {
+            "gate": "fastpath_fused_sweep_speedup",
+            "n": LANE_N,
+            "m": hypergraph.num_edges,
+            "rank": LANE_RANK,
+            "degree": LANE_DEGREE,
+            "max_weight": LANE_MAX_WEIGHT,
+            "epsilon": str(LANE_EPSILON),
+            "seed": LANE_SEED,
+            "iterations": fused.iterations,
+            "fused_seconds": round(fused_s, 6),
+            "unfused_seconds": round(unfused_s, 6),
+            "speedup": round(speedup, 3),
+            "floor": FUSED_SPEEDUP_FLOOR,
+            "bit_identical": True,
+        },
+    )
+    assert speedup >= FUSED_SPEEDUP_FLOOR, (
+        f"fused-sweep speedup {speedup:.2f}x below the "
+        f"{FUSED_SPEEDUP_FLOOR}x floor"
+    )
+
+
+# PR 6 three-limb gate: ``eps = (2^31 + 1) / 2^43`` has moderate
+# magnitude (~2^-12, so z stays at 14 and the run converges) but a
+# 43-bit power-of-two denominator, making ``beta_den ~ f * 2^43`` —
+# a headroom factor past both the int64 bound and the two-limb 31-bit
+# multiplier budget, yet comfortably inside the three-limb 62-bit one.
+THREE_LIMB_N = 8_000
+THREE_LIMB_SEED = 11
+THREE_LIMB_EPSILON = Fraction((1 << 31) + 1, 1 << 43)
+THREE_LIMB_SPEEDUP_FLOOR = 2.0
+
+
+def test_three_limb_speedup_gate(benchmark):
+    """Acceptance: the three-limb lane >= 2x big-int where two-limb can't go."""
+    import repro.core.kernels as kernels_module
+    from repro.core.fastpath import prepare_scaled_state
+    from repro.hypergraph.generators import regular_hypergraph
+
+    hypergraph = regular_hypergraph(
+        THREE_LIMB_N,
+        LANE_RANK,
+        LANE_DEGREE,
+        seed=THREE_LIMB_SEED,
+        weights=uniform_weights(
+            THREE_LIMB_N, LANE_MAX_WEIGHT, seed=THREE_LIMB_SEED + 1
+        ),
+    )
+    config = AlgorithmConfig(epsilon=THREE_LIMB_EPSILON)
+    state = prepare_scaled_state(hypergraph, config)
+    for lane in ("int64", "two-limb"):
+        eligible, reason = kernels_module.lane_eligibility(
+            hypergraph, config, state, lane=lane
+        )
+        assert not eligible, f"{lane} must be ineligible on this profile"
+    eligible, reason = kernels_module.lane_eligibility(
+        hypergraph, config, state, lane="three-limb"
+    )
+    assert eligible, f"three-limb must admit this profile: {reason}"
+
+    solve_mwhvc(hypergraph, config=config, executor="fastpath", verify=False)
+
+    def run_pair():
+        three_times = []
+        bigint_times = []
+        for _ in range(2):
+            t0 = time.perf_counter()
+            three = solve_mwhvc(
+                hypergraph, config=config, executor="fastpath",
+                verify=False,
+            )
+            t1 = time.perf_counter()
+            bigint = solve_mwhvc(
+                hypergraph, config=config, executor="fastpath",
+                lane="bigint", verify=False,
+            )
+            t2 = time.perf_counter()
+            three_times.append(t1 - t0)
+            bigint_times.append(t2 - t1)
+        return three, bigint, min(three_times), min(bigint_times)
+
+    three, bigint, three_s, bigint_s = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    # The whole run must have stayed on the three-limb lane — a
+    # mid-run spill to big-int would report the final (big-int) lane.
+    assert three.lane == "three-limb", three.lane
+    assert bigint.lane == "bigint", bigint.lane
+    assert_bit_identical(bigint, three, what="three-limb vs big-int lane")
+    speedup = bigint_s / three_s
+    table = render_table(
+        ["lane", "seconds", "speedup vs big-int"],
+        [
+            ["three-limb", f"{three_s:.3f}", f"{speedup:.2f}x"],
+            ["bigint", f"{bigint_s:.3f}", "1.00x"],
+        ],
+        title=(
+            f"E11 — three-limb lane speedup (n={THREE_LIMB_N}, "
+            f"{LANE_DEGREE}-regular, rank={LANE_RANK}, "
+            f"W<={LANE_MAX_WEIGHT}, eps=(2^31+1)/2^43, "
+            f"iterations={three.iterations})"
+        ),
+    )
+    publish("executor_three_limb_speedup", table)
+    publish_json(
+        "executor_three_limb_speedup",
+        {
+            "gate": "fastpath_three_limb_vs_bigint_speedup",
+            "n": THREE_LIMB_N,
+            "m": hypergraph.num_edges,
+            "rank": LANE_RANK,
+            "degree": LANE_DEGREE,
+            "max_weight": LANE_MAX_WEIGHT,
+            "epsilon": "(2**31+1)/2**43",
+            "seed": THREE_LIMB_SEED,
+            "iterations": three.iterations,
+            "three_limb_seconds": round(three_s, 6),
+            "bigint_seconds": round(bigint_s, 6),
+            "speedup": round(speedup, 3),
+            "floor": THREE_LIMB_SPEEDUP_FLOOR,
+            "bit_identical": True,
+        },
+    )
+    assert speedup >= THREE_LIMB_SPEEDUP_FLOOR, (
+        f"three-limb speedup {speedup:.2f}x below the "
+        f"{THREE_LIMB_SPEEDUP_FLOOR}x floor"
     )

@@ -25,17 +25,19 @@ sequential ``executor="fastpath"`` runs.  Eligible instances therefore
 run in an ``int64`` arena only while the conservative headroom bound
 of :func:`repro.core.kernels.scale_limit` guarantees that no sweep
 intermediate can overflow; instances that outgrow int64 — up front or
-mid-run — step down the spill ladder instead of erroring: a second
-arena on the two-limb ~128-bit lane admits large-scale / large-alpha /
-large-weight instances, and anything beyond that (or structurally
-ineligible: no numpy, fractional alphas, Appendix C increments,
-checked mode) is solved by the scalar fastpath executor, whose
-unbounded Python integers implement the identical transitions.
-Mid-run spills *carry* the instance's live scaled state across the
-lane boundary (see :meth:`repro.core.kernels.LaneRun._extract_carry`):
-the two-limb arena and the big-int loop resume from the interrupted
-iteration, never replaying finished work.  Any lane, same bits — the
-differential tests in ``tests/test_batch_executor.py`` and
+mid-run — step down the spill ladder instead of erroring: one arena
+per machine lane (``kernels.MACHINE_LANES``: int64, the two-limb
+~128-bit lane, the three-limb ~192-bit lane) admits progressively
+larger scale / alpha / weight regimes, and anything beyond the widest
+machine lane (or structurally ineligible: no numpy, fractional alphas,
+Appendix C increments, checked mode) is solved by the scalar fastpath
+executor, whose unbounded Python integers implement the identical
+transitions.  Mid-run spills *carry* the instance's live scaled state
+across the lane boundary (see
+:meth:`repro.core.kernels.LaneRun._extract_carry`): each wider arena
+and the big-int loop resume from the interrupted iteration, never
+replaying finished work.  Any lane, same bits — the differential
+tests in ``tests/test_batch_executor.py`` and
 ``tests/test_kernel_lanes.py`` enforce it instance by instance.
 
 For multi-core scaling, :mod:`repro.core.parallel` shards a batch
@@ -52,12 +54,12 @@ from repro.core.fastpath import (
     run_fastpath,
 )
 from repro.core.kernels import (
-    Int64Ops,
+    MACHINE_LANES,
     LaneRun,
-    TwoLimbOps,
     finalize_lane_instance,
     headroom_factor,
     lane_eligibility,
+    lane_ops,
 )
 from repro.core.lockstep import empty_instance_rounds
 from repro.core.params import AlgorithmConfig
@@ -140,8 +142,9 @@ def run_fastpath_batch(
     """Solve K independent instances, bit-identical to K fastpath runs.
 
     Eligible instances are packed into one shared CSR arena per kernel
-    lane (int64 first, the two-limb 128-bit lane for instances beyond
-    int64's headroom) and advanced together, one vectorized sweep per
+    lane (int64 first, then the two-limb and three-limb wide lanes for
+    instances beyond int64's headroom) and advanced together, one
+    vectorized sweep per
     iteration, masking instances that have already halted; the rest —
     and any instance whose scale outgrows its arena's headroom mid-run
     — step down the spill ladder to the scalar
@@ -162,9 +165,12 @@ def run_fastpath_batch(
     results: list[CoverResult | None] = [None] * len(instances)
     # Arena members are ``(index, hypergraph, state, carry)`` — the
     # carry (None for fresh instances) travels inside the tuple so it
-    # can never fall out of alignment with its instance.
-    int64_members: list[tuple[int, Hypergraph, object, dict | None]] = []
-    two_limb_members: list[tuple[int, Hypergraph, object, dict | None]] = []
+    # can never fall out of alignment with its instance.  One group per
+    # machine lane; each instance joins the strongest lane that admits
+    # it (the int64 rung honors this module's headroom override).
+    groups: dict[str, list[tuple[int, Hypergraph, object, dict | None]]] = {
+        lane: [] for lane in MACHINE_LANES
+    }
     solo: list[tuple[int, str, dict | None]] = []
     prepared: dict[int, object] = {}
     for index, hypergraph in enumerate(instances):
@@ -177,15 +183,19 @@ def run_fastpath_batch(
             prepared[index] = state
         eligible, _ = arena_eligibility(hypergraph, config, state)
         if eligible:
-            int64_members.append((index, hypergraph, state, None))
+            groups["int64"].append((index, hypergraph, state, None))
             continue
         if state is not None:
-            wider, _ = lane_eligibility(
-                hypergraph, config, state, lane="two-limb"
-            )
-            if wider:
-                two_limb_members.append((index, hypergraph, state, None))
-                continue
+            for lane in MACHINE_LANES[1:]:
+                wider, _ = lane_eligibility(
+                    hypergraph, config, state, lane=lane
+                )
+                if wider:
+                    groups[lane].append((index, hypergraph, state, None))
+                    break
+            else:
+                solo.append((index, "auto", None))
+            continue
         solo.append((index, "auto", None))
 
     def run_arena(members, ops, limits):
@@ -216,47 +226,47 @@ def run_fastpath_batch(
                 )
         return spilled
 
-    if int64_members:
-        spilled = run_arena(
-            int64_members,
-            Int64Ops,
-            [
+    # Run one arena per lane, strongest first.  Mid-run spills resume
+    # *from the interrupted iteration* on the next lane whose headroom
+    # admits the carried scale (joining that lane's up-front members —
+    # a wider group is only launched after every narrower one has run),
+    # else on the scalar big-int loop — never replaying finished
+    # iterations.
+    for rung, lane in enumerate(MACHINE_LANES):
+        members = groups[lane]
+        if not members:
+            continue
+        if lane == "int64":
+            limits = [
                 _scale_limit(hypergraph, config, state)
-                for _, hypergraph, state, _ in int64_members
-            ],
-        )
-        # Mid-run int64 spills resume *from the interrupted iteration*
-        # on the two-limb arena (joining the up-front two-limb members)
-        # when the carried scale still fits its headroom, else on the
-        # scalar big-int loop — never replaying finished iterations.
-        for index, hypergraph, state, carry in spilled:
-            wider, _ = lane_eligibility(
-                hypergraph, config, state, lane="two-limb",
-                scale=carry["scale"],
+                for _, hypergraph, state, _ in members
+            ]
+        else:
+            limits = kernels.default_scale_limits(
+                [member[1] for member in members],
+                config,
+                [member[2] for member in members],
+                lane=lane,
             )
-            if wider:
-                two_limb_members.append((index, hypergraph, state, carry))
+        spilled = run_arena(members, lane_ops(lane), limits)
+        wider_lanes = MACHINE_LANES[rung + 1:]
+        for index, hypergraph, state, carry in spilled:
+            for wider in wider_lanes:
+                admits, _ = lane_eligibility(
+                    hypergraph, config, state, lane=wider,
+                    scale=carry["scale"],
+                )
+                if admits:
+                    groups[wider].append((index, hypergraph, state, carry))
+                    break
             else:
                 solo.append((index, "bigint", carry))
-    if two_limb_members:
-        spilled = run_arena(
-            two_limb_members,
-            TwoLimbOps,
-            kernels.default_scale_limits(
-                [member[1] for member in two_limb_members],
-                config,
-                [member[2] for member in two_limb_members],
-                lane="two-limb",
-            ),
-        )
-        for index, hypergraph, state, carry in spilled:
-            solo.append((index, "bigint", carry))
 
     # Spill ladder tail: up-front ineligible instances run through the
     # scalar fastpath executor, reusing the already-computed iteration-0
     # state (the arenas only copy it, so spilled states are pristine);
-    # instances that spilled past the two-limb arena resume the big-int
-    # loop from their carried iteration.
+    # instances that spilled past the widest machine arena resume the
+    # big-int loop from their carried iteration.
     for index, lane, carry in solo:
         results[index] = run_fastpath(
             instances[index],

@@ -29,7 +29,7 @@ single source of truth the object cores use.
 Since PR 3 the executor selects an arithmetic **lane** per run (see
 :mod:`repro.core.kernels`): instances whose headroom bound fits
 machine width run the whole iteration loop on vectorized ``int64``
-arrays (or on the two-limb ~128-bit hi/lo representation when they
+arrays (or on the two-/three-limb multi-word representations when they
 outgrow int64 but not ``2**93``), falling back transparently to the
 unbounded big-int loop below — ``"bigint"`` — when neither bound
 holds or when a lane's scale outgrows its headroom mid-run.  Every
@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from math import gcd, lcm
 
+import repro.core.kernels as kernels_module
 from repro.core.edge_logic import argmin_member, initial_bid, initial_bid_scaled
 from repro.core.kernels import (
     MACHINE_LANES,
@@ -78,6 +79,7 @@ from repro.core.vertex_logic import (
     wants_raise_scaled,
 )
 from repro.exceptions import (
+    AlgorithmError,
     InvalidInstanceError,
     InvariantViolationError,
     RoundLimitExceededError,
@@ -131,10 +133,221 @@ class ScaledState:
     degrees: list[int]
 
 
+#: Magnitude ceiling for the fused iteration-0 pass: every intermediate
+#: product it forms on int64 arrays (weight x degree cross products,
+#: weight x scale bid numerators, per-vertex bid sums) must stay below
+#: this, or the pass bows out to the scalar loop.
+_FUSED_INT64_LIMIT = 1 << 62
+
+
+def _scalar_bid_sums(n: int, edges, bid: list[int]) -> list[int]:
+    """Per-vertex sums of member-edge bids, in plain Python ints."""
+    total_delta = [0] * n
+    for edge_id, members in enumerate(edges):
+        bid0 = bid[edge_id]
+        for vertex in members:
+            total_delta[vertex] += bid0
+    return total_delta
+
+
+def _fused_iteration0(hypergraph: Hypergraph, config: AlgorithmConfig):
+    """Vectorized iteration 0, or ``None`` when the instance needs the
+    scalar loop.
+
+    A fused sweep counterpart of the per-edge Python loops below: one
+    pass builds degrees (``bincount``), per-edge argmins (a float64
+    ratio prefilter with exact integer resolution of near-ties), the
+    global scale (lcm over *unique* argmin profiles instead of all
+    ``m`` edges) and the initial bid/raised/total-delta arrays.  Every
+    arithmetic step is exact — the float ratios only *shortlist*
+    argmin candidates (any cell within a relative band far wider than
+    float64 error), and each shortlist of size > 1 is resolved with
+    the same integer cross products :func:`argmin_member` uses — so
+    the result is bit-identical to the scalar pass.  Returns ``None``
+    for instances the guards exclude (no numpy, fractional weights,
+    or magnitudes near int64).
+    """
+    if _np is None:
+        return None
+    n = hypergraph.num_vertices
+    m = hypergraph.num_edges
+    edges = hypergraph.edges
+    weights = hypergraph.weights
+    rank = hypergraph.rank
+    if m == 0 or any(type(weight) is not int for weight in weights):
+        return None
+    max_weight = max(weights)
+    if max_weight >= _FUSED_INT64_LIMIT:
+        return None
+    weights_arr = _np.array(weights, dtype=_np.int64)
+    try:
+        # Uniform-arity edges (the common case) convert as one 2D
+        # array; the ragged fallback streams the cells.
+        members_2d = _np.array(edges, dtype=_np.int64)
+    except ValueError:
+        members_2d = None
+    if members_2d is not None and members_2d.ndim == 2:
+        cells = members_2d.ravel()
+        lengths = _np.full(m, members_2d.shape[1], dtype=_np.int64)
+    else:
+        lengths = _np.fromiter(map(len, edges), dtype=_np.int64, count=m)
+        cells = _np.fromiter(
+            (vertex for members in edges for vertex in members),
+            dtype=_np.int64,
+            count=int(lengths.sum()),
+        )
+    starts = _np.zeros(m, dtype=_np.int64)
+    _np.cumsum(lengths[:-1], out=starts[1:])
+    degrees_arr = _np.bincount(cells, minlength=n)
+    max_degree = int(degrees_arr.max())
+    if max_weight * max_degree >= _FUSED_INT64_LIMIT:
+        return None
+    degrees = degrees_arr.tolist()
+
+    local_policy = config.alpha_policy == "local"
+    if local_policy:
+        local_max = _np.maximum.reduceat(degrees_arr[cells], starts)
+        by_degree = {
+            int(value): theorem9_alpha(
+                int(value), rank, config.epsilon, config.gamma
+            )
+            for value in _np.unique(local_max)
+        }
+        alpha_list = [by_degree[int(value)] for value in local_max]
+        alpha_num = [alpha.numerator for alpha in alpha_list]
+        alpha_den = [alpha.denominator for alpha in alpha_list]
+    else:
+        shared_alpha = resolve_alpha(config, rank, max_degree)
+        alpha_list = [shared_alpha] * m
+        alpha_num = [shared_alpha.numerator] * m
+        alpha_den = [shared_alpha.denominator] * m
+
+    # Argmin per edge: minimize w(v)/|E(v)|, ties by vertex id.  The
+    # float64 ratio is only a shortlist (its relative error is ~2^-52,
+    # the acceptance band 2^-30); edges whose band holds more than one
+    # cell are resolved exactly.
+    ratios = weights_arr[cells] / degrees_arr[cells]
+    edge_of_cell = _np.repeat(_np.arange(m, dtype=_np.int64), lengths)
+    band = _np.minimum.reduceat(ratios, starts) * (1.0 + 2.0**-30)
+    candidate = _np.flatnonzero(ratios <= band[edge_of_cell])
+    # ``candidate`` is ascending, so its owner edges are nondecreasing:
+    # first occurrences fall out of one adjacent-difference pass (no
+    # sort), and every edge owns at least one candidate (its own min).
+    owner = edge_of_cell[candidate]
+    is_first = _np.empty(owner.size, dtype=bool)
+    is_first[0] = True
+    _np.not_equal(owner[1:], owner[:-1], out=is_first[1:])
+    first_index = _np.flatnonzero(is_first)
+    argmin_v = cells[candidate[first_index]]
+    if first_index.size != owner.size:
+        owner_counts = _np.diff(
+            _np.append(first_index, owner.size)
+        )
+        cand_cells = cells[candidate]
+        for position in _np.flatnonzero(owner_counts > 1).tolist():
+            members = cand_cells[
+                first_index[position] : first_index[position]
+                + owner_counts[position]
+            ].tolist()
+            argmin_v[position] = argmin_member(members, weights, degrees)[0]
+    argmin_w = weights_arr[argmin_v]
+    argmin_d = degrees_arr[argmin_v]
+    argmins = list(
+        zip(argmin_v.tolist(), argmin_w.tolist(), argmin_d.tolist())
+    )
+
+    # Scale: identical lcm contributions as the scalar loop, computed
+    # once per *unique* (w*, |E(v*)|[, alpha]) profile instead of per
+    # edge — the profiles dedupe through a composite int64 key (exact:
+    # ``w* * max_degree`` is below the guard ceiling).  Weight
+    # denominators are all 1 here (int weights only).
+    stride = max_degree + 1
+    keys = argmin_w * stride + argmin_d
+    if local_policy:
+        profiles = _np.unique(_np.stack([keys, local_max]), axis=1)
+        key_values = profiles[0]
+        key_alphas = [
+            by_degree[int(value)] for value in profiles[1]
+        ]
+    else:
+        key_values = _np.unique(keys)
+        key_alphas = None
+    scale = 1
+    for column, key in enumerate(key_values.tolist()):
+        min_weight = key // stride
+        bid_den = 2 * (key % stride)
+        alpha = key_alphas[column] if local_policy else alpha_list[0]
+        scale = lcm(scale, bid_den // gcd(min_weight, bid_den))
+        raised_den = bid_den * alpha.denominator
+        raised_top = min_weight * alpha.numerator
+        scale = lcm(scale, raised_den // gcd(raised_top, raised_den))
+
+    # Initial bids, raised bids and the per-vertex bid sums, vectorized
+    # while the products fit int64 (the scalar tail keeps exactness
+    # beyond).
+    bid_arr = None
+    if max_weight * scale < _FUSED_INT64_LIMIT:
+        numerators = argmin_w * scale
+        bid_dens = 2 * argmin_d
+        bid_arr = numerators // bid_dens
+        if (numerators - bid_arr * bid_dens).any():
+            raise AlgorithmError(
+                f"scale {scale} cannot represent every bid0 exactly"
+            )
+        bid = bid_arr.tolist()
+        max_bid = int(bid_arr.max())
+        if max_bid * max_degree < _FUSED_INT64_LIMIT:
+            total_arr = _np.zeros(n, dtype=_np.int64)
+            _np.add.at(total_arr, cells, bid_arr[edge_of_cell])
+            total_delta = total_arr.tolist()
+        else:
+            total_delta = _scalar_bid_sums(n, edges, bid)
+    else:
+        bid = [
+            initial_bid_scaled(min_weight, min_degree, scale)
+            for (_, min_weight, min_degree) in argmins
+        ]
+        total_delta = _scalar_bid_sums(n, edges, bid)
+    if (
+        bid_arr is not None
+        and not local_policy
+        and max_bid * alpha_num[0] < _FUSED_INT64_LIMIT
+    ):
+        raised = (bid_arr * alpha_num[0] // alpha_den[0]).tolist()
+    else:
+        raised = [
+            bid[edge_id] * alpha_num[edge_id] // alpha_den[edge_id]
+            for edge_id in range(m)
+        ]
+    return ScaledState(
+        alpha_list=alpha_list,
+        alpha_num=alpha_num,
+        alpha_den=alpha_den,
+        argmins=argmins,
+        scale=scale,
+        bid=bid,
+        raised=raised,
+        delta=list(bid),
+        total_delta=total_delta,
+        degrees=degrees,
+    )
+
+
 def prepare_scaled_state(
     hypergraph: Hypergraph, config: AlgorithmConfig
 ) -> ScaledState:
-    """Run iteration 0 exactly: alphas, argmins, global scale, bids."""
+    """Run iteration 0 exactly: alphas, argmins, global scale, bids.
+
+    With :data:`repro.core.kernels.FUSED_SWEEPS` active (the default),
+    the common all-integer-weights case runs as one fused vectorized
+    pass (:func:`_fused_iteration0`); the scalar per-edge loop below
+    remains the exact reference (and the only path for fractional
+    weights, huge magnitudes, or numpy-less interpreters).
+    """
+    if kernels_module.FUSED_SWEEPS:
+        state = _fused_iteration0(hypergraph, config)
+        if state is not None:
+            return state
     n = hypergraph.num_vertices
     m = hypergraph.num_edges
     rank = hypergraph.rank
@@ -238,7 +451,8 @@ def run_fastpath(
     (``"auto"`` == ``"int64"``): the iteration loop runs on machine
     width whenever the lane's headroom bound admits the instance, and
     degrades transparently down the ladder — int64 -> two-limb ->
-    bigint — when a lane is ineligible or its scale outgrows the
+    three-limb -> bigint — when a lane is ineligible or its scale
+    outgrows the
     headroom mid-run.  A mid-run spill *carries* the live scaled state
     across the lane boundary (see
     :meth:`repro.core.kernels.LaneRun._extract_carry`): the wider lane
@@ -299,6 +513,11 @@ def run_fastpath(
     if HAS_NUMPY and observer is None and lane != "bigint":
         start = "int64" if lane == "auto" else lane
         ladder = MACHINE_LANES[MACHINE_LANES.index(start):]
+        # The CSR packing and its incidence transpose are lane-neutral,
+        # so a spill resumes on the next rung without re-packing or
+        # re-sorting — only the value arrays are rebuilt (wider).
+        arena = None
+        transpose = None
         for lane_name in ladder:
             eligible, _ = lane_eligibility(
                 hypergraph,
@@ -309,7 +528,7 @@ def run_fastpath(
             )
             if not eligible:
                 continue
-            solved, spills = LaneRun(
+            run = LaneRun(
                 [hypergraph],
                 [state],
                 config,
@@ -318,7 +537,12 @@ def run_fastpath(
                     [hypergraph], config, [state], lane=lane_name
                 ),
                 carries=[carry] if carry else None,
-            ).solve()
+                arena=arena,
+                transpose=transpose,
+            )
+            arena = run.arena
+            transpose = run.transpose
+            solved, spills = run.solve()
             if 0 in spills:
                 carry = spills[0]
                 continue

@@ -24,6 +24,12 @@ same guarded kernels:
   instances that outgrow int64 still run at machine speed.  Small
   multipliers (``beta_den``, ``alpha``, ``2**(z+2)``) must fit 31 bits
   so limb products stay inside int64 — checked by eligibility;
+* **the three-limb lane** (:class:`ThreeLimbOps`) — values are
+  ``x = hi * 2**64 + mid * 2**32 + lo`` triples of ``int64`` arrays
+  (headroom ``2**124``), and scalar multipliers get a 62-bit budget by
+  splitting them into 31-bit halves, so the huge-``beta_den`` regimes
+  (the f-approximation's tiny epsilon on big weights) stay on machine
+  arithmetic instead of falling through to big-int;
 * **the sweep engine** (:class:`LaneRun`) — the per-iteration
   vectorized protocol (tightness, level increments, halvings, raise
   unanimity, dual growth) over a shared CSR arena of K >= 1 instances,
@@ -32,7 +38,8 @@ same guarded kernels:
   back to the caller as a **carry** — its exact state at the start of
   the interrupted sweep (the engine undoes that sweep's partial
   phase-A mutations for the instance) — and the next lane down the
-  ladder (int64 -> two-limb -> big-int) *resumes from that iteration*
+  ladder (int64 -> two-limb -> three-limb -> big-int) *resumes from
+  that iteration*
   instead of replaying from iteration 0.  Resumption is exact: value
   arrays cross the lane boundary as arbitrary-precision integers
   (``int64`` words widen to two-limb pairs, two-limb pairs reconstruct
@@ -54,7 +61,11 @@ from fractions import Fraction
 from math import log2
 
 from repro.core.lockstep import INIT_EXCHANGE_ROUNDS, phase_a_round
-from repro.core.numeric import exact_scaled_int, scaled_fraction
+from repro.core.numeric import (
+    exact_scaled_int,
+    raw_fraction_list,
+    scaled_fraction,
+)
 from repro.core.params import AlgorithmConfig
 from repro.core.result import AlgorithmStats, CoverResult
 from repro.core.runner import finalize_result
@@ -68,7 +79,7 @@ from repro.exceptions import (
     InvariantViolationError,
     RoundLimitExceededError,
 )
-from repro.hypergraph.csr import BatchArena, pack_arena
+from repro.hypergraph.csr import BatchArena, CSRLayout, pack_arena
 from repro.hypergraph.hypergraph import Hypergraph
 
 try:  # pragma: no cover - exercised implicitly by either branch
@@ -80,9 +91,12 @@ __all__ = [
     "HAS_NUMPY",
     "INT64_HEADROOM_BITS",
     "TWO_LIMB_HEADROOM_BITS",
+    "THREE_LIMB_HEADROOM_BITS",
+    "FUSED_SWEEPS",
     "MACHINE_LANES",
     "Int64Ops",
     "TwoLimbOps",
+    "ThreeLimbOps",
     "LaneRun",
     "lane_ops",
     "lane_eligibility",
@@ -104,10 +118,24 @@ INT64_HEADROOM_BITS = 62
 #: a 31-bit multiplier stay inside int64, so 93 bits is the safe range.
 TWO_LIMB_HEADROOM_BITS = 93
 
+#: Bit budget for the three-limb (hi/mid/lo int64 triple) lane.  Values
+#: are ``hi * 2**64 + mid * 2**32 + lo``; the headroom bound keeps
+#: ``hi`` below ``2**60``, so partial reduceat sums of the ``hi`` limbs
+#: and every digit product of a 31-bit multiplier chunk stay inside
+#: int64 — 124 bits is the safe range.
+THREE_LIMB_HEADROOM_BITS = 124
+
 #: Two-limb multiplications split into int64 limb products, which caps
 #: every scalar multiplier (``beta_den``, ``alpha_num``, ``2**(z+2)``)
 #: at 31 bits.
 SMALL_FACTOR_BITS = 31
+
+#: The three-limb lane splits each scalar multiplier into two 31-bit
+#: halves (``c = c_hi * 2**31 + c_lo``, one digit-product pass each
+#: plus a carry add), which doubles the multiplier budget to 62 bits —
+#: enough for the huge ``beta_den`` / large-``z`` f-approximation
+#: regime that the two-limb 31-bit cap rejects.
+THREE_LIMB_FACTOR_BITS = 62
 
 #: Bits per stored low limb of a two-limb value.
 LIMB_BITS = 32
@@ -116,7 +144,16 @@ _LIMB_MASK = (1 << LIMB_BITS) - 1
 
 #: The machine-width lanes, strongest first; the spill ladder appends
 #: the unbounded big-int executor after these.
-MACHINE_LANES = ("int64", "two-limb")
+MACHINE_LANES = ("int64", "two-limb", "three-limb")
+
+#: Default for :class:`LaneRun`'s fused sweep mode.  Fused sweeps are
+#: bit-identical to the unfused per-op composition — they cache the
+#: live-subset CSR views across sweeps (invalidated whenever a live set
+#: changes), reuse the live-edge mask of the vertex view, skip the
+#: halving reduceat on sweeps with no level increments, and use the
+#: lanes' fused gather→op→scatter kernels.  The flag exists so the
+#: benchmark gate can measure the pre-fusion engine as its baseline.
+FUSED_SWEEPS = True
 
 
 # ----------------------------------------------------------------------
@@ -171,6 +208,8 @@ def _lane_headroom_bits(lane: str) -> int:
         return INT64_HEADROOM_BITS
     if lane == "two-limb":
         return TWO_LIMB_HEADROOM_BITS
+    if lane == "three-limb":
+        return THREE_LIMB_HEADROOM_BITS
     raise InvalidInstanceError(f"unknown machine lane {lane!r}")
 
 
@@ -213,6 +252,12 @@ def lane_eligibility(
         # Limb products of the two-limb multiply must fit int64.
         if z + 2 > SMALL_FACTOR_BITS or factor >= (1 << SMALL_FACTOR_BITS):
             return False, "multiplier exceeds the two-limb 31-bit budget"
+    if lane == "three-limb":
+        # The split multiply (two 31-bit halves) doubles the budget.
+        if z + 2 > THREE_LIMB_FACTOR_BITS or factor >= (
+            1 << THREE_LIMB_FACTOR_BITS
+        ):
+            return False, "multiplier exceeds the three-limb 62-bit budget"
     bits = headroom_bits if headroom_bits is not None else _lane_headroom_bits(lane)
     if scale is None:
         scale = state.scale
@@ -337,6 +382,19 @@ class Int64Ops:
     @staticmethod
     def empty():
         return _np.empty(0, dtype=_np.int64)
+
+    # -- fused kernels (single-pass forms of gather→op→scatter chains;
+    # -- the multi-limb lanes fall back to the per-op composition) -----
+
+    @staticmethod
+    def halve_at(value, idx, counts):
+        """``value[idx] >>= counts`` as one fancy-indexed pass."""
+        value[idx] >>= counts
+
+    @staticmethod
+    def iadd_gather(dest, idx, src):
+        """``dest[idx] += src[idx]`` without a separate gather."""
+        dest[idx] += src[idx]
 
     # -- transition tests (delegate to the shared pure functions, which
     # -- are written as array-compatible expressions) ------------------
@@ -521,6 +579,17 @@ class TwoLimbOps:
         empty = _np.empty(0, dtype=_np.int64)
         return TwoLimb(empty, empty.copy())
 
+    # -- fused kernels (per-op composition; the fused sweeps' gain on
+    # -- limb lanes comes from the cached views, not these) ------------
+
+    @classmethod
+    def halve_at(cls, value, idx, counts):
+        cls.scatter(value, idx, cls.shr_exact(cls.gather(value, idx), counts))
+
+    @classmethod
+    def iadd_gather(cls, dest, idx, src):
+        cls.iadd(dest, idx, cls.gather(src, idx))
+
     # -- transition tests ----------------------------------------------
 
     @classmethod
@@ -538,7 +607,271 @@ class TwoLimbOps:
         return ~cls.gt(lhs, rhs)
 
 
-_LANE_OPS = {"int64": Int64Ops, "two-limb": TwoLimbOps}
+class ThreeLimb:
+    """A vector of non-negative ~192-bit values:
+    ``hi * 2**64 + mid * 2**32 + lo``.
+
+    All three limbs are ``int64`` arrays; the *normalized* invariant is
+    ``0 <= lo, mid < 2**32`` (so bitwise OR across triples equals OR of
+    the represented values).  ``hi`` stays below ``2**60`` for every
+    value admitted by the ``2**124`` headroom bound.
+    """
+
+    __slots__ = ("hi", "mid", "lo")
+
+    def __init__(self, hi, mid, lo):
+        self.hi = hi
+        self.mid = mid
+        self.lo = lo
+
+    @property
+    def size(self):
+        return self.lo.size
+
+
+def _three_limb_normalize(hi, mid, lo):
+    carry = lo >> LIMB_BITS
+    mid = mid + carry
+    return ThreeLimb(hi + (mid >> LIMB_BITS), mid & _LIMB_MASK, lo & _LIMB_MASK)
+
+
+class ThreeLimbOps:
+    """The ~192-bit lane: three-limb arithmetic with vectorized carry.
+
+    Same op surface and style as :class:`TwoLimbOps`; the comments
+    bound the intermediates.  ``V`` denotes a represented value, which
+    the headroom guarantee keeps below ``2**124`` (so ``hi < 2**60``).
+    Scalar multipliers may reach **62 bits** (eligibility): a factor
+    ``c`` is split into 31-bit halves ``c = c_hi * 2**31 + c_lo`` and
+    applied as two digit-product passes plus one carried add — each
+    digit product of a 31-bit chunk fits a signed int64 because
+    ``digit < 2**32`` and ``hi * chunk <= V * c / 2**64 < 2**60``.
+    This doubled budget (versus the two-limb 31-bit cap) is what keeps
+    the huge-``beta_den`` f-approximation regime on machine arithmetic.
+    """
+
+    name = "three-limb"
+
+    @staticmethod
+    def from_list(values):
+        hi = _np.array(
+            [value >> (2 * LIMB_BITS) for value in values], dtype=_np.int64
+        )
+        mid = _np.array(
+            [(value >> LIMB_BITS) & _LIMB_MASK for value in values],
+            dtype=_np.int64,
+        )
+        lo = _np.array([value & _LIMB_MASK for value in values], dtype=_np.int64)
+        return ThreeLimb(hi, mid, lo)
+
+    @staticmethod
+    def tolist_slice(value, sl):
+        his = value.hi[sl].tolist()
+        mids = value.mid[sl].tolist()
+        los = value.lo[sl].tolist()
+        return [
+            (hi << (2 * LIMB_BITS)) | (mid << LIMB_BITS) | lo
+            for hi, mid, lo in zip(his, mids, los)
+        ]
+
+    @staticmethod
+    def copy(value):
+        return ThreeLimb(value.hi.copy(), value.mid.copy(), value.lo.copy())
+
+    @staticmethod
+    def gather(value, idx):
+        return ThreeLimb(value.hi[idx], value.mid[idx], value.lo[idx])
+
+    @staticmethod
+    def scatter(value, idx, other):
+        value.hi[idx] = other.hi
+        value.mid[idx] = other.mid
+        value.lo[idx] = other.lo
+
+    @staticmethod
+    def iadd(value, idx, other):
+        # lo/mid sums stay below 2**33; one carry pass renormalizes.
+        lo = value.lo[idx] + other.lo
+        mid = value.mid[idx] + other.mid + (lo >> LIMB_BITS)
+        value.hi[idx] += other.hi + (mid >> LIMB_BITS)
+        value.mid[idx] = mid & _LIMB_MASK
+        value.lo[idx] = lo & _LIMB_MASK
+
+    @staticmethod
+    def mul_mask(value, mask):
+        return ThreeLimb(value.hi * mask, value.mid * mask, value.lo * mask)
+
+    @staticmethod
+    def _add(left, right):
+        # Carried add of two normalized values; sums stay below 2**33.
+        lo = left.lo + right.lo
+        mid = left.mid + right.mid + (lo >> LIMB_BITS)
+        hi = left.hi + right.hi + (mid >> LIMB_BITS)
+        return ThreeLimb(hi, mid & _LIMB_MASK, lo & _LIMB_MASK)
+
+    @staticmethod
+    def _mul_small(value, factor):
+        """``V * c`` for ``c < 2**31`` (scalar or per-element array).
+
+        Direct digit products: ``lo*c < 2**63``, ``mid*c + carry <
+        2**63`` and — because the result is below the 2**124 headroom —
+        ``hi*c <= (V*c) / 2**64 < 2**60``; every product fits int64.
+        """
+        p_lo = value.lo * factor
+        p_mid = value.mid * factor + (p_lo >> LIMB_BITS)
+        hi = value.hi * factor + (p_mid >> LIMB_BITS)
+        return ThreeLimb(hi, p_mid & _LIMB_MASK, p_lo & _LIMB_MASK)
+
+    @classmethod
+    def mul_int(cls, value, factor):
+        """``V * c`` for ``c < 2**62`` (scalar or per-element array).
+
+        Factors below 2**31 take one digit-product pass; larger ones
+        split into 31-bit halves, ``V*c = ((V*c_hi) << 31) + V*c_lo``,
+        where both partial products obey :meth:`_mul_small`'s bounds
+        because each is at most the final (headroom-bounded) result.
+        """
+        mask31 = (_np.int64(1) << 31) - 1
+        if _np.isscalar(factor) or getattr(factor, "ndim", 1) == 0:
+            if int(factor) < (1 << 31):
+                return cls._mul_small(value, factor)
+            factor = _np.int64(factor)
+        elif not factor.size or int(factor.max()) < (1 << 31):
+            return cls._mul_small(value, factor)
+        high = cls.shl(cls._mul_small(value, factor >> 31), _np.int64(31))
+        return cls._add(high, cls._mul_small(value, factor & mask31))
+
+    @classmethod
+    def shl(cls, value, count):
+        """``V << count`` in chunks of <= 30 bits (each a digit pass)."""
+        if _np.isscalar(count) or getattr(count, "ndim", 1) == 0:
+            count = _np.full(value.size, int(count), dtype=_np.int64)
+        result = value
+        remaining = count
+        while remaining.size and int(remaining.max()) > 0:
+            step = _np.minimum(remaining, 30)
+            result = cls._mul_small(result, _np.int64(1) << step)
+            remaining = remaining - step
+        return result
+
+    @staticmethod
+    def shr_exact(value, count):
+        """``V >> count`` (exact division) in chunks of <= 31 bits."""
+        hi, mid, lo = value.hi, value.mid, value.lo
+        remaining = count
+        while True:
+            step = _np.minimum(remaining, 31)
+            low_mask = (_np.int64(1) << step) - 1
+            up = LIMB_BITS - step
+            lo = (lo >> step) | ((mid & low_mask) << up)
+            mid = (mid >> step) | ((hi & low_mask) << up)
+            hi = hi >> step
+            remaining = remaining - step
+            if not remaining.size or int(remaining.max()) <= 0:
+                break
+        return ThreeLimb(hi, mid, lo)
+
+    @classmethod
+    def ishl_slice(cls, value, sl, shift):
+        shifted = cls.shl(
+            ThreeLimb(value.hi[sl], value.mid[sl], value.lo[sl]),
+            _np.int64(shift),
+        )
+        value.hi[sl] = shifted.hi
+        value.mid[sl] = shifted.mid
+        value.lo[sl] = shifted.lo
+
+    @staticmethod
+    def gt(left, right):
+        return (left.hi > right.hi) | (
+            (left.hi == right.hi)
+            & (
+                (left.mid > right.mid)
+                | ((left.mid == right.mid) & (left.lo > right.lo))
+            )
+        )
+
+    @staticmethod
+    def _ge(left, right):
+        return (left.hi > right.hi) | (
+            (left.hi == right.hi)
+            & (
+                (left.mid > right.mid)
+                | ((left.mid == right.mid) & (left.lo >= right.lo))
+            )
+        )
+
+    @staticmethod
+    def bit_or(left, right):
+        # Valid because normalized lo/mid limbs occupy exactly 32 bits.
+        return ThreeLimb(
+            left.hi | right.hi, left.mid | right.mid, left.lo | right.lo
+        )
+
+    @staticmethod
+    def trailing_zeros(value):
+        def limb_tz(limb):
+            bit = limb & -limb
+            return _np.log2(
+                _np.maximum(bit, 1).astype(_np.float64)
+            ).astype(_np.int64)
+
+        return _np.where(
+            value.lo != 0,
+            limb_tz(value.lo),
+            _np.where(
+                value.mid != 0,
+                LIMB_BITS + limb_tz(value.mid),
+                2 * LIMB_BITS + limb_tz(value.hi),
+            ),
+        )
+
+    @staticmethod
+    def reduceat(cells, starts):
+        # lo/mid partial sums < segment_length * 2**32 and hi partial
+        # sums < (semantic segment sum) / 2**64 < 2**60 — all int64.
+        hi = _np.add.reduceat(cells.hi, starts)
+        mid = _np.add.reduceat(cells.mid, starts)
+        lo = _np.add.reduceat(cells.lo, starts)
+        return _three_limb_normalize(hi, mid, lo)
+
+    @staticmethod
+    def empty():
+        empty = _np.empty(0, dtype=_np.int64)
+        return ThreeLimb(empty, empty.copy(), empty.copy())
+
+    # -- fused kernels (per-op composition, as in TwoLimbOps) ----------
+
+    @classmethod
+    def halve_at(cls, value, idx, counts):
+        cls.scatter(value, idx, cls.shr_exact(cls.gather(value, idx), counts))
+
+    @classmethod
+    def iadd_gather(cls, dest, idx, src):
+        cls.iadd(dest, idx, cls.gather(src, idx))
+
+    # -- transition tests ----------------------------------------------
+
+    @classmethod
+    def is_tight(cls, running, beta_den, threshold):
+        """:func:`~repro.core.vertex_logic.is_tight_scaled`, limb-wise:
+        ``running * beta_den >= threshold``."""
+        return cls._ge(cls.mul_int(running, beta_den), threshold)
+
+    @classmethod
+    def wants_raise(cls, sums, weight, level, extra_shift=None):
+        """:func:`~repro.core.vertex_logic.wants_raise_scaled`,
+        limb-wise: ``sums << (level+1) <= weight << extra_shift``."""
+        lhs = cls.shl(sums, level + 1)
+        rhs = weight if extra_shift is None else cls.shl(weight, extra_shift)
+        return ~cls.gt(lhs, rhs)
+
+
+_LANE_OPS = {
+    "int64": Int64Ops,
+    "two-limb": TwoLimbOps,
+    "three-limb": ThreeLimbOps,
+}
 
 
 def lane_ops(lane: str):
@@ -559,12 +892,34 @@ def finalize_lane_instance(
     *,
     lane: str,
 ) -> CoverResult:
-    """Convert one instance's lane state back to exact Fractions."""
+    """Convert one instance's lane state back to exact Fractions.
+
+    With :data:`FUSED_SWEEPS` active, the per-edge gcd normalization of
+    the dual packing runs as one vectorized ``np.gcd`` pass (when the
+    values fit int64) and the Fractions assemble from the already-
+    reduced pairs; the scalar loop is the fallback and the pre-fusion
+    baseline.
+    """
     scale = raw["scale"]
-    dual = {
-        edge_id: scaled_fraction(value, scale)
-        for edge_id, value in enumerate(raw["delta"])
-    }
+    delta = raw["delta"]
+    dual = None
+    if FUSED_SWEEPS and _np is not None and scale.bit_length() < 63:
+        try:
+            delta_arr = _np.array(delta, dtype=_np.int64)
+        except OverflowError:
+            delta_arr = None
+        if delta_arr is not None:
+            divisors = _np.gcd(delta_arr, scale)
+            numerators = (delta_arr // divisors).tolist()
+            denominators = (scale // divisors).tolist()
+            dual = dict(
+                enumerate(raw_fraction_list(numerators, denominators))
+            )
+    if dual is None:
+        dual = {
+            edge_id: scaled_fraction(value, scale)
+            for edge_id, value in enumerate(delta)
+        }
     return finalize_result(
         hypergraph,
         config,
@@ -577,8 +932,73 @@ def finalize_lane_instance(
         rounds=raw["rounds"],
         metrics=None,
         verify=verify,
-        dual_total=scaled_fraction(sum(raw["delta"]), scale),
+        dual_total=scaled_fraction(sum(delta), scale),
         lane=lane,
+    )
+
+
+def fused_pack_arena(hypergraphs) -> BatchArena | None:
+    """Vectorized :func:`~repro.hypergraph.csr.pack_arena` equivalent.
+
+    Builds the membership CSR arrays and instance maps as int64 numpy
+    arrays instead of Python tuples — positionally identical to the
+    scalar packer, just already in the dtype :class:`LaneRun` converts
+    them to.  Returns ``None`` when an instance's edge list is ragged
+    in a way numpy cannot batch-convert (mixed arities fall back to
+    the scalar packer) so callers can keep one code path.
+    """
+    if _np is None:
+        return None
+    int64 = _np.int64
+    vertex_offset = [0]
+    edge_offset = [0]
+    weights: list = []
+    cell_blocks = []
+    length_blocks = []
+    for hypergraph in hypergraphs:
+        vertex_base = vertex_offset[-1]
+        vertex_offset.append(vertex_base + hypergraph.num_vertices)
+        edge_offset.append(edge_offset[-1] + hypergraph.num_edges)
+        weights.extend(hypergraph.weights)
+        edges = hypergraph.edges
+        if not edges:
+            continue
+        try:
+            members = _np.array(edges, dtype=int64)
+        except ValueError:
+            return None
+        if members.ndim == 2:
+            cells = members.ravel()
+            lengths = _np.full(len(edges), members.shape[1], dtype=int64)
+        else:
+            return None
+        if vertex_base:
+            cells = cells + vertex_base
+        cell_blocks.append(cells)
+        length_blocks.append(lengths)
+    if cell_blocks:
+        all_cells = _np.concatenate(cell_blocks)
+        all_lengths = _np.concatenate(length_blocks)
+    else:
+        all_cells = _np.empty(0, dtype=int64)
+        all_lengths = _np.empty(0, dtype=int64)
+    starts = _np.zeros(all_lengths.size, dtype=int64)
+    _np.cumsum(all_lengths[:-1], out=starts[1:])
+    count = len(vertex_offset) - 1
+    counts_v = _np.diff(_np.array(vertex_offset, dtype=int64))
+    counts_e = _np.diff(_np.array(edge_offset, dtype=int64))
+    instance_ids = _np.arange(count, dtype=int64)
+    membership = CSRLayout(
+        lengths=all_lengths, starts=starts, cells=all_cells
+    )
+    return BatchArena(
+        num_instances=count,
+        vertex_offset=tuple(vertex_offset),
+        edge_offset=tuple(edge_offset),
+        weights=tuple(weights),
+        membership=membership,
+        instance_of_vertex=_np.repeat(instance_ids, counts_v),
+        instance_of_edge=_np.repeat(instance_ids, counts_e),
     )
 
 
@@ -612,6 +1032,8 @@ class LaneRun:
         limits,
         carries=None,
         arena: BatchArena | None = None,
+        transpose=None,
+        fused: bool | None = None,
     ):
         self.config = config
         self.spec = config.schedule == "spec"
@@ -619,6 +1041,7 @@ class LaneRun:
         self.hypergraphs = hypergraphs
         self.states = states
         self.ops = ops
+        self.fused = FUSED_SWEEPS if fused is None else fused
         if carries is None:
             carries = [None] * self.count
         if arena is None:
@@ -626,7 +1049,10 @@ class LaneRun:
             # packing (a worker's shipped shard sliced per lane via
             # :func:`repro.hypergraph.csr.slice_arena`) skip the
             # re-pack; it must equal ``pack_arena(hypergraphs)``.
-            arena = pack_arena(hypergraphs)
+            if self.fused:
+                arena = fused_pack_arena(hypergraphs)
+            if arena is None:
+                arena = pack_arena(hypergraphs)
         self.arena = arena
         total_v = arena.total_vertices
         total_e = arena.total_edges
@@ -661,7 +1087,7 @@ class LaneRun:
         self.covered = _np.zeros(total_e, dtype=bool)
         self.raise_count = _np.zeros(total_e, dtype=int64)
         self.halving_count = _np.zeros(total_e, dtype=int64)
-        self.inst_e = _np.array(arena.instance_of_edge, dtype=int64)
+        self.inst_e = _np.asarray(arena.instance_of_edge, dtype=int64)
 
         # -- vertex-side state ----------------------------------------
         self.scales = [
@@ -675,8 +1101,19 @@ class LaneRun:
             beta = config.beta(hypergraph.rank)
             beta_den.append(beta.denominator)
             z_caps.append(config.z(hypergraph.rank))
-            for vertex in range(hypergraph.num_vertices):
-                weight = hypergraph.weight(vertex)
+            weights = hypergraph.weights
+            if self.fused and all(type(w) is int for w in weights):
+                # Integer weights multiply exactly — skip the per-value
+                # integrality verification of ``exact_scaled_int`` and
+                # fold the constant ``(beta_den - beta_num) * scale``
+                # threshold factor out of the loop.
+                threshold_scale = (
+                    beta.denominator - beta.numerator
+                ) * scale
+                weight_scaled.extend(w * scale for w in weights)
+                tight_rhs.extend(w * threshold_scale for w in weights)
+                continue
+            for weight in weights:
                 weight_scaled.append(exact_scaled_int(weight, scale))
                 tight_rhs.append(
                     tight_threshold_scaled(
@@ -705,7 +1142,7 @@ class LaneRun:
         self.flags = _np.zeros(total_v, dtype=int64)
         self.in_cover = _np.zeros(total_v, dtype=bool)
         self.dead = degrees == 0
-        self.inst_v = _np.array(arena.instance_of_vertex, dtype=int64)
+        self.inst_v = _np.asarray(arena.instance_of_vertex, dtype=int64)
         self.beta_den_v = _np.repeat(
             _np.array(beta_den, dtype=int64),
             _np.diff(_np.array(arena.vertex_offset, dtype=int64)),
@@ -739,26 +1176,33 @@ class LaneRun:
 
         # -- CSR kernels ----------------------------------------------
         membership = arena.membership
-        self.e_cells = _np.array(membership.cells, dtype=int64)
-        self.e_starts = _np.array(membership.starts, dtype=int64)
-        self.e_lengths = _np.array(membership.lengths, dtype=int64)
+        # ``asarray``: a fused-packed arena already holds int64 arrays,
+        # which these kernels only read — no copy needed.
+        self.e_cells = _np.asarray(membership.cells, dtype=int64)
+        self.e_starts = _np.asarray(membership.starts, dtype=int64)
+        self.e_lengths = _np.asarray(membership.lengths, dtype=int64)
         # The incidence layout is the membership transpose: a stable
         # sort of the membership cells groups the (edge, vertex) pairs
         # by vertex while keeping ascending edge ids inside each group
         # — the same ordering :func:`repro.hypergraph.csr.arena_incidence`
         # specifies (and tests pin), built vectorized because this runs
-        # per solve.
-        order = _np.argsort(self.e_cells, kind="stable")
-        self.v_cells = _np.repeat(
-            _np.arange(total_e, dtype=int64), self.e_lengths
-        )[order]
-        v_lengths = _np.bincount(self.e_cells, minlength=total_v).astype(
-            int64
-        )
-        v_starts = _np.zeros(total_v, dtype=int64)
-        _np.cumsum(v_lengths[:-1], out=v_starts[1:])
-        self.v_starts = v_starts
-        self.v_lengths = v_lengths
+        # per solve.  ``transpose=`` lets a caller resuming the same
+        # arena on a wider lane (the spill ladder) reuse the arrays
+        # instead of re-sorting; it must equal this construction.
+        if transpose is None:
+            order = _np.argsort(self.e_cells, kind="stable")
+            v_cells = _np.repeat(
+                _np.arange(total_e, dtype=int64), self.e_lengths
+            )[order]
+            v_lengths = _np.bincount(self.e_cells, minlength=total_v).astype(
+                int64
+            )
+            v_starts = _np.zeros(total_v, dtype=int64)
+            _np.cumsum(v_lengths[:-1], out=v_starts[1:])
+            transpose = (v_cells, v_starts, v_lengths)
+        self.transpose = transpose
+        self.v_cells, self.v_starts, self.v_lengths = transpose
+        v_lengths = self.v_lengths
         live_start = _np.nonzero(v_lengths > 0)[0]
 
         # -- per-instance bookkeeping ---------------------------------
@@ -786,6 +1230,23 @@ class LaneRun:
         ]
         self.live_e = _np.nonzero(self.live_edge)[0]
 
+        # -- fused-sweep caches ---------------------------------------
+        # The live-subset views (and the vertex view's live-edge mask)
+        # only change when a live set changes — joins, coverage,
+        # spills, terminations.  Deep runs spend most sweeps with no
+        # structural change at all, so caching them across sweeps
+        # removes the dominant rebuild cost.  ``None`` means stale.
+        self._edge_view_cache = None
+        self._vertex_view_cache = None
+        self._vertex_mask_cache = None
+        self._any_inc = False
+        # Scratch flag arrays for the fused dedup in the coverage
+        # phases: scatter-mark / flatnonzero / clear replaces the
+        # sort inside ``np.unique`` (both produce ascending unique
+        # ids).  Invariant: all-False between sweeps.
+        self._edge_seen = _np.zeros(total_e, dtype=bool)
+        self._vertex_seen = _np.zeros(total_v, dtype=bool)
+
     # ------------------------------------------------------------------
     # Gather / segment kernels
     # ------------------------------------------------------------------
@@ -802,13 +1263,26 @@ class LaneRun:
         )
         return _np.repeat(starts[ids], lens) + inner
 
+    def _touch_edges(self):
+        """A live-edge set change staled the edge view and the vertex
+        view's live-edge mask."""
+        self._edge_view_cache = None
+        self._vertex_mask_cache = None
+
+    def _touch_vertices(self):
+        self._vertex_view_cache = None
+
     def _edge_view(self):
         """Live-edge subset CSR: (live edges, segment starts, cells).
 
-        Rebuilt per sweep so every structural kernel touches only the
-        cells of edges that are still uncovered — the live sets shrink
-        fast, and full-arena kernels would dominate the tail sweeps.
+        Touches only the cells of edges that are still uncovered — the
+        live sets shrink fast, and full-arena kernels would dominate
+        the tail sweeps.  Fused runs cache the view across sweeps and
+        rebuild only when the live-edge set changed; unfused runs (the
+        benchmark baseline) rebuild on every call.
         """
+        if self.fused and self._edge_view_cache is not None:
+            return self._edge_view_cache
         live = self.live_e
         lengths = self.e_lengths[live]
         starts = _np.zeros(live.size, dtype=_np.int64)
@@ -817,10 +1291,16 @@ class LaneRun:
         cells = self.e_cells[
             self._expand_segments(live, self.e_starts, self.e_lengths)
         ]
-        return live, starts, cells
+        view = (live, starts, cells)
+        if self.fused:
+            self._edge_view_cache = view
+        return view
 
     def _vertex_view(self):
-        """Live-vertex subset CSR over the incidence layout."""
+        """Live-vertex subset CSR over the incidence layout (cached
+        across sweeps like :meth:`_edge_view` when fused)."""
+        if self.fused and self._vertex_view_cache is not None:
+            return self._vertex_view_cache
         live = self.live_v
         lengths = self.v_lengths[live]
         starts = _np.zeros(live.size, dtype=_np.int64)
@@ -829,7 +1309,10 @@ class LaneRun:
         cells = self.v_cells[
             self._expand_segments(live, self.v_starts, self.v_lengths)
         ]
-        return live, starts, cells
+        view = (live, starts, cells)
+        if self.fused:
+            self._vertex_view_cache = view
+        return view
 
     def _live_vertex_sums(self, edge_values, vertex_view):
         """Per-live-vertex sums of an edge value array over live
@@ -839,7 +1322,19 @@ class LaneRun:
         if not live.size:
             return ops.empty()
         # Gather first, mask second: O(live cells), not O(total edges).
-        masked = ops.mul_mask(ops.gather(edge_values, cells), self.live_edge[cells])
+        # Fused runs reuse the mask while both the view and the
+        # live-edge set are unchanged (identity check on the view's
+        # cells catches a rebuilt view; _touch_edges catches coverage).
+        if self.fused:
+            cached = self._vertex_mask_cache
+            if cached is not None and cached[0] is cells:
+                mask = cached[1]
+            else:
+                mask = self.live_edge[cells]
+                self._vertex_mask_cache = (cells, mask)
+        else:
+            mask = self.live_edge[cells]
+        masked = ops.mul_mask(ops.gather(edge_values, cells), mask)
         return ops.reduceat(masked, starts)
 
     # ------------------------------------------------------------------
@@ -855,6 +1350,7 @@ class LaneRun:
         """
         ops = self.ops
         self.k_inc[vertices] = 0
+        self._any_inc = False
         idx = vertices
         while idx.size:
             shift = self.level[idx] + 1
@@ -871,6 +1367,7 @@ class LaneRun:
                 break
             self.level[idx] += 1
             self.k_inc[idx] += 1
+            self._any_inc = True
             capped = self.level[idx] >= self.z_v[idx]
             if capped.any():
                 vertex = int(idx[capped][0])
@@ -907,11 +1404,19 @@ class LaneRun:
         cells = self.v_cells[
             self._expand_segments(joiners, self.v_starts, self.v_lengths)
         ]
-        newly = _np.unique(cells[~self.covered[cells]])
+        uncovered = cells[~self.covered[cells]]
+        if self.fused:
+            seen = self._edge_seen
+            seen[uncovered] = True
+            newly = _np.flatnonzero(seen)
+            seen[newly] = False
+        else:
+            newly = _np.unique(uncovered)
         if newly.size:
             self.covered[newly] = True
             self.live_edge[newly] = False
             self.live_e = self.live_e[~self.covered[self.live_e]]
+            self._touch_edges()
         return newly
 
     def _apply_coverage(self, newly):
@@ -923,7 +1428,13 @@ class LaneRun:
         ]
         members = cells[~self.in_cover[cells]]
         _np.subtract.at(self.uncovered_count, members, 1)
-        candidates = _np.unique(members)
+        if self.fused:
+            seen = self._vertex_seen
+            seen[members] = True
+            candidates = _np.flatnonzero(seen)
+            seen[candidates] = False
+        else:
+            candidates = _np.unique(members)
         terminated = candidates[
             (self.uncovered_count[candidates] == 0)
             & ~self.dead[candidates]
@@ -946,6 +1457,10 @@ class LaneRun:
         ops = self.ops
         live, starts, cells = edge_view
         if not live.size:
+            return False
+        if self.fused and not self._any_inc:
+            # No vertex leveled up this sweep, so every segment total
+            # below is zero — skip the reduceat (most deep-run sweeps).
             return False
         totals = _np.add.reduceat(self.k_inc[cells], starts)
         mask = totals > 0
@@ -991,16 +1506,20 @@ class LaneRun:
                 if not halving.size:
                     return True
         self.halving_count[halving] += counts
-        ops.scatter(
-            self.bid,
-            halving,
-            ops.shr_exact(ops.gather(self.bid, halving), counts),
-        )
-        ops.scatter(
-            self.raised,
-            halving,
-            ops.shr_exact(ops.gather(self.raised, halving), counts),
-        )
+        if self.fused:
+            ops.halve_at(self.bid, halving, counts)
+            ops.halve_at(self.raised, halving, counts)
+        else:
+            ops.scatter(
+                self.bid,
+                halving,
+                ops.shr_exact(ops.gather(self.bid, halving), counts),
+            )
+            ops.scatter(
+                self.raised,
+                halving,
+                ops.shr_exact(ops.gather(self.raised, halving), counts),
+            )
         return spilled_now
 
     def _raise_and_grow(self, edge_view, vertex_view):
@@ -1023,7 +1542,10 @@ class LaneRun:
                         self.alpha_num_e[raising],
                     ),
                 )
-            ops.iadd(self.delta, live, ops.gather(self.bid, live))
+            if self.fused:
+                ops.iadd_gather(self.delta, live, self.bid)
+            else:
+                ops.iadd(self.delta, live, ops.gather(self.bid, live))
         vertices = vertex_view[0]
         if vertices.size:
             ops.iadd(
@@ -1045,6 +1567,8 @@ class LaneRun:
     def _filter_live(self) -> None:
         self.live_v = self.live_v[self.active[self.inst_v[self.live_v]]]
         self.live_e = self.live_e[self.active[self.inst_e[self.live_e]]]
+        self._touch_edges()
+        self._touch_vertices()
 
     def _bump_halt(self, instances, round_a, extra: int = 0) -> None:
         """Raise instances' halting rounds to their phase-A round (+
@@ -1206,9 +1730,13 @@ class LaneRun:
             if spec:
                 terminated = self._apply_coverage(newly)
                 self._bump_halt(self.inst_v[terminated], round_a, 2)
-                self.live_v = self.live_v[
-                    ~self.in_cover[self.live_v] & ~self.dead[self.live_v]
-                ]
+                # The refilter is the identity when nothing joined or
+                # terminated; skipping it keeps the cached vertex view.
+                if joiners.size or terminated.size or not self.fused:
+                    self.live_v = self.live_v[
+                        ~self.in_cover[self.live_v] & ~self.dead[self.live_v]
+                    ]
+                    self._touch_vertices()
                 edge_view = self._edge_view()
                 if self._halve_edges(edge_view):
                     edge_view = self._edge_view()
@@ -1225,9 +1753,11 @@ class LaneRun:
                 self._raise_and_grow(edge_view, self._vertex_view())
                 terminated = self._apply_coverage(newly)
                 self._bump_halt(self.inst_v[terminated], round_a, 2)
-                self.live_v = self.live_v[
-                    ~self.in_cover[self.live_v] & ~self.dead[self.live_v]
-                ]
+                if joiners.size or terminated.size or not self.fused:
+                    self.live_v = self.live_v[
+                        ~self.in_cover[self.live_v] & ~self.dead[self.live_v]
+                    ]
+                    self._touch_vertices()
 
             if self._spilled_this_sweep:
                 for instance in self._spilled_this_sweep:

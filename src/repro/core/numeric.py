@@ -23,6 +23,7 @@ __all__ = [
     "half_power",
     "scaled_fraction",
     "raw_fraction",
+    "raw_fraction_list",
     "exact_scaled_int",
 ]
 
@@ -39,9 +40,13 @@ def _probe_fraction_slots() -> bool:
     value via the back door and checks it behaves exactly like the
     public constructor; any discrepancy or exception disables the fast
     path for the whole process, degrading to slow-but-correct.
+
+    The back door allocates through ``object.__new__`` — one C call,
+    skipping even the (int, None) dispatch of the Python-level
+    ``Fraction.__new__`` — so that is exactly what the probe exercises.
     """
     try:
-        value = Fraction.__new__(Fraction)
+        value = object.__new__(Fraction)
         value._numerator = 3
         value._denominator = 2
         reference = Fraction(3, 2)
@@ -77,7 +82,7 @@ def scaled_fraction(numerator: int, scale: int) -> Fraction:
     if not _HAS_FRACTION_SLOTS:
         return Fraction(numerator, scale)
     divisor = gcd(numerator, scale)
-    value = Fraction.__new__(Fraction)
+    value = object.__new__(Fraction)
     value._numerator = numerator // divisor
     value._denominator = scale // divisor
     return value
@@ -98,10 +103,36 @@ def raw_fraction(numerator: int, denominator: int) -> Fraction:
     """
     if not _HAS_FRACTION_SLOTS:
         return Fraction(numerator, denominator)
-    value = Fraction.__new__(Fraction)
+    value = object.__new__(Fraction)
     value._numerator = numerator
     value._denominator = denominator
     return value
+
+
+def raw_fraction_list(numerators, denominators) -> list[Fraction]:
+    """:func:`raw_fraction` over parallel sequences, loop kept local.
+
+    The lane finalizer normalizes a whole dual packing with one
+    vectorized gcd pass and then needs one Fraction per hyperedge; at
+    that volume the per-call overhead of :func:`raw_fraction` is the
+    dominant remaining cost, so this batch form inlines the slot
+    assembly.  Same contract: every pair must already be in lowest
+    terms with a positive denominator.
+    """
+    if not _HAS_FRACTION_SLOTS:
+        return [
+            Fraction(numerator, denominator)
+            for numerator, denominator in zip(numerators, denominators)
+        ]
+    values = []
+    append = values.append
+    new = object.__new__
+    for numerator, denominator in zip(numerators, denominators):
+        value = new(Fraction)
+        value._numerator = numerator
+        value._denominator = denominator
+        append(value)
+    return values
 
 
 def exact_scaled_int(value: Rational | int, scale: int) -> int:

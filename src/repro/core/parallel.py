@@ -11,9 +11,18 @@ inside each worker, and merges the per-instance results back in
 submission order.  Parallelism is purely an execution detail:
 
 * **cost-model sharding** — shards are balanced by
-  :func:`estimated_cost` (``nnz * expected-iterations``, an LPT greedy
-  assignment), not round-robin, so one heavy instance cannot serialize
-  the batch behind it;
+  :func:`corrected_cost` (an LPT greedy assignment), not round-robin,
+  so one heavy instance cannot serialize the batch behind it.  The
+  static :func:`estimated_cost` is ``nnz * expected-iterations``
+  scaled by a **lane-eligibility factor**: a cheap
+  :func:`~repro.core.kernels.lane_eligibility` probe predicts the
+  kernel lane the instance will run on, and big-int-bound instances
+  (whose per-cell cost grows with operand width) are costed
+  accordingly instead of as if they were int64.  On top of that,
+  workers report per-instance **observed solve times**, which
+  :class:`CostModel` folds into a live correction table (keyed by lane
+  + structure signature) consulted on the next call — the feedback
+  loop that keeps systematic misestimates from recurring;
 * **shared-memory transport** — a shard's CSR structure crosses the
   process boundary as one flat ``int64`` buffer in a
   ``multiprocessing.shared_memory`` block
@@ -44,12 +53,15 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from fractions import Fraction
+from types import SimpleNamespace
 
 from repro.core.batch import run_fastpath_batch
+from repro.core.kernels import MACHINE_LANES, lane_eligibility
 from repro.core.numeric import raw_fraction
-from repro.core.params import AlgorithmConfig
+from repro.core.params import AlgorithmConfig, resolve_alpha
 from repro.core.result import AlgorithmStats, CoverResult
 from repro.hypergraph.csr import (
     arena_hypergraphs,
@@ -65,8 +77,13 @@ except ImportError:  # pragma: no cover
     shared_memory = None
 
 __all__ = [
+    "COST_MODEL",
+    "CostModel",
+    "corrected_cost",
     "estimated_cost",
+    "observed_work",
     "partition_shards",
+    "predicted_lane",
     "run_fastpath_batch_parallel",
     "shard_payload",
     "ship_buffer",
@@ -85,8 +102,68 @@ _CRASH_WORKERS = False
 # Cost model and sharding
 # ----------------------------------------------------------------------
 
+#: Relative per-cell sweep cost of the fixed-width machine lanes: a
+#: two-limb op composes ~2 int64 passes per primitive, a three-limb op
+#: ~3.  Big-int instances pay a per-object interpreter floor
+#: (``_BIGINT_BASE_FACTOR``) plus width-proportional arithmetic —
+#: ``int`` multiplication cost grows with operand bits, so an instance
+#: whose weights span tens of thousands of bits is slower *per cell*
+#: by orders of magnitude, not by a constant.
+_LANE_FACTORS = {"int64": 1, "two-limb": 2, "three-limb": 3}
+_BIGINT_BASE_FACTOR = 8
+_BIGINT_WIDTH_DIVISOR = 512
 
-def estimated_cost(hypergraph: Hypergraph, config: AlgorithmConfig) -> int:
+
+def predicted_lane(hypergraph: Hypergraph, config: AlgorithmConfig) -> str:
+    """The kernel lane the fastpath ladder is expected to land on.
+
+    A cheap probe — the same float64-prefiltered
+    :func:`~repro.core.kernels.lane_eligibility` check the executors
+    use for admission, fed a structural scale proxy (``2 * Delta``,
+    the integer-weight initial-bid denominator) instead of the exact
+    iteration-0 state, so no scaled state is materialized.  Structural
+    disqualifiers (no numpy, fractional alphas, checked mode) predict
+    ``"bigint"`` — those instances really do run the scalar loop.
+    """
+    if hypergraph.num_edges == 0:
+        return "int64"
+    rank = hypergraph.rank
+    alpha = resolve_alpha(
+        config, rank, hypergraph.max_degree, hypergraph.max_degree
+    )
+    probe = SimpleNamespace(
+        alpha_num=(alpha.numerator,),
+        alpha_den=(alpha.denominator,),
+        scale=2 * max(1, hypergraph.max_degree),
+    )
+    for lane in MACHINE_LANES:
+        eligible, _ = lane_eligibility(hypergraph, config, probe, lane=lane)
+        if eligible:
+            return lane
+    return "bigint"
+
+
+def _lane_cost_factor(lane: str, hypergraph: Hypergraph) -> int:
+    """Relative per-cell cost multiplier for running on ``lane``."""
+    factor = _LANE_FACTORS.get(lane)
+    if factor is not None:
+        return factor
+    width = max(
+        (
+            weight.numerator.bit_length() + weight.denominator.bit_length()
+            for weight in hypergraph.weights
+        ),
+        default=1,
+    )
+    return _BIGINT_BASE_FACTOR + width // _BIGINT_WIDTH_DIVISOR
+
+
+def estimated_cost(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig,
+    *,
+    lane: str | None = None,
+) -> int:
     """Deterministic per-instance work estimate for shard balancing.
 
     Each sweep touches every live incidence cell once, so work is
@@ -95,29 +172,186 @@ def estimated_cost(hypergraph: Hypergraph, config: AlgorithmConfig) -> int:
     2**(f z)))``, levels by ``z``), for which ``log2(Delta) + z`` is a
     cheap structural proxy — exact balance is not required, only that
     a few heavy instances do not pile onto one shard.
+
+    The structural product is scaled by a **lane factor**: the per-cell
+    cost of a sweep depends on which kernel lane the instance lands on
+    (``lane`` overrides the :func:`predicted_lane` probe when the
+    caller already knows), and big-int-bound instances additionally pay
+    proportionally to their weights' bit width.  Costing a 36000-bit
+    straggler as if it were an int64 instance is how one shard ends up
+    ~60x heavier than its siblings while the balancer reports parity.
     """
     nnz = sum(len(members) for members in hypergraph.edges)
     expected_iterations = hypergraph.max_degree.bit_length() + config.z(
         hypergraph.rank
     )
-    return max(1, nnz) * max(1, expected_iterations)
+    if lane is None:
+        lane = predicted_lane(hypergraph, config)
+    return (
+        max(1, nnz)
+        * max(1, expected_iterations)
+        * _lane_cost_factor(lane, hypergraph)
+    )
+
+
+def observed_work(
+    hypergraph: Hypergraph, config: AlgorithmConfig, result: CoverResult
+) -> int:
+    """Post-hoc work proxy: like :func:`estimated_cost`, but exact.
+
+    After a solve the *actual* iteration count and the *actual* lane
+    are known, so a shard's measured wall time can be apportioned
+    across its instances in proportion to the work they really did —
+    this is what keeps a shard's one big-int straggler from smearing
+    its cost over the int64 instances that shared the arena.
+    """
+    nnz = sum(len(members) for members in hypergraph.edges)
+    return (
+        max(1, nnz)
+        * max(1, result.iterations)
+        * _lane_cost_factor(result.lane or "int64", hypergraph)
+    )
+
+
+class CostModel:
+    """Live correction table mapping estimates to observed solve rates.
+
+    Workers report per-instance observed solve times
+    (:func:`_solve_shard` returns them alongside the results); the
+    parent folds each into an exponential moving average of the
+    *seconds per estimated-cost unit* rate, keyed by ``(lane,
+    signature)`` where the signature is a coarse structural bucket
+    ``(rank, nnz.bit_length())``.  :func:`corrected_cost` multiplies
+    the static estimate by the learned rate for the instance's
+    predicted key (falling back to the global blended rate, then to a
+    neutral constant), so systematic misestimates — a lane factor that
+    is off for some structure shape on this machine — are corrected by
+    the second batch instead of recurring forever.  Thread-safe: the
+    streaming session observes from the pool's collector thread.
+    """
+
+    def __init__(self, smoothing: float = 0.3) -> None:
+        self._lock = threading.Lock()
+        self._rates: dict[tuple[str, tuple[int, int]], float] = {}
+        self._blended: float | None = None
+        self._smoothing = smoothing
+
+    @staticmethod
+    def signature(hypergraph: Hypergraph) -> tuple[int, int]:
+        """Coarse structural bucket: ``(rank, nnz.bit_length())``."""
+        nnz = sum(len(members) for members in hypergraph.edges)
+        return (hypergraph.rank, nnz.bit_length())
+
+    def observe(
+        self,
+        lane: str,
+        signature: tuple[int, int],
+        static_cost: int,
+        seconds: float,
+    ) -> None:
+        """Fold one observed solve time into the table."""
+        if seconds <= 0.0 or static_cost <= 0:
+            return
+        rate = seconds / static_cost
+        with self._lock:
+            key = (lane, signature)
+            previous = self._rates.get(key)
+            self._rates[key] = (
+                rate
+                if previous is None
+                else previous + self._smoothing * (rate - previous)
+            )
+            self._blended = (
+                rate
+                if self._blended is None
+                else self._blended + self._smoothing * (rate - self._blended)
+            )
+
+    def rate(self, lane: str, signature: tuple[int, int]) -> float:
+        """Seconds per estimated-cost unit for this key (or fallback)."""
+        with self._lock:
+            learned = self._rates.get((lane, signature))
+            if learned is not None:
+                return learned
+            return self._blended if self._blended is not None else 1.0
+
+    def snapshot(self) -> dict:
+        """Copy of the learned table (tests and diagnostics)."""
+        with self._lock:
+            return dict(self._rates)
+
+    def reset(self) -> None:
+        """Forget everything (tests; also isolates benchmark passes)."""
+        with self._lock:
+            self._rates.clear()
+            self._blended = None
+
+
+#: Process-wide model shared by the static sharded executor and the
+#: streaming session — observations from either inform both.
+COST_MODEL = CostModel()
+
+
+def corrected_cost(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig,
+    model: CostModel | None = None,
+) -> float:
+    """:func:`estimated_cost` times the learned rate for its key.
+
+    With no observations yet this is exactly the static estimate (the
+    neutral rate is 1.0), so first-call sharding stays deterministic;
+    afterwards the comparison between instances is in (approximate)
+    seconds.  Only relative magnitudes matter to the LPT balancer.
+    """
+    if model is None:
+        model = COST_MODEL
+    lane = predicted_lane(hypergraph, config)
+    static = estimated_cost(hypergraph, config, lane=lane)
+    return static * model.rate(lane, CostModel.signature(hypergraph))
+
+
+def _observe_instance(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig,
+    result: CoverResult,
+    seconds: float,
+) -> None:
+    """Feed one solved instance's observed time into the shared model.
+
+    The observation is keyed by the *actual* lane the instance ran on
+    (the worker reports it in the result), against the static estimate
+    for that same lane — so the learned rate measures how far the
+    structural ``nnz * iterations * factor`` product is from reality,
+    not prediction errors in the lane probe.
+    """
+    lane = result.lane or "int64"
+    static = estimated_cost(hypergraph, config, lane=lane)
+    COST_MODEL.observe(lane, CostModel.signature(hypergraph), static, seconds)
 
 
 def partition_shards(
-    hypergraphs, config: AlgorithmConfig, jobs: int
+    hypergraphs,
+    config: AlgorithmConfig,
+    jobs: int,
+    costs: list[int | float] | None = None,
 ) -> list[list[int]]:
     """Split instance indices into ``<= jobs`` cost-balanced shards.
 
-    LPT greedy: instances descend by :func:`estimated_cost` onto the
-    currently lightest shard.  Deterministic (ties break on index) and
-    within-shard indices stay ascending, so merged output order never
-    depends on scheduling.  Empty shards are dropped.
+    LPT greedy: instances descend by cost onto the currently lightest
+    shard.  ``costs`` supplies precomputed per-instance costs (the
+    parallel entry points pass :func:`corrected_cost` values); the
+    default is the static :func:`estimated_cost`, which is
+    deterministic.  Ties break on index and within-shard indices stay
+    ascending, so merged output order never depends on scheduling.
+    Empty shards are dropped.
     """
     count = len(hypergraphs)
     shard_count = max(1, min(jobs, count))
-    costs = [
-        estimated_cost(hypergraph, config) for hypergraph in hypergraphs
-    ]
+    if costs is None:
+        costs = [
+            estimated_cost(hypergraph, config) for hypergraph in hypergraphs
+        ]
     ranked = sorted(range(count), key=lambda index: (-costs[index], index))
     loads = [0] * shard_count
     members: list[list[int]] = [[] for _ in range(shard_count)]
@@ -241,7 +475,7 @@ def _attach_shm_bytes(name: str, size: int) -> bytes:
         return handle.read(size)
 
 
-def _solve_shard(payload: dict) -> tuple[int, list[tuple]]:
+def _solve_shard(payload: dict) -> tuple[int, list[tuple], list[float]]:
     """Worker entry point: solve one shard with the in-process executor.
 
     The payload carries the shard's serialized arena (by shared-memory
@@ -249,7 +483,10 @@ def _solve_shard(payload: dict) -> tuple[int, list[tuple]]:
     the parent's headroom budgets — shipping the budgets keeps parent
     and workers agreeing on lane admission even when tests shrink them
     to force spills.  Results return in the compact wire format of
-    :func:`_encode_result`.
+    :func:`_encode_result`, alongside per-instance observed solve
+    times: the shard's measured wall time apportioned by
+    :func:`observed_work` (actual lane, actual iterations), which the
+    parent feeds into :data:`COST_MODEL`.
     """
     if payload.get("crash"):  # pragma: no cover - exercised via subprocess
         os._exit(13)
@@ -270,11 +507,25 @@ def _solve_shard(payload: dict) -> tuple[int, list[tuple]]:
 
     kernels_module.INT64_HEADROOM_BITS = payload["int64_bits"]
     kernels_module.TWO_LIMB_HEADROOM_BITS = payload["two_limb_bits"]
+    kernels_module.THREE_LIMB_HEADROOM_BITS = payload["three_limb_bits"]
     batch_module._HEADROOM_BITS = payload["batch_bits"]
+    config = payload["config"]
+    start = time.perf_counter()
     results = run_fastpath_batch(
-        instances, payload["config"], verify=payload["verify"], arena=arena
+        instances, config, verify=payload["verify"], arena=arena
     )
-    return payload["shard"], [_encode_result(result) for result in results]
+    elapsed = time.perf_counter() - start
+    work = [
+        observed_work(instance, config, result)
+        for instance, result in zip(instances, results)
+    ]
+    total_work = sum(work) or 1
+    observed = [elapsed * share / total_work for share in work]
+    return (
+        payload["shard"],
+        [_encode_result(result) for result in results],
+        observed,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -396,6 +647,7 @@ def shard_payload(arena, shard, config, verify, *, crash: bool = False):
         "verify": verify,
         "int64_bits": kernels_module.INT64_HEADROOM_BITS,
         "two_limb_bits": kernels_module.TWO_LIMB_HEADROOM_BITS,
+        "three_limb_bits": kernels_module.THREE_LIMB_HEADROOM_BITS,
         "batch_bits": batch_module._HEADROOM_BITS,
         "crash": crash or _CRASH_WORKERS,
     }, block
@@ -430,7 +682,12 @@ def run_fastpath_batch_parallel(
     if jobs <= 1 or len(instances) <= 1:
         return run_fastpath_batch(instances, config, verify=verify)
 
-    shards = partition_shards(instances, config, jobs)
+    shards = partition_shards(
+        instances,
+        config,
+        jobs,
+        costs=[corrected_cost(instance, config) for instance in instances],
+    )
     if len(shards) <= 1:
         return run_fastpath_batch(instances, config, verify=verify)
 
@@ -458,12 +715,16 @@ def run_fastpath_batch_parallel(
         ]
         for shard, future in futures:
             try:
-                shard_id, shard_results = future.result()
+                shard_id, shard_results, observed = future.result()
             except BrokenExecutor:
                 failed.append(shard)
                 continue
-            for index, wire in zip(shards[shard_id], shard_results):
-                results[index] = _decode_result(wire, shard_id)
+            for index, wire, seconds in zip(
+                shards[shard_id], shard_results, observed
+            ):
+                result = _decode_result(wire, shard_id)
+                results[index] = result
+                _observe_instance(instances[index], config, result, seconds)
     except BrokenExecutor:  # pragma: no cover - pool died at submit time
         failed = [
             shard for shard in range(len(shards))

@@ -131,10 +131,12 @@ def finalize_result(
     Fractions.  ``dual_total`` lets scaled-integer executors pass the
     packing total they already hold as one numerator-over-scale pair
     instead of re-summing ``m`` reduced Fractions.  ``lane`` records
-    which arithmetic lane (int64 / two-limb / bigint) produced the raw
+    which arithmetic lane (int64 / two-limb / three-limb / bigint)
+    produced the raw
     values — metadata the scaled executors report for observability.
     """
-    weight = sum(hypergraph.weight(vertex) for vertex in cover)
+    weights = hypergraph.weights
+    weight = sum(weights[vertex] for vertex in cover)
     if dual_total is None:
         dual_total = sum(dual.values(), Fraction(0))
     certificate = None
@@ -144,8 +146,14 @@ def finalize_result(
         )
     # Alphas are identical across edges except under the local policy;
     # comparing distinct (numerator, denominator) pairs avoids m
-    # Fraction comparisons in the overwhelmingly common uniform case.
-    distinct = {(alpha.numerator, alpha.denominator) for alpha in alphas}
+    # Fraction comparisons in the overwhelmingly common uniform case —
+    # and when every entry is literally the same object (the global
+    # policy builds the list as ``[alpha] * m``), one C-speed identity
+    # scan replaces m attribute lookups and tuple constructions.
+    if alphas and all(alpha is alphas[0] for alpha in alphas):
+        distinct = {(alphas[0].numerator, alphas[0].denominator)}
+    else:
+        distinct = {(alpha.numerator, alpha.denominator) for alpha in alphas}
     if distinct:
         span = [Fraction(num, den) for num, den in distinct]
         alpha_min = min(span)

@@ -122,7 +122,8 @@ def solve_mwhvc(
         ``strict_bandwidth=True``, ``trace=...``).  For
         ``executor="fastpath"``, the single option ``lane=`` forces
         the entry point of the kernel-lane spill ladder
-        (``"auto"`` / ``"int64"`` / ``"two-limb"`` / ``"bigint"``; see
+        (``"auto"`` / ``"int64"`` / ``"two-limb"`` / ``"three-limb"``
+        / ``"bigint"``; see
         :mod:`repro.core.kernels`) — results are bit-identical on
         every lane, and the completing lane lands in
         ``CoverResult.lane``.

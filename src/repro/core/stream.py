@@ -3,10 +3,11 @@
 The static parallel executor (:mod:`repro.core.parallel`) answers one
 question — "here are K instances, solve them" — by cutting the batch
 into cost-balanced shards up front.  A serving workload asks a harder
-one: instances *arrive over time*, and the ``nnz * expected-iterations``
-cost model that balances the static shards can be wrong (a
-rational-weighted instance rides the big-int lane at many times its
-structural estimate).  This module is the serving answer:
+one: instances *arrive over time*, and even the lane-aware
+:func:`~repro.core.parallel.corrected_cost` estimate that balances the
+shards (static structure times the live observed-rate correction
+table) can still be wrong for a novel instance shape.  This module is
+the serving answer:
 
 * **admission** — :class:`BatchSession` is a context manager whose
   :meth:`~BatchSession.submit` accepts one hypergraph at a time and
@@ -62,9 +63,10 @@ from repro.core import parallel
 from repro.core.batch import run_fastpath_batch
 from repro.core.parallel import (
     _decode_result,
+    _observe_instance,
     _resolve_jobs,
     _solve_shard,
-    estimated_cost,
+    corrected_cost,
     shard_payload,
 )
 from repro.core.params import AlgorithmConfig
@@ -87,15 +89,30 @@ _CRASH_NEXT_DISPATCH = False
 _DUPLICATE_DISPATCH = False
 
 
-def _release_block(block) -> None:
-    """Close and unlink one shared-memory transport block (if any)."""
+def _release_block(block, on_error=None) -> None:
+    """Close and unlink one shared-memory transport block (if any).
+
+    ``FileNotFoundError`` (segment already unlinked, e.g. a duplicate
+    release after pool churn) and ``BufferError`` (an exported
+    memoryview still alive; the mapping is reclaimed at process exit)
+    are expected and benign.  Anything *else* is reported through
+    ``on_error`` instead of raised: this runs on the pool's collector
+    thread, where an escaped exception would silently kill completion
+    callbacks — and silently swallowing it would hide a real resource
+    leak.  The session surfaces such errors in its schedule log and
+    ``stats["cleanup_errors"]``.
+    """
     if block is None:
         return
-    block.close()
-    try:
-        block.unlink()
-    except FileNotFoundError:  # pragma: no cover
-        pass
+    for step in (block.close, block.unlink):
+        try:
+            step()
+        except (FileNotFoundError, BufferError):  # pragma: no cover
+            pass
+        except Exception as error:
+            if on_error is not None:
+                on_error(step.__name__, error)
+            return
 
 
 class StreamTicket:
@@ -155,10 +172,10 @@ class _Shard:
         self.entries: list[StreamTicket] = entries
         self.arena: BatchArena = arena
         self.config: AlgorithmConfig = config
-        self.costs: list[int] = costs
+        self.costs: list[float] = costs
 
     @property
-    def cost(self) -> int:
+    def cost(self) -> float:
         return sum(self.costs)
 
     def split(self, ids) -> tuple["_Shard", "_Shard"]:
@@ -258,6 +275,7 @@ class BatchSession:
             "splits": 0,
             "crashes": 0,
             "duplicates": 0,
+            "cleanup_errors": 0,
         }
         self._record = record_schedule
         #: The admission/schedule log: a list of event tuples (see
@@ -269,6 +287,16 @@ class BatchSession:
     def _log(self, *event) -> None:
         if self._record:
             self.schedule.append(event)
+
+    def _cleanup_error(self, step: str, error: BaseException) -> None:
+        """Surface an unexpected shared-memory release failure.
+
+        Counted and logged (``("cleanup-error", step, repr)``) rather
+        than raised — see :func:`_release_block`.
+        """
+        with self._lock:
+            self.stats["cleanup_errors"] += 1
+            self._log("cleanup-error", step, repr(error))
 
     # ------------------------------------------------------------------
     # Context manager / lifecycle
@@ -359,8 +387,12 @@ class BatchSession:
             return
         self._buffers[config] = []
         arena = pack_arena([ticket.hypergraph for ticket in entries])
+        # Corrected costs: the static lane-aware estimate times the
+        # live observed-rate table — earlier completions in this very
+        # session (or any parallel call in this process) sharpen the
+        # balance of later seals.
         costs = [
-            estimated_cost(ticket.hypergraph, config) for ticket in entries
+            corrected_cost(ticket.hypergraph, config) for ticket in entries
         ]
         shard = _Shard(next(self._shard_ids), entries, arena, config, costs)
         slot = min(range(self._jobs), key=lambda s: (self._loads[s], s))
@@ -460,7 +492,7 @@ class BatchSession:
             # The pool refused the work (broken mid-rebuild,
             # interpreter shutting down): solving in-process keeps the
             # ticket contract intact.
-            _release_block(block)
+            _release_block(block, self._cleanup_error)
             self._loads[slot] -= shard.cost
             self._solve_inline(shard)
             return
@@ -483,7 +515,7 @@ class BatchSession:
                 )
                 dup_future = pool.submit(_solve_shard, dup_payload)
             except BaseException:
-                _release_block(dup_block)
+                _release_block(dup_block, self._cleanup_error)
                 return
             dup_future.add_done_callback(
                 lambda done, slot=slot, shard=shard, block=dup_block,
@@ -498,10 +530,10 @@ class BatchSession:
 
     def _on_done(self, slot, shard, block, pool, future, *, occupies=True):
         """Completion callback (runs on the pool's collector thread)."""
-        _release_block(block)
+        _release_block(block, self._cleanup_error)
         try:
-            _, wire = future.result()
-            outcome, payload = "ok", wire
+            _, wire, observed = future.result()
+            outcome, payload = "ok", (wire, observed)
         except (BrokenExecutor, CancelledError):
             # A dead worker breaks the pool; external pool churn
             # (``shutdown_pool()``, a concurrent caller resizing the
@@ -516,10 +548,18 @@ class BatchSession:
                 self._inflight[slot] = None
                 self._loads[slot] -= shard.cost
             if outcome == "ok":
-                for ticket, wire_result in zip(shard.entries, payload):
-                    self._settle(
-                        ticket, result=_decode_result(wire_result, slot)
-                    )
+                wire_results, observed = payload
+                for ticket, wire_result, seconds in zip(
+                    shard.entries, wire_results, observed
+                ):
+                    result = _decode_result(wire_result, slot)
+                    if self._settle(ticket, result=result):
+                        # First-wins only: a deduplicated late copy
+                        # must not double-count its solve time.
+                        _observe_instance(
+                            ticket.hypergraph, shard.config, result,
+                            seconds,
+                        )
             elif outcome == "broken":
                 self.stats["crashes"] += 1
                 self._log("crash", shard.id, slot)
@@ -647,6 +687,7 @@ def replay_schedule(
         ("dispatch", shard_id, slot, ticket_ids)
         ("crash",    shard_id, slot)
         ("fallback", shard_id, None, ticket_ids)
+        ("cleanup-error", step_name, error_repr)
 
     Replay solves every executed group — each ``dispatch`` and each
     ``fallback`` — as one in-process batch, in log order, settling

@@ -37,7 +37,7 @@ import repro.core.kernels as kernels_module
 import repro.core.numeric as numeric_module
 from repro.core.batch import arena_eligibility
 from repro.core.fastpath import HAS_NUMPY, prepare_scaled_state, run_fastpath
-from repro.core.kernels import TwoLimbOps, lane_eligibility
+from repro.core.kernels import ThreeLimbOps, TwoLimbOps, lane_eligibility
 from repro.core.numeric import scaled_fraction
 from repro.core.params import AlgorithmConfig
 from repro.core.solver import solve_mwhvc, solve_mwhvc_batch
@@ -54,7 +54,7 @@ needs_numpy = pytest.mark.skipif(
     not HAS_NUMPY, reason="the machine-width kernel lanes require numpy"
 )
 
-LANES = ("int64", "two-limb", "bigint")
+LANES = ("int64", "two-limb", "three-limb", "bigint")
 
 OBSERVABLES = (
     "cover",
@@ -118,6 +118,28 @@ def test_lane_equality_huge_weights():
     hypergraph = mixed_rank_hypergraph(30, 50, 3, seed=17, weights=weights)
     config = AlgorithmConfig(epsilon=Fraction(1, 5))
     assert_lanes_match_lockstep(hypergraph, config)
+
+
+def test_lane_equality_beyond_two_limb():
+    """Weights beyond the two-limb 2**93 headroom land on three-limb."""
+    weights = [10**26 + 997 * v for v in range(24)]
+    hypergraph = mixed_rank_hypergraph(24, 40, 3, seed=19, weights=weights)
+    config = AlgorithmConfig(epsilon=Fraction(1, 5))
+    assert_lanes_match_lockstep(hypergraph, config)
+    if HAS_NUMPY:
+        auto = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+        assert auto.lane == "three-limb"
+
+
+def test_lane_equality_beyond_three_limb():
+    """Weights beyond even 2**124 take the big-int floor up front."""
+    weights = [10**38 + 31 * v for v in range(16)]
+    hypergraph = mixed_rank_hypergraph(16, 26, 3, seed=23, weights=weights)
+    config = AlgorithmConfig(epsilon=Fraction(1, 5))
+    assert_lanes_match_lockstep(hypergraph, config)
+    if HAS_NUMPY:
+        auto = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+        assert auto.lane == "bigint"
 
 
 def test_lane_equality_fractional_weights():
@@ -205,6 +227,12 @@ def test_midrun_spill_down_the_ladder(monkeypatch):
         assert getattr(spilled, attribute) == getattr(reference, attribute)
 
     monkeypatch.setattr(kernels_module, "TWO_LIMB_HEADROOM_BITS", 40)
+    widened = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+    assert widened.lane in ("three-limb", "bigint")
+    for attribute in OBSERVABLES:
+        assert getattr(widened, attribute) == getattr(reference, attribute)
+
+    monkeypatch.setattr(kernels_module, "THREE_LIMB_HEADROOM_BITS", 40)
     floored = solve_mwhvc(hypergraph, config=config, executor="fastpath")
     assert floored.lane == "bigint"
     for attribute in OBSERVABLES:
@@ -264,28 +292,78 @@ def test_scalar_spill_carry_resumes_in_place(monkeypatch, schedule):
 @needs_numpy
 @pytest.mark.parametrize("schedule", ["spec", "compact"])
 def test_scalar_spill_carry_to_bigint(monkeypatch, schedule):
-    """Both boundaries: int64 -> two-limb -> bigint, resuming twice."""
+    """Every boundary: int64 -> two-limb -> three-limb -> bigint,
+    resuming three times."""
     hypergraph = mixed_rank_hypergraph(
         20, 35, 4, seed=8, weights=uniform_weights(20, 1000, seed=9)
     )
     config = AlgorithmConfig(epsilon=Fraction(1, 7), schedule=schedule)
     reference = solve_mwhvc(hypergraph, config=config, executor="lockstep")
     runs = _spy_lane_runs(monkeypatch)
-    # Equal budgets: the resumed two-limb engine re-executes the
-    # interrupted sweep and trips the same ceiling, carrying again.
+    # Equal budgets: each resumed engine re-executes the interrupted
+    # sweep and trips the same ceiling, carrying again.
     monkeypatch.setattr(kernels_module, "INT64_HEADROOM_BITS", 41)
     monkeypatch.setattr(kernels_module, "TWO_LIMB_HEADROOM_BITS", 41)
+    monkeypatch.setattr(kernels_module, "THREE_LIMB_HEADROOM_BITS", 41)
     result = solve_mwhvc(hypergraph, config=config, executor="fastpath")
     assert result.lane == "bigint"
     for attribute in OBSERVABLES:
         assert getattr(result, attribute) == getattr(reference, attribute)
     # Every machine engine spilled with a carry; offsets chain upward.
-    assert [run.ops.name for run in runs] == ["int64", "two-limb"]
-    first = runs[0].carries_out[0]
-    second = runs[1].carries_out[0]
-    assert int(runs[1].offsets[0]) == first["iterations"] >= 1
-    assert second["iterations"] >= first["iterations"]
-    assert second["iterations"] < result.iterations
+    assert [run.ops.name for run in runs] == [
+        "int64", "two-limb", "three-limb"
+    ]
+    carries = [run.carries_out[0] for run in runs]
+    assert int(runs[1].offsets[0]) == carries[0]["iterations"] >= 1
+    assert int(runs[2].offsets[0]) == carries[1]["iterations"]
+    previous = 0
+    for carry in carries:
+        assert carry["iterations"] >= previous
+        previous = carry["iterations"]
+    assert carries[-1]["iterations"] < result.iterations
+
+
+@needs_numpy
+def test_two_limb_spill_resumes_on_three_limb(monkeypatch):
+    """A two-limb overflow carries onto the three-limb lane mid-run."""
+    hypergraph = mixed_rank_hypergraph(
+        20, 35, 4, seed=8, weights=uniform_weights(20, 1000, seed=9)
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 7))
+    reference = solve_mwhvc(hypergraph, config=config, executor="lockstep")
+    runs = _spy_lane_runs(monkeypatch)
+    monkeypatch.setattr(kernels_module, "TWO_LIMB_HEADROOM_BITS", 41)
+    result = solve_mwhvc(
+        hypergraph, config=config, executor="fastpath", lane="two-limb"
+    )
+    assert result.lane == "three-limb"
+    for attribute in OBSERVABLES:
+        assert getattr(result, attribute) == getattr(reference, attribute)
+    assert [run.ops.name for run in runs] == ["two-limb", "three-limb"]
+    carry = runs[0].carries_out[0]
+    assert int(runs[1].offsets[0]) == carry["iterations"] >= 1
+    assert carry["iterations"] < result.iterations
+
+
+@needs_numpy
+def test_int64_spill_skips_ineligible_two_limb(monkeypatch):
+    """An int64 overflow whose carried scale the two-limb lane cannot
+    admit resumes directly on three-limb — the ladder skips rungs."""
+    hypergraph = mixed_rank_hypergraph(
+        20, 35, 4, seed=8, weights=uniform_weights(20, 1000, seed=9)
+    )
+    config = AlgorithmConfig(epsilon=Fraction(1, 7))
+    reference = solve_mwhvc(hypergraph, config=config, executor="lockstep")
+    runs = _spy_lane_runs(monkeypatch)
+    monkeypatch.setattr(kernels_module, "INT64_HEADROOM_BITS", 41)
+    monkeypatch.setattr(kernels_module, "TWO_LIMB_HEADROOM_BITS", 20)
+    result = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+    assert result.lane == "three-limb"
+    for attribute in OBSERVABLES:
+        assert getattr(result, attribute) == getattr(reference, attribute)
+    assert [run.ops.name for run in runs] == ["int64", "three-limb"]
+    carry = runs[0].carries_out[0]
+    assert int(runs[1].offsets[0]) == carry["iterations"] >= 1
 
 
 @needs_numpy
@@ -505,6 +583,13 @@ def test_cli_solve_lane_flag(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     if HAS_NUMPY:
         assert payload["lane"] == "two-limb"
+    assert main(
+        ["solve", str(path), "--executor", "fastpath", "--lane",
+         "three-limb", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    if HAS_NUMPY:
+        assert payload["lane"] == "three-limb"
     # Lane forcing is a fastpath-only option.
     assert main(
         ["solve", str(path), "--executor", "lockstep", "--lane", "int64"]
@@ -574,6 +659,71 @@ def test_two_limb_roundtrip_and_ops():
     sums = TwoLimbOps.reduceat(cells, starts)
     assert TwoLimbOps.tolist_slice(sums, slice(None)) == [
         (1 << 70) + (1 << 32) - 1, 13, 1 << 90
+    ]
+
+
+@needs_numpy
+def test_three_limb_roundtrip_and_ops():
+    import numpy as np
+
+    # Values straddling every representation boundary: single limb,
+    # two limbs (< 2**64), the two-limb lane's 2**93 headroom, and up
+    # to just under the three-limb 2**124 ceiling.
+    values = [0, 1, (1 << 32) - 1, 1 << 32, (1 << 64) + 12345,
+              (1 << 93) + (1 << 40) + 7, (1 << 123) + (1 << 65) + 9,
+              (10**26) * 3 + 1]
+    triple = ThreeLimbOps.from_list(values)
+    assert ThreeLimbOps.tolist_slice(triple, slice(None)) == values
+
+    # Factors beyond 2**31 exercise the split (two 31-bit halves)
+    # multiply; the products stay inside the headroom by construction.
+    small = [0, 1, (1 << 32) - 1, 1 << 32, (1 << 64) + 12345]
+    factors = np.array(
+        [(1 << 62) - 1, (1 << 35) + 3, 2**31 - 1, 601, 7],
+        dtype=np.int64,
+    )
+    product = ThreeLimbOps.mul_int(ThreeLimbOps.from_list(small), factors)
+    assert ThreeLimbOps.tolist_slice(product, slice(None)) == [
+        value * int(factor) for value, factor in zip(small, factors)
+    ]
+    # Scalar factors take the same split path.
+    scalar = ThreeLimbOps.mul_int(
+        ThreeLimbOps.from_list(small), np.int64((1 << 40) + 11)
+    )
+    assert ThreeLimbOps.tolist_slice(scalar, slice(None)) == [
+        value * ((1 << 40) + 11) for value in small
+    ]
+
+    # Shifts chunk through the 30-bit per-step budget; 75 > 2 chunks.
+    shifts = np.array([0, 75, 62, 31, 45, 20, 0, 5], dtype=np.int64)
+    shifted = ThreeLimbOps.shl(triple, shifts)
+    assert ThreeLimbOps.tolist_slice(shifted, slice(None)) == [
+        value << int(shift) for value, shift in zip(values, shifts)
+    ]
+    back = ThreeLimbOps.shr_exact(shifted, shifts)
+    assert ThreeLimbOps.tolist_slice(back, slice(None)) == values
+
+    nonzero = [value for value in values if value]
+    tz = ThreeLimbOps.trailing_zeros(ThreeLimbOps.from_list(nonzero))
+    expected = [(value & -value).bit_length() - 1 for value in nonzero]
+    assert tz.tolist() == expected
+
+    left = ThreeLimbOps.from_list([5, 1 << 110, 3, 1 << 64])
+    right = ThreeLimbOps.from_list([5, (1 << 110) + 1, 2, (1 << 64) - 1])
+    assert ThreeLimbOps.gt(left, right).tolist() == [
+        False, False, True, True
+    ]
+    assert ThreeLimbOps._ge(left, right).tolist() == [
+        True, False, True, True
+    ]
+
+    cells = ThreeLimbOps.from_list(
+        [1 << 100, (1 << 64) - 1, 1, 12, 1 << 120]
+    )
+    starts = np.array([0, 2, 4], dtype=np.int64)
+    sums = ThreeLimbOps.reduceat(cells, starts)
+    assert ThreeLimbOps.tolist_slice(sums, slice(None)) == [
+        (1 << 100) + (1 << 64) - 1, 13, 1 << 120
     ]
 
 
@@ -689,6 +839,7 @@ def test_run_fastpath_state_survives_lane_spills(monkeypatch):
     reference = run_fastpath(hypergraph, config)
     monkeypatch.setattr(kernels_module, "INT64_HEADROOM_BITS", 4)
     monkeypatch.setattr(kernels_module, "TWO_LIMB_HEADROOM_BITS", 4)
+    monkeypatch.setattr(kernels_module, "THREE_LIMB_HEADROOM_BITS", 4)
     state = prepare_scaled_state(hypergraph, config)
     floored = run_fastpath(hypergraph, config, state=state)
     assert floored.lane == "bigint"
