@@ -1,0 +1,293 @@
+"""E13 — TCP serving front end vs the single-client stdin baseline.
+
+``repro-cover serve --tcp`` (:mod:`repro.core.server`) multiplexes
+concurrent clients over one :class:`~repro.core.stream.BatchSession`.
+This experiment is its acceptance gate:
+
+* **exactness** — every response body must be bit-identical to a solo
+  ``executor="fastpath"`` run of the same instance, across all clients
+  and lanes (provenance fields aside);
+* **throughput** — 8 concurrent TCP clients pushing a mixed corpus
+  must reach at least 1.0x the throughput of the pre-existing
+  single-client stdin front end (``repro-cover serve --json`` fed the
+  same corpus as ``.hg`` paths) on multi-core machines.  The network
+  tier may not cost concurrency what it buys in overlap.  Single-core
+  boxes record the observed ratio with a null floor, like E11/E12;
+* **latency** — client-observed per-request p50/p95/p99 land in the
+  published record (and the ``BENCH_3.json`` trend series), so tail
+  regressions are visible across commits even where the throughput
+  gate alone would stay green.
+
+The corpus deliberately mixes lanes: mostly int64-lane integer-weight
+instances, a few small-denominator rationals (multi-limb lanes), and a
+few spill-forcing stragglers whose prime denominators push the lcm
+past every machine-lane headroom (big-int lane) with ~3000-bit
+numerators — wide enough to dominate a shard, narrow enough that the
+``.hg`` decimal tokens stay inside CPython's default int<->str guard
+the stdin baseline runs under.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import time
+from fractions import Fraction
+
+from conftest import publish, publish_json
+
+from repro.analysis.tables import render_table
+from repro.core.params import AlgorithmConfig
+from repro.core.server import CoverClient, CoverServer, _percentile
+from repro.core.solver import solve_mwhvc
+from repro.hypergraph import io as hg_io
+from repro.hypergraph.generators import regular_hypergraph, uniform_weights
+
+N = 60
+RANK = 3
+DEGREE = 9
+EPSILON = Fraction(1, 200)
+CLIENTS = 8
+INT_INSTANCES = 32
+RATIONAL_INSTANCES = 8
+SPILL_INSTANCES = 8
+SPILL_BITS = 3_000
+SERVE_FLOOR = 1.0
+SMALL_DENOMINATORS = (2, 3, 4, 5, 6, 7, 8, 9)
+SPILL_PRIMES = (
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197,
+)
+
+OBSERVABLE_KEYS = ("cover", "weight", "iterations", "rounds", "dual_total")
+
+
+def build_corpus():
+    """48 mixed-lane instances: 32 int64, 8 multi-limb, 8 big-int."""
+    corpus = [
+        regular_hypergraph(
+            N, RANK, DEGREE, seed=seed,
+            weights=uniform_weights(N, 10_000, seed=seed + 9),
+        )
+        for seed in range(INT_INSTANCES)
+    ]
+    for seed in range(RATIONAL_INSTANCES):
+        weights = [
+            Fraction(3 * i + 2, SMALL_DENOMINATORS[i % len(SMALL_DENOMINATORS)])
+            for i in range(N)
+        ]
+        corpus.append(
+            regular_hypergraph(
+                N, RANK, DEGREE, seed=100 + seed, weights=weights
+            )
+        )
+    for seed in range(SPILL_INSTANCES):
+        weights = [
+            Fraction(
+                (1 << SPILL_BITS) + 7 * i + seed + 1,
+                SPILL_PRIMES[i % len(SPILL_PRIMES)],
+            )
+            for i in range(N)
+        ]
+        corpus.append(
+            regular_hypergraph(
+                N, RANK, DEGREE, seed=200 + seed, weights=weights
+            )
+        )
+    return corpus
+
+
+def solo_reference(corpus, config):
+    references = []
+    for hypergraph in corpus:
+        result = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+        data = result.as_dict()
+        data.pop("lane", None)
+        data.pop("worker", None)
+        references.append(data)
+    return references
+
+
+def encode_corpus(corpus):
+    """Pre-encoded request lines, one per instance.
+
+    A load generator builds its corpus up front; what the timed region
+    measures is the serving path, not the generator's serialization —
+    symmetric with the stdin baseline, whose ``.hg`` files are written
+    before the clock starts.
+    """
+    from repro.core.server import instance_payload
+
+    return [
+        CoverClient.encode(
+            {"op": "solve", "id": f"r{position}", **instance_payload(hypergraph)}
+        )
+        for position, hypergraph in enumerate(corpus)
+    ]
+
+
+async def drive_clients(encoded, config):
+    """One concurrent serving pass; returns (responses, latencies, stats)."""
+    server = CoverServer(config=config, jobs=2, max_batch=8)
+    host, port = await server.start()
+    try:
+        clients = await asyncio.gather(
+            *[CoverClient.connect(host, port) for _ in range(CLIENTS)]
+        )
+        try:
+            latencies = [None] * len(encoded)
+            responses = [None] * len(encoded)
+
+            async def run_one(position):
+                key, line = encoded[position]
+                started = time.perf_counter()
+                response = await clients[position % CLIENTS].request_encoded(
+                    key, line
+                )
+                latencies[position] = time.perf_counter() - started
+                responses[position] = response
+
+            await asyncio.gather(
+                *[run_one(position) for position in range(len(encoded))]
+            )
+            stats = await clients[0].stats()
+        finally:
+            for client in clients:
+                await client.close()
+    finally:
+        await server.shutdown()
+    return responses, latencies, stats
+
+
+def run_stdin_baseline(paths, monkeypatch, capsys):
+    """One single-client pass through the stdin front end."""
+    import io as _io
+
+    from repro.cli import main
+
+    monkeypatch.setattr("sys.stdin", _io.StringIO("\n".join(paths) + "\n"))
+    code = main([
+        "serve", "--jobs", "2", "--json", "--epsilon", str(EPSILON),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    lines = [line for line in captured.out.splitlines() if line]
+    assert len(lines) == len(paths)
+
+
+def test_serve_concurrent_latency_gate(benchmark, tmp_path, monkeypatch, capsys):
+    """Acceptance: 8 concurrent TCP clients >= 1.0x the stdin
+    single-client front end on the mixed corpus (multi-core; observed
+    ratio with a null floor on single-core boxes), bit-identical
+    responses, published latency percentiles."""
+    corpus = build_corpus()
+    config = AlgorithmConfig(epsilon=EPSILON)
+    cpus = os.cpu_count() or 1
+    gated = cpus >= 2
+
+    paths = []
+    for position, hypergraph in enumerate(corpus):
+        path = tmp_path / f"instance{position:03d}.hg"
+        hg_io.save(hypergraph, path)
+        paths.append(str(path))
+
+    encoded = encode_corpus(corpus)
+
+    # Warm-up: pool spawn + per-worker imports on both front ends.
+    asyncio.run(drive_clients(encoded[:4], config))
+    run_stdin_baseline(paths[:4], monkeypatch, capsys)
+
+    def run_pair():
+        stdin_times = []
+        tcp_times = []
+        for _ in range(2):
+            t0 = time.perf_counter()
+            run_stdin_baseline(paths, monkeypatch, capsys)
+            t1 = time.perf_counter()
+            responses, latencies, stats = asyncio.run(
+                drive_clients(encoded, config)
+            )
+            t2 = time.perf_counter()
+            stdin_times.append(t1 - t0)
+            tcp_times.append(t2 - t1)
+        return responses, latencies, stats, min(stdin_times), min(tcp_times)
+
+    responses, latencies, stats, stdin_s, tcp_s = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+
+    references = solo_reference(corpus, config)
+    lanes = set()
+    for position, (response, reference) in enumerate(
+        zip(responses, references)
+    ):
+        assert response["ok"], response
+        body = dict(response["result"])
+        lanes.add(body.pop("lane", None))
+        body.pop("worker", None)
+        assert body == reference, (
+            f"response[{position}] drifted from solo fastpath"
+        )
+    assert "bigint" in lanes, (
+        f"the spill stragglers must ride the big-int lane, saw {lanes}"
+    )
+
+    ordered = sorted(latencies)
+    p50 = _percentile(ordered, 0.50) * 1e3
+    p95 = _percentile(ordered, 0.95) * 1e3
+    p99 = _percentile(ordered, 0.99) * 1e3
+    throughput = len(corpus) / tcp_s
+    baseline = len(corpus) / stdin_s
+    speedup = throughput / baseline
+
+    table = render_table(
+        ["mode", "seconds", "req/s", "vs stdin"],
+        [
+            [
+                f"tcp x{CLIENTS} clients",
+                f"{tcp_s:.3f}",
+                f"{throughput:.1f}",
+                f"{speedup:.2f}x",
+            ],
+            ["stdin single client", f"{stdin_s:.3f}", f"{baseline:.1f}", "1.00x"],
+        ],
+        title=(
+            f"E13 — serving {len(corpus)} mixed-lane instances "
+            f"(n={N}, eps={EPSILON}, {CLIENTS} clients, jobs=2, "
+            f"{cpus} cpu(s); latency p50/p95/p99 "
+            f"{p50:.1f}/{p95:.1f}/{p99:.1f} ms)"
+        ),
+    )
+    publish("serve_latency", table)
+    publish_json(
+        "serve_latency",
+        {
+            "gate": "serve_concurrent_vs_stdin_throughput",
+            "instances": len(corpus),
+            "clients": CLIENTS,
+            "n": N,
+            "epsilon": str(EPSILON),
+            "spill_instances": SPILL_INSTANCES,
+            "spill_bits": SPILL_BITS,
+            "cpus": cpus,
+            "stdin_seconds": round(stdin_s, 6),
+            "tcp_seconds": round(tcp_s, 6),
+            "throughput_rps": round(throughput, 3),
+            "baseline_rps": round(baseline, 3),
+            "speedup": round(speedup, 3),
+            "p50_ms": round(p50, 3),
+            "p95_ms": round(p95, 3),
+            "p99_ms": round(p99, 3),
+            "server_latency": stats["latency"],
+            "session_stats": stats["session"]["stats"],
+            "floor": SERVE_FLOOR if gated else None,
+            "gated": gated,
+            "bit_identical": True,
+        },
+    )
+    if gated:
+        assert speedup >= SERVE_FLOOR, (
+            f"concurrent serving {speedup:.2f}x below the "
+            f"{SERVE_FLOOR}x stdin-baseline floor on {cpus} cpus"
+        )

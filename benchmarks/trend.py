@@ -184,6 +184,11 @@ def main(argv: list[str] | None = None) -> int:
         speedup = entry.get("speedup", "n/a")
         floor = entry.get("floor", "n/a")
         print(f"  {name}: speedup {speedup}x (floor {floor}x)")
+        if "p99_ms" in entry:
+            print(
+                f"    latency p50/p95/p99: {entry.get('p50_ms')}/"
+                f"{entry.get('p95_ms')}/{entry['p99_ms']} ms"
+            )
     failures = failing_gates(entries)
     for failure in failures:
         print(f"error: {failure}", file=sys.stderr)

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""TCP serving demo: concurrent clients against ``repro-cover serve --tcp``.
+
+Boots the asyncio network front end (:class:`repro.core.server.CoverServer`)
+in-process on a free port, then drives it the way a real deployment
+would be driven:
+
+* four :class:`~repro.core.server.CoverClient` connections pipeline a
+  mixed batch of requests concurrently — integer weights next to exact
+  rationals, a per-request ``epsilon`` override on some;
+* one request is cancelled mid-flight with the ``cancel`` verb and one
+  carries a deliberately impossible ``deadline`` — both come back as
+  error responses while every other request is answered normally;
+* the ``stats`` verb reports queue depth, scheduler counters and
+  p50/p95/p99 request latency;
+* shutdown drains gracefully: every admitted request is answered first.
+
+Every successful response is bit-identical to a solo
+``executor="fastpath"`` solve — the demo checks a sample.
+
+Run:  python examples/tcp_client.py
+"""
+
+import asyncio
+from fractions import Fraction
+
+from repro.core.params import AlgorithmConfig
+from repro.core.parallel import shutdown_pool
+from repro.core.server import CoverClient, CoverServer
+from repro.core.solver import solve_mwhvc
+from repro.hypergraph.generators import regular_hypergraph, uniform_weights
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 5
+
+
+def make_request(index: int):
+    """One instance per request: mostly integers, some exact rationals."""
+    n = 40
+    if index % 5 == 3:
+        primes = (101, 103, 107, 109, 113, 127, 131, 137)
+        weights = [
+            Fraction(3 * i + 2, primes[i % len(primes)]) for i in range(n)
+        ]
+    else:
+        weights = uniform_weights(n, 30, seed=index)
+    return regular_hypergraph(n, 3, 6, seed=index, weights=weights)
+
+
+async def run_client(host, port, client_index, instances):
+    """One connection pipelining its whole batch (plus one override)."""
+    client = await CoverClient.connect(host, port)
+    try:
+        coroutines = []
+        for position, hypergraph in enumerate(instances):
+            if position == 2:
+                # Per-request config: this one solves sharper than the
+                # server's default epsilon.
+                coroutines.append(client.solve(hypergraph, epsilon="1/100"))
+            else:
+                coroutines.append(client.solve(hypergraph))
+        return await asyncio.gather(*coroutines)
+    finally:
+        await client.close()
+
+
+async def main_async() -> None:
+    config = AlgorithmConfig(epsilon=Fraction(1, 50))
+    server = CoverServer(config=config, jobs=2, max_batch=6)
+    host, port = await server.start()
+    print(f"server listening on {host}:{port}")
+
+    batches = [
+        [
+            make_request(client_index * REQUESTS_PER_CLIENT + position)
+            for position in range(REQUESTS_PER_CLIENT)
+        ]
+        for client_index in range(CLIENTS)
+    ]
+    control = await CoverClient.connect(host, port)
+    try:
+        # A doomed pair rides alongside the real traffic: one request
+        # cancelled mid-flight, one with a deadline it cannot make.
+        doomed = asyncio.ensure_future(
+            control.solve(make_request(90), request_id="doomed")
+        )
+        hopeless = asyncio.ensure_future(
+            control.solve(make_request(91), deadline=1e-4)
+        )
+        await asyncio.sleep(0)  # let both requests hit the wire
+        cancel_ack = await control.cancel("doomed")
+
+        results = await asyncio.gather(
+            *[
+                run_client(host, port, client_index, batches[client_index])
+                for client_index in range(CLIENTS)
+            ]
+        )
+        cancelled, timed_out = await doomed, await hopeless
+        print(
+            f"  control plane  : cancel acknowledged="
+            f"{cancel_ack['cancelled']}, cancelled request answered "
+            f"kind={cancelled.get('kind', 'ok')!r}, deadline request "
+            f"kind={timed_out.get('kind', 'ok')!r}"
+        )
+
+        stats = await control.stats()
+        latency = stats["latency"]
+        session = stats["session"]
+        print(
+            f"  served         : {latency['count']} solves, latency "
+            f"p50/p95/p99 = {latency.get('p50_ms')}/"
+            f"{latency.get('p95_ms')}/{latency.get('p99_ms')} ms"
+        )
+        print(
+            f"  scheduler      : {session['stats']['shards']} shards, "
+            f"{session['stats']['steals']} steals, "
+            f"{session['stats']['cancelled']} cancelled, "
+            f"{session['stats']['timeouts']} timeouts"
+        )
+        print(f"  lanes          : {stats['lanes']}")
+    finally:
+        await control.close()
+        await server.shutdown()
+    print("  drain          : server shut down with every request answered")
+
+    # Exactness spot-check: a served response == solo fastpath, bit
+    # for bit (lane/worker are provenance, not results).
+    sample = results[1][4]
+    body = dict(sample["result"])
+    body.pop("lane", None)
+    body.pop("worker", None)
+    solo = solve_mwhvc(
+        batches[1][4], config=config, executor="fastpath"
+    ).as_dict()
+    solo.pop("lane", None)
+    solo.pop("worker", None)
+    assert sample["ok"] and body == solo
+    print("  exactness      : served responses == solo fastpath (checked)")
+
+
+def main() -> None:
+    asyncio.run(main_async())
+    shutdown_pool()
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,12 @@ serve
     Stream instance file paths from stdin through a
     :class:`~repro.core.stream.BatchSession` — one result line per
     instance, admission micro-batched and scheduled across the worker
-    pool while paths keep arriving.
+    pool while paths keep arriving.  With ``--tcp HOST:PORT`` it
+    becomes the network front end instead
+    (:class:`~repro.core.server.CoverServer`): concurrent clients
+    speaking newline-delimited JSON, per-request cancellation and
+    deadlines, bounded admission with backpressure, and a ``stats``
+    verb.
 generate
     Write a random instance to a ``.hg`` file.
 stats
@@ -156,8 +161,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve",
         help=(
-            "stream instance file paths from stdin through a batch "
-            "session (one result line per instance)"
+            "serve instances through a batch session: paths from stdin "
+            "(default), or a TCP JSON protocol with --tcp HOST:PORT"
+        ),
+    )
+    serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "serve concurrent clients over TCP (newline-delimited JSON "
+            "protocol; port 0 picks a free port, reported on stdout) "
+            "instead of reading instance paths from stdin"
         ),
     )
     serve.add_argument(
@@ -184,9 +199,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="micro-batch size cap for compatible submissions",
     )
     serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        metavar="R",
+        help=(
+            "TCP only: admission bound — requests in flight across all "
+            "clients before backpressure pauses their sockets"
+        ),
+    )
+    serve.add_argument(
         "--json",
         action="store_true",
-        help="print one JSON object per line instead of summaries",
+        help=(
+            "stdin mode only: print one JSON object per line instead "
+            "of summaries"
+        ),
     )
 
     generate = commands.add_parser(
@@ -333,6 +361,73 @@ def _dispatch_batch(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_host_port(text: str) -> tuple[str, int]:
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host:
+        raise InvalidInstanceError(
+            f"--tcp expects HOST:PORT, got {text!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as error:
+        raise InvalidInstanceError(
+            f"--tcp expects an integer port, got {port_text!r}"
+        ) from error
+    if not 0 <= port <= 65535:
+        raise InvalidInstanceError(f"--tcp port out of range: {port}")
+    return host.strip("[]"), port
+
+
+def _dispatch_serve_tcp(arguments: argparse.Namespace) -> int:
+    """The network front end: concurrent TCP clients over one session.
+
+    Binds, reports the actual address on stdout (``serving on
+    HOST:PORT`` — port 0 picks a free one, so harnesses parse this
+    line), then serves until SIGINT/SIGTERM, draining gracefully:
+    every admitted request is answered before the session closes.
+    """
+    import asyncio
+    import signal
+
+    from repro.core.server import CoverServer
+
+    host, port = _parse_host_port(arguments.tcp)
+    config = AlgorithmConfig(
+        epsilon=arguments.epsilon, schedule=arguments.schedule
+    )
+
+    async def run() -> None:
+        server = CoverServer(
+            host,
+            port,
+            config=config,
+            jobs=arguments.jobs,
+            max_batch=arguments.max_batch,
+            max_pending=arguments.max_pending,
+        )
+        bound_host, bound_port = await server.start()
+        print(f"serving on {bound_host}:{bound_port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signal_number in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signal_number, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without signal handler support
+        try:
+            await stop.wait()
+        except KeyboardInterrupt:
+            pass
+        print("draining ...", file=sys.stderr, flush=True)
+        await server.shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass  # drain already ran (or never started accepting)
+    return 0
+
+
 def _dispatch_serve(arguments: argparse.Namespace) -> int:
     """The serving loop: paths in on stdin, results out as they land.
 
@@ -344,6 +439,8 @@ def _dispatch_serve(arguments: argparse.Namespace) -> int:
     to load is reported on stderr without stopping the loop; the exit
     code is 2 if any line failed, else 0.
     """
+    if arguments.tcp:
+        return _dispatch_serve_tcp(arguments)
     from repro.core.stream import BatchSession
 
     config = AlgorithmConfig(

@@ -1,0 +1,864 @@
+"""An asyncio TCP serving front end over :class:`~repro.core.stream.BatchSession`.
+
+``repro-cover serve`` historically spoke newline-delimited results to a
+single stdin client.  This module is the network tier on top of the
+same streaming executor: many concurrent clients speak a
+**newline-delimited JSON** protocol to one :class:`CoverServer`, whose
+instances are micro-batched, scheduled, stolen and solved by the
+session exactly as if they had arrived from one caller — bit-identical
+to a solo ``run_fastpath`` per request.
+
+Protocol (one JSON object per line, UTF-8)::
+
+    -> {"op": "solve", "id": 7, "n": 4, "edges": [[0, 1], [2, 3]],
+        "weights": [1, "3/2", 2, 1], "epsilon": "1/3",
+        "deadline": 5.0, "include_dual": false}
+    <- {"op": "solve", "id": 7, "ok": true, "latency_ms": 1.93,
+        "result": {"cover": [...], "weight": ..., ...}}
+
+    -> {"op": "cancel", "id": 7}
+    <- {"op": "cancel", "id": 7, "ok": true, "cancelled": true}
+
+    -> {"op": "stats"}
+    <- {"op": "stats", "ok": true, "server": {...}, "session": {...},
+        "latency": {"count": ..., "p50_ms": ..., "p95_ms": ...,
+        "p99_ms": ...}, "lanes": {"int64": ..., "bigint": ...}}
+
+Failures answer ``{"ok": false, "kind": ..., "error": ...}`` with
+``kind`` one of ``bad-request`` (malformed line/instance), ``timeout``
+(missed ``deadline``), ``cancelled``, ``error`` (solver-level, e.g.
+round limit) or ``internal``.  Weights and epsilon are exact: integers
+pass as JSON numbers, rationals as canonical ``"num/den"`` strings.
+
+Design notes
+------------
+
+* **admission is bounded** — at most ``max_pending`` requests may be
+  past-parse but not-yet-responded, enforced with a semaphore the
+  connection handlers acquire *before* reading further lines.  A
+  client bursting past the bound simply stops being read (TCP
+  backpressure); a **slow-reading** client holds only its own slots,
+  so it can never stall the scheduler or other clients;
+* **a dispatcher thread owns admission into the session** —
+  ``session.submit`` seals and packs CSR arenas under the session
+  lock, so it must never run on the event loop; the loop hands parsed
+  requests (and cancels, which must order after their submits) to the
+  dispatcher over a queue and stays free to settle responses.
+  Completion flows back via
+  :meth:`~repro.core.stream.StreamTicket.add_done_callback` →
+  ``loop.call_soon_threadsafe``;
+* **per-request control** — every solve is one
+  :class:`~repro.core.stream.StreamTicket`: the ``cancel`` verb
+  withdraws it (unsolved when still buffered/queued), a ``deadline``
+  arms the session's watchdog, and a client disconnecting mid-request
+  auto-cancels everything it still has in flight;
+* **graceful drain** — :meth:`CoverServer.shutdown` stops accepting,
+  waits for every admitted request to settle and flush, then closes
+  the session (which drains the worker pool) — no request that got a
+  ticket is ever dropped without an answer its client could have read.
+
+All server-side mutable state (counters, latency window, connection
+registry) is touched only on the event loop thread; the dispatcher
+thread touches only the session.  :class:`CoverClient` is the matching
+asyncio client used by the tests, the load harness
+(``benchmarks/bench_serve.py``) and ``examples/tcp_client.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import queue
+import sys
+import threading
+import time
+from collections import Counter, deque
+from fractions import Fraction
+
+from repro.core.params import AlgorithmConfig
+from repro.core.stream import BatchSession
+from repro.exceptions import (
+    InvalidInstanceError,
+    ReproError,
+    TicketCancelled,
+    TicketTimeout,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "CoverServer",
+    "CoverClient",
+    "ServerError",
+    "instance_payload",
+    "parse_instance",
+]
+
+#: Per-line size cap for the stream reader.  Instances travel inline,
+#: so the limit is generous; a line beyond it is a protocol error.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+#: Sentinel closing a connection's writer queue.
+_CLOSE = object()
+
+
+class ServerError(ReproError):
+    """A request failed server-side (carried back to the client)."""
+
+    def __init__(self, message: str, kind: str = "error"):
+        super().__init__(message)
+        self.kind = kind
+
+
+def _lift_decimal_guard() -> None:
+    """Lift CPython's int<->str digit cap for exact decimal wire text.
+
+    The protocol carries weights and duals as canonical decimal
+    ``"num/den"`` tokens, and spill-lane instances routinely hold
+    weights tens of thousands of bits wide — far past the default
+    4300-digit conversion guard.  That guard protects parsers fed
+    unbounded untrusted decimals; here :data:`MAX_LINE_BYTES` already
+    bounds every line, so both endpoints trade the guard for
+    exactness.
+    """
+    if sys.get_int_max_str_digits() != 0:
+        sys.set_int_max_str_digits(0)
+
+
+def _weight_for_json(weight) -> int | str:
+    if isinstance(weight, int):
+        return weight
+    weight = Fraction(weight)
+    if weight.denominator == 1:
+        return weight.numerator
+    return str(weight)
+
+
+def instance_payload(hypergraph: Hypergraph) -> dict:
+    """The wire form of one instance (the ``solve`` verb's body).
+
+    Exact inverse of :func:`parse_instance`: integer weights as JSON
+    numbers, fractional weights as ``"num/den"`` strings, the all-ones
+    default omitted.
+    """
+    _lift_decimal_guard()
+    payload: dict = {
+        "n": hypergraph.num_vertices,
+        "edges": [list(edge) for edge in hypergraph.edges],
+    }
+    if any(weight != 1 for weight in hypergraph.weights):
+        payload["weights"] = [
+            _weight_for_json(weight) for weight in hypergraph.weights
+        ]
+    return payload
+
+
+def _parse_weight(token, position: int):
+    if isinstance(token, bool) or not isinstance(token, (int, str)):
+        raise InvalidInstanceError(
+            f"weights[{position}]: expected an integer or a 'num/den' "
+            f"string, got {token!r}"
+        )
+    if isinstance(token, int):
+        return token
+    try:
+        return Fraction(token)
+    except (ValueError, ZeroDivisionError) as error:
+        raise InvalidInstanceError(
+            f"weights[{position}]: malformed rational {token!r}"
+        ) from error
+
+
+def parse_instance(message: dict) -> Hypergraph:
+    """Build the :class:`Hypergraph` a ``solve`` request describes.
+
+    Structural validation (vertex ranges, positive weights, ...) is the
+    :class:`Hypergraph` constructor's job; this only checks the wire
+    shapes so errors read as protocol errors.
+    """
+    _lift_decimal_guard()
+    n = message.get("n")
+    if isinstance(n, bool) or not isinstance(n, int) or n < 0:
+        raise InvalidInstanceError(
+            f"'n' must be a non-negative integer, got {n!r}"
+        )
+    edges_field = message.get("edges", [])
+    if not isinstance(edges_field, list):
+        raise InvalidInstanceError("'edges' must be a list of vertex lists")
+    edges = []
+    for index, edge in enumerate(edges_field):
+        if not isinstance(edge, list) or not all(
+            isinstance(vertex, int) and not isinstance(vertex, bool)
+            for vertex in edge
+        ):
+            raise InvalidInstanceError(
+                f"edges[{index}]: expected a list of integer vertex ids, "
+                f"got {edge!r}"
+            )
+        edges.append(tuple(edge))
+    weights_field = message.get("weights")
+    weights = None
+    if weights_field is not None:
+        if not isinstance(weights_field, list):
+            raise InvalidInstanceError(
+                "'weights' must be a list of integers or 'num/den' strings"
+            )
+        weights = [
+            _parse_weight(token, position)
+            for position, token in enumerate(weights_field)
+        ]
+    return Hypergraph(n, edges, weights)
+
+
+def _percentile(sorted_values: list[float], quantile: float) -> float:
+    """Nearest-rank percentile of an ascending non-empty list."""
+    rank = max(
+        0, min(len(sorted_values) - 1,
+               round(quantile * (len(sorted_values) - 1)))
+    )
+    return sorted_values[rank]
+
+
+class _SolveRequest:
+    """One in-flight ``solve``: parsed payload plus routing state."""
+
+    __slots__ = ("connection", "request_id", "hypergraph", "config",
+                 "deadline", "include_dual", "started", "ticket")
+
+    def __init__(self, connection, request_id, hypergraph, config,
+                 deadline, include_dual):
+        self.connection = connection
+        self.request_id = request_id
+        self.hypergraph = hypergraph
+        self.config = config
+        self.deadline = deadline
+        self.include_dual = include_dual
+        self.started = time.perf_counter()
+        self.ticket = None  # set by the dispatcher thread
+
+
+class _Connection:
+    """Loop-side state of one client connection."""
+
+    __slots__ = ("writer", "responses", "requests", "outstanding",
+                 "alive", "drained")
+
+    def __init__(self, writer):
+        self.writer = writer
+        #: Response queue consumed by the connection's writer task:
+        #: ``(payload, holds_slot)`` tuples, or ``_CLOSE``.
+        self.responses: asyncio.Queue = asyncio.Queue()
+        #: Live solve requests by client request id (for ``cancel``).
+        self.requests: dict = {}
+        self.outstanding = 0
+        self.alive = True
+        #: Set when the last outstanding request has settled.
+        self.drained = asyncio.Event()
+        self.drained.set()
+
+
+class CoverServer:
+    """The TCP serving front end; see the module docstring.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port ``0`` picks a free port (reported by
+        :meth:`start`).
+    config:
+        Default :class:`AlgorithmConfig` for requests that do not
+        override ``epsilon``/``schedule``.
+    jobs / max_batch / verify:
+        Passed through to the underlying :class:`BatchSession`.
+    max_pending:
+        Admission bound: requests admitted (parsed) but not yet
+        responded, across all clients.  Beyond it, connection handlers
+        stop reading — TCP backpressure, never a stalled scheduler.
+    latency_window:
+        How many recent request latencies the ``stats`` verb's
+        percentiles are computed over.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        config: AlgorithmConfig | None = None,
+        jobs: int | None = None,
+        max_batch: int = 8,
+        verify: bool = True,
+        max_pending: int = 256,
+        latency_window: int = 4096,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self._host = host
+        self._port = port
+        self._config = config or AlgorithmConfig()
+        self._jobs = jobs
+        self._max_batch = max_batch
+        self._verify = verify
+        self._max_pending = max_pending
+        self._session: BatchSession | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._dispatch_queue: queue.Queue = queue.Queue()
+        self._dispatcher: threading.Thread | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._connections: set[_Connection] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._closing = False
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._lane_counts: Counter = Counter()
+        self._counters = Counter(
+            requests=0, responses=0, errors=0, disconnect_cancels=0
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, start serving, and return the actual ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        _lift_decimal_guard()
+        self._loop = asyncio.get_running_loop()
+        self._session = BatchSession(
+            self._config,
+            jobs=self._jobs,
+            verify=self._verify,
+            max_batch=self._max_batch,
+            # A server runs indefinitely: the admission log must not
+            # grow without bound.
+            record_schedule=False,
+        )
+        self._slots = asyncio.Semaphore(self._max_pending)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="cover-serve-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=MAX_LINE_BYTES,
+        )
+        address = self._server.sockets[0].getsockname()
+        return address[0], address[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``start`` must have been awaited)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: answer everything admitted, then close.
+
+        Stops accepting new connections, waits for every outstanding
+        request to settle and its response to flush (disconnected
+        clients' responses are discarded), cancels the idle reader
+        tasks, stops the dispatcher and closes the session — which
+        itself drains the worker pool.  Idempotent.
+        """
+        if self._server is None:
+            return
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        # Every admitted request must settle and flush before the
+        # session goes away; connections signal via their drain events.
+        for connection in list(self._connections):
+            await connection.drained.wait()
+        # Readers are now idle (or mid-read on a live client): stop
+        # them and flush each connection's writer.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._dispatch_queue.put(None)
+        dispatcher, session = self._dispatcher, self._session
+        loop = asyncio.get_running_loop()
+        if dispatcher is not None:
+            await loop.run_in_executor(None, dispatcher.join)
+        if session is not None:
+            await loop.run_in_executor(None, session.close)
+
+    @property
+    def session(self) -> BatchSession | None:
+        """The underlying session (``None`` before :meth:`start`)."""
+        return self._session
+
+    # ------------------------------------------------------------------
+    # Dispatcher thread: the only caller of session.submit
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        """Consume admission work; runs until the shutdown sentinel.
+
+        Ordering matters and is the reason cancels travel through this
+        queue too: a ``cancel`` enqueued after its ``solve`` can never
+        overtake it, so the ticket always exists by the time the
+        cancel runs.
+        """
+        while True:
+            item = self._dispatch_queue.get()
+            if item is None:
+                return
+            verb, payload = item
+            if verb == "solve":
+                self._dispatch_solve(payload)
+            elif verb == "cancel":
+                request, respond = payload
+                cancelled = (
+                    request.ticket is not None and request.ticket.cancel()
+                )
+                self._loop.call_soon_threadsafe(respond, cancelled)
+            elif verb == "abort":
+                # A connection died: withdraw everything it still has
+                # in flight (the settles flow back normally and are
+                # discarded loop-side).
+                for request in payload:
+                    if request.ticket is not None:
+                        request.ticket.cancel()
+
+    def _dispatch_solve(self, request: _SolveRequest) -> None:
+        try:
+            ticket = self._session.submit(
+                request.hypergraph,
+                config=request.config,
+                deadline=request.deadline,
+            )
+        except BaseException as error:  # closed session, bad deadline
+            self._loop.call_soon_threadsafe(
+                self._settled, request, None, error
+            )
+            return
+        request.ticket = ticket
+        ticket.add_done_callback(
+            lambda ticket, request=request:
+            self._loop.call_soon_threadsafe(
+                self._settled, request, ticket._result, ticket._error
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Connection handling (event loop)
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        self._conn_tasks.add(asyncio.current_task())
+        writer_task = asyncio.create_task(self._write_responses(connection))
+        try:
+            while not self._closing:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._respond_error(
+                        connection, None, None,
+                        f"line exceeds {MAX_LINE_BYTES} bytes",
+                        "bad-request",
+                    )
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break  # EOF: client done
+                text = line.strip()
+                if not text:
+                    continue
+                await self._handle_line(connection, text)
+        except asyncio.CancelledError:
+            pass  # shutdown cancels idle readers
+        finally:
+            # Teardown must run to completion even if a shutdown-time
+            # cancel lands on one of its awaits (by then the server has
+            # already drained, so the waits return immediately anyway).
+            self._abort_connection(connection)
+            try:
+                await connection.drained.wait()
+            except asyncio.CancelledError:
+                pass
+            connection.responses.put_nowait(_CLOSE)
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+            self._connections.discard(connection)
+            self._conn_tasks.discard(asyncio.current_task())
+
+    def _abort_connection(self, connection: _Connection) -> None:
+        """Cancel every solve the (closed) connection still has open."""
+        connection.alive = False
+        live = [
+            request
+            for request in connection.requests.values()
+            if request.ticket is None or not request.ticket.done()
+        ]
+        if live:
+            self._counters["disconnect_cancels"] += len(live)
+            self._dispatch_queue.put(("abort", live))
+
+    async def _handle_line(self, connection: _Connection, text: bytes) -> None:
+        try:
+            message = json.loads(text)
+            if not isinstance(message, dict):
+                raise ValueError("expected a JSON object")
+        except (ValueError, UnicodeDecodeError) as error:
+            self._respond_error(
+                connection, None, None, f"malformed JSON line: {error}",
+                "bad-request",
+            )
+            return
+        op = message.get("op")
+        request_id = message.get("id")
+        self._counters["requests"] += 1
+        if op == "solve":
+            await self._handle_solve(connection, request_id, message)
+        elif op == "cancel":
+            self._handle_cancel(connection, request_id)
+        elif op == "stats":
+            self._respond(
+                connection, self._stats_payload(request_id), holds_slot=False
+            )
+        elif op == "ping":
+            self._respond(
+                connection,
+                {"op": "ping", "id": request_id, "ok": True},
+                holds_slot=False,
+            )
+        else:
+            self._respond_error(
+                connection, op, request_id, f"unknown op {op!r}",
+                "bad-request",
+            )
+
+    async def _handle_solve(self, connection, request_id, message) -> None:
+        try:
+            hypergraph = parse_instance(message)
+            config = self._request_config(message)
+            deadline = message.get("deadline")
+            if deadline is not None and (
+                isinstance(deadline, bool)
+                or not isinstance(deadline, (int, float))
+                or deadline <= 0
+            ):
+                raise InvalidInstanceError(
+                    f"'deadline' must be a positive number of seconds, "
+                    f"got {deadline!r}"
+                )
+            include_dual = bool(message.get("include_dual", False))
+        except ReproError as error:
+            self._respond_error(
+                connection, "solve", request_id, str(error), "bad-request"
+            )
+            return
+        # The admission bound: block *before* reading any further line
+        # from this client.  Slots are returned when the response has
+        # been written (or its client is gone).
+        await self._slots.acquire()
+        request = _SolveRequest(
+            connection, request_id, hypergraph, config,
+            float(deadline) if deadline is not None else None,
+            include_dual,
+        )
+        connection.requests[request_id] = request
+        connection.outstanding += 1
+        connection.drained.clear()
+        self._dispatch_queue.put(("solve", request))
+
+    def _request_config(self, message) -> AlgorithmConfig:
+        epsilon = message.get("epsilon")
+        schedule = message.get("schedule")
+        if epsilon is None and schedule is None:
+            return self._config
+        try:
+            return AlgorithmConfig(
+                epsilon=(
+                    epsilon if epsilon is not None else self._config.epsilon
+                ),
+                schedule=(
+                    schedule if schedule is not None
+                    else self._config.schedule
+                ),
+            )
+        except (TypeError, ValueError) as error:
+            raise InvalidInstanceError(
+                f"bad solve parameters: {error}"
+            ) from error
+
+    def _handle_cancel(self, connection, request_id) -> None:
+        request = connection.requests.get(request_id)
+        if request is None:
+            self._respond(
+                connection,
+                {
+                    "op": "cancel", "id": request_id, "ok": True,
+                    "cancelled": False,
+                },
+                holds_slot=False,
+            )
+            return
+
+        def respond(cancelled: bool) -> None:
+            self._respond(
+                connection,
+                {
+                    "op": "cancel", "id": request_id, "ok": True,
+                    "cancelled": cancelled,
+                },
+                holds_slot=False,
+            )
+
+        # Routed through the dispatcher so it orders after the submit.
+        self._dispatch_queue.put(("cancel", (request, respond)))
+
+    # ------------------------------------------------------------------
+    # Settling and responses (event loop)
+    # ------------------------------------------------------------------
+
+    def _settled(self, request: _SolveRequest, result, error) -> None:
+        """A ticket resolved: build and enqueue the response."""
+        latency = time.perf_counter() - request.started
+        connection = request.connection
+        if connection.requests.get(request.request_id) is request:
+            del connection.requests[request.request_id]
+        if error is None:
+            self._latencies.append(latency)
+            if result.lane is not None:
+                self._lane_counts[result.lane] += 1
+            payload = {
+                "op": "solve",
+                "id": request.request_id,
+                "ok": True,
+                "latency_ms": round(latency * 1e3, 3),
+                "result": result.as_dict(include_dual=request.include_dual),
+            }
+        else:
+            payload = self._error_payload("solve", request.request_id, error)
+            payload["latency_ms"] = round(latency * 1e3, 3)
+        self._respond(connection, payload, holds_slot=True)
+        connection.outstanding -= 1
+        if connection.outstanding == 0:
+            connection.drained.set()
+
+    def _error_payload(self, op, request_id, error) -> dict:
+        self._counters["errors"] += 1
+        if isinstance(error, TicketTimeout):
+            kind = "timeout"
+        elif isinstance(error, TicketCancelled):
+            kind = "cancelled"
+        elif isinstance(error, ServerError):
+            kind = error.kind
+        elif isinstance(error, ReproError):
+            kind = "error"
+        else:
+            kind = "internal"
+        return {
+            "op": op,
+            "id": request_id,
+            "ok": False,
+            "kind": kind,
+            "error": f"{type(error).__name__}: {error}",
+        }
+
+    def _respond_error(self, connection, op, request_id, message, kind) -> None:
+        self._respond(
+            connection,
+            self._error_payload(op, request_id, ServerError(message, kind)),
+            holds_slot=False,
+        )
+
+    def _respond(self, connection, payload, *, holds_slot: bool) -> None:
+        connection.responses.put_nowait((payload, holds_slot))
+
+    async def _write_responses(self, connection: _Connection) -> None:
+        """Per-connection writer: the only task touching the socket.
+
+        A slow client blocks only here, in ``drain()`` — holding its
+        own admission slots and nothing else.  Write failures flip the
+        connection dead but keep consuming so every held slot is
+        released.
+        """
+        while True:
+            item = await connection.responses.get()
+            if item is _CLOSE:
+                return
+            payload, holds_slot = item
+            if connection.alive:
+                try:
+                    connection.writer.write(
+                        json.dumps(payload).encode("utf-8") + b"\n"
+                    )
+                    await connection.writer.drain()
+                    self._counters["responses"] += 1
+                except (ConnectionError, OSError):
+                    connection.alive = False
+            if holds_slot:
+                self._slots.release()
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def _stats_payload(self, request_id) -> dict:
+        ordered = sorted(self._latencies)
+        latency = {"count": len(ordered)}
+        if ordered:
+            latency.update(
+                p50_ms=round(_percentile(ordered, 0.50) * 1e3, 3),
+                p95_ms=round(_percentile(ordered, 0.95) * 1e3, 3),
+                p99_ms=round(_percentile(ordered, 0.99) * 1e3, 3),
+                mean_ms=round(sum(ordered) / len(ordered) * 1e3, 3),
+            )
+        return {
+            "op": "stats",
+            "id": request_id,
+            "ok": True,
+            "server": {
+                **dict(self._counters),
+                "active_connections": len(self._connections),
+                "max_pending": self._max_pending,
+            },
+            "session": self._session.snapshot(),
+            "latency": latency,
+            "lanes": dict(self._lane_counts),
+        }
+
+
+class CoverClient:
+    """Asyncio client for the newline-delimited JSON protocol.
+
+    Supports pipelining: many :meth:`solve` coroutines may be in
+    flight on one connection (responses are matched by ``(op, id)``,
+    since completion order is not submission order).
+    """
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[tuple, asyncio.Future] = {}
+        self._ids = itertools.count()
+        self._reader_task = asyncio.create_task(self._read_responses())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "CoverClient":
+        _lift_decimal_guard()
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                message = json.loads(line)
+                key = (message.get("op"), message.get("id"))
+                future = self._pending.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ConnectionError, OSError, ValueError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("server connection closed")
+                    )
+            self._pending.clear()
+
+    @staticmethod
+    def encode(message: dict) -> tuple[tuple, bytes]:
+        """Pre-encode a request into its ``(key, line)`` wire form.
+
+        Load generators build their corpus outside the timed region;
+        :meth:`request_encoded` sends the prepared line without paying
+        serialization per request.
+        """
+        return (
+            (message.get("op"), message.get("id")),
+            json.dumps(message).encode("utf-8") + b"\n",
+        )
+
+    async def request_encoded(self, key: tuple, line: bytes) -> dict:
+        """Send one pre-encoded request line; awaits its response."""
+        if key in self._pending:
+            raise ValueError(f"request {key} already in flight")
+        future = asyncio.get_running_loop().create_future()
+        self._pending[key] = future
+        self._writer.write(line)
+        await self._writer.drain()
+        return await future
+
+    async def request(self, message: dict) -> dict:
+        """Send one request object and await its matched response."""
+        key, line = self.encode(message)
+        return await self.request_encoded(key, line)
+
+    async def solve(
+        self,
+        hypergraph: Hypergraph,
+        *,
+        epsilon=None,
+        schedule: str | None = None,
+        deadline: float | None = None,
+        include_dual: bool = False,
+        request_id=None,
+    ) -> dict:
+        """Solve one instance; returns the raw response object."""
+        message = {
+            "op": "solve",
+            "id": request_id if request_id is not None
+            else f"c{next(self._ids)}",
+            **instance_payload(hypergraph),
+        }
+        if epsilon is not None:
+            message["epsilon"] = (
+                epsilon if isinstance(epsilon, (int, str))
+                else str(Fraction(epsilon))
+            )
+        if schedule is not None:
+            message["schedule"] = schedule
+        if deadline is not None:
+            message["deadline"] = deadline
+        if include_dual:
+            message["include_dual"] = True
+        return await self.request(message)
+
+    async def cancel(self, request_id) -> dict:
+        return await self.request({"op": "cancel", "id": request_id})
+
+    async def stats(self) -> dict:
+        return await self.request(
+            {"op": "stats", "id": f"c{next(self._ids)}"}
+        )
+
+    async def ping(self) -> dict:
+        return await self.request(
+            {"op": "ping", "id": f"c{next(self._ids)}"}
+        )

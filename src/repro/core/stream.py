@@ -71,7 +71,11 @@ from repro.core.parallel import (
 )
 from repro.core.params import AlgorithmConfig
 from repro.core.result import CoverResult
-from repro.exceptions import SessionClosedError
+from repro.exceptions import (
+    SessionClosedError,
+    TicketCancelled,
+    TicketTimeout,
+)
 from repro.hypergraph.csr import BatchArena, pack_arena, slice_arena
 from repro.hypergraph.hypergraph import Hypergraph
 
@@ -123,10 +127,24 @@ class StreamTicket:
     is still sitting in, so waiting always makes progress) and returns
     a :class:`~repro.core.result.CoverResult` bit-identical to a solo
     ``run_fastpath`` of the submitted hypergraph.
+
+    Tickets are also the serving layer's unit of control:
+
+    * :meth:`cancel` withdraws the instance (unsolved when it is still
+      buffered or queued; an in-flight solve completes and its result
+      is discarded) and resolves the ticket with
+      :class:`~repro.exceptions.TicketCancelled`;
+    * a ``deadline=seconds`` passed to :meth:`BatchSession.submit`
+      resolves the ticket with
+      :class:`~repro.exceptions.TicketTimeout` if it has not settled
+      in time — the session itself is never poisoned;
+    * :meth:`add_done_callback` registers a settle hook, which is how
+      the asyncio front end (:mod:`repro.core.server`) bridges ticket
+      completion back onto its event loop.
     """
 
     __slots__ = ("id", "hypergraph", "config", "_session", "_event",
-                 "_result", "_error")
+                 "_result", "_error", "_callbacks", "_timer")
 
     def __init__(
         self,
@@ -142,10 +160,57 @@ class StreamTicket:
         self._event = threading.Event()
         self._result: CoverResult | None = None
         self._error: BaseException | None = None
+        self._callbacks: list = []
+        self._timer: threading.Timer | None = None
 
     def done(self) -> bool:
         """Whether the result (or an error) is available."""
         return self._event.is_set()
+
+    def cancel(self) -> bool:
+        """Withdraw this instance; ``True`` if the cancel won the race.
+
+        A ticket still sitting in a micro-batch buffer or a pending
+        (not yet dispatched) shard is removed outright — it is never
+        solved, and its shard peers are re-sliced in place and carry
+        on.  A ticket already in flight cannot be interrupted (the
+        shard completes for its peers' sake) but its result is
+        discarded by the first-wins settle rule.  Either way the
+        ticket resolves with
+        :class:`~repro.exceptions.TicketCancelled`; ``False`` means
+        the ticket had already settled.
+        """
+        return self._session._abandon(
+            self,
+            TicketCancelled(f"ticket {self.id} cancelled"),
+            "cancel",
+            "cancelled",
+        )
+
+    def cancelled(self) -> bool:
+        """Whether the ticket resolved by cancellation."""
+        return self._event.is_set() and isinstance(
+            self._error, TicketCancelled
+        )
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(ticket)`` once the ticket settles.
+
+        Fires immediately when the ticket is already done.  Callbacks
+        run on whichever thread settles the ticket (the pool's
+        collector thread, a fallback thread, or a deadline timer) while
+        the session lock is held — they must be quick and must not
+        call back into the session (hand off to a queue or an event
+        loop instead, e.g. ``loop.call_soon_threadsafe``).  Callback
+        exceptions are swallowed into
+        ``stats["callback_errors"]``/the schedule log rather than
+        poisoning settling.
+        """
+        with self._session._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        self._session._run_callback(self, callback)
 
     def result(self, timeout: float | None = None) -> CoverResult:
         """The instance's cover result (blocking; re-raises errors)."""
@@ -276,6 +341,9 @@ class BatchSession:
             "crashes": 0,
             "duplicates": 0,
             "cleanup_errors": 0,
+            "cancelled": 0,
+            "timeouts": 0,
+            "callback_errors": 0,
         }
         self._record = record_schedule
         #: The admission/schedule log: a list of event tuples (see
@@ -340,6 +408,7 @@ class BatchSession:
         hypergraph: Hypergraph,
         *,
         config: AlgorithmConfig | None = None,
+        deadline: float | None = None,
     ) -> StreamTicket:
         """Admit one instance; returns its :class:`StreamTicket`.
 
@@ -347,7 +416,15 @@ class BatchSession:
         solved as part of whichever shard that buffer seals into (and
         wherever stealing moves it) — none of which is observable in
         the result.
+
+        ``deadline`` (seconds from now) arms a watchdog: a ticket that
+        has not settled in time resolves with
+        :class:`~repro.exceptions.TicketTimeout` — withdrawn unsolved
+        when still buffered/queued, discarded first-wins when already
+        in flight.  Peers and the session are unaffected either way.
         """
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
         with self._lock:
             if not self._open:
                 raise SessionClosedError(
@@ -362,10 +439,79 @@ class BatchSession:
             self._log("submit", ticket.id)
             buffer = self._buffers.setdefault(config, [])
             buffer.append(ticket)
+            if deadline is not None:
+                ticket._timer = threading.Timer(
+                    deadline, self._on_deadline, args=(ticket, deadline)
+                )
+                ticket._timer.daemon = True
+                ticket._timer.start()
             if len(buffer) >= self._max_batch or self._idle_capacity():
                 self._seal(config)
             self._pump()
             return ticket
+
+    def _on_deadline(self, ticket: StreamTicket, deadline: float) -> None:
+        self._abandon(
+            ticket,
+            TicketTimeout(
+                f"ticket {ticket.id} missed its {deadline}s deadline"
+            ),
+            "timeout",
+            "timeouts",
+        )
+
+    def _abandon(self, ticket, error, event, counter) -> bool:
+        """Resolve ``ticket`` with ``error`` (cancel/timeout paths).
+
+        Withdraws the instance from wherever it currently sits: a
+        micro-batch buffer or a pending shard gives it up unsolved
+        (peers re-sliced in place); an in-flight shard runs to
+        completion for its peers and the late result dedups away.
+        Returns ``False`` when the ticket already settled.
+        """
+        with self._lock:
+            if ticket._event.is_set():
+                return False
+            stage = self._withdraw(ticket)
+            self.stats[counter] += 1
+            self._log(event, ticket.id, stage)
+            self._settle(ticket, error=error)
+            self._pump()
+            self._drained.notify_all()
+            return True
+
+    def _withdraw(self, ticket) -> str:
+        """Remove ``ticket`` from its buffer or pending shard, if it is
+        still in one.  Runs under the lock; returns where the ticket
+        was found (``"buffered"``/``"pending"``/``"inflight"``)."""
+        buffer = self._buffers.get(ticket.config) or []
+        if ticket in buffer:
+            buffer.remove(ticket)
+            return "buffered"
+        for slot in range(self._jobs):
+            for position, shard in enumerate(self._queues[slot]):
+                if ticket not in shard.entries:
+                    continue
+                kept = [
+                    index
+                    for index, entry in enumerate(shard.entries)
+                    if entry is not ticket
+                ]
+                if not kept:
+                    del self._queues[slot][position]
+                    self._loads[slot] -= shard.cost
+                    return "pending"
+                survivor = _Shard(
+                    next(self._shard_ids),
+                    [shard.entries[index] for index in kept],
+                    slice_arena(shard.arena, kept),
+                    shard.config,
+                    [shard.costs[index] for index in kept],
+                )
+                self._queues[slot][position] = survivor
+                self._loads[slot] -= shard.cost - survivor.cost
+                return "pending"
+        return "inflight"
 
     def _idle_capacity(self) -> bool:
         """True when a worker slot sits idle with nothing pending
@@ -654,18 +800,65 @@ class BatchSession:
         """Deliver one ticket's outcome — first result wins.
 
         A late duplicate (a steal or crash fallback racing a
-        completion) is counted and discarded; results are bit-identical
-        either way, so first-wins is safe and keeps accounting single.
+        completion, or the discarded solve of a cancelled/timed-out
+        in-flight ticket) is counted and discarded; results are
+        bit-identical either way, so first-wins is safe and keeps
+        accounting single.
         """
         if ticket._event.is_set():
             self.stats["duplicates"] += 1
             return False
+        if ticket._timer is not None:
+            ticket._timer.cancel()
+            ticket._timer = None
         ticket._result = result
         ticket._error = error
         ticket._event.set()
         self._unsettled -= 1
+        callbacks, ticket._callbacks = ticket._callbacks, []
+        for callback in callbacks:
+            self._run_callback(ticket, callback)
         self._drained.notify_all()
         return True
+
+    def _run_callback(self, ticket, callback) -> None:
+        """Invoke one done-callback, absorbing its failures.
+
+        Settling runs on pool collector / fallback / timer threads; an
+        escaped callback exception there would kill completion
+        processing, so it is counted and logged instead.
+        """
+        try:
+            callback(ticket)
+        except Exception as error:
+            self.stats["callback_errors"] += 1
+            self._log("callback-error", ticket.id, repr(error))
+
+    def snapshot(self) -> dict:
+        """A point-in-time view of the session's serving state.
+
+        Returns the scheduling counters plus live queue facts: the
+        number of unsettled tickets, buffered (not yet sealed)
+        submissions, pending shards per worker queue, and in-flight
+        shards.  This is the payload behind the TCP front end's
+        ``stats`` verb (:mod:`repro.core.server`).
+        """
+        with self._lock:
+            return {
+                "stats": dict(self.stats),
+                "unsettled": self._unsettled,
+                "buffered": sum(
+                    len(buffer) for buffer in self._buffers.values()
+                ),
+                "pending_shards": [
+                    len(self._queues[slot]) for slot in range(self._jobs)
+                ],
+                "inflight": sum(
+                    shard is not None for shard in self._inflight
+                ),
+                "jobs": self._jobs,
+                "open": self._open,
+            }
 
 
 def replay_schedule(
@@ -687,7 +880,10 @@ def replay_schedule(
         ("dispatch", shard_id, slot, ticket_ids)
         ("crash",    shard_id, slot)
         ("fallback", shard_id, None, ticket_ids)
+        ("cancel",   ticket_id, stage)
+        ("timeout",  ticket_id, stage)
         ("cleanup-error", step_name, error_repr)
+        ("callback-error", ticket_id, error_repr)
 
     Replay solves every executed group — each ``dispatch`` and each
     ``fallback`` — as one in-process batch, in log order, settling

@@ -57,6 +57,28 @@ class SessionClosedError(ReproError, RuntimeError):
     """
 
 
+class TicketCancelled(ReproError):
+    """A streamed instance was cancelled before its result settled.
+
+    Raised by :meth:`repro.core.stream.StreamTicket.result` after a
+    successful :meth:`~repro.core.stream.StreamTicket.cancel`.  A
+    cancellation is strictly local to its ticket: micro-batch peers
+    sharing the same shard still resolve normally, and a solve already
+    running to completion simply has its result discarded.
+    """
+
+
+class TicketTimeout(ReproError, TimeoutError):
+    """A streamed instance missed its submission deadline.
+
+    Raised by :meth:`repro.core.stream.StreamTicket.result` when the
+    ticket was admitted with ``deadline=seconds`` and did not settle in
+    time.  Like :class:`TicketCancelled` this never poisons the
+    session: peers are unaffected and a late in-flight result is
+    discarded by the first-wins settle rule.
+    """
+
+
 class AlgorithmError(ReproError, RuntimeError):
     """An algorithm reached a state its specification forbids."""
 

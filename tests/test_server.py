@@ -1,0 +1,494 @@
+"""The TCP serving front end must be invisible in the results.
+
+:mod:`repro.core.server` layers an asyncio newline-delimited-JSON
+protocol over :class:`~repro.core.stream.BatchSession`.  Like the
+scheduler tests, the contract under test is that *serving* facts —
+concurrent clients, pipelining, admission backpressure, worker
+crashes, client disconnects, cancellation, deadlines — are never
+*result* facts: every ``solve`` response is bit-identical to a solo
+``run_fastpath`` of the same instance, and the server always drains
+cleanly.
+
+The ``serve-smoke`` CI job runs this file: its headline test boots the
+server and drives 8 concurrent clients through a mixed int/Fraction
+corpus with one injected worker crash and one mid-request disconnect.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.core.stream as stream_module
+from repro.core.params import AlgorithmConfig
+from repro.core.parallel import shutdown_pool
+from repro.core.server import (
+    CoverClient,
+    CoverServer,
+    _percentile,
+    instance_payload,
+    parse_instance,
+)
+from repro.core.solver import solve_mwhvc
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph.generators import (
+    mixed_rank_hypergraph,
+    regular_hypergraph,
+    uniform_weights,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+#: A deliberately expensive instance (~0.5s solo): rational weights
+#: whose denominators' lcm exceeds every machine-lane headroom and
+#: whose huge numerators make each big-int operation proportionally
+#: slow.  Used wherever a test must reliably win a race against its
+#: own solve (cancel, deadline, mid-request disconnect).
+_PRIMES = (101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+           151, 157, 163, 167, 173, 179, 181, 191, 193, 197)
+SLOW_N = 400
+SLOW_BITS = 40_000
+SLOW_EPSILON = "1/2000"
+
+
+def slow_instance(seed: int = 3) -> Hypergraph:
+    weights = [
+        Fraction((1 << SLOW_BITS) + 7 * i + 1, _PRIMES[i % len(_PRIMES)])
+        for i in range(SLOW_N)
+    ]
+    return regular_hypergraph(SLOW_N, 3, 6, seed=seed, weights=weights)
+
+
+def small_instance(seed: int, *, fractional: bool = False) -> Hypergraph:
+    n = 10 + 2 * (seed % 7)
+    if fractional:
+        weights = [
+            Fraction(3 * i + 2, _PRIMES[i % 5]) for i in range(n)
+        ]
+    else:
+        weights = uniform_weights(n, 40, seed=seed + 77)
+    return mixed_rank_hypergraph(
+        n, 14 + 3 * (seed % 5), 4, seed=seed, weights=weights
+    )
+
+
+def solo_dict(hypergraph, config, *, include_dual=False) -> dict:
+    result = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+    data = result.as_dict(include_dual=include_dual)
+    data.pop("lane", None)
+    data.pop("worker", None)
+    return data
+
+
+def response_dict(response: dict) -> dict:
+    assert response["ok"], response
+    data = dict(response["result"])
+    data.pop("lane", None)
+    data.pop("worker", None)
+    return data
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _teardown_pool():
+    yield
+    shutdown_pool()
+
+
+@pytest.fixture(autouse=True)
+def _reset_hooks():
+    yield
+    stream_module._CRASH_NEXT_DISPATCH = False
+
+
+# ----------------------------------------------------------------------
+# Wire format units
+# ----------------------------------------------------------------------
+
+
+def test_instance_payload_roundtrip():
+    instances = [
+        small_instance(0),
+        small_instance(1, fractional=True),
+        Hypergraph(2, []),
+        Hypergraph(1, [(0,)], weights=[10**40]),
+    ]
+    for hypergraph in instances:
+        assert parse_instance(instance_payload(hypergraph)) == hypergraph
+    # The payload is pure JSON (Fractions rendered as strings).
+    json.dumps(instance_payload(small_instance(1, fractional=True)))
+
+
+def test_parse_instance_rejects_malformed_shapes():
+    for message in (
+        {"n": -1},
+        {"n": "4"},
+        {"n": True},
+        {"n": 3, "edges": "nope"},
+        {"n": 3, "edges": [[0, "x"]]},
+        {"n": 3, "edges": [[0, 1]], "weights": "heavy"},
+        {"n": 3, "edges": [[0, 1]], "weights": [1, 2.5, 1]},
+        {"n": 3, "edges": [[0, 1]], "weights": [1, "3/0", 1]},
+    ):
+        with pytest.raises(InvalidInstanceError):
+            parse_instance(message)
+
+
+def test_percentile_nearest_rank():
+    values = [float(v) for v in range(1, 101)]
+    assert _percentile(values, 0.50) in (50.0, 51.0)
+    assert _percentile(values, 0.95) == 95.0
+    assert _percentile(values, 0.99) == 99.0
+    assert _percentile(values, 0.0) == 1.0
+    assert _percentile(values, 1.0) == 100.0
+    assert _percentile([7.0], 0.99) == 7.0
+
+
+# ----------------------------------------------------------------------
+# The serve-smoke headline: 8 concurrent clients + crash + disconnect
+# ----------------------------------------------------------------------
+
+
+def test_serve_smoke_concurrent_clients_crash_and_disconnect():
+    """8 pipelining clients, mixed int/Fraction weights, one injected
+    worker crash, one mid-request disconnect: every response that is
+    read must be bit-identical to solo fastpath, and shutdown must
+    drain cleanly."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    per_client = 4
+    corpora = [
+        [
+            small_instance(client * per_client + index,
+                           fractional=(client + index) % 3 == 0)
+            for index in range(per_client)
+        ]
+        for client in range(8)
+    ]
+
+    async def run_client(host, port, client_index):
+        client = await CoverClient.connect(host, port)
+        try:
+            if client_index == 3:
+                # The crash injection rides client 3's first request:
+                # its dispatch kills the worker, the broken-pool
+                # fallback must answer anyway.
+                stream_module._CRASH_NEXT_DISPATCH = True
+            responses = await asyncio.gather(*[
+                client.solve(hypergraph)
+                for hypergraph in corpora[client_index]
+            ])
+            return [response_dict(response) for response in responses]
+        finally:
+            await client.close()
+
+    async def run_disconnector(host, port):
+        # A ninth client that submits an expensive request and hangs
+        # up before the answer: the server must cancel its ticket and
+        # keep serving everyone else.
+        client = await CoverClient.connect(host, port)
+        message = {
+            "op": "solve", "id": "gone",
+            **instance_payload(slow_instance()),
+            "epsilon": SLOW_EPSILON,
+        }
+        client._writer.write(json.dumps(message).encode() + b"\n")
+        await client._writer.drain()
+        await asyncio.sleep(0.05)
+        await client.close()
+
+    async def main():
+        server = CoverServer(config=config, jobs=2, max_batch=4)
+        host, port = await server.start()
+        results = await asyncio.gather(
+            run_disconnector(host, port),
+            *[run_client(host, port, index) for index in range(8)],
+        )
+        # Clean drain: everything admitted is settled before close.
+        await server.shutdown()
+        snapshot = server.session.snapshot()
+        assert snapshot["unsettled"] == 0
+        assert snapshot["buffered"] == 0
+        assert snapshot["inflight"] == 0
+        assert not snapshot["open"]
+        return results[1:], dict(server.session.stats)
+
+    all_responses, stats = asyncio.run(main())
+    assert stats["crashes"] >= 1, stats
+    for client_index, responses in enumerate(all_responses):
+        for index, response in enumerate(responses):
+            assert response == solo_dict(
+                corpora[client_index][index], config
+            ), f"client {client_index} response {index} drifted"
+
+
+# ----------------------------------------------------------------------
+# Per-request control: cancel, deadline, backpressure
+# ----------------------------------------------------------------------
+
+
+def test_cancel_verb_withdraws_inflight_request():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    small = small_instance(5)
+
+    async def main():
+        server = CoverServer(config=config, jobs=2, max_batch=2)
+        host, port = await server.start()
+        client = await CoverClient.connect(host, port)
+        try:
+            solve_task = asyncio.create_task(
+                client.solve(
+                    slow_instance(), epsilon=SLOW_EPSILON,
+                    request_id="victim",
+                )
+            )
+            await asyncio.sleep(0.05)  # the request is admitted by now
+            ack = await client.cancel("victim")
+            response = await solve_task
+            assert ack["ok"] and ack["cancelled"] is True, ack
+            assert not response["ok"] and response["kind"] == "cancelled", (
+                response
+            )
+            # Cancelling an unknown (or already-answered) id is a no-op.
+            ack = await client.cancel("victim")
+            assert ack["cancelled"] is False
+            # The session is not poisoned: the next request is exact.
+            follow_up = await client.solve(small)
+            assert response_dict(follow_up) == solo_dict(small, config)
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_deadline_surfaces_timeout_response():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    small = small_instance(6)
+
+    async def main():
+        server = CoverServer(config=config, jobs=2, max_batch=2)
+        host, port = await server.start()
+        client = await CoverClient.connect(host, port)
+        try:
+            response = await client.solve(
+                slow_instance(), epsilon=SLOW_EPSILON, deadline=0.05
+            )
+            assert not response["ok"], response
+            assert response["kind"] == "timeout", response
+            follow_up = await client.solve(small)
+            assert response_dict(follow_up) == solo_dict(small, config)
+            stats = await client.stats()
+            assert stats["session"]["stats"]["timeouts"] == 1
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_bounded_admission_backpressure_stays_exact():
+    """``max_pending=2`` with a 12-request pipeline burst: admission
+    throttles the socket instead of the scheduler, and every response
+    is still exact."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    corpus = [small_instance(seed) for seed in range(12)]
+
+    async def main():
+        server = CoverServer(
+            config=config, jobs=2, max_batch=2, max_pending=2
+        )
+        host, port = await server.start()
+        client = await CoverClient.connect(host, port)
+        try:
+            responses = await asyncio.gather(*[
+                client.solve(hypergraph) for hypergraph in corpus
+            ])
+            return [response_dict(response) for response in responses]
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    responses = asyncio.run(main())
+    for hypergraph, response in zip(corpus, responses):
+        assert response == solo_dict(hypergraph, config)
+
+
+def test_per_request_epsilon_and_dual_payload():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    instance = small_instance(7, fractional=True)
+
+    async def main():
+        server = CoverServer(config=config, jobs=2)
+        host, port = await server.start()
+        client = await CoverClient.connect(host, port)
+        try:
+            loose = await client.solve(instance)  # server default eps=1/3
+            sharp = await client.solve(
+                instance, epsilon="1/7", include_dual=True
+            )
+            return loose, sharp
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    loose, sharp = asyncio.run(main())
+    assert response_dict(loose) == solo_dict(instance, config)
+    sharp_config = AlgorithmConfig(epsilon=Fraction(1, 7))
+    assert response_dict(sharp) == solo_dict(
+        instance, sharp_config, include_dual=True
+    )
+    assert "dual" in sharp["result"]
+
+
+# ----------------------------------------------------------------------
+# Protocol errors and stats
+# ----------------------------------------------------------------------
+
+
+def test_protocol_errors_keep_the_connection_serving():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    instance = small_instance(9)
+
+    async def main():
+        server = CoverServer(config=config, jobs=2)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            checks = []
+            for line in (
+                b"this is not json",
+                b'["not", "an", "object"]',
+                json.dumps({"op": "mystery", "id": 1}).encode(),
+                json.dumps({"op": "solve", "id": 2, "n": 2,
+                            "edges": [[0, 5]]}).encode(),
+                json.dumps({"op": "solve", "id": 3, "n": 2,
+                            "edges": [[0, 1]],
+                            "epsilon": "7/2"}).encode(),
+                json.dumps({"op": "solve", "id": 4, "n": 2,
+                            "edges": [[0, 1]],
+                            "deadline": -1}).encode(),
+            ):
+                writer.write(line + b"\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                checks.append(response)
+            # After six bad requests the connection still solves.
+            writer.write(
+                json.dumps(
+                    {"op": "solve", "id": "good",
+                     **instance_payload(instance)}
+                ).encode() + b"\n"
+            )
+            await writer.drain()
+            good = json.loads(await reader.readline())
+            return checks, good
+        finally:
+            writer.close()
+            await writer.wait_closed()
+            await server.shutdown()
+
+    checks, good = asyncio.run(main())
+    for response in checks:
+        assert response["ok"] is False
+        assert response["kind"] == "bad-request", response
+    assert response_dict(good) == solo_dict(instance, config)
+
+
+def test_stats_verb_reports_queue_and_latency():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    corpus = [small_instance(seed) for seed in range(5)]
+
+    async def main():
+        server = CoverServer(config=config, jobs=2, max_batch=2)
+        host, port = await server.start()
+        client = await CoverClient.connect(host, port)
+        try:
+            assert (await client.ping())["ok"]
+            for hypergraph in corpus:
+                assert (await client.solve(hypergraph))["ok"]
+            return await client.stats()
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    stats = asyncio.run(main())
+    assert stats["ok"]
+    assert stats["latency"]["count"] == len(corpus)
+    assert 0 < stats["latency"]["p50_ms"] <= stats["latency"]["p99_ms"]
+    session = stats["session"]
+    assert session["stats"]["shards"] >= 1
+    assert session["unsettled"] == 0
+    assert len(session["pending_shards"]) == session["jobs"] == 2
+    assert stats["server"]["responses"] >= len(corpus)
+    assert sum(stats["lanes"].values()) == len(corpus)
+
+
+# ----------------------------------------------------------------------
+# CLI entry point: repro-cover serve --tcp
+# ----------------------------------------------------------------------
+
+
+def test_cli_serve_tcp_boots_serves_and_drains_on_sigint(tmp_path):
+    """End to end through the console entry point: boot ``serve --tcp``
+    as a real process, solve over a raw socket, SIGINT, clean exit."""
+    if not hasattr(signal, "SIGINT") or os.name == "nt":
+        pytest.skip("POSIX signal semantics required")
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    instance = small_instance(11, fractional=True)
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + environment["PYTHONPATH"]
+        if environment.get("PYTHONPATH")
+        else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli",
+            "serve", "--tcp", "127.0.0.1:0", "--jobs", "2",
+            "--epsilon", "1/3",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=environment,
+    )
+    try:
+        banner = process.stdout.readline().strip()
+        assert banner.startswith("serving on "), banner
+        port = int(banner.rpartition(":")[2])
+        with socket.create_connection(("127.0.0.1", port), timeout=60) as sock:
+            sock.sendall(
+                json.dumps(
+                    {"op": "solve", "id": 1, **instance_payload(instance)}
+                ).encode() + b"\n"
+            )
+            stream = sock.makefile("r", encoding="utf-8")
+            response = json.loads(stream.readline())
+        assert response_dict(response) == solo_dict(instance, config)
+        process.send_signal(signal.SIGINT)
+        _, stderr = process.communicate(timeout=120)
+        assert process.returncode == 0, stderr
+        assert "draining" in stderr
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=30)
+
+
+def test_cli_serve_tcp_rejects_bad_addresses():
+    from repro.cli import main
+
+    assert main(["serve", "--tcp", "no-port-here"]) == 2
+    assert main(["serve", "--tcp", "127.0.0.1:notaport"]) == 2
+    assert main(["serve", "--tcp", "127.0.0.1:70000"]) == 2

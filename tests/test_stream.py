@@ -39,7 +39,12 @@ from repro.core.parallel import shutdown_pool
 from repro.core.runner import run_many
 from repro.core.solver import solve_mwhvc, solve_mwhvc_batch
 from repro.core.stream import BatchSession, replay_schedule
-from repro.exceptions import InvalidInstanceError, SessionClosedError
+from repro.exceptions import (
+    InvalidInstanceError,
+    SessionClosedError,
+    TicketCancelled,
+    TicketTimeout,
+)
 from repro.hypergraph.csr import (
     arena_hypergraphs,
     pack_arena,
@@ -47,6 +52,7 @@ from repro.hypergraph.csr import (
 )
 from repro.hypergraph.generators import (
     mixed_rank_hypergraph,
+    regular_hypergraph,
     uniform_weights,
 )
 from repro.hypergraph.hypergraph import Hypergraph
@@ -597,6 +603,210 @@ def test_cli_serve_streams_stdin(tmp_path, capsys, monkeypatch):
     )
     assert lines[0]["cover"] == static["cover"]
     assert lines[0]["dual_total"] == static["dual_total"]
+
+
+# ----------------------------------------------------------------------
+# Per-ticket control: cancel, deadlines, done-callbacks, snapshot
+# ----------------------------------------------------------------------
+
+_SLOW_PRIMES = (101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+                151, 157, 163, 167, 173, 179, 181, 191, 193, 197)
+
+
+def slow_hypergraph():
+    """~0.4s solo at eps 1/2000: big-int lane, 40k-bit rational weights.
+
+    Slow enough that an immediate cancel or a 50ms deadline reliably
+    beats the solve, which is what the in-flight control tests need.
+    """
+    n = 400
+    weights = [
+        Fraction((1 << 40_000) + 7 * i + 1, _SLOW_PRIMES[i % 20])
+        for i in range(n)
+    ]
+    return regular_hypergraph(n, 3, 6, seed=3, weights=weights)
+
+
+def hold_scheduler(session):
+    """Freeze sealing-by-idleness and dispatch so admission state can
+    be inspected and mutated deterministically; undone by
+    :func:`release_scheduler`.  Sealing at ``max_batch`` still
+    happens (it runs inside ``submit`` itself)."""
+    session._pump = lambda: None
+    session._idle_capacity = lambda: False
+
+
+def release_scheduler(session):
+    del session._pump
+    del session._idle_capacity
+
+
+def test_cancel_buffered_ticket_is_never_dispatched():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(3, base_seed=21)
+    with BatchSession(config, jobs=1, max_batch=8) as session:
+        hold_scheduler(session)
+        tickets = [session.submit(hypergraph) for hypergraph in batch]
+        victim = tickets[1]
+        assert victim.cancel() is True
+        assert victim.cancel() is False  # already settled by the first
+        assert victim.done() and victim.cancelled()
+        assert session.stats["cancelled"] == 1
+        assert ("cancel", victim.id, "buffered") in session.schedule
+        release_scheduler(session)
+        with pytest.raises(TicketCancelled):
+            victim.result()
+        for index in (0, 2):
+            assert_matches_solo(batch[index], tickets[index].result(), config)
+    # The withdrawn ticket never reached a shard: no seal includes it.
+    sealed = [
+        ticket_id
+        for event in session.schedule if event[0] == "seal"
+        for ticket_id in event[3]
+    ]
+    assert victim.id not in sealed
+    assert session.stats["duplicates"] == 0
+
+
+def test_cancel_withdraws_from_pending_shard_and_respects_peers():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(4, base_seed=33)
+    with BatchSession(config, jobs=1, max_batch=2) as session:
+        hold_scheduler(session)
+        tickets = [session.submit(hypergraph) for hypergraph in batch]
+        # max_batch=2 sealed two shards; both still queued (pump held).
+        assert session.snapshot()["pending_shards"] == [2]
+        # Withdraw one ticket of the first shard (peer re-sliced in
+        # place) and then both of the second (shard deleted outright).
+        assert tickets[0].cancel() is True
+        assert tickets[2].cancel() is True
+        assert tickets[3].cancel() is True
+        assert session.stats["cancelled"] == 3
+        assert ("cancel", tickets[0].id, "pending") in session.schedule
+        assert ("cancel", tickets[3].id, "pending") in session.schedule
+        assert session.snapshot()["pending_shards"] == [1]
+        release_scheduler(session)
+        assert_matches_solo(batch[1], tickets[1].result(), config)
+        for index in (0, 2, 3):
+            with pytest.raises(TicketCancelled):
+                tickets[index].result()
+    assert session.stats["duplicates"] == 0
+
+
+def test_cancel_inflight_discards_result_without_poisoning_session():
+    config = AlgorithmConfig(epsilon=Fraction(1, 2000))
+    follow_up = random_batch(1, base_seed=8)[0]
+    with BatchSession(config, jobs=1, max_batch=1) as session:
+        ticket = session.submit(slow_hypergraph())
+        for _ in range(500):
+            if session.snapshot()["inflight"]:
+                break
+            time.sleep(0.01)
+        assert session.snapshot()["inflight"] == 1
+        assert ticket.cancel() is True
+        assert ("cancel", ticket.id, "inflight") in session.schedule
+        with pytest.raises(TicketCancelled):
+            ticket.result()
+        # The session keeps serving while the doomed solve drains.
+        small_config = AlgorithmConfig(epsilon=Fraction(1, 3))
+        peer = session.submit(follow_up, config=small_config)
+        assert_matches_solo(follow_up, peer.result(), small_config)
+    # close() drained the in-flight shard: its late result was
+    # discarded by the first-wins settle and counted, not delivered.
+    assert session.stats["duplicates"] >= 1
+    assert session.stats["cancelled"] == 1
+
+
+def test_deadline_times_out_inflight_ticket_without_poisoning_session():
+    config = AlgorithmConfig(epsilon=Fraction(1, 2000))
+    follow_up = random_batch(1, base_seed=9)[0]
+    with BatchSession(config, jobs=1, max_batch=1) as session:
+        ticket = session.submit(slow_hypergraph(), deadline=0.05)
+        with pytest.raises(TicketTimeout):
+            ticket.result()
+        assert session.stats["timeouts"] == 1
+        assert not ticket.cancelled()  # timeout, not cancel
+        small_config = AlgorithmConfig(epsilon=Fraction(1, 3))
+        peer = session.submit(follow_up, config=small_config)
+        assert_matches_solo(follow_up, peer.result(), small_config)
+    timeout_events = [
+        event for event in session.schedule if event[0] == "timeout"
+    ]
+    assert timeout_events == [("timeout", ticket.id, timeout_events[0][2])]
+
+
+def test_deadline_validation_and_disarm_on_settle():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    hypergraph = random_batch(1, base_seed=11)[0]
+    with BatchSession(config, jobs=1) as session:
+        with pytest.raises(ValueError):
+            session.submit(hypergraph, deadline=0)
+        with pytest.raises(ValueError):
+            session.submit(hypergraph, deadline=-1.5)
+        # A generous deadline never fires: the settle disarms it.
+        ticket = session.submit(hypergraph, deadline=3600.0)
+        assert_matches_solo(hypergraph, ticket.result(), config)
+        assert ticket._timer is None or not ticket._timer.is_alive()
+    assert session.stats["timeouts"] == 0
+
+
+def test_done_callbacks_fire_once_and_absorb_errors():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(2, base_seed=17)
+    fired = []
+    with BatchSession(config, jobs=1, max_batch=8) as session:
+        hold_scheduler(session)
+        ticket = session.submit(batch[0])
+        ticket.add_done_callback(lambda t: fired.append(("early", t.id)))
+        ticket.add_done_callback(lambda t: 1 / 0)  # must be absorbed
+        ticket.add_done_callback(lambda t: fired.append(("late", t.id)))
+        release_scheduler(session)
+        result = ticket.result()
+        assert_matches_solo(batch[0], result, config)
+        # Registration after settling fires immediately, same thread.
+        ticket.add_done_callback(lambda t: fired.append(("post", t.id)))
+        assert fired == [
+            ("early", ticket.id), ("late", ticket.id), ("post", ticket.id)
+        ]
+        assert session.stats["callback_errors"] == 1
+        assert any(
+            event[0] == "callback-error" and event[1] == ticket.id
+            for event in session.schedule
+        )
+        # Cancelled tickets fire their callbacks too.
+        hold_scheduler(session)
+        doomed = session.submit(batch[1])
+        doomed.add_done_callback(lambda t: fired.append(("doomed", t.id)))
+        assert doomed.cancel() is True
+        release_scheduler(session)
+        assert fired[-1] == ("doomed", doomed.id)
+
+
+def test_snapshot_reports_live_queue_state():
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = random_batch(3, base_seed=29)
+    session = BatchSession(config, jobs=2, max_batch=8)
+    try:
+        hold_scheduler(session)
+        tickets = [session.submit(hypergraph) for hypergraph in batch]
+        snapshot = session.snapshot()
+        assert snapshot["open"] is True
+        assert snapshot["jobs"] == 2
+        assert snapshot["unsettled"] == 3
+        assert snapshot["buffered"] == 3
+        assert snapshot["pending_shards"] == [0, 0]
+        assert snapshot["inflight"] == 0
+        assert snapshot["stats"]["shards"] == 0
+        release_scheduler(session)
+        for hypergraph, ticket in zip(batch, tickets):
+            assert_matches_solo(hypergraph, ticket.result(), config)
+    finally:
+        session.close()
+    snapshot = session.snapshot()
+    assert snapshot["open"] is False
+    assert snapshot["unsettled"] == 0
+    assert snapshot["buffered"] == 0
+    assert snapshot["inflight"] == 0
 
 
 def test_cli_serve_reports_bad_paths(tmp_path, capsys, monkeypatch):
