@@ -50,8 +50,11 @@ Design notes
 * **per-request control** — every solve is one
   :class:`~repro.core.stream.StreamTicket`: the ``cancel`` verb
   withdraws it (unsolved when still buffered/queued), a ``deadline``
-  arms the session's watchdog, and a client disconnecting mid-request
-  auto-cancels everything it still has in flight;
+  arms the session's watchdog, and a connection reset (or write
+  failure) auto-cancels everything the client still has in flight.  A
+  *clean* EOF is not a reset: a client may pipeline its solves, close
+  its write side, and still read every response before the server
+  closes the socket;
 * **graceful drain** — :meth:`CoverServer.shutdown` stops accepting,
   waits for every admitted request to settle and flush, then closes
   the session (which drains the worker pool) — no request that got a
@@ -69,7 +72,9 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import math
 import queue
+import socket
 import sys
 import threading
 import time
@@ -98,6 +103,16 @@ __all__ = [
 #: so the limit is generous; a line beyond it is a protocol error.
 MAX_LINE_BYTES = 32 * 1024 * 1024
 
+#: Upper bound on a single response write stalling in ``drain()``.  A
+#: peer making no TCP progress for this long is treated as gone: the
+#: connection is aborted so its queued payloads are discarded and
+#: their admission slots released.  A merely *slow* reader never trips
+#: this — each ``drain()`` completes as soon as the socket buffer
+#: falls below the high-water mark — but without it a half-closed
+#: client that stops reading would pin its flush (and shutdown's
+#: drain) forever.
+WRITE_STALL_TIMEOUT = 60.0
+
 #: Sentinel closing a connection's writer queue.
 _CLOSE = object()
 
@@ -110,19 +125,39 @@ class ServerError(ReproError):
         self.kind = kind
 
 
+def _reject_nonfinite(token: str):
+    """``json.loads`` hook: the protocol has no use for non-finite
+    numbers, and letting ``NaN`` through breaks every comparison
+    downstream (``NaN <= 0`` is False, so it would pass validation)."""
+    raise ValueError(f"non-finite number {token!r}")
+
+
+#: Digit ceiling the wire layer raises CPython's int<->str guard to.
+#: A decimal token can never be longer than the line carrying it, so
+#: :data:`MAX_LINE_BYTES` digits is the natural bound.
+_DIGIT_LIMIT = MAX_LINE_BYTES
+
+
 def _lift_decimal_guard() -> None:
-    """Lift CPython's int<->str digit cap for exact decimal wire text.
+    """Raise CPython's int<->str digit cap to the protocol's line bound.
 
     The protocol carries weights and duals as canonical decimal
     ``"num/den"`` tokens, and spill-lane instances routinely hold
     weights tens of thousands of bits wide — far past the default
     4300-digit conversion guard.  That guard protects parsers fed
-    unbounded untrusted decimals; here :data:`MAX_LINE_BYTES` already
-    bounds every line, so both endpoints trade the guard for
-    exactness.
+    unbounded untrusted decimals; here every line is already capped at
+    :data:`MAX_LINE_BYTES`, so conversions are raised to that bound —
+    never unlimited, so an application embedding :class:`CoverClient`
+    keeps a finite interpreter-wide guard.
+
+    .. note:: ``sys.set_int_max_str_digits`` is process-global; this
+       only ever *raises* the limit (to :data:`_DIGIT_LIMIT`), and
+       leaves any equal-or-wider — or already unlimited — setting
+       untouched.
     """
-    if sys.get_int_max_str_digits() != 0:
-        sys.set_int_max_str_digits(0)
+    current = sys.get_int_max_str_digits()
+    if current != 0 and current < _DIGIT_LIMIT:
+        sys.set_int_max_str_digits(_DIGIT_LIMIT)
 
 
 def _weight_for_json(weight) -> int | str:
@@ -417,6 +452,13 @@ class CoverServer:
                     request.ticket is not None and request.ticket.cancel()
                 )
                 self._loop.call_soon_threadsafe(respond, cancelled)
+            elif verb == "stats":
+                # snapshot() takes the session lock, which this thread
+                # may hold for a long pack_arena during submit — so it
+                # runs here, where it merely queues behind that work,
+                # never on the event loop, which it would stall.
+                snapshot = self._session.snapshot()
+                self._loop.call_soon_threadsafe(payload, snapshot)
             elif verb == "abort":
                 # A connection died: withdraw everything it still has
                 # in flight (the settles flow back normally and are
@@ -454,6 +496,12 @@ class CoverServer:
         self._connections.add(connection)
         self._conn_tasks.add(asyncio.current_task())
         writer_task = asyncio.create_task(self._write_responses(connection))
+        # A clean close (EOF, oversized line, shutdown) stops *reading*
+        # but still answers everything admitted: a client that
+        # pipelines its solves and half-closes its write side — the
+        # common NDJSON pattern — reads every response.  Only a reset
+        # or write failure aborts, withdrawing in-flight work.
+        clean_close = False
         try:
             while not self._closing:
                 try:
@@ -464,22 +512,29 @@ class CoverServer:
                         f"line exceeds {MAX_LINE_BYTES} bytes",
                         "bad-request",
                     )
+                    clean_close = True  # reads are poisoned, writes fine
                     break
                 except (ConnectionError, OSError):
                     break
                 if not line:
-                    break  # EOF: client done
+                    clean_close = True  # EOF: client done sending
+                    break
                 text = line.strip()
                 if not text:
                     continue
                 await self._handle_line(connection, text)
+            else:
+                clean_close = True
         except asyncio.CancelledError:
-            pass  # shutdown cancels idle readers
+            # Shutdown cancels idle readers — after the drain, so
+            # nothing is left to abort and responses have flushed.
+            clean_close = True
         finally:
+            if not clean_close:
+                self._abort_connection(connection)
             # Teardown must run to completion even if a shutdown-time
             # cancel lands on one of its awaits (by then the server has
             # already drained, so the waits return immediately anyway).
-            self._abort_connection(connection)
             try:
                 await connection.drained.wait()
             except asyncio.CancelledError:
@@ -489,6 +544,17 @@ class CoverServer:
                 await writer_task
             except asyncio.CancelledError:
                 pass
+            # The persistent worker pool forks with whatever FDs are
+            # open, so a worker spawned mid-connection holds a copy of
+            # this socket and transport close alone would never send
+            # the FIN a half-closed client is waiting on.  shutdown()
+            # acts on the TCP connection itself, not the FD count.
+            raw_socket = writer.get_extra_info("socket")
+            if raw_socket is not None:
+                try:
+                    raw_socket.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
             writer.close()
             try:
                 await writer.wait_closed()
@@ -498,7 +564,14 @@ class CoverServer:
             self._conn_tasks.discard(asyncio.current_task())
 
     def _abort_connection(self, connection: _Connection) -> None:
-        """Cancel every solve the (closed) connection still has open."""
+        """Flip the connection dead and withdraw its in-flight solves.
+
+        Reserved for resets and write failures — a clean EOF keeps the
+        connection alive for writes instead.  Idempotent: the writer
+        task and the reader's teardown may both get here.
+        """
+        if not connection.alive:
+            return
         connection.alive = False
         live = [
             request
@@ -511,7 +584,7 @@ class CoverServer:
 
     async def _handle_line(self, connection: _Connection, text: bytes) -> None:
         try:
-            message = json.loads(text)
+            message = json.loads(text, parse_constant=_reject_nonfinite)
             if not isinstance(message, dict):
                 raise ValueError("expected a JSON object")
         except (ValueError, UnicodeDecodeError) as error:
@@ -523,14 +596,26 @@ class CoverServer:
         op = message.get("op")
         request_id = message.get("id")
         self._counters["requests"] += 1
+        if request_id is not None and not isinstance(request_id, (str, int)):
+            # `id` keys the response-matching and cancel registries:
+            # anything but a string/int/null (a list is valid JSON but
+            # unhashable) would raise only *after* the admission slot
+            # was taken, leaking it.  Refuse before dispatching on op.
+            self._respond_error(
+                connection,
+                op if isinstance(op, str) else None,
+                None,
+                f"'id' must be a string, integer or null, "
+                f"got {request_id!r}",
+                "bad-request",
+            )
+            return
         if op == "solve":
             await self._handle_solve(connection, request_id, message)
         elif op == "cancel":
             self._handle_cancel(connection, request_id)
         elif op == "stats":
-            self._respond(
-                connection, self._stats_payload(request_id), holds_slot=False
-            )
+            self._handle_stats(connection, request_id)
         elif op == "ping":
             self._respond(
                 connection,
@@ -551,11 +636,14 @@ class CoverServer:
             if deadline is not None and (
                 isinstance(deadline, bool)
                 or not isinstance(deadline, (int, float))
+                # isfinite kills 1e400-style overflows-to-inf; literal
+                # NaN/Infinity tokens were already refused at parse.
+                or not math.isfinite(deadline)
                 or deadline <= 0
             ):
                 raise InvalidInstanceError(
-                    f"'deadline' must be a positive number of seconds, "
-                    f"got {deadline!r}"
+                    f"'deadline' must be a positive finite number of "
+                    f"seconds, got {deadline!r}"
                 )
             include_dual = bool(message.get("include_dual", False))
         except ReproError as error:
@@ -686,9 +774,10 @@ class CoverServer:
         """Per-connection writer: the only task touching the socket.
 
         A slow client blocks only here, in ``drain()`` — holding its
-        own admission slots and nothing else.  Write failures flip the
-        connection dead but keep consuming so every held slot is
-        released.
+        own admission slots and nothing else.  A write failure — or a
+        single write stalled past :data:`WRITE_STALL_TIMEOUT` — aborts
+        the connection (its remaining in-flight solves are withdrawn)
+        but keeps consuming so every held slot is released.
         """
         while True:
             item = await connection.responses.get()
@@ -700,10 +789,12 @@ class CoverServer:
                     connection.writer.write(
                         json.dumps(payload).encode("utf-8") + b"\n"
                     )
-                    await connection.writer.drain()
+                    await asyncio.wait_for(
+                        connection.writer.drain(), WRITE_STALL_TIMEOUT
+                    )
                     self._counters["responses"] += 1
-                except (ConnectionError, OSError):
-                    connection.alive = False
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    self._abort_connection(connection)
             if holds_slot:
                 self._slots.release()
 
@@ -711,7 +802,19 @@ class CoverServer:
     # Stats
     # ------------------------------------------------------------------
 
-    def _stats_payload(self, request_id) -> dict:
+    def _handle_stats(self, connection: _Connection, request_id) -> None:
+        """Answer a ``stats`` request (session snapshot off-loop)."""
+
+        def respond(session_stats: dict) -> None:
+            self._respond(
+                connection,
+                self._stats_payload(request_id, session_stats),
+                holds_slot=False,
+            )
+
+        self._dispatch_queue.put(("stats", respond))
+
+    def _stats_payload(self, request_id, session_stats: dict) -> dict:
         ordered = sorted(self._latencies)
         latency = {"count": len(ordered)}
         if ordered:
@@ -730,7 +833,7 @@ class CoverServer:
                 "active_connections": len(self._connections),
                 "max_pending": self._max_pending,
             },
-            "session": self._session.snapshot(),
+            "session": session_stats,
             "latency": latency,
             "lanes": dict(self._lane_counts),
         }

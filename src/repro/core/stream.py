@@ -55,6 +55,7 @@ stream=True)``.
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 from collections import deque
 from concurrent.futures import BrokenExecutor, CancelledError
@@ -423,8 +424,15 @@ class BatchSession:
         when still buffered/queued, discarded first-wins when already
         in flight.  Peers and the session are unaffected either way.
         """
-        if deadline is not None and deadline <= 0:
-            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
+        if deadline is not None and not (
+            math.isfinite(deadline) and deadline > 0
+        ):
+            # NaN fails every comparison, so `<= 0` alone would let it
+            # through to threading.Timer, which chokes on it.
+            raise ValueError(
+                f"deadline must be a finite number of seconds > 0, "
+                f"got {deadline}"
+            )
         with self._lock:
             if not self._open:
                 raise SessionClosedError(

@@ -378,12 +378,24 @@ def test_protocol_errors_keep_the_connection_serving():
                 json.dumps({"op": "solve", "id": 4, "n": 2,
                             "edges": [[0, 1]],
                             "deadline": -1}).encode(),
+                # NaN would pass a bare `<= 0` check (refused at JSON
+                # parse) and a 1e400 literal parses to inf (refused by
+                # the isfinite validation): both are bad requests.
+                b'{"op": "solve", "id": 5, "n": 2, "edges": [[0, 1]],'
+                b' "deadline": NaN}',
+                b'{"op": "solve", "id": 6, "n": 2, "edges": [[0, 1]],'
+                b' "deadline": 1e400}',
+                # Valid JSON but unhashable ids (would blow up the
+                # request registries after admission).
+                json.dumps({"op": "solve", "id": [1, 2], "n": 2,
+                            "edges": [[0, 1]]}).encode(),
+                json.dumps({"op": "cancel", "id": {"a": 1}}).encode(),
             ):
                 writer.write(line + b"\n")
                 await writer.drain()
                 response = json.loads(await reader.readline())
                 checks.append(response)
-            # After six bad requests the connection still solves.
+            # After ten bad requests the connection still solves.
             writer.write(
                 json.dumps(
                     {"op": "solve", "id": "good",
@@ -403,6 +415,114 @@ def test_protocol_errors_keep_the_connection_serving():
         assert response["ok"] is False
         assert response["kind"] == "bad-request", response
     assert response_dict(good) == solo_dict(instance, config)
+
+
+def test_unhashable_id_never_leaks_an_admission_slot():
+    """Regression: a list-typed ``id`` is valid JSON but unhashable —
+    it must be refused *before* the admission slot is acquired.  With
+    ``max_pending=1``, a single leak would deadlock all admission, so
+    three attempts followed by a served solve pin the fix."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    instance = small_instance(13)
+
+    async def main():
+        server = CoverServer(config=config, jobs=2, max_pending=1)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            bad = {"op": "solve", "id": [1, 2],
+                   **instance_payload(instance)}
+            for _ in range(3):
+                writer.write(json.dumps(bad).encode() + b"\n")
+                await writer.drain()
+                response = json.loads(
+                    await asyncio.wait_for(reader.readline(), timeout=60)
+                )
+                assert response["ok"] is False
+                assert response["kind"] == "bad-request", response
+            writer.write(
+                json.dumps(
+                    {"op": "solve", "id": "good",
+                     **instance_payload(instance)}
+                ).encode() + b"\n"
+            )
+            await writer.drain()
+            return json.loads(
+                await asyncio.wait_for(reader.readline(), timeout=60)
+            )
+        finally:
+            writer.close()
+            await writer.wait_closed()
+            await server.shutdown()
+
+    good = asyncio.run(main())
+    assert response_dict(good) == solo_dict(instance, config)
+
+
+def test_half_close_after_pipelining_reads_every_response():
+    """A client may pipeline its solves and shut down its write side
+    (clean EOF, the common NDJSON pattern) before reading anything:
+    the server must flush every admitted response and only then close,
+    rather than treating the EOF as a disconnect and cancelling."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    corpus = [
+        small_instance(seed, fractional=seed % 2 == 1) for seed in range(6)
+    ]
+
+    async def main():
+        server = CoverServer(config=config, jobs=2, max_batch=2)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for index, hypergraph in enumerate(corpus):
+                writer.write(
+                    json.dumps(
+                        {"op": "solve", "id": index,
+                         **instance_payload(hypergraph)}
+                    ).encode() + b"\n"
+                )
+            await writer.drain()
+            writer.write_eof()  # done sending; still reading
+            responses = {}
+            while len(responses) < len(corpus):
+                line = await asyncio.wait_for(reader.readline(), timeout=120)
+                assert line, "server closed before flushing all responses"
+                message = json.loads(line)
+                responses[message["id"]] = message
+            # ... and only after the last response, a clean close.
+            assert await asyncio.wait_for(reader.readline(), timeout=60) == b""
+            return responses
+        finally:
+            writer.close()
+            await writer.wait_closed()
+            await server.shutdown()
+
+    responses = asyncio.run(main())
+    for index, hypergraph in enumerate(corpus):
+        assert response_dict(responses[index]) == solo_dict(
+            hypergraph, config
+        ), f"response {index} drifted"
+
+
+def test_decimal_guard_lift_is_bounded_and_monotonic():
+    """The wire layer raises the int<->str digit guard to the line
+    bound — never to unlimited, and never down from a wider setting —
+    so embedding applications keep a finite interpreter-wide guard."""
+    from repro.core.server import _DIGIT_LIMIT, _lift_decimal_guard
+
+    original = sys.get_int_max_str_digits()
+    try:
+        sys.set_int_max_str_digits(5000)
+        _lift_decimal_guard()
+        assert sys.get_int_max_str_digits() == _DIGIT_LIMIT
+        sys.set_int_max_str_digits(0)  # unlimited stays unlimited
+        _lift_decimal_guard()
+        assert sys.get_int_max_str_digits() == 0
+        sys.set_int_max_str_digits(2 * _DIGIT_LIMIT)  # wider stays wider
+        _lift_decimal_guard()
+        assert sys.get_int_max_str_digits() == 2 * _DIGIT_LIMIT
+    finally:
+        sys.set_int_max_str_digits(original)
 
 
 def test_stats_verb_reports_queue_and_latency():
@@ -473,8 +593,15 @@ def test_cli_serve_tcp_boots_serves_and_drains_on_sigint(tmp_path):
                     {"op": "solve", "id": 1, **instance_payload(instance)}
                 ).encode() + b"\n"
             )
+            # Half-close, then demand the server's FIN.  This request
+            # forked the worker pool while this very socket was open,
+            # so pool workers hold an inherited copy of its fd — the
+            # close must still reach the client (the server shuts the
+            # TCP stream down explicitly, it does not just drop fds).
+            sock.shutdown(socket.SHUT_WR)
             stream = sock.makefile("r", encoding="utf-8")
             response = json.loads(stream.readline())
+            assert stream.readline() == "", "no FIN after half-close"
         assert response_dict(response) == solo_dict(instance, config)
         process.send_signal(signal.SIGINT)
         _, stderr = process.communicate(timeout=120)

@@ -743,6 +743,12 @@ def test_deadline_validation_and_disarm_on_settle():
             session.submit(hypergraph, deadline=0)
         with pytest.raises(ValueError):
             session.submit(hypergraph, deadline=-1.5)
+        # NaN fails every comparison, so a bare `<= 0` check would let
+        # it through to threading.Timer; infinities never fire.
+        with pytest.raises(ValueError):
+            session.submit(hypergraph, deadline=float("nan"))
+        with pytest.raises(ValueError):
+            session.submit(hypergraph, deadline=float("inf"))
         # A generous deadline never fires: the settle disarms it.
         ticket = session.submit(hypergraph, deadline=3600.0)
         assert_matches_solo(hypergraph, ticket.result(), config)
