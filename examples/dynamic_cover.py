@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Dynamic sensor coverage: mutate the instance, re-solve warm.
+
+Scenario: a sensor-coverage deployment (every zone watched by at
+least one installed sensor) where the world keeps changing — sensors
+fail, new zones appear, maintenance re-prices a site.  Re-running the
+full solve per tick re-pays work the change never touched;
+``MutableHypergraph`` + ``resolve_incremental`` re-solve only the
+connected components the edit dirtied, bit-identical to a
+from-scratch solve of the mutated snapshot.
+
+The example builds a fleet of independent coverage clusters, applies
+a stream of point edits, and shows the warm path doing ~1 cluster of
+work per tick — then demonstrates the two fallbacks (ambient shift
+and a delta too large for the threshold) degrading gracefully to a
+cold solve with the same exact result.
+
+Run:  python examples/dynamic_cover.py
+"""
+
+import random
+import time
+from fractions import Fraction
+
+from repro.core.fastpath import run_fastpath
+from repro.core.incremental import resolve_incremental, solve_state
+from repro.core.params import AlgorithmConfig
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.mutable import MutableHypergraph
+
+CLUSTERS = 24
+ZONES_PER_CLUSTER = 15
+SITES_PER_CLUSTER = 12
+
+
+def build_deployment(rng: random.Random) -> Hypergraph:
+    """Independent clusters: each zone watchable from 2-3 local sites."""
+    edges = []
+    for cluster in range(CLUSTERS):
+        base = cluster * SITES_PER_CLUSTER
+        sites = range(base, base + SITES_PER_CLUSTER)
+        for _ in range(ZONES_PER_CLUSTER):
+            edges.append(tuple(rng.sample(sites, rng.choice((2, 3)))))
+    num_sites = CLUSTERS * SITES_PER_CLUSTER
+    weights = [rng.randint(1, 50) for _ in range(num_sites)]
+    return Hypergraph(num_sites, edges, weights=weights)
+
+
+def main() -> None:
+    rng = random.Random(2026)
+    deployment = build_deployment(rng)
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+
+    store = MutableHypergraph(deployment)
+    state = solve_state(
+        store.snapshot(), config, version=store.version
+    )
+    print(
+        f"deployment: {deployment.num_vertices} sites, "
+        f"{deployment.num_edges} zones in {CLUSTERS} clusters; "
+        f"initial cover weight {state.result.weight}"
+    )
+
+    header = (
+        f"{'tick':>4} | {'edit':<28} | {'warm':>5} | "
+        f"{'re-solved zones':>15} | {'cover weight':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    warm_ms = 0.0
+    for tick in range(8):
+        cluster = rng.randrange(CLUSTERS)
+        base = cluster * SITES_PER_CLUSTER
+        kind = ("zone appears", "zone retires", "site re-priced")[tick % 3]
+        if kind == "zone appears":
+            store.add_edge(
+                tuple(
+                    rng.sample(range(base, base + SITES_PER_CLUSTER), 2)
+                )
+            )
+        elif kind == "zone retires":
+            snapshot = store.snapshot()
+            local = [
+                position
+                for position, members in enumerate(snapshot.edges)
+                if base <= members[0] < base + SITES_PER_CLUSTER
+            ]
+            store.remove_edge(rng.choice(local))
+        else:
+            store.set_weight(
+                rng.randrange(base, base + SITES_PER_CLUSTER),
+                rng.randint(1, 50),
+            )
+        t0 = time.perf_counter()
+        state = resolve_incremental(state, store)
+        warm_ms += 1000 * (time.perf_counter() - t0)
+
+        # The warm result must match a from-scratch solve exactly.
+        scratch = run_fastpath(store.snapshot(), config)
+        assert state.result.cover == scratch.cover
+        assert state.result.dual == scratch.dual
+        print(
+            f"{tick:>4} | {kind + f' (cluster {cluster})':<28} | "
+            f"{str(state.result.warm):>5} | "
+            f"{state.result.invalidated:>15} | {state.result.weight:>12}"
+        )
+
+    print(
+        f"\n8 warm ticks took {warm_ms:.1f} ms total; each re-solved "
+        f"~1/{CLUSTERS}th of the zones instead of all "
+        f"{store.num_edges}."
+    )
+
+    # Fallback 1: an edit that moves the global (f, Delta) ambient —
+    # here a rank-4 zone where the rank was 3 — invalidates every
+    # cached fragment, and the re-solve runs cold.
+    store.add_edge(tuple(range(0, 4 * SITES_PER_CLUSTER, SITES_PER_CLUSTER)))
+    state = resolve_incremental(state, store)
+    print(
+        f"\nrank-raising zone: warm={state.result.warm}, "
+        f"invalidated={state.result.invalidated} (ambient moved; cold)"
+    )
+
+    # Fallback 2: a sweeping re-price dirties most clusters at once,
+    # exceeding the warm threshold — still exact, just cold.
+    for site in range(0, store.num_vertices, 2):
+        store.set_weight(site, rng.randint(1, 50))
+    state = resolve_incremental(state, store)
+    scratch = run_fastpath(store.snapshot(), config)
+    assert state.result.cover == scratch.cover
+    print(
+        f"sweeping re-price: warm={state.result.warm} "
+        f"(dirty fraction over threshold; cold, still bit-identical)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,9 @@ from repro._version import __version__
 from repro.core import (
     AlgorithmConfig,
     CoverResult,
+    SolveState,
+    resolve_incremental,
+    solve_state,
     solve_mwhvc,
     solve_mwhvc_batch,
     solve_mwhvc_f_approx,
@@ -39,18 +42,30 @@ from repro.exceptions import (
     RoundLimitExceededError,
     SimulationError,
 )
-from repro.hypergraph import Hypergraph, SetCoverInstance
+from repro.hypergraph import (
+    GraphDelta,
+    Hypergraph,
+    MutableHypergraph,
+    SetCoverInstance,
+    apply_delta,
+)
 
 __all__ = [
     "__version__",
     "AlgorithmConfig",
     "CoverResult",
+    "SolveState",
+    "solve_state",
+    "resolve_incremental",
     "solve_mwhvc",
     "solve_mwhvc_batch",
     "solve_mwhvc_f_approx",
     "solve_mwvc",
     "solve_set_cover",
     "Hypergraph",
+    "MutableHypergraph",
+    "GraphDelta",
+    "apply_delta",
     "SetCoverInstance",
     "ReproError",
     "InvalidInstanceError",

@@ -209,6 +209,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--per-client-pending",
+        type=int,
+        default=None,
+        metavar="R",
+        help=(
+            "TCP only: fairness quota — in-flight requests a single "
+            "connection may hold before only it is paused (default "
+            "max-pending // 4)"
+        ),
+    )
+    serve.add_argument(
         "--json",
         action="store_true",
         help=(
@@ -404,6 +415,7 @@ def _dispatch_serve_tcp(arguments: argparse.Namespace) -> int:
             jobs=arguments.jobs,
             max_batch=arguments.max_batch,
             max_pending=arguments.max_pending,
+            per_client_pending=arguments.per_client_pending,
         )
         bound_host, bound_port = await server.start()
         print(f"serving on {bound_host}:{bound_port}", flush=True)

@@ -3,6 +3,11 @@
 from repro.core.batch import run_fastpath_batch
 from repro.core.edge_logic import EdgeCore
 from repro.core.fastpath import run_fastpath
+from repro.core.incremental import (
+    Fragment,
+    resolve_incremental,
+    solve_state,
+)
 from repro.core.lockstep import run_lockstep
 from repro.core.observer import (
     ConvergenceRecorder,
@@ -37,6 +42,7 @@ from repro.core.solver import (
     solve_mwvc,
     solve_set_cover,
 )
+from repro.core.state import SolveState
 from repro.core.vertex_logic import VertexCore
 
 __all__ = [
@@ -63,6 +69,10 @@ __all__ = [
     "theorem9_alpha",
     "AlgorithmStats",
     "CoverResult",
+    "SolveState",
+    "Fragment",
+    "solve_state",
+    "resolve_incremental",
     "f_approx_epsilon",
     "solve_mwhvc",
     "solve_mwhvc_batch",

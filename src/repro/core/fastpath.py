@@ -69,6 +69,7 @@ from repro.core.numeric import exact_scaled_int, scaled_fraction
 from repro.core.observer import IterationObserver, IterationSnapshot
 from repro.core.params import AlgorithmConfig, resolve_alpha, theorem9_alpha
 from repro.core.result import AlgorithmStats, CoverResult
+from repro.core.state import SolveState
 from repro.core.runner import finalize_result
 from repro.core.vertex_logic import (
     check_claim1_scaled,
@@ -209,7 +210,10 @@ def _fused_iteration0(hypergraph: Hypergraph, config: AlgorithmConfig):
         local_max = _np.maximum.reduceat(degrees_arr[cells], starts)
         by_degree = {
             int(value): theorem9_alpha(
-                int(value), rank, config.epsilon, config.gamma
+                int(value),
+                config.effective_rank(rank),
+                config.epsilon,
+                config.gamma,
             )
             for value in _np.unique(local_max)
         }
@@ -359,7 +363,7 @@ def prepare_scaled_state(
         alpha_list = [
             theorem9_alpha(
                 max(degrees[vertex] for vertex in members),
-                rank,
+                config.effective_rank(rank),
                 config.epsilon,
                 config.gamma,
             )
@@ -430,7 +434,7 @@ def run_fastpath(
     observer: IterationObserver | None = None,
     state: ScaledState | None = None,
     lane: str = "auto",
-    carry: dict | None = None,
+    carry: SolveState | None = None,
 ) -> CoverResult:
     """Execute Algorithm MWHVC on flat scaled-integer arrays.
 
@@ -563,7 +567,7 @@ def _run_bigint(
     verify: bool,
     observer: IterationObserver | None,
     state: ScaledState,
-    carry: dict | None = None,
+    carry: SolveState | None = None,
 ) -> CoverResult:
     """The unbounded big-int iteration loop (the spill ladder's floor).
 

@@ -1,0 +1,551 @@
+"""Warm-restart incremental re-solve over a versioned hypergraph.
+
+The Koufogiannakis–Young covering/packing view says dual feasibility
+survives edge arrivals, so a previous run's duals and levels remain a
+valid starting point after a mutation; only the neighborhood the delta
+invalidates needs re-tightening.  The exact-rational semantics of this
+repo make an even stronger statement usable: connected components
+evolve **independently** (every bid, tightness test and level increment
+reads only quantities of the component itself — the global scale is
+representation-only), so a solve decomposes into per-component
+*fragments* whose standalone results merge bit-identically to the
+monolithic run, provided the paper's global parameters are pinned.
+
+Pinning is the subtle part.  ``beta``, the level cap ``z`` and the
+Theorem 9 alpha are functions of the *global* rank ``f`` and degree
+``Δ``; a component solved standalone sees only its local values.
+:meth:`AlgorithmConfig.pinned` fixes the ambient globals on the config,
+making a fragment solve exactly the component's slice of the monolithic
+solve.  (The per-edge ``Δ(e)`` of the local alpha policy needs no
+pinning: a component contains every edge incident to its vertices, so
+local degrees already equal global ones.)
+
+The pipeline:
+
+* :func:`solve_state` — solve a snapshot decomposed into fragments and
+  return a :class:`SolveState` handle (merged result + cached
+  per-fragment results + the packed fragment arena);
+* :func:`resolve_incremental` — apply a :class:`GraphDelta` (or read
+  one off a :class:`MutableHypergraph`), re-solve **only** the dirty
+  components (those touching the delta, or whose component split or
+  merged), reuse every clean fragment, and merge.  Falls back to a
+  from-scratch decomposition when the mutation moved the global
+  ``f``/``Δ`` (cached fragments were pinned to the old ambient) or when
+  the invalidated region exceeds ``threshold`` of the edges.  The
+  returned :attr:`CoverResult.warm` / :attr:`CoverResult.invalidated`
+  report which path ran.
+
+Results are **bit-identical** to a from-scratch solve of the mutated
+snapshot on every compared field (cover, weight, duals, levels,
+iterations, rounds, statistics) — the differential gates in
+``tests/test_incremental.py`` and the mutation soak enforce this across
+all executor lanes, including forced mid-resume spills.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, replace
+from fractions import Fraction
+
+from repro.core.batch import run_fastpath_batch
+from repro.core.fastpath import run_fastpath
+from repro.core.params import AlgorithmConfig
+from repro.core.result import AlgorithmStats, CoverResult
+from repro.core.state import SolveState
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph.csr import (
+    BatchArena,
+    pack_arena,
+    patch_arena,
+    slice_arena,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.mutable import (
+    GraphDelta,
+    MutableHypergraph,
+    apply_delta,
+)
+from repro.lp.duality import ApproximationCertificate
+
+__all__ = ["Fragment", "solve_state", "resolve_incremental"]
+
+#: A fragment solver: takes ``[(instance, pinned_config), ...]`` and
+#: returns the aligned standalone results.  The streaming session
+#: routes this through its worker pool; the default solves in-process.
+FragmentSolver = Callable[
+    [list[tuple[Hypergraph, AlgorithmConfig]]], Sequence[CoverResult]
+]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One connected component's cached standalone solve.
+
+    ``vertices`` (ascending global ids) define the local id space:
+    local vertex ``i`` is global ``vertices[i]``.  ``edge_ids`` are the
+    component's global edge positions in the snapshot the fragment
+    belongs to; ``members`` the same edges as global member tuples
+    (stable across snapshots, unlike positions — clean-fragment
+    matching compares these).  Isolated vertices travel as one
+    edgeless fragment so the merged levels cover every vertex.
+    """
+
+    vertices: tuple[int, ...]
+    edge_ids: tuple[int, ...]
+    members: tuple[tuple[int, ...], ...]
+    instance: Hypergraph
+    result: CoverResult | None = None
+
+
+def _components(
+    hypergraph: Hypergraph,
+) -> tuple[list[tuple[list[int], list[int]]], list[int]]:
+    """Connected components (vertex ids, edge ids — both sorted) plus
+    the isolated vertices, deterministically ordered by smallest
+    member vertex."""
+    visited = [False] * hypergraph.num_vertices
+    components: list[tuple[list[int], list[int]]] = []
+    isolated: list[int] = []
+    for start in range(hypergraph.num_vertices):
+        if visited[start]:
+            continue
+        visited[start] = True
+        if not hypergraph.incident_edges(start):
+            isolated.append(start)
+            continue
+        stack = [start]
+        vertices: list[int] = []
+        edges: set[int] = set()
+        while stack:
+            vertex = stack.pop()
+            vertices.append(vertex)
+            for edge_id in hypergraph.incident_edges(vertex):
+                if edge_id in edges:
+                    continue
+                edges.add(edge_id)
+                for member in hypergraph.edge(edge_id):
+                    if not visited[member]:
+                        visited[member] = True
+                        stack.append(member)
+        vertices.sort()
+        components.append((vertices, sorted(edges)))
+    return components, isolated
+
+
+def _build_fragment(
+    hypergraph: Hypergraph, vertices: Sequence[int], edge_ids: Sequence[int]
+) -> Fragment:
+    """A fragment (without result) for one component of ``hypergraph``."""
+    local = {vertex: index for index, vertex in enumerate(vertices)}
+    members = tuple(hypergraph.edge(edge_id) for edge_id in edge_ids)
+    instance = Hypergraph._from_validated(
+        len(vertices),
+        tuple(
+            tuple(local[vertex] for vertex in edge) for edge in members
+        ),
+        tuple(hypergraph.weight(vertex) for vertex in vertices),
+    )
+    return Fragment(
+        vertices=tuple(vertices),
+        edge_ids=tuple(edge_ids),
+        members=members,
+        instance=instance,
+    )
+
+
+def _fragments_of(hypergraph: Hypergraph) -> list[Fragment]:
+    components, isolated = _components(hypergraph)
+    fragments = [
+        _build_fragment(hypergraph, vertices, edges)
+        for vertices, edges in components
+    ]
+    if isolated:
+        fragments.append(_build_fragment(hypergraph, isolated, ()))
+    return fragments
+
+
+def _run_jobs(
+    jobs: list[tuple[Hypergraph, AlgorithmConfig]],
+    *,
+    lane: str,
+    solver: FragmentSolver | None,
+    arena: BatchArena | None = None,
+) -> list[CoverResult]:
+    """Solve fragment jobs; verification happens once, on the merge."""
+    if not jobs:
+        return []
+    if solver is not None:
+        results = list(solver(jobs))
+        if len(results) != len(jobs):
+            raise InvalidInstanceError(
+                f"fragment solver returned {len(results)} results "
+                f"for {len(jobs)} jobs"
+            )
+        return results
+    if lane == "auto":
+        return run_fastpath_batch(
+            [instance for instance, _ in jobs],
+            jobs[0][1],
+            verify=False,
+            arena=arena,
+        )
+    return [
+        run_fastpath(instance, config, verify=False, lane=lane)
+        for instance, config in jobs
+    ]
+
+
+def _merge(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig,
+    fragments: Sequence[Fragment],
+    *,
+    verify: bool,
+) -> CoverResult:
+    """Fragment results recombined into the monolithic result.
+
+    Component independence makes every rule exact: totals sum, maxima
+    max (iterations and rounds are completion times, and the monolithic
+    loop runs until its slowest component finishes), duals and levels
+    scatter through the local-to-global maps, and the alpha span ranges
+    over fragments that have edges (an edgeless fragment's default span
+    must not pollute the merged one).  The certificate is computed
+    fresh on the full graph — fragment-level certificates would each
+    certify against the pinned global ``f`` anyway.
+    """
+    cover: set[int] = set()
+    dual: dict[int, Fraction] = {}
+    dual_total = Fraction(0)
+    levels = [0] * hypergraph.num_vertices
+    iterations = 0
+    rounds = 0
+    weight: int | Fraction = 0
+    total_raises = 0
+    max_raises = 0
+    total_stuck = 0
+    max_stuck = 0
+    total_halvings = 0
+    max_level = 0
+    alpha_min: Fraction | None = None
+    alpha_max: Fraction | None = None
+    for fragment in fragments:
+        result = fragment.result
+        iterations = max(iterations, result.iterations)
+        rounds = max(rounds, result.rounds)
+        weight = weight + result.weight
+        for local in result.cover:
+            cover.add(fragment.vertices[local])
+        for local, value in result.dual.items():
+            dual[fragment.edge_ids[local]] = value
+        dual_total += result.dual_total
+        for local, level in enumerate(result.levels):
+            levels[fragment.vertices[local]] = level
+        stats = result.stats
+        total_raises += stats.total_raise_events
+        max_raises = max(max_raises, stats.max_raises_per_edge)
+        total_stuck += stats.total_stuck_events
+        max_stuck = max(max_stuck, stats.max_stuck_per_vertex_level)
+        total_halvings += stats.total_halvings
+        max_level = max(max_level, stats.max_level)
+        if fragment.edge_ids:
+            alpha_min = (
+                result.alpha_min
+                if alpha_min is None
+                else min(alpha_min, result.alpha_min)
+            )
+            alpha_max = (
+                result.alpha_max
+                if alpha_max is None
+                else max(alpha_max, result.alpha_max)
+            )
+    if alpha_min is None:
+        alpha_min = alpha_max = Fraction(2)
+    chosen = frozenset(cover)
+    certificate = None
+    if verify:
+        certificate = ApproximationCertificate.verify(
+            hypergraph,
+            chosen,
+            dual,
+            max(1, hypergraph.rank),
+            config.epsilon,
+        )
+    return CoverResult(
+        cover=chosen,
+        weight=weight,
+        rank=hypergraph.rank,
+        epsilon=config.epsilon,
+        iterations=iterations,
+        rounds=rounds,
+        dual=dual,
+        dual_total=dual_total,
+        certificate=certificate,
+        levels=tuple(levels),
+        stats=AlgorithmStats(
+            total_raise_events=total_raises,
+            max_raises_per_edge=max_raises,
+            total_stuck_events=total_stuck,
+            max_stuck_per_vertex_level=max_stuck,
+            total_halvings=total_halvings,
+            max_level=max_level,
+            level_cap=config.z(hypergraph.rank),
+        ),
+        metrics=None,
+        alpha_min=alpha_min,
+        alpha_max=alpha_max,
+    )
+
+
+def solve_state(
+    hypergraph: Hypergraph,
+    config: AlgorithmConfig | None = None,
+    *,
+    verify: bool = True,
+    lane: str = "auto",
+    solver: FragmentSolver | None = None,
+    version: int | None = None,
+) -> SolveState:
+    """Solve a snapshot and return its warm-restart handle.
+
+    The instance decomposes into connected-component fragments, each
+    solved standalone under the config pinned to the snapshot's global
+    ``f``/``Δ``; :attr:`SolveState.result` is the merged monolithic
+    result (bit-identical to ``run_fastpath(hypergraph, config)``) and
+    the fragments stay cached for :func:`resolve_incremental`.
+
+    ``version`` ties the state to a :class:`MutableHypergraph` history
+    so later calls can pass the store itself instead of a delta;
+    ``solver`` overrides how fragment jobs run (e.g. through a
+    session's worker pool); ``lane`` forces a specific executor lane
+    (differential tests) — both disable the packed-arena reuse path.
+    """
+    config = config if config is not None else AlgorithmConfig()
+    fragments = _fragments_of(hypergraph)
+    if not fragments:
+        # n == 0: nothing to decompose; the trivial empty result.
+        return SolveState(
+            snapshot=hypergraph,
+            config=config,
+            version=version,
+            fragments=(),
+            result=run_fastpath(hypergraph, config, verify=verify),
+        )
+    pinned = config.pinned(hypergraph.rank, hypergraph.max_degree)
+    arena = None
+    if solver is None and lane == "auto":
+        arena = pack_arena([fragment.instance for fragment in fragments])
+    results = _run_jobs(
+        [(fragment.instance, pinned) for fragment in fragments],
+        lane=lane,
+        solver=solver,
+        arena=arena,
+    )
+    fragments = tuple(
+        replace(fragment, result=result)
+        for fragment, result in zip(fragments, results)
+    )
+    return SolveState(
+        snapshot=hypergraph,
+        config=config,
+        version=version,
+        fragments=fragments,
+        result=_merge(hypergraph, config, fragments, verify=verify),
+        arena=arena,
+    )
+
+
+def _patched_arena(
+    state: SolveState,
+    delta: GraphDelta,
+    fragments: Sequence[Fragment],
+    dirty: Sequence[int],
+) -> BatchArena | None:
+    """The new fragment arena via CSR delta application, when possible.
+
+    When the component partition survived the mutation (no splits,
+    merges or new vertices — the dominant single-edge-update shape),
+    the cached arena updates in place: per dirty fragment, tombstone
+    the removed rows, append the added rows, rewrite the reweighted
+    cells (:func:`patch_arena`), never re-packing the clean instances.
+    Returns ``None`` when the partition moved; the caller re-packs.
+    """
+    if state.arena is None or delta.added_vertices:
+        return None
+    if len(fragments) != len(state.fragments):
+        return None
+    for new, old in zip(fragments, state.fragments):
+        if new.vertices != old.vertices:
+            return None
+    owner_of_vertex: dict[int, tuple[int, int]] = {}
+    for index, fragment in enumerate(fragments):
+        for local, vertex in enumerate(fragment.vertices):
+            owner_of_vertex[vertex] = (index, local)
+    owner_of_edge: dict[int, tuple[int, int]] = {}
+    for index, fragment in enumerate(state.fragments):
+        for local, edge_id in enumerate(fragment.edge_ids):
+            owner_of_edge[edge_id] = (index, local)
+    removed: dict[int, list[int]] = {}
+    added: dict[int, list[tuple[int, ...]]] = {}
+    reweighted: dict[int, list[tuple[int, int | Fraction]]] = {}
+    for position in delta.removed_edges:
+        index, local = owner_of_edge[position]
+        removed.setdefault(index, []).append(local)
+    for members in delta.added_edges:
+        index, _ = owner_of_vertex[members[0]]
+        locals_ = []
+        for vertex in members:
+            owner, local = owner_of_vertex[vertex]
+            if owner != index:
+                return None  # edge bridges fragments: partition moved
+            locals_.append(local)
+        added.setdefault(index, []).append(tuple(locals_))
+    for vertex, weight in delta.reweighted:
+        index, local = owner_of_vertex[vertex]
+        reweighted.setdefault(index, []).append((local, weight))
+    arena = state.arena
+    for index in sorted(
+        set(removed) | set(added) | set(reweighted)
+    ):
+        if index not in dirty:
+            return None  # inconsistent bookkeeping; fall back safely
+        arena = patch_arena(
+            arena,
+            index,
+            removed_edges=removed.get(index, ()),
+            added_edges=added.get(index, ()),
+            reweighted=reweighted.get(index, ()),
+        )
+    return arena
+
+
+def resolve_incremental(
+    state: SolveState,
+    delta: GraphDelta | MutableHypergraph,
+    *,
+    threshold: float = 0.5,
+    verify: bool = True,
+    lane: str = "auto",
+    solver: FragmentSolver | None = None,
+) -> SolveState:
+    """Re-solve after a mutation, reusing every clean fragment.
+
+    ``delta`` is a :class:`GraphDelta` against ``state.snapshot`` — or
+    the :class:`MutableHypergraph` itself, from which the coalesced
+    delta since ``state.version`` is read.  A component is *dirty* iff
+    it contains a touched vertex (member of an added/removed edge,
+    reweighted, or newly added) or has no content-identical cached
+    fragment; component moves are conservative by construction (every
+    component created by a removal contains a removed edge's member;
+    merges happen only through added edges), so a clean match is always
+    sound.  Dirty fragments re-solve under the same pinned ambient;
+    the rest reuse their cached results verbatim.
+
+    Falls back to a from-scratch decomposition (``warm=False``) when
+    the mutated global ``f``/``Δ`` differ from the base (the cache is
+    pinned to the old ambient) or when the dirty edge count exceeds
+    ``threshold * max(1, m)``.  Either way the merged result is
+    bit-identical to a from-scratch solve of the mutated snapshot.
+    """
+    if isinstance(delta, MutableHypergraph):
+        if state.version is None:
+            raise InvalidInstanceError(
+                "state has no version; pass delta_since(...) explicitly "
+                "or create the state with solve_state(..., version=...)"
+            )
+        delta = delta.delta_since(state.version)
+    base = state.snapshot
+    config = state.config
+    if base is None or config is None or not isinstance(delta, GraphDelta):
+        raise InvalidInstanceError(
+            "resolve_incremental needs a solve_state(...) handle and a "
+            "GraphDelta (or MutableHypergraph)"
+        )
+    mutated = apply_delta(base, delta)
+    if mutated.rank != base.rank or mutated.max_degree != base.max_degree:
+        # The cached fragments were solved under the base ambient
+        # (f, Δ); the mutated globals differ, so nothing is reusable.
+        fresh = solve_state(
+            mutated,
+            config,
+            verify=verify,
+            lane=lane,
+            solver=solver,
+            version=delta.version,
+        )
+        fresh.result = replace(
+            fresh.result, warm=False, invalidated=mutated.num_edges
+        )
+        return fresh
+
+    touched = delta.touched_vertices(base)
+    cached = {fragment.vertices: fragment for fragment in state.fragments}
+    components, isolated = _components(mutated)
+    specs = [(vertices, edges) for vertices, edges in components]
+    if isolated:
+        specs.append((isolated, []))
+    fragments: list[Fragment] = []
+    dirty: list[int] = []
+    invalidated = 0
+    for index, (vertices, edge_ids) in enumerate(specs):
+        key = tuple(vertices)
+        old = cached.get(key)
+        if (
+            old is not None
+            and touched.isdisjoint(key)
+            and len(old.edge_ids) == len(edge_ids)
+        ):
+            # Clean: same vertex set, no touched member.  Content is
+            # identical by construction — any edge/weight change inside
+            # this component would put one of its vertices in
+            # ``touched`` — so the cached solve is reused verbatim,
+            # re-keyed to the new global edge positions, without
+            # rebuilding the member/weight tuples to compare.
+            fragments.append(replace(old, edge_ids=tuple(edge_ids)))
+            continue
+        fragments.append(_build_fragment(mutated, vertices, edge_ids))
+        dirty.append(index)
+        invalidated += len(edge_ids)
+
+    if invalidated > threshold * max(1, mutated.num_edges):
+        fresh = solve_state(
+            mutated,
+            config,
+            verify=verify,
+            lane=lane,
+            solver=solver,
+            version=delta.version,
+        )
+        fresh.result = replace(
+            fresh.result, warm=False, invalidated=invalidated
+        )
+        return fresh
+
+    pinned = config.pinned(mutated.rank, mutated.max_degree)
+    arena = None
+    if solver is None and lane == "auto" and fragments:
+        arena = _patched_arena(state, delta, fragments, dirty)
+        if arena is None:
+            arena = pack_arena(
+                [fragment.instance for fragment in fragments]
+            )
+    results = _run_jobs(
+        [(fragments[index].instance, pinned) for index in dirty],
+        lane=lane,
+        solver=solver,
+        arena=slice_arena(arena, dirty) if arena is not None else None,
+    )
+    for index, result in zip(dirty, results):
+        fragments[index] = replace(fragments[index], result=result)
+    if fragments:
+        merged = _merge(mutated, config, fragments, verify=verify)
+    else:  # n == 0: nothing to decompose; the trivial empty result.
+        merged = run_fastpath(mutated, config, verify=verify)
+    return SolveState(
+        snapshot=mutated,
+        config=config,
+        version=delta.version,
+        fragments=tuple(fragments),
+        result=replace(merged, warm=True, invalidated=invalidated),
+        arena=arena,
+    )

@@ -69,6 +69,7 @@ from repro.core.numeric import (
 from repro.core.params import AlgorithmConfig
 from repro.core.result import AlgorithmStats, CoverResult
 from repro.core.runner import finalize_result
+from repro.core.state import SolveState
 from repro.core.vertex_logic import (
     is_tight_scaled,
     tight_threshold_scaled,
@@ -1208,7 +1209,7 @@ class LaneRun:
         # -- per-instance bookkeeping ---------------------------------
         self.active = _np.ones(self.count, dtype=bool)
         self.spilled: set[int] = set()
-        self.carries_out: dict[int, dict] = {}
+        self.carries_out: dict[int, SolveState] = {}
         self._spilled_this_sweep: list[int] = []
         self.iterations = [0] * self.count
         # Resumed instances pick their iteration/round accounting up
@@ -1634,7 +1635,7 @@ class LaneRun:
             instance, sweep - 1
         )
 
-    def _extract_carry(self, instance: int, iterations: int) -> dict:
+    def _extract_carry(self, instance: int, iterations: int) -> SolveState:
         """The instance's exact sweep-start state, lane-neutral.
 
         Value arrays cross the lane boundary as Python ints (two-limb
@@ -1645,31 +1646,31 @@ class LaneRun:
         ops = self.ops
         vertex_slice = self.arena.vertex_slice(instance)
         edge_slice = self.arena.edge_slice(instance)
-        return {
-            "scale": self.scales[instance],
-            "bid": ops.tolist_slice(self.bid, edge_slice),
-            "raised": ops.tolist_slice(self.raised, edge_slice),
-            "delta": ops.tolist_slice(self.delta, edge_slice),
-            "total_delta": ops.tolist_slice(self.total_delta, vertex_slice),
-            "level": self.level[vertex_slice].tolist(),
-            "in_cover": self.in_cover[vertex_slice].tolist(),
-            "dead": self.dead[vertex_slice].tolist(),
-            "uncovered_count": self.uncovered_count[vertex_slice].tolist(),
-            "covered": self.covered[edge_slice].tolist(),
-            "raise_count": self.raise_count[edge_slice].tolist(),
-            "halving_count": self.halving_count[edge_slice].tolist(),
-            "stuck": self.stuck[
+        return SolveState(
+            scale=self.scales[instance],
+            bid=ops.tolist_slice(self.bid, edge_slice),
+            raised=ops.tolist_slice(self.raised, edge_slice),
+            delta=ops.tolist_slice(self.delta, edge_slice),
+            total_delta=ops.tolist_slice(self.total_delta, vertex_slice),
+            level=self.level[vertex_slice].tolist(),
+            in_cover=self.in_cover[vertex_slice].tolist(),
+            dead=self.dead[vertex_slice].tolist(),
+            uncovered_count=self.uncovered_count[vertex_slice].tolist(),
+            covered=self.covered[edge_slice].tolist(),
+            raise_count=self.raise_count[edge_slice].tolist(),
+            halving_count=self.halving_count[edge_slice].tolist(),
+            stuck=self.stuck[
                 vertex_slice, : self.z_caps[instance]
             ].tolist(),
-            "halt_round": int(self.halt_round[instance]),
-            "iterations": int(self.offsets[instance]) + iterations,
-        }
+            halt_round=int(self.halt_round[instance]),
+            iterations=int(self.offsets[instance]) + iterations,
+        )
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
 
-    def solve(self) -> tuple[dict[int, dict], dict[int, dict]]:
+    def solve(self) -> tuple[dict[int, dict], dict[int, SolveState]]:
         """Run the arena to completion.
 
         Returns ``(solved, carries)``: per-position raw results for

@@ -107,7 +107,10 @@ def run_lockstep(
             alpha = global_alpha
         else:
             alpha = theorem9_alpha(
-                max(degrees.values()), rank, config.epsilon, config.gamma
+                max(degrees.values()),
+                config.effective_rank(rank),
+                config.epsilon,
+                config.gamma,
             )
         _, min_weight, min_degree = edge_core.initialize(
             weights, degrees, alpha

@@ -151,7 +151,10 @@ class VertexProgram(Node):
         if self.global_alpha is not None:
             return self.global_alpha
         return theorem9_alpha(
-            local_max_degree, self.rank, self.config.epsilon, self.config.gamma
+            local_max_degree,
+            self.config.effective_rank(self.rank),
+            self.config.epsilon,
+            self.config.gamma,
         )
 
     # -- iteration phases --------------------------------------------------

@@ -233,6 +233,8 @@ class CostModel:
     def __init__(self, smoothing: float = 0.3) -> None:
         self._lock = threading.Lock()
         self._rates: dict[tuple[str, tuple[int, int]], float] = {}
+        self._counts: dict[tuple[str, tuple[int, int]], int] = {}
+        self._observations = 0
         self._blended: float | None = None
         self._smoothing = smoothing
 
@@ -261,6 +263,8 @@ class CostModel:
                 if previous is None
                 else previous + self._smoothing * (rate - previous)
             )
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._observations += 1
             self._blended = (
                 rate
                 if self._blended is None
@@ -280,10 +284,35 @@ class CostModel:
         with self._lock:
             return dict(self._rates)
 
+    def export(self) -> dict:
+        """JSON-safe operator view of the learned state.
+
+        Unlike :meth:`snapshot` (raw tuple-keyed rate table, pinned by
+        tests), this renders each ``(lane, (rank, bits))`` key as a
+        ``"lane|rank|bits"`` string and pairs the EMA rate with how
+        many observations fed it — the payload behind the ``stats``
+        verb of the TCP front end and
+        :meth:`~repro.core.stream.BatchSession.snapshot`.
+        """
+        with self._lock:
+            return {
+                "rates": {
+                    f"{lane}|{rank}|{bits}": {
+                        "rate": rate,
+                        "samples": self._counts.get((lane, (rank, bits)), 0),
+                    }
+                    for (lane, (rank, bits)), rate in self._rates.items()
+                },
+                "blended": self._blended,
+                "observations": self._observations,
+            }
+
     def reset(self) -> None:
         """Forget everything (tests; also isolates benchmark passes)."""
         with self._lock:
             self._rates.clear()
+            self._counts.clear()
+            self._observations = 0
             self._blended = None
 
 

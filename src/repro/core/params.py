@@ -122,6 +122,17 @@ class AlgorithmConfig:
     max_iterations:
         Safety valve for the iteration loop (the algorithm provably
         terminates; this guards implementation bugs).
+    ambient_rank / ambient_max_degree:
+        Optional *pinned* global parameters.  A connected component
+        solved standalone sees only its local ``f`` and ``Δ``, but the
+        paper's parameters (``beta``, ``z``, the Theorem 9 alpha) are
+        functions of the *global* rank and degree.  Pinning the
+        ambient values makes a fragment solve bit-identical to its
+        slice of a monolithic solve (the scale is representation-only,
+        so only these parameter choices couple components).  The
+        fields participate in equality/hashing on purpose: configs key
+        the streaming session's micro-batch buffers, and fragments
+        pinned to the same ambient instance must batch together.
     """
 
     epsilon: Fraction = Fraction(1)
@@ -132,6 +143,8 @@ class AlgorithmConfig:
     gamma: float = 0.001
     check_invariants: bool = False
     max_iterations: int = 1_000_000
+    ambient_rank: int | None = None
+    ambient_max_degree: int | None = None
     _validated: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -160,19 +173,48 @@ class AlgorithmConfig:
             raise InvalidInstanceError(f"gamma must be positive, got {self.gamma}")
         if self.max_iterations < 1:
             raise InvalidInstanceError("max_iterations must be >= 1")
+        for name in ("ambient_rank", "ambient_max_degree"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise InvalidInstanceError(
+                    f"{name} must be a non-negative int or None, got {value!r}"
+                )
         object.__setattr__(self, "_validated", True)
 
     def with_epsilon(self, epsilon: Fraction) -> "AlgorithmConfig":
         """A copy of this config with a different epsilon."""
         return replace(self, epsilon=parse_epsilon(epsilon))
 
+    def effective_rank(self, rank: int) -> int:
+        """The rank parameter formulas use: local, or the pinned ambient."""
+        if self.ambient_rank is None:
+            return rank
+        return max(rank, self.ambient_rank)
+
+    def effective_max_degree(self, max_degree: int) -> int:
+        """The global ``Δ`` formulas use: local, or the pinned ambient."""
+        if self.ambient_max_degree is None:
+            return max_degree
+        return max(max_degree, self.ambient_max_degree)
+
+    def pinned(self, rank: int, max_degree: int) -> "AlgorithmConfig":
+        """A copy with the ambient global parameters pinned.
+
+        Solving a connected component under the pinned config is
+        bit-identical to that component's slice of a monolithic solve
+        of the full instance (see :mod:`repro.core.incremental`).
+        """
+        return replace(self, ambient_rank=rank, ambient_max_degree=max_degree)
+
     def beta(self, rank: int) -> Fraction:
         """``beta = eps/(f + eps)`` for an instance of rank ``rank``."""
-        return beta_from(rank, self.epsilon)
+        return beta_from(self.effective_rank(rank), self.epsilon)
 
     def z(self, rank: int) -> int:
         """Level cap ``z`` for an instance of rank ``rank``."""
-        return level_cap(rank, self.epsilon)
+        return level_cap(self.effective_rank(rank), self.epsilon)
 
     @property
     def rounds_per_iteration(self) -> int:
@@ -189,7 +231,10 @@ def resolve_alpha(
     """The alpha an edge uses under ``config``.
 
     ``local_max_degree`` is ``Δ(e)`` and is consulted only by the
-    ``"local"`` policy.
+    ``"local"`` policy.  Ambient pinning raises ``rank`` and the global
+    ``max_degree`` to the pinned values, but ``Δ(e)`` stays local: a
+    connected component contains every edge incident to its vertices,
+    so component-local per-edge degrees already equal the global ones.
     """
     if config.alpha_policy == "fixed":
         return config.fixed_alpha
@@ -199,6 +244,14 @@ def resolve_alpha(
                 "alpha_policy='local' requires the edge's local max degree"
             )
         return theorem9_alpha(
-            local_max_degree, rank, config.epsilon, config.gamma
+            local_max_degree,
+            config.effective_rank(rank),
+            config.epsilon,
+            config.gamma,
         )
-    return theorem9_alpha(max_degree, rank, config.epsilon, config.gamma)
+    return theorem9_alpha(
+        config.effective_max_degree(max_degree),
+        config.effective_rank(rank),
+        config.epsilon,
+        config.gamma,
+    )

@@ -121,6 +121,14 @@ class CoverResult:
         ``None`` for in-process runs.  Like ``lane``, provenance
         metadata excluded from equality — parallelism must never be
         observable in the results themselves.
+    warm / invalidated:
+        Incremental re-solve provenance
+        (:func:`repro.core.incremental.resolve_incremental`): whether
+        the run reused cached per-component results (``warm=True``) or
+        fell back to a from-scratch solve, and how many edges the
+        mutation invalidated.  ``None`` for ordinary solves; excluded
+        from equality so incremental results compare bit-identical to
+        from-scratch ones.
     """
 
     cover: frozenset[int]
@@ -139,6 +147,8 @@ class CoverResult:
     alpha_max: Fraction
     lane: str | None = field(default=None, compare=False)
     worker: int | None = field(default=None, compare=False)
+    warm: bool | None = field(default=None, compare=False)
+    invalidated: int | None = field(default=None, compare=False)
 
     @property
     def guarantee(self) -> Fraction:
@@ -201,6 +211,10 @@ class CoverResult:
             data["lane"] = self.lane
         if self.worker is not None:
             data["worker"] = self.worker
+        if self.warm is not None:
+            data["warm"] = self.warm
+        if self.invalidated is not None:
+            data["invalidated"] = self.invalidated
         if self.metrics is not None:
             data["congest_metrics"] = self.metrics.as_dict()
         if include_dual:

@@ -16,6 +16,15 @@ Protocol (one JSON object per line, UTF-8)::
     <- {"op": "solve", "id": 7, "ok": true, "latency_ms": 1.93,
         "result": {"cover": [...], "weight": ..., ...}}
 
+    -> {"op": "update", "id": 8, "base": 7, "add_edges": [[0, 3]],
+        "remove_edges": [1], "set_weights": [[2, "5/2"]],
+        "add_vertices": [1], "threshold": 0.5}
+    <- {"op": "update", "id": 8, "ok": true, "latency_ms": 0.41,
+        "result": {..., "warm": true, "invalidated": 2}}
+
+    -> {"op": "delete_edge", "id": 9, "base": 8, "position": 0}
+    <- {"op": "delete_edge", "id": 9, "ok": true, ...}
+
     -> {"op": "cancel", "id": 7}
     <- {"op": "cancel", "id": 7, "ok": true, "cancelled": true}
 
@@ -30,15 +39,30 @@ Failures answer ``{"ok": false, "kind": ..., "error": ...}`` with
 round limit) or ``internal``.  Weights and epsilon are exact: integers
 pass as JSON numbers, rationals as canonical ``"num/den"`` strings.
 
+The ``update`` verb mutates the hypergraph of an earlier ``solve`` or
+``update`` on the *same connection* (``base`` is that request's id)
+and re-solves incrementally
+(:meth:`~repro.core.stream.BatchSession.submit_update`): edge removals
+name positions in the base snapshot, additions/reweights/new vertices
+follow :class:`~repro.hypergraph.GraphDelta` semantics, and the
+response's ``warm``/``invalidated`` fields report whether the cached
+per-component state was reused.  ``delete_edge`` is the single-removal
+shorthand.  Results are bit-identical to solving the mutated
+hypergraph from scratch.
+
 Design notes
 ------------
 
-* **admission is bounded** — at most ``max_pending`` requests may be
-  past-parse but not-yet-responded, enforced with a semaphore the
-  connection handlers acquire *before* reading further lines.  A
+* **admission is bounded and fair** — at most ``max_pending`` requests
+  may be past-parse but not-yet-responded, enforced with a semaphore
+  the connection handlers acquire *before* reading further lines.  A
   client bursting past the bound simply stops being read (TCP
   backpressure); a **slow-reading** client holds only its own slots,
-  so it can never stall the scheduler or other clients;
+  so it can never stall the scheduler or other clients.  A second,
+  **per-client** quota (``per_client_pending``) is acquired *before*
+  the global semaphore, so one greedy pipeliner blocks on its own
+  quota while global slots stay free for everybody else — a two-client
+  starvation test pins this;
 * **a dispatcher thread owns admission into the session** —
   ``session.submit`` seals and packs CSR arenas under the session
   lock, so it must never run on the event loop; the loop hands parsed
@@ -90,6 +114,7 @@ from repro.exceptions import (
     TicketTimeout,
 )
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.mutable import GraphDelta
 
 __all__ = [
     "CoverServer",
@@ -255,13 +280,20 @@ def _percentile(sorted_values: list[float], quantile: float) -> float:
 
 
 class _SolveRequest:
-    """One in-flight ``solve``: parsed payload plus routing state."""
+    """One in-flight ``solve`` or ``update``: payload plus routing state.
+
+    Updates carry no hypergraph of their own; instead ``base`` points
+    at the request whose (possibly mutated) snapshot the ``delta``
+    applies to, and the dispatcher chains the session tickets.
+    """
 
     __slots__ = ("connection", "request_id", "hypergraph", "config",
-                 "deadline", "include_dual", "started", "ticket")
+                 "deadline", "include_dual", "started", "ticket",
+                 "op", "base", "delta", "threshold")
 
     def __init__(self, connection, request_id, hypergraph, config,
-                 deadline, include_dual):
+                 deadline, include_dual, *, op="solve", base=None,
+                 delta=None, threshold=0.5):
         self.connection = connection
         self.request_id = request_id
         self.hypergraph = hypergraph
@@ -270,21 +302,32 @@ class _SolveRequest:
         self.include_dual = include_dual
         self.started = time.perf_counter()
         self.ticket = None  # set by the dispatcher thread
+        self.op = op
+        self.base = base
+        self.delta = delta
+        self.threshold = threshold
 
 
 class _Connection:
     """Loop-side state of one client connection."""
 
-    __slots__ = ("writer", "responses", "requests", "outstanding",
-                 "alive", "drained")
+    __slots__ = ("writer", "responses", "requests", "handles", "slots",
+                 "outstanding", "alive", "drained")
 
-    def __init__(self, writer):
+    def __init__(self, writer, per_client_pending: int):
         self.writer = writer
         #: Response queue consumed by the connection's writer task:
         #: ``(payload, holds_slot)`` tuples, or ``_CLOSE``.
         self.responses: asyncio.Queue = asyncio.Queue()
         #: Live solve requests by client request id (for ``cancel``).
         self.requests: dict = {}
+        #: Every solve/update this connection ever admitted, by id —
+        #: the ``base`` namespace of the ``update`` verb.  Entries stay
+        #: resident (any answered request may become an update base).
+        self.handles: dict = {}
+        #: Per-client admission quota, acquired before the server-wide
+        #: semaphore so a greedy pipeliner starves only itself.
+        self.slots = asyncio.Semaphore(per_client_pending)
         self.outstanding = 0
         self.alive = True
         #: Set when the last outstanding request has settled.
@@ -309,6 +352,12 @@ class CoverServer:
         Admission bound: requests admitted (parsed) but not yet
         responded, across all clients.  Beyond it, connection handlers
         stop reading — TCP backpressure, never a stalled scheduler.
+    per_client_pending:
+        Fairness quota: how many of those slots a single connection
+        may hold at once (default ``max(1, max_pending // 4)``).
+        Acquired before the global semaphore, so a client bursting
+        past its quota blocks on itself while global capacity stays
+        available to other clients.
     latency_window:
         How many recent request latencies the ``stats`` verb's
         percentiles are computed over.
@@ -324,10 +373,17 @@ class CoverServer:
         max_batch: int = 8,
         verify: bool = True,
         max_pending: int = 256,
+        per_client_pending: int | None = None,
         latency_window: int = 4096,
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if per_client_pending is None:
+            per_client_pending = max(1, max_pending // 4)
+        if per_client_pending < 1:
+            raise ValueError(
+                f"per_client_pending must be >= 1, got {per_client_pending}"
+            )
         self._host = host
         self._port = port
         self._config = config or AlgorithmConfig()
@@ -335,6 +391,7 @@ class CoverServer:
         self._max_batch = max_batch
         self._verify = verify
         self._max_pending = max_pending
+        self._per_client_pending = per_client_pending
         self._session: BatchSession | None = None
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -347,7 +404,8 @@ class CoverServer:
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._lane_counts: Counter = Counter()
         self._counters = Counter(
-            requests=0, responses=0, errors=0, disconnect_cancels=0
+            requests=0, responses=0, errors=0, disconnect_cancels=0,
+            updates=0, warm_updates=0,
         )
 
     # ------------------------------------------------------------------
@@ -446,6 +504,8 @@ class CoverServer:
             verb, payload = item
             if verb == "solve":
                 self._dispatch_solve(payload)
+            elif verb == "update":
+                self._dispatch_update(payload)
             elif verb == "cancel":
                 request, respond = payload
                 cancelled = (
@@ -487,12 +547,46 @@ class CoverServer:
             )
         )
 
+    def _dispatch_update(self, request: _SolveRequest) -> None:
+        """Chain an update onto its base request's session ticket.
+
+        The base's ``solve``/``update`` travelled through this same
+        FIFO queue earlier, so its ticket exists by now — unless its
+        own admission failed, which the update inherits as an error.
+        """
+        try:
+            base_ticket = request.base.ticket
+            if base_ticket is None:
+                raise ServerError(
+                    f"base request {request.base.request_id!r} was never "
+                    f"admitted",
+                    "bad-request",
+                )
+            ticket = self._session.submit_update(
+                base_ticket,
+                request.delta,
+                deadline=request.deadline,
+                threshold=request.threshold,
+            )
+        except BaseException as error:
+            self._loop.call_soon_threadsafe(
+                self._settled, request, None, error
+            )
+            return
+        request.ticket = ticket
+        ticket.add_done_callback(
+            lambda ticket, request=request:
+            self._loop.call_soon_threadsafe(
+                self._settled, request, ticket._result, ticket._error
+            )
+        )
+
     # ------------------------------------------------------------------
     # Connection handling (event loop)
     # ------------------------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
-        connection = _Connection(writer)
+        connection = _Connection(writer, self._per_client_pending)
         self._connections.add(connection)
         self._conn_tasks.add(asyncio.current_task())
         writer_task = asyncio.create_task(self._write_responses(connection))
@@ -612,6 +706,8 @@ class CoverServer:
             return
         if op == "solve":
             await self._handle_solve(connection, request_id, message)
+        elif op in ("update", "delete_edge"):
+            await self._handle_update(connection, request_id, message, op)
         elif op == "cancel":
             self._handle_cancel(connection, request_id)
         elif op == "stats":
@@ -628,42 +724,156 @@ class CoverServer:
                 "bad-request",
             )
 
+    @staticmethod
+    def _parse_deadline(message) -> float | None:
+        deadline = message.get("deadline")
+        if deadline is not None and (
+            isinstance(deadline, bool)
+            or not isinstance(deadline, (int, float))
+            # isfinite kills 1e400-style overflows-to-inf; literal
+            # NaN/Infinity tokens were already refused at parse.
+            or not math.isfinite(deadline)
+            or deadline <= 0
+        ):
+            raise InvalidInstanceError(
+                f"'deadline' must be a positive finite number of "
+                f"seconds, got {deadline!r}"
+            )
+        return float(deadline) if deadline is not None else None
+
+    async def _admit_request(self, connection, request, verb) -> None:
+        """Take the admission slots and hand the request to dispatch.
+
+        The per-client quota comes first: a client past its fair share
+        blocks here — before its next line is read — without consuming
+        server-wide capacity.  Both slots are returned together when
+        the response has been written (or its client is gone).
+        """
+        await connection.slots.acquire()
+        await self._slots.acquire()
+        connection.requests[request.request_id] = request
+        connection.handles[request.request_id] = request
+        connection.outstanding += 1
+        connection.drained.clear()
+        self._dispatch_queue.put((verb, request))
+
     async def _handle_solve(self, connection, request_id, message) -> None:
         try:
             hypergraph = parse_instance(message)
             config = self._request_config(message)
-            deadline = message.get("deadline")
-            if deadline is not None and (
-                isinstance(deadline, bool)
-                or not isinstance(deadline, (int, float))
-                # isfinite kills 1e400-style overflows-to-inf; literal
-                # NaN/Infinity tokens were already refused at parse.
-                or not math.isfinite(deadline)
-                or deadline <= 0
-            ):
-                raise InvalidInstanceError(
-                    f"'deadline' must be a positive finite number of "
-                    f"seconds, got {deadline!r}"
-                )
+            deadline = self._parse_deadline(message)
             include_dual = bool(message.get("include_dual", False))
         except ReproError as error:
             self._respond_error(
                 connection, "solve", request_id, str(error), "bad-request"
             )
             return
-        # The admission bound: block *before* reading any further line
-        # from this client.  Slots are returned when the response has
-        # been written (or its client is gone).
-        await self._slots.acquire()
         request = _SolveRequest(
-            connection, request_id, hypergraph, config,
-            float(deadline) if deadline is not None else None,
+            connection, request_id, hypergraph, config, deadline,
             include_dual,
         )
-        connection.requests[request_id] = request
-        connection.outstanding += 1
-        connection.drained.clear()
-        self._dispatch_queue.put(("solve", request))
+        await self._admit_request(connection, request, "solve")
+
+    async def _handle_update(
+        self, connection, request_id, message, op
+    ) -> None:
+        try:
+            base = connection.handles.get(message.get("base"))
+            if base is None:
+                raise InvalidInstanceError(
+                    f"'base' must name an earlier solve/update request "
+                    f"on this connection, got {message.get('base')!r}"
+                )
+            delta = self._parse_delta(message, op)
+            deadline = self._parse_deadline(message)
+            include_dual = bool(message.get("include_dual", False))
+            threshold = message.get("threshold", 0.5)
+            if (
+                isinstance(threshold, bool)
+                or not isinstance(threshold, (int, float))
+                or not math.isfinite(threshold)
+                or threshold < 0
+            ):
+                raise InvalidInstanceError(
+                    f"'threshold' must be a non-negative finite number, "
+                    f"got {threshold!r}"
+                )
+        except ReproError as error:
+            self._respond_error(
+                connection, op, request_id, str(error), "bad-request"
+            )
+            return
+        request = _SolveRequest(
+            connection, request_id, None, base.config, deadline,
+            include_dual, op=op, base=base, delta=delta,
+            threshold=float(threshold),
+        )
+        await self._admit_request(connection, request, "update")
+
+    @staticmethod
+    def _parse_delta(message, op) -> GraphDelta:
+        """The :class:`~repro.hypergraph.GraphDelta` a verb describes.
+
+        Wire-shape checks only (like :func:`parse_instance`); semantic
+        validation against the base snapshot — positions in range,
+        weights positive — happens when the delta is applied, and
+        surfaces as a solver-level error.
+        """
+        if op == "delete_edge":
+            position = message.get("position")
+            if isinstance(position, bool) or not isinstance(position, int):
+                raise InvalidInstanceError(
+                    f"'position' must be an integer edge position, "
+                    f"got {position!r}"
+                )
+            return GraphDelta(removed_edges=(position,))
+        added_edges = message.get("add_edges", [])
+        removed_edges = message.get("remove_edges", [])
+        set_weights = message.get("set_weights", [])
+        added_vertices = message.get("add_vertices", [])
+        if not isinstance(added_edges, list) or not all(
+            isinstance(edge, list)
+            and all(
+                isinstance(vertex, int) and not isinstance(vertex, bool)
+                for vertex in edge
+            )
+            for edge in added_edges
+        ):
+            raise InvalidInstanceError(
+                "'add_edges' must be a list of integer vertex lists"
+            )
+        if not isinstance(removed_edges, list) or not all(
+            isinstance(position, int) and not isinstance(position, bool)
+            for position in removed_edges
+        ):
+            raise InvalidInstanceError(
+                "'remove_edges' must be a list of integer edge positions "
+                "in the base snapshot"
+            )
+        if not isinstance(set_weights, list) or not all(
+            isinstance(pair, list) and len(pair) == 2
+            and isinstance(pair[0], int) and not isinstance(pair[0], bool)
+            for pair in set_weights
+        ):
+            raise InvalidInstanceError(
+                "'set_weights' must be a list of [vertex, weight] pairs"
+            )
+        if not isinstance(added_vertices, list):
+            raise InvalidInstanceError(
+                "'add_vertices' must be a list of new-vertex weights"
+            )
+        return GraphDelta(
+            added_vertices=tuple(
+                _parse_weight(token, position)
+                for position, token in enumerate(added_vertices)
+            ),
+            added_edges=tuple(tuple(edge) for edge in added_edges),
+            removed_edges=tuple(removed_edges),
+            reweighted=tuple(
+                (pair[0], _parse_weight(pair[1], position))
+                for position, pair in enumerate(set_weights)
+            ),
+        )
 
     def _request_config(self, message) -> AlgorithmConfig:
         epsilon = message.get("epsilon")
@@ -726,19 +936,25 @@ class CoverServer:
             if result.lane is not None:
                 self._lane_counts[result.lane] += 1
             payload = {
-                "op": "solve",
+                "op": request.op,
                 "id": request.request_id,
                 "ok": True,
                 "latency_ms": round(latency * 1e3, 3),
                 "result": result.as_dict(include_dual=request.include_dual),
             }
         else:
-            payload = self._error_payload("solve", request.request_id, error)
+            payload = self._error_payload(
+                request.op, request.request_id, error
+            )
             payload["latency_ms"] = round(latency * 1e3, 3)
         self._respond(connection, payload, holds_slot=True)
         connection.outstanding -= 1
         if connection.outstanding == 0:
             connection.drained.set()
+        if request.op != "solve" and error is None:
+            self._counters["updates"] += 1
+            if result.warm:
+                self._counters["warm_updates"] += 1
 
     def _error_payload(self, op, request_id, error) -> dict:
         self._counters["errors"] += 1
@@ -797,6 +1013,7 @@ class CoverServer:
                     self._abort_connection(connection)
             if holds_slot:
                 self._slots.release()
+                connection.slots.release()
 
     # ------------------------------------------------------------------
     # Stats
@@ -832,6 +1049,7 @@ class CoverServer:
                 **dict(self._counters),
                 "active_connections": len(self._connections),
                 "max_pending": self._max_pending,
+                "per_client_pending": self._per_client_pending,
             },
             "session": session_stats,
             "latency": latency,
@@ -951,6 +1169,73 @@ class CoverClient:
             message["deadline"] = deadline
         if include_dual:
             message["include_dual"] = True
+        return await self.request(message)
+
+    async def update(
+        self,
+        base,
+        *,
+        add_edges=(),
+        remove_edges=(),
+        set_weights=(),
+        add_vertices=(),
+        threshold: float | None = None,
+        deadline: float | None = None,
+        include_dual: bool = False,
+        request_id=None,
+    ) -> dict:
+        """Mutate the hypergraph of request ``base`` and re-solve.
+
+        ``remove_edges`` are edge positions in the base snapshot;
+        ``set_weights`` is ``[(vertex, weight), ...]``;
+        ``add_vertices`` lists the new vertices' weights.  The returned
+        response's ``result`` carries ``warm``/``invalidated``.
+        """
+        message = {
+            "op": "update",
+            "id": request_id if request_id is not None
+            else f"c{next(self._ids)}",
+            "base": base,
+        }
+        if add_edges:
+            message["add_edges"] = [list(edge) for edge in add_edges]
+        if remove_edges:
+            message["remove_edges"] = list(remove_edges)
+        if set_weights:
+            message["set_weights"] = [
+                [vertex, _weight_for_json(weight)]
+                for vertex, weight in set_weights
+            ]
+        if add_vertices:
+            message["add_vertices"] = [
+                _weight_for_json(weight) for weight in add_vertices
+            ]
+        if threshold is not None:
+            message["threshold"] = threshold
+        if deadline is not None:
+            message["deadline"] = deadline
+        if include_dual:
+            message["include_dual"] = True
+        return await self.request(message)
+
+    async def delete_edge(
+        self,
+        base,
+        position: int,
+        *,
+        deadline: float | None = None,
+        request_id=None,
+    ) -> dict:
+        """Remove one edge (by base-snapshot position) and re-solve."""
+        message = {
+            "op": "delete_edge",
+            "id": request_id if request_id is not None
+            else f"c{next(self._ids)}",
+            "base": base,
+            "position": position,
+        }
+        if deadline is not None:
+            message["deadline"] = deadline
         return await self.request(message)
 
     async def cancel(self, request_id) -> dict:

@@ -56,12 +56,15 @@ from __future__ import annotations
 
 import itertools
 import math
+import queue
 import threading
 from collections import deque
 from concurrent.futures import BrokenExecutor, CancelledError
+from dataclasses import replace
 
 from repro.core import parallel
 from repro.core.batch import run_fastpath_batch
+from repro.core.incremental import resolve_incremental, solve_state
 from repro.core.parallel import (
     _decode_result,
     _observe_instance,
@@ -72,13 +75,20 @@ from repro.core.parallel import (
 )
 from repro.core.params import AlgorithmConfig
 from repro.core.result import CoverResult
+from repro.core.state import SolveState
 from repro.exceptions import (
+    InvalidInstanceError,
     SessionClosedError,
     TicketCancelled,
     TicketTimeout,
 )
 from repro.hypergraph.csr import BatchArena, pack_arena, slice_arena
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.mutable import (
+    GraphDelta,
+    MutableHypergraph,
+    apply_delta,
+)
 
 __all__ = ["BatchSession", "StreamTicket", "replay_schedule"]
 
@@ -150,10 +160,12 @@ class StreamTicket:
     def __init__(
         self,
         ticket_id: int,
-        hypergraph: Hypergraph,
+        hypergraph: Hypergraph | None,
         config: AlgorithmConfig,
         session: "BatchSession",
     ):
+        # ``hypergraph`` is ``None`` for an update ticket until its
+        # mutated snapshot is materialized (just before it settles).
         self.id = ticket_id
         self.hypergraph = hypergraph
         self.config = config
@@ -333,6 +345,12 @@ class BatchSession:
         self._shard_ids = itertools.count()
         self._open = True
         self._unsettled = 0
+        #: Warm-restart handles by ticket id: every settled update (and
+        #: its bootstrap) keeps its :class:`SolveState` resident so the
+        #: next ``submit_update`` chained on it re-solves warm.
+        self._states: dict[int, SolveState] = {}
+        self._updates: queue.Queue = queue.Queue()
+        self._updater: threading.Thread | None = None
         #: Scheduling counters (informational): sealed shards, steals,
         #: shard splits, worker crashes, deduplicated late results.
         self.stats = {
@@ -345,6 +363,8 @@ class BatchSession:
             "cancelled": 0,
             "timeouts": 0,
             "callback_errors": 0,
+            "updates": 0,
+            "warm_updates": 0,
         }
         self._record = record_schedule
         #: The admission/schedule log: a list of event tuples (see
@@ -387,6 +407,13 @@ class BatchSession:
         with self._lock:
             self._open = False
         self.drain()
+        with self._lock:
+            updater, self._updater = self._updater, None
+        if updater is not None:
+            # Every queued update has settled (drain waited on them);
+            # the sentinel releases the idle orchestrator thread.
+            self._updates.put(None)
+            updater.join()
 
     def drain(self) -> None:
         """Block until every submitted instance has settled."""
@@ -439,24 +466,193 @@ class BatchSession:
                     "submit() on a closed BatchSession — results of "
                     "earlier submissions remain retrievable"
                 )
-            config = config or self._config
+            return self._admit_locked(hypergraph, config, deadline)
+
+    def _admit(
+        self, hypergraph: Hypergraph, config: AlgorithmConfig | None
+    ) -> StreamTicket:
+        """Internal admission that bypasses the ``_open`` gate.
+
+        The update orchestrator solves fragment sub-jobs through the
+        ordinary admission pipeline; those sub-solves must keep working
+        while ``close()`` drains updates submitted before the close.
+        """
+        with self._lock:
+            return self._admit_locked(hypergraph, config, None)
+
+    def _admit_locked(self, hypergraph, config, deadline) -> StreamTicket:
+        config = config or self._config
+        ticket = StreamTicket(
+            next(self._ticket_ids), hypergraph, config, self
+        )
+        self._unsettled += 1
+        self._log("submit", ticket.id)
+        buffer = self._buffers.setdefault(config, [])
+        buffer.append(ticket)
+        if deadline is not None:
+            ticket._timer = threading.Timer(
+                deadline, self._on_deadline, args=(ticket, deadline)
+            )
+            ticket._timer.daemon = True
+            ticket._timer.start()
+        if len(buffer) >= self._max_batch or self._idle_capacity():
+            self._seal(config)
+        self._pump()
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+
+    def submit_update(
+        self,
+        handle: StreamTicket,
+        delta: GraphDelta | MutableHypergraph,
+        *,
+        deadline: float | None = None,
+        threshold: float = 0.5,
+    ) -> StreamTicket:
+        """Admit a mutation against an earlier ticket's hypergraph.
+
+        ``handle`` is a prior :meth:`submit` or :meth:`submit_update`
+        ticket; ``delta`` is a :class:`~repro.hypergraph.GraphDelta`
+        against that ticket's (possibly mutated) snapshot — or a
+        :class:`~repro.hypergraph.MutableHypergraph` whose coalesced
+        delta is read off the handle's recorded version.  The returned
+        ticket resolves to the cover of the mutated snapshot,
+        bit-identical to a from-scratch solve; its result's
+        ``warm``/``invalidated`` fields report whether the cached
+        :class:`~repro.core.state.SolveState` was reused
+        (:func:`~repro.core.incremental.resolve_incremental`) or the
+        update fell back to a fresh decomposition — which is what a
+        first update on a plain ``submit`` handle always does, since
+        plain submissions do not keep per-component state.
+
+        Updates are orchestrated FIFO on a dedicated session thread
+        (chained updates see their ancestors' states in order); the
+        fragment re-solves themselves run through the ordinary
+        micro-batch/steal scheduler, so they share the worker pool
+        fairly with concurrent plain submissions.  ``deadline`` and
+        :meth:`StreamTicket.cancel` work exactly as for ``submit``.
+        """
+        if deadline is not None and not (
+            math.isfinite(deadline) and deadline > 0
+        ):
+            raise ValueError(
+                f"deadline must be a finite number of seconds > 0, "
+                f"got {deadline}"
+            )
+        if not isinstance(handle, StreamTicket) or handle._session is not self:
+            raise InvalidInstanceError(
+                "submit_update() needs a ticket issued by this session"
+            )
+        with self._lock:
+            if not self._open:
+                raise SessionClosedError(
+                    "submit_update() on a closed BatchSession — results "
+                    "of earlier submissions remain retrievable"
+                )
             ticket = StreamTicket(
-                next(self._ticket_ids), hypergraph, config, self
+                next(self._ticket_ids), None, handle.config, self
             )
             self._unsettled += 1
-            self._log("submit", ticket.id)
-            buffer = self._buffers.setdefault(config, [])
-            buffer.append(ticket)
+            self.stats["updates"] += 1
+            self._log("update", ticket.id, handle.id)
             if deadline is not None:
                 ticket._timer = threading.Timer(
                     deadline, self._on_deadline, args=(ticket, deadline)
                 )
                 ticket._timer.daemon = True
                 ticket._timer.start()
-            if len(buffer) >= self._max_batch or self._idle_capacity():
-                self._seal(config)
-            self._pump()
+            if self._updater is None:
+                self._updater = threading.Thread(
+                    target=self._update_loop,
+                    name="batch-session-updates",
+                    daemon=True,
+                )
+                self._updater.start()
+            self._updates.put((ticket, handle, delta, threshold))
             return ticket
+
+    def _update_loop(self) -> None:
+        """FIFO update orchestrator (dedicated daemon thread)."""
+        while True:
+            job = self._updates.get()
+            if job is None:
+                return
+            self._run_update(*job)
+
+    def _solve_fragments(self, jobs) -> list[CoverResult]:
+        """Session :data:`~repro.core.incremental.FragmentSolver`:
+        fragment re-solves go through the ordinary admission pipeline
+        (micro-batching, stealing, the worker pool) as sub-tickets.
+        Runs on the orchestrator thread, never under the session lock.
+        """
+        tickets = [
+            self._admit(instance, config) for instance, config in jobs
+        ]
+        return [ticket.result() for ticket in tickets]
+
+    def _run_update(self, ticket, handle, delta, threshold) -> None:
+        """Execute one queued update job (orchestrator thread)."""
+        if ticket.done():  # cancelled or timed out while queued
+            return
+        try:
+            with self._lock:
+                state = self._states.get(handle.id)
+            if state is not None:
+                new_state = resolve_incremental(
+                    state,
+                    delta,
+                    threshold=threshold,
+                    verify=self._verify,
+                    solver=self._solve_fragments,
+                )
+            else:
+                # No cached state: the base is a plain submission.
+                # Wait for it (FIFO chaining), then solve the mutated
+                # snapshot from scratch — cold, but it seeds the state
+                # every later update in the chain re-solves warm from.
+                base_error: BaseException | None = None
+                try:
+                    handle.result()
+                except BaseException as error:
+                    base_error = error
+                base = handle.hypergraph
+                if base_error is not None or base is None:
+                    raise InvalidInstanceError(
+                        f"update base ticket {handle.id} has no result "
+                        f"to mutate"
+                    ) from base_error
+                if isinstance(delta, MutableHypergraph):
+                    delta = delta.delta_since(0)
+                mutated = apply_delta(base, delta)
+                new_state = solve_state(
+                    mutated,
+                    ticket.config,
+                    verify=self._verify,
+                    solver=self._solve_fragments,
+                    version=delta.version,
+                )
+                new_state.result = replace(
+                    new_state.result,
+                    warm=False,
+                    invalidated=mutated.num_edges,
+                )
+        except BaseException as error:
+            with self._lock:
+                self._settle(ticket, error=error)
+                self._pump()
+                self._drained.notify_all()
+            return
+        with self._lock:
+            ticket.hypergraph = new_state.snapshot
+            self._states[ticket.id] = new_state
+            if new_state.result.warm:
+                self.stats["warm_updates"] += 1
+            self._settle(ticket, result=new_state.result)
+            self._pump()
+            self._drained.notify_all()
 
     def _on_deadline(self, ticket: StreamTicket, deadline: float) -> None:
         self._abandon(
@@ -866,6 +1062,8 @@ class BatchSession:
                 ),
                 "jobs": self._jobs,
                 "open": self._open,
+                "resident_states": len(self._states),
+                "cost_model": parallel.COST_MODEL.export(),
             }
 
 

@@ -1,6 +1,11 @@
 """Hypergraph substrate: instances, generators, set cover, statistics, I/O."""
 
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.mutable import (
+    GraphDelta,
+    MutableHypergraph,
+    apply_delta,
+)
 from repro.hypergraph.setcover import SetCoverInstance, random_set_cover
 from repro.hypergraph.stats import InstanceStats, instance_stats
 from repro.hypergraph.validation import (
@@ -13,6 +18,9 @@ from repro.hypergraph import generators, io, transforms
 __all__ = [
     "transforms",
     "Hypergraph",
+    "MutableHypergraph",
+    "GraphDelta",
+    "apply_delta",
     "SetCoverInstance",
     "random_set_cover",
     "InstanceStats",

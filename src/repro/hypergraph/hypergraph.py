@@ -259,6 +259,19 @@ class Hypergraph:
     # ------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        """Snapshot identity: value equality over ``(n, edges, weights)``.
+
+        A :meth:`MutableHypergraph.snapshot
+        <repro.hypergraph.mutable.MutableHypergraph.snapshot>` taken at
+        version ``v`` compares equal to an identically-constructed
+        ``Hypergraph`` — and *only* to one.  Instances are immutable,
+        so equality (and the hash below) is stable for the object's
+        lifetime, making snapshots safe dict/set keys; the mutable
+        store itself is deliberately unhashable so it can never
+        masquerade as such a key and go stale.  Comparison never
+        considers derived state (incidence, rank, degree): both
+        constructors derive it from the compared triple.
+        """
         if not isinstance(other, Hypergraph):
             return NotImplemented
         return (
@@ -268,6 +281,7 @@ class Hypergraph:
         )
 
     def __hash__(self) -> int:
+        """Hash of the ``(n, edges, weights)`` identity triple."""
         return hash((self._num_vertices, self._edges, self._weights))
 
     def __repr__(self) -> str:

@@ -48,6 +48,7 @@ from repro.hypergraph.generators import (
     uniform_weights,
 )
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.mutable import MutableHypergraph
 
 SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
 
@@ -619,3 +620,197 @@ def test_cli_serve_tcp_rejects_bad_addresses():
     assert main(["serve", "--tcp", "no-port-here"]) == 2
     assert main(["serve", "--tcp", "127.0.0.1:notaport"]) == 2
     assert main(["serve", "--tcp", "127.0.0.1:70000"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Dynamic hypergraphs over the wire: update / delete_edge
+# ----------------------------------------------------------------------
+
+
+def components_instance(seed: int) -> Hypergraph:
+    """Three disjoint 8-vertex components with a rank-3 anchor each."""
+    import random as random_module
+
+    rng = random_module.Random(seed)
+    edges = []
+    for block in range(3):
+        lo = 8 * block
+        edges.append((lo, lo + 1, lo + 2))
+        for _ in range(4):
+            size = rng.randint(2, 3)
+            edges.append(tuple(sorted(rng.sample(range(lo, lo + 8), size))))
+    return Hypergraph(
+        24, edges, weights=[rng.randint(1, 40) for _ in range(24)]
+    )
+
+
+def test_update_verbs_chain_and_stay_exact():
+    """solve -> update (cold bootstrap) -> update (warm) -> delete_edge:
+    every response is bit-identical to solving the mutated snapshot
+    from scratch, and warm/invalidated report honestly."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 2))
+    base = components_instance(41)
+
+    async def main():
+        server = CoverServer(config=config, jobs=2)
+        host, port = await server.start()
+        client = await CoverClient.connect(host, port)
+        try:
+            solved = await client.solve(base, request_id="s0")
+            assert response_dict(solved) == solo_dict(base, config)
+
+            store = MutableHypergraph(base)
+            store.remove_edge(1)
+            store.add_edge((0, 3))
+            first = await client.update(
+                "s0", remove_edges=[1], add_edges=[(0, 3)],
+                request_id="u1",
+            )
+            snapshot1 = store.snapshot()
+            body = response_dict(first)
+            assert body.pop("warm") is False  # plain solves keep no state
+            assert body.pop("invalidated") == snapshot1.num_edges
+            assert body == solo_dict(snapshot1, config)
+
+            chain = MutableHypergraph(snapshot1)
+            position = next(
+                index
+                for index in range(snapshot1.num_edges)
+                if max(snapshot1.edge(index)) < 8
+                and len(snapshot1.edge(index)) < 3
+            )
+            chain.remove_edge(position)
+            chain.add_edge((1, 5))
+            chain.set_weight(4, Fraction(9, 2))
+            second = await client.update(
+                "u1",
+                remove_edges=[position],
+                add_edges=[(1, 5)],
+                set_weights=[(4, Fraction(9, 2))],
+                request_id="u2",
+            )
+            snapshot2 = chain.snapshot()
+            body = response_dict(second)
+            assert body.pop("warm") is True  # chained on u1's state
+            assert 0 < body.pop("invalidated") < snapshot2.num_edges
+            assert body == solo_dict(snapshot2, config)
+
+            final = MutableHypergraph(snapshot2)
+            final.remove_edge(0)
+            deleted = await client.delete_edge("u2", 0, request_id="d0")
+            body = response_dict(deleted)
+            body.pop("warm")
+            body.pop("invalidated")
+            assert body == solo_dict(final.snapshot(), config)
+
+            stats = await client.stats()
+            assert stats["server"]["updates"] == 3
+            assert stats["server"]["warm_updates"] >= 1
+            assert stats["session"]["resident_states"] == 3
+            assert "cost_model" in stats["session"]
+            exported = stats["session"]["cost_model"]
+            assert exported["observations"] >= 1
+            assert all(
+                entry["samples"] >= 1
+                for entry in exported["rates"].values()
+            )
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_update_verb_rejects_bad_requests():
+    config = AlgorithmConfig(epsilon=Fraction(1, 2))
+    base = components_instance(43)
+
+    async def main():
+        server = CoverServer(config=config, jobs=2)
+        host, port = await server.start()
+        client = await CoverClient.connect(host, port)
+        try:
+            await client.solve(base, request_id="s0")
+            # Unknown base id.
+            response = await client.update("ghost", remove_edges=[0])
+            assert not response["ok"], response
+            assert response["kind"] == "bad-request"
+            # Malformed delta shapes.
+            for message in (
+                {"op": "update", "id": "b1", "base": "s0",
+                 "add_edges": [[0, "x"]]},
+                {"op": "update", "id": "b2", "base": "s0",
+                 "remove_edges": [1.5]},
+                {"op": "update", "id": "b3", "base": "s0",
+                 "set_weights": [[0]]},
+                {"op": "update", "id": "b4", "base": "s0",
+                 "threshold": -1},
+                {"op": "delete_edge", "id": "b5", "base": "s0"},
+            ):
+                response = await client.request(message)
+                assert not response["ok"], (message, response)
+                assert response["kind"] == "bad-request", response
+            # Semantically invalid (position out of range): a
+            # solver-level error, and the connection keeps serving.
+            response = await client.delete_edge("s0", 10_000)
+            assert not response["ok"] and response["kind"] == "error"
+            follow_up = await client.solve(base)
+            assert response_dict(follow_up) == solo_dict(base, config)
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Per-client fairness
+# ----------------------------------------------------------------------
+
+
+def test_per_client_quota_prevents_starvation():
+    """A greedy pipeliner saturating the server must not starve a
+    second client: the per-client quota caps the greedy connection at
+    one slot, so the fair client's request is admitted and answered
+    while the greedy backlog is still running."""
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    small = small_instance(9)
+
+    async def main():
+        server = CoverServer(
+            config=config, jobs=2, max_batch=1,
+            max_pending=2, per_client_pending=1,
+        )
+        host, port = await server.start()
+        greedy = await CoverClient.connect(host, port)
+        fair = await CoverClient.connect(host, port)
+        try:
+            burst = [
+                asyncio.create_task(
+                    greedy.solve(
+                        slow_instance(seed), epsilon=SLOW_EPSILON,
+                        request_id=f"g{seed}",
+                    )
+                )
+                for seed in range(3)
+            ]
+            await asyncio.sleep(0.2)  # greedy now holds its one slot
+            response = await fair.solve(small, request_id="fair")
+            still_running = sum(not task.done() for task in burst)
+            burst_responses = await asyncio.gather(*burst)
+            stats = await greedy.stats()
+            return response, still_running, burst_responses, stats
+        finally:
+            await greedy.close()
+            await fair.close()
+            await server.shutdown()
+
+    response, still_running, burst_responses, stats = asyncio.run(main())
+    # The fair client was answered exactly while greedy work remained.
+    assert response_dict(response) == solo_dict(small, config)
+    assert still_running >= 1
+    # The greedy client's burst still completes exactly (throttled,
+    # never dropped).
+    for seed, burst_response in enumerate(burst_responses):
+        assert burst_response["ok"], burst_response
+    assert stats["server"]["per_client_pending"] == 1
