@@ -1,0 +1,301 @@
+"""E15 — serving through chaos: zero lost requests, bounded tails.
+
+The resilience acceptance gate.  A :class:`~repro.core.server.CoverServer`
+with two workers serves a steady request stream while a deterministic
+:class:`~repro.core.faults.FaultPlan` takes the pool apart mid-run:
+
+* one worker is **SIGKILLed** mid-dispatch (twice — enough to trip the
+  session's circuit breaker into degraded in-process mode);
+* another worker is **hung** on a 20-second stall, which the
+  :class:`~repro.core.supervisor.WorkerSupervisor` must cut short at
+  its cost-model solve deadline with a targeted kill;
+* after the breaker's cooldown, a probe dispatch must close it again
+  (recovery), with the stream still flowing.
+
+The gate asserts outcomes, not luck:
+
+* **zero lost requests** — every request of every phase is answered
+  ``ok``, bit-identical to a solo ``executor="fastpath"`` solve;
+* **the recovery machinery actually ran** — summed per-response
+  ``retries`` > 0, breaker ``trips`` >= 1 *and* ``recoveries`` >= 1,
+  supervisor ``hung``/``kills`` >= 1;
+* client-observed p50/p95/p99 latency lands in the published record
+  (and the ``BENCH_3.json`` trend series), so the cost of surviving
+  faults is visible across commits.
+
+Unlike the throughput gates (E11-E13), every assertion here is a
+correctness property of the recovery path and holds on single-core
+boxes too, so nothing is floor-gated on ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from fractions import Fraction
+
+from conftest import publish, publish_json
+
+from repro.analysis.tables import render_table
+from repro.core.faults import FaultPlan
+from repro.core.params import AlgorithmConfig
+from repro.core.server import CoverClient, CoverServer, _percentile
+from repro.core.solver import solve_mwhvc
+from repro.core.supervisor import SupervisorPolicy
+from repro.hypergraph.generators import regular_hypergraph, uniform_weights
+
+N = 42
+RANK = 3
+DEGREE = 8
+EPSILON = Fraction(1, 100)
+CLIENTS = 4
+HEALTHY_REQUESTS = 8
+CHAOS_REQUESTS = 12
+RECOVERY_ATTEMPTS = 30
+HANG_REQUESTS = 4
+HANG_SECONDS = 20.0
+
+POLICY = SupervisorPolicy(
+    floor=1.0,
+    tick=0.05,
+    retry_budget=2,
+    backoff_base=0.02,
+    backoff_cap=0.2,
+    breaker_threshold=2,
+    breaker_window=30.0,
+    breaker_cooldown=0.3,
+)
+
+def build_corpus(count):
+    return [
+        regular_hypergraph(
+            N, RANK, DEGREE, seed=seed,
+            weights=uniform_weights(N, 10_000, seed=seed + 9),
+        )
+        for seed in range(count)
+    ]
+
+
+def solo_reference(corpus, config):
+    references = []
+    for hypergraph in corpus:
+        result = solve_mwhvc(hypergraph, config=config, executor="fastpath")
+        data = result.as_dict()
+        data.pop("lane", None)
+        data.pop("worker", None)
+        references.append(data)
+    return references
+
+
+async def drive_chaos(corpus, config):
+    """The full four-phase run; returns the raw evidence.
+
+    Phase 1 (healthy): warm pool, baseline stream.  Phase 2 (kills):
+    two forced worker kills ride the next dispatches while requests
+    keep flowing — two pool-break failures trip the breaker into
+    degraded in-process mode.  Phase 3 (recovery): after the breaker's
+    cooldown, keep submitting until a half-open probe closes it.
+    Phase 4 (hang): a forced 20-second stall with the pool otherwise
+    healthy — the supervisor's deadline must cut it short with a
+    targeted kill and the shard must come back through retry.  (The
+    hang runs *after* the kills on purpose: a pool break fails every
+    inflight future at once, which would let a concurrent kill settle
+    the hung shard before the supervisor's deadline ever fires.)
+    """
+    from repro.core.server import instance_payload
+
+    plan = FaultPlan(seed=0)
+    server = CoverServer(
+        config=config, jobs=2, max_batch=4,
+        fault_plan=plan, policy=POLICY,
+    )
+    host, port = await server.start()
+    responses = []
+    latencies = []
+    try:
+        clients = await asyncio.gather(
+            *[CoverClient.connect(host, port) for _ in range(CLIENTS)]
+        )
+        try:
+            cursor = 0
+
+            async def send(position):
+                message = {
+                    "op": "solve",
+                    "id": f"r{position}",
+                    **instance_payload(corpus[position]),
+                }
+                started = time.perf_counter()
+                response = await clients[position % CLIENTS].request(message)
+                latencies.append(time.perf_counter() - started)
+                responses.append((position, response))
+
+            async def wave(count):
+                nonlocal cursor
+                first = cursor
+                cursor += count
+                await asyncio.gather(
+                    *[send(position) for position in range(first, cursor)]
+                )
+
+            # Phase 1 — healthy baseline (also spawns the workers).
+            await wave(HEALTHY_REQUESTS)
+
+            # Phase 2 — two forced kills on the next dispatches:
+            # enough pool-break failures to trip the breaker.
+            plan.force_worker("kill")
+            plan.force_worker("kill")
+            await wave(CHAOS_REQUESTS)
+
+            # Phase 3 — recovery: wait out the cooldown, then stream
+            # singles until a half-open probe closes the breaker.
+            await asyncio.sleep(POLICY.breaker_cooldown + 0.1)
+            recovered = False
+            for _ in range(RECOVERY_ATTEMPTS):
+                await wave(1)
+                stats = await clients[0].stats()
+                breaker = stats["session"]["breaker"]
+                if breaker["recoveries"] >= 1:
+                    recovered = True
+                    break
+                await asyncio.sleep(0.1)
+
+            # Phase 4 — a hang against a healthy pool; the supervisor
+            # must cut it at its deadline and the retry must land.
+            plan.force_worker("hang", HANG_SECONDS)
+            await wave(HANG_REQUESTS)
+            stats = await clients[0].stats()
+        finally:
+            for client in clients:
+                await client.close()
+    finally:
+        await server.shutdown()
+        session_snapshot = server.session.snapshot()
+    return responses, latencies, stats, session_snapshot, plan, recovered
+
+
+def test_chaos_serving_gate(benchmark):
+    """Acceptance: kills + a hang mid-run lose nothing — every request
+    answered bit-identically, retries > 0, breaker tripped and
+    recovered, supervisor killed the hung worker — with the latency
+    tail published to the trend series."""
+    config = AlgorithmConfig(epsilon=EPSILON)
+    corpus = build_corpus(
+        HEALTHY_REQUESTS + CHAOS_REQUESTS + RECOVERY_ATTEMPTS
+        + HANG_REQUESTS
+    )
+    references = solo_reference(corpus, config)
+
+    responses, latencies, stats, snapshot, plan, recovered = (
+        benchmark.pedantic(
+            lambda: asyncio.run(drive_chaos(corpus, config)),
+            rounds=1,
+            iterations=1,
+        )
+    )
+
+    # Zero lost requests: everything sent was answered, and answered ok.
+    lost = [
+        (position, response)
+        for position, response in responses
+        if not response.get("ok")
+    ]
+    assert not lost, f"requests lost or errored under chaos: {lost[:3]}"
+    retries_total = sum(
+        response.get("retries", 0) for _, response in responses
+    )
+    for position, response in responses:
+        body = dict(response["result"])
+        body.pop("lane", None)
+        body.pop("worker", None)
+        assert body == references[position], (
+            f"response r{position} drifted from solo fastpath under chaos"
+        )
+
+    breaker = snapshot["breaker"]
+    supervisor = snapshot["supervisor"]
+    session_stats = snapshot["stats"]
+    assert plan.fired.get("kill", 0) >= 2, dict(plan.fired)
+    assert plan.fired.get("hang", 0) >= 1, dict(plan.fired)
+    assert retries_total > 0, session_stats
+    assert session_stats["retries"] >= 1, session_stats
+    assert breaker["trips"] >= 1, breaker
+    assert recovered and breaker["recoveries"] >= 1, breaker
+    assert supervisor["hung"] >= 1, supervisor
+    assert supervisor["kills"] >= 1, supervisor
+
+    ordered = sorted(latencies)
+    p50 = _percentile(ordered, 0.50) * 1e3
+    p95 = _percentile(ordered, 0.95) * 1e3
+    p99 = _percentile(ordered, 0.99) * 1e3
+    cpus = os.cpu_count() or 1
+
+    table = render_table(
+        ["phase", "requests", "evidence"],
+        [
+            ["healthy", str(HEALTHY_REQUESTS), "pool warm, stream flowing"],
+            [
+                "kills",
+                str(CHAOS_REQUESTS),
+                (
+                    f"killx{plan.fired.get('kill', 0)}, "
+                    f"retries={session_stats['retries']}, "
+                    f"degraded={session_stats['degraded']}"
+                ),
+            ],
+            [
+                "recovery",
+                str(
+                    len(responses) - HEALTHY_REQUESTS - CHAOS_REQUESTS
+                    - HANG_REQUESTS
+                ),
+                (
+                    f"trips={breaker['trips']}, "
+                    f"recoveries={breaker['recoveries']}, "
+                    f"state={breaker['state']}"
+                ),
+            ],
+            [
+                "hang",
+                str(HANG_REQUESTS),
+                (
+                    f"hangx{plan.fired.get('hang', 0)}, "
+                    f"supervisor hung={supervisor['hung']} "
+                    f"kills={supervisor['kills']}"
+                ),
+            ],
+        ],
+        title=(
+            f"E15 — {len(responses)} requests through kills + a hang "
+            f"(jobs=2, {cpus} cpu(s)); 0 lost; latency p50/p95/p99 "
+            f"{p50:.1f}/{p95:.1f}/{p99:.1f} ms"
+        ),
+    )
+    publish("chaos_resilience", table)
+    publish_json(
+        "chaos_resilience",
+        {
+            "gate": "chaos_zero_lost_requests",
+            "requests": len(responses),
+            "lost": 0,
+            "clients": CLIENTS,
+            "n": N,
+            "epsilon": str(EPSILON),
+            "cpus": cpus,
+            "faults_fired": dict(plan.fired),
+            "retries_total": retries_total,
+            "session_retries": session_stats["retries"],
+            "session_exhausted": session_stats["exhausted"],
+            "session_degraded": session_stats["degraded"],
+            "transport_errors": session_stats["transport_errors"],
+            "breaker_trips": breaker["trips"],
+            "breaker_recoveries": breaker["recoveries"],
+            "supervisor_hung": supervisor["hung"],
+            "supervisor_kills": supervisor["kills"],
+            "p50_ms": round(p50, 3),
+            "p95_ms": round(p95, 3),
+            "p99_ms": round(p99, 3),
+            "bit_identical": True,
+        },
+    )

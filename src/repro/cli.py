@@ -227,6 +227,40 @@ def _build_parser() -> argparse.ArgumentParser:
             "of summaries"
         ),
     )
+    serve.add_argument(
+        "--shed-after",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "TCP only: load-shedding bound in seconds — a request whose "
+            "admission wait exceeds it is answered 'overloaded' with a "
+            "retry_after hint instead of queueing (default: pure TCP "
+            "backpressure)"
+        ),
+    )
+    serve.add_argument(
+        "--max-resident",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "TCP only: bound on resident incremental solve states for "
+            "the update verb; least-recently-used states beyond it are "
+            "evicted and re-solve cold (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "TCP only, dev/chaos: deterministic fault-injection spec "
+            "('seed=3,kill=0.05,hang=0.02,drop=0.01,...'); refused "
+            "unless the REPRO_CHAOS=1 environment variable is set, so "
+            "a production launcher cannot arm it by accident"
+        ),
+    )
 
     generate = commands.add_parser(
         "generate", help="write a random instance file"
@@ -398,6 +432,7 @@ def _dispatch_serve_tcp(arguments: argparse.Namespace) -> int:
     every admitted request is answered before the session closes.
     """
     import asyncio
+    import os
     import signal
 
     from repro.core.server import CoverServer
@@ -406,6 +441,24 @@ def _dispatch_serve_tcp(arguments: argparse.Namespace) -> int:
     config = AlgorithmConfig(
         epsilon=arguments.epsilon, schedule=arguments.schedule
     )
+    fault_plan = None
+    if arguments.fault_plan is not None:
+        if os.environ.get("REPRO_CHAOS") != "1":
+            # Fault injection kills real workers and resets real client
+            # connections: an explicit env opt-in keeps the flag from
+            # ever being armed by a copy-pasted production launcher.
+            raise InvalidInstanceError(
+                "--fault-plan is a chaos-testing flag; set REPRO_CHAOS=1 "
+                "in the environment to confirm this is not production"
+            )
+        from repro.core.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_spec(arguments.fault_plan)
+        except ValueError as error:
+            raise InvalidInstanceError(
+                f"bad --fault-plan spec: {error}"
+            ) from error
 
     async def run() -> None:
         server = CoverServer(
@@ -416,6 +469,9 @@ def _dispatch_serve_tcp(arguments: argparse.Namespace) -> int:
             max_batch=arguments.max_batch,
             max_pending=arguments.max_pending,
             per_client_pending=arguments.per_client_pending,
+            shed_after=arguments.shed_after,
+            fault_plan=fault_plan,
+            max_resident=arguments.max_resident,
         )
         bound_host, bound_port = await server.start()
         print(f"serving on {bound_host}:{bound_port}", flush=True)

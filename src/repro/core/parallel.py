@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import signal
 import threading
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -59,10 +60,12 @@ from fractions import Fraction
 from types import SimpleNamespace
 
 from repro.core.batch import run_fastpath_batch
+from repro.core.faults import FaultPlan
 from repro.core.kernels import MACHINE_LANES, lane_eligibility
 from repro.core.numeric import raw_fraction
 from repro.core.params import AlgorithmConfig, resolve_alpha
 from repro.core.result import AlgorithmStats, CoverResult
+from repro.exceptions import ArenaTransportError, WorkerResultError
 from repro.hypergraph.csr import (
     arena_hypergraphs,
     deserialize_arena,
@@ -78,6 +81,7 @@ except ImportError:  # pragma: no cover
 
 __all__ = [
     "COST_MODEL",
+    "FAULT_PLAN",
     "CostModel",
     "corrected_cost",
     "estimated_cost",
@@ -93,9 +97,12 @@ __all__ = [
 #: Test hook: force the pickle transport even when shared memory works.
 _FORCE_PICKLE = False
 
-#: Test hook: make every worker task kill its process (exercises the
-#: broken-pool -> in-process fallback without a real crash).
-_CRASH_WORKERS = False
+#: Optional :class:`~repro.core.faults.FaultPlan` consulted by the
+#: static sharded executor: each shard dispatch draws one worker
+#: directive from it (the streaming session carries its own plan
+#: instead).  Replaces the old ``_CRASH_WORKERS`` boolean with a
+#: seeded, auditable mechanism covering kill/hang/slow.
+FAULT_PLAN: FaultPlan | None = None
 
 
 # ----------------------------------------------------------------------
@@ -279,6 +286,18 @@ class CostModel:
                 return learned
             return self._blended if self._blended is not None else 1.0
 
+    @property
+    def observations(self) -> int:
+        """How many observed solve times have been folded in.
+
+        Zero means :func:`corrected_cost` values are still raw static
+        cost units, not approximate seconds — the supervisor's solve
+        deadline falls back to its flat floor in that regime instead
+        of treating cost units as a time estimate.
+        """
+        with self._lock:
+            return self._observations
+
     def snapshot(self) -> dict:
         """Copy of the learned table (tests and diagnostics)."""
         with self._lock:
@@ -449,35 +468,59 @@ def _encode_result(result: CoverResult) -> tuple:
     )
 
 
+#: Field count of the :func:`_encode_result` wire tuple.
+_RESULT_WIRE_FIELDS = 16
+
+
 def _decode_result(wire: tuple, worker: int) -> CoverResult:
+    """Rebuild one :class:`CoverResult` from its wire tuple.
+
+    A payload whose shape does not match the wire format raises a
+    typed :class:`~repro.exceptions.WorkerResultError` instead of a
+    bare ``TypeError``/``ValueError``: a corrupted worker response
+    must be distinguishable (and recoverable) at the scheduling layer,
+    never decodable into a plausible wrong result.
+    """
+    if not isinstance(wire, tuple) or len(wire) != _RESULT_WIRE_FIELDS:
+        raise WorkerResultError(
+            f"worker result payload malformed: expected a "
+            f"{_RESULT_WIRE_FIELDS}-field tuple, got "
+            f"{type(wire).__name__} of length "
+            f"{len(wire) if hasattr(wire, '__len__') else 'n/a'}"
+        )
     (
         cover, weight, rank, epsilon, iterations, rounds,
         dual_keys, dual_nums, dual_dens, dual_total, certificate,
         levels, stats, alpha_min, alpha_max, lane,
     ) = wire
-    return CoverResult(
-        cover=frozenset(cover),
-        weight=_decode_rational(weight),
-        rank=rank,
-        epsilon=_decode_rational(epsilon),
-        iterations=iterations,
-        rounds=rounds,
-        dual={
-            edge_id: raw_fraction(numerator, denominator)
-            for edge_id, numerator, denominator in zip(
-                dual_keys, dual_nums, dual_dens
-            )
-        },
-        dual_total=_decode_rational(dual_total),
-        certificate=certificate,
-        levels=levels,
-        stats=AlgorithmStats(*stats),
-        metrics=None,
-        alpha_min=_decode_rational(alpha_min),
-        alpha_max=_decode_rational(alpha_max),
-        lane=lane,
-        worker=worker,
-    )
+    try:
+        return CoverResult(
+            cover=frozenset(cover),
+            weight=_decode_rational(weight),
+            rank=rank,
+            epsilon=_decode_rational(epsilon),
+            iterations=iterations,
+            rounds=rounds,
+            dual={
+                edge_id: raw_fraction(numerator, denominator)
+                for edge_id, numerator, denominator in zip(
+                    dual_keys, dual_nums, dual_dens
+                )
+            },
+            dual_total=_decode_rational(dual_total),
+            certificate=certificate,
+            levels=levels,
+            stats=AlgorithmStats(*stats),
+            metrics=None,
+            alpha_min=_decode_rational(alpha_min),
+            alpha_max=_decode_rational(alpha_max),
+            lane=lane,
+            worker=worker,
+        )
+    except (TypeError, ValueError, IndexError) as error:
+        raise WorkerResultError(
+            f"worker result payload malformed: {error}"
+        ) from error
 
 
 # ----------------------------------------------------------------------
@@ -504,7 +547,14 @@ def _attach_shm_bytes(name: str, size: int) -> bytes:
         return handle.read(size)
 
 
-def _solve_shard(payload: dict) -> tuple[int, list[tuple], list[float]]:
+#: Ceiling on the extra stall a ``slow`` fault directive may add, so a
+#: misconfigured factor on a heavy shard cannot wedge a soak.
+_SLOW_FAULT_CAP_SECONDS = 10.0
+
+
+def _solve_shard(
+    payload: dict,
+) -> tuple[int, list[tuple], list[float], bool]:
     """Worker entry point: solve one shard with the in-process executor.
 
     The payload carries the shard's serialized arena (by shared-memory
@@ -515,13 +565,44 @@ def _solve_shard(payload: dict) -> tuple[int, list[tuple], list[float]]:
     :func:`_encode_result`, alongside per-instance observed solve
     times: the shard's measured wall time apportioned by
     :func:`observed_work` (actual lane, actual iterations), which the
-    parent feeds into :data:`COST_MODEL`.
+    parent feeds into :data:`COST_MODEL` — unless the trailing
+    ``faulted`` flag is set, meaning an injected fault directive
+    distorted this shard's wall time and its observations must not
+    poison the model.
+
+    Two optional payload fields serve the chaos/supervision layer: a
+    ``fault`` directive from a :class:`~repro.core.faults.FaultPlan`
+    (``("kill",)`` SIGKILLs the process before any work; ``("hang",
+    s)`` stalls before solving; ``("slow", f)`` stretches the solve
+    wall time), and a ``heartbeat`` path the worker writes its pid to
+    on pickup, so the parent's supervisor can kill *this* process when
+    the solve deadline expires.  A vanished shared-memory segment or a
+    corrupted buffer raises a typed
+    :class:`~repro.exceptions.ArenaTransportError`, which the parent
+    treats as a recoverable transport fault.
     """
-    if payload.get("crash"):  # pragma: no cover - exercised via subprocess
-        os._exit(13)
+    directive = payload.get("fault")
+    if directive is not None and directive[0] == "kill":
+        # pragma: no cover - exercised via subprocess
+        os.kill(os.getpid(), signal.SIGKILL)
+    heartbeat = payload.get("heartbeat")
+    if heartbeat:
+        try:
+            with open(heartbeat, "w") as handle:
+                handle.write(str(os.getpid()))
+        except OSError:  # pragma: no cover - heartbeat dir vanished
+            pass
+    if directive is not None and directive[0] == "hang":
+        time.sleep(directive[1])
     kind, *details = payload["transport"]
     if kind == "shm":
-        buffer = _attach_shm_bytes(*details)
+        try:
+            buffer = _attach_shm_bytes(*details)
+        except OSError as error:
+            raise ArenaTransportError(
+                f"shared-memory segment {details[0]!r} vanished before "
+                f"the worker could read it: {error}"
+            ) from error
     else:
         buffer = details[0]
     arena = deserialize_arena(buffer, payload["weights"])
@@ -544,6 +625,13 @@ def _solve_shard(payload: dict) -> tuple[int, list[tuple], list[float]]:
         instances, config, verify=payload["verify"], arena=arena
     )
     elapsed = time.perf_counter() - start
+    if directive is not None and directive[0] == "slow":
+        time.sleep(
+            min(
+                _SLOW_FAULT_CAP_SECONDS,
+                elapsed * max(0.0, directive[1] - 1.0),
+            )
+        )
     work = [
         observed_work(instance, config, result)
         for instance, result in zip(instances, results)
@@ -554,6 +642,7 @@ def _solve_shard(payload: dict) -> tuple[int, list[tuple], list[float]]:
         payload["shard"],
         [_encode_result(result) for result in results],
         observed,
+        directive is not None,
     )
 
 
@@ -654,14 +743,17 @@ def ship_buffer(buffer: bytes):
     return ("bytes", buffer), None
 
 
-def shard_payload(arena, shard, config, verify, *, crash: bool = False):
+def shard_payload(arena, shard, config, verify, *, fault=None):
     """Build one :func:`_solve_shard` payload for an already-packed arena.
 
     Returns ``(payload, shm_block|None)``.  The parent's headroom
     budgets are snapshotted into the payload at call time so workers
     always agree with the caller on lane admission (tests shrink the
-    budgets to force spills inside workers).  Shared by the static
-    sharded executor below and the streaming session
+    budgets to force spills inside workers).  ``fault`` is an optional
+    worker directive already drawn from a
+    :class:`~repro.core.faults.FaultPlan` — the decision is made (and
+    logged) by the caller, the worker merely executes it.  Shared by
+    the static sharded executor below and the streaming session
     (:mod:`repro.core.stream`), whose shards arrive pre-packed.
     """
     import repro.core.batch as batch_module
@@ -678,14 +770,15 @@ def shard_payload(arena, shard, config, verify, *, crash: bool = False):
         "two_limb_bits": kernels_module.TWO_LIMB_HEADROOM_BITS,
         "three_limb_bits": kernels_module.THREE_LIMB_HEADROOM_BITS,
         "batch_bits": batch_module._HEADROOM_BITS,
-        "crash": crash or _CRASH_WORKERS,
+        "fault": fault,
     }, block
 
 
 def _make_payload(shard: int, indices, instances, config, verify):
     """Build one worker payload; returns ``(payload, shm_block|None)``."""
     arena = pack_arena([instances[index] for index in indices])
-    return shard_payload(arena, shard, config, verify)
+    fault = FAULT_PLAN.worker_fault() if FAULT_PLAN is not None else None
+    return shard_payload(arena, shard, config, verify, fault=fault)
 
 
 def run_fastpath_batch_parallel(
@@ -744,16 +837,32 @@ def run_fastpath_batch_parallel(
         ]
         for shard, future in futures:
             try:
-                shard_id, shard_results, observed = future.result()
-            except BrokenExecutor:
+                shard_id, shard_results, observed, faulted = future.result()
+            except (BrokenExecutor, ArenaTransportError, WorkerResultError):
+                # A dead worker breaks the pool; a damaged transport
+                # (vanished or corrupted segment) leaves it healthy but
+                # the shard unsolved.  Both are scheduling accidents:
+                # recover in-process, never surface them to the caller.
                 failed.append(shard)
                 continue
-            for index, wire, seconds in zip(
-                shards[shard_id], shard_results, observed
+            try:
+                decoded = [
+                    _decode_result(wire, shard_id)
+                    for wire in shard_results
+                ]
+            except WorkerResultError:
+                failed.append(shard)
+                continue
+            for index, result, seconds in zip(
+                shards[shard_id], decoded, observed
             ):
-                result = _decode_result(wire, shard_id)
                 results[index] = result
-                _observe_instance(instances[index], config, result, seconds)
+                if not faulted:
+                    # An injected fault directive distorted this
+                    # shard's wall time; keep it out of the EMA.
+                    _observe_instance(
+                        instances[index], config, result, seconds
+                    )
     except BrokenExecutor:  # pragma: no cover - pool died at submit time
         failed = [
             shard for shard in range(len(shards))

@@ -35,8 +35,12 @@ Protocol (one JSON object per line, UTF-8)::
 
 Failures answer ``{"ok": false, "kind": ..., "error": ...}`` with
 ``kind`` one of ``bad-request`` (malformed line/instance), ``timeout``
-(missed ``deadline``), ``cancelled``, ``error`` (solver-level, e.g.
-round limit) or ``internal``.  Weights and epsilon are exact: integers
+(missed ``deadline``), ``cancelled``, ``overloaded`` (admission wait
+exceeded ``shed_after``; carries ``retry_after``), ``error``
+(solver-level, e.g. round limit) or ``internal``.  Solve/update
+responses also carry ``retries`` — how many times the request's shard
+was re-dispatched after a worker crash, hang or transport fault before
+this answer was produced.  Weights and epsilon are exact: integers
 pass as JSON numbers, rationals as canonical ``"num/den"`` strings.
 
 The ``update`` verb mutates the hypergraph of an earlier ``solve`` or
@@ -105,8 +109,10 @@ import time
 from collections import Counter, deque
 from fractions import Fraction
 
+from repro.core.faults import FaultPlan
 from repro.core.params import AlgorithmConfig
 from repro.core.stream import BatchSession
+from repro.core.supervisor import SupervisorPolicy
 from repro.exceptions import (
     InvalidInstanceError,
     ReproError,
@@ -361,6 +367,26 @@ class CoverServer:
     latency_window:
         How many recent request latencies the ``stats`` verb's
         percentiles are computed over.
+    shed_after:
+        Load-shedding bound, in seconds.  A request whose *admission
+        wait* (time blocked on the per-client or global semaphore)
+        exceeds it is answered ``{"ok": false, "kind": "overloaded",
+        "retry_after": shed_after}`` instead of queueing unboundedly —
+        an explicit backpressure signal the client can act on.
+        ``None`` (the default) keeps pure TCP backpressure.
+    fault_plan:
+        Optional :class:`~repro.core.faults.FaultPlan` passed to the
+        session (worker/ship faults) and consulted by the response
+        writer for server-side faults: ``drop`` discards one response
+        (slots still released — the client sees a missing answer, the
+        server stays healthy), ``reset`` aborts the connection.
+    policy:
+        Optional :class:`~repro.core.supervisor.SupervisorPolicy` for
+        the session's supervisor/breaker.
+    max_resident:
+        Bound on resident incremental solve states kept for the
+        ``update`` verb; least-recently-based states beyond it are
+        evicted (re-solving cold on next use).
     """
 
     def __init__(
@@ -375,9 +401,20 @@ class CoverServer:
         max_pending: int = 256,
         per_client_pending: int | None = None,
         latency_window: int = 4096,
+        shed_after: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        policy: SupervisorPolicy | None = None,
+        max_resident: int | None = None,
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if shed_after is not None and (
+            not math.isfinite(shed_after) or shed_after <= 0
+        ):
+            raise ValueError(
+                f"shed_after must be a positive finite number of seconds, "
+                f"got {shed_after!r}"
+            )
         if per_client_pending is None:
             per_client_pending = max(1, max_pending // 4)
         if per_client_pending < 1:
@@ -392,6 +429,10 @@ class CoverServer:
         self._verify = verify
         self._max_pending = max_pending
         self._per_client_pending = per_client_pending
+        self._shed_after = shed_after
+        self._fault_plan = fault_plan
+        self._policy = policy
+        self._max_resident = max_resident
         self._session: BatchSession | None = None
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -405,7 +446,8 @@ class CoverServer:
         self._lane_counts: Counter = Counter()
         self._counters = Counter(
             requests=0, responses=0, errors=0, disconnect_cancels=0,
-            updates=0, warm_updates=0,
+            updates=0, warm_updates=0, shed=0, injected_drops=0,
+            injected_resets=0,
         )
 
     # ------------------------------------------------------------------
@@ -423,6 +465,9 @@ class CoverServer:
             jobs=self._jobs,
             verify=self._verify,
             max_batch=self._max_batch,
+            fault_plan=self._fault_plan,
+            policy=self._policy,
+            max_resident=self._max_resident,
             # A server runs indefinitely: the admission log must not
             # grow without bound.
             record_schedule=False,
@@ -748,14 +793,52 @@ class CoverServer:
         blocks here — before its next line is read — without consuming
         server-wide capacity.  Both slots are returned together when
         the response has been written (or its client is gone).
+
+        With ``shed_after`` set, a request that cannot take both slots
+        within that bound is *shed*: answered ``overloaded`` with a
+        ``retry_after`` hint instead of queueing indefinitely.  The
+        reader keeps going, so an overloaded server stays responsive —
+        it just says no quickly.
         """
-        await connection.slots.acquire()
-        await self._slots.acquire()
+        if self._shed_after is not None:
+            try:
+                await asyncio.wait_for(
+                    connection.slots.acquire(), self._shed_after
+                )
+            except asyncio.TimeoutError:
+                self._shed(connection, request)
+                return
+            try:
+                await asyncio.wait_for(
+                    self._slots.acquire(), self._shed_after
+                )
+            except asyncio.TimeoutError:
+                connection.slots.release()
+                self._shed(connection, request)
+                return
+        else:
+            await connection.slots.acquire()
+            await self._slots.acquire()
         connection.requests[request.request_id] = request
         connection.handles[request.request_id] = request
         connection.outstanding += 1
         connection.drained.clear()
         self._dispatch_queue.put((verb, request))
+
+    def _shed(self, connection, request: _SolveRequest) -> None:
+        """Answer ``overloaded`` for a request the server cannot admit."""
+        self._counters["shed"] += 1
+        payload = self._error_payload(
+            request.op,
+            request.request_id,
+            ServerError(
+                f"admission wait exceeded {self._shed_after}s; "
+                f"retry after backoff",
+                "overloaded",
+            ),
+        )
+        payload["retry_after"] = self._shed_after
+        self._respond(connection, payload, holds_slot=False)
 
     async def _handle_solve(self, connection, request_id, message) -> None:
         try:
@@ -931,6 +1014,7 @@ class CoverServer:
         connection = request.connection
         if connection.requests.get(request.request_id) is request:
             del connection.requests[request.request_id]
+        retries = request.ticket.retries if request.ticket is not None else 0
         if error is None:
             self._latencies.append(latency)
             if result.lane is not None:
@@ -940,6 +1024,7 @@ class CoverServer:
                 "id": request.request_id,
                 "ok": True,
                 "latency_ms": round(latency * 1e3, 3),
+                "retries": retries,
                 "result": result.as_dict(include_dual=request.include_dual),
             }
         else:
@@ -947,6 +1032,7 @@ class CoverServer:
                 request.op, request.request_id, error
             )
             payload["latency_ms"] = round(latency * 1e3, 3)
+            payload["retries"] = retries
         self._respond(connection, payload, holds_slot=True)
         connection.outstanding -= 1
         if connection.outstanding == 0:
@@ -994,12 +1080,35 @@ class CoverServer:
         single write stalled past :data:`WRITE_STALL_TIMEOUT` — aborts
         the connection (its remaining in-flight solves are withdrawn)
         but keeps consuming so every held slot is released.
+
+        This is also the server-side fault-injection site: with a
+        :class:`FaultPlan` armed, ``drop`` discards one *solve*
+        response (slots still released, so the server never wedges on
+        its own fault) and ``reset`` aborts the connection mid-stream
+        — both exactly the failure a flaky network would produce.
         """
         while True:
             item = await connection.responses.get()
             if item is _CLOSE:
                 return
             payload, holds_slot = item
+            if (
+                holds_slot
+                and connection.alive
+                and self._fault_plan is not None
+            ):
+                fault = self._fault_plan.server_fault()
+                if fault == "drop":
+                    self._counters["injected_drops"] += 1
+                    self._slots.release()
+                    connection.slots.release()
+                    continue
+                if fault == "reset":
+                    self._counters["injected_resets"] += 1
+                    self._abort_connection(connection)
+                    transport = connection.writer.transport
+                    if transport is not None:
+                        transport.abort()
             if connection.alive:
                 try:
                     connection.writer.write(

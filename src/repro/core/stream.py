@@ -35,11 +35,20 @@ the serving answer:
   the bit-identical result of ``run_fastpath(hypergraph, config)``.
   The stateful soak harness in ``tests/test_stream_soak.py`` pins
   this under adversarial interleavings;
-* **resilience** — a worker crash (the pool breaks) re-solves the
-  affected shards in-process, exactly like the static executor;
-  results are settled **first-wins per ticket** so a steal or crash
-  fallback racing a late completion can never deliver twice
-  (duplicates are counted in :attr:`BatchSession.stats`);
+* **resilience** — a crashed worker (the pool breaks), a hung worker
+  (killed by the :class:`~repro.core.supervisor.WorkerSupervisor` when
+  its cost-model-derived solve deadline expires) or a damaged
+  transport (typed :class:`~repro.exceptions.TransportError`) sends
+  the shard back through the normal steal scheduler with capped
+  exponential backoff, up to a bounded per-shard retry budget;
+  exhaustion falls back to an in-process re-solve, and a circuit
+  breaker degrades *all* dispatch to in-process once the pool fails
+  repeatedly (half-opening on a probe shard after a cooldown).
+  Results are settled **first-wins per ticket** so a steal, retry or
+  crash fallback racing a late completion can never deliver twice
+  (every recovery is counted in :attr:`BatchSession.stats`); a
+  seeded :class:`~repro.core.faults.FaultPlan` can inject the whole
+  failure menagerie deterministically, with every fired fault logged;
 * **provenance & replay** — ``CoverResult.worker`` records the slot
   that solved each instance, and the session keeps a **schedule log**
   of every admission decision; :func:`replay_schedule` re-executes a
@@ -58,12 +67,13 @@ import itertools
 import math
 import queue
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import BrokenExecutor, CancelledError
 from dataclasses import replace
 
 from repro.core import parallel
 from repro.core.batch import run_fastpath_batch
+from repro.core.faults import FaultPlan
 from repro.core.incremental import resolve_incremental, solve_state
 from repro.core.parallel import (
     _decode_result,
@@ -76,11 +86,17 @@ from repro.core.parallel import (
 from repro.core.params import AlgorithmConfig
 from repro.core.result import CoverResult
 from repro.core.state import SolveState
+from repro.core.supervisor import (
+    CircuitBreaker,
+    SupervisorPolicy,
+    WorkerSupervisor,
+)
 from repro.exceptions import (
     InvalidInstanceError,
     SessionClosedError,
     TicketCancelled,
     TicketTimeout,
+    TransportError,
 )
 from repro.hypergraph.csr import BatchArena, pack_arena, slice_arena
 from repro.hypergraph.hypergraph import Hypergraph
@@ -91,17 +107,6 @@ from repro.hypergraph.mutable import (
 )
 
 __all__ = ["BatchSession", "StreamTicket", "replay_schedule"]
-
-#: Test hook: make the next dispatched shard's worker die mid-task
-#: (exercises the broken-pool -> in-process fallback deterministically,
-#: including for stolen shards).  Reset to False by the dispatch that
-#: consumes it.
-_CRASH_NEXT_DISPATCH = False
-
-#: Test hook: dispatch every shard twice.  The second completion races
-#: the first and must be swallowed by the first-wins settle rule — the
-#: "steal racing completion" dedup path, forced deterministically.
-_DUPLICATE_DISPATCH = False
 
 
 def _release_block(block, on_error=None) -> None:
@@ -154,8 +159,8 @@ class StreamTicket:
       completion back onto its event loop.
     """
 
-    __slots__ = ("id", "hypergraph", "config", "_session", "_event",
-                 "_result", "_error", "_callbacks", "_timer")
+    __slots__ = ("id", "hypergraph", "config", "retries", "_session",
+                 "_event", "_result", "_error", "_callbacks", "_timer")
 
     def __init__(
         self,
@@ -169,6 +174,10 @@ class StreamTicket:
         self.id = ticket_id
         self.hypergraph = hypergraph
         self.config = config
+        #: How many times a crashed/hung/damaged dispatch forced this
+        #: ticket's shard back through the scheduler before it settled
+        #: (surfaced per-request by the TCP front end).
+        self.retries = 0
         self._session = session
         self._event = threading.Event()
         self._result: CoverResult | None = None
@@ -243,14 +252,18 @@ class StreamTicket:
 class _Shard:
     """One sealed micro-batch: tickets plus their packed arena."""
 
-    __slots__ = ("id", "entries", "arena", "config", "costs")
+    __slots__ = ("id", "entries", "arena", "config", "costs", "retries")
 
-    def __init__(self, shard_id, entries, arena, config, costs):
+    def __init__(self, shard_id, entries, arena, config, costs,
+                 retries: int = 0):
         self.id = shard_id
         self.entries: list[StreamTicket] = entries
         self.arena: BatchArena = arena
         self.config: AlgorithmConfig = config
         self.costs: list[float] = costs
+        #: Failed pool dispatches so far (capped by the session's
+        #: retry budget; carried across steal splits).
+        self.retries = retries
 
     @property
     def cost(self) -> float:
@@ -272,6 +285,7 @@ class _Shard:
             slice_arena(self.arena, front),
             self.config,
             self.costs[:half],
+            self.retries,
         )
         stolen = _Shard(
             next(ids),
@@ -279,6 +293,7 @@ class _Shard:
             slice_arena(self.arena, back),
             self.config,
             self.costs[half:],
+            self.retries,
         )
         return kept, stolen
 
@@ -310,6 +325,26 @@ class BatchSession:
         tuples per instance).  On by default for reproducibility
         (:func:`replay_schedule`); indefinitely-running services
         (``repro-cover serve``) turn it off so memory stays bounded.
+    fault_plan:
+        Optional :class:`~repro.core.faults.FaultPlan` — every
+        dispatch/ship decision consults it and every fired fault is
+        recorded as an ``("inject", ...)`` schedule event.  Also
+        settable afterwards through the public :attr:`fault_plan`
+        attribute (the chaos tests attach plans to running sessions).
+    policy:
+        :class:`~repro.core.supervisor.SupervisorPolicy` bundling the
+        solve-deadline, retry/backoff and circuit-breaker tunables.
+    supervise:
+        Arm the :class:`~repro.core.supervisor.WorkerSupervisor`
+        (per-shard solve deadlines, hung-worker kills).  On by
+        default; the monitor thread starts lazily with the first
+        dispatch.
+    max_resident:
+        Bound on resident warm-restart :class:`SolveState` handles
+        (the ``submit_update`` cache).  Beyond it the least recently
+        used state is evicted (counted in ``stats["evicted"]``); an
+        update chained on an evicted base re-solves cold and re-seeds
+        the cache.  ``None`` (default) keeps every state.
 
     Use as a context manager; exiting drains (waits for every
     submitted instance) and closes the session.  Results are exact and
@@ -325,9 +360,17 @@ class BatchSession:
         max_batch: int = 8,
         steal: bool = True,
         record_schedule: bool = True,
+        fault_plan: FaultPlan | None = None,
+        policy: SupervisorPolicy | None = None,
+        supervise: bool = True,
+        max_resident: int | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_resident is not None and max_resident < 1:
+            raise ValueError(
+                f"max_resident must be >= 1, got {max_resident}"
+            )
         self._config = config or AlgorithmConfig()
         self._jobs = _resolve_jobs(jobs)
         self._verify = verify
@@ -345,14 +388,28 @@ class BatchSession:
         self._shard_ids = itertools.count()
         self._open = True
         self._unsettled = 0
-        #: Warm-restart handles by ticket id: every settled update (and
-        #: its bootstrap) keeps its :class:`SolveState` resident so the
-        #: next ``submit_update`` chained on it re-solves warm.
-        self._states: dict[int, SolveState] = {}
+        #: Warm-restart handles by ticket id, in LRU order: every
+        #: settled update (and its bootstrap) keeps its
+        #: :class:`SolveState` resident so the next ``submit_update``
+        #: chained on it re-solves warm; ``max_resident`` bounds the
+        #: cache with least-recently-used eviction.
+        self._states: OrderedDict[int, SolveState] = OrderedDict()
+        self._max_resident = max_resident
         self._updates: queue.Queue = queue.Queue()
         self._updater: threading.Thread | None = None
+        #: The live fault plan (``None`` = no injection).  Public and
+        #: settable: chaos tests attach a plan to a running session.
+        self.fault_plan = fault_plan
+        self._policy = policy or SupervisorPolicy()
+        self._breaker = CircuitBreaker(self._policy)
+        self._supervisor = (
+            WorkerSupervisor(self._policy) if supervise else None
+        )
         #: Scheduling counters (informational): sealed shards, steals,
-        #: shard splits, worker crashes, deduplicated late results.
+        #: shard splits, worker crashes, deduplicated late results,
+        #: plus the resilience ledger (retries, exhausted budgets,
+        #: transport faults, degraded in-process dispatches, injected
+        #: faults, evicted warm states).
         self.stats = {
             "shards": 0,
             "steals": 0,
@@ -365,6 +422,12 @@ class BatchSession:
             "callback_errors": 0,
             "updates": 0,
             "warm_updates": 0,
+            "retries": 0,
+            "exhausted": 0,
+            "transport_errors": 0,
+            "degraded": 0,
+            "injected": 0,
+            "evicted": 0,
         }
         self._record = record_schedule
         #: The admission/schedule log: a list of event tuples (see
@@ -414,6 +477,10 @@ class BatchSession:
             # the sentinel releases the idle orchestrator thread.
             self._updates.put(None)
             updater.join()
+        if self._supervisor is not None:
+            # After the drain nothing is in flight: stop the monitor
+            # and drop the heartbeat directory.
+            self._supervisor.close()
 
     def drain(self) -> None:
         """Block until every submitted instance has settled."""
@@ -600,6 +667,8 @@ class BatchSession:
         try:
             with self._lock:
                 state = self._states.get(handle.id)
+                if state is not None:
+                    self._states.move_to_end(handle.id)
             if state is not None:
                 new_state = resolve_incremental(
                     state,
@@ -648,6 +717,14 @@ class BatchSession:
         with self._lock:
             ticket.hypergraph = new_state.snapshot
             self._states[ticket.id] = new_state
+            self._states.move_to_end(ticket.id)
+            while (
+                self._max_resident is not None
+                and len(self._states) > self._max_resident
+            ):
+                evicted_id, _ = self._states.popitem(last=False)
+                self.stats["evicted"] += 1
+                self._log("evict", evicted_id)
             if new_state.result.warm:
                 self.stats["warm_updates"] += 1
             self._settle(ticket, result=new_state.result)
@@ -824,19 +901,67 @@ class BatchSession:
         )
         return shard
 
+    def _predicted_seconds(self, shard: _Shard) -> float:
+        """The shard's corrected cost read as seconds — but only once
+        the cost model has real observations; before that the cost is
+        a raw structural unit and the supervisor must fall back to its
+        flat deadline floor."""
+        if parallel.COST_MODEL.observations == 0:
+            return 0.0
+        return float(shard.cost)
+
+    @staticmethod
+    def _sabotage_block(block, kind: str) -> None:
+        """Apply one ship fault to a shared-memory transport block.
+
+        ``"detach"`` unlinks the segment so the worker's read fails;
+        ``"corrupt"`` flips one payload byte so the arena checksum
+        rejects it.  Both surface worker-side as a typed
+        :class:`~repro.exceptions.ArenaTransportError` — a recoverable
+        transport fault, never silent corruption.
+        """
+        if kind == "detach":
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            return
+        index = min(16, block.size - 1)
+        block.buf[index] = block.buf[index] ^ 0x5A
+
     def _dispatch(self, slot: int, shard: _Shard) -> None:
         """Ship one shard to the pool; falls back in-process when the
-        pool cannot accept work."""
-        global _CRASH_NEXT_DISPATCH
-        crash = _CRASH_NEXT_DISPATCH
-        _CRASH_NEXT_DISPATCH = False
+        pool cannot accept work or the circuit breaker is open."""
+        if not self._breaker.allow():
+            # Degraded mode: the pool has failed repeatedly inside the
+            # breaker window; solve in-process (correct, just not
+            # parallel) instead of hammering a pool that cannot hold
+            # workers.  A cooldown later the breaker half-opens and
+            # lets one probe shard back through.
+            self.stats["degraded"] += 1
+            self._log(
+                "degraded", shard.id, None,
+                tuple(ticket.id for ticket in shard.entries),
+            )
+            self._loads[slot] -= shard.cost
+            self._solve_inline(shard)
+            return
+        plan = self.fault_plan
+        directive = plan.worker_fault() if plan is not None else None
         block = None
         try:
             pool = parallel._get_pool(self._jobs)
             payload, block = shard_payload(
                 shard.arena, shard.id, shard.config, self._verify,
-                crash=crash,
+                fault=directive,
             )
+            if self._supervisor is not None:
+                payload["heartbeat"] = self._supervisor.heartbeat_path(
+                    shard.id
+                )
+            ship = None
+            if plan is not None and block is not None:
+                ship = plan.ship_fault()
             future = pool.submit(_solve_shard, payload)
         except BaseException:
             # The pool refused the work (broken mid-rebuild,
@@ -846,7 +971,22 @@ class BatchSession:
             self._loads[slot] -= shard.cost
             self._solve_inline(shard)
             return
+        if directive is not None:
+            self.stats["injected"] += 1
+            self._log("inject", shard.id, ("worker",) + tuple(directive))
+        if ship is not None:
+            # Damage the transport *after* submit: the worker races
+            # its read against the sabotage either way, and both
+            # outcomes (clean read or typed transport error) preserve
+            # the ticket contract.
+            self.stats["injected"] += 1
+            self._log("inject", shard.id, ("ship", ship))
+            self._sabotage_block(block, ship)
         self._inflight[slot] = shard
+        if self._supervisor is not None:
+            self._supervisor.watch(
+                slot, shard.id, pool, self._predicted_seconds(shard)
+            )
         self._log(
             "dispatch", shard.id, slot,
             tuple(ticket.id for ticket in shard.entries),
@@ -855,9 +995,11 @@ class BatchSession:
             lambda done, slot=slot, shard=shard, block=block, pool=pool:
             self._on_done(slot, shard, block, pool, done)
         )
-        if _DUPLICATE_DISPATCH:
+        if plan is not None and plan.duplicate_fault():
             # Deterministic "steal racing completion": the same shard
             # solved a second time; the late copy must dedup away.
+            self.stats["injected"] += 1
+            self._log("inject", shard.id, ("dispatch", "duplicate"))
             dup_block = None
             try:
                 dup_payload, dup_block = shard_payload(
@@ -881,9 +1023,15 @@ class BatchSession:
     def _on_done(self, slot, shard, block, pool, future, *, occupies=True):
         """Completion callback (runs on the pool's collector thread)."""
         _release_block(block, self._cleanup_error)
+        if self._supervisor is not None and occupies:
+            self._supervisor.done(slot, shard.id)
+        faulted = False
         try:
-            _, wire, observed = future.result()
-            outcome, payload = "ok", (wire, observed)
+            _, wire, observed, faulted = future.result()
+            decoded = [
+                _decode_result(wire_result, slot) for wire_result in wire
+            ]
+            outcome, payload = "ok", (decoded, observed)
         except (BrokenExecutor, CancelledError):
             # A dead worker breaks the pool; external pool churn
             # (``shutdown_pool()``, a concurrent caller resizing the
@@ -891,6 +1039,12 @@ class BatchSession:
             # shard never ran — recover it, never surface the
             # scheduling accident to the ticket.
             outcome, payload = "broken", None
+        except TransportError as error:
+            # A vanished/corrupted arena segment or a malformed result
+            # payload: the worker is alive but this shard's bytes
+            # cannot be trusted.  Recoverable — retry through the
+            # scheduler without tearing the pool down.
+            outcome, payload = "transport", error
         except BaseException as error:  # algorithm errors, propagated
             outcome, payload = "error", error
         with self._lock:
@@ -898,14 +1052,17 @@ class BatchSession:
                 self._inflight[slot] = None
                 self._loads[slot] -= shard.cost
             if outcome == "ok":
-                wire_results, observed = payload
-                for ticket, wire_result, seconds in zip(
-                    shard.entries, wire_results, observed
+                self._breaker.record_success()
+                decoded, observed = payload
+                for ticket, result, seconds in zip(
+                    shard.entries, decoded, observed
                 ):
-                    result = _decode_result(wire_result, slot)
-                    if self._settle(ticket, result=result):
+                    if self._settle(ticket, result=result) and not faulted:
                         # First-wins only: a deduplicated late copy
-                        # must not double-count its solve time.
+                        # must not double-count its solve time.  A
+                        # faulted (slowed/hung) solve is excluded
+                        # outright — injected stalls must not poison
+                        # the cost model's observed rates.
                         _observe_instance(
                             ticket.hypergraph, shard.config, result,
                             seconds,
@@ -913,6 +1070,7 @@ class BatchSession:
             elif outcome == "broken":
                 self.stats["crashes"] += 1
                 self._log("crash", shard.id, slot)
+                self._breaker.record_failure()
                 # Only drop the pool the dead future belonged to — a
                 # sibling callback may already have rebuilt it.  The
                 # detach is atomic under the pool lock; the shutdown
@@ -921,7 +1079,13 @@ class BatchSession:
                 if dead is not None:
                     dead.shutdown(wait=False, cancel_futures=True)
                 if occupies:
-                    self._solve_inline(shard)
+                    self._recover(shard)
+            elif outcome == "transport":
+                self.stats["transport_errors"] += 1
+                self._log("transport-error", shard.id, slot, repr(payload))
+                self._breaker.record_failure()
+                if occupies:
+                    self._recover(shard)
             else:
                 # A shard-level solver error may belong to a single
                 # poison instance; never fail its micro-batch peers.
@@ -941,6 +1105,52 @@ class BatchSession:
                     ).start()
             self._pump()
             self._drained.notify_all()
+
+    # ------------------------------------------------------------------
+    # Reclamation: retry with backoff, then the in-process fallback
+    # ------------------------------------------------------------------
+
+    def _recover(self, shard: _Shard) -> None:
+        """Reclaim one crashed/damaged shard (runs under the lock).
+
+        While the shard has retry budget left it goes back through the
+        normal scheduler — re-enqueued on the least-loaded queue after
+        a capped exponential backoff — so a transient pool failure
+        costs latency, not parallelism.  A shard that exhausts its
+        budget re-solves in-process (the original crash fallback),
+        counted so operators can see the degradation.
+        """
+        if shard.retries >= self._policy.retry_budget:
+            self.stats["exhausted"] += 1
+            self._solve_inline(shard)
+            return
+        shard.retries += 1
+        for ticket in shard.entries:
+            ticket.retries += 1
+        self.stats["retries"] += 1
+        delay = self._policy.backoff(shard.retries)
+        self._log("retry", shard.id, shard.retries, round(delay, 6))
+        timer = threading.Timer(delay, self._requeue, args=(shard,))
+        timer.daemon = True
+        timer.start()
+
+    def _requeue(self, shard: _Shard) -> None:
+        """Backoff expired: hand the shard back to the steal scheduler."""
+        with self._lock:
+            if all(ticket.done() for ticket in shard.entries):
+                # Everything settled while the shard waited (cancels,
+                # timeouts, a racing duplicate): nothing to re-solve.
+                return
+            slot = min(
+                range(self._jobs), key=lambda s: (self._loads[s], s)
+            )
+            self._queues[slot].append(shard)
+            self._loads[slot] += shard.cost
+            self._log(
+                "requeue", shard.id, slot,
+                tuple(ticket.id for ticket in shard.entries),
+            )
+            self._pump()
 
     def _solve_inline(self, shard: _Shard) -> None:
         """In-process fallback: the crash path of the static executor.
@@ -1063,7 +1273,19 @@ class BatchSession:
                 "jobs": self._jobs,
                 "open": self._open,
                 "resident_states": len(self._states),
+                "max_resident": self._max_resident,
                 "cost_model": parallel.COST_MODEL.export(),
+                "supervisor": (
+                    self._supervisor.snapshot()
+                    if self._supervisor is not None
+                    else None
+                ),
+                "breaker": self._breaker.snapshot(),
+                "faults": (
+                    self.fault_plan.snapshot()
+                    if self.fault_plan is not None
+                    else None
+                ),
             }
 
 
@@ -1085,7 +1307,13 @@ def replay_schedule(
         ("steal",    shard_id, victim_slot, thief_slot, stolen_ids)
         ("dispatch", shard_id, slot, ticket_ids)
         ("crash",    shard_id, slot)
+        ("transport-error", shard_id, slot, error_repr)
+        ("inject",   shard_id, (site, kind, ...))
+        ("retry",    shard_id, attempt, backoff_seconds)
+        ("requeue",  shard_id, slot, ticket_ids)
+        ("degraded", shard_id, None, ticket_ids)
         ("fallback", shard_id, None, ticket_ids)
+        ("evict",    ticket_id)
         ("cancel",   ticket_id, stage)
         ("timeout",  ticket_id, stage)
         ("cleanup-error", step_name, error_repr)

@@ -48,6 +48,39 @@ class RoundLimitExceededError(SimulationError):
     """The simulation did not terminate within the configured round limit."""
 
 
+class TransportError(ReproError, RuntimeError):
+    """Cross-process transport between parent and worker was damaged.
+
+    Distinct from :class:`SimulationError` (the CONGEST protocol layer)
+    and from algorithm errors: a transport error means the *serving*
+    machinery shipped or received bytes it cannot trust.  The streaming
+    scheduler treats these as recoverable scheduling accidents — the
+    shard is re-dispatched or re-solved in-process — never as result
+    facts, so a damaged buffer can surface as latency but never as
+    silent corruption.
+    """
+
+
+class ArenaTransportError(TransportError):
+    """A shipped CSR arena buffer failed integrity validation.
+
+    Raised by :func:`repro.hypergraph.csr.deserialize_arena` when the
+    buffer is truncated, its magic header is missing, or its checksum
+    does not match — and by the worker entry point when the backing
+    shared-memory segment vanished before it could be read.
+    """
+
+
+class WorkerResultError(TransportError):
+    """A worker returned a result payload with an invalid wire shape.
+
+    Raised by the parent-side decoder when a worker's encoded result
+    tuple is malformed (wrong arity, wrong field types) — a corrupted
+    or version-skewed payload must fail loudly and typed, never decode
+    into a plausible-looking wrong cover.
+    """
+
+
 class SessionClosedError(ReproError, RuntimeError):
     """A submission was attempted on a closed streaming session.
 

@@ -28,12 +28,13 @@ rationals, which have no fixed-width representation.
 
 from __future__ import annotations
 
+import zlib
 from array import array
 from collections.abc import Sequence
 from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.exceptions import InvalidInstanceError
+from repro.exceptions import ArenaTransportError, InvalidInstanceError
 from repro.hypergraph.hypergraph import Hypergraph
 
 __all__ = [
@@ -168,13 +169,32 @@ def arena_incidence(arena: BatchArena) -> CSRLayout:
     return _layout(incidence)
 
 
+#: ``b"ARNA"`` as a little-endian int64: the first header word of
+#: every serialized arena.  A buffer without it never reaches the
+#: structural decode.
+_ARENA_MAGIC = int.from_bytes(b"ARNA\x00\x00\x00\x00", "little")
+
+#: Header words prepended to the structural payload:
+#: ``[magic, payload_byte_length, crc32(payload)]``.
+_ARENA_HEADER_WORDS = 3
+_ARENA_HEADER_BYTES = _ARENA_HEADER_WORDS * 8
+
+
 def serialize_arena(arena: BatchArena) -> bytes:
     """An arena's structure as one flat native-``int64`` buffer.
 
-    Layout: ``[K, vertex_offset (K+1), edge_offset (K+1),
-    membership.lengths (total edges), membership.cells (total cells)]``
-    — every section's size is derivable from the prefix, so
-    :func:`deserialize_arena` needs no side channel.  Weights are *not*
+    Layout: a 3-word integrity header ``[magic, payload_bytes, crc32]``
+    followed by the structural payload ``[K, vertex_offset (K+1),
+    edge_offset (K+1), membership.lengths (total edges),
+    membership.cells (total cells)]`` — every section's size is
+    derivable from the prefix, so :func:`deserialize_arena` needs no
+    side channel.  The header lets the receiver reject a truncated or
+    bit-flipped buffer with a typed
+    :class:`~repro.exceptions.ArenaTransportError` instead of decoding
+    garbage: the buffer crosses a process boundary through shared
+    memory, where a worker dying mid-transfer (or a chaos plan
+    deliberately damaging the segment) must surface as a recoverable
+    transport fault, never as silent corruption.  Weights are *not*
     included (they may be Fractions of unbounded size); ship them
     separately and pass them back to :func:`deserialize_arena`.
     """
@@ -183,7 +203,9 @@ def serialize_arena(arena: BatchArena) -> bytes:
     payload.extend(arena.edge_offset)
     payload.extend(arena.membership.lengths)
     payload.extend(arena.membership.cells)
-    return payload.tobytes()
+    body = payload.tobytes()
+    header = array("q", [_ARENA_MAGIC, len(body), zlib.crc32(body)])
+    return header.tobytes() + body
 
 
 def deserialize_arena(buffer, weights) -> BatchArena:
@@ -193,9 +215,40 @@ def deserialize_arena(buffer, weights) -> BatchArena:
     pickled payload); ``weights`` is the concatenated per-vertex weight
     tuple the sender shipped alongside.  Only same-machine transport is
     supported (native byte order — the buffer never leaves the host).
+
+    Raises :class:`~repro.exceptions.ArenaTransportError` when the
+    integrity header is missing, the buffer is shorter than the header
+    claims, or the payload checksum does not match — the typed signal
+    the scheduler's recovery path (re-dispatch / in-process re-solve)
+    keys on.
     """
+    raw = bytes(buffer)
+    if len(raw) < _ARENA_HEADER_BYTES:
+        raise ArenaTransportError(
+            f"arena buffer truncated: {len(raw)} bytes is shorter than "
+            f"the {_ARENA_HEADER_BYTES}-byte integrity header"
+        )
+    header = array("q")
+    header.frombytes(raw[:_ARENA_HEADER_BYTES])
+    magic, body_length, checksum = header
+    if magic != _ARENA_MAGIC:
+        raise ArenaTransportError(
+            f"arena buffer has no integrity header (magic "
+            f"{magic:#x} != {_ARENA_MAGIC:#x})"
+        )
+    body = raw[_ARENA_HEADER_BYTES : _ARENA_HEADER_BYTES + body_length]
+    if len(body) != body_length:
+        raise ArenaTransportError(
+            f"arena buffer truncated: header claims {body_length} payload "
+            f"bytes, only {len(body)} present"
+        )
+    if zlib.crc32(body) != checksum:
+        raise ArenaTransportError(
+            "arena buffer failed its checksum: the payload was damaged "
+            "in transport"
+        )
     data = array("q")
-    data.frombytes(bytes(buffer))
+    data.frombytes(body)
     count = data[0]
     position = 1
     vertex_offset = tuple(data[position : position + count + 1])

@@ -248,6 +248,72 @@ def test_parallel_run_feeds_cost_model():
     assert all(rate > 0 for rate in learned.values())
 
 
+def test_faulted_solves_never_feed_cost_model(monkeypatch):
+    """A solve that carried an injected fault is excluded from the EMA.
+
+    A ``slow`` fault inflates the worker's observed wall-clock by an
+    arbitrary factor; folding that into the seconds-per-cost-unit model
+    would poison every subsequent deadline and shard estimate.  The
+    worker tags faulted results and both executors drop their
+    observations.
+    """
+    import repro.core.parallel as parallel_module
+    from repro.core.faults import FaultPlan
+
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = [
+        mixed_rank_hypergraph(
+            10 + 2 * (seed % 5), 14 + 3 * (seed % 4), 3, seed=seed,
+            weights=uniform_weights(10 + 2 * (seed % 5), 30, seed=seed + 7),
+        )
+        for seed in range(6)
+    ]
+    assert COST_MODEL.snapshot() == {}
+    # Every dispatch draws a slow fault: results stay correct (the
+    # delay is pure sleep) but no observation may land.
+    plan = FaultPlan(seed=0, slow=1.0, slow_factor=1.01)
+    monkeypatch.setattr(parallel_module, "FAULT_PLAN", plan)
+    faulted = run_fastpath_batch_parallel(batch, config, jobs=2)
+    assert plan.total_fired() > 0
+    assert COST_MODEL.snapshot() == {}, (
+        "faulted observations leaked into the EMA"
+    )
+    # Same batch without the plan: observations flow again, and the
+    # faulted run's results were correct all along.
+    monkeypatch.setattr(parallel_module, "FAULT_PLAN", None)
+    clean = run_fastpath_batch_parallel(batch, config, jobs=2)
+    assert COST_MODEL.snapshot()
+    for left, right in zip(faulted, clean):
+        assert left.cover == right.cover
+        assert left.weight == right.weight
+
+
+def test_stream_faulted_solves_never_feed_cost_model():
+    """The streaming session applies the same exclusion per shard."""
+    from repro.core.faults import FaultPlan
+
+    config = AlgorithmConfig(epsilon=Fraction(1, 3))
+    batch = [
+        mixed_rank_hypergraph(
+            8 + seed, 12 + seed, 3, seed=seed,
+            weights=uniform_weights(8 + seed, 9, seed=seed + 3),
+        )
+        for seed in range(4)
+    ]
+    assert COST_MODEL.snapshot() == {}
+    plan = FaultPlan(seed=0, slow=1.0, slow_factor=1.01)
+    with BatchSession(
+        config, jobs=2, verify=False, fault_plan=plan
+    ) as session:
+        tickets = [session.submit(hypergraph) for hypergraph in batch]
+        results = [ticket.result(timeout=120) for ticket in tickets]
+    assert len(results) == len(batch)
+    assert plan.total_fired() > 0
+    assert COST_MODEL.snapshot() == {}, (
+        "faulted stream observations leaked into the EMA"
+    )
+
+
 def test_stream_session_feeds_cost_model():
     config = AlgorithmConfig(epsilon=Fraction(1, 3))
     batch = [

@@ -225,3 +225,148 @@ class TestCoveringNetworkMap:
         )
         # Edge node 1 (hyperedge (1,2,3)) links exactly its members.
         assert network.neighbors(mapping.edge_node(1)) == (1, 2, 3)
+
+
+# ----------------------------------------------------------------------
+# Transport-layer injection: malformed worker results, damaged arenas
+# ----------------------------------------------------------------------
+#
+# The same defensive posture applies one layer down, on the
+# parent<->worker wire: a worker result payload that does not match
+# the wire format, or an arena buffer truncated/bit-flipped in shared
+# memory, must surface as a *typed* transport error the scheduler can
+# recover from -- never decode into a plausible wrong result.
+
+
+class TestTransportInjection:
+    def _arena_bytes(self):
+        from repro.hypergraph.csr import pack_arena, serialize_arena
+
+        arena = pack_arena([build_instance(), build_instance()])
+        return arena, serialize_arena(arena)
+
+    def test_arena_roundtrip_is_exact(self):
+        from repro.hypergraph.csr import deserialize_arena
+
+        arena, raw = self._arena_bytes()
+        rebuilt = deserialize_arena(raw, arena.weights)
+        assert rebuilt.vertex_offset == arena.vertex_offset
+        assert rebuilt.edge_offset == arena.edge_offset
+        assert rebuilt.membership.cells == arena.membership.cells
+
+    def test_truncated_arena_raises_typed_error(self):
+        from repro.exceptions import ArenaTransportError
+        from repro.hypergraph.csr import deserialize_arena
+
+        arena, raw = self._arena_bytes()
+        for cut in (0, 7, 23, len(raw) // 2, len(raw) - 1):
+            with pytest.raises(ArenaTransportError):
+                deserialize_arena(raw[:cut], arena.weights)
+
+    def test_bitflipped_arena_raises_typed_error(self):
+        from repro.exceptions import ArenaTransportError
+        from repro.hypergraph.csr import deserialize_arena
+
+        arena, raw = self._arena_bytes()
+        # Flip one byte in every region: magic, length, crc, payload.
+        for position in (0, 8, 16, 24, len(raw) - 1):
+            damaged = bytearray(raw)
+            damaged[position] ^= 0x5A
+            with pytest.raises(ArenaTransportError):
+                deserialize_arena(bytes(damaged), arena.weights)
+
+    def test_headerless_buffer_raises_typed_error(self):
+        from repro.exceptions import ArenaTransportError
+        from repro.hypergraph.csr import deserialize_arena
+
+        # A pre-header-era payload (no magic) must be refused, not
+        # misparsed with its first word as an instance count.
+        with pytest.raises(ArenaTransportError):
+            deserialize_arena(b"\x02" + b"\x00" * 63, ())
+
+    def test_malformed_worker_result_raises_typed_error(self):
+        from repro.core.parallel import (
+            _RESULT_WIRE_FIELDS,
+            _decode_result,
+            _encode_result,
+        )
+        from repro.core.solver import solve_mwhvc
+        from repro.exceptions import WorkerResultError
+
+        result = solve_mwhvc(
+            build_instance(), config=AlgorithmConfig(epsilon=Fraction(1, 2))
+        )
+        wire = _encode_result(result)
+        assert len(wire) == _RESULT_WIRE_FIELDS
+        rebuilt = _decode_result(wire, worker=0)
+        assert rebuilt.cover == result.cover
+        assert rebuilt.weight == result.weight
+        # Wrong container, wrong arity, garbage fields: all typed.
+        for bad in (
+            None,
+            [],
+            (),
+            wire[:-1],
+            wire + (0,),
+            ("junk",) * _RESULT_WIRE_FIELDS,
+        ):
+            with pytest.raises(WorkerResultError):
+                _decode_result(bad, worker=0)
+
+    def test_transport_errors_are_repro_errors(self):
+        from repro.exceptions import (
+            ArenaTransportError,
+            ReproError,
+            TransportError,
+            WorkerResultError,
+        )
+
+        assert issubclass(ArenaTransportError, TransportError)
+        assert issubclass(WorkerResultError, TransportError)
+        assert issubclass(TransportError, ReproError)
+        assert issubclass(TransportError, RuntimeError)
+
+    def test_corrupted_shipment_recovers_bit_identical(self):
+        """End to end: a chaos plan damages the shared-memory segment
+        after dispatch; the worker's typed failure is recovered by a
+        retry (or inline re-solve) and the caller still sees solo
+        bits."""
+        from repro.core.faults import FaultPlan
+        from repro.core.parallel import shutdown_pool
+        from repro.core.solver import solve_mwhvc
+        from repro.core.stream import BatchSession
+        from repro.hypergraph.generators import (
+            mixed_rank_hypergraph,
+            uniform_weights,
+        )
+
+        config = AlgorithmConfig(epsilon=Fraction(1, 3))
+        batch = [
+            mixed_rank_hypergraph(
+                10 + seed, 14 + seed, 3, seed=seed,
+                weights=uniform_weights(10 + seed, 30, seed=seed + 7),
+            )
+            for seed in range(4)
+        ]
+        plan = FaultPlan(seed=5)
+        plan.force_ship("corrupt")
+        try:
+            with BatchSession(
+                config, jobs=2, max_batch=2, fault_plan=plan
+            ) as session:
+                tickets = [session.submit(h) for h in batch]
+                results = [t.result(timeout=120) for t in tickets]
+                stats = dict(session.stats)
+            assert plan.fired.get("corrupt") == 1
+            # The damaged shipment surfaced as a typed transport error
+            # (counted) unless the worker won the race and read the
+            # segment before the flip -- either way the bits match.
+            assert stats["transport_errors"] >= 0
+            for hypergraph, result in zip(batch, results):
+                solo = solve_mwhvc(
+                    hypergraph, config=config, executor="fastpath"
+                )
+                assert result.cover == solo.cover
+                assert result.weight == solo.weight
+        finally:
+            shutdown_pool()

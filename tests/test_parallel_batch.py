@@ -35,6 +35,7 @@ import repro.core.kernels as kernels_module
 import repro.core.parallel as parallel_module
 from repro.core.batch import run_fastpath_batch
 from repro.core.fastpath import HAS_NUMPY, run_fastpath
+from repro.core.faults import FaultPlan
 from repro.core.params import AlgorithmConfig
 from repro.core.parallel import (
     estimated_cost,
@@ -303,15 +304,17 @@ def test_worker_crash_falls_back_to_sequential(monkeypatch):
     config = AlgorithmConfig(epsilon=Fraction(1, 3))
     batch = random_batch(5, base_seed=8)
     expected = run_fastpath_batch(batch, config)
-    monkeypatch.setattr(parallel_module, "_CRASH_WORKERS", True)
+    plan = FaultPlan(seed=0, kill=1.0)
+    monkeypatch.setattr(parallel_module, "FAULT_PLAN", plan)
     recovered = run_fastpath_batch_parallel(batch, config, jobs=2)
+    assert plan.total_fired() > 0
     for left, right in zip(expected, recovered):
         for attribute in OBSERVABLES:
             assert getattr(right, attribute) == getattr(left, attribute)
         # Fallback runs in-process: no worker provenance.
         assert right.worker is None
     # The broken pool was torn down; the next call rebuilds it.
-    monkeypatch.setattr(parallel_module, "_CRASH_WORKERS", False)
+    monkeypatch.setattr(parallel_module, "FAULT_PLAN", None)
     _, healthy = assert_parallel_matches_sequential(batch, config)
     assert {result.worker for result in healthy} == {0, 1}
 

@@ -30,7 +30,7 @@ from pathlib import Path
 import pytest
 
 import repro
-import repro.core.stream as stream_module
+from repro.core.faults import FaultPlan
 from repro.core.params import AlgorithmConfig
 from repro.core.parallel import shutdown_pool
 from repro.core.server import (
@@ -107,12 +107,6 @@ def _teardown_pool():
     shutdown_pool()
 
 
-@pytest.fixture(autouse=True)
-def _reset_hooks():
-    yield
-    stream_module._CRASH_NEXT_DISPATCH = False
-
-
 # ----------------------------------------------------------------------
 # Wire format units
 # ----------------------------------------------------------------------
@@ -177,14 +171,16 @@ def test_serve_smoke_concurrent_clients_crash_and_disconnect():
         for client in range(8)
     ]
 
+    fault_plan = FaultPlan(seed=0)
+
     async def run_client(host, port, client_index):
         client = await CoverClient.connect(host, port)
         try:
             if client_index == 3:
                 # The crash injection rides client 3's first request:
-                # its dispatch kills the worker, the broken-pool
-                # fallback must answer anyway.
-                stream_module._CRASH_NEXT_DISPATCH = True
+                # its dispatch kills the worker, and the retry (or
+                # budget-exhausted inline fallback) must answer anyway.
+                fault_plan.force_worker("kill")
             responses = await asyncio.gather(*[
                 client.solve(hypergraph)
                 for hypergraph in corpora[client_index]
@@ -209,7 +205,9 @@ def test_serve_smoke_concurrent_clients_crash_and_disconnect():
         await client.close()
 
     async def main():
-        server = CoverServer(config=config, jobs=2, max_batch=4)
+        server = CoverServer(
+            config=config, jobs=2, max_batch=4, fault_plan=fault_plan
+        )
         host, port = await server.start()
         results = await asyncio.gather(
             run_disconnector(host, port),

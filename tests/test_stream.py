@@ -31,14 +31,15 @@ from fractions import Fraction
 import pytest
 
 import repro.core.kernels as kernels_module
-import repro.core.stream as stream_module
 from repro.core.batch import run_fastpath_batch
 from repro.core.fastpath import HAS_NUMPY, run_fastpath
+from repro.core.faults import FaultPlan
 from repro.core.params import AlgorithmConfig
 from repro.core.parallel import shutdown_pool
 from repro.core.runner import run_many
 from repro.core.solver import solve_mwhvc, solve_mwhvc_batch
 from repro.core.stream import BatchSession, replay_schedule
+from repro.core.supervisor import SupervisorPolicy
 from repro.exceptions import (
     InvalidInstanceError,
     SessionClosedError,
@@ -73,13 +74,6 @@ OBSERVABLES = (
 def _teardown_pool():
     yield
     shutdown_pool()
-
-
-@pytest.fixture(autouse=True)
-def _reset_hooks():
-    yield
-    stream_module._CRASH_NEXT_DISPATCH = False
-    stream_module._DUPLICATE_DISPATCH = False
 
 
 def random_batch(count, *, base_seed=0, max_weight=40):
@@ -376,8 +370,10 @@ def test_duplicate_results_dedup_first_wins():
     bits, duplicates counted."""
     config = AlgorithmConfig(epsilon=Fraction(1, 3))
     batch = random_batch(6, base_seed=17)
-    stream_module._DUPLICATE_DISPATCH = True
-    with BatchSession(config, jobs=2, max_batch=3) as session:
+    plan = FaultPlan(seed=0, duplicate=1.0)
+    with BatchSession(
+        config, jobs=2, max_batch=3, fault_plan=plan
+    ) as session:
         tickets = [session.submit(hypergraph) for hypergraph in batch]
         results = [ticket.result(timeout=120) for ticket in tickets]
         session.drain()
@@ -391,11 +387,16 @@ def test_crash_during_stolen_shard_falls_back():
     """A worker dying on a *stolen* shard re-solves it in-process.
 
     Deterministic steal: slot 0 is pinned busy and holds two pending
-    shards, so idle slot 1 must steal — and the crash hook makes the
-    stolen dispatch die in the worker."""
+    shards, so idle slot 1 must steal — and a forced kill fault makes
+    the stolen dispatch die in the worker.  ``retry_budget=0`` pins
+    the *inline fallback* recovery path (the retry path is covered by
+    the chaos soak)."""
     config = AlgorithmConfig(epsilon=Fraction(1, 3))
     batch = random_batch(6, base_seed=31)
-    session = BatchSession(config, jobs=2, max_batch=3, steal=True)
+    session = BatchSession(
+        config, jobs=2, max_batch=3, steal=True,
+        policy=SupervisorPolicy(retry_budget=0),
+    )
     blocker = None
     try:
         # Hold the pumps while admitting, so shards stay pending.
@@ -421,7 +422,8 @@ def test_crash_during_stolen_shard_falls_back():
             blocker = session._queues[0].popleft()
             session._loads[0] -= blocker.cost
             session._inflight[0] = blocker
-        stream_module._CRASH_NEXT_DISPATCH = True
+        session.fault_plan = FaultPlan(seed=0)
+        session.fault_plan.force_worker("kill")
         session._pump = original_pump
         session.flush()  # slot 1 steals (splitting) and its worker dies
         # Wait for the crash fallback to land before releasing the

@@ -12,9 +12,10 @@ interleavings of the operations a serving deployment would see —
 * blocking result waits for arbitrary outstanding tickets, forcing
   partial buffers to seal mid-stream;
 * explicit flushes;
-* injected worker crashes (the next dispatched shard's process dies,
-  exercising the broken-pool -> in-process fallback, including for
-  stolen shards);
+* injected worker crashes (a forced kill fault rides the next
+  dispatched shard, exercising the broken-pool -> retry/backoff
+  reclamation and, past the retry budget, the in-process fallback —
+  including for stolen shards);
 
 — asserting after every wait, and for every ticket at teardown, that
 the streamed result is **bit-identical to a fresh solo
@@ -42,7 +43,7 @@ from hypothesis.stateful import (
 )
 
 import repro.core.kernels as kernels_module
-import repro.core.stream as stream_module
+from repro.core.faults import FaultPlan
 from repro.core.params import AlgorithmConfig
 from repro.core.solver import solve_mwhvc
 from repro.core.stream import BatchSession, replay_schedule
@@ -124,7 +125,8 @@ class StreamSoakMachine(RuleBasedStateMachine):
         kernels_module.INT64_HEADROOM_BITS = SOAK_HEADROOM_BITS
         self.config = AlgorithmConfig(epsilon=Fraction(1, 3))
         self.session = BatchSession(
-            self.config, jobs=2, verify=False, max_batch=3
+            self.config, jobs=2, verify=False, max_batch=3,
+            fault_plan=FaultPlan(seed=0),
         )
         self.outstanding: list = []  # unchecked tickets
         self.checked: list = []  # (ticket, result) already verified
@@ -177,7 +179,7 @@ class StreamSoakMachine(RuleBasedStateMachine):
     @rule()
     def crash_next_dispatch(self):
         self.crashes += 1
-        stream_module._CRASH_NEXT_DISPATCH = True
+        self.session.fault_plan.force_worker("kill")
 
     # -- verification --------------------------------------------------
 
@@ -224,7 +226,6 @@ class StreamSoakMachine(RuleBasedStateMachine):
                     )
         finally:
             kernels_module.INT64_HEADROOM_BITS = self._saved_headroom
-            stream_module._CRASH_NEXT_DISPATCH = False
 
 
 if FUZZ_SEED is not None:
