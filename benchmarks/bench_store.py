@@ -1,0 +1,198 @@
+"""E16 — cold-start corpus solve from the arena store vs parse-and-pack.
+
+PR 10's persistent arena store (:mod:`repro.hypergraph.store` /
+:mod:`repro.core.corpus`) exists so that a process can go from *disk*
+to *lane-executor slabs* without re-parsing ``.hg`` text or re-packing
+CSR arenas.  This experiment is its acceptance gate:
+
+* **cold start** — solving a packed 256-instance corpus through
+  :func:`~repro.core.corpus.solve_corpus` (``load_arena(mmap=True)``
+  segments, zero-copy structural slabs) must be at least **3x** faster
+  end-to-end than the pre-existing path: parse every ``.hg`` file and
+  hand the instances to :func:`~repro.core.batch.run_fastpath_batch`
+  (which packs the arena itself);
+* **exactness** — the two paths must produce bit-identical
+  :class:`~repro.core.solver.CoverResult` lists (cover, weight, duals,
+  iterations, lane), pinning that the mmap-loaded arena *is* the
+  packed arena.
+
+Both sides run ``verify=False``: the LP/duality certificate check is
+identical work on either path (it re-derives everything from the
+results, not from the storage), so leaving it on would only dilute the
+storage differential being measured — the differential tests in
+``tests/test_store.py`` already pin verified-mode equality per lane.
+
+The corpus shape is deliberately weight-heavy (many vertices, few
+edges): parse cost scales with the text's weight tokens while the
+solve stays small, which is exactly the regime the store targets —
+ROADMAP item 2's "preprocessed corpus, solved many times" pipelines,
+where iteration-time cost is dominated by getting instances *in*, not
+covered.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import publish, publish_json
+
+from repro.analysis.tables import render_table
+from repro.core.batch import run_fastpath_batch
+from repro.core.corpus import pack_corpus, solve_corpus
+from repro.core.params import AlgorithmConfig
+from repro.hypergraph import io as hg_io
+from repro.hypergraph.hypergraph import Hypergraph
+
+SEED = 0xE16
+INSTANCES = 256
+N = 8000
+M = 12
+RANK = 3
+WEIGHT_LO = 10**14
+SEGMENT_INSTANCES = 64
+STORE_FLOOR = 3.0
+
+
+def build_corpus() -> list[Hypergraph]:
+    """The seeded 256-instance weight-heavy corpus."""
+    rng = random.Random(SEED)
+    instances = []
+    for _ in range(INSTANCES):
+        edges = [
+            tuple(sorted(rng.sample(range(N), RANK))) for _ in range(M)
+        ]
+        weights = [
+            rng.randint(WEIGHT_LO, 2 * WEIGHT_LO) for _ in range(N)
+        ]
+        instances.append(Hypergraph(N, edges, weights))
+    return instances
+
+
+def test_store_cold_start_gate(benchmark, tmp_path):
+    """Acceptance: cold-start solve of the packed corpus >= 3x the
+    parse-and-pack path, bit-identical results."""
+    corpus = build_corpus()
+    config = AlgorithmConfig()
+
+    text_dir = tmp_path / "text"
+    text_dir.mkdir()
+    paths = []
+    for position, hypergraph in enumerate(corpus):
+        path = text_dir / f"instance-{position:06d}.hg"
+        hg_io.save(hypergraph, path)
+        paths.append(path)
+
+    store_dir = tmp_path / "corpus"
+    catalog = pack_corpus(
+        (
+            (f"instance-{position:06d}", hypergraph)
+            for position, hypergraph in enumerate(corpus)
+        ),
+        store_dir,
+        segment_instances=SEGMENT_INSTANCES,
+    )
+    segments = len(catalog.segments)
+    store_bytes = sum(
+        catalog.segment_path(index).stat().st_size
+        for index in range(segments)
+    )
+    text_bytes = sum(path.stat().st_size for path in paths)
+
+    # Warm-up: numpy/solver imports and allocator pools on both paths.
+    run_fastpath_batch(corpus[:4], config, verify=False)
+    next(iter(solve_corpus(store_dir, config=config, verify=False)))
+
+    def run_pair():
+        parse_times = []
+        store_times = []
+        baseline_results = store_results = None
+        for _ in range(2):
+            t0 = time.perf_counter()
+            parsed = [hg_io.load(path) for path in paths]
+            baseline_results = run_fastpath_batch(
+                parsed, config, verify=False
+            )
+            t1 = time.perf_counter()
+            store_results = [
+                result
+                for segment in solve_corpus(
+                    store_dir, config=config, verify=False
+                )
+                for result in segment.results
+            ]
+            t2 = time.perf_counter()
+            parse_times.append(t1 - t0)
+            store_times.append(t2 - t1)
+        return (
+            baseline_results,
+            store_results,
+            min(parse_times),
+            min(store_times),
+        )
+
+    baseline_results, store_results, parse_s, store_s = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+
+    assert len(baseline_results) == len(store_results) == INSTANCES
+    for position, (fresh, loaded) in enumerate(
+        zip(baseline_results, store_results)
+    ):
+        assert fresh == loaded, (
+            f"instance {position}: store-loaded solve drifted from the "
+            f"parse-and-pack solve"
+        )
+    lanes = {result.lane for result in store_results}
+
+    speedup = parse_s / store_s
+
+    table = render_table(
+        ["path", "seconds", "inst/s", "vs parse"],
+        [
+            [
+                "arena store (mmap)",
+                f"{store_s:.3f}",
+                f"{INSTANCES / store_s:.1f}",
+                f"{speedup:.2f}x",
+            ],
+            [
+                "parse-and-pack",
+                f"{parse_s:.3f}",
+                f"{INSTANCES / parse_s:.1f}",
+                "1.00x",
+            ],
+        ],
+        title=(
+            f"E16 — cold-start solve of {INSTANCES} instances "
+            f"(n={N}, m={M}, f={RANK}, {segments} segments, "
+            f"{store_bytes / 2**20:.1f} MiB store vs "
+            f"{text_bytes / 2**20:.1f} MiB text; lanes={sorted(lanes)})"
+        ),
+    )
+    publish("store_cold_start", table)
+    publish_json(
+        "store_cold_start",
+        {
+            "gate": "store_cold_start_vs_parse_and_pack",
+            "instances": INSTANCES,
+            "n": N,
+            "m": M,
+            "rank": RANK,
+            "segments": segments,
+            "segment_instances": SEGMENT_INSTANCES,
+            "store_bytes": store_bytes,
+            "text_bytes": text_bytes,
+            "parse_seconds": round(parse_s, 6),
+            "store_seconds": round(store_s, 6),
+            "speedup": round(speedup, 3),
+            "lanes": sorted(lanes),
+            "floor": STORE_FLOOR,
+            "gated": True,
+            "bit_identical": True,
+        },
+    )
+    assert speedup >= STORE_FLOOR, (
+        f"cold-start store solve managed only {speedup:.2f}x the "
+        f"parse-and-pack path (floor {STORE_FLOOR}x)"
+    )

@@ -10,7 +10,15 @@ batch
     over a shared CSR arena (bit-identical to solving them one by one
     with the fastpath executor, but substantially faster).
     ``--stream`` routes the batch through the streaming work-stealing
-    session instead of the static shards.
+    session instead of the static shards.  ``--store`` treats the
+    directory as a packed corpus catalog (see ``pack``) and solves its
+    arena segments directly — no text parsing, zero-copy ``mmap``.
+pack
+    Pack a directory of ``.hg``/HIF instance files into a persistent
+    arena corpus: page-aligned, CRC-checked container segments plus a
+    ``manifest.json`` catalog (:mod:`repro.core.corpus`), which
+    ``batch --store`` / ``serve --store`` then solve without re-parsing
+    or re-packing anything.
 serve
     Stream instance file paths from stdin through a
     :class:`~repro.core.stream.BatchSession` — one result line per
@@ -157,6 +165,52 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print one JSON object with per-instance results",
     )
+    batch.add_argument(
+        "--store",
+        action="store_true",
+        help=(
+            "the directory is a packed corpus catalog (see 'pack'): "
+            "solve its arena segments via zero-copy mmap instead of "
+            "parsing instance files"
+        ),
+    )
+    batch.add_argument(
+        "--skip-corrupt",
+        action="store_true",
+        help=(
+            "--store only: a segment failing its integrity checks is "
+            "reported and skipped instead of aborting the batch "
+            "(exit code 2 when anything was skipped)"
+        ),
+    )
+
+    pack = commands.add_parser(
+        "pack",
+        help=(
+            "pack instance files into a persistent arena corpus "
+            "(solved later with 'batch --store' / 'serve --store')"
+        ),
+    )
+    pack.add_argument("directory", help="directory of instance files")
+    pack.add_argument("output", help="corpus catalog output directory")
+    pack.add_argument(
+        "--pattern",
+        default="*.hg",
+        help=(
+            "glob selecting the instance files (default: *.hg; "
+            "non-.hg matches are read as HIF JSON)"
+        ),
+    )
+    pack.add_argument(
+        "--segment-size",
+        type=int,
+        default=64,
+        metavar="K",
+        help=(
+            "instances per arena segment (bounds packing and solving "
+            "memory; default 64)"
+        ),
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -225,6 +279,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "stdin mode only: print one JSON object per line instead "
             "of summaries"
+        ),
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "stdin mode only: resolve each stdin line as an instance "
+            "id in this packed corpus catalog (see 'pack') instead of "
+            "an instance file path"
         ),
     )
     serve.add_argument(
@@ -321,7 +385,11 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             print("cover:", " ".join(map(str, sorted(result.cover))))
         return 0
     if arguments.command == "batch":
+        if arguments.store:
+            return _dispatch_batch_store(arguments)
         return _dispatch_batch(arguments)
+    if arguments.command == "pack":
+        return _dispatch_pack(arguments)
     if arguments.command == "serve":
         return _dispatch_serve(arguments)
     if arguments.command == "generate":
@@ -404,6 +472,84 @@ def _dispatch_batch(arguments: argparse.Namespace) -> int:
     total = sum(result.weight for result in results)
     print(f"batch: {len(results)} instances, total cover weight {total}")
     return 0
+
+
+def _dispatch_pack(arguments: argparse.Namespace) -> int:
+    from repro.core.corpus import pack_corpus
+
+    directory = Path(arguments.directory)
+    if not directory.is_dir():
+        raise InvalidInstanceError(f"{directory} is not a directory")
+    paths = sorted(directory.glob(arguments.pattern))
+    if not paths:
+        raise InvalidInstanceError(
+            f"no files matching {arguments.pattern!r} in {directory}"
+        )
+    catalog = pack_corpus(
+        paths, arguments.output, segment_instances=arguments.segment_size
+    )
+    total_bytes = sum(
+        catalog.segment_path(index).stat().st_size
+        for index in range(len(catalog.segments))
+    )
+    print(
+        f"packed {len(catalog)} instances into "
+        f"{len(catalog.segments)} segments "
+        f"({total_bytes} bytes) at {catalog.directory}"
+    )
+    return 0
+
+
+def _dispatch_batch_store(arguments: argparse.Namespace) -> int:
+    """``batch --store``: solve a packed corpus catalog segment by
+    segment — manifest ids label the results, no text files are read,
+    and each segment is dropped before the next is mapped."""
+    from repro.core.corpus import solve_corpus
+
+    config = AlgorithmConfig(
+        epsilon=arguments.epsilon, schedule=arguments.schedule
+    )
+    rows: list[tuple[str, object]] = []
+    skipped: list[str] = []
+    for segment in solve_corpus(
+        arguments.directory,
+        config=config,
+        skip_corrupt=arguments.skip_corrupt,
+    ):
+        if segment.error is not None:
+            skipped.append(segment.path)
+            print(
+                f"error: skipped corrupt segment {segment.path}: "
+                f"{segment.error}",
+                file=sys.stderr,
+            )
+            continue
+        rows.extend(zip(segment.ids, segment.results))
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "instances": [
+                        {"id": instance_id, **result.as_dict()}
+                        for instance_id, result in rows
+                    ],
+                    "count": len(rows),
+                    "skipped_segments": skipped,
+                    "total_weight": rational_for_json(
+                        sum(result.weight for _, result in rows)
+                    ),
+                }
+            )
+        )
+        return 2 if skipped else 0
+    for instance_id, result in rows:
+        print(f"{instance_id}: {result.summary()}")
+    total = sum(result.weight for _, result in rows)
+    print(
+        f"corpus: {len(rows)} instances, total cover weight {total}"
+        + (f", {len(skipped)} segments skipped" if skipped else "")
+    )
+    return 2 if skipped else 0
 
 
 def _parse_host_port(text: str) -> tuple[str, int]:
@@ -508,9 +654,19 @@ def _dispatch_serve(arguments: argparse.Namespace) -> int:
     code is 2 if any line failed, else 0.
     """
     if arguments.tcp:
+        if arguments.store:
+            raise InvalidInstanceError(
+                "--store is a stdin-mode flag; the TCP protocol ships "
+                "instances inline"
+            )
         return _dispatch_serve_tcp(arguments)
     from repro.core.stream import BatchSession
 
+    catalog = None
+    if arguments.store is not None:
+        from repro.core.corpus import ArenaCatalog
+
+        catalog = ArenaCatalog(arguments.store)
     config = AlgorithmConfig(
         epsilon=arguments.epsilon, schedule=arguments.schedule
     )
@@ -548,7 +704,17 @@ def _dispatch_serve(arguments: argparse.Namespace) -> int:
             if not path:
                 continue
             try:
-                hypergraph = io.load(path)
+                if catalog is not None:
+                    # A --store line is a catalog instance id: the
+                    # instance comes off the packed segment, no text
+                    # file is opened at all.
+                    hypergraph = catalog.load_instance(path)
+                else:
+                    hypergraph = io.load(path)
+            except KeyError as error:
+                failures += 1
+                print(f"error: {path}: {error}", file=sys.stderr)
+                continue
             except (OSError, ReproError) as error:
                 failures += 1
                 print(f"error: {path}: {error}", file=sys.stderr)

@@ -125,7 +125,7 @@ def _scale_limit(
     """
     rank = hypergraph.rank
     return kernels.scale_limit(
-        max(hypergraph.weights),
+        hypergraph.max_weight,
         headroom_factor(config, rank, state),
         config.z(rank),
         _int64_headroom_bits(),

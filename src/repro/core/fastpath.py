@@ -120,6 +120,13 @@ class ScaledState:
     that scale.  Shared by :func:`run_fastpath` (one instance) and
     :func:`repro.core.batch.run_fastpath_batch` (arena slices) so the
     two executors cannot diverge at initialization.
+
+    The per-vertex fields (``total_delta``, ``degrees``) are plain
+    lists from the scalar pass but stay int64 ndarrays when the fused
+    pass produced them — :class:`~repro.core.kernels.LaneRun`
+    concatenates them into its slabs either way, and the scalar
+    executor converts to Python-int lists at its entry (numpy scalars
+    must never reach the exact big-int arithmetic).
     """
 
     alpha_list: list[Fraction]
@@ -130,8 +137,8 @@ class ScaledState:
     bid: list[int]
     raised: list[int]
     delta: list[int]
-    total_delta: list[int]
-    degrees: list[int]
+    total_delta: list[int]  # or int64 ndarray (fused pass)
+    degrees: list[int]  # or int64 ndarray (fused pass)
 
 
 #: Magnitude ceiling for the fused iteration-0 pass: every intermediate
@@ -175,12 +182,14 @@ def _fused_iteration0(hypergraph: Hypergraph, config: AlgorithmConfig):
     edges = hypergraph.edges
     weights = hypergraph.weights
     rank = hypergraph.rank
-    if m == 0 or any(type(weight) is not int for weight in weights):
+    if m == 0:
         return None
-    max_weight = max(weights)
+    weights_arr = hypergraph.weights_int64()
+    if weights_arr is None:
+        return None
+    max_weight = int(weights_arr.max()) if n else 0
     if max_weight >= _FUSED_INT64_LIMIT:
         return None
-    weights_arr = _np.array(weights, dtype=_np.int64)
     try:
         # Uniform-arity edges (the common case) convert as one 2D
         # array; the ragged fallback streams the cells.
@@ -203,7 +212,6 @@ def _fused_iteration0(hypergraph: Hypergraph, config: AlgorithmConfig):
     max_degree = int(degrees_arr.max())
     if max_weight * max_degree >= _FUSED_INT64_LIMIT:
         return None
-    degrees = degrees_arr.tolist()
 
     local_policy = config.alpha_policy == "local"
     if local_policy:
@@ -248,6 +256,10 @@ def _fused_iteration0(hypergraph: Hypergraph, config: AlgorithmConfig):
             _np.append(first_index, owner.size)
         )
         cand_cells = cells[candidate]
+        # Exact resolution works on plain Python ints — numpy scalars
+        # would reintroduce silent int64 wraparound into the cross
+        # products.  Built only on this (rare) near-tie branch.
+        degrees = degrees_arr.tolist()
         for position in _np.flatnonzero(owner_counts > 1).tolist():
             members = cand_cells[
                 first_index[position] : first_index[position]
@@ -303,7 +315,10 @@ def _fused_iteration0(hypergraph: Hypergraph, config: AlgorithmConfig):
         if max_bid * max_degree < _FUSED_INT64_LIMIT:
             total_arr = _np.zeros(n, dtype=_np.int64)
             _np.add.at(total_arr, cells, bid_arr[edge_of_cell])
-            total_delta = total_arr.tolist()
+            # Stays an int64 array: LaneRun concatenates these straight
+            # into its vertex-side slabs, and the scalar executor
+            # converts at its entry (see ``_scalar_state_lists``).
+            total_delta = total_arr
         else:
             total_delta = _scalar_bid_sums(n, edges, bid)
     else:
@@ -333,7 +348,7 @@ def _fused_iteration0(hypergraph: Hypergraph, config: AlgorithmConfig):
         raised=raised,
         delta=list(bid),
         total_delta=total_delta,
-        degrees=degrees,
+        degrees=degrees_arr,
     )
 
 
@@ -593,7 +608,13 @@ def _run_bigint(
     weights = hypergraph.weights
     incidence = [hypergraph.incident_edges(v) for v in range(n)]
 
+    # The fused iteration-0 pass hands these over as int64 ndarrays;
+    # this executor's arithmetic is exact unbounded Python ints, so
+    # materialize plain lists before any element can leak a numpy
+    # scalar (and its silent wraparound) into the computation.
     degrees = state.degrees
+    if not isinstance(degrees, list):
+        degrees = degrees.tolist()
     alpha_list = state.alpha_list
     alpha_num = state.alpha_num
     alpha_den = state.alpha_den
@@ -603,6 +624,8 @@ def _run_bigint(
         raised = state.raised
         delta = state.delta
         total_delta = state.total_delta
+        if not isinstance(total_delta, list):
+            total_delta = total_delta.tolist()
         level = [0] * n
         in_cover = bytearray(n)
         dead = bytearray(n)

@@ -138,6 +138,11 @@ SMALL_FACTOR_BITS = 31
 #: regime that the two-limb 31-bit cap rejects.
 THREE_LIMB_FACTOR_BITS = 62
 
+#: Largest value an ``int64`` lane cell can hold; the vectorized
+#: weight-scaling guard in :class:`LaneRun` proves products stay at or
+#: below this before letting numpy multiply them.
+_INT64_MAX = (1 << 63) - 1
+
 #: Bits per stored low limb of a two-limb value.
 LIMB_BITS = 32
 
@@ -270,7 +275,7 @@ def lane_eligibility(
     # clear of the boundary skip the exact big-int bound entirely on
     # this hot admission path.  Only the boundary band (within
     # ``PREFILTER_MARGIN_BITS``) pays for exact arithmetic.
-    w_max = max(hypergraph.weights)
+    w_max = hypergraph.max_weight
     approx_bits = (
         log2(w_max.numerator)
         - log2(w_max.denominator)
@@ -296,7 +301,7 @@ def default_scale_limits(hypergraphs, config, states, *, lane: str) -> list[int]
         rank = hypergraph.rank
         limits.append(
             scale_limit(
-                max(hypergraph.weights),
+                hypergraph.max_weight,
                 headroom_factor(config, rank, state),
                 config.z(rank),
                 bits,
@@ -1096,14 +1101,20 @@ class LaneRun:
             for state, carry in zip(states, carries)
         ]
         beta_den, z_caps = [], []
-        weight_scaled: list[int] = []
-        tight_rhs: list[int] = []
+        # Per-instance scaled-weight chunks: an int64 ndarray when the
+        # instance's products provably fit (vectorized multiply), else
+        # a plain list from the exact scalar path.  Kept per instance
+        # so mixed batches lose nothing — the chunks are concatenated
+        # in order at the end.
+        ws_parts: list = []
+        tr_parts: list = []
+        vectorize = ops.name == "int64"
         for hypergraph, scale in zip(hypergraphs, self.scales):
             beta = config.beta(hypergraph.rank)
             beta_den.append(beta.denominator)
             z_caps.append(config.z(hypergraph.rank))
             weights = hypergraph.weights
-            if self.fused and all(type(w) is int for w in weights):
+            if self.fused and hypergraph.weights_all_int:
                 # Integer weights multiply exactly — skip the per-value
                 # integrality verification of ``exact_scaled_int`` and
                 # fold the constant ``(beta_den - beta_num) * scale``
@@ -1111,31 +1122,80 @@ class LaneRun:
                 threshold_scale = (
                     beta.denominator - beta.numerator
                 ) * scale
-                weight_scaled.extend(w * scale for w in weights)
-                tight_rhs.extend(w * threshold_scale for w in weights)
+                if vectorize and weights:
+                    # Vectorized scaling is exact iff the largest
+                    # product fits int64 — checked in unbounded Python
+                    # arithmetic *before* any numpy multiply can wrap.
+                    arr = hypergraph.weights_int64()
+                    if arr is not None:
+                        bound = int(arr.max()) * max(
+                            scale, threshold_scale, 1
+                        )
+                        if bound <= _INT64_MAX:
+                            ws_parts.append(arr * scale)
+                            tr_parts.append(arr * threshold_scale)
+                            continue
+                ws_parts.append([w * scale for w in weights])
+                tr_parts.append([w * threshold_scale for w in weights])
                 continue
-            for weight in weights:
-                weight_scaled.append(exact_scaled_int(weight, scale))
-                tight_rhs.append(
+            ws_parts.append(
+                [exact_scaled_int(weight, scale) for weight in weights]
+            )
+            tr_parts.append(
+                [
                     tight_threshold_scaled(
                         weight, beta.numerator, beta.denominator, scale
                     )
-                )
+                    for weight in weights
+                ]
+            )
         self.z_caps = z_caps
         self.limits = limits
-        self.weight_scaled = ops.from_list(weight_scaled)
-        self.tight_rhs = ops.from_list(tight_rhs)
-        self.total_delta = ops.from_list(
-            [
-                value
-                for state, carry in zip(states, carries)
-                for value in (
-                    carry["total_delta"] if carry else state.total_delta
+        if vectorize:
+            self.weight_scaled = (
+                _np.concatenate(
+                    [_np.asarray(part, dtype=int64) for part in ws_parts]
                 )
-            ]
-        )
-        degrees = _np.array(
-            [deg for state in states for deg in state.degrees], dtype=int64
+                if ws_parts
+                else ops.from_list([])
+            )
+            self.tight_rhs = (
+                _np.concatenate(
+                    [_np.asarray(part, dtype=int64) for part in tr_parts]
+                )
+                if tr_parts
+                else ops.from_list([])
+            )
+        else:
+            self.weight_scaled = ops.from_list(
+                [value for part in ws_parts for value in part]
+            )
+            self.tight_rhs = ops.from_list(
+                [value for part in tr_parts for value in part]
+            )
+        td_parts = [
+            carry["total_delta"] if carry else state.total_delta
+            for state, carry in zip(states, carries)
+        ]
+        if vectorize and td_parts:
+            # Per-part C conversion + concatenate skips the Python
+            # flattening pass over every vertex of the batch.
+            self.total_delta = _np.concatenate(
+                [_np.asarray(part, dtype=int64) for part in td_parts]
+            )
+        else:
+            self.total_delta = ops.from_list(
+                [value for part in td_parts for value in part]
+            )
+        degrees = (
+            _np.concatenate(
+                [
+                    _np.asarray(state.degrees, dtype=int64)
+                    for state in states
+                ]
+            )
+            if states
+            else _np.zeros(0, dtype=int64)
         )
         self.uncovered_count = degrees.copy()
         self.level = _np.zeros(total_v, dtype=int64)

@@ -90,6 +90,7 @@ __all__ = [
     "predicted_lane",
     "run_fastpath_batch_parallel",
     "shard_payload",
+    "ship_arena",
     "ship_buffer",
     "shutdown_pool",
 ]
@@ -595,17 +596,34 @@ def _solve_shard(
     if directive is not None and directive[0] == "hang":
         time.sleep(directive[1])
     kind, *details = payload["transport"]
-    if kind == "shm":
+    if kind == "file":
+        # Store-backed shard: the worker re-opens and re-validates the
+        # container itself (mmap, zero-copy) instead of receiving a
+        # /dev/shm copy of slabs already durable on a shared
+        # filesystem.  A vanished file is a transport accident like a
+        # vanished shm segment; a damaged one raises ArenaStoreError,
+        # which the parent's recovery treats identically.
+        from repro.hypergraph.store import load_arena
+
         try:
-            buffer = _attach_shm_bytes(*details)
+            arena = load_arena(details[0], mmap=True)
         except OSError as error:
             raise ArenaTransportError(
-                f"shared-memory segment {details[0]!r} vanished before "
-                f"the worker could read it: {error}"
+                f"arena container {details[0]!r} vanished before the "
+                f"worker could map it: {error}"
             ) from error
     else:
-        buffer = details[0]
-    arena = deserialize_arena(buffer, payload["weights"])
+        if kind == "shm":
+            try:
+                buffer = _attach_shm_bytes(*details)
+            except OSError as error:
+                raise ArenaTransportError(
+                    f"shared-memory segment {details[0]!r} vanished before "
+                    f"the worker could read it: {error}"
+                ) from error
+        else:
+            buffer = details[0]
+        arena = deserialize_arena(buffer, payload["weights"])
     # The instances are reconstructed for per-instance metadata only
     # (iteration-0 state preparation, finalization); the executor
     # consumes the shipped arena itself, slicing the per-lane
@@ -743,6 +761,28 @@ def ship_buffer(buffer: bytes):
     return ("bytes", buffer), None
 
 
+def ship_arena(arena):
+    """Choose a transport for one packed arena.
+
+    A store-backed arena (``arena.source`` naming a container file that
+    still exists, from :func:`repro.hypergraph.store.load_arena`) ships
+    **by file reference**: workers on the same filesystem re-map the
+    durable container themselves, so nothing is serialized and nothing
+    is copied into ``/dev/shm``.  Anything else — a freshly packed
+    arena, a sliced sub-arena (slicing drops provenance), a source
+    whose file has since been deleted — falls back to
+    :func:`ship_buffer` over :func:`serialize_arena`.
+
+    Returns ``(transport, shm_block | None)`` like :func:`ship_buffer`;
+    file transports never own a block.
+    """
+    source = getattr(arena, "source", None)
+    path = getattr(source, "path", None)
+    if path is not None and not _FORCE_PICKLE and os.path.isfile(path):
+        return ("file", path), None
+    return ship_buffer(serialize_arena(arena))
+
+
 def shard_payload(arena, shard, config, verify, *, fault=None):
     """Build one :func:`_solve_shard` payload for an already-packed arena.
 
@@ -759,11 +799,14 @@ def shard_payload(arena, shard, config, verify, *, fault=None):
     import repro.core.batch as batch_module
     import repro.core.kernels as kernels_module
 
-    transport, block = ship_buffer(serialize_arena(arena))
+    transport, block = ship_arena(arena)
     return {
         "shard": shard,
         "transport": transport,
-        "weights": arena.weights,
+        # A file transport carries its own weights inside the
+        # container; shipping them again through pickle would be pure
+        # overhead (and the dominant cost for bigint corpora).
+        "weights": arena.weights if transport[0] != "file" else None,
         "config": config,
         "verify": verify,
         "int64_bits": kernels_module.INT64_HEADROOM_BITS,

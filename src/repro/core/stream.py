@@ -98,7 +98,12 @@ from repro.exceptions import (
     TicketTimeout,
     TransportError,
 )
-from repro.hypergraph.csr import BatchArena, pack_arena, slice_arena
+from repro.hypergraph.csr import (
+    BatchArena,
+    arena_hypergraphs,
+    pack_arena,
+    slice_arena,
+)
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.mutable import (
     GraphDelta,
@@ -566,6 +571,67 @@ class BatchSession:
             self._seal(config)
         self._pump()
         return ticket
+
+    def submit_arena(
+        self,
+        arena: BatchArena,
+        *,
+        config: AlgorithmConfig | None = None,
+    ) -> list[StreamTicket]:
+        """Admit one already-packed arena as a single pre-sealed shard.
+
+        The store path's admission door: a segment loaded with
+        :func:`repro.hypergraph.store.load_arena` skips the
+        micro-batch buffer *and* the re-pack — the shard carries the
+        arena object itself, so a store-backed arena keeps its
+        :class:`~repro.hypergraph.store.ArenaSource` provenance and
+        :func:`~repro.core.parallel.ship_arena` ships it to workers by
+        file reference (no serialize, no ``/dev/shm`` copy; the worker
+        re-maps the container).  Instances are reconstructed only for
+        ticket metadata and the in-process fallback paths.
+
+        Returns one :class:`StreamTicket` per arena instance, in arena
+        order.  Tickets behave exactly like :meth:`submit` tickets:
+        stealing may split the shard (splits re-slice the arena and
+        drop the file provenance — correctly, since a slice is not the
+        container's content), cancellation is per-ticket, results are
+        bit-identical to in-memory solves.
+        """
+        with self._lock:
+            if not self._open:
+                raise SessionClosedError(
+                    "submit_arena() on a closed BatchSession — results "
+                    "of earlier submissions remain retrievable"
+                )
+            config = config or self._config
+            instances = arena_hypergraphs(arena)
+            if not instances:
+                return []
+            entries = [
+                StreamTicket(next(self._ticket_ids), instance, config, self)
+                for instance in instances
+            ]
+            self._unsettled += len(entries)
+            for ticket in entries:
+                self._log("submit", ticket.id)
+            costs = [
+                corrected_cost(instance, config) for instance in instances
+            ]
+            shard = _Shard(
+                next(self._shard_ids), entries, arena, config, costs
+            )
+            slot = min(
+                range(self._jobs), key=lambda s: (self._loads[s], s)
+            )
+            self._queues[slot].append(shard)
+            self._loads[slot] += shard.cost
+            self.stats["shards"] += 1
+            self._log(
+                "seal", shard.id, slot,
+                tuple(ticket.id for ticket in entries),
+            )
+            self._pump()
+            return entries
 
     # ------------------------------------------------------------------
     # Incremental updates

@@ -71,6 +71,22 @@ class ArenaTransportError(TransportError):
     """
 
 
+class ArenaStoreError(TransportError):
+    """A persistent arena container failed integrity validation.
+
+    Raised by :func:`repro.hypergraph.store.load_arena` (and the
+    catalog layer over it) when an on-disk container is unreadable as
+    written: missing or damaged magic header, a version newer than this
+    library understands, a truncated file, a section whose checksum
+    does not match its bytes, or a malformed corpus manifest.  Like its
+    :class:`TransportError` siblings this is a *typed refusal*: a
+    damaged store must surface as an error the caller (or the corpus
+    iterator, which can skip the segment and report it) handles — never
+    as a silently wrong cover or an out-of-bounds numpy view over a
+    short mmap.
+    """
+
+
 class WorkerResultError(TransportError):
     """A worker returned a result payload with an invalid wire shape.
 

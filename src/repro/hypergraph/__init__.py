@@ -8,6 +8,11 @@ from repro.hypergraph.mutable import (
 )
 from repro.hypergraph.setcover import SetCoverInstance, random_set_cover
 from repro.hypergraph.stats import InstanceStats, instance_stats
+from repro.hypergraph.store import (
+    ArenaSource,
+    load_arena,
+    save_arena,
+)
 from repro.hypergraph.validation import (
     check_paper_assumptions,
     require_cover,
@@ -25,6 +30,9 @@ __all__ = [
     "random_set_cover",
     "InstanceStats",
     "instance_stats",
+    "ArenaSource",
+    "save_arena",
+    "load_arena",
     "check_paper_assumptions",
     "require_cover",
     "require_vertex_subset",

@@ -31,7 +31,7 @@ from __future__ import annotations
 import zlib
 from array import array
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 
 from repro.exceptions import ArenaTransportError, InvalidInstanceError
@@ -127,6 +127,16 @@ class BatchArena:
     membership: CSRLayout
     instance_of_vertex: tuple[int, ...]
     instance_of_edge: tuple[int, ...]
+    #: Provenance annotation for arenas materialized from a persistent
+    #: container (:func:`repro.hypergraph.store.load_arena`): carries
+    #: the backing file path (and, for mmap loads, the mapped buffer
+    #: keeping the views alive).  ``None`` for arenas packed in memory.
+    #: Excluded from equality — a loaded arena must compare equal to
+    #: the freshly packed arena it round-tripped from — and consulted
+    #: by the multiprocess transport, which ships a file-backed arena
+    #: to workers *by reference* instead of copying it into ``/dev/shm``
+    #: (workers re-validate the container themselves).
+    source: object | None = field(default=None, compare=False, repr=False)
 
     @property
     def total_vertices(self) -> int:
@@ -300,8 +310,35 @@ def slice_arena(arena: BatchArena, indices: Sequence[int]) -> BatchArena:
     instance.  Each instance's membership cells are contiguous in the
     parent (packing concatenates instances in order), so a slice is a
     per-instance copy with the vertex base rewritten.
+
+    Selecting *every* instance in order returns ``arena`` itself: an
+    identity slice changes nothing, and passing the original through
+    preserves both zero-copy numpy membership arrays (an mmap-backed
+    arena from :func:`repro.hypergraph.store.load_arena` stays a view
+    over its mapped buffer all the way into the kernel lanes) and the
+    :attr:`BatchArena.source` annotation the file-reference transport
+    keys on.  Callers treat arenas as immutable, so sharing is safe.
     """
+    indices = list(indices)
+    if len(indices) == arena.num_instances and all(
+        index == position for position, index in enumerate(indices)
+    ):
+        return arena
     membership = arena.membership
+    # A loaded (or fused-packed) arena holds numpy int64 arrays where a
+    # scalar-packed one holds tuples.  Normalize the slabs this pass
+    # iterates to plain Python ints up front: downstream consumers
+    # (``serialize_arena``'s array("q"), Hypergraph reconstruction)
+    # require exact ``int`` cells, never numpy scalars.
+    membership_lengths = membership.lengths
+    membership_cells = membership.cells
+    membership_starts = membership.starts
+    if hasattr(membership_lengths, "tolist"):
+        membership_lengths = membership_lengths.tolist()
+    if hasattr(membership_cells, "tolist"):
+        membership_cells = membership_cells.tolist()
+    if hasattr(membership_starts, "tolist"):
+        membership_starts = membership_starts.tolist()
     vertex_offset = [0]
     edge_offset = [0]
     weights: list[int | Fraction] = []
@@ -320,15 +357,16 @@ def slice_arena(arena: BatchArena, indices: Sequence[int]) -> BatchArena:
         weights.extend(arena.weights[vertex_lo:vertex_hi])
         instance_of_vertex.extend([new_index] * (vertex_hi - vertex_lo))
         instance_of_edge.extend([new_index] * (edge_hi - edge_lo))
-        lengths.extend(membership.lengths[edge_lo:edge_hi])
+        lengths.extend(membership_lengths[edge_lo:edge_hi])
         if edge_hi > edge_lo:
-            cell_lo = membership.starts[edge_lo]
+            cell_lo = membership_starts[edge_lo]
             cell_hi = (
-                membership.starts[edge_hi - 1]
-                + membership.lengths[edge_hi - 1]
+                membership_starts[edge_hi - 1]
+                + membership_lengths[edge_hi - 1]
             )
             cells.extend(
-                cell + shift for cell in membership.cells[cell_lo:cell_hi]
+                cell + shift
+                for cell in membership_cells[cell_lo:cell_hi]
             )
     return BatchArena(
         num_instances=len(indices),
@@ -491,25 +529,98 @@ def arena_hypergraphs(arena: BatchArena) -> list[Hypergraph]:
     extracted from live (already-validated) hypergraphs, so re-running
     the per-cell input checks would only tax the worker-side hot path
     of the multiprocess executor.
+
+    The de-offsetting pass is vectorized when numpy is available (one
+    C-speed subtraction + ``tolist`` per instance instead of a Python
+    generator per cell): reconstruction is the dominant non-solve cost
+    of both the worker-side shard decode and the cold-start path over
+    a persistent arena store, where the E16 gate times it directly.
+    Cells always land back as plain Python ints — numpy scalars inside
+    ``Hypergraph.edges`` would leak into covers and JSON rendering.
     """
+    membership = arena.membership
+    try:  # vectorized de-offset; scalar fallback without numpy
+        import numpy as _np
+    except ImportError:  # pragma: no cover - numpy-less builds
+        _np = None
+    # A store-loaded arena knows its weights section could only hold
+    # plain ints; forward that verdict so reconstruction skips the
+    # per-weight rescan (None = unknown, compute lazily as usual).
+    all_int = getattr(arena.source, "weights_all_int", None)
     instances: list[Hypergraph] = []
+    if _np is not None and arena.num_instances:
+        cells_arr = _np.asarray(membership.cells, dtype=_np.int64)
+        lengths_list = (
+            membership.lengths.tolist()
+            if hasattr(membership.lengths, "tolist")
+            else membership.lengths
+        )
+        starts_list = (
+            membership.starts.tolist()
+            if hasattr(membership.starts, "tolist")
+            else membership.starts
+        )
+        total_cells = len(cells_arr)
+        for index in range(arena.num_instances):
+            vertex_base = arena.vertex_offset[index]
+            num_vertices = arena.vertex_offset[index + 1] - vertex_base
+            edge_lo = arena.edge_offset[index]
+            edge_hi = arena.edge_offset[index + 1]
+            cell_lo = (
+                starts_list[edge_lo]
+                if edge_lo < len(starts_list)
+                else total_cells
+            )
+            cell_hi = (
+                starts_list[edge_hi]
+                if edge_hi < len(starts_list)
+                else total_cells
+            )
+            block = cells_arr[cell_lo:cell_hi]
+            local = (
+                (block - vertex_base).tolist()
+                if vertex_base
+                else block.tolist()
+            )
+            edge_rows: list[tuple[int, ...]] = []
+            position = 0
+            for edge_id in range(edge_lo, edge_hi):
+                length = lengths_list[edge_id]
+                edge_rows.append(
+                    tuple(local[position : position + length])
+                )
+                position += length
+            weights = tuple(
+                arena.weights[vertex_base : arena.vertex_offset[index + 1]]
+            )
+            instances.append(
+                Hypergraph._from_validated(
+                    num_vertices,
+                    tuple(edge_rows),
+                    weights,
+                    weights_all_int=all_int,
+                )
+            )
+        return instances
     for index in range(arena.num_instances):
         vertex_base = arena.vertex_offset[index]
         num_vertices = arena.vertex_offset[index + 1] - vertex_base
         edges = tuple(
             tuple(
-                cell - vertex_base
-                for cell in arena.membership.segment(edge_id)
+                int(cell) - vertex_base
+                for cell in membership.segment(edge_id)
             )
             for edge_id in range(
                 arena.edge_offset[index], arena.edge_offset[index + 1]
             )
         )
-        weights = arena.weights[
-            vertex_base : arena.vertex_offset[index + 1]
-        ]
+        weights = tuple(
+            arena.weights[vertex_base : arena.vertex_offset[index + 1]]
+        )
         instances.append(
-            Hypergraph._from_validated(num_vertices, edges, weights)
+            Hypergraph._from_validated(
+                num_vertices, edges, weights, weights_all_int=all_int
+            )
         )
     return instances
 

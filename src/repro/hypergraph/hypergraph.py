@@ -64,6 +64,9 @@ class Hypergraph:
         "_incidence",
         "_rank",
         "_max_degree",
+        "_weights_all_int",
+        "_weights_int64",
+        "_max_weight",
     )
 
     def __init__(
@@ -104,12 +107,14 @@ class Hypergraph:
 
         if weights is None:
             weight_tuple = (1,) * num_vertices
+            all_int = True
         else:
             weight_list = list(weights)
             if len(weight_list) != num_vertices:
                 raise InvalidInstanceError(
                     f"expected {num_vertices} weights, got {len(weight_list)}"
                 )
+            all_int = True
             for vertex, weight in enumerate(weight_list):
                 if isinstance(weight, bool) or not isinstance(
                     weight, (int, Fraction)
@@ -122,25 +127,51 @@ class Hypergraph:
                     raise InvalidInstanceError(
                         f"weight of vertex {vertex} must be positive, got {weight}"
                     )
-                if isinstance(weight, Fraction) and weight.denominator == 1:
-                    weight_list[vertex] = int(weight)
+                if type(weight) is not int:
+                    if (
+                        isinstance(weight, Fraction)
+                        and weight.denominator == 1
+                    ):
+                        weight_list[vertex] = int(weight)
+                    else:
+                        all_int = False
             weight_tuple = tuple(weight_list)
         self._weights = weight_tuple
         self._derive_structure()
+        # The validation loop just visited every weight — record the
+        # all-int verdict now so the fast paths never rescan.
+        self._weights_all_int = all_int
 
     def _derive_structure(self) -> None:
-        """Derived state from ``_num_vertices``/``_edges``: incidence,
-        rank, max degree.  The single source both constructors call, so
-        validated and trusted instances can never diverge."""
-        incidence: list[list[int]] = [[] for _ in range(self._num_vertices)]
-        for edge_id, members in enumerate(self._edges):
-            for vertex in members:
-                incidence[vertex].append(edge_id)
-        self._incidence = tuple(tuple(edge_ids) for edge_ids in incidence)
+        """Derived state from ``_num_vertices``/``_edges``: rank now,
+        incidence and max degree on first use.  The single source both
+        constructors call, so validated and trusted instances can never
+        diverge.  The incidence transpose costs ``O(n + nnz)`` Python
+        work, and the vectorized batch lanes never read it — deferring
+        it keeps arena reconstruction (and plain construction) at the
+        cost of what the caller actually touches.  Instances are
+        immutable, so the deferred values are a pure function of the
+        ``(n, edges)`` pair and lazy computation is idempotent."""
+        self._incidence = None
         self._rank = max((len(edge) for edge in self._edges), default=0)
-        self._max_degree = max(
-            (len(edge_ids) for edge_ids in self._incidence), default=0
-        )
+        self._max_degree = None
+        self._weights_all_int = None
+        self._weights_int64 = None
+        self._max_weight = None
+
+    def _ensure_incidence(self) -> tuple[tuple[int, ...], ...]:
+        """The vertex->edge-ids transpose, built and cached on demand."""
+        if self._incidence is None:
+            incidence: list[list[int]] = [
+                [] for _ in range(self._num_vertices)
+            ]
+            for edge_id, members in enumerate(self._edges):
+                for vertex in members:
+                    incidence[vertex].append(edge_id)
+            self._incidence = tuple(
+                tuple(edge_ids) for edge_ids in incidence
+            )
+        return self._incidence
 
     @classmethod
     def _from_validated(
@@ -148,6 +179,8 @@ class Hypergraph:
         num_vertices: int,
         edges: tuple[tuple[int, ...], ...],
         weights: tuple,
+        *,
+        weights_all_int: Optional[bool] = None,
     ) -> "Hypergraph":
         """Rebuild a hypergraph from *already-validated* parts.
 
@@ -164,6 +197,11 @@ class Hypergraph:
         instance._edges = edges
         instance._weights = weights
         instance._derive_structure()
+        if weights_all_int is not None:
+            # Trusted callers that decoded the weights themselves (the
+            # arena store's int64 section can only hold plain ints)
+            # pass the verdict along instead of forcing a rescan.
+            instance._weights_all_int = weights_all_int
         return instance
 
     # ------------------------------------------------------------------
@@ -198,7 +236,84 @@ class Hypergraph:
     @property
     def max_degree(self) -> int:
         """The maximum degree ``Δ``: most hyperedges on one vertex."""
+        if self._max_degree is None:
+            if self._incidence is not None:
+                self._max_degree = max(
+                    (len(edge_ids) for edge_ids in self._incidence),
+                    default=0,
+                )
+            else:
+                # O(nnz) tally without materializing the O(n) transpose.
+                counts: dict[int, int] = {}
+                for members in self._edges:
+                    for vertex in members:
+                        counts[vertex] = counts.get(vertex, 0) + 1
+                self._max_degree = max(counts.values(), default=0)
         return self._max_degree
+
+    @property
+    def weights_all_int(self) -> bool:
+        """Whether every weight is a plain ``int`` (cached).
+
+        The integer-only fast paths (fused iteration 0, the kernel
+        lanes' exact scaling) each need this predicate; caching it on
+        the immutable instance replaces repeated ``O(n)`` scans with
+        one.  Integral :class:`~fractions.Fraction` weights were
+        already normalized to ``int`` at construction, so this is
+        exactly "no fractional weight survives".
+        """
+        if self._weights_all_int is None:
+            self._weights_all_int = all(
+                type(weight) is int for weight in self._weights
+            )
+        return self._weights_all_int
+
+    def weights_int64(self):
+        """The weights as an ``int64`` numpy array, or ``None``.
+
+        ``None`` when numpy is unavailable, a weight is not a plain
+        ``int``, or a weight overflows int64.  Cached: the integer
+        kernel lanes and the fused iteration-0 sweep both need this
+        exact conversion, and the tuple is immutable, so one C-speed
+        pass serves every consumer.  Callers must not mutate the
+        returned array.
+        """
+        cached = self._weights_int64
+        if cached is None:
+            try:
+                import numpy
+            except ImportError:  # pragma: no cover - numpy-less builds
+                numpy = None
+            if numpy is None or not self.weights_all_int:
+                cached = False
+            else:
+                try:
+                    cached = numpy.asarray(
+                        self._weights, dtype=numpy.int64
+                    )
+                except OverflowError:
+                    cached = False
+            self._weights_int64 = cached
+        return None if cached is False else cached
+
+    @property
+    def max_weight(self):
+        """Largest vertex weight (cached; 0 for zero vertices).
+
+        The lane admission checks bound every scaled product by the
+        maximum weight, so this is read once per instance per lane —
+        the cache (and the int64 array when available) turns repeated
+        ``O(n)`` Python scans into one C-speed reduction.
+        """
+        if self._max_weight is None:
+            arr = self.weights_int64()
+            if arr is not None and arr.size:
+                self._max_weight = int(arr.max())
+            else:
+                self._max_weight = (
+                    max(self._weights) if self._weights else 0
+                )
+        return self._max_weight
 
     @property
     def max_weight_ratio(self) -> int:
@@ -222,11 +337,11 @@ class Hypergraph:
 
     def incident_edges(self, vertex: int) -> tuple[int, ...]:
         """Ids of hyperedges containing ``vertex`` (``E(v)``)."""
-        return self._incidence[vertex]
+        return self._ensure_incidence()[vertex]
 
     def degree(self, vertex: int) -> int:
         """``|E(v)|``: the number of hyperedges containing ``vertex``."""
-        return len(self._incidence[vertex])
+        return len(self._ensure_incidence()[vertex])
 
     def local_max_degree(self, edge_id: int) -> int:
         """``Δ(e) = max_{u in e} |E(u)|`` (Theorem 9's local variant)."""
@@ -287,7 +402,7 @@ class Hypergraph:
     def __repr__(self) -> str:
         return (
             f"Hypergraph(n={self._num_vertices}, m={self.num_edges}, "
-            f"f={self._rank}, max_degree={self._max_degree})"
+            f"f={self._rank}, max_degree={self.max_degree})"
         )
 
     def reweighted(self, weights: Sequence[int]) -> "Hypergraph":
@@ -300,10 +415,11 @@ class Hypergraph:
         Returns the compacted hypergraph and a mapping from new vertex
         ids to original ids.  Useful before expensive exact solves.
         """
+        incidence = self._ensure_incidence()
         kept = [
             vertex
             for vertex in range(self._num_vertices)
-            if self._incidence[vertex]
+            if incidence[vertex]
         ]
         new_id = {old: new for new, old in enumerate(kept)}
         edges = [

@@ -13,9 +13,22 @@ fractional-weight instances round-trip exactly.
 The format is deliberately minimal and line-oriented so instances can be
 versioned, diffed, and produced by other tools.  ``loads``/``dumps`` are
 exact inverses (modulo comments), which the round-trip tests enforce.
+
+For interchange with the wider hypergraph ecosystem this module also
+speaks **HIF** (the Hypergraph Interchange Format: a JSON document with
+``network-type`` / ``nodes`` / ``edges`` / ``incidences`` keys):
+:func:`to_hif` / :func:`from_hif` convert to and from the HIF dict
+shape, :func:`save_hif` / :func:`load_hif` do the file I/O.  Weights
+stay exact across the boundary — integers as JSON ints, big integers
+and rationals as their canonical ``str(int)`` / ``"num/den"`` string
+tokens (JSON numbers are doubles; round-tripping a ``10^16``-scale
+weight through a float would corrupt it silently).  Floats are accepted
+on import only when integral.
 """
 
 from __future__ import annotations
+
+import json
 
 from fractions import Fraction
 from pathlib import Path
@@ -23,7 +36,16 @@ from pathlib import Path
 from repro.exceptions import InvalidInstanceError
 from repro.hypergraph.hypergraph import Hypergraph
 
-__all__ = ["dumps", "loads", "save", "load"]
+__all__ = [
+    "dumps",
+    "loads",
+    "save",
+    "load",
+    "to_hif",
+    "from_hif",
+    "save_hif",
+    "load_hif",
+]
 
 
 def _parse_weight(token: str, line_number: int) -> int | Fraction:
@@ -113,3 +135,161 @@ def save(hypergraph: Hypergraph, path: str | Path, *, comment: str | None = None
 def load(path: str | Path) -> Hypergraph:
     """Read a hypergraph from ``path``."""
     return loads(Path(path).read_text(encoding="utf-8"))
+
+
+# --------------------------------------------------------------------------
+# HIF (Hypergraph Interchange Format) import/export
+# --------------------------------------------------------------------------
+
+#: JSON numbers are IEEE doubles in most HIF consumers; integers beyond
+#: 2**53 lose bits there.  We emit ints up to this bound as JSON numbers
+#: and everything larger (plus all rationals) as exact string tokens.
+_JSON_SAFE_INT = 2**53
+
+
+def _weight_to_hif(weight: int | Fraction):
+    if type(weight) is int and -_JSON_SAFE_INT <= weight <= _JSON_SAFE_INT:
+        return weight
+    return str(weight)
+
+
+def _weight_from_hif(value, node) -> int | Fraction:
+    if isinstance(value, bool):
+        raise InvalidInstanceError(
+            f"HIF node {node!r}: boolean weight {value!r}"
+        )
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise InvalidInstanceError(
+                f"HIF node {node!r}: non-integral float weight {value!r}; "
+                f"exact rationals must travel as 'num/den' strings"
+            )
+        return int(value)
+    if isinstance(value, str):
+        try:
+            return Fraction(value) if "/" in value else int(value)
+        except (ValueError, ZeroDivisionError) as error:
+            raise InvalidInstanceError(
+                f"HIF node {node!r}: malformed weight token {value!r}"
+            ) from error
+    raise InvalidInstanceError(
+        f"HIF node {node!r}: unsupported weight type "
+        f"{type(value).__name__}"
+    )
+
+
+def to_hif(hypergraph: Hypergraph) -> dict:
+    """``hypergraph`` as a HIF document (a JSON-serializable dict).
+
+    Nodes are the integers ``0..n-1`` carrying their exact weights
+    (string tokens beyond double precision); incidences list every
+    (edge, node) membership.  Hyperedges are kept in order under
+    integer ids so :func:`from_hif` reconstructs the identical
+    instance, duplicate edges included.
+    """
+    incidences = [
+        {"edge": edge_id, "node": vertex}
+        for edge_id, edge in enumerate(hypergraph.edges)
+        for vertex in edge
+    ]
+    return {
+        "network-type": "undirected",
+        "metadata": {"problem": "mwhvc"},
+        "nodes": [
+            {"node": vertex, "weight": _weight_to_hif(weight)}
+            for vertex, weight in enumerate(hypergraph.weights)
+        ],
+        "edges": [
+            {"edge": edge_id} for edge_id in range(hypergraph.num_edges)
+        ],
+        "incidences": incidences,
+    }
+
+
+def from_hif(document: dict) -> Hypergraph:
+    """Build a :class:`Hypergraph` from a HIF document.
+
+    Node ids may be arbitrary (ints, strings); they are mapped to dense
+    vertex indices in first-appearance order over ``nodes``.  Documents
+    exported by :func:`to_hif` round-trip exactly; foreign documents
+    get the usual :class:`Hypergraph` validation (so an empty hyperedge
+    or a non-positive weight is still a typed refusal, not a crash ten
+    layers down).
+    """
+    if not isinstance(document, dict):
+        raise InvalidInstanceError(
+            f"HIF document must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    nodes = document.get("nodes")
+    if not isinstance(nodes, list):
+        raise InvalidInstanceError("HIF document has no 'nodes' list")
+    index_of_node: dict = {}
+    weights: list[int | Fraction] = []
+    for entry in nodes:
+        if not isinstance(entry, dict) or "node" not in entry:
+            raise InvalidInstanceError(
+                f"malformed HIF node record {entry!r}"
+            )
+        node = entry["node"]
+        if node in index_of_node:
+            raise InvalidInstanceError(f"duplicate HIF node {node!r}")
+        index_of_node[node] = len(index_of_node)
+        weight = entry.get("weight", 1)
+        weights.append(_weight_from_hif(weight, node))
+    edge_ids: list = []
+    seen_edges: set = set()
+    for entry in document.get("edges", []):
+        if not isinstance(entry, dict) or "edge" not in entry:
+            raise InvalidInstanceError(
+                f"malformed HIF edge record {entry!r}"
+            )
+        edge = entry["edge"]
+        if edge in seen_edges:
+            raise InvalidInstanceError(f"duplicate HIF edge {edge!r}")
+        seen_edges.add(edge)
+        edge_ids.append(edge)
+    members: dict = {edge: [] for edge in edge_ids}
+    for entry in document.get("incidences", []):
+        if (
+            not isinstance(entry, dict)
+            or "edge" not in entry
+            or "node" not in entry
+        ):
+            raise InvalidInstanceError(
+                f"malformed HIF incidence record {entry!r}"
+            )
+        edge, node = entry["edge"], entry["node"]
+        if edge not in members:
+            # HIF allows edges introduced only through incidences.
+            members[edge] = []
+            edge_ids.append(edge)
+        if node not in index_of_node:
+            raise InvalidInstanceError(
+                f"HIF incidence references unknown node {node!r}"
+            )
+        members[edge].append(index_of_node[node])
+    edges = [tuple(members[edge]) for edge in edge_ids]
+    return Hypergraph(len(index_of_node), edges, weights)
+
+
+def save_hif(hypergraph: Hypergraph, path: str | Path) -> None:
+    """Write ``hypergraph`` to ``path`` as a HIF JSON file."""
+    Path(path).write_text(
+        json.dumps(to_hif(hypergraph), indent=None, sort_keys=False)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_hif(path: str | Path) -> Hypergraph:
+    """Read a HIF JSON file from ``path``."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise InvalidInstanceError(
+            f"{path} is not valid JSON: {error}"
+        ) from error
+    return from_hif(document)
